@@ -1,0 +1,32 @@
+//! Criterion bench for E5: wall time of `STNO` stabilization over a
+//! frozen tree, as a function of the tree height `h` at fixed `n` (the
+//! paper's `O(h)` claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sno_bench::complexity::stno_converge_once;
+use sno_graph::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stno_convergence");
+    g.sample_size(10);
+    type Builder = fn() -> sno_graph::Graph;
+    let cases: Vec<(&str, Builder)> = vec![
+        ("star_h1", || generators::star(64)),
+        ("btree_h5", || generators::balanced_tree(2, 5)),
+        ("caterpillar_h16", || generators::caterpillar(16, 3)),
+        ("path_h63", || generators::path(64)),
+    ];
+    for (name, build) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &build, |b, build| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(stno_converge_once(build(), seed))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for E7/E8: stabilization wall time of the two
+//! substrates (Collin–Dolev DFS tree and BFS tree) from arbitrary
+//! configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sno_engine::daemon::CentralRoundRobin;
+use sno_engine::{Network, Simulation};
+use sno_graph::{generators, NodeId};
+use sno_token::CollinDolev;
+use sno_tree::BfsSpanningTree;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+    g.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let graph = generators::random_connected(n, 2 * n, 6);
+        let net = Network::new(graph, NodeId::new(0));
+        g.bench_with_input(BenchmarkId::new("collin_dolev", n), &net, |b, net| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut sim = Simulation::from_random(net, CollinDolev, &mut rng);
+                let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 50_000_000);
+                assert!(run.converged);
+                std::hint::black_box(run.moves)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("bfs_tree", n), &net, |b, net| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut sim = Simulation::from_random(net, BfsSpanningTree, &mut rng);
+                let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 50_000_000);
+                assert!(run.converged);
+                std::hint::black_box(run.moves)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

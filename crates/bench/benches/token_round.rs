@@ -1,0 +1,50 @@
+//! Criterion bench for E7: the cost of one clean token round of the
+//! self-stabilizing DFTC, as a function of `n` (must scale as `Θ(n)` —
+//! the round length underpinning `DFTNO`'s `O(n)` bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sno_engine::daemon::CentralRoundRobin;
+use sno_engine::{Network, Simulation};
+use sno_graph::{generators, NodeId};
+use sno_token::dftc::{dftc_legit, DfsTokenCirculation};
+
+fn one_round(net: &Network) -> u64 {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut sim = Simulation::from_random(net, DfsTokenCirculation, &mut rng);
+    let mut daemon = CentralRoundRobin::new();
+    let run = sim.run_until(&mut daemon, 50_000_000, |c| dftc_legit(net, c));
+    assert!(run.converged);
+    let root = net.root();
+    while sim.state(root).tok.working {
+        sim.step(&mut daemon);
+    }
+    let before = sim.moves();
+    let mut seen = false;
+    loop {
+        sim.step(&mut daemon);
+        let w = sim.state(root).tok.working;
+        seen |= w;
+        if seen && !w {
+            break;
+        }
+    }
+    sim.moves() - before
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_round");
+    g.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let graph = generators::random_connected(n, n, 6);
+        let net = Network::new(graph, NodeId::new(0));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            b.iter(|| std::hint::black_box(one_round(net)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Regenerates every figure and analytic claim of the paper as ASCII
+//! tables — the executable counterpart of `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p sno-bench --bin report            # all experiments
+//! cargo run --release -p sno-bench --bin report -- e4 e9   # a subset
+//! ```
+
+use sno_bench::{complexity, extensions, figures, substrates};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |id: &str| all || args.iter().any(|a| a == id);
+
+    println!("Self-Stabilizing Network Orientation — experiment report");
+    println!("=========================================================\n");
+
+    if want("e1") {
+        println!("{}", figures::e1_chordal_sense_of_direction().render());
+    }
+    if want("e2") {
+        println!("{}", figures::e2_dftno_figure().render());
+    }
+    if want("e3") {
+        println!("{}", figures::e3_stno_figure().render());
+    }
+    if want("e4") {
+        println!("{}", complexity::e4_dftno_linear().render());
+    }
+    if want("e5") {
+        println!("{}", complexity::e5_stno_height().render());
+    }
+    if want("e6") {
+        println!("{}", complexity::e6_space().render());
+    }
+    if want("e7") {
+        println!("{}", substrates::e7_token_substrate().render());
+    }
+    if want("e8") {
+        println!("{}", substrates::e8_tree_substrate().render());
+    }
+    if want("e9") {
+        println!("{}", extensions::e9_dfs_tree_equivalence().render());
+    }
+    if want("e10") {
+        println!("{}", extensions::e10_message_complexity().render());
+    }
+    if want("e11") {
+        println!("{}", extensions::e11_fault_recovery().render());
+        println!("{}", extensions::e11b_model_checking().render());
+    }
+    if want("e12") {
+        println!("{}", extensions::e12_daemon_sensitivity().render());
+    }
+    if want("e13") {
+        println!("{}", extensions::e13_convergecast().render());
+    }
+    if want("e14") {
+        println!("{}", substrates::e14_substrate_ablation().render());
+    }
+    if all {
+        println!(
+            "full self-stabilizing stack sanity (DFTNO over DFTC): {}",
+            if extensions::full_stack_sanity() {
+                "ok"
+            } else {
+                "FAILED"
+            }
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! E1–E3: the paper's three worked figures, regenerated.
+
+use sno_core::orientation::Orientation;
+use sno_core::trace::{dftno_figure_trace, stno_figure_trace};
+use sno_engine::Network;
+use sno_graph::{generators, NodeId};
+
+use crate::cells;
+use crate::table::Table;
+
+/// **E1 / Figure 2.2.1** — the chordal sense of direction: every edge of a
+/// ring-with-chords labeled `δ(p,q)` at one end and `N − δ(p,q)` at the
+/// other.
+pub fn e1_chordal_sense_of_direction() -> Table {
+    let n = 8usize;
+    let g = generators::ring_with_chords(n, 3, 9);
+    let net = Network::new(g, NodeId::new(0));
+    let names: Vec<u32> = (0..n as u32).collect();
+    let o = Orientation::from_names(&net, names);
+    assert!(o.is_chordal_sense_of_direction(&net), "E1 invariant");
+
+    let mut t = Table::new(
+        "E1 (Fig 2.2.1): chordal labels on an 8-ring with 3 chords — δ one way, N−δ the other",
+        &["edge", "δ(p,q)", "δ(q,p)", "sum mod N"],
+    );
+    for (u, v) in net.graph().edges() {
+        let lu = net.graph().port_to(u, v).unwrap();
+        let lv = net.graph().port_to(v, u).unwrap();
+        let du = o.labels[u.index()][lu.index()];
+        let dv = o.labels[v.index()][lv.index()];
+        t.row(cells!(format!("{u}−{v}"), du, dv, (du + dv) % n as u32));
+    }
+    t
+}
+
+/// **E2 / Figure 3.1.1** — the `DFTNO` node-labeling trace on the paper's
+/// 5-node example network.
+pub fn e2_dftno_figure() -> Table {
+    let (rows, etas) = dftno_figure_trace();
+    let mut t = Table::new(
+        "E2 (Fig 3.1.1): DFTNO naming trace — paper expects r=0, b=1, d=2, c=3, a=4",
+        &["step", "event", "node", "η", "Max"],
+    );
+    for r in &rows {
+        let eta = r.eta.map(|e| e.to_string()).unwrap_or_else(|| "—".into());
+        t.row(cells!(r.step, r.event, r.node, eta, r.max));
+    }
+    assert_eq!(etas, vec![0, 4, 1, 3, 2], "E2 final names match the figure");
+    t
+}
+
+/// **E3 / Figure 4.1.1** — the `STNO` weight/naming trace on the paper's
+/// 5-node example tree.
+pub fn e3_stno_figure() -> Table {
+    let (rows, weights, etas) = stno_figure_trace();
+    let mut t = Table::new(
+        "E3 (Fig 4.1.1): STNO weights then names — paper expects w=5,3,1,1,1 and η=0,1,2,3,4",
+        &["step", "phase", "node", "Weight", "η"],
+    );
+    for r in &rows {
+        t.row(cells!(r.step, r.phase, format!("n{}", r.node), r.weight, r.eta));
+    }
+    assert_eq!(weights, vec![5, 3, 1, 1, 1], "E3 weights match the figure");
+    assert_eq!(etas, vec![0, 1, 2, 3, 4], "E3 names match the figure");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_renders_all_edges() {
+        let t = e1_chordal_sense_of_direction();
+        assert_eq!(t.rows.len(), 11); // 8 ring edges + 3 chords
+        assert!(t.rows.iter().all(|r| r[3] == "0"), "inverse modulo N");
+    }
+
+    #[test]
+    fn e2_has_one_round_of_events() {
+        let t = e2_dftno_figure();
+        assert_eq!(t.rows.len(), 2 * 5 - 1, "2n−1 events");
+    }
+
+    #[test]
+    fn e3_contains_both_waves() {
+        let t = e3_stno_figure();
+        assert!(t.rows.iter().any(|r| r[1] == "Weight"));
+        assert!(t.rows.iter().any(|r| r[1] == "Name"));
+    }
+}

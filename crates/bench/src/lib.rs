@@ -1,0 +1,21 @@
+//! # sno-bench
+//!
+//! The experiment harness: one function per paper artifact (figure or
+//! analytic claim), each returning printable rows so the `report` binary
+//! can regenerate the paper's "evaluation" end to end. The experiment
+//! index (E1–E12) lives in `DESIGN.md`; measured-vs-paper results are
+//! recorded in `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p sno-bench --bin report            # everything
+//! cargo run --release -p sno-bench --bin report -- e4 e5   # a subset
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complexity;
+pub mod extensions;
+pub mod figures;
+pub mod substrates;
+pub mod table;

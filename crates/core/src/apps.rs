@@ -1,0 +1,262 @@
+//! Message-complexity applications: how much communication an orientation
+//! saves (experiment E10).
+//!
+//! The paper motivates orientation with Santoro's observation \[21\] that
+//! "the availability of an orientation decreases the message complexity of
+//! important computations". This module makes that concrete with two
+//! executable token-traversal algorithms over the same topology:
+//!
+//! * [`dfs_traversal_unoriented`] — the classic depth-first traversal of
+//!   an anonymous port-numbered network. The token must *probe* every
+//!   incident edge, because a node cannot know where an edge leads without
+//!   sending the token across; every non-tree probe comes straight back.
+//!   Cost: exactly `2m` messages.
+//! * [`dfs_traversal_oriented`] — the same traversal when the network is
+//!   oriented: the token carries the set of visited *names*, and each node
+//!   uses its [`NeighborDirectory`] to skip edges leading to names already
+//!   visited — chords are never probed. Cost: exactly `2(n − 1)` messages
+//!   (the tree edges, each crossed twice).
+//!
+//! The gap, `2(m − n + 1)`, grows with density: zero on trees, `Θ(n²)` on
+//! cliques.
+
+use sno_engine::Network;
+use sno_graph::{NodeId, Port};
+
+use crate::orientation::Orientation;
+use crate::sod::NeighborDirectory;
+
+/// Outcome of a traversal: messages spent and the visit order achieved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraversalReport {
+    /// Total messages (each token hop counts as one).
+    pub messages: u64,
+    /// Nodes in first-visit order.
+    pub visit_order: Vec<NodeId>,
+}
+
+/// Depth-first token traversal of an *unoriented* anonymous network.
+///
+/// The token records visited nodes only by the route it took (the
+/// simulator tracks identity, but the algorithm never uses it): at each
+/// node it tries the lowest unexplored port; the receiving node bounces
+/// the token back if it was already visited. Every edge is crossed exactly
+/// twice: `2m` messages.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range or the graph is disconnected.
+pub fn dfs_traversal_unoriented(net: &Network, root: NodeId) -> TraversalReport {
+    let g = net.graph();
+    let n = g.node_count();
+    assert!(root.index() < n, "root out of range");
+    let mut visited = vec![false; n];
+    let mut next_port = vec![0usize; n];
+    let mut parent: Vec<Option<Port>> = vec![None; n];
+    // A node skips ports on which it has already seen traffic (the
+    // standard bookkeeping keeping classic DFS traversal at 2m instead of
+    // 4 messages per chord).
+    let mut explored: Vec<Vec<bool>> = g.nodes().map(|p| vec![false; g.degree(p)]).collect();
+    let mut messages = 0u64;
+    let mut order = vec![root];
+    visited[root.index()] = true;
+
+    let mut cur = root;
+    loop {
+        if next_port[cur.index()] < g.degree(cur) {
+            let l = Port::new(next_port[cur.index()]);
+            next_port[cur.index()] += 1;
+            if explored[cur.index()][l.index()] {
+                continue; // traffic already crossed this edge
+            }
+            let q = g.neighbor(cur, l);
+            let back = g.back_port(cur, l);
+            explored[cur.index()][l.index()] = true;
+            explored[q.index()][back.index()] = true;
+            messages += 1; // probe: the node cannot know q's status
+            if visited[q.index()] {
+                messages += 1; // bounce straight back
+            } else {
+                visited[q.index()] = true;
+                order.push(q);
+                parent[q.index()] = Some(back);
+                cur = q;
+            }
+        } else {
+            match parent[cur.index()] {
+                Some(l) => {
+                    messages += 1; // return over the tree edge
+                    cur = g.neighbor(cur, l);
+                }
+                None => break, // back at the root with all ports explored
+            }
+        }
+    }
+    assert!(visited.iter().all(|&v| v), "graph must be connected");
+    TraversalReport {
+        messages,
+        visit_order: order,
+    }
+}
+
+/// Depth-first token traversal of an *oriented* network.
+///
+/// The token carries the set of visited names; each node consults its
+/// label-derived [`NeighborDirectory`] and forwards the token only through
+/// ports whose neighbor names are unvisited. Chords to visited nodes are
+/// pruned without communication: `2(n − 1)` messages.
+///
+/// # Panics
+///
+/// Panics if the orientation does not satisfy `SP_NO` (the pruning is only
+/// sound with correct names), if `root` is out of range, or if the graph
+/// is disconnected.
+pub fn dfs_traversal_oriented(
+    net: &Network,
+    o: &Orientation,
+    root: NodeId,
+) -> TraversalReport {
+    assert!(
+        o.satisfies_spec(net),
+        "oriented traversal requires a valid orientation"
+    );
+    let g = net.graph();
+    let n = g.node_count();
+    assert!(root.index() < n, "root out of range");
+    let dirs: Vec<NeighborDirectory> = g
+        .nodes()
+        .map(|p| NeighborDirectory::of(o, p, net.n_bound()))
+        .collect();
+
+    // The token's payload: the set of visited names.
+    let mut visited_names = vec![false; net.n_bound()];
+    let mut visited = vec![false; n];
+    let mut next_port = vec![0usize; n];
+    let mut parent: Vec<Option<Port>> = vec![None; n];
+    let mut messages = 0u64;
+    let mut order = vec![root];
+    visited[root.index()] = true;
+    visited_names[o.names[root.index()] as usize] = true;
+
+    let mut cur = root;
+    loop {
+        let dir = &dirs[cur.index()];
+        if next_port[cur.index()] < g.degree(cur) {
+            let l = Port::new(next_port[cur.index()]);
+            next_port[cur.index()] += 1;
+            if Some(l) == parent[cur.index()] {
+                continue;
+            }
+            // The saving: the name behind l is known locally.
+            if visited_names[dir.names[l.index()] as usize] {
+                continue; // prune the chord, zero messages
+            }
+            let q = g.neighbor(cur, l);
+            messages += 1;
+            debug_assert!(!visited[q.index()], "pruning is sound");
+            visited[q.index()] = true;
+            visited_names[o.names[q.index()] as usize] = true;
+            order.push(q);
+            parent[q.index()] = Some(g.back_port(cur, l));
+            cur = q;
+        } else {
+            match parent[cur.index()] {
+                Some(l) => {
+                    messages += 1;
+                    cur = g.neighbor(cur, l);
+                }
+                None => break,
+            }
+        }
+    }
+    assert!(visited.iter().all(|&v| v), "graph must be connected");
+    TraversalReport {
+        messages,
+        visit_order: order,
+    }
+}
+
+/// Convenience: both traversals side by side, for the E10 table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraversalComparison {
+    /// Messages without an orientation (`2m`).
+    pub unoriented: u64,
+    /// Messages with the chordal orientation (`2(n−1)`).
+    pub oriented: u64,
+}
+
+/// Runs both traversals from the network root with the golden orientation.
+pub fn compare_traversals(net: &Network) -> TraversalComparison {
+    let o = crate::orientation::golden_dfs_orientation(net);
+    TraversalComparison {
+        unoriented: dfs_traversal_unoriented(net, net.root()).messages,
+        oriented: dfs_traversal_oriented(net, &o, net.root()).messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orientation::golden_dfs_orientation;
+    use sno_graph::generators;
+
+    fn net_of(g: sno_graph::Graph) -> Network {
+        Network::new(g, NodeId::new(0))
+    }
+
+    #[test]
+    fn unoriented_costs_exactly_2m() {
+        for t in generators::Topology::ALL {
+            let net = net_of(t.build(12, 8));
+            let m = net.graph().edge_count() as u64;
+            let rep = dfs_traversal_unoriented(&net, net.root());
+            assert_eq!(rep.messages, 2 * m, "{t}");
+            assert_eq!(rep.visit_order.len(), net.node_count(), "{t}");
+        }
+    }
+
+    #[test]
+    fn oriented_costs_exactly_2n_minus_2() {
+        for t in generators::Topology::ALL {
+            let net = net_of(t.build(12, 8));
+            let n = net.node_count() as u64;
+            let o = golden_dfs_orientation(&net);
+            let rep = dfs_traversal_oriented(&net, &o, net.root());
+            assert_eq!(rep.messages, 2 * (n - 1), "{t}");
+        }
+    }
+
+    #[test]
+    fn both_traversals_visit_in_the_same_dfs_order() {
+        let net = net_of(generators::random_connected(15, 12, 4));
+        let o = golden_dfs_orientation(&net);
+        let a = dfs_traversal_unoriented(&net, net.root());
+        let b = dfs_traversal_oriented(&net, &o, net.root());
+        assert_eq!(a.visit_order, b.visit_order);
+        let dfs = sno_graph::traverse::first_dfs(net.graph(), net.root());
+        assert_eq!(a.visit_order, dfs.order, "both equal the first DFS");
+    }
+
+    #[test]
+    fn saving_is_zero_on_trees_and_large_on_cliques() {
+        let tree = net_of(generators::random_tree(20, 2));
+        let c = compare_traversals(&tree);
+        assert_eq!(c.unoriented, c.oriented, "no chords, no saving");
+
+        let clique = net_of(generators::complete(12));
+        let c = compare_traversals(&clique);
+        assert_eq!(c.unoriented, 2 * 66);
+        assert_eq!(c.oriented, 2 * 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid orientation")]
+    fn oriented_traversal_rejects_bogus_orientation() {
+        let net = net_of(generators::ring(5));
+        let bogus = Orientation {
+            names: vec![0, 0, 0, 0, 0],
+            labels: vec![vec![0, 0]; 5],
+        };
+        let _ = dfs_traversal_oriented(&net, &bogus, net.root());
+    }
+}

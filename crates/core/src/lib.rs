@@ -1,0 +1,69 @@
+//! # sno-core
+//!
+//! The paper's primary contribution: two deterministic, **self-stabilizing
+//! network orientation** protocols for arbitrary rooted asynchronous
+//! networks, establishing a *chordal sense of direction*.
+//!
+//! Network orientation (Chapter 2.3) assigns every processor a globally
+//! unique name `η_p ∈ {0, …, N−1}` and labels the edge from `p` to `q`, at
+//! `p`, with `π_p[l] = (η_p − η_q) mod N`. The specification `SP_NO`:
+//!
+//! * **SP1** — every node has a unique name in `0 … N−1`;
+//! * **SP2** — every edge label satisfies the chordal equation above.
+//!
+//! The two protocols:
+//!
+//! * [`dftno::Dftno`] — **Algorithm 3.1.1**: orientation on top of a
+//!   depth-first token circulation. The circulating token acts as a
+//!   counter; a node receiving it for the first time in a round
+//!   (`Forward(p)`) names itself `Max_{A_p} + 1`, backtracking propagates
+//!   the running maximum, and a separate action repairs edge labels.
+//!   Stabilizes in `O(n)` steps once the token circulation has stabilized.
+//! * [`stno::Stno`] — **Algorithm 4.1.2**: orientation on top of a
+//!   spanning tree. Leaves report weight 1; internal nodes sum child
+//!   weights bottom-up; the root then distributes non-overlapping name
+//!   ranges top-down (`Distribute`), every node taking the lowest value of
+//!   its range — the preorder numbering. All edges, tree and non-tree,
+//!   are labeled. Stabilizes in `O(h)` steps once the tree has stabilized.
+//!
+//! Both are generic over their substrate (the paper's "underlying
+//! protocol"): any [`sno_token::TokenCirculation`] under `DFTNO`, any
+//! [`sno_tree::SpanningTree`] under `STNO`.
+//!
+//! Supporting modules: [`orientation`] (the `SP_NO` verifier and chordal
+//! sense-of-direction checks), [`sod`] (what an oriented node can do with
+//! its labels: identify neighbors by name with zero communication),
+//! [`apps`] (message-complexity experiments: depth-first traversal with
+//! and without an orientation), and [`trace`] (regeneration of the paper's
+//! worked figures).
+//!
+//! # Example
+//!
+//! ```
+//! use sno_core::stno::{stno_oriented, Stno};
+//! use sno_engine::{daemon::CentralRoundRobin, Network, Simulation};
+//! use sno_tree::BfsSpanningTree;
+//!
+//! let g = sno_graph::generators::ring(6);
+//! let net = Network::new(g, sno_graph::NodeId::new(0));
+//! let stno = Stno::new(BfsSpanningTree);
+//! let mut sim = Simulation::from_initial(&net, stno);
+//! let run = sim.run_until(&mut CentralRoundRobin::new(), 100_000, |c| {
+//!     stno_oriented(&net, c)
+//! });
+//! assert!(run.converged);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod dftno;
+pub mod orientation;
+pub mod sod;
+pub mod stno;
+pub mod trace;
+
+pub use dftno::Dftno;
+pub use orientation::Orientation;
+pub use stno::Stno;

@@ -1,0 +1,331 @@
+//! The orientation specification `SP_NO` and the chordal sense of
+//! direction (Chapter 2.2–2.3).
+
+use sno_engine::Network;
+use sno_graph::{NodeId, Port};
+
+/// A snapshot of the orientation variables of every processor: names `η`
+/// and per-port edge labels `π`.
+///
+/// Extracted from protocol configurations (see [`crate::dftno`] /
+/// [`crate::stno`]) so the same verifier serves both algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Orientation {
+    /// `names[p]` = `η_p`.
+    pub names: Vec<u32>,
+    /// `labels[p][l]` = `π_p[l]`.
+    pub labels: Vec<Vec<u32>>,
+}
+
+impl Orientation {
+    /// The orientation a correct protocol should reach, computed
+    /// sequentially from a name assignment: `π_p[l] = (η_p − η_q) mod N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names.len()` differs from the network size.
+    pub fn from_names(net: &Network, names: Vec<u32>) -> Self {
+        assert_eq!(names.len(), net.node_count(), "one name per processor");
+        let n_bound = net.n_bound() as u32;
+        let g = net.graph();
+        let labels = g
+            .nodes()
+            .map(|p| {
+                g.neighbors(p)
+                    .iter()
+                    .map(|&q| chordal_label(names[p.index()], names[q.index()], n_bound))
+                    .collect()
+            })
+            .collect();
+        Orientation { names, labels }
+    }
+
+    /// `SP1`: all names are unique and within `0 … N−1`.
+    pub fn sp1(&self, n_bound: usize) -> bool {
+        let mut seen = vec![false; n_bound];
+        self.names.iter().all(|&e| {
+            let ok = (e as usize) < n_bound && !seen[e as usize];
+            if ok {
+                seen[e as usize] = true;
+            }
+            ok
+        })
+    }
+
+    /// `SP2`: every edge label satisfies `π_p[l] = (η_p − η_q) mod N`.
+    pub fn sp2(&self, net: &Network) -> bool {
+        let n_bound = net.n_bound() as u32;
+        let g = net.graph();
+        g.nodes().all(|p| {
+            let mine = &self.labels[p.index()];
+            mine.len() == g.degree(p)
+                && g.neighbors(p).iter().enumerate().all(|(l, &q)| {
+                    mine[l] == chordal_label(self.names[p.index()], self.names[q.index()], n_bound)
+                })
+        })
+    }
+
+    /// The full specification `SP_NO = SP1 ∧ SP2`.
+    pub fn satisfies_spec(&self, net: &Network) -> bool {
+        self.sp1(net.n_bound()) && self.sp2(net)
+    }
+
+    /// **Local orientation**: at every node the labeling is injective
+    /// (no two incident edges share a label). Guaranteed by `SP1 ∧ SP2`
+    /// (Lemma 3.2.2) but checked directly here.
+    pub fn is_locally_oriented(&self) -> bool {
+        self.labels.iter().all(|ls| {
+            let mut sorted = ls.clone();
+            sorted.sort_unstable();
+            sorted.windows(2).all(|w| w[0] != w[1])
+        })
+    }
+
+    /// **Edge symmetry**: knowing the label on one side determines the
+    /// other — for the chordal labeling, `π_p[l] + π_q[l'] ≡ 0 (mod N)`
+    /// across every edge.
+    pub fn has_edge_symmetry(&self, net: &Network) -> bool {
+        let n_bound = net.n_bound() as u32;
+        let g = net.graph();
+        g.nodes().all(|p| {
+            (0..g.degree(p)).all(|l| {
+                let l = Port::new(l);
+                let q = g.neighbor(p, l);
+                let back = g.back_port(p, l);
+                let a = self.labels[p.index()][l.index()];
+                let b = self.labels[q.index()][back.index()];
+                (a + b).is_multiple_of(n_bound)
+            })
+        })
+    }
+
+    /// **Locally symmetric orientation** = local orientation ∧ edge
+    /// symmetry (Chapter 1.3).
+    pub fn is_locally_symmetric(&self, net: &Network) -> bool {
+        self.is_locally_oriented() && self.has_edge_symmetry(net)
+    }
+
+    /// Verifies the labeling is a **chordal sense of direction**: some
+    /// cyclic ordering `ψ` of the nodes exists under which every label is
+    /// the cyclic distance `δ(p, q)`. With `SP1 ∧ SP2` the ordering is the
+    /// one induced by the names; this checker reconstructs it and
+    /// re-derives every label from scratch.
+    pub fn is_chordal_sense_of_direction(&self, net: &Network) -> bool {
+        if !self.sp1(net.n_bound()) {
+            return false;
+        }
+        // ψ orders nodes by name; δ(p, q) = (η_p − η_q) mod N matches the
+        // definition with the successor function ψ(x) = name − 1 … any
+        // cyclic shift works; SP2 is exactly the distance condition.
+        self.sp2(net)
+    }
+}
+
+/// The chordal label of the edge `(p, q)` at `p`: `(η_p − η_q) mod N`.
+///
+/// Total for any inputs (corrupt out-of-range names are reduced mod `N`
+/// first), so verifiers can be run against arbitrary configurations.
+///
+/// # Panics
+///
+/// Panics if `n_bound == 0`.
+pub fn chordal_label(eta_p: u32, eta_q: u32, n_bound: u32) -> u32 {
+    assert!(n_bound > 0, "N must be positive");
+    let p = eta_p % n_bound;
+    let q = eta_q % n_bound;
+    (p + n_bound - q) % n_bound
+}
+
+/// Recovers the neighbor's absolute name from a node's own name and the
+/// edge label — the sense-of-direction property that lets processors refer
+/// to each other by name without communication: `η_q = (η_p − π_p[l]) mod
+/// N`.
+///
+/// # Panics
+///
+/// Panics if `n_bound == 0`.
+pub fn neighbor_name(eta_p: u32, label: u32, n_bound: u32) -> u32 {
+    assert!(n_bound > 0, "N must be positive");
+    let p = eta_p % n_bound;
+    let l = label % n_bound;
+    (p + n_bound - l) % n_bound
+}
+
+/// Convenience: the golden orientation induced by first-DFS ranks — what
+/// `DFTNO` must converge to (and `STNO` over a DFS tree, experiment E9).
+pub fn golden_dfs_orientation(net: &Network) -> Orientation {
+    let dfs = sno_graph::traverse::first_dfs(net.graph(), net.root());
+    let names = dfs.rank.iter().map(|&r| r as u32).collect();
+    Orientation::from_names(net, names)
+}
+
+/// Convenience: the golden orientation induced by the preorder ranks of a
+/// spanning tree — what `STNO` over that tree must converge to.
+pub fn golden_preorder_orientation(
+    net: &Network,
+    tree: &sno_graph::RootedTree,
+) -> Orientation {
+    let names = tree.preorder_ranks().iter().map(|&r| r as u32).collect();
+    Orientation::from_names(net, names)
+}
+
+/// Renders an oriented network as Graphviz DOT: nodes captioned with
+/// their names, every edge captioned with its two chordal labels
+/// (`δ / N−δ`).
+///
+/// # Example
+///
+/// ```
+/// use sno_core::orientation::{golden_dfs_orientation, orientation_to_dot};
+/// use sno_engine::Network;
+///
+/// let net = Network::new(sno_graph::generators::ring(4), sno_graph::NodeId::new(0));
+/// let o = golden_dfs_orientation(&net);
+/// let dot = orientation_to_dot(&net, &o);
+/// assert!(dot.contains("label=\"1/3\""));
+/// ```
+pub fn orientation_to_dot(net: &Network, o: &Orientation) -> String {
+    let g = net.graph();
+    sno_graph::dot::to_dot(
+        g,
+        |p| format!("η={}", o.names[p.index()]),
+        |u, v| {
+            let lu = g.port_to(u, v).expect("edge exists");
+            let lv = g.port_to(v, u).expect("edge exists");
+            Some(format!(
+                "{}/{}",
+                o.labels[u.index()][lu.index()],
+                o.labels[v.index()][lv.index()]
+            ))
+        },
+    )
+}
+
+/// Formats the labels of one node for reports: `port→label` pairs.
+pub fn format_labels(o: &Orientation, p: NodeId) -> String {
+    o.labels[p.index()]
+        .iter()
+        .enumerate()
+        .map(|(l, lab)| format!("p{l}→{lab}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_graph::generators;
+
+    fn ring_net(n: usize) -> Network {
+        Network::new(generators::ring(n), NodeId::new(0))
+    }
+
+    fn identity_names(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn identity_orientation_on_ring_satisfies_spec() {
+        let net = ring_net(6);
+        let o = Orientation::from_names(&net, identity_names(6));
+        assert!(o.satisfies_spec(&net));
+        assert!(o.is_locally_oriented());
+        assert!(o.has_edge_symmetry(&net));
+        assert!(o.is_chordal_sense_of_direction(&net));
+    }
+
+    #[test]
+    fn ring_labels_are_plus_minus_one() {
+        let net = ring_net(5);
+        let o = Orientation::from_names(&net, identity_names(5));
+        // Node 2 sees node 1 (label 1) and node 3 (label 5−1 = 4).
+        assert_eq!(o.labels[2], vec![1, 4]);
+    }
+
+    #[test]
+    fn sp1_rejects_duplicates_and_out_of_range() {
+        let net = ring_net(4);
+        let dup = Orientation::from_names(&net, vec![0, 1, 1, 3]);
+        assert!(!dup.sp1(4));
+        let oor = Orientation::from_names(&net, vec![0, 1, 2, 7]);
+        assert!(!oor.sp1(4));
+    }
+
+    #[test]
+    fn sp2_rejects_wrong_labels() {
+        let net = ring_net(4);
+        let mut o = Orientation::from_names(&net, identity_names(4));
+        o.labels[1][0] = 2; // should be (1 − 0) mod 4 = 1
+        assert!(!o.sp2(&net));
+        assert!(!o.satisfies_spec(&net));
+    }
+
+    #[test]
+    fn edge_symmetry_inverse_modulo_n() {
+        // "if the link between p and q is labeled d at node p, it is
+        // labeled N − d at node q."
+        let net = ring_net(8);
+        let o = Orientation::from_names(&net, identity_names(8));
+        let g = net.graph();
+        for p in g.nodes() {
+            for l in 0..g.degree(p) {
+                let l = Port::new(l);
+                let q = g.neighbor(p, l);
+                let back = g.back_port(p, l);
+                let d = o.labels[p.index()][l.index()];
+                assert_eq!(o.labels[q.index()][back.index()], (8 - d) % 8);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_name_round_trips() {
+        let n = 16u32;
+        for eta_p in 0..n {
+            for eta_q in 0..n {
+                if eta_p == eta_q {
+                    continue;
+                }
+                let label = chordal_label(eta_p, eta_q, n);
+                assert_eq!(neighbor_name(eta_p, label, n), eta_q);
+            }
+        }
+    }
+
+    #[test]
+    fn loose_bound_spec_holds() {
+        // N > n: names 0..n−1 are still unique in 0..N−1 and labels are
+        // taken mod N.
+        let g = generators::path(4);
+        let net = Network::with_bound(g, NodeId::new(0), 11);
+        let o = Orientation::from_names(&net, identity_names(4));
+        assert!(o.satisfies_spec(&net));
+        assert!(o.has_edge_symmetry(&net));
+    }
+
+    #[test]
+    fn golden_dfs_orientation_is_valid_everywhere() {
+        for (i, t) in generators::Topology::ALL.into_iter().enumerate() {
+            let g = t.build(12, 9);
+            let net = Network::new(g, NodeId::new(0));
+            let o = golden_dfs_orientation(&net);
+            assert!(o.satisfies_spec(&net), "topology {t} seed {i}");
+            assert!(o.is_locally_symmetric(&net), "topology {t}");
+        }
+    }
+
+    #[test]
+    fn local_orientation_catches_collisions() {
+        let net = ring_net(4);
+        let mut o = Orientation::from_names(&net, identity_names(4));
+        o.labels[0][1] = o.labels[0][0];
+        assert!(!o.is_locally_oriented());
+    }
+
+    #[test]
+    fn format_labels_is_stable() {
+        let net = ring_net(4);
+        let o = Orientation::from_names(&net, identity_names(4));
+        assert_eq!(format_labels(&o, NodeId::new(1)), "p0→1 p1→3");
+    }
+}

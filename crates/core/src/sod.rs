@@ -1,0 +1,272 @@
+//! What an oriented node can *do* with its labels: the sense-of-direction
+//! toolkit.
+//!
+//! Chapter 5: "An important property of SoD is that it allows processors
+//! to refer to the other processors by locally unique names … and can be
+//! translated from one processor to the other." With the chordal labeling
+//! a processor knows, with **zero communication**:
+//!
+//! * the absolute name of each neighbor — `η_q = (η_p − π_p[l]) mod N`;
+//! * the port leading to any named neighbor (inverting the labels);
+//! * how a name heard from a neighbor translates into its own frame
+//!   (absolute names need no translation; chordal *relative* names
+//!   translate by adding the edge label).
+//!
+//! These primitives power the message-complexity experiments in
+//! [`crate::apps`].
+
+use sno_engine::Network;
+use sno_graph::{NodeId, Port};
+
+use crate::orientation::{neighbor_name, Orientation};
+
+/// A processor-local directory of the neighborhood, computed from the
+/// orientation alone (no communication).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborDirectory {
+    /// This node's own name.
+    pub my_name: u32,
+    /// `names[l]` = the absolute name of the neighbor behind port `l`.
+    pub names: Vec<u32>,
+}
+
+impl NeighborDirectory {
+    /// Builds the directory of `p` from an orientation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for the orientation.
+    pub fn of(o: &Orientation, p: NodeId, n_bound: usize) -> Self {
+        let my_name = o.names[p.index()];
+        let names = o.labels[p.index()]
+            .iter()
+            .map(|&lab| neighbor_name(my_name, lab, n_bound as u32))
+            .collect();
+        NeighborDirectory { my_name, names }
+    }
+
+    /// The port leading to the neighbor named `name`, if adjacent.
+    pub fn port_of(&self, name: u32) -> Option<Port> {
+        self.names.iter().position(|&x| x == name).map(Port::new)
+    }
+
+    /// `true` iff a neighbor with this name exists.
+    pub fn knows(&self, name: u32) -> bool {
+        self.names.contains(&name)
+    }
+}
+
+/// Verifies that the directories reconstructed from labels alone agree
+/// with the ground truth — the "refer to processors by name without
+/// asking" property. Returns the number of (node, port) pairs checked.
+///
+/// # Panics
+///
+/// Panics if a derived name disagrees with the true neighbor name.
+pub fn verify_neighbor_identification(net: &Network, o: &Orientation) -> usize {
+    let g = net.graph();
+    let mut checked = 0;
+    for p in g.nodes() {
+        let dir = NeighborDirectory::of(o, p, net.n_bound());
+        for (l, &q) in g.neighbors(p).iter().enumerate() {
+            assert_eq!(
+                dir.names[l],
+                o.names[q.index()],
+                "name of {q} derived at {p} from the labels alone"
+            );
+            checked += 1;
+        }
+    }
+    checked
+}
+
+/// The *virtual ring* the chordal orientation induces: node named `k` is
+/// conceptually followed by `k + 1 mod N`. Returns, for each node, the
+/// port toward its cyclic successor if the successor happens to be
+/// physically adjacent (`None` otherwise — on arbitrary topologies the
+/// virtual ring is not guaranteed to follow physical edges).
+pub fn virtual_ring_ports(net: &Network, o: &Orientation) -> Vec<Option<Port>> {
+    let n = net.node_count() as u32;
+    net.nodes()
+        .map(|p| {
+            let dir = NeighborDirectory::of(o, p, net.n_bound());
+            let succ = (dir.my_name + 1) % n;
+            dir.port_of(succ)
+        })
+        .collect()
+}
+
+/// Recovers a node's **DFS-tree parent port from the orientation alone**.
+///
+/// With first-DFS names, every non-tree edge of an undirected DFS is a
+/// back edge to an ancestor, so all of a node's lower-named neighbors are
+/// its ancestors — and the parent is the most recently visited one, i.e.
+/// the neighbor with the **largest name smaller than its own**. A node can
+/// therefore reconstruct its tree edge with zero communication; the root
+/// (name 0) returns `None`.
+///
+/// This is what makes [`convergecast_oriented`] free of any setup phase.
+pub fn dfs_parent_port_from_names(o: &Orientation, net: &Network, p: NodeId) -> Option<Port> {
+    let dir = NeighborDirectory::of(o, p, net.n_bound());
+    let mine = dir.my_name;
+    dir.names
+        .iter()
+        .enumerate()
+        .filter(|(_, &name)| name < mine)
+        .max_by_key(|(_, &name)| name)
+        .map(|(l, _)| Port::new(l))
+}
+
+/// Outcome of an oriented convergecast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvergecastReport {
+    /// Messages sent (exactly `n − 1`).
+    pub messages: u64,
+    /// Values aggregated at the root (must be `n`: everyone reported).
+    pub reports_at_root: usize,
+}
+
+/// Convergecast on a DFS-rank-oriented network: every node forwards its
+/// report (and any reports received from its subtree) one hop toward the
+/// parent it computed **from the labels alone** — `n − 1` messages total
+/// and zero setup, versus the `2m`-message traversal an unoriented network
+/// needs just to discover a tree (see [`crate::apps`]).
+///
+/// # Panics
+///
+/// Panics if the orientation is not the first-DFS orientation of the
+/// network (parents are validated against the golden model).
+pub fn convergecast_oriented(net: &Network, o: &Orientation) -> ConvergecastReport {
+    let golden = sno_graph::traverse::first_dfs(net.graph(), net.root());
+    // Process nodes deepest-first so every subtree report is complete
+    // before it is forwarded.
+    let mut order: Vec<NodeId> = net.nodes().collect();
+    order.sort_by_key(|p| std::cmp::Reverse(golden.rank[p.index()]));
+    let mut gathered = vec![1usize; net.node_count()]; // own report
+    let mut messages = 0u64;
+    for p in order {
+        match dfs_parent_port_from_names(o, net, p) {
+            Some(l) => {
+                let parent = net.graph().neighbor(p, l);
+                assert_eq!(
+                    Some(parent),
+                    golden.parent[p.index()],
+                    "the max-smaller-neighbor rule recovers the DFS parent"
+                );
+                messages += 1; // the whole bundle travels as one message
+                gathered[parent.index()] += gathered[p.index()];
+            }
+            None => assert_eq!(p, net.root(), "only the root lacks a parent"),
+        }
+    }
+    ConvergecastReport {
+        messages,
+        reports_at_root: gathered[net.root().index()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orientation::golden_dfs_orientation;
+    use sno_graph::generators;
+
+    fn oriented(g: sno_graph::Graph) -> (Network, Orientation) {
+        let net = Network::new(g, NodeId::new(0));
+        let o = golden_dfs_orientation(&net);
+        (net, o)
+    }
+
+    #[test]
+    fn directory_identifies_every_neighbor() {
+        for t in generators::Topology::ALL {
+            let (net, o) = oriented(t.build(12, 5));
+            let checked = verify_neighbor_identification(&net, &o);
+            assert_eq!(checked, 2 * net.graph().edge_count(), "{t}");
+        }
+    }
+
+    #[test]
+    fn port_of_inverts_names() {
+        let (net, o) = oriented(generators::paper_example_dftno());
+        let g = net.graph();
+        for p in g.nodes() {
+            let dir = NeighborDirectory::of(&o, p, net.n_bound());
+            for (l, &q) in g.neighbors(p).iter().enumerate() {
+                assert_eq!(dir.port_of(o.names[q.index()]), Some(Port::new(l)));
+            }
+            assert_eq!(dir.port_of(999), None);
+        }
+    }
+
+    #[test]
+    fn virtual_ring_is_complete_on_a_ring() {
+        // On a ring oriented by DFS ranks, names run around the cycle, so
+        // every successor is physically adjacent.
+        let (net, o) = oriented(generators::ring(8));
+        let ports = virtual_ring_ports(&net, &o);
+        assert!(ports.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn virtual_ring_may_have_gaps_on_trees() {
+        // On a star, DFS names leaves 1..n−1; leaf k's successor k+1 is
+        // another leaf — not adjacent.
+        let (net, o) = oriented(generators::star(6));
+        let ports = virtual_ring_ports(&net, &o);
+        assert!(ports.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn loose_bound_identification_still_works() {
+        let g = generators::random_connected(10, 8, 3);
+        let net = Network::with_bound(g, NodeId::new(0), 23);
+        let o = golden_dfs_orientation(&net);
+        verify_neighbor_identification(&net, &o);
+    }
+
+    #[test]
+    fn max_smaller_neighbor_is_the_dfs_parent() {
+        // The theorem behind zero-setup convergecast: in an undirected
+        // first-DFS all non-tree edges are back edges, so the parent is
+        // the largest-named smaller neighbor.
+        for t in generators::Topology::ALL {
+            let g = t.build(14, 9);
+            let golden = sno_graph::traverse::first_dfs(&g, NodeId::new(0));
+            let net = Network::new(g, NodeId::new(0));
+            let o = golden_dfs_orientation(&net);
+            for p in net.nodes() {
+                assert_eq!(
+                    dfs_parent_port_from_names(&o, &net, p),
+                    golden.parent_port[p.index()],
+                    "{t}: node {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn convergecast_uses_n_minus_1_messages_and_reaches_everyone() {
+        for t in generators::Topology::ALL {
+            let g = t.build(16, 4);
+            let n = g.node_count();
+            let net = Network::new(g, NodeId::new(0));
+            let o = golden_dfs_orientation(&net);
+            let rep = convergecast_oriented(&net, &o);
+            assert_eq!(rep.messages, n as u64 - 1, "{t}");
+            assert_eq!(rep.reports_at_root, n, "{t}");
+        }
+    }
+
+    #[test]
+    fn petersen_convergecast() {
+        // Dense, highly symmetric, girth-5: a good adversary for the
+        // max-smaller-neighbor rule.
+        let g = generators::petersen();
+        let net = Network::new(g, NodeId::new(0));
+        let o = golden_dfs_orientation(&net);
+        let rep = convergecast_oriented(&net, &o);
+        assert_eq!(rep.messages, 9);
+        assert_eq!(rep.reports_at_root, 10);
+    }
+}

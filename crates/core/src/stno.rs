@@ -1,0 +1,496 @@
+//! **Algorithm 4.1.2 — `STNO`**: network orientation using a spanning
+//! tree.
+//!
+//! The protocol runs on top of any [`SpanningTree`] substrate and keeps
+//! four orientation variables per processor: the subtree weight
+//! `Weight_p`, the name `η_p`, the range starts `Start_p[q]` for each
+//! child, and the edge labels `π_p[l]`. Mechanics (Figure 4.1.1):
+//!
+//! 1. **weights, bottom-up** — every leaf reports `Weight = 1`; every
+//!    other node drives `Weight := 1 + Σ_{q ∈ D_p} Weight_q`
+//!    (`CalcWeight`);
+//! 2. **names, top-down** — the root takes `η = 0` and `Distribute`s the
+//!    remaining range over its children in port order, each child
+//!    receiving as many numbers as its subtree weighs; every node adopts
+//!    the lowest number of its range (`η := Start_{A_p}[p]`) and
+//!    redistributes the rest. The stabilized names are the preorder ranks;
+//! 3. **edge labels** — once `η` is valid a node labels *every* incident
+//!    edge, tree and non-tree, with `π_p[l] = (η_p − η_q) mod N`.
+//!
+//! Stabilization takes `O(h)` steps after the tree stabilizes (Theorem
+//! 4.2.3 and §4.2.3), measured in experiment E5.
+//!
+//! ## Faithfulness note
+//!
+//! The thesis text triggers `Distribute_p` only inside the node-labeling
+//! actions (`IN`/`RN`), whose guards watch `η_p` alone. Started from an
+//! arbitrary configuration in which `η_p` happens to be correct while
+//! `Start_p` is corrupt, no printed action would ever rewrite `Start_p`
+//! and the children below it could keep invalid names forever. We add the
+//! implied standalone repair action (`DS`: `η` valid ∧ `Start` differs
+//! from what `Distribute` would write → `Distribute`), which the paper's
+//! convergence proof (Lemma 4.2.1) implicitly assumes; it does not change
+//! the `O(h)` bound.
+
+use std::hash::Hash;
+
+use rand::Rng as _;
+use rand::RngCore;
+use sno_engine::protocol::ProjectedView;
+use sno_engine::{Network, NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_graph::{Port, RootedTree};
+use sno_tree::SpanningTree;
+
+use crate::orientation::{chordal_label, golden_preorder_orientation, Orientation};
+
+/// Per-processor state: the substrate's variables plus the orientation
+/// variables of Algorithm 4.1.2.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StnoState<S> {
+    /// The spanning-tree substrate's variables.
+    pub tree: S,
+    /// `Weight_p ∈ {1, …, N}` — the believed size of the subtree at `p`.
+    pub weight: u32,
+    /// The node name `η_p ∈ {0, …, N−1}`.
+    pub eta: u32,
+    /// `Start_p[l]` — the first name of the range granted to the child
+    /// behind port `l` (only child ports are meaningful).
+    pub start: Vec<u32>,
+    /// The edge labels `π_p[l]`, one per port (tree *and* non-tree edges).
+    pub pi: Vec<u32>,
+}
+
+/// Actions of `STNO` (grouped; the paper spells them per role as
+/// `{RN, RE, RW}`, `{IN, IE, IW}`, `{LN, LE, LW}` — the role only changes
+/// which target values the guards compare against).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StnoAction<A> {
+    /// A substrate action (tree maintenance).
+    Tree(A),
+    /// `IW`/`RW`/`LW`: `Weight := 1 + Σ Weight_q` (leaves: 1).
+    CalcWeight,
+    /// `IN`/`RN`/`LN`: adopt the name granted by the parent (0 at the
+    /// root), then `Distribute` and `Edgelabel` in the same atomic step.
+    NodeLabel,
+    /// The implied standalone `Distribute` repair (see module docs).
+    Distribute,
+    /// `IE`/`RE`/`LE`: rewrite every inconsistent `π_p[l]`.
+    EdgeLabel,
+}
+
+/// The `STNO` protocol over a spanning-tree substrate `T`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stno<T> {
+    tree: T,
+}
+
+fn tree_of<S>(s: &StnoState<S>) -> &S {
+    &s.tree
+}
+
+type TreeView<'a, S, V> = ProjectedView<'a, StnoState<S>, V, fn(&StnoState<S>) -> &S>;
+
+impl<T: SpanningTree> Stno<T> {
+    /// Wraps the substrate `tree`.
+    pub fn new(tree: T) -> Self {
+        Stno { tree }
+    }
+
+    /// The wrapped substrate.
+    pub fn tree(&self) -> &T {
+        &self.tree
+    }
+
+    fn project<'a, V: NodeView<StnoState<T::State>>>(view: &'a V) -> TreeView<'a, T::State, V> {
+        ProjectedView::new(view, tree_of as fn(&StnoState<T::State>) -> &T::State)
+    }
+
+    /// `CalcWeight` target: `1 + Σ_{q ∈ D_p} Weight_q` — uniformly `1` at
+    /// leaves (no children), saturating at `N` against corrupt inputs.
+    fn weight_target(&self, view: &impl NodeView<StnoState<T::State>>) -> u32 {
+        let proj = Self::project(view);
+        let cap = view.ctx().n_bound as u32;
+        let sum: u32 = self
+            .tree
+            .children_ports(&proj)
+            .iter()
+            .map(|&l| view.neighbor(l).weight)
+            .fold(1u32, |acc, w| acc.saturating_add(w));
+        sum.min(cap)
+    }
+
+    /// `Nodelabel` target: `0` at the root, otherwise `Start_{A_p}[p]`
+    /// read from the parent. `None` while the parent is unknown (substrate
+    /// still stabilizing).
+    fn eta_target(&self, view: &impl NodeView<StnoState<T::State>>) -> Option<u32> {
+        let ctx = view.ctx();
+        if ctx.is_root {
+            return Some(0);
+        }
+        let proj = Self::project(view);
+        let pp = self.tree.parent_port(&proj)?;
+        let slot = ctx.back_ports[pp.index()];
+        Some(view.neighbor(pp).start[slot.index()] % ctx.n_bound as u32)
+    }
+
+    /// `Distribute` target: `given := η_p; ∀q ∈ D_p :: Start_p[q] :=
+    /// given + 1; given := given + Weight_q` — children in port order.
+    /// Returns `(child ports, start values)`.
+    fn distribute_target(
+        &self,
+        view: &impl NodeView<StnoState<T::State>>,
+        eta: u32,
+    ) -> (Vec<Port>, Vec<u32>) {
+        let proj = Self::project(view);
+        let children = self.tree.children_ports(&proj);
+        let mut given = eta;
+        let mut starts = Vec::with_capacity(children.len());
+        for &l in &children {
+            starts.push(given.saturating_add(1));
+            given = given.saturating_add(view.neighbor(l).weight);
+        }
+        (children, starts)
+    }
+
+    fn start_invalid(&self, view: &impl NodeView<StnoState<T::State>>, eta: u32) -> bool {
+        let me = view.state();
+        let (children, starts) = self.distribute_target(view, eta);
+        children
+            .iter()
+            .zip(&starts)
+            .any(|(&l, &s)| me.start[l.index()] != s)
+    }
+
+    /// `InvalidEdgelabel(p)` against the current names.
+    fn invalid_edge_label(view: &impl NodeView<StnoState<T::State>>) -> bool {
+        let ctx = view.ctx();
+        let n = ctx.n_bound as u32;
+        let me = view.state();
+        (0..ctx.degree).any(|l| {
+            let q = view.neighbor(Port::new(l));
+            me.pi[l] != chordal_label(me.eta, q.eta, n)
+        })
+    }
+
+    fn relabel_edges(view: &impl NodeView<StnoState<T::State>>, s: &mut StnoState<T::State>) {
+        let ctx = view.ctx();
+        let n = ctx.n_bound as u32;
+        for l in 0..ctx.degree {
+            let q = view.neighbor(Port::new(l));
+            s.pi[l] = chordal_label(s.eta, q.eta, n);
+        }
+    }
+}
+
+impl<T: SpanningTree> Protocol for Stno<T> {
+    type State = StnoState<T::State>;
+    type Action = StnoAction<T::Action>;
+
+    fn enabled(&self, view: &impl NodeView<Self::State>, out: &mut Vec<Self::Action>) {
+        let proj = Self::project(view);
+        let mut tree_actions = Vec::new();
+        self.tree.enabled(&proj, &mut tree_actions);
+        out.extend(tree_actions.into_iter().map(StnoAction::Tree));
+
+        let me = view.state();
+        if me.weight != self.weight_target(view) {
+            out.push(StnoAction::CalcWeight);
+        }
+        if let Some(eta) = self.eta_target(view) {
+            if me.eta != eta {
+                out.push(StnoAction::NodeLabel);
+            } else {
+                if self.start_invalid(view, eta) {
+                    out.push(StnoAction::Distribute);
+                }
+                if Self::invalid_edge_label(view) {
+                    out.push(StnoAction::EdgeLabel);
+                }
+            }
+        }
+    }
+
+    fn apply(&self, view: &impl NodeView<Self::State>, action: &Self::Action) -> Self::State {
+        let mut s = view.state().clone();
+        match action {
+            StnoAction::Tree(a) => {
+                let proj = Self::project(view);
+                s.tree = self.tree.apply(&proj, a);
+            }
+            StnoAction::CalcWeight => {
+                s.weight = self.weight_target(view);
+            }
+            StnoAction::NodeLabel => {
+                // η := target; Distribute; Edgelabel — one atomic step, as
+                // in the paper's IN/RN/LN statements.
+                let eta = self.eta_target(view).expect("guard guarantees a target");
+                s.eta = eta;
+                let (children, starts) = self.distribute_target(view, eta);
+                for (&l, &v) in children.iter().zip(&starts) {
+                    s.start[l.index()] = v;
+                }
+                Self::relabel_edges(view, &mut s);
+            }
+            StnoAction::Distribute => {
+                let eta = s.eta;
+                let (children, starts) = self.distribute_target(view, eta);
+                for (&l, &v) in children.iter().zip(&starts) {
+                    s.start[l.index()] = v;
+                }
+            }
+            StnoAction::EdgeLabel => {
+                Self::relabel_edges(view, &mut s);
+            }
+        }
+        s
+    }
+
+    fn initial_state(&self, ctx: &NodeCtx) -> Self::State {
+        StnoState {
+            tree: self.tree.initial_state(ctx),
+            weight: 1,
+            eta: 0,
+            start: vec![0; ctx.degree],
+            pi: vec![0; ctx.degree],
+        }
+    }
+
+    fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> Self::State {
+        let n = ctx.n_bound as u32;
+        StnoState {
+            tree: self.tree.random_state(ctx, rng),
+            weight: rng.random_range(0..=n),
+            eta: rng.random_range(0..n),
+            start: (0..ctx.degree).map(|_| rng.random_range(0..=n)).collect(),
+            pi: (0..ctx.degree).map(|_| rng.random_range(0..n)).collect(),
+        }
+    }
+}
+
+impl<T> SpaceMeasured for Stno<T>
+where
+    T: SpanningTree + SpaceMeasured,
+{
+    fn state_bits(&self, ctx: &NodeCtx) -> usize {
+        // §4.2.3: Weight and η need log N bits each; Start and π each need
+        // Δ·log N — total O(Δ × log N) — plus the substrate (the extra
+        // O(Δ × log N) the conclusion charges STNO for its tree).
+        let log_n = (usize::BITS - ctx.n_bound.leading_zeros()) as usize;
+        (2 + 2 * ctx.degree) * log_n + self.tree.state_bits(ctx)
+    }
+}
+
+/// The orientation bits of `STNO`'s space usage alone (excluding the
+/// substrate) — the quantity §4.2.3 reports as `O(Δ × log N)`.
+pub fn stno_orientation_bits(ctx: &NodeCtx) -> usize {
+    let log_n = (usize::BITS - ctx.n_bound.leading_zeros()) as usize;
+    (2 + 2 * ctx.degree) * log_n
+}
+
+/// Extracts the orientation variables from a configuration.
+pub fn stno_orientation<S>(config: &[StnoState<S>]) -> Orientation {
+    Orientation {
+        names: config.iter().map(|s| s.eta).collect(),
+        labels: config.iter().map(|s| s.pi.clone()).collect(),
+    }
+}
+
+/// The specification `SP_NO`: unique names and chordal labels.
+pub fn stno_oriented<S>(net: &Network, config: &[StnoState<S>]) -> bool {
+    stno_orientation(config).satisfies_spec(net)
+}
+
+/// The stronger golden predicate against a concrete spanning tree: names
+/// equal the preorder ranks, weights equal the subtree sizes, labels are
+/// chordal.
+pub fn stno_golden<S>(net: &Network, tree: &RootedTree, config: &[StnoState<S>]) -> bool {
+    if stno_orientation(config) != golden_preorder_orientation(net, tree) {
+        return false;
+    }
+    let sizes = tree.subtree_sizes();
+    config
+        .iter()
+        .zip(&sizes)
+        .all(|(s, &w)| s.weight as usize == w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sno_engine::daemon::{
+        CentralFixedPriority, CentralRoundRobin, DistributedRandom, Synchronous,
+    };
+    use sno_engine::Simulation;
+    use sno_graph::{generators, traverse, NodeId};
+    use sno_tree::{BfsSpanningTree, OracleSpanningTree};
+
+    fn bfs_tree_of(g: &sno_graph::Graph) -> RootedTree {
+        let b = traverse::bfs(g, NodeId::new(0));
+        RootedTree::from_parents(g, NodeId::new(0), &b.parent).unwrap()
+    }
+
+    /// STNO over a frozen tree — the regime of the paper's `O(h)` claim.
+    fn oracle_fixture(g: sno_graph::Graph) -> (Network, Stno<OracleSpanningTree>, RootedTree) {
+        let tree = bfs_tree_of(&g);
+        let oracle = OracleSpanningTree::from_graph(&g, &tree);
+        (Network::new(g, NodeId::new(0)), Stno::new(oracle), tree)
+    }
+
+    #[test]
+    fn orients_paper_figure_tree() {
+        let (net, proto, tree) = oracle_fixture(generators::paper_example_stno());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sim = Simulation::from_random(&net, proto, &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 100_000);
+        assert!(run.converged, "STNO is silent once oriented");
+        assert!(stno_golden(&net, &tree, sim.config()));
+        let o = stno_orientation(sim.config());
+        // Figure 4.1.1: preorder names 0..4; weights 5,3,1,1,1.
+        assert_eq!(o.names, vec![0, 1, 2, 3, 4]);
+        let weights: Vec<u32> = sim.config().iter().map(|s| s.weight).collect();
+        assert_eq!(weights, vec![5, 3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn orients_many_topologies_from_arbitrary_states() {
+        for (i, t) in generators::Topology::ALL.into_iter().enumerate() {
+            let g = t.build(14, 3);
+            let (net, proto, tree) = oracle_fixture(g);
+            let mut rng = StdRng::seed_from_u64(60 + i as u64);
+            let mut sim = Simulation::from_random(&net, proto, &mut rng);
+            let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000_000);
+            assert!(run.converged, "topology {t}");
+            assert!(stno_golden(&net, &tree, sim.config()), "topology {t}");
+        }
+    }
+
+    #[test]
+    fn non_tree_edges_are_labeled_too() {
+        // A dense graph: most edges are chords of the BFS tree.
+        let (net, proto, tree) = oracle_fixture(generators::complete(8));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sim = Simulation::from_random(&net, proto, &mut rng);
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000_000);
+        assert!(stno_golden(&net, &tree, sim.config()));
+        let o = stno_orientation(sim.config());
+        assert!(o.sp2(&net), "every incident edge, tree or chord, labeled");
+        assert!(o.is_locally_symmetric(&net));
+    }
+
+    #[test]
+    fn converges_under_the_unfair_daemon() {
+        // Chapter 5: "STNO … requires an underlying protocol which
+        // maintains a spanning tree of the network with an unfair daemon."
+        let (net, proto, tree) = oracle_fixture(generators::random_connected(12, 8, 5));
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sim = Simulation::from_random(&net, proto, &mut rng);
+        let run = sim.run_until_silent(&mut CentralFixedPriority::new(), 1_000_000);
+        assert!(run.converged);
+        assert!(stno_golden(&net, &tree, sim.config()));
+    }
+
+    #[test]
+    fn stabilizes_in_height_rounds_after_tree_stabilizes() {
+        // §4.2.3: O(h) steps after the spanning tree stabilizes. Under the
+        // synchronous daemon rounds = steps; allow a small constant factor
+        // (one bottom-up weight wave + one top-down naming wave + labels).
+        for (g, h) in [
+            (generators::star(24), 1usize),
+            (generators::balanced_tree(2, 4), 4),
+            (generators::path(24), 23),
+        ] {
+            let (net, proto, _) = oracle_fixture(g);
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut sim = Simulation::from_random(&net, proto, &mut rng);
+            let run = sim.run_until_silent(&mut Synchronous::new(), 100_000);
+            assert!(run.converged);
+            let bound = (3 * h + 6) as u64;
+            assert!(
+                run.steps <= bound,
+                "h={h}: {} sync steps exceed {bound}",
+                run.steps
+            );
+        }
+    }
+
+    #[test]
+    fn full_stack_self_stabilizes_over_bfs_substrate() {
+        let g = generators::random_connected(10, 6, 2);
+        let tree = bfs_tree_of(&g);
+        let net = Network::new(g, NodeId::new(0));
+        let proto = Stno::new(BfsSpanningTree);
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sim = Simulation::from_random(&net, proto, &mut rng);
+            let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000_000);
+            assert!(run.converged, "seed {seed}");
+            assert!(stno_golden(&net, &tree, sim.config()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn full_stack_under_distributed_daemon() {
+        let g = generators::random_connected(11, 9, 14);
+        let tree = bfs_tree_of(&g);
+        let net = Network::new(g, NodeId::new(0));
+        let proto = Stno::new(BfsSpanningTree);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut sim = Simulation::from_random(&net, proto, &mut rng);
+        let run = sim.run_until_silent(&mut DistributedRandom::seeded(3), 2_000_000);
+        assert!(run.converged);
+        assert!(stno_golden(&net, &tree, sim.config()));
+    }
+
+    #[test]
+    fn stale_start_array_self_repairs() {
+        // The scenario motivating the DS repair action (module docs): all
+        // names correct, one Start slot corrupted.
+        let (net, proto, tree) = oracle_fixture(generators::paper_example_stno());
+        let mut sim = Simulation::from_initial(&net, proto);
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 100_000);
+        assert!(stno_golden(&net, &tree, sim.config()));
+
+        let mut bad = sim.state(NodeId::new(1)).clone();
+        bad.start[1] = 0; // child 2's range start corrupted
+        sim.set_state(NodeId::new(1), bad);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 100_000);
+        assert!(run.converged);
+        assert!(stno_golden(&net, &tree, sim.config()));
+    }
+
+    #[test]
+    fn closure_oriented_configuration_is_silent() {
+        let (net, proto, _) = oracle_fixture(generators::random_connected(9, 4, 3));
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sim = Simulation::from_random(&net, proto, &mut rng);
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000_000);
+        assert!(
+            sim.enabled_nodes().is_empty(),
+            "STNO over a frozen tree is silent at the fixpoint"
+        );
+    }
+
+    #[test]
+    fn loose_bound_still_orients() {
+        let g = generators::paper_example_stno();
+        let tree = bfs_tree_of(&g);
+        let oracle = OracleSpanningTree::from_graph(&g, &tree);
+        let net = Network::with_bound(g, NodeId::new(0), 12);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sim = Simulation::from_random(&net, Stno::new(oracle), &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 100_000);
+        assert!(run.converged);
+        assert!(stno_golden(&net, &tree, sim.config()));
+    }
+
+    #[test]
+    fn space_accounting_matches_paper_breakdown() {
+        let g = generators::star(9);
+        let net = Network::new(g, NodeId::new(0));
+        let hub = net.ctx(NodeId::new(0));
+        // Weight + η + Δ·Start + Δ·π, log N = 4 bits for N = 9.
+        assert_eq!(stno_orientation_bits(hub), (2 + 16) * 4);
+    }
+}

@@ -1,0 +1,258 @@
+//! Regeneration of the paper's worked figures as executable traces.
+//!
+//! * [`dftno_figure_trace`] reproduces **Figure 3.1.1** (steps i–x): the
+//!   token walks the 5-node example network `{r, a, b, c, d}` and the
+//!   trace records every `Nodelabel`/`UpdateMax` effect.
+//! * [`stno_figure_trace`] reproduces **Figure 4.1.1** (steps i–vi): the
+//!   bottom-up weight wave and the top-down naming wave on the 5-node
+//!   example tree.
+//!
+//! Both run the *real* protocols under a deterministic daemon and extract
+//! rows for the report binary (`report e2` / `report e3`) and the
+//! `dftno_trace` / `stno_trace` examples.
+
+use sno_engine::daemon::CentralRoundRobin;
+use sno_engine::{Network, Simulation};
+use sno_graph::{generators, NodeId};
+use sno_token::OracleToken;
+use sno_tree::OracleSpanningTree;
+
+use crate::dftno::{dftno_golden, Dftno, DftnoAction};
+use crate::stno::{stno_golden, Stno, StnoAction};
+
+/// One row of the Figure 3.1.1 trace: a token event and the orientation
+/// variables it wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DftnoTraceRow {
+    /// Sequence number of the event within the trace.
+    pub step: usize,
+    /// `"Forward"` or `"Backtrack"`.
+    pub event: &'static str,
+    /// The display name of the acting node (`r`, `a`, `b`, `c`, `d`).
+    pub node: &'static str,
+    /// `η` at the acting node after the step (`None` until it was named
+    /// this round).
+    pub eta: Option<u32>,
+    /// `Max` at the acting node after the step.
+    pub max: u32,
+}
+
+/// Runs `DFTNO` on the paper's Figure 3.1.1 network for one full round
+/// starting from the round boundary, recording the naming trace; then
+/// finishes stabilization and returns the final names alongside the rows.
+///
+/// The returned names are indexed by node id (`r=0, a=1, b=2, c=3, d=4`)
+/// and must equal the figure's `r=0, b=1, d=2, c=3, a=4`.
+pub fn dftno_figure_trace() -> (Vec<DftnoTraceRow>, Vec<u32>) {
+    let g = generators::paper_example_dftno();
+    let names = generators::paper_example_dftno_names();
+    let root = NodeId::new(0);
+    // The golden event word tells us which node acts next and whether the
+    // move is a Forward or a Backtrack — the oracle substrate replays it.
+    let dfs = sno_graph::traverse::first_dfs(&g, root);
+    let mut word: Vec<(NodeId, &'static str)> = vec![(root, "Forward")];
+    for ev in &dfs.euler {
+        word.push(match *ev {
+            sno_graph::traverse::EulerEvent::Forward { to, .. } => (to, "Forward"),
+            sno_graph::traverse::EulerEvent::Backtrack { to, .. } => (to, "Backtrack"),
+        });
+    }
+    let oracle = OracleToken::new(&g, root);
+    let net = Network::new(g, root);
+    let proto = Dftno::new(oracle);
+    let mut sim = Simulation::from_initial(&net, proto);
+
+    let mut rows = Vec::new();
+    let mut named = [false; 5];
+    for (step, &(node, event)) in word.iter().enumerate() {
+        // The oracle is sequential: the expected node holds the only
+        // enabled token action, and token actions sort first.
+        let actions = sim.enabled_actions(node);
+        assert!(
+            matches!(actions.first(), Some(DftnoAction::Token(_))),
+            "token action expected at {node}"
+        );
+        sim_apply(&mut sim, node, 0);
+        if event == "Forward" {
+            named[node.index()] = true;
+        }
+        let s = sim.state(node);
+        rows.push(DftnoTraceRow {
+            step: step + 1,
+            event,
+            node: names[node.index()],
+            eta: named[node.index()].then_some(s.eta),
+            max: s.max,
+        });
+    }
+    // Finish stabilizing the labels.
+    let mut random = sno_engine::daemon::CentralRandom::seeded(7);
+    let run = sim.run_until(&mut random, 100_000, |c| dftno_golden(&net, c));
+    assert!(run.converged, "figure network must orient");
+    let etas = sim.config().iter().map(|s| s.eta).collect();
+    (rows, etas)
+}
+
+/// Helper: execute action `action_index` of `node` through the simulation
+/// (a single-node "daemon").
+fn sim_apply<P: sno_engine::Protocol>(
+    sim: &mut Simulation<'_, P>,
+    node: NodeId,
+    action_index: usize,
+) {
+    struct One {
+        node: NodeId,
+        action_index: usize,
+    }
+    impl sno_engine::daemon::Daemon for One {
+        fn select(
+            &mut self,
+            enabled: &[sno_engine::daemon::EnabledNode],
+        ) -> Vec<sno_engine::daemon::Choice> {
+            let i = enabled
+                .iter()
+                .position(|e| e.node == self.node)
+                .expect("node must be enabled");
+            vec![sno_engine::daemon::Choice {
+                enabled_index: i,
+                action_index: self.action_index,
+            }]
+        }
+    }
+    let mut d = One { node, action_index };
+    sim.step(&mut d);
+}
+
+/// One row of the Figure 4.1.1 trace: a weight or naming step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StnoTraceRow {
+    /// Sequence number.
+    pub step: usize,
+    /// `"Weight"`, `"Name"`, or `"Labels"`.
+    pub phase: &'static str,
+    /// Acting node id.
+    pub node: usize,
+    /// `Weight` after the step.
+    pub weight: u32,
+    /// `η` after the step.
+    pub eta: u32,
+}
+
+/// Runs `STNO` on the paper's Figure 4.1.1 tree from a configuration with
+/// all weights and names corrupted, recording every `CalcWeight` /
+/// `Nodelabel` step until silence. Returns the rows, the final weights,
+/// and the final names (which must be `5,3,1,1,1` and `0,1,2,3,4`).
+pub fn stno_figure_trace() -> (Vec<StnoTraceRow>, Vec<u32>, Vec<u32>) {
+    let g = generators::paper_example_stno();
+    let golden = sno_graph::traverse::bfs(&g, NodeId::new(0));
+    let tree = sno_graph::RootedTree::from_parents(&g, NodeId::new(0), &golden.parent)
+        .expect("figure tree");
+    let oracle = OracleSpanningTree::from_graph(&g, &tree);
+    let net = Network::new(g, NodeId::new(0));
+    let proto = Stno::new(oracle);
+
+    // The figure starts from scratch: zero knowledge everywhere. Weight 0
+    // and a wrong η force every wave to be observed.
+    let mut config = Vec::new();
+    for p in net.nodes() {
+        let mut s = sno_engine::Protocol::initial_state(&proto, net.ctx(p));
+        s.weight = 0;
+        s.eta = 4 - p.index() as u32; // reversed names
+        config.push(s);
+    }
+    let mut sim = Simulation::new(&net, proto, config);
+    let mut daemon = CentralRoundRobin::new();
+    let mut rows = Vec::new();
+    let mut step = 0usize;
+    for _ in 0..10_000 {
+        let enabled = sim.enabled_nodes();
+        if enabled.is_empty() {
+            break;
+        }
+        let out = sim.step(&mut daemon);
+        if let sno_engine::StepOutcome::Executed(moves) = out {
+            for (node, action) in moves {
+                let phase = match action {
+                    StnoAction::CalcWeight => "Weight",
+                    StnoAction::NodeLabel => "Name",
+                    StnoAction::Distribute => "Name",
+                    StnoAction::EdgeLabel => "Labels",
+                    StnoAction::Tree(_) => continue,
+                };
+                step += 1;
+                let s = sim.state(node);
+                rows.push(StnoTraceRow {
+                    step,
+                    phase,
+                    node: node.index(),
+                    weight: s.weight,
+                    eta: s.eta,
+                });
+            }
+        }
+    }
+    assert!(
+        stno_golden(&net, &tree, sim.config()),
+        "figure tree must orient"
+    );
+    let weights = sim.config().iter().map(|s| s.weight).collect();
+    let etas = sim.config().iter().map(|s| s.eta).collect();
+    (rows, weights, etas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dftno_trace_matches_figure_3_1_1() {
+        let (rows, etas) = dftno_figure_trace();
+        // Final names: r=0, a=4, b=1, c=3, d=2.
+        assert_eq!(etas, vec![0, 4, 1, 3, 2]);
+        // The Forward sub-sequence is the figure's naming order with the
+        // figure's names and running maxima.
+        let forwards: Vec<(&str, Option<u32>)> = rows
+            .iter()
+            .filter(|r| r.event == "Forward")
+            .map(|r| (r.node, r.eta))
+            .collect();
+        assert_eq!(
+            forwards,
+            vec![
+                ("r", Some(0)),
+                ("b", Some(1)),
+                ("d", Some(2)),
+                ("c", Some(3)),
+                ("a", Some(4)),
+            ]
+        );
+        // Backtracks propagate the max: d and b learn 3, r learns 3 then 4.
+        let backs: Vec<(&str, u32)> = rows
+            .iter()
+            .filter(|r| r.event == "Backtrack")
+            .map(|r| (r.node, r.max))
+            .collect();
+        assert_eq!(backs, vec![("d", 3), ("b", 3), ("r", 3), ("r", 4)]);
+    }
+
+    #[test]
+    fn stno_trace_matches_figure_4_1_1() {
+        let (rows, weights, etas) = stno_figure_trace();
+        assert_eq!(weights, vec![5, 3, 1, 1, 1], "figure weights");
+        assert_eq!(etas, vec![0, 1, 2, 3, 4], "figure preorder names");
+        // Weight rows exist for every node and the root's weight settles
+        // at 5 only after its child's weight settled at 3 (bottom-up).
+        let root_final_w = rows
+            .iter()
+            .filter(|r| r.phase == "Weight" && r.node == 0 && r.weight == 5)
+            .map(|r| r.step)
+            .next_back()
+            .expect("root reaches weight 5");
+        let child_w3 = rows
+            .iter()
+            .find(|r| r.phase == "Weight" && r.node == 1 && r.weight == 3)
+            .expect("internal node reaches weight 3")
+            .step;
+        assert!(child_w3 < root_final_w, "bottom-up wave order");
+    }
+}

@@ -1,0 +1,160 @@
+//! Edge-case integration tests for the orientation protocols: degenerate
+//! networks, adversarial topologies, and bound slack.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sno_core::dftno::{dftno_golden, dftno_orientation, Dftno};
+use sno_core::stno::{stno_golden, stno_orientation, Stno};
+use sno_engine::daemon::{CentralRandom, CentralRoundRobin, LocallyCentralRandom};
+use sno_engine::{Network, Simulation};
+use sno_graph::{generators, traverse, NodeId, RootedTree};
+use sno_token::OracleToken;
+use sno_tree::{BfsSpanningTree, OracleSpanningTree};
+
+fn bfs_tree_of(g: &sno_graph::Graph) -> RootedTree {
+    let b = traverse::bfs(g, NodeId::new(0));
+    RootedTree::from_parents(g, NodeId::new(0), &b.parent).unwrap()
+}
+
+#[test]
+fn singleton_network_orients_trivially() {
+    // One processor, zero edges: the root names itself 0; there is nothing
+    // to label. Both protocols must handle the degenerate case.
+    let g = generators::singleton();
+    let root = NodeId::new(0);
+    let oracle = OracleToken::new(&g, root);
+    let net = Network::new(g, root);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut sim = Simulation::from_random(&net, Dftno::new(oracle), &mut rng);
+    let run = sim.run_until(&mut CentralRoundRobin::new(), 1_000, |c| {
+        dftno_golden(&net, c)
+    });
+    assert!(run.converged);
+    assert_eq!(dftno_orientation(sim.config()).names, vec![0]);
+}
+
+#[test]
+fn singleton_network_stno() {
+    let g = generators::singleton();
+    let tree = bfs_tree_of(&g);
+    let oracle = OracleSpanningTree::from_graph(&g, &tree);
+    let net = Network::new(g, NodeId::new(0));
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut sim = Simulation::from_random(&net, Stno::new(oracle), &mut rng);
+    let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000);
+    assert!(run.converged);
+    assert!(stno_golden(&net, &tree, sim.config()));
+}
+
+#[test]
+fn two_node_network() {
+    let g = generators::path(2);
+    let root = NodeId::new(0);
+    let oracle = OracleToken::new(&g, root);
+    let net = Network::new(g, root);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut sim = Simulation::from_random(&net, Dftno::new(oracle), &mut rng);
+    let run = sim.run_until(&mut CentralRandom::seeded(1), 10_000, |c| {
+        dftno_golden(&net, c)
+    });
+    assert!(run.converged);
+    let o = dftno_orientation(sim.config());
+    assert_eq!(o.names, vec![0, 1]);
+    // With N = 2 both directions of the single edge carry label 1.
+    assert_eq!(o.labels, vec![vec![1], vec![1]]);
+}
+
+#[test]
+fn petersen_graph_both_protocols() {
+    let g = generators::petersen();
+    let root = NodeId::new(0);
+
+    let oracle = OracleToken::new(&g, root);
+    let net = Network::new(g.clone(), root);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut sim = Simulation::from_random(&net, Dftno::new(oracle), &mut rng);
+    let run = sim.run_until(&mut CentralRandom::seeded(2), 1_000_000, |c| {
+        dftno_golden(&net, c)
+    });
+    assert!(run.converged, "DFTNO on the Petersen graph");
+
+    let tree = bfs_tree_of(&g);
+    let mut sim = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+    let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000_000);
+    assert!(run.converged, "STNO on the Petersen graph");
+    assert!(stno_golden(&net, &tree, sim.config()));
+}
+
+#[test]
+fn complete_bipartite_with_loose_bound() {
+    let g = generators::complete_bipartite(3, 4);
+    let tree = bfs_tree_of(&g);
+    let net = Network::with_bound(g, NodeId::new(0), 20);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut sim = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+    let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000_000);
+    assert!(run.converged);
+    assert!(stno_golden(&net, &tree, sim.config()));
+    let o = stno_orientation(sim.config());
+    assert!(o.sp1(20));
+    assert!(o.sp2(&net), "labels are taken modulo the loose N = 20");
+}
+
+#[test]
+fn wheel_hub_root_vs_rim_root() {
+    // Rooting at the hub (ecc 1) vs at a rim node (ecc 2) produces
+    // different but equally valid orientations.
+    let g = generators::wheel(8);
+    for root in [NodeId::new(0), NodeId::new(3)] {
+        let tree = {
+            let b = traverse::bfs(&g, root);
+            RootedTree::from_parents(&g, root, &b.parent).unwrap()
+        };
+        let oracle = OracleSpanningTree::from_graph(&g, &tree);
+        let net = Network::new(g.clone(), root);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sim = Simulation::from_random(&net, Stno::new(oracle), &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000_000);
+        assert!(run.converged, "root {root}");
+        assert!(stno_golden(&net, &tree, sim.config()), "root {root}");
+        // The root always gets name 0.
+        assert_eq!(stno_orientation(sim.config()).names[root.index()], 0);
+    }
+}
+
+#[test]
+fn stno_under_locally_central_daemon() {
+    let g = generators::random_connected(14, 9, 5);
+    let tree = bfs_tree_of(&g);
+    let net = Network::new(g, NodeId::new(0));
+    let mut daemon = LocallyCentralRandom::seeded(8, &net);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut sim = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+    let run = sim.run_until_silent(&mut daemon, 2_000_000);
+    assert!(run.converged);
+    assert!(stno_golden(&net, &tree, sim.config()));
+}
+
+#[test]
+fn dftno_max_values_track_subtree_maxima_mid_round() {
+    // White-box check of UpdateMax: after a full stabilized round, every
+    // node's Max is at least its own name and at most n − 1.
+    let g = generators::random_connected(10, 6, 7);
+    let root = NodeId::new(0);
+    let oracle = OracleToken::new(&g, root);
+    let net = Network::new(g, root);
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut sim = Simulation::from_random(&net, Dftno::new(oracle), &mut rng);
+    let run = sim.run_until(&mut CentralRandom::seeded(3), 1_000_000, |c| {
+        dftno_golden(&net, c)
+    });
+    assert!(run.converged);
+    let mut daemon = CentralRandom::seeded(4);
+    for _ in 0..500 {
+        sim.step(&mut daemon);
+        for p in net.nodes() {
+            let s = sim.state(p);
+            assert!(s.max < 10, "Max stays within 0..n");
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Daemons (schedulers) — the adversary of a self-stabilizing protocol.
+//!
+//! The paper's execution model is the **distributed daemon** \[6\]: at each
+//! computation step a non-empty subset of the enabled processors each
+//! execute one enabled action, with guards evaluated in the pre-step
+//! configuration. A **weakly fair** daemon must eventually select any
+//! continuously enabled processor; an **unfair** daemon has no such
+//! obligation as long as it selects *some* enabled processor.
+//!
+//! Implementations provided here:
+//!
+//! | daemon | subset | fairness |
+//! |---|---|---|
+//! | [`CentralRoundRobin`] | one node | weakly fair (by rotation) |
+//! | [`CentralRandom`] | one node | fair with probability 1 |
+//! | [`CentralFixedPriority`] | one node | **unfair** (can starve) |
+//! | [`Synchronous`] | all enabled | fair |
+//! | [`DistributedRandom`] | random non-empty subset | fair with probability 1 |
+//! | [`LocallyCentralRandom`] | random independent subset | fair with probability 1 |
+//!
+//! When a node has several enabled actions the daemon also picks which one
+//! runs — randomized daemons exercise that freedom adversarially.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sno_graph::NodeId;
+
+/// One processor with at least one enabled action, as presented to a
+/// daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnabledNode {
+    /// The processor.
+    pub node: NodeId,
+    /// How many distinct actions are enabled at it.
+    pub action_count: usize,
+}
+
+/// One scheduling decision: run action `action_index` of the processor at
+/// `enabled_index` (an index into the slice passed to
+/// [`Daemon::select`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    /// Index into the enabled-node slice.
+    pub enabled_index: usize,
+    /// Which of that node's enabled actions to execute.
+    pub action_index: usize,
+}
+
+/// A scheduler in the paper's sense.
+///
+/// Contract: given a non-empty slice of enabled processors, return a
+/// non-empty set of [`Choice`]s with distinct `enabled_index` values and
+/// in-range `action_index` values. The simulation validates this and panics
+/// on a misbehaving daemon.
+pub trait Daemon {
+    /// Selects which enabled processors execute in this computation step.
+    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice>;
+
+    /// A short human-readable name, used in experiment tables.
+    fn name(&self) -> &'static str {
+        "daemon"
+    }
+}
+
+impl<D: Daemon + ?Sized> Daemon for &mut D {
+    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+        (**self).select(enabled)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<D: Daemon + ?Sized> Daemon for Box<D> {
+    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+        (**self).select(enabled)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Weakly fair central daemon: activates one processor per step, rotating
+/// through node identifiers so that a continuously enabled processor is
+/// selected within `n` steps.
+#[derive(Debug, Clone, Default)]
+pub struct CentralRoundRobin {
+    cursor: usize,
+}
+
+impl CentralRoundRobin {
+    /// Creates the daemon with its cursor at node 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Daemon for CentralRoundRobin {
+    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+        debug_assert!(!enabled.is_empty());
+        // Pick the enabled node with the smallest index >= cursor, wrapping.
+        let pick = enabled
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.node.index() >= self.cursor)
+            .map(|(i, _)| i)
+            .next()
+            .unwrap_or(0);
+        self.cursor = enabled[pick].node.index() + 1;
+        vec![Choice {
+            enabled_index: pick,
+            action_index: 0,
+        }]
+    }
+
+    fn name(&self) -> &'static str {
+        "central-round-robin"
+    }
+}
+
+/// Central daemon choosing a uniformly random enabled processor and a
+/// uniformly random enabled action — fair with probability 1.
+#[derive(Debug, Clone)]
+pub struct CentralRandom {
+    rng: StdRng,
+}
+
+impl CentralRandom {
+    /// Creates the daemon from a seed (runs are reproducible).
+    pub fn seeded(seed: u64) -> Self {
+        CentralRandom {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Daemon for CentralRandom {
+    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+        debug_assert!(!enabled.is_empty());
+        let i = self.rng.random_range(0..enabled.len());
+        let a = self.rng.random_range(0..enabled[i].action_count);
+        vec![Choice {
+            enabled_index: i,
+            action_index: a,
+        }]
+    }
+
+    fn name(&self) -> &'static str {
+        "central-random"
+    }
+}
+
+/// **Unfair** central daemon: always activates the enabled processor with
+/// the lowest node index (first action). Can starve every other processor —
+/// the adversary the paper's `STNO` claims to tolerate once the spanning
+/// tree is in place.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CentralFixedPriority;
+
+impl CentralFixedPriority {
+    /// Creates the daemon.
+    pub fn new() -> Self {
+        CentralFixedPriority
+    }
+}
+
+impl Daemon for CentralFixedPriority {
+    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+        debug_assert!(!enabled.is_empty());
+        let pick = enabled
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.node.index())
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        vec![Choice {
+            enabled_index: pick,
+            action_index: 0,
+        }]
+    }
+
+    fn name(&self) -> &'static str {
+        "central-fixed-priority"
+    }
+}
+
+/// Synchronous daemon: every enabled processor executes (its first enabled
+/// action) at every step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Synchronous;
+
+impl Synchronous {
+    /// Creates the daemon.
+    pub fn new() -> Self {
+        Synchronous
+    }
+}
+
+impl Daemon for Synchronous {
+    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+        (0..enabled.len())
+            .map(|i| Choice {
+                enabled_index: i,
+                action_index: 0,
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "synchronous"
+    }
+}
+
+/// The distributed daemon of the paper: a uniformly random non-empty subset
+/// of the enabled processors executes, each running a uniformly random
+/// enabled action. Fair with probability 1.
+#[derive(Debug, Clone)]
+pub struct DistributedRandom {
+    rng: StdRng,
+    /// Probability that each enabled node is included in the subset.
+    include: f64,
+}
+
+impl DistributedRandom {
+    /// Creates the daemon from a seed with inclusion probability ½.
+    pub fn seeded(seed: u64) -> Self {
+        Self::with_probability(seed, 0.5)
+    }
+
+    /// Creates the daemon with a custom per-node inclusion probability in
+    /// `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `include` is not in `(0, 1]`.
+    pub fn with_probability(seed: u64, include: f64) -> Self {
+        assert!(include > 0.0 && include <= 1.0, "probability out of range");
+        DistributedRandom {
+            rng: StdRng::seed_from_u64(seed),
+            include,
+        }
+    }
+}
+
+impl Daemon for DistributedRandom {
+    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+        debug_assert!(!enabled.is_empty());
+        let mut picks: Vec<Choice> = Vec::new();
+        for (i, e) in enabled.iter().enumerate() {
+            if self.rng.random_bool(self.include) {
+                picks.push(Choice {
+                    enabled_index: i,
+                    action_index: self.rng.random_range(0..e.action_count),
+                });
+            }
+        }
+        if picks.is_empty() {
+            let i = self.rng.random_range(0..enabled.len());
+            picks.push(Choice {
+                enabled_index: i,
+                action_index: self.rng.random_range(0..enabled[i].action_count),
+            });
+        }
+        picks
+    }
+
+    fn name(&self) -> &'static str {
+        "distributed-random"
+    }
+}
+
+/// The **locally central** daemon: a random *independent* subset of the
+/// enabled processors executes — no two neighbors act in the same step.
+/// This is the classic intermediate model between the central and the
+/// fully distributed daemon; protocols correct under the distributed
+/// daemon are a fortiori correct here, which the test suites exercise.
+#[derive(Debug, Clone)]
+pub struct LocallyCentralRandom {
+    rng: StdRng,
+    /// `adj[u]` = neighbor node indices of `u`.
+    adj: Vec<Vec<usize>>,
+}
+
+impl LocallyCentralRandom {
+    /// Creates the daemon from a seed and the network's topology (the
+    /// daemon — unlike the processors — is allowed global knowledge).
+    pub fn seeded(seed: u64, net: &crate::Network) -> Self {
+        let adj = net
+            .nodes()
+            .map(|p| {
+                net.graph()
+                    .neighbors(p)
+                    .iter()
+                    .map(|q| q.index())
+                    .collect()
+            })
+            .collect();
+        LocallyCentralRandom {
+            rng: StdRng::seed_from_u64(seed),
+            adj,
+        }
+    }
+}
+
+impl Daemon for LocallyCentralRandom {
+    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+        debug_assert!(!enabled.is_empty());
+        // Greedy independent set over a random permutation of the enabled
+        // processors: always non-empty, never two neighbors.
+        let mut order: Vec<usize> = (0..enabled.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = self.rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut blocked = vec![false; self.adj.len()];
+        let mut picks = Vec::new();
+        for i in order {
+            let node = enabled[i].node.index();
+            if blocked[node] {
+                continue;
+            }
+            blocked[node] = true;
+            for &q in &self.adj[node] {
+                blocked[q] = true;
+            }
+            picks.push(Choice {
+                enabled_index: i,
+                action_index: self.rng.random_range(0..enabled[i].action_count),
+            });
+        }
+        debug_assert!(!picks.is_empty());
+        picks
+    }
+
+    fn name(&self) -> &'static str {
+        "locally-central-random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled(nodes: &[usize]) -> Vec<EnabledNode> {
+        nodes
+            .iter()
+            .map(|&i| EnabledNode {
+                node: NodeId::new(i),
+                action_count: 2,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut d = CentralRoundRobin::new();
+        let e = enabled(&[0, 1, 2]);
+        let picks: Vec<usize> = (0..6)
+            .map(|_| d.select(&e)[0].enabled_index)
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_disabled() {
+        let mut d = CentralRoundRobin::new();
+        let e = enabled(&[1, 5]);
+        assert_eq!(d.select(&e)[0].enabled_index, 0); // node 1
+        assert_eq!(d.select(&e)[0].enabled_index, 1); // node 5
+        assert_eq!(d.select(&e)[0].enabled_index, 0); // wraps to node 1
+    }
+
+    #[test]
+    fn fixed_priority_always_picks_lowest() {
+        let mut d = CentralFixedPriority::new();
+        let e = enabled(&[4, 2, 7]);
+        for _ in 0..3 {
+            let c = d.select(&e);
+            assert_eq!(e[c[0].enabled_index].node, NodeId::new(2));
+        }
+    }
+
+    #[test]
+    fn synchronous_selects_everyone() {
+        let mut d = Synchronous::new();
+        let e = enabled(&[0, 3, 4]);
+        let c = d.select(&e);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn distributed_random_is_nonempty_and_valid() {
+        let mut d = DistributedRandom::seeded(9);
+        let e = enabled(&[0, 1, 2, 3]);
+        for _ in 0..100 {
+            let c = d.select(&e);
+            assert!(!c.is_empty());
+            let mut seen = std::collections::HashSet::new();
+            for ch in &c {
+                assert!(ch.enabled_index < e.len());
+                assert!(ch.action_index < 2);
+                assert!(seen.insert(ch.enabled_index), "distinct nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn central_random_is_reproducible() {
+        let e = enabled(&[0, 1, 2, 3, 4]);
+        let mut a = CentralRandom::seeded(7);
+        let mut b = CentralRandom::seeded(7);
+        for _ in 0..20 {
+            assert_eq!(a.select(&e), b.select(&e));
+        }
+    }
+
+    #[test]
+    fn locally_central_never_picks_neighbors() {
+        let g = sno_graph::generators::ring(6);
+        let net = crate::Network::new(g, NodeId::new(0));
+        let mut d = LocallyCentralRandom::seeded(3, &net);
+        let e = enabled(&[0, 1, 2, 3, 4, 5]);
+        for _ in 0..200 {
+            let picks = d.select(&e);
+            assert!(!picks.is_empty());
+            let chosen: Vec<usize> =
+                picks.iter().map(|c| e[c.enabled_index].node.index()).collect();
+            for &u in &chosen {
+                for &v in &chosen {
+                    if u != v {
+                        // On a 6-ring, neighbors differ by 1 mod 6.
+                        assert_ne!((u + 1) % 6, v, "{u} and {v} are neighbors");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locally_central_drives_protocols() {
+        let g = sno_graph::generators::path(8);
+        let net = crate::Network::new(g, NodeId::new(0));
+        let mut d = LocallyCentralRandom::seeded(5, &net);
+        let mut sim = crate::Simulation::from_initial(&net, crate::examples::HopDistance);
+        let run = sim.run_until_silent(&mut d, 100_000);
+        assert!(run.converged);
+        assert!(crate::examples::hop_distance_legit(&net, sim.config()));
+    }
+}

@@ -1,0 +1,128 @@
+//! A minimal self-stabilizing protocol used by the engine's own tests and
+//! doc examples: hop-distance-to-root propagation.
+//!
+//! Each processor maintains one variable `v ∈ {0, …, N}`. The root drives
+//! `v` to `0`; every other processor drives `v` to `min(1 + min_q v_q, N)`.
+//! This is the classic silent self-stabilizing distance computation: from
+//! any initial configuration it converges, under any weakly fair daemon, to
+//! `v_p = dist(p, r)`.
+
+use rand::RngCore;
+
+use crate::network::NodeCtx;
+use crate::protocol::{neighbor_states, Enumerable, NodeView, Protocol, SpaceMeasured};
+
+/// Silent self-stabilizing hop-distance computation (see module docs).
+///
+/// Kept intentionally tiny: one variable, one action. The "real" protocols
+/// live in `sno-token`, `sno-tree`, and `sno-core`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HopDistance;
+
+/// The single action of [`HopDistance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recompute;
+
+impl HopDistance {
+    fn target(&self, view: &impl NodeView<u32>) -> u32 {
+        let ctx = view.ctx();
+        if ctx.is_root {
+            0
+        } else {
+            let best = neighbor_states(view)
+                .map(|(_, &v)| v)
+                .min()
+                .unwrap_or(ctx.n_bound as u32);
+            best.saturating_add(1).min(ctx.n_bound as u32)
+        }
+    }
+}
+
+impl Protocol for HopDistance {
+    type State = u32;
+    type Action = Recompute;
+
+    fn enabled(&self, view: &impl NodeView<u32>, out: &mut Vec<Recompute>) {
+        if *view.state() != self.target(view) {
+            out.push(Recompute);
+        }
+    }
+
+    fn apply(&self, view: &impl NodeView<u32>, _action: &Recompute) -> u32 {
+        self.target(view)
+    }
+
+    fn initial_state(&self, ctx: &NodeCtx) -> u32 {
+        ctx.n_bound as u32
+    }
+
+    fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> u32 {
+        rng.next_u32() % (ctx.n_bound as u32 + 1)
+    }
+}
+
+impl Enumerable for HopDistance {
+    fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<u32> {
+        (0..=ctx.n_bound as u32).collect()
+    }
+}
+
+impl SpaceMeasured for HopDistance {
+    fn state_bits(&self, ctx: &NodeCtx) -> usize {
+        usize::BITS as usize - (ctx.n_bound + 1).leading_zeros() as usize
+    }
+}
+
+/// The legitimacy predicate of [`HopDistance`]: every `v_p` equals the true
+/// hop distance to the root.
+pub fn hop_distance_legit(net: &crate::Network, config: &[u32]) -> bool {
+    let golden = sno_graph::traverse::bfs(net.graph(), net.root());
+    config
+        .iter()
+        .zip(&golden.dist)
+        .all(|(&v, &d)| v as usize == d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::CentralRoundRobin;
+    use crate::network::Network;
+    use crate::sim::Simulation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sno_graph::NodeId;
+
+    #[test]
+    fn converges_from_initial() {
+        let g = sno_graph::generators::ring(7);
+        let net = Network::new(g, NodeId::new(0));
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 10_000);
+        assert!(run.converged);
+        assert!(hop_distance_legit(&net, sim.config()));
+    }
+
+    #[test]
+    fn converges_from_random_states() {
+        let g = sno_graph::generators::random_connected(12, 8, 3);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let mut sim = Simulation::from_random(&net, HopDistance, &mut rng);
+            let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 100_000);
+            assert!(run.converged);
+            assert!(hop_distance_legit(&net, sim.config()));
+        }
+    }
+
+    #[test]
+    fn silent_once_legitimate() {
+        let g = sno_graph::generators::path(5);
+        let net = Network::new(g, NodeId::new(0));
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 10_000);
+        // No action is enabled in the stabilized configuration.
+        assert!(sim.enabled_nodes().is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Transient-fault injection.
+//!
+//! A transient fault in the self-stabilization model arbitrarily corrupts
+//! the variables of some processors (but not the code, the topology, or the
+//! root designation). Injecting faults into a stabilized simulation and
+//! measuring re-convergence reproduces the paper's central promise: the
+//! system "recovers to a legal configuration in a finite number of steps"
+//! without external intervention.
+
+use rand::seq::index::sample;
+use rand::RngCore;
+use sno_graph::NodeId;
+
+use crate::protocol::Protocol;
+use crate::sim::Simulation;
+
+/// Overwrites the state of each node in `nodes` with an arbitrary
+/// (protocol-sampled) state.
+pub fn corrupt_nodes<P: Protocol>(
+    sim: &mut Simulation<'_, P>,
+    nodes: &[NodeId],
+    rng: &mut dyn RngCore,
+) {
+    for &p in nodes {
+        let ctx = sim.network().ctx(p);
+        let s = sim.protocol().random_state(ctx, rng);
+        sim.set_state(p, s);
+    }
+}
+
+/// Corrupts `k` distinct uniformly chosen processors; returns which ones.
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the network size.
+pub fn corrupt_random<P: Protocol>(
+    sim: &mut Simulation<'_, P>,
+    k: usize,
+    rng: &mut (impl RngCore + Clone),
+) -> Vec<NodeId> {
+    let n = sim.network().node_count();
+    assert!(k <= n, "cannot corrupt more processors than exist");
+    let picked: Vec<NodeId> = sample(rng, n, k).into_iter().map(NodeId::new).collect();
+    corrupt_nodes(sim, &picked, rng);
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::CentralRoundRobin;
+    use crate::examples::{hop_distance_legit, HopDistance};
+    use crate::network::Network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovery_after_targeted_fault() {
+        let g = sno_graph::generators::ring(9);
+        let net = Network::new(g, NodeId::new(0));
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 10_000);
+        assert!(hop_distance_legit(&net, sim.config()));
+
+        let mut rng = StdRng::seed_from_u64(1);
+        corrupt_nodes(&mut sim, &[NodeId::new(4)], &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 10_000);
+        assert!(run.converged);
+        assert!(hop_distance_legit(&net, sim.config()));
+    }
+
+    #[test]
+    fn recovery_after_random_faults_of_any_size() {
+        let g = sno_graph::generators::random_connected(14, 10, 2);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(77);
+        for k in [1, 4, 14] {
+            let mut sim = Simulation::from_initial(&net, HopDistance);
+            sim.run_until_silent(&mut CentralRoundRobin::new(), 100_000);
+            let hit = corrupt_random(&mut sim, k, &mut rng);
+            assert_eq!(hit.len(), k);
+            let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 100_000);
+            assert!(run.converged, "k = {k}");
+            assert!(hop_distance_legit(&net, sim.config()), "k = {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot corrupt")]
+    fn rejects_oversized_fault() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = corrupt_random(&mut sim, 4, &mut rng);
+    }
+}

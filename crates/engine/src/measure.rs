@@ -1,0 +1,139 @@
+//! Stabilization measurement helpers: run many seeded trials of a
+//! convergence experiment and aggregate move/round statistics — the
+//! building block of the complexity experiments (E4/E5/E7/E8/E11).
+
+use crate::sim::RunResult;
+
+/// Aggregated statistics over several seeded runs of the same experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StabilizationStats {
+    /// Number of trials.
+    pub trials: u32,
+    /// How many trials converged within budget.
+    pub converged: u32,
+    /// Mean moves over the converged trials.
+    pub mean_moves: f64,
+    /// Minimum moves over the converged trials.
+    pub min_moves: u64,
+    /// Maximum moves over the converged trials.
+    pub max_moves: u64,
+    /// Mean rounds over the converged trials.
+    pub mean_rounds: f64,
+    /// Maximum rounds over the converged trials.
+    pub max_rounds: u64,
+}
+
+impl StabilizationStats {
+    /// `true` iff every trial converged.
+    pub fn all_converged(&self) -> bool {
+        self.converged == self.trials
+    }
+}
+
+/// Runs `trial(seed)` for `seeds` seeds and aggregates the results.
+///
+/// The closure owns the whole experiment (build the simulation from the
+/// seed, run it, return the [`RunResult`]); this helper only does the
+/// bookkeeping, so it composes with any protocol/daemon/predicate combo.
+///
+/// # Example
+///
+/// ```
+/// use sno_engine::measure::stabilization_stats;
+/// use sno_engine::daemon::CentralRoundRobin;
+/// use sno_engine::examples::HopDistance;
+/// use sno_engine::{Network, Simulation};
+/// use rand::SeedableRng;
+///
+/// let net = Network::new(sno_graph::generators::ring(8), sno_graph::NodeId::new(0));
+/// let stats = stabilization_stats(5, |seed| {
+///     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+///     let mut sim = Simulation::from_random(&net, HopDistance, &mut rng);
+///     sim.run_until_silent(&mut CentralRoundRobin::new(), 100_000)
+/// });
+/// assert!(stats.all_converged());
+/// assert!(stats.mean_moves > 0.0);
+/// ```
+pub fn stabilization_stats(seeds: u64, mut trial: impl FnMut(u64) -> RunResult) -> StabilizationStats {
+    assert!(seeds > 0, "at least one trial");
+    let mut stats = StabilizationStats {
+        trials: seeds as u32,
+        converged: 0,
+        mean_moves: 0.0,
+        min_moves: u64::MAX,
+        max_moves: 0,
+        mean_rounds: 0.0,
+        max_rounds: 0,
+    };
+    let mut total_moves = 0u64;
+    let mut total_rounds = 0u64;
+    for seed in 0..seeds {
+        let r = trial(seed);
+        if !r.converged {
+            continue;
+        }
+        stats.converged += 1;
+        total_moves += r.moves;
+        total_rounds += r.rounds;
+        stats.min_moves = stats.min_moves.min(r.moves);
+        stats.max_moves = stats.max_moves.max(r.moves);
+        stats.max_rounds = stats.max_rounds.max(r.rounds);
+    }
+    if stats.converged > 0 {
+        stats.mean_moves = total_moves as f64 / stats.converged as f64;
+        stats.mean_rounds = total_rounds as f64 / stats.converged as f64;
+    } else {
+        stats.min_moves = 0;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::CentralRoundRobin;
+    use crate::examples::HopDistance;
+    use crate::{Network, Simulation};
+    use rand::SeedableRng;
+    use sno_graph::NodeId;
+
+    #[test]
+    fn aggregates_converged_trials() {
+        let net = Network::new(sno_graph::generators::path(6), NodeId::new(0));
+        let stats = stabilization_stats(8, |seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut sim = Simulation::from_random(&net, HopDistance, &mut rng);
+            sim.run_until_silent(&mut CentralRoundRobin::new(), 100_000)
+        });
+        assert!(stats.all_converged());
+        assert!(stats.min_moves <= stats.mean_moves.round() as u64);
+        assert!(stats.mean_moves.round() as u64 <= stats.max_moves);
+    }
+
+    #[test]
+    fn reports_non_convergence() {
+        let net = Network::new(sno_graph::generators::path(6), NodeId::new(0));
+        let stats = stabilization_stats(3, |seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut sim = Simulation::from_random(&net, HopDistance, &mut rng);
+            // A budget of 0 steps cannot converge from random states.
+            sim.run_until(&mut CentralRoundRobin::new(), 0, |c| {
+                crate::examples::hop_distance_legit(&net, c)
+            })
+        });
+        assert_eq!(stats.converged, 0);
+        assert!(!stats.all_converged());
+        assert_eq!(stats.min_moves, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn rejects_zero_trials() {
+        let _ = stabilization_stats(0, |_| RunResult {
+            converged: true,
+            steps: 0,
+            moves: 0,
+            rounds: 0,
+        });
+    }
+}

@@ -1,0 +1,492 @@
+//! Bounded exhaustive verification of self-stabilization.
+//!
+//! Definition 2.1.2 of the paper calls a protocol self-stabilizing for a
+//! specification iff there is a legitimacy predicate `L` with
+//!
+//! 1. **correctness/closure** — every computation from a legitimate
+//!    configuration satisfies the specification and stays in `L`, and
+//! 2. **convergence** — `true ▷ L`: every computation from *any*
+//!    configuration reaches `L`.
+//!
+//! For small networks both conditions can be checked *exhaustively* by
+//! enumerating every configuration (the cartesian product of the per-node
+//! state spaces of an [`Enumerable`] protocol):
+//!
+//! * [`ModelChecker::check_closure`] examines every single-processor
+//!   transition out of every legitimate configuration (the central daemon;
+//!   a distributed-daemon step is a commuting union of such writes);
+//! * [`ModelChecker::check_convergence_any_schedule`] proves convergence
+//!   under **every** central schedule, including unfair ones, by showing
+//!   the illegitimate region of the transition graph has no cycles and no
+//!   deadlocks (the check `STNO` needs — it claims an unfair daemon);
+//! * [`ModelChecker::check_convergence_round_robin`] proves convergence
+//!   under the weakly fair round-robin central daemon by walking the
+//!   deterministic schedule from every `(configuration, cursor)` pair (the
+//!   check matching `DFTNO`'s weakly fair daemon assumption).
+
+use std::collections::HashMap;
+
+use sno_graph::NodeId;
+
+use crate::network::Network;
+use crate::protocol::{ConfigView, Enumerable};
+
+/// The model-checking request was too large to enumerate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooLarge {
+    /// Number of configurations the product would contain.
+    pub configs: u128,
+    /// The configured enumeration limit.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for TooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "state space of {} configurations exceeds the limit of {}",
+            self.configs, self.limit
+        )
+    }
+}
+
+impl std::error::Error for TooLarge {}
+
+/// Why verification failed, with the offending configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation<S> {
+    /// A legitimate configuration has an illegitimate successor.
+    ClosureBroken {
+        /// The legitimate configuration.
+        config: Vec<S>,
+        /// Its illegitimate successor.
+        successor: Vec<S>,
+    },
+    /// An illegitimate configuration has no enabled processor: the system
+    /// is stuck outside `L` forever.
+    Deadlock {
+        /// The stuck configuration.
+        config: Vec<S>,
+    },
+    /// A cycle through illegitimate configurations exists: some (unfair)
+    /// schedule never converges.
+    IllegitimateCycle {
+        /// A configuration on the cycle.
+        config: Vec<S>,
+    },
+    /// The round-robin schedule loops without ever reaching `L`.
+    RoundRobinDivergence {
+        /// A configuration on the diverging run.
+        config: Vec<S>,
+    },
+}
+
+/// Statistics of a successful verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Configurations enumerated.
+    pub configs: u64,
+    /// How many satisfied the legitimacy predicate.
+    pub legitimate: u64,
+    /// Transitions examined.
+    pub transitions: u64,
+}
+
+/// Exhaustive verifier for an [`Enumerable`] protocol on a small network.
+#[derive(Debug)]
+pub struct ModelChecker<'a, P: Enumerable> {
+    net: &'a Network,
+    protocol: &'a P,
+    spaces: Vec<Vec<P::State>>,
+    index_of: Vec<HashMap<P::State, usize>>,
+    weights: Vec<u64>,
+    total: u64,
+}
+
+impl<'a, P: Enumerable> ModelChecker<'a, P> {
+    /// Prepares a checker, enumerating per-node state spaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TooLarge`] if the configuration count exceeds `limit`.
+    pub fn new(net: &'a Network, protocol: &'a P, limit: u64) -> Result<Self, TooLarge> {
+        let spaces: Vec<Vec<P::State>> = net
+            .nodes()
+            .map(|p| protocol.enumerate_states(net.ctx(p)))
+            .collect();
+        let mut product: u128 = 1;
+        for s in &spaces {
+            assert!(!s.is_empty(), "a node's state space cannot be empty");
+            product = product.saturating_mul(s.len() as u128);
+        }
+        if product > limit as u128 {
+            return Err(TooLarge {
+                configs: product,
+                limit,
+            });
+        }
+        let mut weights = Vec::with_capacity(spaces.len());
+        let mut w: u64 = 1;
+        for s in &spaces {
+            weights.push(w);
+            w *= s.len() as u64;
+        }
+        let index_of = spaces
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .enumerate()
+                    .map(|(i, st)| (st.clone(), i))
+                    .collect()
+            })
+            .collect();
+        Ok(ModelChecker {
+            net,
+            protocol,
+            spaces,
+            index_of,
+            weights,
+            total: product as u64,
+        })
+    }
+
+    /// Total number of configurations in the product space.
+    pub fn config_count(&self) -> u64 {
+        self.total
+    }
+
+    fn decode(&self, mut idx: u64) -> Vec<P::State> {
+        let mut out = Vec::with_capacity(self.spaces.len());
+        for s in &self.spaces {
+            let r = s.len() as u64;
+            out.push(s[(idx % r) as usize].clone());
+            idx /= r;
+        }
+        out
+    }
+
+    /// All successor configuration indices under the central daemon: one
+    /// enabled processor executes one enabled action.
+    fn successors(&self, idx: u64, config: &[P::State]) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut actions = Vec::new();
+        for p in self.net.nodes() {
+            actions.clear();
+            let view = ConfigView::new(self.net, p, config);
+            self.protocol.enabled(&view, &mut actions);
+            for a in &actions {
+                let new_state = self.protocol.apply(&view, a);
+                let i = p.index();
+                let old_digit = self.index_of[i][&config[i]] as u64;
+                let new_digit = *self.index_of[i]
+                    .get(&new_state)
+                    .unwrap_or_else(|| panic!("apply produced a state outside enumerate_states at {p}"))
+                    as u64;
+                out.push(idx - old_digit * self.weights[i] + new_digit * self.weights[i]);
+            }
+        }
+        out
+    }
+
+    /// Checks closure: every successor of a legitimate configuration is
+    /// legitimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending transition as a [`Violation::ClosureBroken`].
+    pub fn check_closure(
+        &self,
+        legit: impl Fn(&[P::State]) -> bool,
+    ) -> Result<Report, Box<Violation<P::State>>> {
+        let mut legitimate = 0u64;
+        let mut transitions = 0u64;
+        for idx in 0..self.total {
+            let config = self.decode(idx);
+            if !legit(&config) {
+                continue;
+            }
+            legitimate += 1;
+            for s in self.successors(idx, &config) {
+                transitions += 1;
+                let succ = self.decode(s);
+                if !legit(&succ) {
+                    return Err(Box::new(Violation::ClosureBroken {
+                        config,
+                        successor: succ,
+                    }));
+                }
+            }
+        }
+        Ok(Report {
+            configs: self.total,
+            legitimate,
+            transitions,
+        })
+    }
+
+    /// Checks convergence under *every* central schedule (including unfair
+    /// ones): the illegitimate region must contain no deadlock and no
+    /// cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Violation::Deadlock`] or [`Violation::IllegitimateCycle`].
+    pub fn check_convergence_any_schedule(
+        &self,
+        legit: impl Fn(&[P::State]) -> bool,
+    ) -> Result<Report, Box<Violation<P::State>>> {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color = vec![WHITE; self.total as usize];
+        let mut legit_cache = vec![0u8; self.total as usize]; // 0 unknown, 1 no, 2 yes
+        let is_legit = |idx: u64, this: &Self, cache: &mut Vec<u8>| -> bool {
+            let e = &mut cache[idx as usize];
+            if *e == 0 {
+                *e = if legit(&this.decode(idx)) { 2 } else { 1 };
+            }
+            *e == 2
+        };
+        let mut legitimate = 0u64;
+        let mut transitions = 0u64;
+
+        for start in 0..self.total {
+            if is_legit(start, self, &mut legit_cache) {
+                continue;
+            }
+            if color[start as usize] != WHITE {
+                continue;
+            }
+            // Iterative DFS over the illegitimate region.
+            let start_config = self.decode(start);
+            let succs = self.successors(start, &start_config);
+            if succs.is_empty() {
+                return Err(Box::new(Violation::Deadlock {
+                    config: start_config,
+                }));
+            }
+            let mut stack: Vec<(u64, Vec<u64>, usize)> = vec![(start, succs, 0)];
+            color[start as usize] = GRAY;
+            while let Some((node, succs, pos)) = stack.last_mut() {
+                if *pos >= succs.len() {
+                    color[*node as usize] = BLACK;
+                    stack.pop();
+                    continue;
+                }
+                let next = succs[*pos];
+                *pos += 1;
+                transitions += 1;
+                if is_legit(next, self, &mut legit_cache) {
+                    continue; // escapes to the legitimate region
+                }
+                match color[next as usize] {
+                    WHITE => {
+                        let cfg = self.decode(next);
+                        let nsuccs = self.successors(next, &cfg);
+                        if nsuccs.is_empty() {
+                            return Err(Box::new(Violation::Deadlock { config: cfg }));
+                        }
+                        color[next as usize] = GRAY;
+                        stack.push((next, nsuccs, 0));
+                    }
+                    GRAY => {
+                        return Err(Box::new(Violation::IllegitimateCycle {
+                            config: self.decode(next),
+                        }));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for idx in 0..self.total {
+            if is_legit(idx, self, &mut legit_cache) {
+                legitimate += 1;
+            }
+        }
+        Ok(Report {
+            configs: self.total,
+            legitimate,
+            transitions,
+        })
+    }
+
+    /// Checks convergence under the weakly fair round-robin central daemon:
+    /// from every `(configuration, cursor)` pair the deterministic schedule
+    /// must reach a legitimate configuration.
+    ///
+    /// This is the right notion for protocols (like the token circulation
+    /// underlying `DFTNO`) that assume a weakly fair daemon and never
+    /// terminate: illegitimate cycles may exist under unfair schedules, but
+    /// the fair schedule must escape them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Violation::Deadlock`] or
+    /// [`Violation::RoundRobinDivergence`].
+    pub fn check_convergence_round_robin(
+        &self,
+        legit: impl Fn(&[P::State]) -> bool,
+    ) -> Result<Report, Box<Violation<P::State>>> {
+        let n = self.net.node_count() as u64;
+        let states = self.total.checked_mul(n).expect("state space overflow");
+        const UNKNOWN: u8 = 0;
+        const ON_PATH: u8 = 1;
+        const GOOD: u8 = 2;
+        let mut status = vec![UNKNOWN; states as usize];
+        let mut legit_cache = vec![0u8; self.total as usize];
+        let is_legit = |idx: u64, this: &Self, cache: &mut Vec<u8>| -> bool {
+            let e = &mut cache[idx as usize];
+            if *e == 0 {
+                *e = if legit(&this.decode(idx)) { 2 } else { 1 };
+            }
+            *e == 2
+        };
+        let mut transitions = 0u64;
+
+        for start in 0..states {
+            if status[start as usize] != UNKNOWN {
+                continue;
+            }
+            let mut path: Vec<u64> = Vec::new();
+            let mut cur = start;
+            let outcome = loop {
+                let cfg_idx = cur / n;
+                let cursor = (cur % n) as usize;
+                if is_legit(cfg_idx, self, &mut legit_cache) {
+                    break GOOD;
+                }
+                match status[cur as usize] {
+                    GOOD => break GOOD,
+                    ON_PATH => {
+                        // Deterministic cycle that never touched L.
+                        return Err(Box::new(Violation::RoundRobinDivergence {
+                            config: self.decode(cfg_idx),
+                        }));
+                    }
+                    _ => {}
+                }
+                status[cur as usize] = ON_PATH;
+                path.push(cur);
+
+                let config = self.decode(cfg_idx);
+                // Round-robin selection: first enabled node with index >=
+                // cursor, wrapping to the smallest enabled index.
+                let mut selected: Option<(NodeId, P::Action)> = None;
+                let mut first_enabled: Option<(NodeId, P::Action)> = None;
+                let mut actions = Vec::new();
+                for p in self.net.nodes() {
+                    actions.clear();
+                    let view = ConfigView::new(self.net, p, &config);
+                    self.protocol.enabled(&view, &mut actions);
+                    if let Some(a) = actions.first() {
+                        if first_enabled.is_none() {
+                            first_enabled = Some((p, a.clone()));
+                        }
+                        if p.index() >= cursor {
+                            selected = Some((p, a.clone()));
+                            break;
+                        }
+                    }
+                }
+                let (p, a) = match selected.or(first_enabled) {
+                    Some(x) => x,
+                    None => {
+                        return Err(Box::new(Violation::Deadlock { config }));
+                    }
+                };
+                let view = ConfigView::new(self.net, p, &config);
+                let new_state = self.protocol.apply(&view, &a);
+                let i = p.index();
+                let old_digit = self.index_of[i][&config[i]] as u64;
+                let new_digit = self.index_of[i][&new_state] as u64;
+                let next_cfg = cfg_idx - old_digit * self.weights[i] + new_digit * self.weights[i];
+                let next_cursor = (p.index() as u64 + 1) % n;
+                cur = next_cfg * n + next_cursor;
+                transitions += 1;
+            };
+            for s in path {
+                status[s as usize] = outcome;
+            }
+        }
+        let mut legitimate = 0u64;
+        for idx in 0..self.total {
+            if is_legit(idx, self, &mut legit_cache) {
+                legitimate += 1;
+            }
+        }
+        Ok(Report {
+            configs: self.total,
+            legitimate,
+            transitions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{hop_distance_legit, HopDistance};
+    use crate::network::Network;
+
+    #[test]
+    fn hop_distance_verifies_exhaustively_on_path() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let mc = ModelChecker::new(&net, &HopDistance, 1_000_000).unwrap();
+        assert_eq!(mc.config_count(), 4 * 4 * 4);
+        let legit = |c: &[u32]| hop_distance_legit(&net, c);
+        let closure = mc.check_closure(legit).expect("closure holds");
+        assert_eq!(closure.legitimate, 1, "exactly one legitimate config");
+        mc.check_convergence_any_schedule(legit)
+            .expect("silent protocol converges under any schedule");
+        mc.check_convergence_round_robin(legit)
+            .expect("converges under round robin");
+    }
+
+    #[test]
+    fn hop_distance_verifies_on_small_cycle() {
+        let g = sno_graph::generators::ring(3);
+        let net = Network::new(g, NodeId::new(0));
+        let mc = ModelChecker::new(&net, &HopDistance, 1_000_000).unwrap();
+        let legit = |c: &[u32]| hop_distance_legit(&net, c);
+        mc.check_closure(legit).expect("closure");
+        mc.check_convergence_any_schedule(legit).expect("convergence");
+    }
+
+    #[test]
+    fn detects_broken_closure() {
+        // Claim a *wrong* legitimacy predicate (everything with v_root == 0
+        // is "legit"); convergence drags other configs toward the true
+        // fixpoint, so closure over the bogus predicate must break... it
+        // actually holds (root keeps 0). Use something genuinely unstable:
+        // configs where node 1 holds 3.
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let mc = ModelChecker::new(&net, &HopDistance, 1_000_000).unwrap();
+        let bogus = |c: &[u32]| c[1] == 3;
+        let out = mc.check_closure(bogus);
+        assert!(matches!(*out.unwrap_err(), Violation::ClosureBroken { .. }));
+    }
+
+    #[test]
+    fn detects_divergence_for_unreachable_predicate() {
+        let g = sno_graph::generators::path(2);
+        let net = Network::new(g, NodeId::new(0));
+        let mc = ModelChecker::new(&net, &HopDistance, 1_000_000).unwrap();
+        // No configuration satisfies this predicate, so every run diverges
+        // (the true fixpoint is a deadlock outside the bogus L).
+        let bogus = |_: &[u32]| false;
+        let out = mc.check_convergence_any_schedule(bogus);
+        assert!(out.is_err());
+        let out = mc.check_convergence_round_robin(bogus);
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn respects_limit() {
+        let g = sno_graph::generators::path(12);
+        let net = Network::new(g, NodeId::new(0));
+        let err = ModelChecker::new(&net, &HopDistance, 1_000).unwrap_err();
+        assert!(err.configs > 1_000);
+    }
+}

@@ -1,0 +1,178 @@
+//! A rooted network: topology + the static knowledge each processor holds.
+
+use sno_graph::{Graph, NodeId, Port};
+
+/// The static, per-processor knowledge the paper's model grants a node:
+/// whether it is the distinguished root `r`, its degree `Δ_p`, the back port
+/// of each incident link (its neighbor-set knowledge `N_p`), and the known
+/// upper bound `N` on the number of processors.
+///
+/// Protocols must *only* consult this context plus their [`view`] of
+/// neighbor variables — node identifiers exist solely so the simulator can
+/// index configurations; the processors themselves stay anonymous.
+///
+/// [`view`]: crate::protocol::NodeView
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeCtx {
+    /// Simulator-level identifier (not protocol-visible information).
+    pub id: NodeId,
+    /// Whether this processor is the root `r`.
+    pub is_root: bool,
+    /// Degree `Δ_p` — the number of ports.
+    pub degree: usize,
+    /// `back_ports[l]` = the port of the edge `(p, q)` at the neighbor `q`
+    /// reached through local port `l`.
+    pub back_ports: Vec<Port>,
+    /// The globally known upper bound `N ≥ n` on the network size.
+    pub n_bound: usize,
+}
+
+impl NodeCtx {
+    /// Iterator over this node's ports.
+    pub fn ports(&self) -> impl Iterator<Item = Port> {
+        (0..self.degree).map(Port::new)
+    }
+}
+
+/// A rooted network: an immutable connected graph, a distinguished root,
+/// and the bound `N` every processor knows.
+#[derive(Debug, Clone)]
+pub struct Network {
+    graph: Graph,
+    root: NodeId,
+    n_bound: usize,
+    ctxs: Vec<NodeCtx>,
+}
+
+impl Network {
+    /// Wraps `graph` as a rooted network with the tight bound `N = n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` is disconnected or `root` is out of range — the
+    /// paper's model only covers connected rooted networks.
+    pub fn new(graph: Graph, root: NodeId) -> Self {
+        let n = graph.node_count();
+        Self::with_bound(graph, root, n)
+    }
+
+    /// Wraps `graph` with an explicit (possibly loose) bound `N ≥ n`.
+    ///
+    /// The paper assumes every node knows an upper bound on the number of
+    /// processors; names stay in `0..N−1` and edge labels are computed
+    /// modulo `N`, so protocols must remain correct for `N > n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` is disconnected, `root` is out of range, or
+    /// `n_bound < n`.
+    pub fn with_bound(graph: Graph, root: NodeId, n_bound: usize) -> Self {
+        assert!(graph.is_connected(), "the model requires a connected network");
+        assert!(root.index() < graph.node_count(), "root out of range");
+        assert!(
+            n_bound >= graph.node_count(),
+            "N must be an upper bound on the number of processors"
+        );
+        let ctxs = graph
+            .nodes()
+            .map(|p| NodeCtx {
+                id: p,
+                is_root: p == root,
+                degree: graph.degree(p),
+                back_ports: graph.back_ports(p).to_vec(),
+                n_bound,
+            })
+            .collect();
+        Network {
+            graph,
+            root,
+            n_bound,
+            ctxs,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The distinguished root processor.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The known bound `N`.
+    pub fn n_bound(&self) -> usize {
+        self.n_bound
+    }
+
+    /// Number of processors `n`.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The static context of processor `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn ctx(&self, p: NodeId) -> &NodeCtx {
+        &self.ctxs[p.index()]
+    }
+
+    /// Iterator over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_reflects_topology() {
+        let g = sno_graph::generators::star(4);
+        let net = Network::new(g, NodeId::new(0));
+        assert!(net.ctx(NodeId::new(0)).is_root);
+        assert_eq!(net.ctx(NodeId::new(0)).degree, 3);
+        assert!(!net.ctx(NodeId::new(2)).is_root);
+        assert_eq!(net.ctx(NodeId::new(2)).degree, 1);
+        assert_eq!(net.n_bound(), 4);
+    }
+
+    #[test]
+    fn back_ports_in_ctx_match_graph() {
+        let g = sno_graph::generators::ring(5);
+        let net = Network::new(g, NodeId::new(2));
+        for p in net.nodes() {
+            for l in net.ctx(p).ports() {
+                let q = net.graph().neighbor(p, l);
+                let back = net.ctx(p).back_ports[l.index()];
+                assert_eq!(net.graph().neighbor(q, back), p);
+            }
+        }
+    }
+
+    #[test]
+    fn loose_bound_is_allowed() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::with_bound(g, NodeId::new(0), 10);
+        assert_eq!(net.n_bound(), 10);
+        assert_eq!(net.ctx(NodeId::new(1)).n_bound, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected() {
+        let g = sno_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let _ = Network::new(g, NodeId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "upper bound")]
+    fn rejects_tight_bound_violation() {
+        let g = sno_graph::generators::path(5);
+        let _ = Network::with_bound(g, NodeId::new(0), 4);
+    }
+}

@@ -1,0 +1,235 @@
+//! The guarded-command protocol abstraction.
+//!
+//! A [`Protocol`] describes, for one processor, which actions are *enabled*
+//! (their guards hold) in a given local view, and what executing an action
+//! atomically writes to the processor's own variables. The engine evaluates
+//! guards against the pre-step configuration and applies all selected
+//! writes together — composite atomicity under a distributed daemon,
+//! exactly the paper's execution model.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use rand::RngCore;
+use sno_graph::{NodeId, Port};
+
+use crate::network::{Network, NodeCtx};
+
+/// Read-only view a processor has during one atomic step: its static
+/// context, its own variables, and its neighbors' variables (by port).
+///
+/// This is the *entire* information a guard or statement may consult; the
+/// type system keeps simulated protocols honest about locality.
+pub trait NodeView<S> {
+    /// Static knowledge of this processor.
+    fn ctx(&self) -> &NodeCtx;
+    /// The processor's own variables.
+    fn state(&self) -> &S;
+    /// The variables of the neighbor reached through port `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    fn neighbor(&self, l: Port) -> &S;
+}
+
+/// Convenience iterator over `(port, neighbor state)` pairs.
+pub fn neighbor_states<'v, S>(
+    view: &'v (impl NodeView<S> + ?Sized),
+) -> impl Iterator<Item = (Port, &'v S)> + 'v
+where
+    S: 'v,
+{
+    (0..view.ctx().degree).map(move |l| {
+        let l = Port::new(l);
+        (l, view.neighbor(l))
+    })
+}
+
+/// A distributed protocol in the shared-variable guarded-command model.
+///
+/// One value of the implementing type describes the *uniform* program run
+/// by every processor (the root distinguishes itself via
+/// [`NodeCtx::is_root`]).
+pub trait Protocol {
+    /// The processor-local variables.
+    type State: Clone + Eq + Hash + Debug;
+    /// A label identifying one enabled action (guard) of the program.
+    type Action: Clone + Debug + PartialEq;
+
+    /// Appends every action whose guard is true in `view` to `out`.
+    ///
+    /// Protocols whose paper pseudo-code has overlapping guards should
+    /// resolve the overlap here (the paper makes guards disjoint with
+    /// explicit `¬OtherGuard ∧ …` conjuncts); returning several actions
+    /// hands the choice to the (possibly adversarial) daemon.
+    fn enabled(&self, view: &impl NodeView<Self::State>, out: &mut Vec<Self::Action>);
+
+    /// Atomically executes `action`, returning the processor's new state.
+    ///
+    /// Must only be called with an action previously returned by
+    /// [`Protocol::enabled`] for an identical view.
+    fn apply(&self, view: &impl NodeView<Self::State>, action: &Self::Action) -> Self::State;
+
+    /// A canonical "freshly booted" state. Self-stabilizing protocols must
+    /// converge from *any* state, so this is a convenience for demos — the
+    /// tests drive convergence from [`Protocol::random_state`].
+    fn initial_state(&self, ctx: &NodeCtx) -> Self::State;
+
+    /// Samples an arbitrary (possibly corrupt) state — the adversary's
+    /// transient fault. Used by convergence tests and the fault injector.
+    fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> Self::State;
+}
+
+/// Protocols with a finite, enumerable per-node state space — the interface
+/// to the exhaustive [model checker](crate::modelcheck).
+pub trait Enumerable: Protocol {
+    /// Every value the processor's variables can take, for exhaustive
+    /// verification of closure and convergence on small networks.
+    fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<Self::State>;
+}
+
+/// Protocols that can account for their space usage, reproducing the
+/// paper's `O(Δ × log N)`-bits space-complexity analysis (§3.2.3, §4.2.3).
+pub trait SpaceMeasured: Protocol {
+    /// The number of bits of *protocol* state held at a processor with the
+    /// given context (analytical size of the variable encoding, not Rust
+    /// memory).
+    fn state_bits(&self, ctx: &NodeCtx) -> usize;
+}
+
+/// Concrete [`NodeView`] over a whole-network configuration slice.
+#[derive(Debug)]
+pub struct ConfigView<'a, S> {
+    net: &'a Network,
+    node: NodeId,
+    states: &'a [S],
+}
+
+impl<'a, S> ConfigView<'a, S> {
+    /// Builds the view of `node` over the configuration `states`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the network size or `node` is
+    /// out of range.
+    pub fn new(net: &'a Network, node: NodeId, states: &'a [S]) -> Self {
+        assert_eq!(states.len(), net.node_count(), "configuration size mismatch");
+        assert!(node.index() < states.len(), "node out of range");
+        ConfigView { net, node, states }
+    }
+}
+
+impl<S> NodeView<S> for ConfigView<'_, S> {
+    fn ctx(&self) -> &NodeCtx {
+        self.net.ctx(self.node)
+    }
+
+    fn state(&self) -> &S {
+        &self.states[self.node.index()]
+    }
+
+    fn neighbor(&self, l: Port) -> &S {
+        let q = self.net.graph().neighbor(self.node, l);
+        &self.states[q.index()]
+    }
+}
+
+/// A view adapter projecting one layer out of a compound state — used to
+/// run a lower-layer protocol unchanged inside a layered composition (the
+/// paper's "underlying protocol" pattern: `DFTNO` over token circulation,
+/// `STNO` over a spanning tree).
+#[derive(Debug)]
+pub struct ProjectedView<'a, S, V, F> {
+    inner: &'a V,
+    project: F,
+    _source: std::marker::PhantomData<fn(&S)>,
+}
+
+impl<'a, S, V, F> ProjectedView<'a, S, V, F> {
+    /// Wraps `inner`, exposing only the sub-state selected by `project`.
+    pub fn new(inner: &'a V, project: F) -> Self {
+        ProjectedView {
+            inner,
+            project,
+            _source: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, T, V, F> NodeView<T> for ProjectedView<'_, S, V, F>
+where
+    V: NodeView<S>,
+    F: for<'s> Fn(&'s S) -> &'s T,
+{
+    fn ctx(&self) -> &NodeCtx {
+        self.inner.ctx()
+    }
+
+    fn state(&self) -> &T {
+        (self.project)(self.inner.state())
+    }
+
+    fn neighbor(&self, l: Port) -> &T {
+        (self.project)(self.inner.neighbor(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::HopDistance;
+    use crate::network::Network;
+    use sno_graph::{NodeId, Port};
+
+    #[test]
+    fn config_view_reads_neighbors() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let states = vec![10u32, 20, 30];
+        let v = ConfigView::new(&net, NodeId::new(1), &states);
+        assert_eq!(*v.state(), 20);
+        assert_eq!(*v.neighbor(Port::new(0)), 10);
+        assert_eq!(*v.neighbor(Port::new(1)), 30);
+    }
+
+    #[test]
+    fn neighbor_states_iterates_all_ports() {
+        let g = sno_graph::generators::star(4);
+        let net = Network::new(g, NodeId::new(0));
+        let states = vec![0u32, 1, 2, 3];
+        let v = ConfigView::new(&net, NodeId::new(0), &states);
+        let collected: Vec<u32> = neighbor_states(&v).map(|(_, s)| *s).collect();
+        assert_eq!(collected, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn projected_view_projects() {
+        fn first(s: &(u32, char)) -> &u32 {
+            &s.0
+        }
+        let g = sno_graph::generators::path(2);
+        let net = Network::new(g, NodeId::new(0));
+        let states = vec![(1u32, 'a'), (2u32, 'b')];
+        let v = ConfigView::new(&net, NodeId::new(0), &states);
+        let p = ProjectedView::new(&v, first);
+        assert_eq!(*p.state(), 1);
+        assert_eq!(*p.neighbor(Port::new(0)), 2);
+    }
+
+    #[test]
+    fn protocol_trait_is_usable_through_generics() {
+        fn count_enabled<P: Protocol>(p: &P, view: &impl NodeView<P::State>) -> usize {
+            let mut out = Vec::new();
+            p.enabled(view, &mut out);
+            out.len()
+        }
+        let g = sno_graph::generators::path(2);
+        let net = Network::new(g, NodeId::new(0));
+        let proto = HopDistance;
+        // Node 1 (non-root) holds 5 but its target is min(1 + 0, 2) = 1.
+        let states = vec![0u32, 5];
+        let v = ConfigView::new(&net, NodeId::new(1), &states);
+        assert_eq!(count_enabled(&proto, &v), 1);
+    }
+}

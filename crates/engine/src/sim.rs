@@ -1,0 +1,449 @@
+//! The simulation loop: computations, moves, steps, and rounds.
+
+use rand::RngCore;
+use sno_graph::NodeId;
+
+use crate::daemon::{Daemon, EnabledNode};
+use crate::network::Network;
+use crate::protocol::{ConfigView, Protocol};
+
+/// What happened in one computation step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepOutcome<A> {
+    /// No processor was enabled — the configuration is *terminal* (for
+    /// silent protocols, the stabilized fixpoint).
+    Silent,
+    /// The listed processors executed the listed actions (evaluated against
+    /// the pre-step configuration, written atomically together).
+    Executed(Vec<(NodeId, A)>),
+}
+
+impl<A> StepOutcome<A> {
+    /// `true` iff no action was executed because none was enabled.
+    pub fn is_silent(&self) -> bool {
+        matches!(self, StepOutcome::Silent)
+    }
+}
+
+/// Outcome of a bounded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Whether the stop condition was met within the step budget.
+    pub converged: bool,
+    /// Daemon selections performed during this run.
+    pub steps: u64,
+    /// Individual action executions during this run.
+    pub moves: u64,
+    /// Complete asynchronous rounds elapsed during this run.
+    pub rounds: u64,
+}
+
+/// A running instance of a protocol on a network.
+///
+/// Owns the current configuration (one state per processor) and the
+/// move/step/round accounting. The protocol and network are borrowed so
+/// many simulations can share them.
+///
+/// # Example
+///
+/// ```
+/// use sno_engine::{Network, Simulation};
+/// use sno_engine::daemon::Synchronous;
+/// use sno_engine::examples::HopDistance;
+///
+/// let net = Network::new(sno_graph::generators::star(6), sno_graph::NodeId::new(0));
+/// let mut sim = Simulation::from_initial(&net, HopDistance);
+/// let run = sim.run_until_silent(&mut Synchronous::new(), 100);
+/// assert!(run.converged);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation<'a, P: Protocol> {
+    net: &'a Network,
+    protocol: P,
+    config: Vec<P::State>,
+    steps: u64,
+    moves: u64,
+    rounds: u64,
+    /// Processors enabled at the start of the current round that have not
+    /// yet executed or been neutralized.
+    round_frontier: Vec<bool>,
+    frontier_count: usize,
+}
+
+impl<'a, P: Protocol> Simulation<'a, P> {
+    /// Starts a simulation from an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.len()` differs from the network size.
+    pub fn new(net: &'a Network, protocol: P, config: Vec<P::State>) -> Self {
+        assert_eq!(config.len(), net.node_count(), "configuration size mismatch");
+        let mut sim = Simulation {
+            net,
+            protocol,
+            config,
+            steps: 0,
+            moves: 0,
+            rounds: 0,
+            round_frontier: vec![false; net.node_count()],
+            frontier_count: 0,
+        };
+        sim.reset_round_frontier();
+        sim
+    }
+
+    /// Starts from the protocol's canonical initial state at every node.
+    pub fn from_initial(net: &'a Network, protocol: P) -> Self {
+        let config = net
+            .nodes()
+            .map(|p| protocol.initial_state(net.ctx(p)))
+            .collect();
+        Self::new(net, protocol, config)
+    }
+
+    /// Starts from an adversarially arbitrary configuration — the
+    /// self-stabilization entry point ("irrespective of the initial
+    /// state").
+    pub fn from_random(net: &'a Network, protocol: P, rng: &mut dyn RngCore) -> Self {
+        let config = net
+            .nodes()
+            .map(|p| protocol.random_state(net.ctx(p), rng))
+            .collect();
+        Self::new(net, protocol, config)
+    }
+
+    /// The network this simulation runs on.
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    /// The protocol instance.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The current configuration (states indexed by node).
+    pub fn config(&self) -> &[P::State] {
+        &self.config
+    }
+
+    /// The state of one processor.
+    pub fn state(&self, p: NodeId) -> &P::State {
+        &self.config[p.index()]
+    }
+
+    /// Overwrites the state of one processor (used by the fault injector;
+    /// resets the round accounting since the adversary struck).
+    pub fn set_state(&mut self, p: NodeId, s: P::State) {
+        self.config[p.index()] = s;
+        self.reset_round_frontier();
+    }
+
+    /// Total daemon selections so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Total action executions so far.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Total complete asynchronous rounds so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Zeroes the step/move/round counters (e.g. to measure only the phase
+    /// after an underlying layer has stabilized, as the paper's bounds do).
+    pub fn reset_counters(&mut self) {
+        self.steps = 0;
+        self.moves = 0;
+        self.rounds = 0;
+        self.reset_round_frontier();
+    }
+
+    /// The processors with at least one enabled action, with action counts.
+    pub fn enabled_nodes(&self) -> Vec<EnabledNode> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        for p in self.net.nodes() {
+            scratch.clear();
+            let view = ConfigView::new(self.net, p, &self.config);
+            self.protocol.enabled(&view, &mut scratch);
+            if !scratch.is_empty() {
+                out.push(EnabledNode {
+                    node: p,
+                    action_count: scratch.len(),
+                });
+            }
+        }
+        out
+    }
+
+    /// The enabled actions of one processor in the current configuration.
+    pub fn enabled_actions(&self, p: NodeId) -> Vec<P::Action> {
+        let mut out = Vec::new();
+        let view = ConfigView::new(self.net, p, &self.config);
+        self.protocol.enabled(&view, &mut out);
+        out
+    }
+
+    fn reset_round_frontier(&mut self) {
+        self.round_frontier.iter_mut().for_each(|b| *b = false);
+        self.frontier_count = 0;
+        for e in self.enabled_nodes() {
+            self.round_frontier[e.node.index()] = true;
+            self.frontier_count += 1;
+        }
+    }
+
+    /// Performs one computation step driven by `daemon`.
+    ///
+    /// Guards are evaluated against the pre-step configuration; all selected
+    /// writes are committed together (composite atomicity under the
+    /// distributed daemon).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the daemon violates its contract (empty selection,
+    /// duplicate nodes, or out-of-range indices).
+    pub fn step(&mut self, daemon: &mut impl Daemon) -> StepOutcome<P::Action> {
+        let enabled = self.enabled_nodes();
+        if enabled.is_empty() {
+            return StepOutcome::Silent;
+        }
+        let choices = daemon.select(&enabled);
+        assert!(!choices.is_empty(), "daemon must select a non-empty subset");
+
+        // Resolve choices to (node, action) against the old configuration.
+        let mut writes: Vec<(NodeId, P::State, P::Action)> = Vec::with_capacity(choices.len());
+        let mut chosen = vec![false; enabled.len()];
+        for c in &choices {
+            assert!(c.enabled_index < enabled.len(), "daemon index out of range");
+            assert!(
+                !std::mem::replace(&mut chosen[c.enabled_index], true),
+                "daemon selected the same processor twice"
+            );
+            let node = enabled[c.enabled_index].node;
+            let view = ConfigView::new(self.net, node, &self.config);
+            let mut actions = Vec::new();
+            self.protocol.enabled(&view, &mut actions);
+            assert!(
+                c.action_index < actions.len(),
+                "daemon action index out of range"
+            );
+            let action = actions.swap_remove(c.action_index);
+            let new_state = self.protocol.apply(&view, &action);
+            writes.push((node, new_state, action));
+        }
+
+        // Commit all writes atomically.
+        let mut executed = Vec::with_capacity(writes.len());
+        for (node, state, action) in writes {
+            self.config[node.index()] = state;
+            executed.push((node, action));
+        }
+        self.steps += 1;
+        self.moves += executed.len() as u64;
+
+        // Round accounting: remove executed processors from the frontier,
+        // then neutralize frontier processors that are no longer enabled.
+        for (node, _) in &executed {
+            if std::mem::replace(&mut self.round_frontier[node.index()], false) {
+                self.frontier_count -= 1;
+            }
+        }
+        if self.frontier_count > 0 {
+            let now_enabled = self.enabled_nodes();
+            let mut enabled_mask = vec![false; self.net.node_count()];
+            for e in &now_enabled {
+                enabled_mask[e.node.index()] = true;
+            }
+            for (frontier, enabled) in self.round_frontier.iter_mut().zip(&enabled_mask) {
+                if *frontier && !enabled {
+                    *frontier = false;
+                    self.frontier_count -= 1;
+                }
+            }
+        }
+        if self.frontier_count == 0 {
+            self.rounds += 1;
+            self.reset_round_frontier();
+        }
+
+        StepOutcome::Executed(executed)
+    }
+
+    /// Runs until `stop` holds on the configuration or `max_steps` elapse.
+    ///
+    /// Returns counters for *this run only*. A terminal (silent)
+    /// configuration that does not satisfy `stop` reports
+    /// `converged == false`.
+    pub fn run_until(
+        &mut self,
+        daemon: &mut impl Daemon,
+        max_steps: u64,
+        mut stop: impl FnMut(&[P::State]) -> bool,
+    ) -> RunResult {
+        let (s0, m0, r0) = (self.steps, self.moves, self.rounds);
+        let mut converged = stop(&self.config);
+        let mut budget = max_steps;
+        while !converged && budget > 0 {
+            if self.step(daemon).is_silent() {
+                break;
+            }
+            budget -= 1;
+            converged = stop(&self.config);
+        }
+        RunResult {
+            converged,
+            steps: self.steps - s0,
+            moves: self.moves - m0,
+            rounds: self.rounds - r0,
+        }
+    }
+
+    /// Runs until no processor is enabled (silence) or `max_steps` elapse.
+    pub fn run_until_silent(&mut self, daemon: &mut impl Daemon, max_steps: u64) -> RunResult {
+        let (s0, m0, r0) = (self.steps, self.moves, self.rounds);
+        let mut converged = false;
+        for _ in 0..max_steps {
+            if self.step(daemon).is_silent() {
+                converged = true;
+                break;
+            }
+        }
+        // A freshly silent configuration may not have been probed yet.
+        if !converged && self.enabled_nodes().is_empty() {
+            converged = true;
+        }
+        RunResult {
+            converged,
+            steps: self.steps - s0,
+            moves: self.moves - m0,
+            rounds: self.rounds - r0,
+        }
+    }
+
+    /// Runs for exactly `k` complete rounds (or until silent/`max_steps`).
+    pub fn run_rounds(&mut self, daemon: &mut impl Daemon, k: u64, max_steps: u64) -> RunResult {
+        let (s0, m0, r0) = (self.steps, self.moves, self.rounds);
+        let target = self.rounds + k;
+        let mut silent = false;
+        let mut budget = max_steps;
+        while self.rounds < target && budget > 0 {
+            if self.step(daemon).is_silent() {
+                silent = true;
+                break;
+            }
+            budget -= 1;
+        }
+        RunResult {
+            converged: self.rounds >= target || silent,
+            steps: self.steps - s0,
+            moves: self.moves - m0,
+            rounds: self.rounds - r0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{CentralRoundRobin, DistributedRandom, Synchronous};
+    use crate::examples::{hop_distance_legit, HopDistance};
+
+    fn net(n: usize) -> Network {
+        Network::new(sno_graph::generators::path(n), NodeId::new(0))
+    }
+
+    #[test]
+    fn silent_when_nothing_enabled() {
+        let net = net(3);
+        // Already-correct distances: nothing to do.
+        let mut sim = Simulation::new(&net, HopDistance, vec![0, 1, 2]);
+        assert!(sim.step(&mut CentralRoundRobin::new()).is_silent());
+        assert_eq!(sim.steps(), 0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let net = net(5);
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        let run = sim.run_until_silent(&mut Synchronous::new(), 1_000);
+        assert!(run.converged);
+        assert!(run.moves >= run.steps, "moves dominate steps");
+        assert_eq!(sim.steps(), run.steps);
+    }
+
+    #[test]
+    fn rounds_advance_under_round_robin() {
+        let net = net(6);
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 10_000);
+        assert!(run.converged);
+        // Distance propagation on a path takes about one round per hop.
+        assert!(run.rounds >= 1, "at least one round elapsed");
+        assert!(run.rounds <= 12, "rounds bounded by O(n): got {}", run.rounds);
+    }
+
+    #[test]
+    fn synchronous_converges_in_height_rounds() {
+        let g = sno_graph::generators::path(8);
+        let net = Network::new(g, NodeId::new(0));
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        let run = sim.run_until_silent(&mut Synchronous::new(), 100);
+        assert!(run.converged);
+        // One synchronous step is exactly one round here.
+        assert!(run.steps <= 8, "steps {} within height bound", run.steps);
+        assert!(hop_distance_legit(&net, sim.config()));
+    }
+
+    #[test]
+    fn run_until_predicate_stops_early() {
+        let net = net(6);
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        let run = sim.run_until(&mut CentralRoundRobin::new(), 10_000, |c| c[1] == 1);
+        assert!(run.converged);
+    }
+
+    #[test]
+    fn run_until_reports_failure_on_budget() {
+        let net = net(6);
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        let run = sim.run_until(&mut CentralRoundRobin::new(), 1, |c| c[5] == 5);
+        assert!(!run.converged);
+    }
+
+    #[test]
+    fn distributed_daemon_commits_simultaneous_writes() {
+        let net = net(10);
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        let mut daemon = DistributedRandom::seeded(5);
+        let run = sim.run_until_silent(&mut daemon, 100_000);
+        assert!(run.converged);
+        assert!(hop_distance_legit(&net, sim.config()));
+    }
+
+    #[test]
+    fn set_state_resets_round_accounting() {
+        let net = net(4);
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000);
+        sim.set_state(NodeId::new(2), 99);
+        assert!(!sim.enabled_nodes().is_empty(), "fault re-enables work");
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000);
+        assert!(run.converged);
+        assert!(hop_distance_legit(&net, sim.config()));
+    }
+
+    #[test]
+    fn run_rounds_runs_requested_rounds() {
+        let net = net(12);
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        let run = sim.run_rounds(&mut CentralRoundRobin::new(), 2, 10_000);
+        assert!(run.converged);
+        assert!(run.rounds >= 2 || sim.enabled_nodes().is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Chapter 2 formalism, executable: predicates over configurations and
+//! the **attractor** relation (Definition 2.1.1).
+//!
+//! `Y` is an attractor for `X` (`X ▷ Y`) iff every computation starting
+//! in a configuration satisfying `X` reaches, and then forever satisfies,
+//! `Y`. Self-stabilization (Definition 2.1.2) is `true ▷ L` plus
+//! correctness of `L`.
+//!
+//! The exhaustive check lives in [`crate::modelcheck`]; this module
+//! provides the *sampling* counterpart for instances too large to
+//! enumerate: many seeded runs, each verified to (a) reach `Y` within a
+//! budget and (b) never violate `Y` afterwards for a configurable
+//! suffix. A sampling check can only ever falsify or build confidence —
+//! the doc of each test says which one is meant.
+
+use rand::RngCore;
+
+use crate::daemon::Daemon;
+use crate::network::Network;
+use crate::protocol::Protocol;
+use crate::sim::Simulation;
+
+/// Outcome of a sampled attractor check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttractorOutcome {
+    /// All sampled computations reached `Y` and stayed in it.
+    Holds {
+        /// Trials performed.
+        trials: u32,
+        /// Worst-case moves to reach `Y` over the trials.
+        worst_moves: u64,
+    },
+    /// A sampled computation exhausted its budget outside `Y`.
+    ConvergenceViolated {
+        /// The seed of the failing trial.
+        seed: u64,
+    },
+    /// A sampled computation re-entered `¬Y` after reaching `Y`.
+    ClosureViolated {
+        /// The seed of the failing trial.
+        seed: u64,
+        /// How many steps into the closure suffix the violation occurred.
+        after_steps: u64,
+    },
+}
+
+impl AttractorOutcome {
+    /// `true` iff no violation was sampled.
+    pub fn holds(&self) -> bool {
+        matches!(self, AttractorOutcome::Holds { .. })
+    }
+}
+
+/// Parameters of a sampled attractor check.
+#[derive(Debug, Clone, Copy)]
+pub struct AttractorCheck {
+    /// Number of seeded trials.
+    pub trials: u64,
+    /// Step budget to reach `Y` in each trial.
+    pub budget: u64,
+    /// Steps to keep executing after reaching `Y`, verifying closure.
+    pub closure_suffix: u64,
+}
+
+impl Default for AttractorCheck {
+    fn default() -> Self {
+        AttractorCheck {
+            trials: 10,
+            budget: 1_000_000,
+            closure_suffix: 500,
+        }
+    }
+}
+
+impl AttractorCheck {
+    /// Samples the relation `X ▷ Y` for `protocol` on `net`.
+    ///
+    /// * `start(seed, rng)` produces an initial configuration satisfying
+    ///   `X` (for `true ▷ Y`, sample arbitrary states);
+    /// * `daemon(seed)` produces the schedule for the trial;
+    /// * `y` is the target predicate.
+    pub fn run<P, D>(
+        &self,
+        net: &Network,
+        protocol: P,
+        mut start: impl FnMut(u64, &mut dyn RngCore) -> Vec<P::State>,
+        mut daemon: impl FnMut(u64) -> D,
+        mut y: impl FnMut(&[P::State]) -> bool,
+    ) -> AttractorOutcome
+    where
+        P: Protocol + Clone,
+        D: Daemon,
+    {
+        use rand::SeedableRng;
+        let mut worst_moves = 0u64;
+        for seed in 0..self.trials {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let config = start(seed, &mut rng);
+            let mut sim = Simulation::new(net, protocol.clone(), config);
+            let mut d = daemon(seed);
+            let run = sim.run_until(&mut d, self.budget, &mut y);
+            if !run.converged {
+                return AttractorOutcome::ConvergenceViolated { seed };
+            }
+            worst_moves = worst_moves.max(run.moves);
+            for step in 0..self.closure_suffix {
+                if sim.step(&mut d).is_silent() {
+                    break;
+                }
+                if !y(sim.config()) {
+                    return AttractorOutcome::ClosureViolated {
+                        seed,
+                        after_steps: step + 1,
+                    };
+                }
+            }
+        }
+        AttractorOutcome::Holds {
+            trials: self.trials as u32,
+            worst_moves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::CentralRoundRobin;
+    use crate::examples::{hop_distance_legit, HopDistance};
+    use sno_graph::NodeId;
+
+    #[test]
+    fn true_attracts_legitimacy_for_hop_distance() {
+        let net = Network::new(sno_graph::generators::ring(7), NodeId::new(0));
+        let check = AttractorCheck::default();
+        let outcome = check.run(
+            &net,
+            HopDistance,
+            |_, rng| {
+                net.nodes()
+                    .map(|p| HopDistance.random_state(net.ctx(p), rng))
+                    .collect()
+            },
+            |_| CentralRoundRobin::new(),
+            |c| hop_distance_legit(&net, c),
+        );
+        assert!(outcome.holds(), "{outcome:?}");
+    }
+
+    #[test]
+    fn bogus_target_is_falsified() {
+        let net = Network::new(sno_graph::generators::ring(7), NodeId::new(0));
+        let check = AttractorCheck {
+            trials: 3,
+            budget: 10_000,
+            closure_suffix: 10,
+        };
+        let outcome = check.run(
+            &net,
+            HopDistance,
+            |_, rng| {
+                net.nodes()
+                    .map(|p| HopDistance.random_state(net.ctx(p), rng))
+                    .collect()
+            },
+            |_| CentralRoundRobin::new(),
+            |c| c[1] == 99, // unreachable
+        );
+        assert_eq!(
+            outcome,
+            AttractorOutcome::ConvergenceViolated { seed: 0 }
+        );
+    }
+
+    #[test]
+    fn non_closed_target_is_falsified() {
+        // "node 1's distance is wrong" is reachable from random states but
+        // the protocol promptly leaves it: closure fails.
+        let net = Network::new(sno_graph::generators::path(4), NodeId::new(0));
+        let check = AttractorCheck {
+            trials: 20,
+            budget: 100_000,
+            closure_suffix: 200,
+        };
+        let outcome = check.run(
+            &net,
+            HopDistance,
+            |_, rng| {
+                net.nodes()
+                    .map(|p| HopDistance.random_state(net.ctx(p), rng))
+                    .collect()
+            },
+            |_| CentralRoundRobin::new(),
+            |c| c[1] != 1, // eventually violated: the fixpoint has c[1] == 1
+        );
+        assert!(!outcome.holds(), "{outcome:?}");
+    }
+}

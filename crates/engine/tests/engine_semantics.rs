@@ -1,0 +1,199 @@
+//! Semantic tests of the execution model itself: composite atomicity,
+//! pre-step guard evaluation, round accounting, and the model checker's
+//! ability to *refute* broken protocols — the engine must be a trustworthy
+//! adversary before the protocol results mean anything.
+
+use rand::RngCore;
+use sno_engine::daemon::{CentralRoundRobin, Synchronous};
+use sno_engine::examples::HopDistance;
+use sno_engine::modelcheck::{ModelChecker, Violation};
+use sno_engine::protocol::neighbor_states;
+use sno_engine::{Enumerable, Network, NodeCtx, NodeView, Protocol, Simulation};
+use sno_graph::{generators, NodeId};
+
+/// Guards must be evaluated against the *pre-step* configuration: under
+/// the synchronous daemon, two mutually dependent nodes read each other's
+/// old values and swap correctly instead of cascading.
+#[test]
+fn synchronous_writes_use_pre_step_reads() {
+    // HopDistance on a 3-path from [0, 9, 2]:
+    //  - node 1's target is min(1 + min(0, 2), N) = 1 (reads OLD 0 and 2);
+    //  - node 2's target is min(1 + 9, 3) = 3 … computed from the OLD 9,
+    //    not from node 1's simultaneous write of 1.
+    let net = Network::new(generators::path(3), NodeId::new(0));
+    let mut sim = Simulation::new(&net, HopDistance, vec![0, 9, 2]);
+    let out = sim.step(&mut Synchronous::new());
+    assert!(!out.is_silent());
+    assert_eq!(sim.config(), &[0, 1, 3], "both wrote from pre-step reads");
+    // One more synchronous step repairs node 2 from the new value.
+    sim.step(&mut Synchronous::new());
+    assert_eq!(sim.config(), &[0, 1, 2]);
+}
+
+/// The round counter must close a round exactly when every processor that
+/// was enabled at its start has executed or become disabled.
+#[test]
+fn round_accounting_follows_the_definition() {
+    let net = Network::new(generators::path(3), NodeId::new(0));
+    // Only node 1 and node 2 are enabled initially.
+    let mut sim = Simulation::new(&net, HopDistance, vec![0, 9, 9]);
+    assert_eq!(sim.enabled_nodes().len(), 2);
+    let mut daemon = CentralRoundRobin::new();
+    assert_eq!(sim.rounds(), 0);
+    sim.step(&mut daemon); // serves node 1
+    assert_eq!(sim.rounds(), 0, "node 2 still owes its move");
+    sim.step(&mut daemon); // serves node 2 — round closes
+    assert_eq!(sim.rounds(), 1);
+}
+
+/// A deliberately broken "protocol": two states that blink forever and a
+/// legitimacy predicate they never satisfy. The model checker must refute
+/// convergence — both in the any-schedule mode and under round robin.
+#[derive(Clone, Copy, Debug)]
+struct Blinker;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Flip;
+
+impl Protocol for Blinker {
+    type State = bool;
+    type Action = Flip;
+
+    fn enabled(&self, _view: &impl NodeView<bool>, out: &mut Vec<Flip>) {
+        out.push(Flip); // always enabled: never silent
+    }
+
+    fn apply(&self, view: &impl NodeView<bool>, _a: &Flip) -> bool {
+        !view.state()
+    }
+
+    fn initial_state(&self, _ctx: &NodeCtx) -> bool {
+        false
+    }
+
+    fn random_state(&self, _ctx: &NodeCtx, rng: &mut dyn RngCore) -> bool {
+        rng.next_u32().is_multiple_of(2)
+    }
+}
+
+impl Enumerable for Blinker {
+    fn enumerate_states(&self, _ctx: &NodeCtx) -> Vec<bool> {
+        vec![false, true]
+    }
+}
+
+#[test]
+fn model_checker_refutes_non_convergent_protocols() {
+    let net = Network::new(generators::path(2), NodeId::new(0));
+    let mc = ModelChecker::new(&net, &Blinker, 1_000).unwrap();
+    // "All nodes true" is reachable but immediately left again — and some
+    // schedules never reach it at all.
+    let legit = |c: &[bool]| c.iter().all(|&b| b);
+    let any = mc.check_convergence_any_schedule(legit);
+    assert!(matches!(
+        *any.unwrap_err(),
+        Violation::IllegitimateCycle { .. }
+    ));
+    // Closure is also broken: from [true, true] a flip leaves L.
+    let closure = mc.check_closure(legit);
+    assert!(matches!(
+        *closure.unwrap_err(),
+        Violation::ClosureBroken { .. }
+    ));
+}
+
+#[test]
+fn model_checker_refutes_round_robin_divergence() {
+    let net = Network::new(generators::path(2), NodeId::new(0));
+    let mc = ModelChecker::new(&net, &Blinker, 1_000).unwrap();
+    // An unsatisfiable predicate diverges under the round-robin schedule.
+    let out = mc.check_convergence_round_robin(|_| false);
+    assert!(matches!(
+        *out.unwrap_err(),
+        Violation::RoundRobinDivergence { .. }
+    ));
+}
+
+/// A protocol whose `apply` escapes its declared state space must be
+/// caught loudly, not silently mis-indexed.
+#[derive(Clone, Copy, Debug)]
+struct Escapee;
+
+impl Protocol for Escapee {
+    type State = u32;
+    type Action = Flip;
+
+    fn enabled(&self, view: &impl NodeView<u32>, out: &mut Vec<Flip>) {
+        if *view.state() < 10 {
+            out.push(Flip);
+        }
+    }
+
+    fn apply(&self, view: &impl NodeView<u32>, _a: &Flip) -> u32 {
+        view.state() + 7 // escapes {0, 1} immediately
+    }
+
+    fn initial_state(&self, _ctx: &NodeCtx) -> u32 {
+        0
+    }
+
+    fn random_state(&self, _ctx: &NodeCtx, _rng: &mut dyn RngCore) -> u32 {
+        0
+    }
+}
+
+impl Enumerable for Escapee {
+    fn enumerate_states(&self, _ctx: &NodeCtx) -> Vec<u32> {
+        vec![0, 1] // a lie: apply produces 7
+    }
+}
+
+#[test]
+#[should_panic(expected = "outside enumerate_states")]
+fn model_checker_panics_on_lying_state_spaces() {
+    let net = Network::new(generators::path(2), NodeId::new(0));
+    let mc = ModelChecker::new(&net, &Escapee, 1_000).unwrap();
+    let _ = mc.check_convergence_any_schedule(|_| false);
+}
+
+/// Guard re-evaluation inside `step`: if the daemon picks a node whose
+/// action set shrank… cannot happen (selection and execution share the
+/// same pre-step configuration), but a daemon returning duplicate nodes
+/// must be rejected.
+#[test]
+#[should_panic(expected = "same processor twice")]
+fn duplicate_selection_is_rejected() {
+    struct Doubler;
+    impl sno_engine::daemon::Daemon for Doubler {
+        fn select(
+            &mut self,
+            _enabled: &[sno_engine::daemon::EnabledNode],
+        ) -> Vec<sno_engine::daemon::Choice> {
+            vec![
+                sno_engine::daemon::Choice {
+                    enabled_index: 0,
+                    action_index: 0,
+                },
+                sno_engine::daemon::Choice {
+                    enabled_index: 0,
+                    action_index: 0,
+                },
+            ]
+        }
+    }
+    let net = Network::new(generators::path(2), NodeId::new(0));
+    let mut sim = Simulation::new(&net, HopDistance, vec![0, 9]);
+    let _ = sim.step(&mut Doubler);
+}
+
+/// `neighbor_states` iterates ports in order and exactly once each.
+#[test]
+fn neighbor_states_iteration_order() {
+    let net = Network::new(generators::star(5), NodeId::new(0));
+    let config: Vec<u32> = vec![0, 10, 20, 30, 40];
+    let view = sno_engine::protocol::ConfigView::new(&net, NodeId::new(0), &config);
+    let seen: Vec<(usize, u32)> = neighbor_states(&view)
+        .map(|(l, &s)| (l.index(), s))
+        .collect();
+    assert_eq!(seen, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+}

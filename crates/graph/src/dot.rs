@@ -1,0 +1,105 @@
+//! Graphviz DOT export for topologies (and, with edge annotations, for
+//! oriented networks) — handy for inspecting counterexamples and for the
+//! README diagrams of a release.
+
+use std::fmt::Write as _;
+
+use crate::{Graph, NodeId};
+
+/// Renders `g` as an undirected Graphviz graph.
+///
+/// `node_label(p)` supplies the text inside each node;
+/// `edge_label(u, v)` the text on each edge (return `None` for no label).
+///
+/// # Example
+///
+/// ```
+/// use sno_graph::{dot, generators, NodeId};
+/// let g = generators::ring(3);
+/// let s = dot::to_dot(&g, |p| format!("{p}"), |_, _| None);
+/// assert!(s.starts_with("graph {"));
+/// assert!(s.contains("n0 -- n1"));
+/// ```
+pub fn to_dot(
+    g: &Graph,
+    mut node_label: impl FnMut(NodeId) -> String,
+    mut edge_label: impl FnMut(NodeId, NodeId) -> Option<String>,
+) -> String {
+    let mut out = String::from("graph {\n  node [shape=circle];\n");
+    for p in g.nodes() {
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", p.index(), node_label(p));
+    }
+    for (u, v) in g.edges() {
+        match edge_label(u, v) {
+            Some(l) => {
+                let _ = writeln!(out, "  n{} -- n{} [label=\"{}\"];", u.index(), v.index(), l);
+            }
+            None => {
+                let _ = writeln!(out, "  n{} -- n{};", u.index(), v.index());
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a rooted tree over `g`: tree edges solid, non-tree edges
+/// dashed; the root is drawn doubled.
+///
+/// # Panics
+///
+/// Panics if `parent` is not a parent vector over `g`.
+pub fn tree_to_dot(g: &Graph, root: NodeId, parent: &[Option<NodeId>]) -> String {
+    assert_eq!(parent.len(), g.node_count(), "parent vector length");
+    let mut out = String::from("graph {\n  node [shape=circle];\n");
+    let _ = writeln!(out, "  n{} [shape=doublecircle];", root.index());
+    for (u, v) in g.edges() {
+        let is_tree = parent[u.index()] == Some(v) || parent[v.index()] == Some(u);
+        let style = if is_tree { "solid" } else { "dashed" };
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [style={}];",
+            u.index(),
+            v.index(),
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let g = generators::ring(4);
+        let s = to_dot(&g, |p| p.to_string(), |_, _| None);
+        for i in 0..4 {
+            assert!(s.contains(&format!("n{i} [label=")));
+        }
+        assert_eq!(s.matches(" -- ").count(), 4);
+    }
+
+    #[test]
+    fn edge_labels_are_emitted() {
+        let g = generators::path(3);
+        let s = to_dot(&g, |p| p.to_string(), |u, v| {
+            Some(format!("{}:{}", u.index(), v.index()))
+        });
+        assert!(s.contains("[label=\"0:1\"]"));
+        assert!(s.contains("[label=\"1:2\"]"));
+    }
+
+    #[test]
+    fn tree_export_distinguishes_chords() {
+        let g = generators::paper_example_dftno();
+        let dfs = crate::traverse::first_dfs(&g, NodeId::new(0));
+        let s = tree_to_dot(&g, NodeId::new(0), &dfs.parent);
+        assert!(s.contains("doublecircle"));
+        assert_eq!(s.matches("style=solid").count(), 4, "n−1 tree edges");
+        assert_eq!(s.matches("style=dashed").count(), 1, "the chord b−c");
+    }
+}

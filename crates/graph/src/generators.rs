@@ -1,0 +1,655 @@
+//! Deterministic and seeded topology generators.
+//!
+//! All generators return connected graphs with deterministic port numbering,
+//! so simulations driven by seeded daemons are fully reproducible. The
+//! `paper_*` generators reconstruct the exact example instances used in the
+//! paper's figures.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// A single node and no edges (the degenerate rooted network).
+pub fn singleton() -> Graph {
+    Graph::from_edges(1, &[]).expect("singleton is valid")
+}
+
+/// A path `0 − 1 − ⋯ − (n−1)`.
+///
+/// Rooted at node 0 this is the worst case for the `O(h)` bound of `STNO`
+/// (`h = n − 1`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path needs at least one node");
+    let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Graph::from_edges(n, &edges).expect("path is valid")
+}
+
+/// A ring of `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "ring needs at least three nodes");
+    let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::from_edges(n, &edges).expect("ring is valid")
+}
+
+/// A star: node 0 is the hub connected to all `n − 1` leaves.
+///
+/// Rooted at the hub this is the best case for the `O(h)` bound of `STNO`
+/// (`h = 1`).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least two nodes");
+    let edges: Vec<_> = (1..n).map(|i| (0, i)).collect();
+    Graph::from_edges(n, &edges).expect("star is valid")
+}
+
+/// The complete graph `K_n`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 2, "complete graph needs at least two nodes");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.edge(u, v);
+        }
+    }
+    b.build().expect("complete graph is valid")
+}
+
+/// A `w × h` grid (4-neighborhood), nodes numbered row-major.
+///
+/// # Panics
+///
+/// Panics if `w == 0 || h == 0`.
+pub fn grid(w: usize, h: usize) -> Graph {
+    assert!(w > 0 && h > 0, "grid needs positive dimensions");
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let u = y * w + x;
+            if x + 1 < w {
+                b.edge(u, u + 1);
+            }
+            if y + 1 < h {
+                b.edge(u, u + w);
+            }
+        }
+    }
+    b.build().expect("grid is valid")
+}
+
+/// A `w × h` torus (grid with wrap-around edges); requires `w, h ≥ 3` so the
+/// graph stays simple.
+///
+/// # Panics
+///
+/// Panics if `w < 3 || h < 3`.
+pub fn torus(w: usize, h: usize) -> Graph {
+    assert!(w >= 3 && h >= 3, "torus needs dimensions of at least three");
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let u = y * w + x;
+            b.edge(u, y * w + (x + 1) % w);
+            b.edge(u, ((y + 1) % h) * w + x);
+        }
+    }
+    b.build().expect("torus is valid")
+}
+
+/// The `d`-dimensional hypercube `Q_d` with `2^d` nodes.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `d > 20`.
+pub fn hypercube(d: u32) -> Graph {
+    assert!((1..=20).contains(&d), "hypercube dimension must be in 1..=20");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if u < v {
+                b.edge(u, v);
+            }
+        }
+    }
+    b.build().expect("hypercube is valid")
+}
+
+/// A complete `arity`-ary tree of the given `depth` (depth 0 = single root).
+///
+/// Node 0 is the root; children of node `u` are `u*arity + 1 ..= u*arity +
+/// arity` in level order. Its height equals `depth`, so with
+/// `n = Θ(arity^depth)` the height is `Θ(log n)` — used to separate the
+/// `O(h)` and `O(n)` stabilization bounds empirically.
+///
+/// # Panics
+///
+/// Panics if `arity == 0`.
+pub fn balanced_tree(arity: usize, depth: u32) -> Graph {
+    assert!(arity > 0, "arity must be positive");
+    // n = 1 + arity + arity^2 + … + arity^depth
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= arity;
+        n += level;
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for c in 1..=arity {
+            let child = u * arity + c;
+            if child < n {
+                b.edge(u, child);
+            }
+        }
+    }
+    b.build().expect("balanced tree is valid")
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each carrying `legs` leaf
+/// nodes. Height from node 0 is `spine` (last spine node's leg), while
+/// `n = spine · (1 + legs)`; lets experiments vary `n` at nearly fixed `h`.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine > 0, "caterpillar needs a spine");
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n);
+    for s in 0..spine.saturating_sub(1) {
+        b.edge(s, s + 1);
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            b.edge(s, next);
+            next += 1;
+        }
+    }
+    b.build().expect("caterpillar is valid")
+}
+
+/// A lollipop: a clique of `k` nodes with a path of `len` nodes attached to
+/// clique node 0. A classic stress topology mixing high and low degree.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn lollipop(k: usize, len: usize) -> Graph {
+    assert!(k >= 2, "lollipop clique needs at least two nodes");
+    let n = k + len;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.edge(u, v);
+        }
+    }
+    for i in 0..len {
+        let prev = if i == 0 { 0 } else { k + i - 1 };
+        b.edge(prev, k + i);
+    }
+    b.build().expect("lollipop is valid")
+}
+
+/// A wheel: a hub (node 0) connected to every node of an outer ring of
+/// `n − 1` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel needs at least four nodes");
+    let mut b = GraphBuilder::new(n);
+    let ring_len = n - 1;
+    for i in 0..ring_len {
+        b.edge(0, 1 + i);
+        b.edge(1 + i, 1 + (i + 1) % ring_len);
+    }
+    b.build().expect("wheel is valid")
+}
+
+/// The complete bipartite graph `K_{a,b}`: nodes `0..a` on one side,
+/// `a..a+b` on the other.
+///
+/// # Panics
+///
+/// Panics if `a == 0 || b == 0`.
+pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
+    assert!(a > 0 && b_size > 0, "both sides need nodes");
+    let mut b = GraphBuilder::new(a + b_size);
+    for u in 0..a {
+        for v in 0..b_size {
+            b.edge(u, a + v);
+        }
+    }
+    b.build().expect("complete bipartite is valid")
+}
+
+/// The Petersen graph: 10 nodes, 15 edges, 3-regular, girth 5 — a
+/// classic adversarial instance for traversal algorithms.
+pub fn petersen() -> Graph {
+    let mut b = GraphBuilder::new(10);
+    // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i — i+5.
+    for i in 0..5 {
+        b.edge(i, (i + 1) % 5);
+        b.edge(5 + i, 5 + (i + 2) % 5);
+        b.edge(i, 5 + i);
+    }
+    b.build().expect("petersen is valid")
+}
+
+/// A uniformly seeded random tree built by random attachment: node `i`
+/// attaches to a uniformly chosen node `< i`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n > 0, "random tree needs at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let parent = rng.random_range(0..i);
+        b.edge(parent, i);
+    }
+    b.build().expect("random tree is valid")
+}
+
+/// A connected random graph: a random spanning tree (random attachment)
+/// plus `extra` additional distinct random edges.
+///
+/// `extra` is silently capped at the number of available non-tree slots, so
+/// asking for a very dense graph degrades to the complete graph.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+    assert!(n > 0, "random graph needs at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut present: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for i in 1..n {
+        let parent = rng.random_range(0..i);
+        edges.push((parent, i));
+        present.insert((parent.min(i), parent.max(i)));
+    }
+    let max_extra = n * (n - 1) / 2 - edges.len();
+    let extra = extra.min(max_extra);
+    let mut added = 0;
+    while added < extra {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if present.insert(key) {
+            edges.push((u, v));
+            added += 1;
+        }
+    }
+    // Shuffle edge insertion order so port numbering is also randomized,
+    // then rebuild. Keeps the adversarial flavor of arbitrary networks.
+    edges.shuffle(&mut rng);
+    Graph::from_edges(n, &edges).expect("random connected graph is valid")
+}
+
+/// A ring of `n` nodes with `chords` random chords — the shape of the
+/// paper's Figure 2.2.1 (chordal sense of direction).
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn ring_with_chords(n: usize, chords: usize, seed: u64) -> Graph {
+    assert!(n >= 4, "chordal ring needs at least four nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut present: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        b.edge(i, j);
+        present.insert((i.min(j), i.max(j)));
+    }
+    let max_chords = n * (n - 1) / 2 - n;
+    let chords = chords.min(max_chords);
+    let mut added = 0;
+    while added < chords {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if present.insert(key) {
+            b.edge(u, v);
+            added += 1;
+        }
+    }
+    b.build().expect("chordal ring is valid")
+}
+
+/// The 5-node example network of the paper's **Figure 3.1.1** (DFTNO node
+/// labeling), with node 0 = `r`, 1 = `a`, 2 = `b`, 3 = `c`, 4 = `d`.
+///
+/// Edges: `r−b`, `r−a`, `b−d`, `b−c` (the chord), `d−c`. Port order is
+/// arranged so the deterministic depth-first traversal from `r` visits
+/// `r, b, d, c`, backtracks to `r`, then visits `a` — reproducing the
+/// figure's trace exactly (names `r=0, b=1, d=2, c=3, a=4`).
+pub fn paper_example_dftno() -> Graph {
+    // Port order is edge-insertion order, so list r's edge to b before r-a,
+    // b's edge to r first (parent), then d, then the chord to c.
+    const R: usize = 0;
+    const A: usize = 1;
+    const B: usize = 2;
+    const C: usize = 3;
+    const D: usize = 4;
+    Graph::from_edges(5, &[(R, B), (B, D), (D, C), (B, C), (R, A)])
+        .expect("paper example is valid")
+}
+
+/// Human-readable names for [`paper_example_dftno`] nodes, indexed by node
+/// id (`r`, `a`, `b`, `c`, `d`).
+pub fn paper_example_dftno_names() -> [&'static str; 5] {
+    ["r", "a", "b", "c", "d"]
+}
+
+/// The 5-node example tree of the paper's **Figure 4.1.1** (STNO weights and
+/// naming): a root with two children, the first child having two leaf
+/// children.
+///
+/// Node 0 = root, node 1 = internal child, nodes 2 and 3 = its leaves,
+/// node 4 = the root's second (leaf) child. Weights stabilize to
+/// `w(2)=w(3)=w(4)=1`, `w(1)=3`, `w(0)=5`, and names to the preorder
+/// `0,1,2,3,4` — the figure's final labeling.
+pub fn paper_example_stno() -> Graph {
+    Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (0, 4)]).expect("paper tree is valid")
+}
+
+/// Kinds of topology, for sweep-style experiments and property tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// [`path`]
+    Path,
+    /// [`ring`]
+    Ring,
+    /// [`star`]
+    Star,
+    /// [`complete`]
+    Complete,
+    /// [`random_tree`]
+    RandomTree,
+    /// [`random_connected`] with `2n` extra edges
+    RandomSparse,
+    /// [`random_connected`] with `n²/4` extra edges
+    RandomDense,
+    /// [`hypercube`] (rounds `n` down to a power of two)
+    Hypercube,
+}
+
+impl Topology {
+    /// All topology kinds, for exhaustive sweeps.
+    pub const ALL: [Topology; 8] = [
+        Topology::Path,
+        Topology::Ring,
+        Topology::Star,
+        Topology::Complete,
+        Topology::RandomTree,
+        Topology::RandomSparse,
+        Topology::RandomDense,
+        Topology::Hypercube,
+    ];
+
+    /// Instantiates this topology with roughly `n` nodes.
+    pub fn build(self, n: usize, seed: u64) -> Graph {
+        match self {
+            Topology::Path => path(n.max(1)),
+            Topology::Ring => ring(n.max(3)),
+            Topology::Star => star(n.max(2)),
+            Topology::Complete => complete(n.clamp(2, 64)),
+            Topology::RandomTree => random_tree(n.max(1), seed),
+            Topology::RandomSparse => random_connected(n.max(2), 2 * n, seed),
+            Topology::RandomDense => random_connected(n.max(2), n * n / 4, seed),
+            Topology::Hypercube => {
+                let d = (usize::BITS - n.max(2).leading_zeros() - 1).max(1);
+                hypercube(d)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Topology::Path => "path",
+            Topology::Ring => "ring",
+            Topology::Star => "star",
+            Topology::Complete => "complete",
+            Topology::RandomTree => "random-tree",
+            Topology::RandomSparse => "random-sparse",
+            Topology::RandomDense => "random-dense",
+            Topology::Hypercube => "hypercube",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Returns the canonical root used throughout the experiments: node 0.
+pub fn default_root() -> NodeId {
+    NodeId::new(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_tree());
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert_eq!(g.degree(NodeId::new(2)), 2);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.nodes().all(|u| g.degree(u) == 2));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(NodeId::new(0)), 6);
+        assert!((1..7).all(|i| g.degree(NodeId::new(i)) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.nodes().all(|u| g.degree(u) == 4));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // vertical + horizontal
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = torus(4, 3);
+        assert!(g.nodes().all(|u| g.degree(u) == 4));
+        assert_eq!(g.edge_count(), 2 * 12);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert!(g.nodes().all(|u| g.degree(u) == 4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let g = balanced_tree(2, 3);
+        assert_eq!(g.node_count(), 15);
+        assert!(g.is_tree());
+        let g3 = balanced_tree(3, 2);
+        assert_eq!(g3.node_count(), 13);
+        assert!(g3.is_tree());
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.node_count(), 12);
+        assert!(g.is_tree());
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 6 + 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(7);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 2 * 6);
+        assert_eq!(g.degree(NodeId::new(0)), 6, "hub");
+        assert!((1..7).all(|i| g.degree(NodeId::new(i)) == 3), "rim");
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert!((0..3).all(|i| g.degree(NodeId::new(i)) == 4));
+        assert!((3..7).all(|i| g.degree(NodeId::new(i)) == 3));
+        // Bipartite: no edge within a side.
+        for u in 0..3 {
+            for v in 0..3 {
+                if u != v {
+                    assert_eq!(g.port_to(NodeId::new(u), NodeId::new(v)), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn petersen_shape() {
+        let g = petersen();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.nodes().all(|u| g.degree(u) == 3), "3-regular");
+        assert!(g.is_connected());
+        // Girth 5: no triangles — no two neighbors of a node are adjacent.
+        for u in g.nodes() {
+            let ns = g.neighbors(u);
+            for &a in ns {
+                for &b in ns {
+                    if a != b {
+                        assert_eq!(g.port_to(a, b), None, "triangle at {u}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_is_tree_for_many_seeds() {
+        for seed in 0..20 {
+            let g = random_tree(17, seed);
+            assert!(g.is_tree(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_sized() {
+        for seed in 0..10 {
+            let g = random_connected(20, 15, seed);
+            assert!(g.is_connected(), "seed {seed}");
+            assert_eq!(g.edge_count(), 19 + 15);
+        }
+    }
+
+    #[test]
+    fn random_connected_caps_extra_edges() {
+        let g = random_connected(4, 1000, 7);
+        assert_eq!(g.edge_count(), 6); // complete K4
+    }
+
+    #[test]
+    fn random_generators_are_deterministic_per_seed() {
+        let a = random_connected(12, 8, 99);
+        let b = random_connected(12, 8, 99);
+        assert_eq!(a, b);
+        assert_ne!(a, random_connected(12, 8, 100));
+    }
+
+    #[test]
+    fn chordal_ring_shape() {
+        let g = ring_with_chords(8, 3, 5);
+        assert_eq!(g.edge_count(), 11);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn paper_dftno_example_visits_in_figure_order() {
+        let g = paper_example_dftno();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        let dfs = traverse::first_dfs(&g, NodeId::new(0));
+        // Figure 3.1.1: r=0, b=1, d=2, c=3, a=4.
+        let order: Vec<usize> = dfs.order.iter().map(|p| p.index()).collect();
+        assert_eq!(order, vec![0, 2, 4, 3, 1], "visit order r,b,d,c,a");
+    }
+
+    #[test]
+    fn paper_stno_example_is_the_figure_tree() {
+        let g = paper_example_stno();
+        assert!(g.is_tree());
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(1)), 3);
+    }
+
+    #[test]
+    fn topology_sweep_builds_connected_graphs() {
+        for t in Topology::ALL {
+            let g = t.build(16, 3);
+            assert!(g.is_connected(), "{t} must be connected");
+            assert!(g.node_count() >= 2, "{t} has nodes");
+        }
+    }
+}

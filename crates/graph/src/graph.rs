@@ -1,0 +1,423 @@
+//! The port-numbered undirected graph at the heart of every simulation.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::{NodeId, Port};
+
+/// Error building or validating a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no nodes.
+    Empty,
+    /// An edge endpoint referred to a node index `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge connected a node to itself; the model only allows simple
+    /// bidirectional links between distinct processors.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// The same undirected edge was added twice.
+    DuplicateEdge {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::DuplicateEdge { a, b } => {
+                write!(f, "duplicate edge between {a} and {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected, simple, port-numbered graph.
+///
+/// Each node's incident edges are numbered `0..degree` in the order the
+/// edges were added (its *ports*). For every port the graph also records the
+/// *back port*: the port index of the same edge at the other endpoint. This
+/// mirrors the paper's assumption that each processor maintains its neighbor
+/// set `N_p` via an underlying protocol.
+///
+/// `Graph` is immutable once built; use [`GraphBuilder`] or
+/// [`Graph::from_edges`] to construct one.
+///
+/// # Example
+///
+/// ```
+/// use sno_graph::{Graph, NodeId, Port};
+///
+/// // A triangle.
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])?;
+/// assert_eq!(g.degree(NodeId::new(0)), 2);
+/// let q = g.neighbor(NodeId::new(0), Port::new(0));
+/// assert_eq!(q, NodeId::new(1));
+/// # Ok::<(), sno_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Graph {
+    /// `adj[u][p]` = neighbor of `u` through port `p`.
+    adj: Vec<Vec<NodeId>>,
+    /// `back[u][p]` = port of the same edge at `adj[u][p]`.
+    back: Vec<Vec<Port>>,
+    /// Number of undirected edges.
+    m: usize,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.node_count())
+            .field("m", &self.m)
+            .field("adj", &self.adj)
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an edge list.
+    ///
+    /// Ports are assigned in edge-list order: the `k`-th edge incident to a
+    /// node (in list order) becomes its port `k`. This makes topology
+    /// generation fully deterministic, which in turn makes every simulated
+    /// execution reproducible from a seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `n == 0`, an endpoint is out of range, an
+    /// edge is a self-loop, or an edge appears twice.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Number of processors `|V|`.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of bidirectional links `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Iterator over all node identifiers, in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::new)
+    }
+
+    /// Degree `Δ_p` of node `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn degree(&self, p: NodeId) -> usize {
+        self.adj[p.index()].len()
+    }
+
+    /// The maximum degree `Δ` over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Neighbors of `p` in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn neighbors(&self, p: NodeId) -> &[NodeId] {
+        &self.adj[p.index()]
+    }
+
+    /// The neighbor of `p` through port `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `l` is out of range.
+    pub fn neighbor(&self, p: NodeId, l: Port) -> NodeId {
+        self.adj[p.index()][l.index()]
+    }
+
+    /// The port of the edge `(p, q)` at the *other* endpoint `q`, where the
+    /// edge is designated by its port `l` at `p`.
+    ///
+    /// If `q = neighbor(p, l)` then `neighbor(q, back_port(p, l)) == p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `l` is out of range.
+    pub fn back_port(&self, p: NodeId, l: Port) -> Port {
+        self.back[p.index()][l.index()]
+    }
+
+    /// All back ports of `p`, in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn back_ports(&self, p: NodeId) -> &[Port] {
+        &self.back[p.index()]
+    }
+
+    /// Finds the port of `p` that leads to `q`, if the edge exists.
+    pub fn port_to(&self, p: NodeId, q: NodeId) -> Option<Port> {
+        self.adj[p.index()]
+            .iter()
+            .position(|&x| x == q)
+            .map(Port::new)
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` pairs with
+    /// `u.index() < v.index()`, each edge reported once.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, ns)| {
+            ns.iter()
+                .filter(move |v| u < v.index())
+                .map(move |&v| (NodeId::new(u), v))
+        })
+    }
+
+    /// `true` iff the graph is connected (the paper's model requires it).
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return false;
+        }
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in self.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.adj.len()
+    }
+
+    /// `true` iff the graph is a tree (`connected` and `m == n − 1`).
+    pub fn is_tree(&self) -> bool {
+        self.m + 1 == self.node_count() && self.is_connected()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use sno_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(4);
+/// b.edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 0);
+/// let ring = b.build()?;
+/// assert_eq!(ring.edge_count(), 4);
+/// # Ok::<(), sno_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// Port numbers are assigned in call order. Validation happens in
+    /// [`GraphBuilder::build`].
+    pub fn edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds many edges at once.
+    pub fn edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, it: I) -> &mut Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Validates and builds the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] for an empty node set, out-of-range endpoints,
+    /// self-loops, or duplicate edges.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        if self.n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(self.edges.len());
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.n];
+        let mut back: Vec<Vec<Port>> = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            if u >= self.n {
+                return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+            }
+            if v >= self.n {
+                return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                return Err(GraphError::DuplicateEdge { a: u, b: v });
+            }
+            let pu = Port::new(adj[u].len());
+            let pv = Port::new(adj[v].len());
+            adj[u].push(NodeId::new(v));
+            adj[v].push(NodeId::new(u));
+            back[u].push(pv);
+            back[v].push(pu);
+        }
+        Ok(Graph {
+            adj,
+            back,
+            m: self.edges.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn back_ports_are_symmetric() {
+        let g = triangle();
+        for u in g.nodes() {
+            for l in 0..g.degree(u) {
+                let l = Port::new(l);
+                let v = g.neighbor(u, l);
+                let bl = g.back_port(u, l);
+                assert_eq!(g.neighbor(v, bl), u, "back port must return to origin");
+                assert_eq!(g.back_port(v, bl), l, "back of back is identity");
+            }
+        }
+    }
+
+    #[test]
+    fn port_order_is_insertion_order() {
+        let g = Graph::from_edges(3, &[(0, 2), (0, 1)]).unwrap();
+        assert_eq!(g.neighbor(NodeId::new(0), Port::new(0)), NodeId::new(2));
+        assert_eq!(g.neighbor(NodeId::new(0), Port::new(1)), NodeId::new(1));
+    }
+
+    #[test]
+    fn port_to_finds_edges() {
+        let g = triangle();
+        assert_eq!(
+            g.port_to(NodeId::new(0), NodeId::new(2)),
+            Some(Port::new(1))
+        );
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(path.port_to(NodeId::new(0), NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Graph::from_edges(0, &[]), Err(GraphError::Empty));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edges_in_any_orientation() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge { a: 1, b: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 5)]),
+            Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
+        );
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(triangle().is_connected());
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!disconnected.is_connected());
+        let singleton = Graph::from_edges(1, &[]).unwrap();
+        assert!(singleton.is_connected());
+    }
+
+    #[test]
+    fn tree_detection() {
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(path.is_tree());
+        assert!(!triangle().is_tree());
+        let forest = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!forest.is_tree());
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v) in edges {
+            assert!(u.index() < v.index());
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphError::DuplicateEdge { a: 1, b: 2 };
+        assert!(e.to_string().contains("duplicate"));
+    }
+}

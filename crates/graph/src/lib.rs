@@ -1,0 +1,43 @@
+//! # sno-graph
+//!
+//! Port-numbered network topologies for simulating self-stabilizing
+//! distributed protocols, together with *golden* (sequential, centralized)
+//! reference traversals used as oracles in tests and benchmarks.
+//!
+//! The model follows Chapter 2 of *"Self-Stabilizing Network Orientation
+//! Algorithms in Arbitrary Rooted Networks"*: a distributed system is an
+//! undirected connected graph `S = (V, E)`. Every processor `p` addresses
+//! each incident edge through a local **port** (an index into its neighbor
+//! list); the order of ports is what makes depth-first traversals
+//! deterministic ("lowest port first"). For every edge `(p, q)` both
+//! endpoints also know the *back port*, i.e. the port through which the
+//! other endpoint sees the edge — exactly the `N_p` neighbor-set knowledge
+//! the paper's underlying protocols maintain.
+//!
+//! # Example
+//!
+//! ```
+//! use sno_graph::NodeId;
+//!
+//! let g = sno_graph::generators::ring(5);
+//! assert_eq!(g.node_count(), 5);
+//! assert_eq!(g.edge_count(), 5);
+//! let dfs = sno_graph::traverse::first_dfs(&g, NodeId::new(0));
+//! assert_eq!(dfs.order.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod id;
+
+pub mod dot;
+pub mod generators;
+pub mod props;
+pub mod rooted;
+pub mod traverse;
+
+pub use graph::{Graph, GraphBuilder, GraphError};
+pub use id::{NodeId, Port};
+pub use rooted::RootedTree;

@@ -1,0 +1,101 @@
+//! Structural graph properties used to parameterize experiments
+//! (`Δ`, diameter, eccentricity, degree statistics).
+
+use crate::{traverse, Graph, NodeId};
+
+/// Summary statistics of a topology, as reported in the experiment tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of processors `n`.
+    pub n: usize,
+    /// Number of links `m`.
+    pub m: usize,
+    /// Maximum degree `Δ`.
+    pub max_degree: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Graph diameter (hops).
+    pub diameter: usize,
+    /// Eccentricity of the root = height of the BFS tree from it.
+    pub root_ecc: usize,
+}
+
+/// Computes [`GraphStats`] for `g` rooted at `root`.
+///
+/// Diameter is computed with a BFS from every node — `O(n·m)`, fine at
+/// simulation scale.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected or `root` is out of range.
+pub fn stats(g: &Graph, root: NodeId) -> GraphStats {
+    let n = g.node_count();
+    let degs: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+    let diameter = (0..n)
+        .map(|u| traverse::bfs(g, NodeId::new(u)).height())
+        .max()
+        .unwrap_or(0);
+    GraphStats {
+        n,
+        m: g.edge_count(),
+        max_degree: degs.iter().copied().max().unwrap_or(0),
+        min_degree: degs.iter().copied().min().unwrap_or(0),
+        diameter,
+        root_ecc: traverse::bfs(g, root).height(),
+    }
+}
+
+/// Eccentricity of a single node (longest shortest path from it).
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected or `p` is out of range.
+pub fn eccentricity(g: &Graph, p: NodeId) -> usize {
+    traverse::bfs(g, p).height()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ring_stats() {
+        let g = generators::ring(8);
+        let s = stats(&g, NodeId::new(0));
+        assert_eq!(s.n, 8);
+        assert_eq!(s.m, 8);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.diameter, 4);
+        assert_eq!(s.root_ecc, 4);
+    }
+
+    #[test]
+    fn star_stats() {
+        let g = generators::star(9);
+        let s = stats(&g, NodeId::new(0));
+        assert_eq!(s.max_degree, 8);
+        assert_eq!(s.diameter, 2);
+        assert_eq!(s.root_ecc, 1);
+    }
+
+    #[test]
+    fn path_eccentricity_depends_on_root() {
+        let g = generators::path(7);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), 6);
+        assert_eq!(eccentricity(&g, NodeId::new(3)), 3);
+    }
+
+    #[test]
+    fn complete_diameter_is_one() {
+        let g = generators::complete(6);
+        assert_eq!(stats(&g, NodeId::new(0)).diameter, 1);
+    }
+
+    #[test]
+    fn hypercube_diameter_is_dimension() {
+        let g = generators::hypercube(4);
+        assert_eq!(stats(&g, NodeId::new(0)).diameter, 4);
+    }
+}

@@ -1,0 +1,349 @@
+//! Rooted spanning trees over a host graph.
+//!
+//! `STNO` runs on a spanning tree maintained by an underlying protocol; this
+//! module provides the *sequential* representation of such a tree (parents,
+//! ordered children, weights, preorder) used by oracle providers and as a
+//! golden model in tests.
+
+use std::fmt;
+
+use crate::{Graph, NodeId, Port};
+
+/// Error validating a rooted spanning tree against its host graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The root had a parent, or a non-root lacked one.
+    BadRoot {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A parent pointer used an edge absent from the host graph.
+    MissingEdge {
+        /// The child whose parent pointer is invalid.
+        child: NodeId,
+        /// The alleged parent.
+        parent: NodeId,
+    },
+    /// Parent pointers contain a cycle or do not span the graph.
+    NotSpanning,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::BadRoot { node } => write!(f, "bad root/parent assignment at {node}"),
+            TreeError::MissingEdge { child, parent } => {
+                write!(f, "parent edge {child} -> {parent} not in host graph")
+            }
+            TreeError::NotSpanning => write!(f, "parent pointers do not form a spanning tree"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// The role the spanning tree protocol assigns to a node (Chapter 4: the
+/// algorithm text distinguishes the root, leaf, and internal processors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The distinguished root processor `r`.
+    Root,
+    /// A node with a parent and at least one child.
+    Internal,
+    /// A node with a parent and no children.
+    Leaf,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Root => f.write_str("root"),
+            Role::Internal => f.write_str("internal"),
+            Role::Leaf => f.write_str("leaf"),
+        }
+    }
+}
+
+/// A rooted spanning tree of a host graph, with children ordered by the
+/// parent's port numbers (the order in which `Distribute` hands out label
+/// ranges).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    /// The port at the child leading to its parent.
+    parent_port: Vec<Option<Port>>,
+    /// Children in the parent's port order.
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<usize>,
+}
+
+impl RootedTree {
+    /// Builds and validates a rooted tree from parent pointers over `g`.
+    ///
+    /// Children are ordered by the parent's port numbers, making the
+    /// preorder — and therefore `STNO`'s naming — deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError`] if the pointers are inconsistent with `g` or do
+    /// not form a spanning tree rooted at `root`.
+    pub fn from_parents(
+        g: &Graph,
+        root: NodeId,
+        parent: &[Option<NodeId>],
+    ) -> Result<Self, TreeError> {
+        let n = g.node_count();
+        assert_eq!(parent.len(), n, "parent vector length mismatch");
+        if parent[root.index()].is_some() {
+            return Err(TreeError::BadRoot { node: root });
+        }
+        let mut parent_port = vec![None; n];
+        for u in g.nodes() {
+            if u == root {
+                continue;
+            }
+            let p = parent[u.index()].ok_or(TreeError::BadRoot { node: u })?;
+            let port = g
+                .port_to(u, p)
+                .ok_or(TreeError::MissingEdge { child: u, parent: p })?;
+            parent_port[u.index()] = Some(port);
+        }
+        // Children in parent's port order.
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                if parent[v.index()] == Some(u) {
+                    children[u.index()].push(v);
+                }
+            }
+        }
+        // Depth computation doubles as the spanning/acyclicity check.
+        let mut depth = vec![usize::MAX; n];
+        depth[root.index()] = 0;
+        let mut stack = vec![root];
+        let mut seen = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &children[u.index()] {
+                if depth[v.index()] != usize::MAX {
+                    return Err(TreeError::NotSpanning);
+                }
+                depth[v.index()] = depth[u.index()] + 1;
+                seen += 1;
+                stack.push(v);
+            }
+        }
+        if seen != n {
+            return Err(TreeError::NotSpanning);
+        }
+        Ok(RootedTree {
+            root,
+            parent: parent.to_vec(),
+            parent_port,
+            children,
+            depth,
+        })
+    }
+
+    /// The distinguished root.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `p`, `None` for the root.
+    pub fn parent(&self, p: NodeId) -> Option<NodeId> {
+        self.parent[p.index()]
+    }
+
+    /// The port at `p` leading to its parent.
+    pub fn parent_port(&self, p: NodeId) -> Option<Port> {
+        self.parent_port[p.index()]
+    }
+
+    /// Children of `p` in the parent's port order.
+    pub fn children(&self, p: NodeId) -> &[NodeId] {
+        &self.children[p.index()]
+    }
+
+    /// Depth of `p` (root = 0).
+    pub fn depth(&self, p: NodeId) -> usize {
+        self.depth[p.index()]
+    }
+
+    /// Height `h` of the tree — the quantity in `STNO`'s `O(h)` bound.
+    pub fn height(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The paper's role classification.
+    pub fn role(&self, p: NodeId) -> Role {
+        if p == self.root {
+            Role::Root
+        } else if self.children[p.index()].is_empty() {
+            Role::Leaf
+        } else {
+            Role::Internal
+        }
+    }
+
+    /// `Weight_p` for every node: the number of nodes in the subtree rooted
+    /// at `p` (leaves report 1), computed bottom-up as in Figure 4.1.1.
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let order = self.preorder();
+        let mut w = vec![1usize; self.node_count()];
+        for &u in order.iter().rev() {
+            for &c in self.children(u) {
+                w[u.index()] += w[c.index()];
+            }
+        }
+        w
+    }
+
+    /// Preorder traversal (children in port order). `STNO`'s stabilized
+    /// names are exactly the preorder ranks (root = 0).
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.node_count());
+        let mut stack = vec![self.root];
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            // Push children in reverse so the lowest port pops first.
+            for &c in self.children(u).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// `rank[p]` = preorder rank of `p` — the golden model for `STNO`'s
+    /// node names.
+    pub fn preorder_ranks(&self) -> Vec<usize> {
+        let mut rank = vec![0usize; self.node_count()];
+        for (i, u) in self.preorder().into_iter().enumerate() {
+            rank[u.index()] = i;
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traverse;
+
+    fn tree_of(g: &Graph, root: NodeId) -> RootedTree {
+        let bfs = traverse::bfs(g, root);
+        RootedTree::from_parents(g, root, &bfs.parent).unwrap()
+    }
+
+    #[test]
+    fn paper_stno_tree_weights_match_figure() {
+        let g = generators::paper_example_stno();
+        let t = tree_of(&g, NodeId::new(0));
+        let w = t.subtree_sizes();
+        assert_eq!(w, vec![5, 3, 1, 1, 1], "Figure 4.1.1 weights");
+    }
+
+    #[test]
+    fn paper_stno_tree_preorder_matches_figure() {
+        let g = generators::paper_example_stno();
+        let t = tree_of(&g, NodeId::new(0));
+        assert_eq!(t.preorder_ranks(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn roles_are_classified() {
+        let g = generators::paper_example_stno();
+        let t = tree_of(&g, NodeId::new(0));
+        assert_eq!(t.role(NodeId::new(0)), Role::Root);
+        assert_eq!(t.role(NodeId::new(1)), Role::Internal);
+        assert_eq!(t.role(NodeId::new(2)), Role::Leaf);
+        assert_eq!(t.role(NodeId::new(4)), Role::Leaf);
+    }
+
+    #[test]
+    fn height_of_path_and_star() {
+        let p = generators::path(6);
+        assert_eq!(tree_of(&p, NodeId::new(0)).height(), 5);
+        let s = generators::star(6);
+        assert_eq!(tree_of(&s, NodeId::new(0)).height(), 1);
+    }
+
+    #[test]
+    fn children_follow_port_order() {
+        // Root 0 with edges inserted to 2 first, then 1.
+        let g = Graph::from_edges(3, &[(0, 2), (0, 1)]).unwrap();
+        let t = tree_of(&g, NodeId::new(0));
+        let kids: Vec<usize> = t.children(NodeId::new(0)).iter().map(|c| c.index()).collect();
+        assert_eq!(kids, vec![2, 1]);
+        let pre: Vec<usize> = t.preorder().iter().map(|c| c.index()).collect();
+        assert_eq!(pre, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let g = generators::ring(4);
+        // 0 -> 1 -> 2 -> 3 -> 0 parent cycle plus bogus root.
+        let parents = vec![
+            None,
+            Some(NodeId::new(2)),
+            Some(NodeId::new(3)),
+            Some(NodeId::new(2)),
+        ];
+        // 3 -> 2 and 2 -> 3 form a cycle detached from the root.
+        let err = RootedTree::from_parents(&g, NodeId::new(0), &parents);
+        assert_eq!(err, Err(TreeError::NotSpanning));
+    }
+
+    #[test]
+    fn rejects_parent_without_edge() {
+        let g = generators::path(3);
+        let parents = vec![None, Some(NodeId::new(0)), Some(NodeId::new(0))];
+        let err = RootedTree::from_parents(&g, NodeId::new(0), &parents);
+        assert_eq!(
+            err,
+            Err(TreeError::MissingEdge {
+                child: NodeId::new(2),
+                parent: NodeId::new(0)
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_missing_parent() {
+        let g = generators::path(3);
+        let parents = vec![None, None, Some(NodeId::new(1))];
+        let err = RootedTree::from_parents(&g, NodeId::new(0), &parents);
+        assert_eq!(err, Err(TreeError::BadRoot { node: NodeId::new(1) }));
+    }
+
+    #[test]
+    fn subtree_sizes_sum_at_root() {
+        for seed in 0..5 {
+            let g = generators::random_connected(24, 12, seed);
+            let t = tree_of(&g, NodeId::new(0));
+            let w = t.subtree_sizes();
+            assert_eq!(w[0], 24);
+            // Every node's weight is 1 + sum of children weights.
+            for u in g.nodes() {
+                let expect: usize = t.children(u).iter().map(|c| w[c.index()]).sum::<usize>() + 1;
+                assert_eq!(w[u.index()], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn preorder_of_dfs_tree_equals_dfs_order() {
+        // Sanity link between the two golden models: the preorder of the
+        // first-DFS tree is the DFS visit order itself.
+        let g = generators::random_connected(20, 15, 11);
+        let dfs = traverse::first_dfs(&g, NodeId::new(0));
+        let t = RootedTree::from_parents(&g, NodeId::new(0), &dfs.parent).unwrap();
+        assert_eq!(t.preorder(), dfs.order);
+    }
+}

@@ -1,0 +1,340 @@
+//! Golden sequential traversals used as oracles.
+//!
+//! `first_dfs` computes the *first depth-first traversal*: starting from the
+//! root, always follow the lowest-numbered port leading to an unvisited
+//! node. This is exactly the deterministic order in which the paper's
+//! underlying token circulation protocol passes the token, so its preorder
+//! ranks are the names `DFTNO` must assign (Lemma 3.2.1).
+
+use crate::{Graph, NodeId, Port};
+
+/// One move of the token in a depth-first round (Euler tour of the DFS
+/// tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EulerEvent {
+    /// The token is forwarded from `from` to the unvisited node `to`
+    /// (enables `Forward(to)` in the paper's terminology).
+    Forward {
+        /// Sender.
+        from: NodeId,
+        /// Receiver — visited for the first time in this round.
+        to: NodeId,
+    },
+    /// The token is backtracked from `from` to its parent `to` (enables
+    /// `Backtrack(to)`).
+    Backtrack {
+        /// The child returning the token.
+        from: NodeId,
+        /// The parent receiving it back.
+        to: NodeId,
+    },
+}
+
+/// Result of the golden first depth-first traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfsResult {
+    /// The root the traversal started from.
+    pub root: NodeId,
+    /// Nodes in visit (preorder) order; `order[0] == root`.
+    pub order: Vec<NodeId>,
+    /// `rank[p]` = position of `p` in `order` (its DFS number / the name
+    /// `DFTNO` assigns).
+    pub rank: Vec<usize>,
+    /// `parent[p]` = DFS-tree parent (`None` for the root).
+    pub parent: Vec<Option<NodeId>>,
+    /// `parent_port[p]` = the port at `p` leading to its parent.
+    pub parent_port: Vec<Option<Port>>,
+    /// `children[p]` = DFS-tree children of `p`, in `p`'s port order.
+    pub children: Vec<Vec<NodeId>>,
+    /// The token's Euler tour over the DFS tree: `2(n−1)` events.
+    pub euler: Vec<EulerEvent>,
+    /// `root_path[p]` = the ports taken from the root to `p` along the DFS
+    /// tree (empty for the root). These are exactly the stabilized values of
+    /// the Collin–Dolev path variables.
+    pub root_path: Vec<Vec<Port>>,
+    /// `depth[p]` = length of `root_path[p]`.
+    pub depth: Vec<usize>,
+}
+
+impl DfsResult {
+    /// Height of the DFS tree (maximum depth).
+    pub fn height(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes the first depth-first traversal of `g` from `root`.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range or `g` is disconnected (every node must
+/// be reached, as the paper's model requires connectivity).
+pub fn first_dfs(g: &Graph, root: NodeId) -> DfsResult {
+    let n = g.node_count();
+    assert!(root.index() < n, "root out of range");
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut rank = vec![usize::MAX; n];
+    let mut parent = vec![None; n];
+    let mut parent_port = vec![None; n];
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut euler = Vec::with_capacity(2 * n.saturating_sub(1));
+    let mut root_path: Vec<Vec<Port>> = vec![Vec::new(); n];
+    let mut depth = vec![0usize; n];
+
+    // Iterative DFS with an explicit scan pointer per stacked node: always
+    // explore the lowest unvisited port.
+    visited[root.index()] = true;
+    rank[root.index()] = 0;
+    order.push(root);
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+        let deg = g.degree(u);
+        let mut advanced = false;
+        while *next < deg {
+            let l = Port::new(*next);
+            *next += 1;
+            let v = g.neighbor(u, l);
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                rank[v.index()] = order.len();
+                order.push(v);
+                parent[v.index()] = Some(u);
+                parent_port[v.index()] = Some(g.back_port(u, l));
+                children[u.index()].push(v);
+                let mut path = root_path[u.index()].clone();
+                path.push(l);
+                depth[v.index()] = path.len();
+                root_path[v.index()] = path;
+                euler.push(EulerEvent::Forward { from: u, to: v });
+                stack.push((v, 0));
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            stack.pop();
+            if let Some(&(p, _)) = stack.last() {
+                euler.push(EulerEvent::Backtrack { from: u, to: p });
+            }
+        }
+    }
+    assert_eq!(
+        order.len(),
+        n,
+        "graph must be connected for a depth-first round to visit all nodes"
+    );
+    DfsResult {
+        root,
+        order,
+        rank,
+        parent,
+        parent_port,
+        children,
+        euler,
+        root_path,
+        depth,
+    }
+}
+
+/// Result of a breadth-first traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsResult {
+    /// The root.
+    pub root: NodeId,
+    /// `dist[p]` = hop distance from the root.
+    pub dist: Vec<usize>,
+    /// `parent[p]` = BFS-tree parent: the neighbor at distance `dist[p]−1`
+    /// reachable through `p`'s *lowest* port (`None` for the root). This tie
+    /// break matches the stabilized output of the self-stabilizing BFS tree
+    /// protocol in `sno-tree`.
+    pub parent: Vec<Option<NodeId>>,
+    /// `parent_port[p]` = the port at `p` leading to its parent.
+    pub parent_port: Vec<Option<Port>>,
+}
+
+impl BfsResult {
+    /// Height of the BFS tree = eccentricity of the root.
+    pub fn height(&self) -> usize {
+        self.dist.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes BFS distances and the lowest-port BFS tree from `root`.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range or `g` is disconnected.
+pub fn bfs(g: &Graph, root: NodeId) -> BfsResult {
+    let n = g.node_count();
+    assert!(root.index() < n, "root out of range");
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[root.index()] = 0;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = dist[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    assert!(
+        dist.iter().all(|&d| d != usize::MAX),
+        "graph must be connected"
+    );
+    let mut parent = vec![None; n];
+    let mut parent_port = vec![None; n];
+    for u in g.nodes() {
+        if u == root {
+            continue;
+        }
+        for (i, &v) in g.neighbors(u).iter().enumerate() {
+            if dist[v.index()] + 1 == dist[u.index()] {
+                parent[u.index()] = Some(v);
+                parent_port[u.index()] = Some(Port::new(i));
+                break;
+            }
+        }
+        assert!(parent[u.index()].is_some(), "bfs parent must exist");
+    }
+    BfsResult {
+        root,
+        dist,
+        parent,
+        parent_port,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dfs_on_path_is_linear() {
+        let g = generators::path(4);
+        let d = first_dfs(&g, NodeId::new(0));
+        let order: Vec<usize> = d.order.iter().map(|p| p.index()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(d.euler.len(), 6);
+        assert_eq!(d.height(), 3);
+    }
+
+    #[test]
+    fn dfs_ranks_are_inverse_of_order() {
+        let g = generators::random_connected(15, 10, 3);
+        let d = first_dfs(&g, NodeId::new(0));
+        for (i, &p) in d.order.iter().enumerate() {
+            assert_eq!(d.rank[p.index()], i);
+        }
+    }
+
+    #[test]
+    fn dfs_prefers_lowest_port() {
+        // Node 0 connected to 2 first (port 0), then 1 (port 1).
+        let g = crate::Graph::from_edges(3, &[(0, 2), (0, 1)]).unwrap();
+        let d = first_dfs(&g, NodeId::new(0));
+        let order: Vec<usize> = d.order.iter().map(|p| p.index()).collect();
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn dfs_parents_form_spanning_tree() {
+        let g = generators::random_connected(20, 14, 8);
+        let d = first_dfs(&g, NodeId::new(0));
+        assert_eq!(d.parent[0], None);
+        let tree_edges = d.parent.iter().filter(|p| p.is_some()).count();
+        assert_eq!(tree_edges, 19);
+        // Every child is reachable via parent pointers.
+        for u in g.nodes().skip(1) {
+            let mut cur = u;
+            let mut hops = 0;
+            while let Some(p) = d.parent[cur.index()] {
+                cur = p;
+                hops += 1;
+                assert!(hops <= 20, "parent chain must reach the root");
+            }
+            assert_eq!(cur, NodeId::new(0));
+        }
+    }
+
+    #[test]
+    fn dfs_euler_tour_has_2n_minus_2_events() {
+        let g = generators::random_connected(12, 9, 1);
+        let d = first_dfs(&g, NodeId::new(0));
+        assert_eq!(d.euler.len(), 2 * (12 - 1));
+        let forwards = d
+            .euler
+            .iter()
+            .filter(|e| matches!(e, EulerEvent::Forward { .. }))
+            .count();
+        assert_eq!(forwards, 11);
+    }
+
+    #[test]
+    fn dfs_root_paths_match_parents() {
+        let g = generators::random_connected(10, 6, 2);
+        let d = first_dfs(&g, NodeId::new(0));
+        for u in g.nodes() {
+            // Walking the ports from the root must land on u.
+            let mut cur = NodeId::new(0);
+            for &port in &d.root_path[u.index()] {
+                cur = g.neighbor(cur, port);
+            }
+            assert_eq!(cur, u);
+            assert_eq!(d.depth[u.index()], d.root_path[u.index()].len());
+        }
+    }
+
+    #[test]
+    fn dfs_visit_order_is_lexicographic_on_root_paths() {
+        // Key property for DFTNO: the DFS rank of a node equals the rank of
+        // its root path in lexicographic port order.
+        let g = generators::random_connected(18, 12, 5);
+        let d = first_dfs(&g, NodeId::new(0));
+        let mut paths: Vec<(Vec<Port>, NodeId)> = g
+            .nodes()
+            .map(|u| (d.root_path[u.index()].clone(), u))
+            .collect();
+        paths.sort();
+        for (i, (_, u)) in paths.iter().enumerate() {
+            assert_eq!(d.rank[u.index()], i, "lex rank equals DFS rank");
+        }
+    }
+
+    #[test]
+    fn bfs_distances_on_ring() {
+        let g = generators::ring(6);
+        let b = bfs(&g, NodeId::new(0));
+        assert_eq!(b.dist, vec![0, 1, 2, 3, 2, 1]);
+        assert_eq!(b.height(), 3);
+    }
+
+    #[test]
+    fn bfs_parent_is_lowest_port_min_neighbor() {
+        let g = generators::complete(4);
+        let b = bfs(&g, NodeId::new(0));
+        for u in 1..4 {
+            assert_eq!(b.parent[u], Some(NodeId::new(0)));
+        }
+    }
+
+    #[test]
+    fn bfs_parent_port_round_trips() {
+        let g = generators::random_connected(16, 10, 4);
+        let b = bfs(&g, NodeId::new(0));
+        for u in g.nodes().skip(1) {
+            let port = b.parent_port[u.index()].unwrap();
+            assert_eq!(g.neighbor(u, port), b.parent[u.index()].unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn dfs_panics_on_disconnected() {
+        let g = crate::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let _ = first_dfs(&g, NodeId::new(0));
+    }
+}

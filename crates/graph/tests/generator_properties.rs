@@ -1,0 +1,148 @@
+//! Property-based tests for the topology substrate: every generator must
+//! produce graphs whose invariants the whole stack silently relies on.
+
+use proptest::prelude::*;
+use sno_graph::{generators, props, traverse, NodeId, Port, RootedTree};
+
+fn check_port_symmetry(g: &sno_graph::Graph) {
+    for u in g.nodes() {
+        for l in 0..g.degree(u) {
+            let l = Port::new(l);
+            let v = g.neighbor(u, l);
+            let back = g.back_port(u, l);
+            assert_eq!(g.neighbor(v, back), u);
+            assert_eq!(g.back_port(v, back), l);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_connected_invariants(n in 2usize..40, extra in 0usize..60, seed: u64) {
+        let g = generators::random_connected(n, extra, seed);
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.node_count(), n);
+        check_port_symmetry(&g);
+        // Edge count: spanning tree + extra, capped at complete.
+        let max = n * (n - 1) / 2;
+        prop_assert_eq!(g.edge_count(), (n - 1 + extra).min(max));
+    }
+
+    #[test]
+    fn random_tree_invariants(n in 1usize..60, seed: u64) {
+        let g = generators::random_tree(n, seed);
+        prop_assert!(g.is_tree() || n == 1);
+        check_port_symmetry(&g);
+    }
+
+    #[test]
+    fn dfs_and_bfs_agree_on_reachability(n in 2usize..30, extra in 0usize..30, seed: u64) {
+        let g = generators::random_connected(n, extra, seed);
+        let dfs = traverse::first_dfs(&g, NodeId::new(0));
+        let bfs = traverse::bfs(&g, NodeId::new(0));
+        prop_assert_eq!(dfs.order.len(), n);
+        prop_assert!(bfs.dist.iter().all(|&d| d < n));
+        // BFS distance is a lower bound on DFS depth.
+        for u in g.nodes() {
+            prop_assert!(bfs.dist[u.index()] <= dfs.depth[u.index()]);
+        }
+    }
+
+    #[test]
+    fn dfs_rank_is_lex_rank_of_root_paths(n in 2usize..25, extra in 0usize..25, seed: u64) {
+        let g = generators::random_connected(n, extra, seed);
+        let dfs = traverse::first_dfs(&g, NodeId::new(0));
+        let mut paths: Vec<(&Vec<Port>, usize)> = dfs
+            .root_path
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p, i))
+            .collect();
+        paths.sort();
+        for (rank, (_, node)) in paths.iter().enumerate() {
+            prop_assert_eq!(dfs.rank[*node], rank);
+        }
+    }
+
+    #[test]
+    fn euler_tour_is_a_closed_walk(n in 2usize..25, extra in 0usize..25, seed: u64) {
+        let g = generators::random_connected(n, extra, seed);
+        let dfs = traverse::first_dfs(&g, NodeId::new(0));
+        let mut at = NodeId::new(0);
+        for ev in &dfs.euler {
+            match *ev {
+                traverse::EulerEvent::Forward { from, to } => {
+                    prop_assert_eq!(from, at);
+                    prop_assert!(g.port_to(from, to).is_some());
+                    at = to;
+                }
+                traverse::EulerEvent::Backtrack { from, to } => {
+                    prop_assert_eq!(from, at);
+                    prop_assert_eq!(dfs.parent[from.index()], Some(to));
+                    at = to;
+                }
+            }
+        }
+        prop_assert_eq!(at, NodeId::new(0), "the tour returns to the root");
+    }
+
+    #[test]
+    fn bfs_tree_is_a_valid_rooted_tree(n in 2usize..30, extra in 0usize..30, seed: u64) {
+        let g = generators::random_connected(n, extra, seed);
+        let bfs = traverse::bfs(&g, NodeId::new(0));
+        let tree = RootedTree::from_parents(&g, NodeId::new(0), &bfs.parent).unwrap();
+        prop_assert_eq!(tree.height(), bfs.height());
+        // Depth in the tree equals the BFS distance.
+        for u in g.nodes() {
+            prop_assert_eq!(tree.depth(u), bfs.dist[u.index()]);
+        }
+        // Preorder ranks are a permutation.
+        let mut ranks = tree.preorder_ranks();
+        ranks.sort_unstable();
+        prop_assert_eq!(ranks, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subtree_sizes_are_consistent(n in 2usize..30, seed: u64) {
+        let g = generators::random_tree(n, seed);
+        let bfs = traverse::bfs(&g, NodeId::new(0));
+        let tree = RootedTree::from_parents(&g, NodeId::new(0), &bfs.parent).unwrap();
+        let w = tree.subtree_sizes();
+        prop_assert_eq!(w[0], n);
+        let total_as_leaves: usize = g
+            .nodes()
+            .filter(|&p| tree.children(p).is_empty())
+            .map(|p| w[p.index()])
+            .sum();
+        prop_assert_eq!(total_as_leaves, g.nodes().filter(|&p| tree.children(p).is_empty()).count());
+    }
+
+    #[test]
+    fn diameter_bounds(n in 3usize..25, extra in 0usize..20, seed: u64) {
+        let g = generators::random_connected(n, extra, seed);
+        let s = props::stats(&g, NodeId::new(0));
+        prop_assert!(s.diameter >= 1);
+        prop_assert!(s.diameter < n);
+        prop_assert!(s.root_ecc <= s.diameter);
+        prop_assert!(2 * s.root_ecc >= s.diameter, "ecc ≥ diam/2");
+    }
+}
+
+#[test]
+fn fixed_generators_port_symmetry() {
+    for g in [
+        generators::wheel(9),
+        generators::complete_bipartite(3, 5),
+        generators::petersen(),
+        generators::grid(4, 5),
+        generators::torus(4, 4),
+        generators::hypercube(4),
+        generators::lollipop(5, 4),
+        generators::caterpillar(5, 2),
+    ] {
+        assert!(g.is_connected());
+        check_port_symmetry(&g);
+    }
+}

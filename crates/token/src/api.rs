@@ -1,0 +1,49 @@
+//! The interface `DFTNO` is written against.
+//!
+//! The paper's Algorithm 3.1.1 hooks its orientation macros onto the
+//! substrate's guards: `Forward(p) → Nodelabel_p` and `Backtrack(p) →
+//! UpdateMax_p`. [`TokenCirculation`] exposes exactly that: a protocol
+//! whose actions can be *classified* as `Forward`, `Backtrack`, or internal
+//! housekeeping, plus the identity of the current round's parent (the
+//! ancestor `A_p` whose `Max` the `Nodelabel` macro consults).
+
+use sno_engine::{NodeView, Protocol};
+use sno_graph::Port;
+
+/// The paper-facing classification of a substrate action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// The processor receives the token for the first time this round —
+    /// the paper's `Forward(p)` guard (for the root: the round starts).
+    Forward,
+    /// The token returns to the processor from the subtree behind `child`
+    /// — the paper's `Backtrack(p)` guard; `D_p` is the neighbor through
+    /// `child`.
+    Backtrack {
+        /// The port to the descendant that just returned the token.
+        child: Port,
+    },
+    /// Substrate housekeeping (error correction, tree maintenance, leaf
+    /// bookkeeping) — invisible to the orientation layer.
+    Internal,
+}
+
+/// A depth-first token circulation substrate.
+///
+/// Implementations: [`crate::DfsTokenCirculation`] (self-stabilizing, the
+/// real substrate), [`crate::FixedTreeToken`] (token wave over a frozen
+/// tree), and [`crate::OracleToken`] (golden Euler-tour walker).
+pub trait TokenCirculation: Protocol {
+    /// Classifies an action *enabled in `view`* as the paper's `Forward` /
+    /// `Backtrack` guard or as internal housekeeping.
+    fn classify(
+        &self,
+        view: &impl NodeView<Self::State>,
+        action: &Self::Action,
+    ) -> TokenKind;
+
+    /// The port toward the processor's parent (`A_p`) in the current
+    /// round, if it is currently well defined (`None` at the root or while
+    /// the substrate is still stabilizing).
+    fn parent_port(&self, view: &impl NodeView<Self::State>) -> Option<Port>;
+}

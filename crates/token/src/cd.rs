@@ -1,0 +1,247 @@
+//! The Collin–Dolev self-stabilizing DFS spanning-tree protocol.
+//!
+//! Every non-root processor repeatedly overwrites its path word with the
+//! `≺`-least one-port extension of a neighbor's word; the root pins the
+//! empty word. The protocol is **silent**: its unique fixpoint assigns each
+//! node the lexicographically least port word of any root-to-node path,
+//! which is precisely its branch in the **first DFS tree** (golden model:
+//! [`sno_graph::traverse::first_dfs`]).
+//!
+//! Two consequences the rest of the stack builds on:
+//!
+//! * parent/child relations are *locally derivable*: `q` is a child of `p`
+//!   through `p`'s port `l` iff `path_q == path_p · l`;
+//! * the `≺` order of the stabilized words is the DFS **visit order**, so
+//!   `DFTNO`'s names equal the `≺`-ranks of the words.
+
+use rand::Rng as _;
+use rand::RngCore;
+use sno_engine::{Enumerable, NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_graph::Port;
+
+use crate::path::{enumerate_paths, DfsPath};
+
+/// The Collin–Dolev protocol (see module docs). Stateless; all parameters
+/// come from the per-node context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollinDolev;
+
+/// The single action: overwrite the path word with its target value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixPath;
+
+impl CollinDolev {
+    /// The cap on path length: no simple path exceeds `N − 1` edges.
+    pub fn cap(ctx: &NodeCtx) -> usize {
+        ctx.n_bound.saturating_sub(1)
+    }
+
+    /// The value the guard compares against: `ε` at the root, otherwise the
+    /// `≺`-least extension of a neighbor's word.
+    pub fn target(view: &impl NodeView<DfsPath>) -> DfsPath {
+        let ctx = view.ctx();
+        if ctx.is_root {
+            return DfsPath::root();
+        }
+        let cap = Self::cap(ctx);
+        let mut best = DfsPath::Top;
+        for l in 0..ctx.degree {
+            let l = Port::new(l);
+            // Append the *neighbor's* port toward us: α_u(v).
+            let candidate = view.neighbor(l).extend(ctx.back_ports[l.index()], cap);
+            if candidate < best {
+                best = candidate;
+            }
+        }
+        best
+    }
+}
+
+impl Protocol for CollinDolev {
+    type State = DfsPath;
+    type Action = FixPath;
+
+    fn enabled(&self, view: &impl NodeView<DfsPath>, out: &mut Vec<FixPath>) {
+        if *view.state() != Self::target(view) {
+            out.push(FixPath);
+        }
+    }
+
+    fn apply(&self, view: &impl NodeView<DfsPath>, _action: &FixPath) -> DfsPath {
+        Self::target(view)
+    }
+
+    fn initial_state(&self, _ctx: &NodeCtx) -> DfsPath {
+        DfsPath::Top
+    }
+
+    fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> DfsPath {
+        random_path(ctx, rng)
+    }
+}
+
+/// Samples an arbitrary path word: `⊤`, or a random short word over the
+/// alphabet of plausible port values.
+pub fn random_path(ctx: &NodeCtx, rng: &mut dyn RngCore) -> DfsPath {
+    let cap = CollinDolev::cap(ctx);
+    match rng.random_range(0..4u8) {
+        0 => DfsPath::Top,
+        1 => DfsPath::root(),
+        _ => {
+            let len = rng.random_range(0..=cap.min(4));
+            let alphabet = (ctx.n_bound.saturating_sub(1)).max(1) as u16;
+            let word: Vec<u16> = (0..len).map(|_| rng.random_range(0..alphabet)).collect();
+            DfsPath::Finite(word)
+        }
+    }
+}
+
+impl Enumerable for CollinDolev {
+    fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<DfsPath> {
+        let alphabet = (ctx.n_bound.saturating_sub(1)).max(1) as u16;
+        enumerate_paths(alphabet, Self::cap(ctx))
+    }
+}
+
+impl SpaceMeasured for CollinDolev {
+    fn state_bits(&self, ctx: &NodeCtx) -> usize {
+        // A word of up to N−1 ports, each log2(Δ) bits, plus a length field.
+        let port_bits = bits_for(ctx.n_bound.saturating_sub(1).max(1));
+        Self::cap(ctx) * port_bits + bits_for(ctx.n_bound)
+    }
+}
+
+pub(crate) fn bits_for(values: usize) -> usize {
+    (usize::BITS - values.max(1).leading_zeros()) as usize
+}
+
+/// `true` iff `config` is the Collin–Dolev fixpoint: every word equals the
+/// golden first-DFS root path.
+pub fn cd_legit(net: &sno_engine::Network, config: &[DfsPath]) -> bool {
+    let dfs = sno_graph::traverse::first_dfs(net.graph(), net.root());
+    config.iter().enumerate().all(|(i, p)| match p {
+        DfsPath::Top => false,
+        DfsPath::Finite(w) => {
+            let golden: Vec<u16> = dfs.root_path[i].iter().map(|l| l.index() as u16).collect();
+            *w == golden
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_engine::daemon::{CentralRoundRobin, DistributedRandom, Synchronous};
+    use sno_engine::modelcheck::ModelChecker;
+    use sno_engine::{Network, Simulation};
+    use sno_graph::{generators, NodeId};
+
+    fn stabilize(net: &Network, seed: u64) -> Vec<DfsPath> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sim = Simulation::from_random(net, CollinDolev, &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 2_000_000);
+        assert!(run.converged, "CD must be silent within budget");
+        sim.config().to_vec()
+    }
+
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixpoint_matches_golden_dfs_on_paper_example() {
+        let g = generators::paper_example_dftno();
+        let net = Network::new(g, NodeId::new(0));
+        let config = stabilize(&net, 1);
+        assert!(cd_legit(&net, &config));
+    }
+
+    #[test]
+    fn fixpoint_matches_golden_dfs_on_many_topologies() {
+        for (i, t) in generators::Topology::ALL.into_iter().enumerate() {
+            let g = t.build(12, 7);
+            let net = Network::new(g, NodeId::new(0));
+            let config = stabilize(&net, i as u64);
+            assert!(cd_legit(&net, &config), "topology {t}");
+        }
+    }
+
+    #[test]
+    fn visit_order_is_path_order() {
+        let g = generators::random_connected(14, 10, 5);
+        let net = Network::new(g, NodeId::new(0));
+        let config = stabilize(&net, 3);
+        let dfs = sno_graph::traverse::first_dfs(net.graph(), net.root());
+        let mut by_path: Vec<(DfsPath, usize)> = config
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, p)| (p, i))
+            .collect();
+        by_path.sort();
+        for (rank, (_, node)) in by_path.iter().enumerate() {
+            assert_eq!(dfs.rank[*node], rank);
+        }
+    }
+
+    #[test]
+    fn stabilizes_under_distributed_daemon() {
+        let g = generators::random_connected(10, 8, 2);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut sim = Simulation::from_random(&net, CollinDolev, &mut rng);
+        let run = sim.run_until_silent(&mut DistributedRandom::seeded(4), 2_000_000);
+        assert!(run.converged);
+        assert!(cd_legit(&net, sim.config()));
+    }
+
+    #[test]
+    fn stabilizes_under_synchronous_daemon() {
+        let g = generators::ring(9);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut sim = Simulation::from_random(&net, CollinDolev, &mut rng);
+        let run = sim.run_until_silent(&mut Synchronous::new(), 1_000_000);
+        assert!(run.converged);
+        assert!(cd_legit(&net, sim.config()));
+    }
+
+    #[test]
+    fn loose_bound_still_stabilizes() {
+        let g = generators::path(5);
+        let net = Network::with_bound(g, NodeId::new(0), 9);
+        let config = stabilize(&net, 8);
+        assert!(cd_legit(&net, &config));
+    }
+
+    #[test]
+    fn exhaustive_model_check_on_path3() {
+        let g = generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let mc = ModelChecker::new(&net, &CollinDolev, 10_000_000).unwrap();
+        let legit = |c: &[DfsPath]| cd_legit(&net, c);
+        let closure = mc.check_closure(legit).expect("closure");
+        assert_eq!(closure.legitimate, 1);
+        mc.check_convergence_any_schedule(legit)
+            .expect("CD converges under any schedule");
+    }
+
+    #[test]
+    fn exhaustive_model_check_on_triangle() {
+        let g = generators::ring(3);
+        let net = Network::new(g, NodeId::new(0));
+        let mc = ModelChecker::new(&net, &CollinDolev, 10_000_000).unwrap();
+        let legit = |c: &[DfsPath]| cd_legit(&net, c);
+        mc.check_closure(legit).expect("closure");
+        mc.check_convergence_any_schedule(legit).expect("convergence");
+    }
+
+    #[test]
+    fn space_accounting_scales_with_bound() {
+        let g = generators::path(4);
+        let net = Network::new(g, NodeId::new(0));
+        let small = CollinDolev.state_bits(net.ctx(NodeId::new(1)));
+        let g2 = generators::path(4);
+        let net2 = Network::with_bound(g2, NodeId::new(0), 64);
+        let large = CollinDolev.state_bits(net2.ctx(NodeId::new(1)));
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,366 @@
+//! The composed self-stabilizing depth-first token circulation.
+//!
+//! Fair composition of the Collin–Dolev word layer ([`crate::cd`]) and the
+//! handshake token wave ([`crate::tok`]): each processor's state is a pair
+//! `(path, tok)`; the word layer runs independently, while the token layer
+//! at every step interprets the *current* words to derive its parent and
+//! children. While the words are still stabilizing the token layer may
+//! misbehave (the daemon is adversarial anyway); once the word layer is
+//! silent, the token layer drains every spurious token and settles into a
+//! single token circulating in first-DFS order — giving the interface and
+//! guarantees of the protocol of \[10\] that the paper's `DFTNO` assumes.
+
+use rand::RngCore;
+use sno_engine::{NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_graph::Port;
+
+use crate::api::{TokenCirculation, TokenKind};
+use crate::cd::{bits_for, cd_legit, random_path, CollinDolev};
+use crate::path::DfsPath;
+use crate::tok::{
+    chain_legit, tok_apply, tok_classify, tok_enabled, LocalTree, TokAction, TokState, TokView,
+};
+
+/// Per-processor state of the composed substrate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DftcState {
+    /// Collin–Dolev word (lower layer).
+    pub path: DfsPath,
+    /// Token-wave variables (upper layer).
+    pub tok: TokState,
+}
+
+/// Actions of the composed substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DftcAction {
+    /// Lower layer: recompute the path word.
+    FixPath,
+    /// Upper layer: one token-wave action.
+    Tok(TokAction),
+}
+
+/// The composed self-stabilizing DFTC protocol (see module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DfsTokenCirculation;
+
+fn path_of(s: &DftcState) -> &DfsPath {
+    &s.path
+}
+
+/// Projects a compound view down to the word layer so the unmodified
+/// Collin–Dolev code can evaluate its guard.
+fn project_path<V: NodeView<DftcState>>(
+    view: &V,
+) -> sno_engine::protocol::ProjectedView<'_, DftcState, V, fn(&DftcState) -> &DfsPath> {
+    sno_engine::protocol::ProjectedView::new(view, path_of as fn(&DftcState) -> &DfsPath)
+}
+
+impl DfsTokenCirculation {
+    /// Derives the processor's believed tree position from the current
+    /// words: its parent is the first port whose neighbor's word extends to
+    /// its own; its children are the ports whose neighbors' words extend
+    /// *from* its own.
+    pub fn derive_tree(view: &impl NodeView<DftcState>) -> LocalTree {
+        let ctx = view.ctx();
+        let cap = CollinDolev::cap(ctx);
+        let my = &view.state().path;
+        if my.is_top() {
+            return LocalTree {
+                attached: false,
+                parent: None,
+                children: Vec::new(),
+            };
+        }
+        let (attached, parent) = if ctx.is_root {
+            (my.is_empty(), None)
+        } else {
+            let parent = (0..ctx.degree).map(Port::new).find(|&l| {
+                *my == view
+                    .neighbor(l)
+                    .path
+                    .extend(ctx.back_ports[l.index()], cap)
+            });
+            (parent.is_some(), parent)
+        };
+        if !attached {
+            return LocalTree {
+                attached: false,
+                parent: None,
+                children: Vec::new(),
+            };
+        }
+        let children = (0..ctx.degree)
+            .map(Port::new)
+            .filter(|&l| Some(l) != parent && view.neighbor(l).path == my.extend(l, cap))
+            .collect();
+        LocalTree {
+            attached,
+            parent,
+            children,
+        }
+    }
+
+    fn tok_view<'a>(
+        view: &'a impl NodeView<DftcState>,
+        tree: &'a LocalTree,
+    ) -> TokView<'a> {
+        TokView::gather(view, tree, &view.state().tok, |s: &DftcState| &s.tok)
+    }
+}
+
+impl Protocol for DfsTokenCirculation {
+    type State = DftcState;
+    type Action = DftcAction;
+
+    fn enabled(&self, view: &impl NodeView<DftcState>, out: &mut Vec<DftcAction>) {
+        if view.state().path != CollinDolev::target(&project_path(view)) {
+            out.push(DftcAction::FixPath);
+        }
+        let tree = Self::derive_tree(view);
+        let tv = Self::tok_view(view, &tree);
+        if let Some(a) = tok_enabled(&tv) {
+            out.push(DftcAction::Tok(a));
+        }
+    }
+
+    fn apply(&self, view: &impl NodeView<DftcState>, action: &DftcAction) -> DftcState {
+        let mut s = view.state().clone();
+        match action {
+            DftcAction::FixPath => {
+                s.path = CollinDolev::target(&project_path(view));
+            }
+            DftcAction::Tok(a) => {
+                let tree = Self::derive_tree(view);
+                let tv = Self::tok_view(view, &tree);
+                s.tok = tok_apply(&tv, *a);
+            }
+        }
+        s
+    }
+
+    fn initial_state(&self, ctx: &NodeCtx) -> DftcState {
+        DftcState {
+            path: DfsPath::Top,
+            tok: TokState::clean(ctx.degree),
+        }
+    }
+
+    fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> DftcState {
+        DftcState {
+            path: random_path(ctx, rng),
+            tok: TokState::random(ctx, rng),
+        }
+    }
+}
+
+impl TokenCirculation for DfsTokenCirculation {
+    fn classify(
+        &self,
+        view: &impl NodeView<DftcState>,
+        action: &DftcAction,
+    ) -> TokenKind {
+        match action {
+            DftcAction::FixPath => TokenKind::Internal,
+            DftcAction::Tok(a) => {
+                let tree = Self::derive_tree(view);
+                let tv = Self::tok_view(view, &tree);
+                tok_classify(&tv, *a)
+            }
+        }
+    }
+
+    fn parent_port(&self, view: &impl NodeView<DftcState>) -> Option<Port> {
+        Self::derive_tree(view).parent
+    }
+}
+
+impl SpaceMeasured for DfsTokenCirculation {
+    fn state_bits(&self, ctx: &NodeCtx) -> usize {
+        // Word layer (the documented deviation from [10], see DESIGN.md §4)
+        // plus the token wave: flag + working + scan + one bit per port.
+        let cd = CollinDolev.state_bits(ctx);
+        let tok = 1 + 1 + bits_for(ctx.degree + 1) + ctx.degree;
+        cd + tok
+    }
+}
+
+/// The legitimacy predicate `L_TC` of the composed substrate: the word
+/// layer is at its fixpoint and the token wave forms a single root-anchored
+/// activity chain over the (now correct) first-DFS tree.
+pub fn dftc_legit(net: &sno_engine::Network, config: &[DftcState]) -> bool {
+    let paths: Vec<DfsPath> = config.iter().map(|s| s.path.clone()).collect();
+    if !cd_legit(net, &paths) {
+        return false;
+    }
+    let dfs = sno_graph::traverse::first_dfs(net.graph(), net.root());
+    let g = net.graph();
+    let children_of = |p: usize| -> Vec<(usize, Port)> {
+        dfs.children[p]
+            .iter()
+            .map(|&c| {
+                let port = g.port_to(sno_graph::NodeId::new(p), c).expect("tree edge");
+                (c.index(), port)
+            })
+            .collect()
+    };
+    let tok_of = |p: usize| config[p].tok.clone();
+    chain_legit(
+        net.node_count(),
+        net.root().index(),
+        &tok_of,
+        &children_of,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sno_engine::daemon::{CentralRandom, CentralRoundRobin, DistributedRandom};
+    use sno_engine::{Network, Simulation};
+    use sno_graph::{generators, NodeId};
+
+    fn converge(net: &Network, seed: u64) -> Simulation<'_, DfsTokenCirculation> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = Simulation::from_random(net, DfsTokenCirculation, &mut rng);
+        let run = sim.run_until(&mut CentralRoundRobin::new(), 4_000_000, |c| {
+            dftc_legit(net, c)
+        });
+        assert!(run.converged, "DFTC must converge (seed {seed})");
+        sim
+    }
+
+    #[test]
+    fn converges_from_arbitrary_states_on_paper_example() {
+        let g = generators::paper_example_dftno();
+        let net = Network::new(g, NodeId::new(0));
+        for seed in 0..10 {
+            let _ = converge(&net, seed);
+        }
+    }
+
+    #[test]
+    fn converges_on_many_topologies() {
+        for (i, t) in generators::Topology::ALL.into_iter().enumerate() {
+            let g = t.build(10, 21);
+            let net = Network::new(g, NodeId::new(0));
+            let _ = converge(&net, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn converges_under_random_daemons() {
+        let g = generators::random_connected(9, 6, 3);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sim = Simulation::from_random(&net, DfsTokenCirculation, &mut rng);
+        let run = sim.run_until(&mut CentralRandom::seeded(8), 4_000_000, |c| {
+            dftc_legit(&net, c)
+        });
+        assert!(run.converged);
+
+        let mut sim = Simulation::from_random(&net, DfsTokenCirculation, &mut rng);
+        let run = sim.run_until(&mut DistributedRandom::seeded(13), 4_000_000, |c| {
+            dftc_legit(&net, c)
+        });
+        assert!(run.converged);
+    }
+
+    #[test]
+    fn legitimacy_is_closed_under_execution() {
+        let g = generators::paper_example_dftno();
+        let net = Network::new(g, NodeId::new(0));
+        let mut sim = converge(&net, 2);
+        let mut daemon = CentralRoundRobin::new();
+        for _ in 0..500 {
+            let out = sim.step(&mut daemon);
+            assert!(!out.is_silent(), "token circulation never terminates");
+            assert!(dftc_legit(&net, sim.config()), "closure violated");
+        }
+    }
+
+    #[test]
+    fn forward_fires_once_per_node_per_round_in_dfs_order() {
+        let g = generators::paper_example_dftno();
+        let net = Network::new(g.clone(), NodeId::new(0));
+        let dfs = sno_graph::traverse::first_dfs(&g, NodeId::new(0));
+        let mut sim = converge(&net, 7);
+        let mut daemon = CentralRoundRobin::new();
+
+        // Wait for the start of a fresh round: the root's next Forward.
+        let mut forwards: Vec<usize> = Vec::new();
+        let mut collecting = false;
+        for _ in 0..10_000 {
+            let enabled = sim.enabled_nodes();
+            assert_eq!(enabled.len(), 1, "legit configs are sequential");
+            let node = enabled[0].node;
+            let actions = sim.enabled_actions(node);
+            assert_eq!(actions.len(), 1);
+            let view =
+                sno_engine::protocol::ConfigView::new(&net, node, sim.config());
+            let kind = DfsTokenCirculation.classify(&view, &actions[0]);
+            if kind == TokenKind::Forward && node == net.root() {
+                if collecting {
+                    break; // a full round was recorded
+                }
+                collecting = true;
+            }
+            if collecting && kind == TokenKind::Forward {
+                forwards.push(node.index());
+            }
+            sim.step(&mut daemon);
+        }
+        let golden: Vec<usize> = dfs.order.iter().map(|p| p.index()).collect();
+        assert_eq!(forwards, golden, "Forward order must be first-DFS order");
+    }
+
+    #[test]
+    fn round_length_is_linear_in_n() {
+        // One clean round = 2(n−1) tree moves + n Take bookkeeping-free
+        // moves; measure moves between two consecutive root Forwards.
+        let g = generators::random_connected(16, 12, 9);
+        let net = Network::new(g, NodeId::new(0));
+        let mut sim = converge(&net, 11);
+        let mut daemon = CentralRoundRobin::new();
+        let mut root_forwards = 0u32;
+        let mut moves_between = 0u64;
+        for _ in 0..100_000 {
+            let enabled = sim.enabled_nodes();
+            let node = enabled[0].node;
+            let actions = sim.enabled_actions(node);
+            let view =
+                sno_engine::protocol::ConfigView::new(&net, node, sim.config());
+            let kind = DfsTokenCirculation.classify(&view, &actions[0]);
+            if kind == TokenKind::Forward && node == net.root() {
+                root_forwards += 1;
+                if root_forwards == 2 {
+                    break;
+                }
+            }
+            if root_forwards == 1 {
+                moves_between += 1;
+            }
+            sim.step(&mut daemon);
+        }
+        assert_eq!(root_forwards, 2, "two round starts observed");
+        let n = 16u64;
+        assert!(
+            moves_between <= 4 * n,
+            "round cost {moves_between} must be O(n)"
+        );
+    }
+
+    #[test]
+    fn parent_port_matches_golden_dfs_after_stabilization() {
+        let g = generators::random_connected(12, 7, 4);
+        let net = Network::new(g.clone(), NodeId::new(0));
+        let dfs = sno_graph::traverse::first_dfs(&g, NodeId::new(0));
+        let sim = converge(&net, 13);
+        for p in net.nodes() {
+            let view = sno_engine::protocol::ConfigView::new(&net, p, sim.config());
+            let got = DfsTokenCirculation.parent_port(&view);
+            assert_eq!(got, dfs.parent_port[p.index()], "node {p}");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The token wave over a frozen spanning tree.
+//!
+//! [`FixedTreeToken`] runs exactly the handshake machinery of
+//! [`crate::tok`], but reads its parent/children from a precomputed
+//! [`sno_graph::RootedTree`] instead of deriving them from Collin–Dolev
+//! words. It has two jobs:
+//!
+//! * isolate the token wave for unit tests and — because its per-node state
+//!   space is tiny — for **exhaustive model checking** of closure and
+//!   convergence on small trees;
+//! * model the paper's layering experimentally: "after the underlying
+//!   protocol stabilizes" is literally "the tree no longer moves".
+
+use rand::RngCore;
+use sno_engine::{Enumerable, NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_graph::{NodeId, Port, RootedTree};
+
+use crate::api::{TokenCirculation, TokenKind};
+use crate::cd::bits_for;
+use crate::tok::{
+    chain_legit, tok_apply, tok_classify, tok_enabled, LocalTree, TokAction, TokState, TokView,
+};
+
+/// The token wave on a frozen rooted spanning tree (see module docs).
+#[derive(Debug, Clone)]
+pub struct FixedTreeToken {
+    locals: Vec<LocalTree>,
+    children_nodes: Vec<Vec<(usize, Port)>>,
+    root: NodeId,
+}
+
+impl FixedTreeToken {
+    /// Builds the substrate from a host graph and a spanning tree of it,
+    /// resolving the parent→child ports. Children are served in the
+    /// parent's port order — the deterministic DFS order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` is not a spanning tree of `g`.
+    pub fn from_graph(g: &sno_graph::Graph, tree: &RootedTree) -> Self {
+        let n = tree.node_count();
+        let mut locals = Vec::with_capacity(n);
+        let mut children_nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = NodeId::new(i);
+            let mut ports: Vec<Port> = Vec::new();
+            let mut kids: Vec<(usize, Port)> = Vec::new();
+            for &c in tree.children(p) {
+                let port = g.port_to(p, c).expect("tree edge must exist in graph");
+                ports.push(port);
+                kids.push((c.index(), port));
+            }
+            locals.push(LocalTree {
+                attached: true,
+                parent: tree.parent_port(p),
+                children: ports,
+            });
+            children_nodes.push(kids);
+        }
+        FixedTreeToken {
+            locals,
+            children_nodes,
+            root: tree.root(),
+        }
+    }
+
+    /// The frozen local tree of node `p`.
+    pub fn local(&self, p: NodeId) -> &LocalTree {
+        &self.locals[p.index()]
+    }
+
+    fn tok_view<'s>(&'s self, view: &'s impl NodeView<TokState>) -> TokView<'s> {
+        let local = &self.locals[view.ctx().id.index()];
+        TokView::gather(view, local, view.state(), |s: &TokState| s)
+    }
+
+    /// The legitimacy predicate: a single root-anchored activity chain.
+    pub fn is_legitimate(&self, config: &[TokState]) -> bool {
+        let tok_of = |p: usize| config[p].clone();
+        let children_of = |p: usize| self.children_nodes[p].clone();
+        chain_legit(config.len(), self.root.index(), &tok_of, &children_of)
+    }
+}
+
+impl Protocol for FixedTreeToken {
+    type State = TokState;
+    type Action = TokAction;
+
+    fn enabled(&self, view: &impl NodeView<TokState>, out: &mut Vec<TokAction>) {
+        if let Some(a) = tok_enabled(&self.tok_view(view)) {
+            out.push(a);
+        }
+    }
+
+    fn apply(&self, view: &impl NodeView<TokState>, action: &TokAction) -> TokState {
+        tok_apply(&self.tok_view(view), *action)
+    }
+
+    fn initial_state(&self, ctx: &NodeCtx) -> TokState {
+        TokState::clean(ctx.degree)
+    }
+
+    fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> TokState {
+        TokState::random(ctx, rng)
+    }
+}
+
+impl TokenCirculation for FixedTreeToken {
+    fn classify(&self, view: &impl NodeView<TokState>, action: &TokAction) -> TokenKind {
+        tok_classify(&self.tok_view(view), *action)
+    }
+
+    fn parent_port(&self, view: &impl NodeView<TokState>) -> Option<Port> {
+        self.locals[view.ctx().id.index()].parent
+    }
+}
+
+impl Enumerable for FixedTreeToken {
+    fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<TokState> {
+        TokState::enumerate(ctx.degree)
+    }
+}
+
+impl SpaceMeasured for FixedTreeToken {
+    fn state_bits(&self, ctx: &NodeCtx) -> usize {
+        1 + 1 + bits_for(ctx.degree + 1) + ctx.degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sno_engine::daemon::{CentralRoundRobin, DistributedRandom};
+    use sno_engine::modelcheck::ModelChecker;
+    use sno_engine::{Network, Simulation};
+    use sno_graph::{generators, traverse};
+
+    fn fixture(g: sno_graph::Graph) -> (Network, FixedTreeToken) {
+        let root = NodeId::new(0);
+        let dfs = traverse::first_dfs(&g, root);
+        let tree = RootedTree::from_parents(&g, root, &dfs.parent).unwrap();
+        let proto = FixedTreeToken::from_graph(&g, &tree);
+        (Network::new(g, root), proto)
+    }
+
+    #[test]
+    fn converges_from_arbitrary_states() {
+        let (net, proto) = fixture(generators::random_tree(10, 3));
+        let mut rng = StdRng::seed_from_u64(1);
+        for seed in 0..20 {
+            let _ = seed;
+            let mut sim = Simulation::from_random(&net, proto.clone(), &mut rng);
+            let run = sim.run_until(&mut CentralRoundRobin::new(), 500_000, |c| {
+                proto.is_legitimate(c)
+            });
+            assert!(run.converged);
+        }
+    }
+
+    #[test]
+    fn converges_under_distributed_daemon() {
+        let (net, proto) = fixture(generators::balanced_tree(2, 3));
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut sim = Simulation::from_random(&net, proto.clone(), &mut rng);
+        let run = sim.run_until(&mut DistributedRandom::seeded(3), 500_000, |c| {
+            proto.is_legitimate(c)
+        });
+        assert!(run.converged);
+    }
+
+    #[test]
+    fn exhaustive_model_check_on_path3() {
+        let (net, proto) = fixture(generators::path(3));
+        let mc = ModelChecker::new(&net, &proto, 10_000_000).unwrap();
+        let legit = |c: &[TokState]| proto.is_legitimate(c);
+        mc.check_closure(legit).expect("closure");
+        mc.check_convergence_round_robin(legit)
+            .expect("round-robin convergence");
+    }
+
+    #[test]
+    fn exhaustive_model_check_on_star4() {
+        let (net, proto) = fixture(generators::star(4));
+        let mc = ModelChecker::new(&net, &proto, 10_000_000).unwrap();
+        let legit = |c: &[TokState]| proto.is_legitimate(c);
+        mc.check_closure(legit).expect("closure");
+        mc.check_convergence_round_robin(legit)
+            .expect("round-robin convergence");
+    }
+
+    #[test]
+    fn exhaustive_model_check_on_path4() {
+        let (net, proto) = fixture(generators::path(4));
+        let mc = ModelChecker::new(&net, &proto, 10_000_000).unwrap();
+        let legit = |c: &[TokState]| proto.is_legitimate(c);
+        mc.check_closure(legit).expect("closure");
+        mc.check_convergence_round_robin(legit)
+            .expect("round-robin convergence");
+    }
+
+    #[test]
+    fn legitimate_configs_are_sequential() {
+        let (net, proto) = fixture(generators::random_tree(8, 6));
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sim = Simulation::from_random(&net, proto.clone(), &mut rng);
+        let run = sim.run_until(&mut CentralRoundRobin::new(), 500_000, |c| {
+            proto.is_legitimate(c)
+        });
+        assert!(run.converged);
+        let mut daemon = CentralRoundRobin::new();
+        for _ in 0..200 {
+            assert_eq!(sim.enabled_nodes().len(), 1);
+            sim.step(&mut daemon);
+            assert!(proto.is_legitimate(sim.config()));
+        }
+    }
+}

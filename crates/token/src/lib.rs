@@ -1,0 +1,53 @@
+//! # sno-token
+//!
+//! A **self-stabilizing depth-first token circulation** (DFTC) substrate for
+//! arbitrary rooted networks — the underlying protocol `DFTNO` assumes
+//! (Datta–Johnen–Petit–Villain, cited as \[10\] in the paper).
+//!
+//! The paper uses \[10\] as a black box with three guarantees:
+//!
+//! 1. a single token circulates in **deterministic depth-first order**
+//!    (lowest port first), every node receiving it exactly once per round
+//!    (`Forward(p)`) and regaining it once per child (`Backtrack(p)`);
+//! 2. the circulation is **self-stabilizing** under a weakly fair daemon;
+//! 3. a round costs `Θ(n)` moves.
+//!
+//! This crate provides those guarantees with a documented substitution (see
+//! `DESIGN.md` §4): a layered construction
+//!
+//! * [`cd::CollinDolev`] — the classic path-ordered DFS-tree protocol: each
+//!   node repeatedly sets its path variable to the lexicographically least
+//!   extension of a neighbor's path; the silent fixpoint is the *first DFS
+//!   tree* of the graph, and the lexicographic order of the stabilized
+//!   paths is the DFS visit order;
+//! * [`tok`] — a handshake-bit depth-first token wave over the locally
+//!   derived tree, with top-down absorption of spurious tokens;
+//! * [`dftc::DfsTokenCirculation`] — the fair composition of the two, the
+//!   drop-in substrate for `DFTNO`;
+//! * [`fixed::FixedTreeToken`] — the token wave alone over a frozen oracle
+//!   tree (isolation tests and exhaustive model checking);
+//! * [`oracle::OracleToken`] — a golden, *non-stabilizing* token walker
+//!   that replays the exact Euler tour of the first DFS tree (used to study
+//!   `DFTNO` "after the token circulation stabilizes", as the paper's
+//!   complexity claims are phrased).
+//!
+//! All three circulation protocols implement [`api::TokenCirculation`], the
+//! interface `DFTNO` is written against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cd;
+pub mod dftc;
+pub mod fixed;
+pub mod oracle;
+pub mod path;
+pub mod tok;
+
+pub use api::{TokenCirculation, TokenKind};
+pub use cd::CollinDolev;
+pub use dftc::DfsTokenCirculation;
+pub use fixed::FixedTreeToken;
+pub use oracle::OracleToken;
+pub use path::DfsPath;

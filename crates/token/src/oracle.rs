@@ -1,0 +1,302 @@
+//! The golden token circulation: a deterministic replay of the first-DFS
+//! Euler tour.
+//!
+//! The paper states its `DFTNO` bound *"after the token circulation
+//! protocol stabilizes"*. [`OracleToken`] realizes that phrase exactly: a
+//! substrate that is *always* in the stabilized regime, replaying the
+//! golden Euler tour move for move. It lets experiments charge `DFTNO`
+//! only for its own work (E4) and gives tests an independently computed
+//! reference for `Forward`/`Backtrack` sequencing.
+//!
+//! Mechanics: the round is the event word `⟨start, e₁, …, e_{2(n−1)}⟩`
+//! (the root's round start followed by the Euler tour). Every processor
+//! stores a monotone clock — the global index of the next event *it* must
+//! execute. Event `i` is executed by the node the token arrives at, and is
+//! enabled once the executor of event `i − 1` (always the executor's
+//! neighbor, or the node itself for a round start) has advanced past it.
+//!
+//! The oracle is deliberately **not** self-stabilizing — that is the job of
+//! [`crate::DfsTokenCirculation`]; `random_state` returns the clean round
+//! start.
+
+use rand::RngCore;
+use sno_engine::{NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_graph::{Graph, NodeId, Port};
+
+use crate::api::{TokenCirculation, TokenKind};
+use crate::cd::bits_for;
+
+/// One slot of the round's event word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    /// Who executes this event.
+    actor: NodeId,
+    /// The paper-facing classification when it fires.
+    kind: TokenKind,
+    /// The port at `actor` toward the executor of the previous event
+    /// (`None` for the round start, whose predecessor is the actor
+    /// itself).
+    prev_port: Option<Port>,
+}
+
+/// Golden Euler-tour token circulation (see module docs).
+#[derive(Debug, Clone)]
+pub struct OracleToken {
+    slots: Vec<Slot>,
+    /// Per node: the sorted global residues of the slots it executes.
+    schedule: Vec<Vec<u64>>,
+    /// Per node: the port toward its DFS parent.
+    parent_ports: Vec<Option<Port>>,
+}
+
+impl OracleToken {
+    /// Precomputes the Euler tour of the first DFS tree of `g` from
+    /// `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected or `root` out of range.
+    pub fn new(g: &Graph, root: NodeId) -> Self {
+        let dfs = sno_graph::traverse::first_dfs(g, root);
+        let mut slots = Vec::with_capacity(1 + dfs.euler.len());
+        slots.push(Slot {
+            actor: root,
+            kind: TokenKind::Forward,
+            prev_port: None,
+        });
+        for ev in &dfs.euler {
+            let (actor, kind, prev) = match *ev {
+                sno_graph::traverse::EulerEvent::Forward { from, to } => {
+                    (to, TokenKind::Forward, from)
+                }
+                sno_graph::traverse::EulerEvent::Backtrack { from, to } => (
+                    to,
+                    TokenKind::Backtrack {
+                        child: g.port_to(to, from).expect("tree edge"),
+                    },
+                    from,
+                ),
+            };
+            slots.push(Slot {
+                actor,
+                kind,
+                prev_port: Some(g.port_to(actor, prev).expect("euler moves along edges")),
+            });
+        }
+        let mut schedule = vec![Vec::new(); g.node_count()];
+        for (i, s) in slots.iter().enumerate() {
+            schedule[s.actor.index()].push(i as u64);
+        }
+        OracleToken {
+            slots,
+            schedule,
+            parent_ports: dfs.parent_port.clone(),
+        }
+    }
+
+    /// Number of events per round (`2n − 1`).
+    pub fn round_len(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    fn residue(&self, clock: u64) -> usize {
+        (clock % self.round_len()) as usize
+    }
+
+    /// The node's next clock value strictly after `clock`.
+    fn advance(&self, node: NodeId, clock: u64) -> u64 {
+        let len = self.round_len();
+        let sched = &self.schedule[node.index()];
+        debug_assert!(!sched.is_empty(), "every node executes at least one event");
+        let round = clock / len;
+        let pos = clock % len;
+        for &r in sched {
+            if r > pos {
+                return round * len + r;
+            }
+        }
+        (round + 1) * len + sched[0]
+    }
+
+    /// The clean starting clock of a node: its first event of round zero.
+    pub fn start_clock(&self, node: NodeId) -> u64 {
+        self.schedule[node.index()][0]
+    }
+
+    fn slot_enabled(&self, view: &impl NodeView<u64>) -> bool {
+        let clock = *view.state();
+        let r = self.residue(clock);
+        let slot = &self.slots[r];
+        if slot.actor != view.ctx().id {
+            return false; // corrupted clock: not our event
+        }
+        match slot.prev_port {
+            None => true, // round start: our own clock already passed L−1
+            Some(port) => *view.neighbor(port) >= clock,
+        }
+    }
+}
+
+/// The single action: execute the current event and advance the clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Execute;
+
+impl Protocol for OracleToken {
+    type State = u64;
+    type Action = Execute;
+
+    fn enabled(&self, view: &impl NodeView<u64>, out: &mut Vec<Execute>) {
+        if self.slot_enabled(view) {
+            out.push(Execute);
+        }
+    }
+
+    fn apply(&self, view: &impl NodeView<u64>, _action: &Execute) -> u64 {
+        self.advance(view.ctx().id, *view.state())
+    }
+
+    fn initial_state(&self, ctx: &NodeCtx) -> u64 {
+        self.start_clock(ctx.id)
+    }
+
+    fn random_state(&self, ctx: &NodeCtx, _rng: &mut dyn RngCore) -> u64 {
+        // The oracle is the "already stabilized" substrate by definition.
+        self.start_clock(ctx.id)
+    }
+}
+
+impl TokenCirculation for OracleToken {
+    fn classify(&self, view: &impl NodeView<u64>, _action: &Execute) -> TokenKind {
+        self.slots[self.residue(*view.state())].kind
+    }
+
+    fn parent_port(&self, view: &impl NodeView<u64>) -> Option<Port> {
+        self.parent_ports[view.ctx().id.index()]
+    }
+}
+
+impl SpaceMeasured for OracleToken {
+    fn state_bits(&self, ctx: &NodeCtx) -> usize {
+        // The substrate of [10] needs O(log N) bits beside the orientation
+        // variables; the oracle models that footprint.
+        bits_for(2 * ctx.n_bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_engine::daemon::{CentralRoundRobin, DistributedRandom};
+    use sno_engine::protocol::ConfigView;
+    use sno_engine::{Network, Simulation};
+    use sno_graph::generators;
+
+    fn forwards_of_one_round(g: sno_graph::Graph) -> Vec<usize> {
+        let root = NodeId::new(0);
+        let oracle = OracleToken::new(&g, root);
+        let net = Network::new(g, root);
+        let mut sim = Simulation::from_initial(&net, oracle.clone());
+        let mut daemon = CentralRoundRobin::new();
+        let mut forwards = Vec::new();
+        let round = oracle.round_len();
+        // Execute exactly one round of events.
+        for _ in 0..round {
+            let enabled = sim.enabled_nodes();
+            assert_eq!(enabled.len(), 1, "the oracle is sequential");
+            let node = enabled[0].node;
+            let view = ConfigView::new(&net, node, sim.config());
+            if oracle.classify(&view, &Execute) == TokenKind::Forward {
+                forwards.push(node.index());
+            }
+            sim.step(&mut daemon);
+        }
+        forwards
+    }
+
+    #[test]
+    fn one_round_visits_every_node_once_in_dfs_order() {
+        let g = generators::paper_example_dftno();
+        let golden: Vec<usize> = sno_graph::traverse::first_dfs(&g, NodeId::new(0))
+            .order
+            .iter()
+            .map(|p| p.index())
+            .collect();
+        assert_eq!(forwards_of_one_round(g), golden);
+    }
+
+    #[test]
+    fn works_on_dense_graphs() {
+        let g = generators::complete(6);
+        let golden: Vec<usize> = sno_graph::traverse::first_dfs(&g, NodeId::new(0))
+            .order
+            .iter()
+            .map(|p| p.index())
+            .collect();
+        assert_eq!(forwards_of_one_round(g), golden);
+    }
+
+    #[test]
+    fn circulates_forever() {
+        let g = generators::random_connected(9, 5, 2);
+        let oracle = OracleToken::new(&g, NodeId::new(0));
+        let net = Network::new(g, NodeId::new(0));
+        let mut sim = Simulation::from_initial(&net, oracle.clone());
+        let mut daemon = CentralRoundRobin::new();
+        for _ in 0..(oracle.round_len() * 5) {
+            assert!(!sim.step(&mut daemon).is_silent(), "never terminates");
+        }
+    }
+
+    #[test]
+    fn singleton_network_round_is_one_event() {
+        let g = generators::singleton();
+        let oracle = OracleToken::new(&g, NodeId::new(0));
+        assert_eq!(oracle.round_len(), 1);
+        let net = Network::new(g, NodeId::new(0));
+        let mut sim = Simulation::from_initial(&net, oracle);
+        let mut daemon = CentralRoundRobin::new();
+        for _ in 0..5 {
+            assert!(!sim.step(&mut daemon).is_silent());
+        }
+        assert_eq!(*sim.state(NodeId::new(0)), 5);
+    }
+
+    #[test]
+    fn distributed_daemon_cannot_break_sequencing() {
+        let g = generators::ring(7);
+        let oracle = OracleToken::new(&g, NodeId::new(0));
+        let net = Network::new(g, NodeId::new(0));
+        let mut sim = Simulation::from_initial(&net, oracle.clone());
+        let mut daemon = DistributedRandom::seeded(6);
+        let mut last = [0u64; 7];
+        for _ in 0..500 {
+            sim.step(&mut daemon);
+            for p in net.nodes() {
+                let c = *sim.state(p);
+                assert!(c >= last[p.index()], "clocks are monotone");
+                last[p.index()] = c;
+            }
+        }
+    }
+
+    #[test]
+    fn backtrack_classification_names_the_returning_child() {
+        let g = generators::path(3);
+        let oracle = OracleToken::new(&g, NodeId::new(0));
+        let net = Network::new(g, NodeId::new(0));
+        let mut sim = Simulation::from_initial(&net, oracle.clone());
+        let mut daemon = CentralRoundRobin::new();
+        let mut backtracks = Vec::new();
+        for _ in 0..oracle.round_len() {
+            let enabled = sim.enabled_nodes();
+            let node = enabled[0].node;
+            let view = ConfigView::new(&net, node, sim.config());
+            if let TokenKind::Backtrack { child } = oracle.classify(&view, &Execute) {
+                backtracks.push((node.index(), child.index()));
+            }
+            sim.step(&mut daemon);
+        }
+        // Path 0−1−2: token returns 2→1 then 1→0.
+        assert_eq!(backtracks, vec![(1, 1), (0, 0)]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Bounded DFS path words and their traversal order.
+//!
+//! A path word records the ports taken from the root along a candidate
+//! DFS-tree branch: the element appended when the path is extended over the
+//! edge `(u, v)` is `α_u(v)`, the port *at `u`* pointing to `v`. Words
+//! longer than the cap (`N − 1`, the longest possible simple path) are
+//! collapsed to the absorbing top element `⊤`, which kills fabricated
+//! cycles during stabilization.
+//!
+//! The derived `Ord` is the traversal order `≺`: a proper prefix precedes
+//! its extensions, otherwise the first differing port decides. The visit
+//! order of the first depth-first traversal is exactly `≺` on the
+//! stabilized words — the property `DFTNO`'s naming leans on.
+
+use std::fmt;
+
+use sno_graph::Port;
+
+/// A bounded DFS path word (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use sno_token::DfsPath;
+/// use sno_graph::Port;
+///
+/// let root = DfsPath::root();
+/// let child = root.extend(Port::new(1), 4);
+/// assert!(root < child, "a prefix precedes its extensions");
+/// assert_eq!(child.len(), Some(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Default)]
+pub enum DfsPath {
+    /// A finite word of ports (empty at the root).
+    Finite(Vec<u16>),
+    /// The absorbing "no path" element `⊤`, greater than every finite word.
+    #[default]
+    Top,
+}
+
+impl DfsPath {
+    /// The empty word — the root's legitimate value.
+    pub fn root() -> Self {
+        DfsPath::Finite(Vec::new())
+    }
+
+    /// Builds a finite word from raw port indices.
+    pub fn from_ports(ports: &[u16]) -> Self {
+        DfsPath::Finite(ports.to_vec())
+    }
+
+    /// `true` iff this is `⊤`.
+    pub fn is_top(&self) -> bool {
+        matches!(self, DfsPath::Top)
+    }
+
+    /// Length of the word, or `None` for `⊤`.
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            DfsPath::Finite(w) => Some(w.len()),
+            DfsPath::Top => None,
+        }
+    }
+
+    /// `true` iff this is the empty word.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, DfsPath::Finite(w) if w.is_empty())
+    }
+
+    /// The word extended by one port, collapsing to `⊤` when the result
+    /// would exceed `cap` elements (or when extending `⊤`).
+    pub fn extend(&self, port: Port, cap: usize) -> Self {
+        match self {
+            DfsPath::Top => DfsPath::Top,
+            DfsPath::Finite(w) => {
+                if w.len() >= cap {
+                    DfsPath::Top
+                } else {
+                    let mut next = Vec::with_capacity(w.len() + 1);
+                    next.extend_from_slice(w);
+                    next.push(port.index() as u16);
+                    DfsPath::Finite(next)
+                }
+            }
+        }
+    }
+
+    /// The ports of a finite word, if any.
+    pub fn ports(&self) -> Option<&[u16]> {
+        match self {
+            DfsPath::Finite(w) => Some(w),
+            DfsPath::Top => None,
+        }
+    }
+}
+
+
+impl fmt::Debug for DfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsPath::Top => f.write_str("⊤"),
+            DfsPath::Finite(w) if w.is_empty() => f.write_str("ε"),
+            DfsPath::Finite(w) => {
+                let parts: Vec<String> = w.iter().map(u16::to_string).collect();
+                write!(f, "⟨{}⟩", parts.join("."))
+            }
+        }
+    }
+}
+
+impl fmt::Display for DfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Enumerates every word of length `≤ cap` over the alphabet
+/// `0..alphabet`, plus `⊤` — the per-node state space handed to the model
+/// checker. The count is `(alphabet^(cap+1) − 1) / (alphabet − 1) + 1`, so
+/// keep `cap` and `alphabet` tiny.
+pub fn enumerate_paths(alphabet: u16, cap: usize) -> Vec<DfsPath> {
+    let mut out = vec![DfsPath::Top];
+    let mut frontier = vec![Vec::<u16>::new()];
+    out.push(DfsPath::Finite(Vec::new()));
+    for _ in 0..cap {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for a in 0..alphabet {
+                let mut e = w.clone();
+                e.push(a);
+                out.push(DfsPath::Finite(e.clone()));
+                next.push(e);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_precedes_extension() {
+        let a = DfsPath::from_ports(&[0, 1]);
+        let b = DfsPath::from_ports(&[0, 1, 0]);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn first_difference_decides() {
+        let a = DfsPath::from_ports(&[0, 2]);
+        let b = DfsPath::from_ports(&[1]);
+        assert!(a < b, "port 0 branch precedes port 1 branch");
+        let c = DfsPath::from_ports(&[0, 1]);
+        assert!(c < a);
+    }
+
+    #[test]
+    fn top_is_greatest() {
+        let a = DfsPath::from_ports(&[9, 9, 9]);
+        assert!(a < DfsPath::Top);
+        assert!(DfsPath::root() < DfsPath::Top);
+    }
+
+    #[test]
+    fn extend_respects_cap() {
+        let p = DfsPath::from_ports(&[0, 0]);
+        assert_eq!(p.extend(Port::new(1), 3), DfsPath::from_ports(&[0, 0, 1]));
+        assert_eq!(p.extend(Port::new(1), 2), DfsPath::Top);
+        assert_eq!(DfsPath::Top.extend(Port::new(0), 10), DfsPath::Top);
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        // alphabet 2, cap 2: ε, 0, 1, 00, 01, 10, 11, ⊤ = 8.
+        assert_eq!(enumerate_paths(2, 2).len(), 8);
+        // Everything enumerated is distinct.
+        let all = enumerate_paths(3, 2);
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", DfsPath::root()), "ε");
+        assert_eq!(format!("{:?}", DfsPath::from_ports(&[1, 0])), "⟨1.0⟩");
+        assert_eq!(format!("{:?}", DfsPath::Top), "⊤");
+    }
+
+    #[test]
+    fn default_is_top() {
+        assert!(DfsPath::default().is_top());
+    }
+}

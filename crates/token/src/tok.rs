@@ -1,0 +1,525 @@
+//! The handshake-bit depth-first token wave.
+//!
+//! Shared mechanics used by both [`crate::DfsTokenCirculation`] (tree
+//! derived from Collin–Dolev words) and [`crate::FixedTreeToken`] (frozen
+//! oracle tree). The tree is abstracted as a [`LocalTree`] — whatever a
+//! node currently believes its parent and (port-ordered) children are.
+//!
+//! ## Mechanics
+//!
+//! Each processor keeps one handshake bit per port (`bits`), one bit toward
+//! its parent (`flag`), a work flag, and a child scan index. For the edge
+//! from `p` to its child `c` (port `l` at `p`, back port `m` at `c`):
+//!
+//! > **`c` is granted the token** iff `bits_p[l] ≠ flag_c`.
+//!
+//! `p` delegates by flipping `bits[l]`; `c` returns by copying the bit into
+//! its `flag`. A round at `p`: take the token (`Take`, the paper's
+//! `Forward(p)`), delegate to each child in port order (`Advance`), and
+//! hand it back (`Return`). The root is permanently granted, so rounds
+//! chain forever.
+//!
+//! ## Self-stabilization
+//!
+//! Two correction actions clean arbitrary initial states:
+//!
+//! * [`TokAction::Absorb`] — a non-granted processor must be inert: it
+//!   clears its work flag and re-matches every child bit, revoking any
+//!   spurious delegations. Because derived parent pointers strictly
+//!   increase word length, they form a forest even before the tree layer
+//!   stabilizes, so absorption drains every spurious token top-down.
+//! * [`TokAction::Repair`] — a granted, working processor clamps a garbage
+//!   scan index and revokes delegations other than the one at `scan − 1`.
+//!
+//! A granted processor whose parent no longer recognizes it finishes one
+//! round and self-revokes (its `Return` copies the parent bit, restoring
+//! equality), so stale grants disappear after at most one spurious round.
+
+use rand::Rng as _;
+use rand::RngCore;
+use sno_engine::{NodeCtx, NodeView};
+use sno_graph::Port;
+
+use crate::api::TokenKind;
+
+/// Per-processor variables of the token wave.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TokState {
+    /// Handshake bit toward the parent.
+    pub flag: bool,
+    /// Whether the processor is mid-round (`st = Work`).
+    pub working: bool,
+    /// Index of the next child (in the ordered child list) to delegate to;
+    /// `scan == children.len()` means every child has been served.
+    pub scan: u16,
+    /// Handshake bits toward each port (only child ports are meaningful).
+    pub bits: Vec<bool>,
+}
+
+impl TokState {
+    /// The canonical clean state for a processor of the given degree.
+    pub fn clean(degree: usize) -> Self {
+        TokState {
+            flag: false,
+            working: false,
+            scan: 0,
+            bits: vec![false; degree],
+        }
+    }
+
+    /// Samples an arbitrary (possibly corrupt) state.
+    pub fn random(ctx: &NodeCtx, rng: &mut dyn RngCore) -> Self {
+        TokState {
+            flag: rng.random_bool(0.5),
+            working: rng.random_bool(0.5),
+            scan: rng.random_range(0..=ctx.degree as u16),
+            bits: (0..ctx.degree).map(|_| rng.random_bool(0.5)).collect(),
+        }
+    }
+
+    /// Enumerates every state for a processor of the given degree
+    /// (`2 × 2 × (Δ+1) × 2^Δ` states — model checking only).
+    pub fn enumerate(degree: usize) -> Vec<Self> {
+        let mut out = Vec::new();
+        for flag in [false, true] {
+            for working in [false, true] {
+                for scan in 0..=degree as u16 {
+                    for mask in 0..(1u32 << degree) {
+                        out.push(TokState {
+                            flag,
+                            working,
+                            scan,
+                            bits: (0..degree).map(|i| mask >> i & 1 == 1).collect(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// What a processor currently believes about its position in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalTree {
+    /// `true` iff the processor believes it is attached to the tree (the
+    /// root with a correct word, or a node with a recognized parent).
+    pub attached: bool,
+    /// The port toward the parent (`None` at the root or when detached).
+    pub parent: Option<Port>,
+    /// Child ports in ascending port order — the deterministic DFS order.
+    pub children: Vec<Port>,
+}
+
+/// Everything the token-wave guards need, extracted once per evaluation.
+#[derive(Debug)]
+pub struct TokView<'a> {
+    /// The processor's believed tree position.
+    pub tree: &'a LocalTree,
+    /// Own variables.
+    pub me: &'a TokState,
+    /// Whether the parent's bit grants this processor the token (the root
+    /// is granted iff attached).
+    pub granted: bool,
+    /// For each entry of `tree.children`: the child's current `flag`.
+    pub child_flags: Vec<bool>,
+    /// The parent's bit toward this processor, if a parent exists.
+    pub parent_bit: Option<bool>,
+}
+
+impl<'a> TokView<'a> {
+    /// Builds the token view for a node, given accessors into the
+    /// underlying protocol state.
+    pub fn gather<S>(
+        view: &'a impl NodeView<S>,
+        tree: &'a LocalTree,
+        me: &'a TokState,
+        tok_of: impl Fn(&S) -> &TokState,
+    ) -> Self {
+        let ctx = view.ctx();
+        let parent_bit = tree.parent.map(|l| {
+            let back = ctx.back_ports[l.index()];
+            tok_of(view.neighbor(l)).bits[back.index()]
+        });
+        let granted = if ctx.is_root {
+            tree.attached
+        } else {
+            match parent_bit {
+                Some(b) => tree.attached && b != me.flag,
+                None => false,
+            }
+        };
+        let child_flags = tree
+            .children
+            .iter()
+            .map(|&l| tok_of(view.neighbor(l)).flag)
+            .collect();
+        TokView {
+            tree,
+            me,
+            granted,
+            child_flags,
+            parent_bit,
+        }
+    }
+
+    /// `true` iff the delegation bit toward child `i` (an index into
+    /// `tree.children`) is outstanding.
+    pub fn pending(&self, i: usize) -> bool {
+        let port = self.tree.children[i];
+        self.me.bits[port.index()] != self.child_flags[i]
+    }
+
+    fn any_spurious_pending(&self) -> bool {
+        let k = self.tree.children.len();
+        let scan = self.me.scan as usize;
+        (0..k).any(|i| self.pending(i) && (scan == 0 || i != scan - 1))
+    }
+}
+
+/// The actions of the token wave (see module docs for guards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokAction {
+    /// Not granted but holding work or delegations: go inert.
+    Absorb,
+    /// Granted and working with inconsistent scan/delegations: repair.
+    Repair,
+    /// Receive the token — the paper's `Forward(p)`.
+    Take,
+    /// Previous child done: delegate to child `scan` and advance.
+    Advance,
+    /// All children done: finish the round and return the token.
+    Return,
+}
+
+/// Evaluates the (disjoint, priority-ordered) guards; at most one action is
+/// enabled per processor.
+pub fn tok_enabled(v: &TokView<'_>) -> Option<TokAction> {
+    let k = v.tree.children.len();
+    let scan = v.me.scan as usize;
+    if !v.granted {
+        let dirty = v.me.working || (0..k).any(|i| v.pending(i));
+        return dirty.then_some(TokAction::Absorb);
+    }
+    if v.me.working {
+        if scan > k || v.any_spurious_pending() {
+            return Some(TokAction::Repair);
+        }
+        let prev_done = scan == 0 || !v.pending(scan - 1);
+        if !prev_done {
+            return None; // token is below; wait for the child to return
+        }
+        if scan < k {
+            return Some(TokAction::Advance);
+        }
+        return Some(TokAction::Return);
+    }
+    Some(TokAction::Take)
+}
+
+/// Executes an action, returning the new token variables.
+///
+/// Must only be called with the action [`tok_enabled`] returned for the
+/// same view.
+pub fn tok_apply(v: &TokView<'_>, action: TokAction) -> TokState {
+    let mut s = v.me.clone();
+    let k = v.tree.children.len();
+    match action {
+        TokAction::Absorb => {
+            s.working = false;
+            s.scan = 0;
+            for (i, &port) in v.tree.children.iter().enumerate() {
+                s.bits[port.index()] = v.child_flags[i];
+            }
+        }
+        TokAction::Repair => {
+            let scan = (s.scan as usize).min(k);
+            s.scan = scan as u16;
+            for (i, &port) in v.tree.children.iter().enumerate() {
+                if v.pending(i) && (scan == 0 || i != scan - 1) {
+                    s.bits[port.index()] = v.child_flags[i];
+                }
+            }
+        }
+        TokAction::Take => {
+            s.working = true;
+            s.scan = 0;
+        }
+        TokAction::Advance => {
+            let i = s.scan as usize;
+            debug_assert!(i < k, "Advance requires an unserved child");
+            let port = v.tree.children[i];
+            s.bits[port.index()] = !v.child_flags[i];
+            s.scan += 1;
+        }
+        TokAction::Return => {
+            s.working = false;
+            if let Some(b) = v.parent_bit {
+                s.flag = b;
+            }
+        }
+    }
+    s
+}
+
+/// Classifies an enabled action in the paper's terms.
+pub fn tok_classify(v: &TokView<'_>, action: TokAction) -> TokenKind {
+    let k = v.tree.children.len();
+    match action {
+        TokAction::Take => TokenKind::Forward,
+        TokAction::Advance if v.me.scan >= 1 => TokenKind::Backtrack {
+            child: v.tree.children[v.me.scan as usize - 1],
+        },
+        TokAction::Return if k >= 1 => TokenKind::Backtrack {
+            child: v.tree.children[k - 1],
+        },
+        _ => TokenKind::Internal,
+    }
+}
+
+/// Chain-walk legitimacy for the token wave over a *correct* tree: exactly
+/// one root-anchored activity chain, everything else inert.
+///
+/// `tok_of(p)` reads the token variables of node `p`; `children_of(p)`
+/// returns its true (port-ordered) children; `flags` must therefore be
+/// consulted through `tok_of`.
+pub fn chain_legit(
+    n: usize,
+    root: usize,
+    tok_of: &dyn Fn(usize) -> TokState,
+    children_of: &dyn Fn(usize) -> Vec<(usize, Port)>,
+) -> bool {
+    // Walk the activity chain from the root.
+    let mut on_chain = vec![false; n];
+    let mut cur = root;
+    loop {
+        on_chain[cur] = true;
+        let t = tok_of(cur);
+        let kids = children_of(cur);
+        let k = kids.len();
+        if !t.working {
+            break; // holder about to Take (cleanliness checked below)
+        }
+        let scan = t.scan as usize;
+        if scan > k {
+            return false;
+        }
+        let mut descend = None;
+        for (i, &(child, port)) in kids.iter().enumerate() {
+            let pending = t.bits[port.index()] != tok_of(child).flag;
+            if pending {
+                if scan == 0 || i != scan - 1 {
+                    return false; // spurious delegation
+                }
+                descend = Some(child);
+            }
+        }
+        match descend {
+            Some(c) => cur = c,
+            None => break, // holder about to Advance/Return
+        }
+    }
+    // Everything off the chain must be inert, and every non-working node —
+    // including a holder about to Take — must hold no outstanding
+    // delegation bit (an unmatched bit would grant a second token).
+    for (p, &chained) in on_chain.iter().enumerate().take(n) {
+        let t = tok_of(p);
+        if !chained && t.working {
+            return false;
+        }
+        if t.working {
+            continue; // on-chain working nodes were validated by the walk
+        }
+        for &(child, port) in &children_of(p) {
+            if t.bits[port.index()] != tok_of(child).flag {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_tree() -> LocalTree {
+        LocalTree {
+            attached: true,
+            parent: Some(Port::new(0)),
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_state_shape() {
+        let s = TokState::clean(3);
+        assert!(!s.working);
+        assert_eq!(s.bits.len(), 3);
+    }
+
+    #[test]
+    fn enumerate_covers_expected_count() {
+        // degree 2: 2 * 2 * 3 * 4 = 48.
+        assert_eq!(TokState::enumerate(2).len(), 48);
+        let all = TokState::enumerate(2);
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), 48);
+    }
+
+    #[test]
+    fn granted_idle_leaf_takes_then_returns() {
+        let tree = leaf_tree();
+        let me = TokState::clean(1);
+        let v = TokView {
+            tree: &tree,
+            me: &me,
+            granted: true,
+            child_flags: vec![],
+            parent_bit: Some(true), // differs from flag=false → granted
+        };
+        assert_eq!(tok_enabled(&v), Some(TokAction::Take));
+        let worked = tok_apply(&v, TokAction::Take);
+        assert!(worked.working);
+
+        let v2 = TokView {
+            tree: &tree,
+            me: &worked,
+            granted: true,
+            child_flags: vec![],
+            parent_bit: Some(true),
+        };
+        assert_eq!(tok_enabled(&v2), Some(TokAction::Return));
+        let done = tok_apply(&v2, TokAction::Return);
+        assert!(!done.working);
+        assert!(done.flag, "flag copies the parent bit (token returned)");
+    }
+
+    #[test]
+    fn ungranted_dirty_node_absorbs() {
+        let tree = LocalTree {
+            attached: true,
+            parent: Some(Port::new(0)),
+            children: vec![Port::new(1)],
+        };
+        let mut me = TokState::clean(2);
+        me.working = true;
+        me.bits[1] = true; // outstanding delegation
+        let v = TokView {
+            tree: &tree,
+            me: &me,
+            granted: false,
+            child_flags: vec![false],
+            parent_bit: Some(me.flag), // equal → not granted
+        };
+        assert_eq!(tok_enabled(&v), Some(TokAction::Absorb));
+        let s = tok_apply(&v, TokAction::Absorb);
+        assert!(!s.working);
+        assert!(!s.bits[1], "delegation revoked");
+    }
+
+    #[test]
+    fn spurious_delegation_repaired() {
+        let tree = LocalTree {
+            attached: true,
+            parent: None,
+            children: vec![Port::new(0), Port::new(1)],
+        };
+        let mut me = TokState::clean(2);
+        me.working = true;
+        me.scan = 1; // legitimately delegated to child 0 …
+        me.bits[0] = true;
+        me.bits[1] = true; // … but child 1 also looks delegated: spurious.
+        let v = TokView {
+            tree: &tree,
+            me: &me,
+            granted: true,
+            child_flags: vec![false, false],
+            parent_bit: None,
+        };
+        assert_eq!(tok_enabled(&v), Some(TokAction::Repair));
+        let s = tok_apply(&v, TokAction::Repair);
+        assert!(s.bits[0], "current delegation kept");
+        assert!(!s.bits[1], "spurious delegation revoked");
+    }
+
+    #[test]
+    fn advance_flips_bit_and_moves_on() {
+        let tree = LocalTree {
+            attached: true,
+            parent: None,
+            children: vec![Port::new(0), Port::new(1)],
+        };
+        let mut me = TokState::clean(2);
+        me.working = true;
+        let v = TokView {
+            tree: &tree,
+            me: &me,
+            granted: true,
+            child_flags: vec![false, false],
+            parent_bit: None,
+        };
+        assert_eq!(tok_enabled(&v), Some(TokAction::Advance));
+        assert_eq!(tok_classify(&v, TokAction::Advance), TokenKind::Internal);
+        let s = tok_apply(&v, TokAction::Advance);
+        assert_eq!(s.scan, 1);
+        assert!(s.bits[0], "delegation bit flipped for child 0");
+    }
+
+    #[test]
+    fn waiting_on_pending_child_disables_everything() {
+        let tree = LocalTree {
+            attached: true,
+            parent: None,
+            children: vec![Port::new(0)],
+        };
+        let mut me = TokState::clean(1);
+        me.working = true;
+        me.scan = 1;
+        me.bits[0] = true; // delegated, child has not returned
+        let v = TokView {
+            tree: &tree,
+            me: &me,
+            granted: true,
+            child_flags: vec![false],
+            parent_bit: None,
+        };
+        assert_eq!(tok_enabled(&v), None);
+    }
+
+    #[test]
+    fn backtrack_classification_points_at_previous_child() {
+        let tree = LocalTree {
+            attached: true,
+            parent: None,
+            children: vec![Port::new(2), Port::new(5)],
+        };
+        let mut me = TokState::clean(6);
+        me.working = true;
+        me.scan = 1; // child 0 (port 2) has just returned
+        let v = TokView {
+            tree: &tree,
+            me: &me,
+            granted: true,
+            child_flags: vec![false, false],
+            parent_bit: None,
+        };
+        assert_eq!(
+            tok_classify(&v, TokAction::Advance),
+            TokenKind::Backtrack { child: Port::new(2) }
+        );
+        let mut done = me.clone();
+        done.scan = 2;
+        let v2 = TokView {
+            tree: &tree,
+            me: &done,
+            granted: true,
+            child_flags: vec![false, false],
+            parent_bit: None,
+        };
+        assert_eq!(
+            tok_classify(&v2, TokAction::Return),
+            TokenKind::Backtrack { child: Port::new(5) }
+        );
+    }
+}

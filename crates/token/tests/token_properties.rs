@@ -1,0 +1,102 @@
+//! Property-based tests for the token substrate: path-word order laws and
+//! the single-token invariant of the converged circulation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sno_engine::daemon::CentralRoundRobin;
+use sno_engine::{Network, Simulation};
+use sno_graph::{generators, NodeId, Port};
+use sno_token::dftc::{dftc_legit, DfsTokenCirculation};
+use sno_token::DfsPath;
+
+fn arb_word() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(0u16..6, 0..6)
+}
+
+fn arb_path() -> impl Strategy<Value = DfsPath> {
+    prop_oneof![
+        3 => arb_word().prop_map(|w| DfsPath::from_ports(&w)),
+        1 => Just(DfsPath::Top),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn path_order_is_total_and_consistent(a in arb_path(), b in arb_path(), c in arb_path()) {
+        // Antisymmetry + transitivity spot checks (Ord is derived, but the
+        // *semantics* — prefix-precedes — is what the protocol needs).
+        if a < b && b < c {
+            prop_assert!(a < c);
+        }
+        prop_assert_eq!(a == b, a >= b && b >= a);
+    }
+
+    #[test]
+    fn prefix_always_precedes_extension(w in arb_word(), port in 0u16..6) {
+        let p = DfsPath::from_ports(&w);
+        let e = p.extend(Port::new(port as usize), 16);
+        prop_assert!(p < e, "{p:?} must precede {e:?}");
+    }
+
+    #[test]
+    fn extension_preserves_order(a in arb_word(), b in arb_word(), port in 0u16..6) {
+        let pa = DfsPath::from_ports(&a);
+        let pb = DfsPath::from_ports(&b);
+        // Extending the *greater* word never makes it smaller than the
+        // smaller word's extension by the same port, unless prefix rules
+        // interfere — the safe law: extending both by the same port
+        // preserves strict order when neither is a prefix of the other.
+        if pa < pb && !b.starts_with(&a) {
+            let ea = pa.extend(Port::new(port as usize), 16);
+            let eb = pb.extend(Port::new(port as usize), 16);
+            prop_assert!(ea < eb);
+        }
+    }
+
+    #[test]
+    fn cap_collapses_to_top(w in arb_word(), port in 0u16..6) {
+        let p = DfsPath::from_ports(&w);
+        let e = p.extend(Port::new(port as usize), w.len());
+        prop_assert!(e.is_top());
+    }
+}
+
+/// After convergence, walk many steps and assert there is never more than
+/// one "active" processor (the legitimate configurations are sequential)
+/// and legitimacy is closed.
+#[test]
+fn converged_circulation_has_a_single_active_site() {
+    for seed in 0..4u64 {
+        let g = generators::random_connected(8, 5, seed);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = Simulation::from_random(&net, DfsTokenCirculation, &mut rng);
+        let run = sim.run_until(&mut CentralRoundRobin::new(), 20_000_000, |c| {
+            dftc_legit(&net, c)
+        });
+        assert!(run.converged, "seed {seed}");
+        let mut daemon = CentralRoundRobin::new();
+        for _ in 0..400 {
+            let enabled = sim.enabled_nodes();
+            assert_eq!(enabled.len(), 1, "sequential once legitimate");
+            sim.step(&mut daemon);
+            assert!(dftc_legit(&net, sim.config()), "closure");
+        }
+    }
+}
+
+/// The substrate must also converge when the daemon is locally central
+/// (independent subsets) — a model between central and distributed.
+#[test]
+fn converges_under_locally_central_daemon() {
+    let g = generators::random_connected(8, 6, 9);
+    let net = Network::new(g, NodeId::new(0));
+    let mut daemon = sno_engine::daemon::LocallyCentralRandom::seeded(2, &net);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut sim = Simulation::from_random(&net, DfsTokenCirculation, &mut rng);
+    let run = sim.run_until(&mut daemon, 20_000_000, |c| dftc_legit(&net, c));
+    assert!(run.converged);
+}

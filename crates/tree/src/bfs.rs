@@ -1,0 +1,219 @@
+//! The silent self-stabilizing BFS spanning tree.
+//!
+//! Every non-root processor drives its pair `(dist, parent)` toward
+//! `dist = 1 + min_q dist_q` (capped at `N`, the known bound) and
+//! `parent =` the lowest port whose neighbor attains the minimum. The root
+//! pins `(0, ⊥)`. The unique silent fixpoint is the lowest-port BFS tree
+//! (golden model: [`sno_graph::traverse::bfs`]), reached in `O(diam)`
+//! rounds from any configuration under any daemon — the standard
+//! construction the paper cites as \[8, 12\].
+
+use rand::Rng as _;
+use rand::RngCore;
+use sno_engine::protocol::neighbor_states;
+use sno_engine::{Enumerable, NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_graph::Port;
+
+/// Per-processor variables of the BFS tree protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BfsState {
+    /// Believed hop distance to the root (capped at `N`).
+    pub dist: u32,
+    /// Believed parent port (`None` at the root — or while corrupted).
+    pub parent: Option<Port>,
+}
+
+/// The single action: overwrite `(dist, parent)` with the target value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recompute;
+
+/// The BFS spanning tree protocol (see module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BfsSpanningTree;
+
+impl BfsSpanningTree {
+    /// The value the guard compares against.
+    pub fn target(view: &impl NodeView<BfsState>) -> BfsState {
+        let ctx = view.ctx();
+        if ctx.is_root {
+            return BfsState {
+                dist: 0,
+                parent: None,
+            };
+        }
+        let cap = ctx.n_bound as u32;
+        let mut best_dist = cap;
+        let mut best_port = None;
+        for (l, s) in neighbor_states(view) {
+            let through = s.dist.saturating_add(1).min(cap);
+            if through < best_dist {
+                best_dist = through;
+                best_port = Some(l);
+            }
+        }
+        BfsState {
+            dist: best_dist,
+            parent: if best_dist < cap { best_port } else { None },
+        }
+    }
+}
+
+impl Protocol for BfsSpanningTree {
+    type State = BfsState;
+    type Action = Recompute;
+
+    fn enabled(&self, view: &impl NodeView<BfsState>, out: &mut Vec<Recompute>) {
+        if *view.state() != Self::target(view) {
+            out.push(Recompute);
+        }
+    }
+
+    fn apply(&self, view: &impl NodeView<BfsState>, _action: &Recompute) -> BfsState {
+        Self::target(view)
+    }
+
+    fn initial_state(&self, ctx: &NodeCtx) -> BfsState {
+        BfsState {
+            dist: ctx.n_bound as u32,
+            parent: None,
+        }
+    }
+
+    fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> BfsState {
+        let parent = match rng.random_range(0..=ctx.degree) {
+            0 => None,
+            l => Some(Port::new(l - 1)),
+        };
+        BfsState {
+            dist: rng.random_range(0..=ctx.n_bound as u32),
+            parent,
+        }
+    }
+}
+
+impl Enumerable for BfsSpanningTree {
+    fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<BfsState> {
+        let mut out = Vec::new();
+        for dist in 0..=ctx.n_bound as u32 {
+            out.push(BfsState { dist, parent: None });
+            for l in 0..ctx.degree {
+                out.push(BfsState {
+                    dist,
+                    parent: Some(Port::new(l)),
+                });
+            }
+        }
+        out
+    }
+}
+
+impl SpaceMeasured for BfsSpanningTree {
+    fn state_bits(&self, ctx: &NodeCtx) -> usize {
+        // dist: log N bits; parent: log(Δ+1) bits.
+        let log_n = (usize::BITS - (ctx.n_bound + 1).leading_zeros()) as usize;
+        let log_d = (usize::BITS - (ctx.degree + 1).leading_zeros()) as usize;
+        log_n + log_d
+    }
+}
+
+/// `true` iff `config` is the fixpoint: golden BFS distances with the
+/// lowest-port parent choice.
+pub fn bfs_legit(net: &sno_engine::Network, config: &[BfsState]) -> bool {
+    let golden = sno_graph::traverse::bfs(net.graph(), net.root());
+    config.iter().enumerate().all(|(i, s)| {
+        s.dist as usize == golden.dist[i] && s.parent == golden.parent_port[i]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sno_engine::daemon::{
+        CentralFixedPriority, CentralRoundRobin, DistributedRandom, Synchronous,
+    };
+    use sno_engine::modelcheck::ModelChecker;
+    use sno_engine::{Network, Simulation};
+    use sno_graph::{generators, NodeId};
+
+    fn stabilize(net: &Network, seed: u64) -> Vec<BfsState> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = Simulation::from_random(net, BfsSpanningTree, &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 2_000_000);
+        assert!(run.converged);
+        sim.config().to_vec()
+    }
+
+    #[test]
+    fn fixpoint_is_golden_bfs_on_all_topologies() {
+        for (i, t) in generators::Topology::ALL.into_iter().enumerate() {
+            let g = t.build(14, 5);
+            let net = Network::new(g, NodeId::new(0));
+            let config = stabilize(&net, i as u64);
+            assert!(bfs_legit(&net, &config), "topology {t}");
+        }
+    }
+
+    #[test]
+    fn stabilizes_under_every_daemon() {
+        let g = generators::random_connected(12, 9, 7);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(3);
+
+        let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
+        assert!(sim
+            .run_until_silent(&mut Synchronous::new(), 100_000)
+            .converged);
+        assert!(bfs_legit(&net, sim.config()));
+
+        let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
+        assert!(sim
+            .run_until_silent(&mut DistributedRandom::seeded(8), 1_000_000)
+            .converged);
+        assert!(bfs_legit(&net, sim.config()));
+
+        // The unfair daemon: always serves the lowest-index enabled node.
+        let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
+        assert!(sim
+            .run_until_silent(&mut CentralFixedPriority::new(), 1_000_000)
+            .converged);
+        assert!(bfs_legit(&net, sim.config()));
+    }
+
+    #[test]
+    fn rounds_to_silence_scale_with_eccentricity() {
+        // Synchronous rounds ≈ O(diam), not O(n): compare a star (ecc 1)
+        // against a path (ecc n−1) of the same size.
+        let star = Network::new(generators::star(32), NodeId::new(0));
+        let mut sim = Simulation::from_initial(&star, BfsSpanningTree);
+        let run = sim.run_until_silent(&mut Synchronous::new(), 10_000);
+        assert!(run.steps <= 4, "star stabilizes in O(1) sync steps");
+
+        let path = Network::new(generators::path(32), NodeId::new(0));
+        let mut sim = Simulation::from_initial(&path, BfsSpanningTree);
+        let run = sim.run_until_silent(&mut Synchronous::new(), 10_000);
+        assert!(run.steps >= 30, "path needs Θ(n) sync steps");
+    }
+
+    #[test]
+    fn exhaustive_model_check_on_path3_and_triangle() {
+        for g in [generators::path(3), generators::ring(3)] {
+            let net = Network::new(g, NodeId::new(0));
+            let mc = ModelChecker::new(&net, &BfsSpanningTree, 10_000_000).unwrap();
+            let legit = |c: &[BfsState]| bfs_legit(&net, c);
+            let rep = mc.check_closure(legit).expect("closure");
+            assert_eq!(rep.legitimate, 1);
+            mc.check_convergence_any_schedule(legit)
+                .expect("convergence under any schedule");
+        }
+    }
+
+    #[test]
+    fn loose_bound_still_stabilizes() {
+        let g = generators::ring(6);
+        let net = Network::with_bound(g, NodeId::new(0), 20);
+        let config = stabilize(&net, 9);
+        assert!(bfs_legit(&net, &config));
+    }
+}

@@ -1,0 +1,33 @@
+//! # sno-tree
+//!
+//! Self-stabilizing **spanning tree** substrates for `STNO` (Chapter 4 of
+//! the paper). The paper assumes "an underlying protocol \[that\]
+//! deterministically maintains a spanning tree of the graph" and cites
+//! several constructions \[1, 2, 8, 12\]; any of them may be plugged in.
+//! This crate ships:
+//!
+//! * [`bfs::BfsSpanningTree`] — the classic silent self-stabilizing BFS
+//!   distance tree (`dist_r = 0`, `dist_p = 1 + min_q dist_q`, parent = the
+//!   lowest port at minimum distance), stabilizing in `O(diam)` rounds
+//!   under any daemon;
+//! * [`provider::OracleSpanningTree`] — a frozen tree with no actions,
+//!   modeling the paper's "after the spanning tree protocol stabilizes"
+//!   regime for isolation experiments;
+//! * [`provider::CdSpanningTree`] — the Collin–Dolev *DFS* tree re-exposed
+//!   through the same interface, for the conclusion's observation that
+//!   `STNO` over a DFS tree names nodes exactly like `DFTNO` (experiment
+//!   E9).
+//!
+//! All three implement [`provider::SpanningTree`], the interface `STNO` is
+//! written against: a protocol from whose states each node can locally
+//! derive its parent port, its (port-ordered) children, and its role
+//! (root / internal / leaf).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod provider;
+
+pub use bfs::{bfs_legit, BfsSpanningTree, BfsState};
+pub use provider::{CdSpanningTree, OracleSpanningTree, SpanningTree};

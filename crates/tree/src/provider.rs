@@ -1,0 +1,270 @@
+//! The interface `STNO` is written against, and its oracle / DFS-tree
+//! implementations.
+//!
+//! Chapter 4 keeps the spanning tree abstract: the underlying protocol
+//! classifies processors as root / internal / leaf and maintains, at each
+//! processor, its parent (`A_p`) and its children (`D_p`). The
+//! [`SpanningTree`] trait captures exactly the locally derivable part of
+//! that: given a node's view (own and neighbor states of the underlying
+//! protocol), produce the parent port and the port-ordered child list.
+
+use rand::RngCore;
+use sno_engine::{NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_graph::{NodeId, Port, RootedTree};
+use sno_token::cd::CollinDolev;
+use sno_token::DfsPath;
+
+use crate::bfs::{BfsSpanningTree, BfsState};
+
+/// A spanning tree substrate: a protocol from whose states each processor
+/// can locally derive its tree position.
+///
+/// Implementations: [`BfsSpanningTree`] (self-stabilizing BFS tree),
+/// [`OracleSpanningTree`] (frozen tree), [`CdSpanningTree`] (self-
+/// stabilizing first-DFS tree).
+pub trait SpanningTree: Protocol {
+    /// The port toward the parent `A_p`, if currently defined (`None` at
+    /// the root or while the substrate is still stabilizing).
+    fn parent_port(&self, view: &impl NodeView<Self::State>) -> Option<Port>;
+
+    /// The ports toward the children `D_p`, in ascending port order — the
+    /// order `Distribute` hands out name ranges.
+    fn children_ports(&self, view: &impl NodeView<Self::State>) -> Vec<Port>;
+}
+
+impl SpanningTree for BfsSpanningTree {
+    fn parent_port(&self, view: &impl NodeView<BfsState>) -> Option<Port> {
+        if view.ctx().is_root {
+            None
+        } else {
+            view.state().parent
+        }
+    }
+
+    fn children_ports(&self, view: &impl NodeView<BfsState>) -> Vec<Port> {
+        // q is my child iff q's parent port points back at me.
+        let ctx = view.ctx();
+        (0..ctx.degree)
+            .map(Port::new)
+            .filter(|&l| view.neighbor(l).parent == Some(ctx.back_ports[l.index()]))
+            .collect()
+    }
+}
+
+/// A frozen spanning tree with no actions — the paper's "after the
+/// spanning tree protocol stabilizes" regime, for isolating `STNO`.
+#[derive(Debug, Clone)]
+pub struct OracleSpanningTree {
+    parents: Vec<Option<Port>>,
+    children: Vec<Vec<Port>>,
+}
+
+impl OracleSpanningTree {
+    /// Freezes `tree` (children resolved to the parent's ports in `g`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` is not a spanning tree of `g`.
+    pub fn from_graph(g: &sno_graph::Graph, tree: &RootedTree) -> Self {
+        let n = tree.node_count();
+        let mut parents = Vec::with_capacity(n);
+        let mut children = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = NodeId::new(i);
+            parents.push(tree.parent_port(p));
+            children.push(
+                tree.children(p)
+                    .iter()
+                    .map(|&c| g.port_to(p, c).expect("tree edge"))
+                    .collect(),
+            );
+        }
+        OracleSpanningTree { parents, children }
+    }
+}
+
+impl Protocol for OracleSpanningTree {
+    type State = ();
+    type Action = std::convert::Infallible;
+
+    fn enabled(&self, _view: &impl NodeView<()>, _out: &mut Vec<Self::Action>) {}
+
+    fn apply(&self, _view: &impl NodeView<()>, action: &Self::Action) {
+        match *action {}
+    }
+
+    fn initial_state(&self, _ctx: &NodeCtx) {}
+
+    fn random_state(&self, _ctx: &NodeCtx, _rng: &mut dyn RngCore) {}
+}
+
+impl SpanningTree for OracleSpanningTree {
+    fn parent_port(&self, view: &impl NodeView<()>) -> Option<Port> {
+        self.parents[view.ctx().id.index()]
+    }
+
+    fn children_ports(&self, view: &impl NodeView<()>) -> Vec<Port> {
+        self.children[view.ctx().id.index()].clone()
+    }
+}
+
+impl SpaceMeasured for OracleSpanningTree {
+    fn state_bits(&self, _ctx: &NodeCtx) -> usize {
+        0
+    }
+}
+
+/// The Collin–Dolev first-DFS tree exposed through the [`SpanningTree`]
+/// interface — the substrate for the conclusion's observation that `STNO`
+/// over a DFS tree reproduces `DFTNO`'s names (experiment E9).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CdSpanningTree;
+
+impl CdSpanningTree {
+    fn cap(ctx: &NodeCtx) -> usize {
+        CollinDolev::cap(ctx)
+    }
+}
+
+impl Protocol for CdSpanningTree {
+    type State = DfsPath;
+    type Action = sno_token::cd::FixPath;
+
+    fn enabled(&self, view: &impl NodeView<DfsPath>, out: &mut Vec<Self::Action>) {
+        CollinDolev.enabled(view, out);
+    }
+
+    fn apply(&self, view: &impl NodeView<DfsPath>, action: &Self::Action) -> DfsPath {
+        CollinDolev.apply(view, action)
+    }
+
+    fn initial_state(&self, ctx: &NodeCtx) -> DfsPath {
+        CollinDolev.initial_state(ctx)
+    }
+
+    fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> DfsPath {
+        CollinDolev.random_state(ctx, rng)
+    }
+}
+
+impl SpanningTree for CdSpanningTree {
+    fn parent_port(&self, view: &impl NodeView<DfsPath>) -> Option<Port> {
+        let ctx = view.ctx();
+        if ctx.is_root {
+            return None;
+        }
+        let cap = Self::cap(ctx);
+        let my = view.state();
+        if my.is_top() {
+            return None;
+        }
+        (0..ctx.degree)
+            .map(Port::new)
+            .find(|&l| *my == view.neighbor(l).extend(ctx.back_ports[l.index()], cap))
+    }
+
+    fn children_ports(&self, view: &impl NodeView<DfsPath>) -> Vec<Port> {
+        let ctx = view.ctx();
+        let cap = Self::cap(ctx);
+        let my = view.state();
+        if my.is_top() {
+            return Vec::new();
+        }
+        let parent = self.parent_port(view);
+        if !ctx.is_root && parent.is_none() {
+            return Vec::new();
+        }
+        (0..ctx.degree)
+            .map(Port::new)
+            .filter(|&l| Some(l) != parent && *view.neighbor(l) == my.extend(l, cap))
+            .collect()
+    }
+}
+
+impl SpaceMeasured for CdSpanningTree {
+    fn state_bits(&self, ctx: &NodeCtx) -> usize {
+        CollinDolev.state_bits(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sno_engine::daemon::CentralRoundRobin;
+    use sno_engine::protocol::ConfigView;
+    use sno_engine::{Network, Simulation};
+    use sno_graph::{generators, traverse};
+
+    #[test]
+    fn bfs_children_match_golden_tree() {
+        let g = generators::random_connected(14, 9, 6);
+        let net = Network::new(g.clone(), NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000_000);
+
+        let golden = traverse::bfs(&g, NodeId::new(0));
+        let tree = RootedTree::from_parents(&g, NodeId::new(0), &golden.parent).unwrap();
+        for p in net.nodes() {
+            let view = ConfigView::new(&net, p, sim.config());
+            let kids = BfsSpanningTree.children_ports(&view);
+            let golden_kids: Vec<Port> = tree
+                .children(p)
+                .iter()
+                .map(|&c| g.port_to(p, c).unwrap())
+                .collect();
+            assert_eq!(kids, golden_kids, "children at {p}");
+            assert_eq!(
+                BfsSpanningTree.parent_port(&view),
+                golden.parent_port[p.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_tree_reports_the_frozen_tree_and_never_acts() {
+        let g = generators::paper_example_stno();
+        let golden = traverse::bfs(&g, NodeId::new(0));
+        let tree = RootedTree::from_parents(&g, NodeId::new(0), &golden.parent).unwrap();
+        let oracle = OracleSpanningTree::from_graph(&g, &tree);
+        let net = Network::new(g, NodeId::new(0));
+        let sim = Simulation::from_initial(&net, oracle.clone());
+        assert!(sim.enabled_nodes().is_empty(), "oracle is inert");
+        for p in net.nodes() {
+            let view = ConfigView::new(&net, p, sim.config());
+            assert_eq!(oracle.parent_port(&view), tree.parent_port(p));
+            assert_eq!(
+                oracle.children_ports(&view).len(),
+                tree.children(p).len()
+            );
+        }
+    }
+
+    #[test]
+    fn cd_tree_matches_golden_dfs_after_stabilization() {
+        let g = generators::random_connected(12, 8, 3);
+        let net = Network::new(g.clone(), NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sim = Simulation::from_random(&net, CdSpanningTree, &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000_000);
+        assert!(run.converged);
+
+        let dfs = traverse::first_dfs(&g, NodeId::new(0));
+        for p in net.nodes() {
+            let view = ConfigView::new(&net, p, sim.config());
+            assert_eq!(
+                CdSpanningTree.parent_port(&view),
+                dfs.parent_port[p.index()],
+                "parent at {p}"
+            );
+            let kids: Vec<NodeId> = CdSpanningTree
+                .children_ports(&view)
+                .iter()
+                .map(|&l| g.neighbor(p, l))
+                .collect();
+            assert_eq!(kids, dfs.children[p.index()], "children at {p}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the spanning tree substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sno_engine::daemon::{CentralFixedPriority, CentralRoundRobin, LocallyCentralRandom};
+use sno_engine::protocol::ConfigView;
+use sno_engine::{Network, Simulation};
+use sno_graph::{generators, traverse, NodeId};
+use sno_tree::{bfs_legit, BfsSpanningTree, CdSpanningTree, SpanningTree};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bfs_tree_stabilizes_to_golden(n in 2usize..24, extra in 0usize..24, seed: u64) {
+        let g = generators::random_connected(n, extra, seed);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 2_000_000);
+        prop_assert!(run.converged);
+        prop_assert!(bfs_legit(&net, sim.config()));
+    }
+
+    #[test]
+    fn bfs_tree_stabilizes_under_unfair_daemon(n in 2usize..16, extra in 0usize..12, seed: u64) {
+        let g = generators::random_connected(n, extra, seed);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+        let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
+        let run = sim.run_until_silent(&mut CentralFixedPriority::new(), 2_000_000);
+        prop_assert!(run.converged);
+        prop_assert!(bfs_legit(&net, sim.config()));
+    }
+
+    #[test]
+    fn children_and_parents_are_mutually_consistent(n in 2usize..20, extra in 0usize..16, seed: u64) {
+        let g = generators::random_connected(n, extra, seed);
+        let net = Network::new(g.clone(), NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 2_000_000);
+        // p lists q as a child ⇔ q lists p as its parent.
+        for p in net.nodes() {
+            let vp = ConfigView::new(&net, p, sim.config());
+            for &l in &BfsSpanningTree.children_ports(&vp) {
+                let q = g.neighbor(p, l);
+                let vq = ConfigView::new(&net, q, sim.config());
+                let parent_port = BfsSpanningTree.parent_port(&vq).unwrap();
+                prop_assert_eq!(g.neighbor(q, parent_port), p);
+            }
+        }
+    }
+
+    #[test]
+    fn cd_tree_preorder_matches_dfs_order(n in 2usize..16, extra in 0usize..12, seed: u64) {
+        let g = generators::random_connected(n, extra, seed);
+        let dfs = traverse::first_dfs(&g, NodeId::new(0));
+        let net = Network::new(g.clone(), NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xAA);
+        let mut sim = Simulation::from_random(&net, CdSpanningTree, &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 4_000_000);
+        prop_assert!(run.converged);
+        // Rebuild the tree from the provider and check its preorder is the
+        // DFS visit order — the key fact behind experiment E9.
+        let mut parents = vec![None; n];
+        for p in net.nodes() {
+            let v = ConfigView::new(&net, p, sim.config());
+            parents[p.index()] = CdSpanningTree.parent_port(&v).map(|l| g.neighbor(p, l));
+        }
+        let tree = sno_graph::RootedTree::from_parents(&g, NodeId::new(0), &parents).unwrap();
+        prop_assert_eq!(tree.preorder(), dfs.order);
+    }
+}
+
+#[test]
+fn bfs_tree_under_locally_central_daemon() {
+    let g = generators::grid(4, 4);
+    let net = Network::new(g, NodeId::new(0));
+    let mut daemon = LocallyCentralRandom::seeded(7, &net);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
+    let run = sim.run_until_silent(&mut daemon, 2_000_000);
+    assert!(run.converged);
+    assert!(bfs_legit(&net, sim.config()));
+}

@@ -1,0 +1,33 @@
+//! Figure 3.1.1, regenerated: `DFTNO` node labeling on the paper's 5-node
+//! example network.
+//!
+//! The token starts at the root `r`, visits `b`, `d`, `c` (the chord
+//! `b−c` is skipped), backtracks to `r`, then visits `a` — assigning
+//! names `r=0, b=1, d=2, c=3, a=4` and propagating the running maximum on
+//! every backtrack, exactly as in the figure's steps (i)–(x).
+//!
+//! ```sh
+//! cargo run --example dftno_trace
+//! ```
+
+use sno::core::trace::dftno_figure_trace;
+
+fn main() {
+    println!("DFTNO on the Figure 3.1.1 network (r,a,b,c,d; chord b−c)\n");
+    println!(" step  event      node  η      Max");
+    let (rows, etas) = dftno_figure_trace();
+    for r in &rows {
+        let eta = r
+            .eta
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "—".into());
+        println!(
+            " {:>4}  {:<9}  {:<4}  {:<5}  {}",
+            r.step, r.event, r.node, eta, r.max
+        );
+    }
+    println!("\nfinal names (paper: r=0, b=1, d=2, c=3, a=4):");
+    for (i, name) in ["r", "a", "b", "c", "d"].iter().enumerate() {
+        println!("  {name} = {}", etas[i]);
+    }
+}

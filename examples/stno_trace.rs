@@ -1,0 +1,27 @@
+//! Figure 4.1.1, regenerated: `STNO` weight computation and naming on the
+//! paper's 5-node example tree.
+//!
+//! Leaves set `Weight = 1`; the internal node computes 3; the root
+//! computes 5 (bottom-up, figure steps (i)–(iii)). The root then takes
+//! name 0 and distributes ranges; the nodes settle on the preorder naming
+//! `0,1,2,3,4` (top-down, steps (iv)–(vi)).
+//!
+//! ```sh
+//! cargo run --example stno_trace
+//! ```
+
+use sno::core::trace::stno_figure_trace;
+
+fn main() {
+    println!("STNO on the Figure 4.1.1 tree (root 0; internal 1; leaves 2,3,4)\n");
+    println!(" step  phase    node  Weight  η");
+    let (rows, weights, etas) = stno_figure_trace();
+    for r in &rows {
+        println!(
+            " {:>4}  {:<7}  n{:<4} {:<7} {}",
+            r.step, r.phase, r.node, r.weight, r.eta
+        );
+    }
+    println!("\nfinal weights (paper: 5,3,1,1,1): {weights:?}");
+    println!("final names   (paper: 0,1,2,3,4): {etas:?}");
+}

@@ -1,0 +1,52 @@
+//! # sno — Self-stabilizing Network Orientation
+//!
+//! A full reproduction of *"Self-Stabilizing Network Orientation Algorithms
+//! in Arbitrary Rooted Networks"* (Gurumurthy; Datta et al., UNLV 1999 /
+//! ICDCS 2000) as a Rust workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`graph`] | port-numbered topologies, generators, golden traversals |
+//! | [`engine`] | guarded-command execution model: daemons, rounds, faults, model checking |
+//! | [`token`] | self-stabilizing depth-first token circulation substrate |
+//! | [`tree`] | self-stabilizing spanning tree substrates |
+//! | [`core`] | the paper's `DFTNO` and `STNO` protocols, `SP_NO` verifier, SoD applications |
+//!
+//! This umbrella crate re-exports everything and hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`).
+//!
+//! ## Quickstart
+//!
+//! Orient an arbitrary rooted network with `STNO` over a self-stabilizing
+//! BFS tree, starting from a completely arbitrary configuration:
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sno::core::stno::{stno_oriented, Stno};
+//! use sno::engine::daemon::CentralRoundRobin;
+//! use sno::engine::{Network, Simulation};
+//! use sno::tree::BfsSpanningTree;
+//!
+//! let g = sno::graph::generators::random_connected(16, 10, 7);
+//! let net = Network::new(g, sno::graph::NodeId::new(0));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut sim = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+//! let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000_000);
+//! assert!(run.converged);
+//! assert!(stno_oriented(&net, sim.config()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The paper's protocols and the orientation specification (`sno-core`).
+pub use sno_core as core;
+/// The execution model (`sno-engine`).
+pub use sno_engine as engine;
+/// Topologies and golden traversals (`sno-graph`).
+pub use sno_graph as graph;
+/// The depth-first token circulation substrate (`sno-token`).
+pub use sno_token as token;
+/// The spanning tree substrates (`sno-tree`).
+pub use sno_tree as tree;

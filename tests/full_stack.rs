@@ -1,0 +1,178 @@
+//! End-to-end integration: the complete self-stabilizing stacks.
+//!
+//! `DFTNO` over the self-stabilizing token circulation and `STNO` over the
+//! self-stabilizing BFS tree, started from fully arbitrary configurations
+//! (every layer corrupted), across topologies, seeds, and daemons.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sno::core::dftno::{dftno_golden, dftno_orientation, Dftno};
+use sno::core::stno::{stno_golden, stno_orientation, Stno};
+use sno::engine::daemon::{CentralRandom, CentralRoundRobin, DistributedRandom};
+use sno::engine::{faults, Network, Simulation};
+use sno::graph::traverse;
+use sno::graph::{generators, NodeId, RootedTree};
+use sno::token::DfsTokenCirculation;
+use sno::tree::BfsSpanningTree;
+
+fn bfs_tree_of(g: &sno::graph::Graph) -> RootedTree {
+    let b = traverse::bfs(g, NodeId::new(0));
+    RootedTree::from_parents(g, NodeId::new(0), &b.parent).unwrap()
+}
+
+#[test]
+fn dftno_full_stack_across_topologies() {
+    for (i, topo) in generators::Topology::ALL.into_iter().enumerate() {
+        let g = topo.build(9, 51);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(900 + i as u64);
+        let mut sim = Simulation::from_random(&net, Dftno::new(DfsTokenCirculation), &mut rng);
+        let mut daemon = CentralRandom::seeded(i as u64);
+        let run = sim.run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c));
+        assert!(run.converged, "DFTNO full stack on {topo}");
+    }
+}
+
+#[test]
+fn stno_full_stack_across_topologies() {
+    for (i, topo) in generators::Topology::ALL.into_iter().enumerate() {
+        let g = topo.build(12, 52);
+        let tree = bfs_tree_of(&g);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(800 + i as u64);
+        let mut sim = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 4_000_000);
+        assert!(run.converged, "STNO full stack on {topo}");
+        assert!(stno_golden(&net, &tree, sim.config()), "golden on {topo}");
+    }
+}
+
+#[test]
+fn both_protocols_agree_on_sp_no() {
+    // Different naming schemes, same specification: both stacks produce a
+    // valid chordal orientation on the same graph.
+    let g = generators::random_connected(10, 7, 31);
+    let net = Network::new(g, NodeId::new(0));
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut dftno = Simulation::from_random(&net, Dftno::new(DfsTokenCirculation), &mut rng);
+    let mut daemon = CentralRandom::seeded(3);
+    assert!(dftno
+        .run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c))
+        .converged);
+
+    let mut stno = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+    assert!(stno
+        .run_until_silent(&mut CentralRoundRobin::new(), 4_000_000)
+        .converged);
+
+    let od = dftno_orientation(dftno.config());
+    let os = stno_orientation(stno.config());
+    assert!(od.satisfies_spec(&net));
+    assert!(os.satisfies_spec(&net));
+    assert!(od.is_locally_symmetric(&net));
+    assert!(os.is_locally_symmetric(&net));
+    // The names differ (DFS ranks vs BFS-tree preorder) but both are
+    // permutations of 0..n−1.
+    let mut d = od.names.clone();
+    let mut s = os.names.clone();
+    d.sort_unstable();
+    s.sort_unstable();
+    assert_eq!(d, (0..10).collect::<Vec<u32>>());
+    assert_eq!(s, (0..10).collect::<Vec<u32>>());
+}
+
+#[test]
+fn full_stack_recovers_from_transient_faults() {
+    let g = generators::random_connected(12, 8, 17);
+    let tree = bfs_tree_of(&g);
+    let net = Network::new(g, NodeId::new(0));
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut sim = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+    assert!(sim
+        .run_until_silent(&mut CentralRoundRobin::new(), 4_000_000)
+        .converged);
+
+    for k in [1usize, 3, 6, 12] {
+        faults::corrupt_random(&mut sim, k, &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 4_000_000);
+        assert!(run.converged, "recovery from {k} faults");
+        assert!(stno_golden(&net, &tree, sim.config()), "after {k} faults");
+    }
+}
+
+#[test]
+fn dftno_full_stack_under_distributed_daemon() {
+    let g = generators::paper_example_dftno();
+    let net = Network::new(g, NodeId::new(0));
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut sim = Simulation::from_random(&net, Dftno::new(DfsTokenCirculation), &mut rng);
+    let mut daemon = DistributedRandom::seeded(11);
+    let run = sim.run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c));
+    assert!(run.converged);
+}
+
+#[test]
+fn orientation_closure_under_continued_full_stack_execution() {
+    let g = generators::paper_example_dftno();
+    let net = Network::new(g, NodeId::new(0));
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut sim = Simulation::from_random(&net, Dftno::new(DfsTokenCirculation), &mut rng);
+    let mut daemon = CentralRandom::seeded(21);
+    assert!(sim
+        .run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c))
+        .converged);
+    for _ in 0..3_000 {
+        sim.step(&mut daemon);
+        assert!(
+            dftno_orientation(sim.config()).satisfies_spec(&net),
+            "SP_NO is closed while the token keeps circulating"
+        );
+    }
+}
+
+#[test]
+fn dftno_full_stack_recovers_from_transient_faults() {
+    // The harder recovery case: corrupting DFTNO also corrupts the token
+    // circulation and the DFS words beneath it — everything must heal.
+    let g = generators::random_connected(9, 6, 19);
+    let net = Network::new(g, NodeId::new(0));
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut sim = Simulation::from_random(&net, Dftno::new(DfsTokenCirculation), &mut rng);
+    let mut daemon = CentralRandom::seeded(14);
+    assert!(sim
+        .run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c))
+        .converged);
+    for k in [1usize, 3, 9] {
+        faults::corrupt_random(&mut sim, k, &mut rng);
+        let run = sim.run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c));
+        assert!(run.converged, "recovery from {k} faults");
+    }
+}
+
+#[test]
+fn stno_full_stack_under_locally_central_daemon() {
+    let g = generators::random_connected(12, 8, 29);
+    let tree = bfs_tree_of(&g);
+    let net = Network::new(g, NodeId::new(0));
+    let mut daemon = sno::engine::daemon::LocallyCentralRandom::seeded(4, &net);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut sim = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+    let run = sim.run_until_silent(&mut daemon, 4_000_000);
+    assert!(run.converged);
+    assert!(stno_golden(&net, &tree, sim.config()));
+}
+
+#[test]
+fn loose_bound_full_stack() {
+    let g = generators::random_connected(8, 5, 23);
+    let net = Network::with_bound(g, NodeId::new(0), 16);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut sim = Simulation::from_random(&net, Dftno::new(DfsTokenCirculation), &mut rng);
+    let mut daemon = CentralRandom::seeded(6);
+    let run = sim.run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c));
+    assert!(run.converged);
+    let o = dftno_orientation(sim.config());
+    assert!(o.sp1(16), "names unique within the loose bound");
+    assert!(o.names.iter().all(|&e| e < 8), "names still dense 0..n−1");
+}

@@ -1,0 +1,150 @@
+//! Property-based tests: the orientation specification and the protocols'
+//! invariants over random topologies, random initial configurations, and
+//! random schedules.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sno::core::dftno::{dftno_golden, dftno_orientation, Dftno};
+use sno::core::orientation::{
+    chordal_label, golden_dfs_orientation, neighbor_name, Orientation,
+};
+use sno::core::stno::{stno_golden, Stno};
+use sno::engine::daemon::{CentralRandom, CentralRoundRobin};
+use sno::engine::{Network, Simulation};
+use sno::graph::{generators, traverse, NodeId, RootedTree};
+use sno::token::OracleToken;
+use sno::tree::{BfsSpanningTree, OracleSpanningTree};
+
+/// A seeded random connected graph of 4–20 nodes with 0–24 extra edges.
+fn arb_network() -> impl Strategy<Value = (usize, usize, u64)> {
+    (4usize..=20, 0usize..=24, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn golden_dfs_orientation_always_satisfies_spec((n, extra, seed) in arb_network()) {
+        let g = generators::random_connected(n, extra, seed);
+        let net = Network::new(g, NodeId::new(0));
+        let o = golden_dfs_orientation(&net);
+        prop_assert!(o.satisfies_spec(&net));
+        prop_assert!(o.is_locally_oriented());
+        prop_assert!(o.has_edge_symmetry(&net));
+        prop_assert!(o.is_chordal_sense_of_direction(&net));
+    }
+
+    #[test]
+    fn chordal_labels_invert((n, extra, seed) in arb_network()) {
+        let g = generators::random_connected(n, extra, seed);
+        let net = Network::new(g, NodeId::new(0));
+        let o = golden_dfs_orientation(&net);
+        let nb = net.n_bound() as u32;
+        for p in net.graph().nodes() {
+            for (l, &q) in net.graph().neighbors(p).iter().enumerate() {
+                let label = o.labels[p.index()][l];
+                prop_assert_eq!(neighbor_name(o.names[p.index()], label, nb), o.names[q.index()]);
+                prop_assert_eq!(label, chordal_label(o.names[p.index()], o.names[q.index()], nb));
+            }
+        }
+    }
+
+    #[test]
+    fn any_permutation_naming_is_an_orientation((n, extra, seed) in arb_network()) {
+        // SP1 ∧ SP2 hold for *any* unique naming — the protocols just pick
+        // a specific one. Shuffle names with the seed.
+        let g = generators::random_connected(n, extra, seed);
+        let net = Network::new(g, NodeId::new(0));
+        let mut names: Vec<u32> = (0..n as u32).collect();
+        // Deterministic Fisher–Yates from the seed.
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            names.swap(i, j);
+        }
+        let o = Orientation::from_names(&net, names);
+        prop_assert!(o.satisfies_spec(&net));
+        prop_assert!(o.is_locally_symmetric(&net));
+    }
+
+    #[test]
+    fn dftno_over_oracle_reaches_golden((n, extra, seed) in arb_network()) {
+        let g = generators::random_connected(n, extra, seed);
+        let root = NodeId::new(0);
+        let oracle = OracleToken::new(&g, root);
+        let net = Network::new(g, root);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut sim = Simulation::from_random(&net, Dftno::new(oracle), &mut rng);
+        let mut daemon = CentralRandom::seeded(seed);
+        let run = sim.run_until(&mut daemon, 4_000_000, |c| dftno_golden(&net, c));
+        prop_assert!(run.converged);
+        // And the result *is* the golden orientation.
+        prop_assert_eq!(dftno_orientation(sim.config()), golden_dfs_orientation(&net));
+    }
+
+    #[test]
+    fn stno_over_oracle_reaches_preorder((n, extra, seed) in arb_network()) {
+        let g = generators::random_connected(n, extra, seed);
+        let root = NodeId::new(0);
+        let b = traverse::bfs(&g, root);
+        let tree = RootedTree::from_parents(&g, root, &b.parent).unwrap();
+        let oracle = OracleSpanningTree::from_graph(&g, &tree);
+        let net = Network::new(g, root);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        let mut sim = Simulation::from_random(&net, Stno::new(oracle), &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 4_000_000);
+        prop_assert!(run.converged);
+        prop_assert!(stno_golden(&net, &tree, sim.config()));
+    }
+
+    #[test]
+    fn stno_full_stack_property((n, extra, seed) in (4usize..=12, 0usize..=10, any::<u64>())) {
+        let g = generators::random_connected(n, extra, seed);
+        let tree = {
+            let b = traverse::bfs(&g, NodeId::new(0));
+            RootedTree::from_parents(&g, NodeId::new(0), &b.parent).unwrap()
+        };
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let mut sim = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 4_000_000);
+        prop_assert!(run.converged);
+        prop_assert!(stno_golden(&net, &tree, sim.config()));
+    }
+
+    #[test]
+    fn traversal_message_counts_hold((n, extra, seed) in arb_network()) {
+        let g = generators::random_connected(n, extra, seed);
+        let net = Network::new(g, NodeId::new(0));
+        let c = sno::core::apps::compare_traversals(&net);
+        prop_assert_eq!(c.unoriented, 2 * net.graph().edge_count() as u64);
+        prop_assert_eq!(c.oriented, 2 * (net.node_count() as u64 - 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn orientation_spec_rejects_any_tampering(
+        (n, extra, seed) in (4usize..=12, 0usize..=10, any::<u64>()),
+        which in 0usize..3,
+    ) {
+        let g = generators::random_connected(n, extra, seed);
+        let net = Network::new(g, NodeId::new(0));
+        let mut o = golden_dfs_orientation(&net);
+        match which {
+            0 => o.names[(seed as usize) % n] = (o.names[(seed as usize) % n] + 1) % n as u32,
+            1 => {
+                let p = (seed as usize) % n;
+                let deg = o.labels[p].len();
+                o.labels[p][(seed as usize / 7) % deg] =
+                    (o.labels[p][(seed as usize / 7) % deg] + 1) % n as u32;
+            }
+            _ => o.names[(seed as usize) % n] = n as u32, // out of range
+        }
+        prop_assert!(!o.satisfies_spec(&net), "tampering must be detected");
+    }
+}

@@ -1,0 +1,186 @@
+//! Contract tests for the `TokenCirculation` and `SpanningTree`
+//! interfaces: every implementation must honor the guarantees `DFTNO` /
+//! `STNO` rely on, once stabilized.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sno::engine::daemon::CentralRoundRobin;
+use sno::engine::protocol::ConfigView;
+use sno::engine::{Network, Simulation};
+use sno::graph::{generators, traverse, NodeId, RootedTree};
+use sno::token::dftc::dftc_legit;
+use sno::token::{DfsTokenCirculation, FixedTreeToken, OracleToken, TokenCirculation, TokenKind};
+use sno::tree::{BfsSpanningTree, CdSpanningTree, OracleSpanningTree, SpanningTree};
+
+/// Drives any token substrate for one full round (from one root Forward to
+/// the next) and returns the sequence of `Forward` nodes and, per node,
+/// the number of Backtracks observed at it.
+fn one_round_events<T>(net: &Network, proto: T, sim: &mut Simulation<'_, T>) -> (Vec<usize>, Vec<usize>)
+where
+    T: TokenCirculation + Clone,
+    T::State: Clone,
+{
+    let mut daemon = CentralRoundRobin::new();
+    let mut forwards = Vec::new();
+    let mut backtracks = vec![0usize; net.node_count()];
+    let mut collecting = false;
+    for _ in 0..200_000 {
+        // Find the unique token action.
+        let mut acted = false;
+        for e in sim.enabled_nodes() {
+            let actions = sim.enabled_actions(e.node);
+            let view = ConfigView::new(net, e.node, sim.config());
+            for a in &actions {
+                let kind = proto.classify(&view, a);
+                if kind == TokenKind::Internal {
+                    continue;
+                }
+                if kind == TokenKind::Forward && e.node == net.root() {
+                    if collecting {
+                        return (forwards, backtracks);
+                    }
+                    collecting = true;
+                }
+                if collecting {
+                    match kind {
+                        TokenKind::Forward => forwards.push(e.node.index()),
+                        TokenKind::Backtrack { .. } => backtracks[e.node.index()] += 1,
+                        TokenKind::Internal => {}
+                    }
+                }
+                acted = true;
+            }
+        }
+        let _ = acted;
+        sim.step(&mut daemon);
+    }
+    panic!("no complete round observed");
+}
+
+fn check_token_contract<T>(net: &Network, proto: T, mut sim: Simulation<'_, T>)
+where
+    T: TokenCirculation + Clone,
+    T::State: Clone,
+{
+    let g = net.graph();
+    let dfs = traverse::first_dfs(g, net.root());
+    let (forwards, backtracks) = one_round_events(net, proto.clone(), &mut sim);
+    let golden: Vec<usize> = dfs.order.iter().map(|p| p.index()).collect();
+    assert_eq!(forwards, golden, "Forward fires once per node, in DFS order");
+    for p in g.nodes() {
+        assert_eq!(
+            backtracks[p.index()],
+            dfs.children[p.index()].len(),
+            "Backtrack fires once per child at {p}"
+        );
+    }
+    // parent_port agrees with the golden DFS tree.
+    for p in g.nodes() {
+        let view = ConfigView::new(net, p, sim.config());
+        assert_eq!(
+            proto.parent_port(&view),
+            dfs.parent_port[p.index()],
+            "parent port at {p}"
+        );
+    }
+}
+
+#[test]
+fn oracle_token_honors_the_contract() {
+    let g = generators::random_connected(11, 8, 41);
+    let root = NodeId::new(0);
+    let proto = OracleToken::new(&g, root);
+    let net = Network::new(g, root);
+    let sim = Simulation::from_initial(&net, proto.clone());
+    check_token_contract(&net, proto, sim);
+}
+
+#[test]
+fn fixed_tree_token_honors_the_contract() {
+    let g = generators::random_connected(11, 8, 41);
+    let root = NodeId::new(0);
+    let dfs = traverse::first_dfs(&g, root);
+    let tree = RootedTree::from_parents(&g, root, &dfs.parent).unwrap();
+    let proto = FixedTreeToken::from_graph(&g, &tree);
+    let net = Network::new(g, root);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut sim = Simulation::from_random(&net, proto.clone(), &mut rng);
+    let run = sim.run_until(&mut CentralRoundRobin::new(), 2_000_000, |c| {
+        proto.is_legitimate(c)
+    });
+    assert!(run.converged);
+    check_token_contract(&net, proto, sim);
+}
+
+#[test]
+fn self_stabilizing_dftc_honors_the_contract() {
+    let g = generators::random_connected(11, 8, 41);
+    let root = NodeId::new(0);
+    let net = Network::new(g, root);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut sim = Simulation::from_random(&net, DfsTokenCirculation, &mut rng);
+    let run = sim.run_until(&mut CentralRoundRobin::new(), 20_000_000, |c| {
+        dftc_legit(&net, c)
+    });
+    assert!(run.converged);
+    check_token_contract(&net, DfsTokenCirculation, sim);
+}
+
+fn check_tree_contract<T>(net: &Network, proto: &T, config: &[T::State], tree: &RootedTree)
+where
+    T: SpanningTree,
+{
+    let g = net.graph();
+    for p in g.nodes() {
+        let view = ConfigView::new(net, p, config);
+        assert_eq!(proto.parent_port(&view), tree.parent_port(p), "parent at {p}");
+        let kids: Vec<NodeId> = proto
+            .children_ports(&view)
+            .iter()
+            .map(|&l| g.neighbor(p, l))
+            .collect();
+        assert_eq!(kids, tree.children(p), "children at {p}");
+    }
+}
+
+#[test]
+fn bfs_spanning_tree_honors_the_contract() {
+    let g = generators::random_connected(13, 9, 44);
+    let root = NodeId::new(0);
+    let b = traverse::bfs(&g, root);
+    let tree = RootedTree::from_parents(&g, root, &b.parent).unwrap();
+    let net = Network::new(g, root);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
+    assert!(sim
+        .run_until_silent(&mut CentralRoundRobin::new(), 2_000_000)
+        .converged);
+    check_tree_contract(&net, &BfsSpanningTree, sim.config(), &tree);
+}
+
+#[test]
+fn cd_spanning_tree_honors_the_contract() {
+    let g = generators::random_connected(13, 9, 44);
+    let root = NodeId::new(0);
+    let dfs = traverse::first_dfs(&g, root);
+    let tree = RootedTree::from_parents(&g, root, &dfs.parent).unwrap();
+    let net = Network::new(g, root);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut sim = Simulation::from_random(&net, CdSpanningTree, &mut rng);
+    assert!(sim
+        .run_until_silent(&mut CentralRoundRobin::new(), 2_000_000)
+        .converged);
+    check_tree_contract(&net, &CdSpanningTree, sim.config(), &tree);
+}
+
+#[test]
+fn oracle_spanning_tree_honors_the_contract() {
+    let g = generators::random_connected(13, 9, 44);
+    let root = NodeId::new(0);
+    let b = traverse::bfs(&g, root);
+    let tree = RootedTree::from_parents(&g, root, &b.parent).unwrap();
+    let proto = OracleSpanningTree::from_graph(&g, &tree);
+    let net = Network::new(g, root);
+    let sim = Simulation::from_initial(&net, proto.clone());
+    check_tree_contract(&net, &proto, sim.config(), &tree);
+}
