@@ -1,20 +1,24 @@
 //! Criterion bench for E4: wall time of `DFTNO` stabilization over the
 //! golden token substrate, as a function of `n` (the paper's `O(n)` claim
 //! — the time per convergence should scale near-linearly in `n` for
-//! sparse topologies).
+//! sparse topologies). Cells come from the `sno-lab` campaign subsystem.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sno_bench::complexity::dftno_converge_once;
+use sno_bench::complexity::dftno_cell;
+use sno_lab::converge_once;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("dftno_convergence");
     g.sample_size(10);
     for n in [16usize, 32, 64, 128] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+        let cell = dftno_cell(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cell, |b, cell| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                std::hint::black_box(dftno_converge_once(n, seed))
+                let run = converge_once(cell, seed, 80_000_000);
+                assert!(run.converged);
+                std::hint::black_box(run.moves)
             });
         });
     }

@@ -1,27 +1,35 @@
 //! Criterion bench for E5: wall time of `STNO` stabilization over a
 //! frozen tree, as a function of the tree height `h` at fixed `n` (the
-//! paper's `O(h)` claim).
+//! paper's `O(h)` claim). Cells come from the `sno-lab` campaign
+//! subsystem.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sno_bench::complexity::stno_converge_once;
-use sno_graph::generators;
+use sno_bench::complexity::stno_cell;
+use sno_graph::GeneratorSpec;
+use sno_lab::converge_once;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("stno_convergence");
     g.sample_size(10);
-    type Builder = fn() -> sno_graph::Graph;
-    let cases: Vec<(&str, Builder)> = vec![
-        ("star_h1", || generators::star(64)),
-        ("btree_h5", || generators::balanced_tree(2, 5)),
-        ("caterpillar_h16", || generators::caterpillar(16, 3)),
-        ("path_h63", || generators::path(64)),
+    let cases: Vec<(&str, GeneratorSpec, usize)> = vec![
+        ("star_h1", GeneratorSpec::Star, 64),
+        ("btree_h5", GeneratorSpec::BalancedTree { arity: 2 }, 63),
+        (
+            "caterpillar_h16",
+            GeneratorSpec::Caterpillar { legs: 3 },
+            64,
+        ),
+        ("path_h63", GeneratorSpec::Path, 64),
     ];
-    for (name, build) in cases {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &build, |b, build| {
+    for (name, spec, n) in cases {
+        let cell = stno_cell(spec, n);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cell, |b, cell| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                std::hint::black_box(stno_converge_once(build(), seed))
+                let run = converge_once(cell, seed, 1_000_000);
+                assert!(run.converged);
+                std::hint::black_box(run.steps)
             });
         });
     }

@@ -4,12 +4,41 @@
 //! ```sh
 //! cargo run --release -p sno-bench --bin report            # all experiments
 //! cargo run --release -p sno-bench --bin report -- e4 e9   # a subset
+//! cargo run --release -p sno-bench --bin report -- e15 --json
+//! #   → prints the sno-lab campaign table and writes BENCH_campaign.json
 //! ```
 
-use sno_bench::{complexity, extensions, figures, substrates};
+use sno_bench::{campaign, complexity, extensions, figures, substrates};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--json" {
+                json_path = Some("BENCH_campaign.json".to_string());
+                false
+            } else if let Some(p) = a.strip_prefix("--json=") {
+                json_path = Some(p.to_string());
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    // Fail on an unwritable JSON path up front, not after the campaign
+    // has spent minutes running. Open in append mode so an existing
+    // artifact is not truncated by the probe.
+    if let Some(path) = &json_path {
+        let probe = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path);
+        if let Err(e) = probe {
+            eprintln!("error: cannot write campaign JSON to `{path}`: {e}");
+            std::process::exit(2);
+        }
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |id: &str| all || args.iter().any(|a| a == id);
 
@@ -58,6 +87,14 @@ fn main() {
     }
     if want("e14") {
         println!("{}", substrates::e14_substrate_ablation().render());
+    }
+    if want("e15") || json_path.is_some() {
+        let report = campaign::e15_campaign();
+        println!("{}", campaign::campaign_table(&report).render());
+        if let Some(path) = &json_path {
+            report.write_json(path).expect("write campaign JSON");
+            println!("campaign JSON written to {path}");
+        }
     }
     if all {
         println!(

@@ -1,0 +1,129 @@
+//! E15: the flagship `sno-lab` campaign — both protocols, every viable
+//! substrate, several daemons and topologies, with fault-recovery cells.
+//!
+//! This is the experiment every future performance PR reports through:
+//! `cargo run --release -p sno-bench --bin report -- e15` prints the
+//! Markdown-style cell table, and `--json` additionally writes the full
+//! `sno-lab/v1` document to `BENCH_campaign.json`.
+
+use sno_graph::GeneratorSpec;
+use sno_lab::{run_campaign, CampaignReport, DaemonSpec, FaultPlan, ProtocolSpec, ScenarioMatrix};
+
+use crate::cells;
+use crate::table::Table;
+
+/// The standard campaign matrix: 3 topologies × 2 sizes × all 5 protocol
+/// stacks × 2 daemons × 2 fault plans, 4 seeds per cell — 480 runs.
+///
+/// Daemons are the randomized-action families: daemons that always run a
+/// node's action 0 (round-robin, synchronous, fixed-priority) can starve
+/// `DFTNO`'s `Edgelabel` repair behind the ever-enabled token action and
+/// are studied separately in E12.
+pub fn e15_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::new("e15-standard-campaign")
+        .topologies([
+            GeneratorSpec::Ring,
+            GeneratorSpec::Star,
+            GeneratorSpec::RandomSparse { extra_per_node: 2 },
+        ])
+        .sizes([12, 24])
+        .protocols(ProtocolSpec::ALL)
+        .daemons([DaemonSpec::CentralRandom, DaemonSpec::Distributed])
+        .faults([FaultPlan::None, FaultPlan::AfterConvergence { hits: 3 }])
+        .seeds(0, 4)
+        .max_steps(30_000_000)
+}
+
+/// Runs the standard campaign and returns the full report.
+pub fn e15_campaign() -> CampaignReport {
+    run_campaign(&e15_matrix())
+}
+
+/// Renders a campaign report as the bench crate's ASCII table format.
+pub fn campaign_table(report: &CampaignReport) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E15: scenario-fleet campaign `{}` — {} runs, {:.1}% converged",
+            report.name,
+            report.total_runs,
+            100.0 * report.convergence_rate()
+        ),
+        &[
+            "topology",
+            "n",
+            "protocol",
+            "daemon",
+            "fault",
+            "conv",
+            "moves p50",
+            "moves p95",
+            "steps p50",
+            "rounds p50",
+            "recov p50",
+        ],
+    );
+    for c in &report.cells {
+        let p50 = |s: &Option<sno_lab::Summary>| {
+            s.as_ref()
+                .map(|s| s.p50.to_string())
+                .unwrap_or_else(|| "—".into())
+        };
+        let p95 = |s: &Option<sno_lab::Summary>| {
+            s.as_ref()
+                .map(|s| s.p95.to_string())
+                .unwrap_or_else(|| "—".into())
+        };
+        t.row(cells!(
+            c.topology,
+            c.nodes,
+            c.protocol,
+            c.daemon,
+            c.fault,
+            format!("{}/{}", c.converged, c.runs),
+            p50(&c.moves),
+            p95(&c.moves),
+            p50(&c.steps),
+            p50(&c.rounds),
+            p50(&c.recovery_moves)
+        ));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_lab::run_campaign_with_threads;
+
+    /// A scaled-down E15 so the unit test stays fast.
+    fn small_matrix() -> ScenarioMatrix {
+        e15_matrix()
+            .sizes([8])
+            .topologies([GeneratorSpec::Ring])
+            .faults([FaultPlan::None])
+            .seeds(0, 2)
+    }
+
+    #[test]
+    fn small_campaign_converges_and_renders() {
+        let report = run_campaign_with_threads(&small_matrix(), 4);
+        assert_eq!(
+            report.total_runs, report.total_converged,
+            "all stacks converge"
+        );
+        let table = campaign_table(&report);
+        assert_eq!(table.rows.len(), report.cells.len());
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"sno-lab/v1\""));
+    }
+
+    #[test]
+    fn e15_matrix_is_at_campaign_scale() {
+        let m = e15_matrix();
+        m.validate().unwrap();
+        assert!(
+            m.run_count() >= 200,
+            "flagship campaign runs at fleet scale"
+        );
+    }
+}

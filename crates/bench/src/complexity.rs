@@ -1,29 +1,25 @@
 //! E4–E6: the paper's analytic complexity claims, measured.
+//!
+//! E4 and E5 are expressed as `sno-lab` scenario matrices — the bench
+//! crate declares *what* to sweep and renders the aggregated cells; the
+//! lab owns execution, parallelism, and statistics.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sno_core::dftno::{dftno_golden, dftno_orientation_bits, Dftno};
-use sno_core::stno::{stno_golden, stno_orientation_bits, Stno};
-use sno_engine::daemon::{CentralRandom, Synchronous};
-use sno_engine::{Network, Simulation, SpaceMeasured};
-use sno_graph::{generators, traverse, NodeId, RootedTree};
+use sno_core::dftno::dftno_orientation_bits;
+use sno_core::stno::stno_orientation_bits;
+use sno_engine::{Network, SpaceMeasured};
+use sno_graph::{generators, traverse, GeneratorSpec, NodeId};
+use sno_lab::{
+    run_campaign, CellSpec, DaemonSpec, FaultPlan, ProtocolSpec, ScenarioMatrix, TokenSubstrate,
+    TreeSubstrate,
+};
 use sno_token::{DfsTokenCirculation, OracleToken};
-use sno_tree::{BfsSpanningTree, OracleSpanningTree};
+use sno_tree::BfsSpanningTree;
 
 use crate::cells;
 use crate::table::Table;
 
-/// One measured stabilization, averaged over seeds.
-fn average<F: FnMut(u64) -> (u64, u64)>(seeds: u64, mut run: F) -> (f64, f64) {
-    let mut moves = 0u64;
-    let mut rounds = 0u64;
-    for s in 0..seeds {
-        let (m, r) = run(s);
-        moves += m;
-        rounds += r;
-    }
-    (moves as f64 / seeds as f64, rounds as f64 / seeds as f64)
-}
+/// Seed used to instantiate random topologies in E4/E5.
+const GRAPH_SEED: u64 = 77;
 
 /// **E4 / Theorem 3.2.3, §3.2.3** — `DFTNO` stabilizes in `O(n)` steps
 /// after the token circulation stabilizes: moves-to-orientation from
@@ -36,41 +32,37 @@ pub fn e4_dftno_linear() -> Table {
         "E4 (§3.2.3): DFTNO moves to orientation after the token layer is stable (avg of 3 seeds)",
         &["topology", "n", "m", "moves", "moves/n", "rounds"],
     );
-    type Builder = fn(usize) -> sno_graph::Graph;
-    let sweeps: &[(&str, Builder)] = &[
-        ("path", |n| generators::path(n)),
-        ("ring", |n| generators::ring(n)),
-        ("random-tree", |n| generators::random_tree(n, 77)),
-        ("random-sparse", |n| generators::random_connected(n, 2 * n, 77)),
-        ("random-dense", |n| {
-            generators::random_connected(n, n * n / 4, 77)
-        }),
-    ];
-    for (name, build) in sweeps {
-        for &n in &[8usize, 16, 32, 64, 128] {
-            let g = build(n);
-            let m = g.edge_count();
-            let root = NodeId::new(0);
-            let oracle = OracleToken::new(&g, root);
-            let net = Network::new(g, root);
-            let proto = Dftno::new(oracle);
-            let (moves, rounds) = average(3, |seed| {
-                let mut rng = StdRng::seed_from_u64(1000 + seed);
-                let mut sim = Simulation::from_random(&net, proto.clone(), &mut rng);
-                let mut daemon = CentralRandom::seeded(seed);
-                let run = sim.run_until(&mut daemon, 80_000_000, |c| dftno_golden(&net, c));
-                assert!(run.converged, "E4 {name} n={n} seed={seed}");
-                (run.moves, run.rounds)
-            });
-            t.row(cells!(
-                name,
-                n,
-                m,
-                format!("{moves:.0}"),
-                format!("{:.2}", moves / n as f64),
-                format!("{rounds:.0}")
-            ));
-        }
+    let matrix = ScenarioMatrix::new("e4-dftno-linear")
+        .topologies([
+            GeneratorSpec::Path,
+            GeneratorSpec::Ring,
+            GeneratorSpec::RandomTree,
+            GeneratorSpec::RandomSparse { extra_per_node: 2 },
+            GeneratorSpec::RandomDense,
+        ])
+        .sizes([8, 16, 32, 64, 128])
+        .protocols([ProtocolSpec::Dftno(TokenSubstrate::Oracle)])
+        .daemons([DaemonSpec::CentralRandom])
+        .seeds(1000, 3)
+        .graph_seed(GRAPH_SEED)
+        .max_steps(80_000_000);
+    let report = run_campaign(&matrix);
+    for cell in &report.cells {
+        assert_eq!(
+            cell.convergence_rate, 1.0,
+            "E4 {} n={} must converge",
+            cell.topology, cell.n
+        );
+        let moves = cell.moves.as_ref().expect("converged cell has stats");
+        let rounds = cell.rounds.as_ref().expect("converged cell has stats");
+        t.row(cells!(
+            cell.topology,
+            cell.nodes,
+            cell.edges,
+            format!("{:.0}", moves.mean),
+            format!("{:.2}", moves.mean / cell.nodes as f64),
+            format!("{:.0}", rounds.mean)
+        ));
     }
     t
 }
@@ -84,39 +76,59 @@ pub fn e5_stno_height() -> Table {
         "E5 (§4.2.3): STNO synchronous rounds to silence over a frozen tree (avg of 3 seeds)",
         &["topology", "n", "h", "rounds", "rounds/h"],
     );
-    let mut measure = |name: &str, g: sno_graph::Graph| {
-        let root = NodeId::new(0);
-        let bfs = traverse::bfs(&g, root);
-        let tree = RootedTree::from_parents(&g, root, &bfs.parent).expect("tree");
-        let h = tree.height().max(1);
-        let n = g.node_count();
-        let oracle = OracleSpanningTree::from_graph(&g, &tree);
-        let net = Network::new(g, root);
-        let proto = Stno::new(oracle);
-        let (rounds, _) = average(3, |seed| {
-            let mut rng = StdRng::seed_from_u64(2000 + seed);
-            let mut sim = Simulation::from_random(&net, proto.clone(), &mut rng);
-            let run = sim.run_until_silent(&mut Synchronous::new(), 1_000_000);
-            assert!(run.converged, "E5 {name} seed={seed}");
-            (run.steps, 0)
-        });
+    // Rows vary (family, n) jointly, so each is its own single-cell sweep.
+    let rows: Vec<(&str, GeneratorSpec, usize)> = vec![
+        ("star (h=1)", GeneratorSpec::Star, 64),
+        ("4-ary tree", GeneratorSpec::BalancedTree { arity: 4 }, 85),
+        ("binary tree", GeneratorSpec::BalancedTree { arity: 2 }, 63),
+        ("caterpillar", GeneratorSpec::Caterpillar { legs: 3 }, 64),
+        ("path (h=n−1)", GeneratorSpec::Path, 64),
+        // Fixed h ≈ 8, growing n: rounds must stay flat.
+        (
+            "caterpillar h≈8",
+            GeneratorSpec::Caterpillar { legs: 1 },
+            16,
+        ),
+        (
+            "caterpillar h≈8",
+            GeneratorSpec::Caterpillar { legs: 3 },
+            32,
+        ),
+        (
+            "caterpillar h≈8",
+            GeneratorSpec::Caterpillar { legs: 7 },
+            64,
+        ),
+        (
+            "caterpillar h≈8",
+            GeneratorSpec::Caterpillar { legs: 15 },
+            128,
+        ),
+    ];
+    for (name, spec, n) in rows {
+        let matrix = ScenarioMatrix::new("e5-stno-height")
+            .topologies([spec])
+            .sizes([n])
+            .protocols([ProtocolSpec::Stno(TreeSubstrate::Oracle)])
+            .daemons([DaemonSpec::Synchronous])
+            .seeds(2000, 3)
+            .graph_seed(GRAPH_SEED)
+            .max_steps(1_000_000);
+        let report = run_campaign(&matrix);
+        let cell = &report.cells[0];
+        assert_eq!(cell.convergence_rate, 1.0, "E5 {name} must converge");
+        let h = {
+            let g = spec.build(n, GRAPH_SEED);
+            traverse::bfs(&g, NodeId::new(0)).height().max(1)
+        };
+        let steps = cell.steps.as_ref().expect("converged cell has stats");
         t.row(cells!(
             name,
-            n,
+            cell.nodes,
             h,
-            format!("{rounds:.1}"),
-            format!("{:.2}", rounds / h as f64)
+            format!("{:.1}", steps.mean),
+            format!("{:.2}", steps.mean / h as f64)
         ));
-    };
-    // Varying h at comparable n.
-    measure("star (h=1)", generators::star(64));
-    measure("4-ary tree", generators::balanced_tree(4, 3));
-    measure("binary tree", generators::balanced_tree(2, 5));
-    measure("caterpillar", generators::caterpillar(16, 3));
-    measure("path (h=n−1)", generators::path(64));
-    // Fixed h ≈ 8, growing n: rounds must stay flat.
-    for legs in [1usize, 3, 7, 15] {
-        measure("caterpillar h≈8", generators::caterpillar(8, legs));
     }
     t
 }
@@ -163,67 +175,73 @@ pub fn e6_space() -> Table {
     t
 }
 
-/// Data row of the E4 sweep, exposed for the criterion benches.
-pub fn dftno_converge_once(n: usize, seed: u64) -> u64 {
-    let g = generators::random_connected(n, 2 * n, 77);
-    let root = NodeId::new(0);
-    let oracle = OracleToken::new(&g, root);
-    let net = Network::new(g, root);
-    let proto = Dftno::new(oracle);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut sim = Simulation::from_random(&net, proto, &mut rng);
-    let mut daemon = CentralRandom::seeded(seed);
-    let run = sim.run_until(&mut daemon, 80_000_000, |c| dftno_golden(&net, c));
-    assert!(run.converged);
-    run.moves
+/// The E4 cell the criterion benches time: one `DFTNO` stabilization over
+/// the golden substrate on a sparse random graph.
+pub fn dftno_cell(n: usize) -> CellSpec {
+    CellSpec {
+        topology: GeneratorSpec::RandomSparse { extra_per_node: 2 },
+        n,
+        protocol: ProtocolSpec::Dftno(TokenSubstrate::Oracle),
+        daemon: DaemonSpec::CentralRandom,
+        fault: FaultPlan::None,
+    }
 }
 
-/// Data row of the E5 sweep, exposed for the criterion benches.
-pub fn stno_converge_once(g: sno_graph::Graph, seed: u64) -> u64 {
-    let root = NodeId::new(0);
-    let bfs = traverse::bfs(&g, root);
-    let tree = RootedTree::from_parents(&g, root, &bfs.parent).expect("tree");
-    let oracle = OracleSpanningTree::from_graph(&g, &tree);
-    let net = Network::new(g, root);
-    let proto = Stno::new(oracle);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut sim = Simulation::from_random(&net, proto, &mut rng);
-    let run = sim.run_until_silent(&mut Synchronous::new(), 1_000_000);
-    assert!(run.converged);
-    assert!(stno_golden(&net, &tree, sim.config()));
-    run.steps
+/// The E5 cell the criterion benches time: one `STNO` stabilization over
+/// a frozen tree of the given family.
+pub fn stno_cell(topology: GeneratorSpec, n: usize) -> CellSpec {
+    CellSpec {
+        topology,
+        n,
+        protocol: ProtocolSpec::Stno(TreeSubstrate::Oracle),
+        daemon: DaemonSpec::Synchronous,
+        fault: FaultPlan::None,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sno_lab::converge_once;
 
     #[test]
     fn e4_scaling_is_linearish_on_sparse() {
         // A cheap shape check: path moves/n at n=64 within 4x of n=8.
         let ratio = |n: usize| {
-            let g = generators::path(n);
-            let root = NodeId::new(0);
-            let oracle = OracleToken::new(&g, root);
-            let net = Network::new(g, root);
-            let mut rng = StdRng::seed_from_u64(1);
-            let mut sim = Simulation::from_random(&net, Dftno::new(oracle), &mut rng);
-            let mut d = CentralRandom::seeded(1);
-            let run = sim.run_until(&mut d, 80_000_000, |c| dftno_golden(&net, c));
+            let cell = CellSpec {
+                topology: GeneratorSpec::Path,
+                ..dftno_cell(n)
+            };
+            let run = converge_once(&cell, 1, 80_000_000);
             assert!(run.converged);
             run.moves as f64 / n as f64
         };
         let r8 = ratio(8);
         let r64 = ratio(64);
-        assert!(r64 < 4.0 * r8, "moves/n should stay near-constant: {r8} vs {r64}");
+        assert!(
+            r64 < 4.0 * r8,
+            "moves/n should stay near-constant: {r8} vs {r64}"
+        );
     }
 
     #[test]
     fn e5_flat_at_fixed_height() {
-        let small = stno_converge_once(generators::caterpillar(8, 1), 3);
-        let large = stno_converge_once(generators::caterpillar(8, 15), 3);
+        let rounds = |legs: u8, n: usize| {
+            let run = converge_once(
+                &stno_cell(GeneratorSpec::Caterpillar { legs }, n),
+                3,
+                1_000_000,
+            );
+            assert!(run.converged);
+            run.steps
+        };
+        let small = rounds(1, 16);
+        let large = rounds(15, 128);
         // n grows 8x; rounds may wiggle by a constant, not by 8x.
-        assert!(large <= small + 10, "rounds flat at fixed h: {small} vs {large}");
+        assert!(
+            large <= small + 10,
+            "rounds flat at fixed h: {small} vs {large}"
+        );
     }
 
     #[test]

@@ -6,15 +6,13 @@ use rand::SeedableRng;
 use sno_core::apps::compare_traversals;
 use sno_core::dftno::{dftno_golden, dftno_orientation, Dftno};
 use sno_core::stno::{stno_orientation, stno_oriented, Stno};
-use sno_engine::daemon::{
-    CentralFixedPriority, CentralRandom, CentralRoundRobin, Daemon, DistributedRandom,
-    Synchronous,
-};
+use sno_engine::daemon::{CentralRandom, CentralRoundRobin};
 use sno_engine::modelcheck::ModelChecker;
 use sno_engine::{faults, Network, Simulation};
-use sno_graph::{generators, traverse, NodeId, RootedTree};
-use sno_token::{DfsTokenCirculation, FixedTreeToken, OracleToken};
-use sno_tree::{BfsSpanningTree, CdSpanningTree, OracleSpanningTree};
+use sno_graph::{generators, traverse, GeneratorSpec, NodeId, RootedTree};
+use sno_lab::{run_campaign, DaemonSpec, ProtocolSpec, ScenarioMatrix};
+use sno_token::{DfsTokenCirculation, FixedTreeToken};
+use sno_tree::{BfsSpanningTree, CdSpanningTree};
 
 use crate::cells;
 use crate::table::Table;
@@ -26,7 +24,12 @@ use crate::table::Table;
 pub fn e9_dfs_tree_equivalence() -> Table {
     let mut t = Table::new(
         "E9 (Ch. 5): STNO over the DFS tree names nodes exactly like DFTNO",
-        &["topology", "n", "names identical", "example (node: stno = dftno)"],
+        &[
+            "topology",
+            "n",
+            "names identical",
+            "example (node: stno = dftno)",
+        ],
     );
     for topo in generators::Topology::ALL {
         let g = topo.build(12, 31);
@@ -41,7 +44,11 @@ pub fn e9_dfs_tree_equivalence() -> Table {
         let stno_names = stno_orientation(sim.config()).names;
         let dftno_names: Vec<u32> = dfs.rank.iter().map(|&r| r as u32).collect();
         let identical = stno_names == dftno_names;
-        let witness = format!("n3: {} = {}", stno_names[3.min(n - 1)], dftno_names[3.min(n - 1)]);
+        let witness = format!(
+            "n3: {} = {}",
+            stno_names[3.min(n - 1)],
+            dftno_names[3.min(n - 1)]
+        );
         t.row(cells!(topo, n, identical, witness));
         assert!(identical, "E9 equivalence must hold on {topo}");
     }
@@ -54,7 +61,15 @@ pub fn e9_dfs_tree_equivalence() -> Table {
 pub fn e10_message_complexity() -> Table {
     let mut t = Table::new(
         "E10 (§1.4): DFS traversal messages, unoriented (2m) vs oriented (2(n−1))",
-        &["topology", "n", "m", "unoriented", "oriented", "saved", "ratio"],
+        &[
+            "topology",
+            "n",
+            "m",
+            "unoriented",
+            "oriented",
+            "saved",
+            "ratio",
+        ],
     );
     for topo in generators::Topology::ALL {
         let g = topo.build(24, 5);
@@ -82,7 +97,12 @@ pub fn e10_message_complexity() -> Table {
 pub fn e11_fault_recovery() -> Table {
     let mut t = Table::new(
         "E11 (Def 2.1.2): STNO+BFS recovery after corrupting k of 32 processors (avg of 3)",
-        &["k corrupted", "recovery moves", "recovery rounds", "re-oriented"],
+        &[
+            "k corrupted",
+            "recovery moves",
+            "recovery rounds",
+            "re-oriented",
+        ],
     );
     let g = generators::random_connected(32, 20, 3);
     let net = Network::new(g, NodeId::new(0));
@@ -95,7 +115,10 @@ pub fn e11_fault_recovery() -> Table {
             sim.run_until_silent(&mut CentralRoundRobin::new(), 4_000_000);
             faults::corrupt_random(&mut sim, k, &mut rng);
             let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 4_000_000);
-            assert!(run.converged && stno_oriented(&net, sim.config()), "E11 k={k}");
+            assert!(
+                run.converged && stno_oriented(&net, sim.config()),
+                "E11 k={k}"
+            );
             moves += run.moves;
             rounds += run.rounds;
         }
@@ -117,22 +140,42 @@ pub fn e11b_model_checking() -> Table {
         &["protocol", "instance", "configurations", "mode", "verdict"],
     );
     // BFS tree: any-schedule convergence.
-    for (name, g) in [("path-3", generators::path(3)), ("triangle", generators::ring(3))] {
+    for (name, g) in [
+        ("path-3", generators::path(3)),
+        ("triangle", generators::ring(3)),
+    ] {
         let net = Network::new(g, NodeId::new(0));
         let mc = ModelChecker::new(&net, &BfsSpanningTree, 10_000_000).unwrap();
         let legit = |c: &[sno_tree::BfsState]| sno_tree::bfs_legit(&net, c);
         mc.check_closure(legit).expect("closure");
-        mc.check_convergence_any_schedule(legit).expect("convergence");
-        t.row(cells!("BFS tree", name, mc.config_count(), "any schedule", "verified"));
+        mc.check_convergence_any_schedule(legit)
+            .expect("convergence");
+        t.row(cells!(
+            "BFS tree",
+            name,
+            mc.config_count(),
+            "any schedule",
+            "verified"
+        ));
     }
     // Collin–Dolev: any-schedule convergence.
-    for (name, g) in [("path-3", generators::path(3)), ("triangle", generators::ring(3))] {
+    for (name, g) in [
+        ("path-3", generators::path(3)),
+        ("triangle", generators::ring(3)),
+    ] {
         let net = Network::new(g, NodeId::new(0));
         let mc = ModelChecker::new(&net, &sno_token::CollinDolev, 10_000_000).unwrap();
         let legit = |c: &[sno_token::DfsPath]| sno_token::cd::cd_legit(&net, c);
         mc.check_closure(legit).expect("closure");
-        mc.check_convergence_any_schedule(legit).expect("convergence");
-        t.row(cells!("Collin–Dolev", name, mc.config_count(), "any schedule", "verified"));
+        mc.check_convergence_any_schedule(legit)
+            .expect("convergence");
+        t.row(cells!(
+            "Collin–Dolev",
+            name,
+            mc.config_count(),
+            "any schedule",
+            "verified"
+        ));
     }
     // Token wave: round-robin (weakly fair) convergence.
     for (name, g) in [
@@ -148,8 +191,15 @@ pub fn e11b_model_checking() -> Table {
         let mc = ModelChecker::new(&net, &proto, 10_000_000).unwrap();
         let legit = |c: &[sno_token::tok::TokState]| proto.is_legitimate(c);
         mc.check_closure(legit).expect("closure");
-        mc.check_convergence_round_robin(legit).expect("convergence");
-        t.row(cells!("token wave", name, mc.config_count(), "round robin", "verified"));
+        mc.check_convergence_round_robin(legit)
+            .expect("convergence");
+        t.row(cells!(
+            "token wave",
+            name,
+            mc.config_count(),
+            "round robin",
+            "verified"
+        ));
     }
     t
 }
@@ -161,69 +211,43 @@ pub fn e11b_model_checking() -> Table {
 /// hub of a star (a finding of this reproduction, see EXPERIMENTS.md).
 pub fn e12_daemon_sensitivity() -> Table {
     let mut t = Table::new(
-        "E12: convergence by daemon (budget 300k steps; '∞' = starved within budget)",
+        "E12: convergence by daemon (budget 300k steps; '\u{221e}' = starved within budget)",
         &["protocol", "topology", "daemon", "moves", "converged"],
     );
-    let star = generators::star(14);
-    let sparse = generators::random_connected(14, 10, 8);
-
-    // DFTNO over the golden substrate.
-    for (gname, g) in [("star", star.clone()), ("random-sparse", sparse.clone())] {
-        let root = NodeId::new(0);
-        let oracle = OracleToken::new(&g, root);
-        let net = Network::new(g, root);
-        let proto = Dftno::new(oracle);
-        let daemons: Vec<(&str, Box<dyn Daemon>)> = vec![
-            ("central-random", Box::new(CentralRandom::seeded(4))),
-            ("round-robin", Box::new(CentralRoundRobin::new())),
-            ("synchronous", Box::new(Synchronous::new())),
-            ("distributed", Box::new(DistributedRandom::seeded(4))),
-            (
-                "locally-central",
-                Box::new(sno_engine::daemon::LocallyCentralRandom::seeded(4, &net)),
-            ),
-        ];
-        for (dname, mut d) in daemons {
-            let mut rng = StdRng::seed_from_u64(77);
-            let mut sim = Simulation::from_random(&net, proto.clone(), &mut rng);
-            let run = sim.run_until(&mut d, 300_000, |c| dftno_golden(&net, c));
-            let moves = if run.converged {
-                run.moves.to_string()
-            } else {
-                "∞".into()
-            };
-            t.row(cells!("DFTNO", gname, dname, moves, run.converged));
-        }
-    }
-
-    // STNO over a frozen tree — including the unfair daemon.
-    for (gname, g) in [("star", star), ("random-sparse", sparse)] {
-        let root = NodeId::new(0);
-        let bfs = traverse::bfs(&g, root);
-        let tree = RootedTree::from_parents(&g, root, &bfs.parent).unwrap();
-        let oracle = OracleSpanningTree::from_graph(&g, &tree);
-        let net = Network::new(g, root);
-        let proto = Stno::new(oracle);
-        let daemons: Vec<(&str, Box<dyn Daemon>)> = vec![
-            ("central-random", Box::new(CentralRandom::seeded(4))),
-            ("round-robin", Box::new(CentralRoundRobin::new())),
-            ("unfair-fixed-priority", Box::new(CentralFixedPriority::new())),
-            ("synchronous", Box::new(Synchronous::new())),
-            ("distributed", Box::new(DistributedRandom::seeded(4))),
-        ];
-        for (dname, mut d) in daemons {
-            let mut rng = StdRng::seed_from_u64(78);
-            let mut sim = Simulation::from_random(&net, proto.clone(), &mut rng);
-            let run = sim.run_until(&mut d, 300_000, |c| {
-                stno_orientation(c).satisfies_spec(&net)
-            });
-            let moves = if run.converged {
-                run.moves.to_string()
-            } else {
-                "∞".into()
-            };
-            t.row(cells!("STNO", gname, dname, moves, run.converged));
-            assert!(run.converged, "STNO converges under every daemon ({dname})");
+    // The sweep is a sno-lab campaign: both oracle-substrate stacks x
+    // every daemon family on a star and a sparse random graph.
+    let matrix = ScenarioMatrix::new("e12-daemon-sensitivity")
+        .topologies([
+            GeneratorSpec::Star,
+            GeneratorSpec::RandomSparse { extra_per_node: 1 },
+        ])
+        .sizes([14])
+        .protocols(ProtocolSpec::ORACLES)
+        .daemons(DaemonSpec::ALL)
+        .seeds(4, 1)
+        .graph_seed(8)
+        .max_steps(300_000);
+    let report = run_campaign(&matrix);
+    for cell in &report.cells {
+        let converged = cell.converged == cell.runs;
+        let moves = cell
+            .moves
+            .as_ref()
+            .map(|m| format!("{:.0}", m.mean))
+            .unwrap_or_else(|| "\u{221e}".into());
+        t.row(cells!(
+            cell.protocol,
+            cell.topology,
+            cell.daemon,
+            moves,
+            converged
+        ));
+        if cell.protocol.starts_with("stno") {
+            assert!(
+                converged,
+                "STNO converges under every daemon ({})",
+                cell.daemon
+            );
         }
     }
     t

@@ -58,7 +58,13 @@ pub fn e3_stno_figure() -> Table {
         &["step", "phase", "node", "Weight", "η"],
     );
     for r in &rows {
-        t.row(cells!(r.step, r.phase, format!("n{}", r.node), r.weight, r.eta));
+        t.row(cells!(
+            r.step,
+            r.phase,
+            format!("n{}", r.node),
+            r.weight,
+            r.eta
+        ));
     }
     assert_eq!(weights, vec![5, 3, 1, 1, 1], "E3 weights match the figure");
     assert_eq!(etas, vec![0, 1, 2, 3, 4], "E3 names match the figure");

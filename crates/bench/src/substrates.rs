@@ -17,7 +17,14 @@ use crate::table::Table;
 pub fn e7_token_substrate() -> Table {
     let mut t = Table::new(
         "E7: self-stabilizing DFTC — convergence moves (avg of 3 seeds) and clean round length",
-        &["topology", "n", "m", "moves to legit", "round moves", "round/n"],
+        &[
+            "topology",
+            "n",
+            "m",
+            "moves to legit",
+            "round moves",
+            "round/n",
+        ],
     );
     for topo in [
         generators::Topology::Path,
@@ -140,7 +147,12 @@ pub fn e14_substrate_ablation() -> Table {
 
     let mut t = Table::new(
         "E14 (ablation): DFTNO moves to orientation by substrate regime (avg of 3 seeds)",
-        &["n", "(a) oracle", "(b) DFTC, words stable", "(c) DFTC, all random"],
+        &[
+            "n",
+            "(a) oracle",
+            "(b) DFTC, words stable",
+            "(c) DFTC, all random",
+        ],
     );
     for &n in &[6usize, 8, 10, 12] {
         let g = generators::random_connected(n, n, 7);
@@ -178,11 +190,8 @@ pub fn e14_substrate_ablation() -> Table {
                 let config: Vec<_> = net
                     .nodes()
                     .map(|p| {
-                        let mut s = sno_engine::Protocol::random_state(
-                            &proto,
-                            net.ctx(p),
-                            &mut rng,
-                        );
+                        let mut s =
+                            sno_engine::Protocol::random_state(&proto, net.ctx(p), &mut rng);
                         let word: Vec<u16> = dfs.root_path[p.index()]
                             .iter()
                             .map(|l| l.index() as u16)

@@ -111,11 +111,7 @@ pub fn dfs_traversal_unoriented(net: &Network, root: NodeId) -> TraversalReport 
 /// Panics if the orientation does not satisfy `SP_NO` (the pruning is only
 /// sound with correct names), if `root` is out of range, or if the graph
 /// is disconnected.
-pub fn dfs_traversal_oriented(
-    net: &Network,
-    o: &Orientation,
-    root: NodeId,
-) -> TraversalReport {
+pub fn dfs_traversal_oriented(net: &Network, o: &Orientation, root: NodeId) -> TraversalReport {
     assert!(
         o.satisfies_spec(net),
         "oriented traversal requires a valid orientation"

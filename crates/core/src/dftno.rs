@@ -79,9 +79,7 @@ impl<T: TokenCirculation> Dftno<T> {
         &self.token
     }
 
-    fn project<'a, V: NodeView<DftnoState<T::State>>>(
-        view: &'a V,
-    ) -> TokenView<'a, T::State, V> {
+    fn project<'a, V: NodeView<DftnoState<T::State>>>(view: &'a V) -> TokenView<'a, T::State, V> {
         ProjectedView::new(view, token_of as fn(&DftnoState<T::State>) -> &T::State)
     }
 

@@ -161,10 +161,7 @@ pub fn golden_dfs_orientation(net: &Network) -> Orientation {
 
 /// Convenience: the golden orientation induced by the preorder ranks of a
 /// spanning tree — what `STNO` over that tree must converge to.
-pub fn golden_preorder_orientation(
-    net: &Network,
-    tree: &sno_graph::RootedTree,
-) -> Orientation {
+pub fn golden_preorder_orientation(net: &Network, tree: &sno_graph::RootedTree) -> Orientation {
     let names = tree.preorder_ranks().iter().map(|&r| r as u32).collect();
     Orientation::from_names(net, names)
 }

@@ -30,11 +30,7 @@ pub trait UpperLayer<L: Protocol> {
     type Action: Clone + std::fmt::Debug + PartialEq;
 
     /// Appends the enabled upper-layer actions for the compound view.
-    fn enabled(
-        &self,
-        view: &impl NodeView<(L::State, Self::State)>,
-        out: &mut Vec<Self::Action>,
-    );
+    fn enabled(&self, view: &impl NodeView<(L::State, Self::State)>, out: &mut Vec<Self::Action>);
 
     /// Executes an upper-layer action, producing the new upper state.
     fn apply(
@@ -145,10 +141,7 @@ where
     }
 
     fn initial_state(&self, ctx: &NodeCtx) -> Self::State {
-        (
-            self.lower.initial_state(ctx),
-            self.upper.initial_state(ctx),
-        )
+        (self.lower.initial_state(ctx), self.upper.initial_state(ctx))
     }
 
     fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> Self::State {
@@ -196,11 +189,7 @@ mod tests {
         type State = Option<Port>;
         type Action = Reselect;
 
-        fn enabled(
-            &self,
-            view: &impl NodeView<(u32, Option<Port>)>,
-            out: &mut Vec<Reselect>,
-        ) {
+        fn enabled(&self, view: &impl NodeView<(u32, Option<Port>)>, out: &mut Vec<Reselect>) {
             if view.state().1 != Self::target(view) {
                 out.push(Reselect);
             }

@@ -52,13 +52,28 @@ pub struct Choice {
 /// non-empty set of [`Choice`]s with distinct `enabled_index` values and
 /// in-range `action_index` values. The simulation validates this and panics
 /// on a misbehaving daemon.
-pub trait Daemon {
+///
+/// Daemons are `Send` so simulation fleets (see `sno-lab`) can drive runs
+/// from worker threads; every daemon here is plain data plus a seeded RNG.
+pub trait Daemon: Send {
     /// Selects which enabled processors execute in this computation step.
     fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice>;
 
     /// A short human-readable name, used in experiment tables.
     fn name(&self) -> &'static str {
         "daemon"
+    }
+
+    /// Re-arms the daemon for a fresh run, reusing its allocations.
+    ///
+    /// Seeded daemons re-derive their RNG from `seed`; deterministic
+    /// daemons return to their construction state (and may ignore `seed`).
+    /// After `reset(s)`, the daemon must behave exactly like a freshly
+    /// constructed instance seeded with `s` — campaign runners rely on
+    /// this for reproducibility. The default is a no-op, correct only for
+    /// stateless daemons.
+    fn reset(&mut self, seed: u64) {
+        let _ = seed;
     }
 }
 
@@ -70,6 +85,10 @@ impl<D: Daemon + ?Sized> Daemon for &mut D {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+
+    fn reset(&mut self, seed: u64) {
+        (**self).reset(seed)
+    }
 }
 
 impl<D: Daemon + ?Sized> Daemon for Box<D> {
@@ -79,6 +98,10 @@ impl<D: Daemon + ?Sized> Daemon for Box<D> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn reset(&mut self, seed: u64) {
+        (**self).reset(seed)
     }
 }
 
@@ -118,6 +141,10 @@ impl Daemon for CentralRoundRobin {
     fn name(&self) -> &'static str {
         "central-round-robin"
     }
+
+    fn reset(&mut self, _seed: u64) {
+        self.cursor = 0;
+    }
 }
 
 /// Central daemon choosing a uniformly random enabled processor and a
@@ -149,6 +176,10 @@ impl Daemon for CentralRandom {
 
     fn name(&self) -> &'static str {
         "central-random"
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 }
 
@@ -269,6 +300,10 @@ impl Daemon for DistributedRandom {
     fn name(&self) -> &'static str {
         "distributed-random"
     }
+
+    fn reset(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
 }
 
 /// The **locally central** daemon: a random *independent* subset of the
@@ -289,13 +324,7 @@ impl LocallyCentralRandom {
     pub fn seeded(seed: u64, net: &crate::Network) -> Self {
         let adj = net
             .nodes()
-            .map(|p| {
-                net.graph()
-                    .neighbors(p)
-                    .iter()
-                    .map(|q| q.index())
-                    .collect()
-            })
+            .map(|p| net.graph().neighbors(p).iter().map(|q| q.index()).collect())
             .collect();
         LocallyCentralRandom {
             rng: StdRng::seed_from_u64(seed),
@@ -337,6 +366,10 @@ impl Daemon for LocallyCentralRandom {
     fn name(&self) -> &'static str {
         "locally-central-random"
     }
+
+    fn reset(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
 }
 
 #[cfg(test)]
@@ -357,9 +390,7 @@ mod tests {
     fn round_robin_rotates() {
         let mut d = CentralRoundRobin::new();
         let e = enabled(&[0, 1, 2]);
-        let picks: Vec<usize> = (0..6)
-            .map(|_| d.select(&e)[0].enabled_index)
-            .collect();
+        let picks: Vec<usize> = (0..6).map(|_| d.select(&e)[0].enabled_index).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -407,6 +438,43 @@ mod tests {
     }
 
     #[test]
+    fn reset_rearms_seeded_daemons_exactly() {
+        let e = enabled(&[0, 1, 2, 3, 4]);
+        let mut fresh = CentralRandom::seeded(7);
+        let baseline: Vec<_> = (0..20).map(|_| fresh.select(&e)).collect();
+
+        let mut reused = CentralRandom::seeded(99);
+        for _ in 0..5 {
+            reused.select(&e);
+        }
+        reused.reset(7);
+        let replay: Vec<_> = (0..20).map(|_| reused.select(&e)).collect();
+        assert_eq!(baseline, replay, "reset(s) must equal fresh-seeded(s)");
+    }
+
+    #[test]
+    fn reset_rewinds_round_robin_cursor() {
+        let mut d = CentralRoundRobin::new();
+        let e = enabled(&[0, 1, 2]);
+        d.select(&e);
+        d.select(&e);
+        d.reset(0);
+        assert_eq!(d.select(&e)[0].enabled_index, 0, "cursor back at node 0");
+    }
+
+    #[test]
+    fn daemons_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CentralRoundRobin>();
+        assert_send::<CentralRandom>();
+        assert_send::<CentralFixedPriority>();
+        assert_send::<Synchronous>();
+        assert_send::<DistributedRandom>();
+        assert_send::<LocallyCentralRandom>();
+        assert_send::<Box<dyn Daemon>>();
+    }
+
+    #[test]
     fn central_random_is_reproducible() {
         let e = enabled(&[0, 1, 2, 3, 4]);
         let mut a = CentralRandom::seeded(7);
@@ -425,8 +493,10 @@ mod tests {
         for _ in 0..200 {
             let picks = d.select(&e);
             assert!(!picks.is_empty());
-            let chosen: Vec<usize> =
-                picks.iter().map(|c| e[c.enabled_index].node.index()).collect();
+            let chosen: Vec<usize> = picks
+                .iter()
+                .map(|c| e[c.enabled_index].node.index())
+                .collect();
             for &u in &chosen {
                 for &v in &chosen {
                     if u != v {

@@ -54,7 +54,10 @@ impl StabilizationStats {
 /// assert!(stats.all_converged());
 /// assert!(stats.mean_moves > 0.0);
 /// ```
-pub fn stabilization_stats(seeds: u64, mut trial: impl FnMut(u64) -> RunResult) -> StabilizationStats {
+pub fn stabilization_stats(
+    seeds: u64,
+    mut trial: impl FnMut(u64) -> RunResult,
+) -> StabilizationStats {
     assert!(seeds > 0, "at least one trial");
     let mut stats = StabilizationStats {
         trials: seeds as u32,

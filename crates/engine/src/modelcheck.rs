@@ -178,10 +178,9 @@ impl<'a, P: Enumerable> ModelChecker<'a, P> {
                 let new_state = self.protocol.apply(&view, a);
                 let i = p.index();
                 let old_digit = self.index_of[i][&config[i]] as u64;
-                let new_digit = *self.index_of[i]
-                    .get(&new_state)
-                    .unwrap_or_else(|| panic!("apply produced a state outside enumerate_states at {p}"))
-                    as u64;
+                let new_digit = *self.index_of[i].get(&new_state).unwrap_or_else(|| {
+                    panic!("apply produced a state outside enumerate_states at {p}")
+                }) as u64;
                 out.push(idx - old_digit * self.weights[i] + new_digit * self.weights[i]);
             }
         }
@@ -450,7 +449,8 @@ mod tests {
         let mc = ModelChecker::new(&net, &HopDistance, 1_000_000).unwrap();
         let legit = |c: &[u32]| hop_distance_legit(&net, c);
         mc.check_closure(legit).expect("closure");
-        mc.check_convergence_any_schedule(legit).expect("convergence");
+        mc.check_convergence_any_schedule(legit)
+            .expect("convergence");
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl Network {
     /// Panics if `graph` is disconnected, `root` is out of range, or
     /// `n_bound < n`.
     pub fn with_bound(graph: Graph, root: NodeId, n_bound: usize) -> Self {
-        assert!(graph.is_connected(), "the model requires a connected network");
+        assert!(
+            graph.is_connected(),
+            "the model requires a connected network"
+        );
         assert!(root.index() < graph.node_count(), "root out of range");
         assert!(
             n_bound >= graph.node_count(),

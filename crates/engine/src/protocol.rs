@@ -114,7 +114,11 @@ impl<'a, S> ConfigView<'a, S> {
     /// Panics if `states.len()` differs from the network size or `node` is
     /// out of range.
     pub fn new(net: &'a Network, node: NodeId, states: &'a [S]) -> Self {
-        assert_eq!(states.len(), net.node_count(), "configuration size mismatch");
+        assert_eq!(
+            states.len(),
+            net.node_count(),
+            "configuration size mismatch"
+        );
         assert!(node.index() < states.len(), "node out of range");
         ConfigView { net, node, states }
     }

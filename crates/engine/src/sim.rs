@@ -68,6 +68,13 @@ pub struct Simulation<'a, P: Protocol> {
     /// yet executed or been neutralized.
     round_frontier: Vec<bool>,
     frontier_count: usize,
+    // Reusable buffers: `step` runs two enabled-set sweeps per computation
+    // step, and campaign fleets (sno-lab) run millions of steps per
+    // simulation object — keeping these hot avoids per-step allocation.
+    scratch_enabled: Vec<EnabledNode>,
+    scratch_actions: Vec<P::Action>,
+    scratch_node_mask: Vec<bool>,
+    scratch_chosen: Vec<bool>,
 }
 
 impl<'a, P: Protocol> Simulation<'a, P> {
@@ -77,7 +84,11 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     ///
     /// Panics if `config.len()` differs from the network size.
     pub fn new(net: &'a Network, protocol: P, config: Vec<P::State>) -> Self {
-        assert_eq!(config.len(), net.node_count(), "configuration size mismatch");
+        assert_eq!(
+            config.len(),
+            net.node_count(),
+            "configuration size mismatch"
+        );
         let mut sim = Simulation {
             net,
             protocol,
@@ -87,6 +98,10 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             rounds: 0,
             round_frontier: vec![false; net.node_count()],
             frontier_count: 0,
+            scratch_enabled: Vec::new(),
+            scratch_actions: Vec::new(),
+            scratch_node_mask: vec![false; net.node_count()],
+            scratch_chosen: Vec::new(),
         };
         sim.reset_round_frontier();
         sim
@@ -163,22 +178,56 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         self.reset_round_frontier();
     }
 
+    /// Re-starts this simulation from a fresh adversarially arbitrary
+    /// configuration, reusing every allocation (configuration vector,
+    /// round frontier, step scratch). Equivalent to building a new
+    /// [`Simulation::from_random`] on the same network and protocol —
+    /// campaign fleets use this to run thousands of seeds without
+    /// re-allocating.
+    pub fn reinit_random(&mut self, rng: &mut dyn RngCore) {
+        for p in self.net.nodes() {
+            self.config[p.index()] = self.protocol.random_state(self.net.ctx(p), rng);
+        }
+        self.steps = 0;
+        self.moves = 0;
+        self.rounds = 0;
+        self.reset_round_frontier();
+    }
+
+    /// Re-starts from the protocol's canonical initial state, reusing every
+    /// allocation (the in-place analogue of [`Simulation::from_initial`]).
+    pub fn reinit_initial(&mut self) {
+        for p in self.net.nodes() {
+            self.config[p.index()] = self.protocol.initial_state(self.net.ctx(p));
+        }
+        self.steps = 0;
+        self.moves = 0;
+        self.rounds = 0;
+        self.reset_round_frontier();
+    }
+
     /// The processors with at least one enabled action, with action counts.
     pub fn enabled_nodes(&self) -> Vec<EnabledNode> {
         let mut scratch = Vec::new();
         let mut out = Vec::new();
+        self.fill_enabled(&mut scratch, &mut out);
+        out
+    }
+
+    /// Writes the enabled set into `out` using `actions` as guard scratch.
+    fn fill_enabled(&self, actions: &mut Vec<P::Action>, out: &mut Vec<EnabledNode>) {
+        out.clear();
         for p in self.net.nodes() {
-            scratch.clear();
+            actions.clear();
             let view = ConfigView::new(self.net, p, &self.config);
-            self.protocol.enabled(&view, &mut scratch);
-            if !scratch.is_empty() {
+            self.protocol.enabled(&view, actions);
+            if !actions.is_empty() {
                 out.push(EnabledNode {
                     node: p,
-                    action_count: scratch.len(),
+                    action_count: actions.len(),
                 });
             }
         }
-        out
     }
 
     /// The enabled actions of one processor in the current configuration.
@@ -190,12 +239,16 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     }
 
     fn reset_round_frontier(&mut self) {
+        let mut enabled = std::mem::take(&mut self.scratch_enabled);
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        self.fill_enabled(&mut actions, &mut enabled);
         self.round_frontier.iter_mut().for_each(|b| *b = false);
-        self.frontier_count = 0;
-        for e in self.enabled_nodes() {
+        self.frontier_count = enabled.len();
+        for e in &enabled {
             self.round_frontier[e.node.index()] = true;
-            self.frontier_count += 1;
         }
+        self.scratch_enabled = enabled;
+        self.scratch_actions = actions;
     }
 
     /// Performs one computation step driven by `daemon`.
@@ -209,8 +262,12 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     /// Panics if the daemon violates its contract (empty selection,
     /// duplicate nodes, or out-of-range indices).
     pub fn step(&mut self, daemon: &mut impl Daemon) -> StepOutcome<P::Action> {
-        let enabled = self.enabled_nodes();
+        let mut enabled = std::mem::take(&mut self.scratch_enabled);
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        self.fill_enabled(&mut actions, &mut enabled);
         if enabled.is_empty() {
+            self.scratch_enabled = enabled;
+            self.scratch_actions = actions;
             return StepOutcome::Silent;
         }
         let choices = daemon.select(&enabled);
@@ -218,7 +275,9 @@ impl<'a, P: Protocol> Simulation<'a, P> {
 
         // Resolve choices to (node, action) against the old configuration.
         let mut writes: Vec<(NodeId, P::State, P::Action)> = Vec::with_capacity(choices.len());
-        let mut chosen = vec![false; enabled.len()];
+        self.scratch_chosen.clear();
+        self.scratch_chosen.resize(enabled.len(), false);
+        let mut chosen = std::mem::take(&mut self.scratch_chosen);
         for c in &choices {
             assert!(c.enabled_index < enabled.len(), "daemon index out of range");
             assert!(
@@ -227,7 +286,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             );
             let node = enabled[c.enabled_index].node;
             let view = ConfigView::new(self.net, node, &self.config);
-            let mut actions = Vec::new();
+            actions.clear();
             self.protocol.enabled(&view, &mut actions);
             assert!(
                 c.action_index < actions.len(),
@@ -237,6 +296,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             let new_state = self.protocol.apply(&view, &action);
             writes.push((node, new_state, action));
         }
+        self.scratch_chosen = chosen;
 
         // Commit all writes atomically.
         let mut executed = Vec::with_capacity(writes.len());
@@ -255,9 +315,10 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             }
         }
         if self.frontier_count > 0 {
-            let now_enabled = self.enabled_nodes();
-            let mut enabled_mask = vec![false; self.net.node_count()];
-            for e in &now_enabled {
+            self.fill_enabled(&mut actions, &mut enabled);
+            let mut enabled_mask = std::mem::take(&mut self.scratch_node_mask);
+            enabled_mask.iter_mut().for_each(|b| *b = false);
+            for e in &enabled {
                 enabled_mask[e.node.index()] = true;
             }
             for (frontier, enabled) in self.round_frontier.iter_mut().zip(&enabled_mask) {
@@ -266,7 +327,10 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                     self.frontier_count -= 1;
                 }
             }
+            self.scratch_node_mask = enabled_mask;
         }
+        self.scratch_enabled = enabled;
+        self.scratch_actions = actions;
         if self.frontier_count == 0 {
             self.rounds += 1;
             self.reset_round_frontier();
@@ -385,7 +449,11 @@ mod tests {
         assert!(run.converged);
         // Distance propagation on a path takes about one round per hop.
         assert!(run.rounds >= 1, "at least one round elapsed");
-        assert!(run.rounds <= 12, "rounds bounded by O(n): got {}", run.rounds);
+        assert!(
+            run.rounds <= 12,
+            "rounds bounded by O(n): got {}",
+            run.rounds
+        );
     }
 
     #[test]
@@ -436,6 +504,50 @@ mod tests {
         let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 1_000);
         assert!(run.converged);
         assert!(hop_distance_legit(&net, sim.config()));
+    }
+
+    #[test]
+    fn reinit_random_matches_fresh_from_random() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let net = net(7);
+        let mut fresh_rng = StdRng::seed_from_u64(5);
+        let mut fresh = Simulation::from_random(&net, HopDistance, &mut fresh_rng);
+        let fresh_run = fresh.run_until_silent(&mut CentralRoundRobin::new(), 10_000);
+
+        // A simulation that already ran something else, then re-armed.
+        let mut reused = Simulation::from_initial(&net, HopDistance);
+        reused.run_until_silent(&mut CentralRoundRobin::new(), 10_000);
+        let mut reused_rng = StdRng::seed_from_u64(5);
+        reused.reinit_random(&mut reused_rng);
+        let reused_run = reused.run_until_silent(&mut CentralRoundRobin::new(), 10_000);
+
+        assert_eq!(fresh_run, reused_run, "identical counters from equal seeds");
+        assert_eq!(fresh.config(), reused.config(), "identical final configs");
+        assert_eq!(reused.steps(), reused_run.steps, "counters were zeroed");
+    }
+
+    #[test]
+    fn reinit_initial_matches_from_initial() {
+        use rand::SeedableRng;
+
+        let net = net(5);
+        let mut reused =
+            Simulation::from_random(&net, HopDistance, &mut rand::rngs::StdRng::seed_from_u64(9));
+        reused.run_until_silent(&mut Synchronous::new(), 1_000);
+        reused.reinit_initial();
+        let mut fresh = Simulation::from_initial(&net, HopDistance);
+        assert_eq!(fresh.config(), reused.config());
+        let a = fresh.run_until_silent(&mut Synchronous::new(), 1_000);
+        let b = reused.run_until_silent(&mut Synchronous::new(), 1_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simulation_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulation<'static, HopDistance>>();
     }
 
     #[test]

@@ -166,10 +166,7 @@ mod tests {
             |_| CentralRoundRobin::new(),
             |c| c[1] == 99, // unreachable
         );
-        assert_eq!(
-            outcome,
-            AttractorOutcome::ConvergenceViolated { seed: 0 }
-        );
+        assert_eq!(outcome, AttractorOutcome::ConvergenceViolated { seed: 0 });
     }
 
     #[test]

@@ -56,13 +56,7 @@ pub fn tree_to_dot(g: &Graph, root: NodeId, parent: &[Option<NodeId>]) -> String
     for (u, v) in g.edges() {
         let is_tree = parent[u.index()] == Some(v) || parent[v.index()] == Some(u);
         let style = if is_tree { "solid" } else { "dashed" };
-        let _ = writeln!(
-            out,
-            "  n{} -- n{} [style={}];",
-            u.index(),
-            v.index(),
-            style
-        );
+        let _ = writeln!(out, "  n{} -- n{} [style={}];", u.index(), v.index(), style);
     }
     out.push_str("}\n");
     out
@@ -86,9 +80,11 @@ mod tests {
     #[test]
     fn edge_labels_are_emitted() {
         let g = generators::path(3);
-        let s = to_dot(&g, |p| p.to_string(), |u, v| {
-            Some(format!("{}:{}", u.index(), v.index()))
-        });
+        let s = to_dot(
+            &g,
+            |p| p.to_string(),
+            |u, v| Some(format!("{}:{}", u.index(), v.index())),
+        );
         assert!(s.contains("[label=\"0:1\"]"));
         assert!(s.contains("[label=\"1:2\"]"));
     }

@@ -118,7 +118,10 @@ pub fn torus(w: usize, h: usize) -> Graph {
 ///
 /// Panics if `d == 0` or `d > 20`.
 pub fn hypercube(d: u32) -> Graph {
-    assert!((1..=20).contains(&d), "hypercube dimension must be in 1..=20");
+    assert!(
+        (1..=20).contains(&d),
+        "hypercube dimension must be in 1..=20"
+    );
     let n = 1usize << d;
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
@@ -362,8 +365,7 @@ pub fn paper_example_dftno() -> Graph {
     const B: usize = 2;
     const C: usize = 3;
     const D: usize = 4;
-    Graph::from_edges(5, &[(R, B), (B, D), (D, C), (B, C), (R, A)])
-        .expect("paper example is valid")
+    Graph::from_edges(5, &[(R, B), (B, D), (D, C), (B, C), (R, A)]).expect("paper example is valid")
 }
 
 /// Human-readable names for [`paper_example_dftno`] nodes, indexed by node

@@ -36,8 +36,10 @@ pub mod dot;
 pub mod generators;
 pub mod props;
 pub mod rooted;
+pub mod spec;
 pub mod traverse;
 
 pub use graph::{Graph, GraphBuilder, GraphError};
 pub use id::{NodeId, Port};
 pub use rooted::RootedTree;
+pub use spec::GeneratorSpec;

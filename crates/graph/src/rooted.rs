@@ -104,9 +104,10 @@ impl RootedTree {
                 continue;
             }
             let p = parent[u.index()].ok_or(TreeError::BadRoot { node: u })?;
-            let port = g
-                .port_to(u, p)
-                .ok_or(TreeError::MissingEdge { child: u, parent: p })?;
+            let port = g.port_to(u, p).ok_or(TreeError::MissingEdge {
+                child: u,
+                parent: p,
+            })?;
             parent_port[u.index()] = Some(port);
         }
         // Children in parent's port order.
@@ -279,7 +280,11 @@ mod tests {
         // Root 0 with edges inserted to 2 first, then 1.
         let g = Graph::from_edges(3, &[(0, 2), (0, 1)]).unwrap();
         let t = tree_of(&g, NodeId::new(0));
-        let kids: Vec<usize> = t.children(NodeId::new(0)).iter().map(|c| c.index()).collect();
+        let kids: Vec<usize> = t
+            .children(NodeId::new(0))
+            .iter()
+            .map(|c| c.index())
+            .collect();
         assert_eq!(kids, vec![2, 1]);
         let pre: Vec<usize> = t.preorder().iter().map(|c| c.index()).collect();
         assert_eq!(pre, vec![0, 2, 1]);
@@ -319,7 +324,12 @@ mod tests {
         let g = generators::path(3);
         let parents = vec![None, None, Some(NodeId::new(1))];
         let err = RootedTree::from_parents(&g, NodeId::new(0), &parents);
-        assert_eq!(err, Err(TreeError::BadRoot { node: NodeId::new(1) }));
+        assert_eq!(
+            err,
+            Err(TreeError::BadRoot {
+                node: NodeId::new(1)
+            })
+        );
     }
 
     #[test]

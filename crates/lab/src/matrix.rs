@@ -1,0 +1,270 @@
+//! The declarative scenario matrix and its expansion into cells.
+
+use sno_graph::GeneratorSpec;
+
+use crate::spec::{DaemonSpec, FaultPlan, ProtocolSpec};
+
+/// A declarative campaign: the cross product of topology families, target
+/// sizes, protocol stacks, daemons, and fault plans, each cell measured
+/// over a contiguous seed range.
+///
+/// Build one with the fluent setters, then hand it to
+/// [`run_campaign`](crate::run_campaign):
+///
+/// ```
+/// use sno_lab::{DaemonSpec, ProtocolSpec, ScenarioMatrix, TokenSubstrate};
+/// use sno_graph::GeneratorSpec;
+///
+/// let matrix = ScenarioMatrix::new("smoke")
+///     .topologies([GeneratorSpec::Ring, GeneratorSpec::Star])
+///     .sizes([8, 16])
+///     .protocols([ProtocolSpec::Dftno(TokenSubstrate::Oracle)])
+///     .daemons([DaemonSpec::CentralRandom])
+///     .seeds(0, 5);
+/// assert_eq!(matrix.cells().len(), 4);
+/// assert_eq!(matrix.run_count(), 20);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMatrix {
+    /// Campaign name, echoed into reports.
+    pub name: String,
+    /// Topology families to sweep.
+    pub topologies: Vec<GeneratorSpec>,
+    /// Target node counts to sweep.
+    pub sizes: Vec<usize>,
+    /// Protocol stacks to sweep.
+    pub protocols: Vec<ProtocolSpec>,
+    /// Daemons to sweep.
+    pub daemons: Vec<DaemonSpec>,
+    /// Fault plans to sweep.
+    pub faults: Vec<FaultPlan>,
+    /// First run seed of every cell.
+    pub seed_start: u64,
+    /// Runs per cell (seeds `seed_start .. seed_start + seeds_per_cell`).
+    pub seeds_per_cell: u64,
+    /// Seed used to instantiate seeded topologies (fixed per campaign so
+    /// every cell of a family×size shares one graph).
+    pub graph_seed: u64,
+    /// Per-run daemon-step budget; a run that exhausts it without reaching
+    /// its goal counts as non-converged.
+    pub max_steps: u64,
+}
+
+impl ScenarioMatrix {
+    /// A matrix with empty sweeps and conservative defaults
+    /// (8 seeds per cell, 10 M step budget, no fault plan).
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioMatrix {
+            name: name.into(),
+            topologies: Vec::new(),
+            sizes: Vec::new(),
+            protocols: Vec::new(),
+            daemons: Vec::new(),
+            faults: vec![FaultPlan::None],
+            seed_start: 0,
+            seeds_per_cell: 8,
+            graph_seed: 0x5EED,
+            max_steps: 10_000_000,
+        }
+    }
+
+    /// Sets the topology families.
+    pub fn topologies(mut self, t: impl IntoIterator<Item = GeneratorSpec>) -> Self {
+        self.topologies = t.into_iter().collect();
+        self
+    }
+
+    /// Sets the target sizes.
+    pub fn sizes(mut self, s: impl IntoIterator<Item = usize>) -> Self {
+        self.sizes = s.into_iter().collect();
+        self
+    }
+
+    /// Sets the protocol stacks.
+    pub fn protocols(mut self, p: impl IntoIterator<Item = ProtocolSpec>) -> Self {
+        self.protocols = p.into_iter().collect();
+        self
+    }
+
+    /// Sets the daemons.
+    pub fn daemons(mut self, d: impl IntoIterator<Item = DaemonSpec>) -> Self {
+        self.daemons = d.into_iter().collect();
+        self
+    }
+
+    /// Sets the fault plans.
+    pub fn faults(mut self, f: impl IntoIterator<Item = FaultPlan>) -> Self {
+        self.faults = f.into_iter().collect();
+        self
+    }
+
+    /// Sets the seed range: `count` runs per cell starting at `start`.
+    pub fn seeds(mut self, start: u64, count: u64) -> Self {
+        self.seed_start = start;
+        self.seeds_per_cell = count;
+        self
+    }
+
+    /// Sets the per-run step budget.
+    pub fn max_steps(mut self, budget: u64) -> Self {
+        self.max_steps = budget;
+        self
+    }
+
+    /// Sets the topology-instantiation seed.
+    pub fn graph_seed(mut self, seed: u64) -> Self {
+        self.graph_seed = seed;
+        self
+    }
+
+    /// Expands the matrix into its cells, in a deterministic order
+    /// (topology-major, then size, protocol, daemon, fault).
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::with_capacity(
+            self.topologies.len()
+                * self.sizes.len()
+                * self.protocols.len()
+                * self.daemons.len()
+                * self.faults.len(),
+        );
+        for &topology in &self.topologies {
+            for &n in &self.sizes {
+                for &protocol in &self.protocols {
+                    for &daemon in &self.daemons {
+                        for &fault in &self.faults {
+                            out.push(CellSpec {
+                                topology,
+                                n,
+                                protocol,
+                                daemon,
+                                fault,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of simulations the campaign will run.
+    pub fn run_count(&self) -> u64 {
+        self.cells().len() as u64 * self.seeds_per_cell
+    }
+
+    /// Checks that every sweep dimension is non-empty and the seed range
+    /// is non-degenerate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.topologies.is_empty() {
+            return Err("matrix has no topologies".into());
+        }
+        if self.sizes.is_empty() {
+            return Err("matrix has no sizes".into());
+        }
+        if self.sizes.contains(&0) {
+            return Err("matrix contains a zero size".into());
+        }
+        if self.protocols.is_empty() {
+            return Err("matrix has no protocols".into());
+        }
+        if self.daemons.is_empty() {
+            return Err("matrix has no daemons".into());
+        }
+        if self.faults.is_empty() {
+            return Err("matrix has no fault plans".into());
+        }
+        if self
+            .faults
+            .contains(&FaultPlan::AfterConvergence { hits: 0 })
+        {
+            return Err("fault plan `hit:0` injects nothing — use `none`".into());
+        }
+        if self.seeds_per_cell == 0 {
+            return Err("matrix has an empty seed range".into());
+        }
+        if self.max_steps == 0 {
+            return Err("matrix has a zero step budget".into());
+        }
+        Ok(())
+    }
+}
+
+/// One cell of the expanded matrix: a concrete scenario measured over the
+/// campaign's seed range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Topology family.
+    pub topology: GeneratorSpec,
+    /// Target node count.
+    pub n: usize,
+    /// Protocol stack.
+    pub protocol: ProtocolSpec,
+    /// Scheduler.
+    pub daemon: DaemonSpec,
+    /// Fault plan.
+    pub fault: FaultPlan,
+}
+
+impl std::fmt::Display for CellSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} n={} {} {} fault={}",
+            self.topology, self.n, self.protocol, self.daemon, self.fault
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TreeSubstrate;
+
+    fn sample() -> ScenarioMatrix {
+        ScenarioMatrix::new("t")
+            .topologies([GeneratorSpec::Ring, GeneratorSpec::Path])
+            .sizes([8, 16, 32])
+            .protocols([
+                ProtocolSpec::Stno(TreeSubstrate::Bfs),
+                ProtocolSpec::Stno(TreeSubstrate::Oracle),
+            ])
+            .daemons([DaemonSpec::CentralRoundRobin])
+            .seeds(5, 10)
+    }
+
+    #[test]
+    fn expansion_is_the_full_cross_product() {
+        let m = sample();
+        assert_eq!(m.cells().len(), 2 * 3 * 2);
+        assert_eq!(m.run_count(), 12 * 10);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn expansion_order_is_deterministic() {
+        let m = sample();
+        assert_eq!(m.cells(), m.cells());
+        assert_eq!(m.cells()[0].topology, GeneratorSpec::Ring);
+        assert_eq!(m.cells().last().unwrap().topology, GeneratorSpec::Path);
+    }
+
+    #[test]
+    fn validation_rejects_empty_dimensions() {
+        assert!(ScenarioMatrix::new("e").validate().is_err());
+        assert!(sample().sizes([]).validate().is_err());
+        assert!(sample().seeds(0, 0).validate().is_err());
+        assert!(sample().max_steps(0).validate().is_err());
+        assert!(sample().faults([]).validate().is_err());
+        assert!(
+            sample()
+                .faults([FaultPlan::AfterConvergence { hits: 0 }])
+                .validate()
+                .is_err(),
+            "a zero-hit fault plan is a contradiction, not a no-op"
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! Campaign execution: expand a matrix, fan cells out over the fleet,
+//! aggregate per-cell statistics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sno_core::dftno::Dftno;
+use sno_core::orientation::{golden_dfs_orientation, Orientation};
+use sno_core::stno::{stno_oriented, Stno};
+use sno_engine::daemon::Daemon;
+use sno_engine::faults::corrupt_random;
+use sno_engine::{Network, Protocol, Simulation};
+use sno_graph::{traverse, NodeId, RootedTree};
+use sno_token::{DfsTokenCirculation, OracleToken};
+use sno_tree::{BfsSpanningTree, CdSpanningTree, OracleSpanningTree};
+
+use crate::fleet;
+use crate::matrix::{CellSpec, ScenarioMatrix};
+use crate::report::{CampaignReport, CellReport};
+use crate::spec::{FaultPlan, ProtocolSpec, TokenSubstrate, TreeSubstrate};
+
+/// Decorrelates the daemon's RNG stream from the initial-configuration
+/// stream derived from the same run seed.
+const DAEMON_SALT: u64 = 0xDAE1_B0A7_5EED_0001;
+/// Decorrelates the fault injector's RNG stream likewise.
+const FAULT_SALT: u64 = 0xFA17_B0A7_5EED_0002;
+
+/// Counters of one simulation run within a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunRecord {
+    /// The run seed (initial configuration + daemon randomness).
+    pub seed: u64,
+    /// Whether the run reached its goal within the step budget.
+    pub converged: bool,
+    /// Action executions until the goal (or budget exhaustion).
+    pub moves: u64,
+    /// Daemon selections likewise.
+    pub steps: u64,
+    /// Complete asynchronous rounds likewise.
+    pub rounds: u64,
+    /// The re-convergence phase after an injected fault, when the cell's
+    /// fault plan calls for one and the first phase converged.
+    pub recovery: Option<Recovery>,
+}
+
+/// Counters of a post-fault re-convergence phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// Whether the run re-converged within the step budget.
+    pub converged: bool,
+    /// Action executions of the recovery phase.
+    pub moves: u64,
+    /// Daemon selections of the recovery phase.
+    pub steps: u64,
+    /// Complete rounds of the recovery phase.
+    pub rounds: u64,
+}
+
+/// The raw result of one cell: the instantiated network's dimensions and
+/// every run's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The cell that was run.
+    pub cell: CellSpec,
+    /// Actual node count of the instantiated topology.
+    pub nodes: usize,
+    /// Edge count of the instantiated topology.
+    pub edges: usize,
+    /// One record per seed, in seed order.
+    pub runs: Vec<RunRecord>,
+}
+
+/// How a protocol stack's convergence is detected.
+enum Mode {
+    /// Run until a goal predicate holds on the configuration (used for
+    /// `DFTNO`, whose token keeps circulating after orientation).
+    Goal,
+    /// Run until no action is enabled, then require the legitimacy
+    /// predicate (used for `STNO`, which is silent).
+    Silence,
+}
+
+/// Runs a whole campaign on the default number of worker threads.
+///
+/// Results are bit-for-bit deterministic in the matrix alone — thread
+/// count and scheduling cannot affect them.
+///
+/// # Panics
+///
+/// Panics if the matrix fails [`ScenarioMatrix::validate`].
+pub fn run_campaign(matrix: &ScenarioMatrix) -> CampaignReport {
+    run_campaign_with_threads(matrix, fleet::default_threads())
+}
+
+/// [`run_campaign`] with an explicit worker-thread count.
+///
+/// # Panics
+///
+/// Panics if the matrix fails [`ScenarioMatrix::validate`].
+pub fn run_campaign_with_threads(matrix: &ScenarioMatrix, threads: usize) -> CampaignReport {
+    if let Err(e) = matrix.validate() {
+        panic!("invalid scenario matrix: {e}");
+    }
+    let cells = matrix.cells();
+    let outcomes = fleet::parallel_map(&cells, threads, |_, cell| run_cell(cell, matrix));
+    let cell_reports: Vec<CellReport> = outcomes.iter().map(CellReport::from_outcome).collect();
+    CampaignReport::new(matrix, cell_reports)
+}
+
+/// Runs every seed of one cell, reusing the network, simulation, and
+/// daemon allocations across seeds.
+pub fn run_cell(cell: &CellSpec, matrix: &ScenarioMatrix) -> CellOutcome {
+    let g = cell.topology.build(cell.n, matrix.graph_seed);
+    let root = NodeId::new(0);
+    match cell.protocol {
+        ProtocolSpec::Dftno(substrate) => {
+            let oracle_walker = OracleToken::new(&g, root);
+            let net = Network::new(g, root);
+            // `DFTNO` converges to the golden first-DFS orientation under
+            // both substrates; precomputing it makes the per-step goal
+            // check allocation-free.
+            let golden = golden_dfs_orientation(&net);
+            match substrate {
+                TokenSubstrate::Oracle => drive(
+                    &net,
+                    Dftno::new(oracle_walker),
+                    Mode::Goal,
+                    |net, c| dftno_matches(&golden, net, c),
+                    cell,
+                    matrix,
+                ),
+                TokenSubstrate::Dftc => drive(
+                    &net,
+                    Dftno::new(DfsTokenCirculation),
+                    Mode::Goal,
+                    |net, c| dftno_matches(&golden, net, c),
+                    cell,
+                    matrix,
+                ),
+            }
+        }
+        ProtocolSpec::Stno(substrate) => {
+            let bfs = traverse::bfs(&g, root);
+            let tree = RootedTree::from_parents(&g, root, &bfs.parent)
+                .expect("BFS parents of a connected graph form a tree");
+            let oracle_tree = OracleSpanningTree::from_graph(&g, &tree);
+            let net = Network::new(g, root);
+            match substrate {
+                TreeSubstrate::Oracle => drive(
+                    &net,
+                    Stno::new(oracle_tree),
+                    Mode::Silence,
+                    stno_oriented,
+                    cell,
+                    matrix,
+                ),
+                TreeSubstrate::Bfs => drive(
+                    &net,
+                    Stno::new(BfsSpanningTree),
+                    Mode::Silence,
+                    stno_oriented,
+                    cell,
+                    matrix,
+                ),
+                TreeSubstrate::CdDfs => drive(
+                    &net,
+                    Stno::new(CdSpanningTree),
+                    Mode::Silence,
+                    stno_oriented,
+                    cell,
+                    matrix,
+                ),
+            }
+        }
+    }
+}
+
+/// Allocation-free equality of a configuration's orientation variables
+/// against a precomputed golden orientation.
+fn dftno_matches<S>(
+    golden: &Orientation,
+    _net: &Network,
+    config: &[sno_core::dftno::DftnoState<S>],
+) -> bool {
+    config
+        .iter()
+        .zip(golden.names.iter().zip(&golden.labels))
+        .all(|(s, (&name, labels))| s.eta == name && s.pi == *labels)
+}
+
+/// Runs the cell's seed range for one concrete protocol stack.
+fn drive<P, L>(
+    net: &Network,
+    protocol: P,
+    mode: Mode,
+    legit: L,
+    cell: &CellSpec,
+    matrix: &ScenarioMatrix,
+) -> CellOutcome
+where
+    P: Protocol,
+    L: Fn(&Network, &[P::State]) -> bool,
+{
+    let mut daemon = cell.daemon.build(net, matrix.seed_start ^ DAEMON_SALT);
+    let mut sim = Simulation::from_initial(net, protocol);
+    let mut runs = Vec::with_capacity(matrix.seeds_per_cell as usize);
+    for seed in matrix.seed_start..matrix.seed_start + matrix.seeds_per_cell {
+        let mut rng = StdRng::seed_from_u64(seed);
+        sim.reinit_random(&mut rng);
+        daemon.reset(seed ^ DAEMON_SALT);
+        let (converged, moves, steps, rounds) =
+            run_phase(&mut sim, &mut daemon, &mode, &legit, net, matrix.max_steps);
+
+        let mut recovery = None;
+        if converged {
+            // `hits == 0` never reaches here: `ScenarioMatrix::validate`
+            // rejects it, so the cap below only shrinks oversized plans.
+            if let FaultPlan::AfterConvergence { hits } = cell.fault {
+                let hits = (hits as usize).min(net.node_count());
+                let mut fault_rng = StdRng::seed_from_u64(seed ^ FAULT_SALT);
+                corrupt_random(&mut sim, hits, &mut fault_rng);
+                sim.reset_counters();
+                let (rc, rm, rs, rr) =
+                    run_phase(&mut sim, &mut daemon, &mode, &legit, net, matrix.max_steps);
+                recovery = Some(Recovery {
+                    converged: rc,
+                    moves: rm,
+                    steps: rs,
+                    rounds: rr,
+                });
+            }
+        }
+        runs.push(RunRecord {
+            seed,
+            converged,
+            moves,
+            steps,
+            rounds,
+            recovery,
+        });
+    }
+    CellOutcome {
+        cell: *cell,
+        nodes: net.node_count(),
+        edges: net.graph().edge_count(),
+        runs,
+    }
+}
+
+/// One convergence phase under the cell's detection mode.
+fn run_phase<P, L>(
+    sim: &mut Simulation<'_, P>,
+    daemon: &mut Box<dyn Daemon>,
+    mode: &Mode,
+    legit: &L,
+    net: &Network,
+    max_steps: u64,
+) -> (bool, u64, u64, u64)
+where
+    P: Protocol,
+    L: Fn(&Network, &[P::State]) -> bool,
+{
+    match mode {
+        Mode::Goal => {
+            let r = sim.run_until(daemon, max_steps, |c| legit(net, c));
+            (r.converged, r.moves, r.steps, r.rounds)
+        }
+        Mode::Silence => {
+            let r = sim.run_until_silent(daemon, max_steps);
+            let ok = r.converged && legit(net, sim.config());
+            (ok, r.moves, r.steps, r.rounds)
+        }
+    }
+}
+
+/// Convenience for benches: one run of one cell, returning its record.
+pub fn converge_once(cell: &CellSpec, seed: u64, max_steps: u64) -> RunRecord {
+    let matrix = ScenarioMatrix::new("once")
+        .topologies([cell.topology])
+        .sizes([cell.n])
+        .protocols([cell.protocol])
+        .daemons([cell.daemon])
+        .faults([cell.fault])
+        .seeds(seed, 1)
+        .max_steps(max_steps);
+    if let Err(e) = matrix.validate() {
+        panic!("invalid cell for converge_once: {e}");
+    }
+    let outcome = run_cell(cell, &matrix);
+    outcome.runs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DaemonSpec;
+    use sno_core::dftno::dftno_orientation;
+    use sno_graph::GeneratorSpec;
+
+    fn tiny_matrix() -> ScenarioMatrix {
+        // Central-random rather than round-robin: daemons that always run
+        // action index 0 can starve DFTNO's Edgelabel repair behind the
+        // ever-enabled token action (see ROADMAP open items).
+        ScenarioMatrix::new("tiny")
+            .topologies([GeneratorSpec::Ring, GeneratorSpec::Star])
+            .sizes([6])
+            .protocols([
+                ProtocolSpec::Dftno(TokenSubstrate::Oracle),
+                ProtocolSpec::Stno(TreeSubstrate::Oracle),
+            ])
+            .daemons([DaemonSpec::CentralRandom])
+            .seeds(0, 3)
+            .max_steps(500_000)
+    }
+
+    #[test]
+    fn tiny_campaign_fully_converges() {
+        let report = run_campaign_with_threads(&tiny_matrix(), 2);
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.total_runs, 12);
+        assert_eq!(report.total_converged, 12);
+        for cell in &report.cells {
+            assert_eq!(cell.convergence_rate, 1.0);
+            assert!(cell.moves.is_some());
+        }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_across_thread_counts() {
+        let m = tiny_matrix();
+        let a = run_campaign_with_threads(&m, 1);
+        let b = run_campaign_with_threads(&m, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dftno_matches_agrees_with_full_predicate() {
+        use sno_core::dftno::dftno_golden;
+        use sno_engine::daemon::CentralRoundRobin;
+
+        let g = GeneratorSpec::ChordalRing.build(8, 5);
+        let root = NodeId::new(0);
+        let oracle = OracleToken::new(&g, root);
+        let net = Network::new(g, root);
+        let golden = golden_dfs_orientation(&net);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sim = Simulation::from_random(&net, Dftno::new(oracle), &mut rng);
+        let mut daemon = CentralRoundRobin::new();
+        for _ in 0..50_000 {
+            assert_eq!(
+                dftno_matches(&golden, &net, sim.config()),
+                dftno_golden(&net, sim.config()),
+                "predicates must agree on every visited configuration"
+            );
+            if dftno_golden(&net, sim.config()) {
+                break;
+            }
+            sim.step(&mut daemon);
+        }
+        assert!(dftno_golden(&net, sim.config()), "run must converge");
+        // The extraction helper agrees as well.
+        assert_eq!(dftno_orientation(sim.config()), golden);
+    }
+
+    #[test]
+    fn fault_plans_measure_recovery() {
+        let m = ScenarioMatrix::new("faulty")
+            .topologies([GeneratorSpec::Path])
+            .sizes([8])
+            .protocols([ProtocolSpec::Stno(TreeSubstrate::Bfs)])
+            .daemons([DaemonSpec::CentralRoundRobin])
+            .faults([FaultPlan::AfterConvergence { hits: 2 }])
+            .seeds(0, 3)
+            .max_steps(2_000_000);
+        let report = run_campaign_with_threads(&m, 2);
+        let cell = &report.cells[0];
+        assert_eq!(cell.convergence_rate, 1.0);
+        let rec = cell.recovery_moves.as_ref().expect("recovery measured");
+        assert_eq!(rec.count, 3);
+        assert_eq!(cell.recovered, 3);
+    }
+
+    #[test]
+    fn converge_once_matches_campaign_cell() {
+        let m = tiny_matrix();
+        let cells = m.cells();
+        let outcome = run_cell(&cells[0], &m);
+        let single = converge_once(&cells[0], m.seed_start, m.max_steps);
+        assert_eq!(outcome.runs[0], single);
+    }
+}

@@ -1,0 +1,262 @@
+//! Nameable coordinates of a scenario: protocol stack, daemon, fault plan.
+//!
+//! Everything here is a small copyable value with a stable string name
+//! (`Display`/`FromStr` round-trip), so scenario matrices can be echoed
+//! into JSON reports and parsed back from command lines.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sno_engine::daemon::{
+    CentralFixedPriority, CentralRandom, CentralRoundRobin, Daemon, DistributedRandom,
+    LocallyCentralRandom, Synchronous,
+};
+use sno_engine::Network;
+
+/// Which token-circulation substrate `DFTNO` runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenSubstrate {
+    /// The golden, non-stabilizing Euler-tour walker
+    /// ([`sno_token::OracleToken`]) — the paper's "after the token
+    /// circulation stabilizes" regime behind the `O(n)` claim.
+    Oracle,
+    /// The full self-stabilizing circulation
+    /// ([`sno_token::DfsTokenCirculation`]).
+    Dftc,
+}
+
+/// Which spanning-tree substrate `STNO` runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TreeSubstrate {
+    /// A frozen golden BFS tree ([`sno_tree::OracleSpanningTree`]) — the
+    /// "after the tree stabilizes" regime behind the `O(h)` claim.
+    Oracle,
+    /// The self-stabilizing BFS tree ([`sno_tree::BfsSpanningTree`]).
+    Bfs,
+    /// The Collin–Dolev DFS tree ([`sno_tree::CdSpanningTree`]), under
+    /// which `STNO` names nodes exactly like `DFTNO` (experiment E9).
+    CdDfs,
+}
+
+/// One of the paper's two orientation protocols plus its substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolSpec {
+    /// `DFTNO` (Algorithm 3.1.1) over the given token substrate.
+    Dftno(TokenSubstrate),
+    /// `STNO` (Algorithm 4.1.2) over the given tree substrate.
+    Stno(TreeSubstrate),
+}
+
+impl ProtocolSpec {
+    /// Every protocol × substrate combination.
+    pub const ALL: [ProtocolSpec; 5] = [
+        ProtocolSpec::Dftno(TokenSubstrate::Oracle),
+        ProtocolSpec::Dftno(TokenSubstrate::Dftc),
+        ProtocolSpec::Stno(TreeSubstrate::Oracle),
+        ProtocolSpec::Stno(TreeSubstrate::Bfs),
+        ProtocolSpec::Stno(TreeSubstrate::CdDfs),
+    ];
+
+    /// The two oracle-substrate stacks the paper's step bounds refer to.
+    pub const ORACLES: [ProtocolSpec; 2] = [
+        ProtocolSpec::Dftno(TokenSubstrate::Oracle),
+        ProtocolSpec::Stno(TreeSubstrate::Oracle),
+    ];
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProtocolSpec::Dftno(TokenSubstrate::Oracle) => "dftno/oracle-token",
+            ProtocolSpec::Dftno(TokenSubstrate::Dftc) => "dftno/dftc",
+            ProtocolSpec::Stno(TreeSubstrate::Oracle) => "stno/oracle-tree",
+            ProtocolSpec::Stno(TreeSubstrate::Bfs) => "stno/bfs-tree",
+            ProtocolSpec::Stno(TreeSubstrate::CdDfs) => "stno/cd-dfs-tree",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for ProtocolSpec {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        ProtocolSpec::ALL
+            .into_iter()
+            .find(|p| p.to_string() == s)
+            .ok_or_else(|| ParseError::new("protocol", s))
+    }
+}
+
+/// A scheduler family, instantiated per run via [`DaemonSpec::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DaemonSpec {
+    /// Weakly fair central daemon (rotating).
+    CentralRoundRobin,
+    /// Central daemon with uniformly random choices.
+    CentralRandom,
+    /// **Unfair** central daemon (lowest node id first) — the adversarial
+    /// scheduler of the paper's impossibility discussions.
+    Adversarial,
+    /// Every enabled processor executes each step.
+    Synchronous,
+    /// The paper's distributed daemon: random non-empty subsets.
+    Distributed,
+    /// Random independent subsets (no two neighbors per step).
+    LocallyCentral,
+}
+
+impl DaemonSpec {
+    /// Every daemon family.
+    pub const ALL: [DaemonSpec; 6] = [
+        DaemonSpec::CentralRoundRobin,
+        DaemonSpec::CentralRandom,
+        DaemonSpec::Adversarial,
+        DaemonSpec::Synchronous,
+        DaemonSpec::Distributed,
+        DaemonSpec::LocallyCentral,
+    ];
+
+    /// Builds the daemon for `net`, seeded with `seed`. Re-arm the returned
+    /// daemon for further runs with [`Daemon::reset`] instead of
+    /// rebuilding — construction is the only allocating step.
+    pub fn build(self, net: &Network, seed: u64) -> Box<dyn Daemon> {
+        match self {
+            DaemonSpec::CentralRoundRobin => Box::new(CentralRoundRobin::new()),
+            DaemonSpec::CentralRandom => Box::new(CentralRandom::seeded(seed)),
+            DaemonSpec::Adversarial => Box::new(CentralFixedPriority::new()),
+            DaemonSpec::Synchronous => Box::new(Synchronous::new()),
+            DaemonSpec::Distributed => Box::new(DistributedRandom::seeded(seed)),
+            DaemonSpec::LocallyCentral => Box::new(LocallyCentralRandom::seeded(seed, net)),
+        }
+    }
+}
+
+impl fmt::Display for DaemonSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DaemonSpec::CentralRoundRobin => "central-round-robin",
+            DaemonSpec::CentralRandom => "central-random",
+            DaemonSpec::Adversarial => "adversarial",
+            DaemonSpec::Synchronous => "synchronous",
+            DaemonSpec::Distributed => "distributed",
+            DaemonSpec::LocallyCentral => "locally-central",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for DaemonSpec {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        DaemonSpec::ALL
+            .into_iter()
+            .find(|d| d.to_string() == s)
+            .ok_or_else(|| ParseError::new("daemon", s))
+    }
+}
+
+/// What the adversary does to a run after it first converges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPlan {
+    /// No injected faults: measure stabilization from an arbitrary
+    /// initial configuration only.
+    None,
+    /// After convergence, corrupt this many uniformly chosen processors
+    /// with arbitrary states and measure re-convergence (the recovery
+    /// phase appears as `recovery_*` statistics in reports).
+    AfterConvergence {
+        /// Number of processors hit (capped at the network size).
+        hits: u8,
+    },
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlan::None => f.write_str("none"),
+            FaultPlan::AfterConvergence { hits } => write!(f, "hit:{hits}"),
+        }
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        if s == "none" {
+            return Ok(FaultPlan::None);
+        }
+        if let Some(hits) = s.strip_prefix("hit:") {
+            if let Ok(hits) = hits.parse() {
+                return Ok(FaultPlan::AfterConvergence { hits });
+            }
+        }
+        Err(ParseError::new("fault plan", s))
+    }
+}
+
+/// Error for any failed spec parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    what: &'static str,
+    input: String,
+}
+
+impl ParseError {
+    fn new(what: &'static str, input: &str) -> Self {
+        ParseError {
+            what,
+            input: input.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {} `{}`", self.what, self.input)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_names_round_trip() {
+        for p in ProtocolSpec::ALL {
+            assert_eq!(p.to_string().parse::<ProtocolSpec>().unwrap(), p);
+        }
+        assert!("dftno".parse::<ProtocolSpec>().is_err());
+    }
+
+    #[test]
+    fn daemon_names_round_trip() {
+        for d in DaemonSpec::ALL {
+            assert_eq!(d.to_string().parse::<DaemonSpec>().unwrap(), d);
+        }
+        assert!("chaotic".parse::<DaemonSpec>().is_err());
+    }
+
+    #[test]
+    fn fault_plans_round_trip() {
+        for f in [FaultPlan::None, FaultPlan::AfterConvergence { hits: 3 }] {
+            assert_eq!(f.to_string().parse::<FaultPlan>().unwrap(), f);
+        }
+        assert!("hit:".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn daemons_build_for_any_network() {
+        let g = sno_graph::generators::ring(5);
+        let net = Network::new(g, sno_graph::NodeId::new(0));
+        for d in DaemonSpec::ALL {
+            let mut daemon = d.build(&net, 3);
+            daemon.reset(4);
+            assert!(!daemon.name().is_empty());
+        }
+    }
+}

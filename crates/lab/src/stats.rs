@@ -1,0 +1,93 @@
+//! Order statistics over per-run counters.
+
+/// Five-number summary (plus mean) of a set of `u64` samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum.
+    pub min: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Summarizes `samples` (sorted in place); `None` when empty.
+    pub fn from_samples(samples: &mut [u64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: u128 = samples.iter().map(|&v| v as u128).sum();
+        Some(Summary {
+            count,
+            min: samples[0],
+            mean: sum as f64 / count as f64,
+            p50: nearest_rank(samples, 50),
+            p95: nearest_rank(samples, 95),
+            max: samples[count - 1],
+        })
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted non-empty slice.
+fn nearest_rank(sorted: &[u64], percentile: u32) -> u64 {
+    debug_assert!(!sorted.is_empty() && (1..=100).contains(&percentile));
+    let rank = (percentile as usize * sorted.len()).div_ceil(100);
+    sorted[rank.max(1) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_summary() {
+        assert_eq!(Summary::from_samples(&mut []), None);
+    }
+
+    #[test]
+    fn single_sample_is_its_own_summary() {
+        let s = Summary::from_samples(&mut [7]).unwrap();
+        assert_eq!((s.min, s.p50, s.p95, s.max), (7, 7, 7, 7));
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut v: Vec<u64> = (1..=100).collect();
+        let s = Summary::from_samples(&mut v).unwrap();
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean, 50.5);
+
+        let mut v: Vec<u64> = vec![10, 20, 30, 40];
+        let s = Summary::from_samples(&mut v).unwrap();
+        assert_eq!(s.p50, 20);
+        assert_eq!(s.p95, 40);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut v = vec![30, 10, 20];
+        let s = Summary::from_samples(&mut v).unwrap();
+        assert_eq!((s.min, s.p50, s.max), (10, 20, 30));
+    }
+
+    #[test]
+    fn mean_is_exact_for_large_values() {
+        let mut v = vec![u64::MAX, u64::MAX];
+        let s = Summary::from_samples(&mut v).unwrap();
+        assert_eq!(s.mean, u64::MAX as f64);
+    }
+}

@@ -36,11 +36,7 @@ pub enum TokenKind {
 pub trait TokenCirculation: Protocol {
     /// Classifies an action *enabled in `view`* as the paper's `Forward` /
     /// `Backtrack` guard or as internal housekeeping.
-    fn classify(
-        &self,
-        view: &impl NodeView<Self::State>,
-        action: &Self::Action,
-    ) -> TokenKind;
+    fn classify(&self, view: &impl NodeView<Self::State>, action: &Self::Action) -> TokenKind;
 
     /// The port toward the processor's parent (`A_p`) in the current
     /// round, if it is currently well defined (`None` at the root or while

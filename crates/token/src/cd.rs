@@ -231,7 +231,8 @@ mod tests {
         let mc = ModelChecker::new(&net, &CollinDolev, 10_000_000).unwrap();
         let legit = |c: &[DfsPath]| cd_legit(&net, c);
         mc.check_closure(legit).expect("closure");
-        mc.check_convergence_any_schedule(legit).expect("convergence");
+        mc.check_convergence_any_schedule(legit)
+            .expect("convergence");
     }
 
     #[test]

@@ -74,12 +74,9 @@ impl DfsTokenCirculation {
         let (attached, parent) = if ctx.is_root {
             (my.is_empty(), None)
         } else {
-            let parent = (0..ctx.degree).map(Port::new).find(|&l| {
-                *my == view
-                    .neighbor(l)
-                    .path
-                    .extend(ctx.back_ports[l.index()], cap)
-            });
+            let parent = (0..ctx.degree)
+                .map(Port::new)
+                .find(|&l| *my == view.neighbor(l).path.extend(ctx.back_ports[l.index()], cap));
             (parent.is_some(), parent)
         };
         if !attached {
@@ -100,10 +97,7 @@ impl DfsTokenCirculation {
         }
     }
 
-    fn tok_view<'a>(
-        view: &'a impl NodeView<DftcState>,
-        tree: &'a LocalTree,
-    ) -> TokView<'a> {
+    fn tok_view<'a>(view: &'a impl NodeView<DftcState>, tree: &'a LocalTree) -> TokView<'a> {
         TokView::gather(view, tree, &view.state().tok, |s: &DftcState| &s.tok)
     }
 }
@@ -154,11 +148,7 @@ impl Protocol for DfsTokenCirculation {
 }
 
 impl TokenCirculation for DfsTokenCirculation {
-    fn classify(
-        &self,
-        view: &impl NodeView<DftcState>,
-        action: &DftcAction,
-    ) -> TokenKind {
+    fn classify(&self, view: &impl NodeView<DftcState>, action: &DftcAction) -> TokenKind {
         match action {
             DftcAction::FixPath => TokenKind::Internal,
             DftcAction::Tok(a) => {
@@ -204,12 +194,7 @@ pub fn dftc_legit(net: &sno_engine::Network, config: &[DftcState]) -> bool {
             .collect()
     };
     let tok_of = |p: usize| config[p].tok.clone();
-    chain_legit(
-        net.node_count(),
-        net.root().index(),
-        &tok_of,
-        &children_of,
-    )
+    chain_legit(net.node_count(), net.root().index(), &tok_of, &children_of)
 }
 
 #[cfg(test)]
@@ -297,8 +282,7 @@ mod tests {
             let node = enabled[0].node;
             let actions = sim.enabled_actions(node);
             assert_eq!(actions.len(), 1);
-            let view =
-                sno_engine::protocol::ConfigView::new(&net, node, sim.config());
+            let view = sno_engine::protocol::ConfigView::new(&net, node, sim.config());
             let kind = DfsTokenCirculation.classify(&view, &actions[0]);
             if kind == TokenKind::Forward && node == net.root() {
                 if collecting {
@@ -329,8 +313,7 @@ mod tests {
             let enabled = sim.enabled_nodes();
             let node = enabled[0].node;
             let actions = sim.enabled_actions(node);
-            let view =
-                sno_engine::protocol::ConfigView::new(&net, node, sim.config());
+            let view = sno_engine::protocol::ConfigView::new(&net, node, sim.config());
             let kind = DfsTokenCirculation.classify(&view, &actions[0]);
             if kind == TokenKind::Forward && node == net.root() {
                 root_forwards += 1;

@@ -29,8 +29,7 @@ use sno_graph::Port;
 /// assert!(root < child, "a prefix precedes its extensions");
 /// assert_eq!(child.len(), Some(1));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(Default)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum DfsPath {
     /// A finite word of ports (empty at the root).
     Finite(Vec<u16>),
@@ -94,7 +93,6 @@ impl DfsPath {
         }
     }
 }
-
 
 impl fmt::Debug for DfsPath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

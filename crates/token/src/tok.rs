@@ -506,7 +506,9 @@ mod tests {
         };
         assert_eq!(
             tok_classify(&v, TokAction::Advance),
-            TokenKind::Backtrack { child: Port::new(2) }
+            TokenKind::Backtrack {
+                child: Port::new(2)
+            }
         );
         let mut done = me.clone();
         done.scan = 2;
@@ -519,7 +521,9 @@ mod tests {
         };
         assert_eq!(
             tok_classify(&v2, TokAction::Return),
-            TokenKind::Backtrack { child: Port::new(5) }
+            TokenKind::Backtrack {
+                child: Port::new(5)
+            }
         );
     }
 }

@@ -120,9 +120,10 @@ impl SpaceMeasured for BfsSpanningTree {
 /// lowest-port parent choice.
 pub fn bfs_legit(net: &sno_engine::Network, config: &[BfsState]) -> bool {
     let golden = sno_graph::traverse::bfs(net.graph(), net.root());
-    config.iter().enumerate().all(|(i, s)| {
-        s.dist as usize == golden.dist[i] && s.parent == golden.parent_port[i]
-    })
+    config
+        .iter()
+        .enumerate()
+        .all(|(i, s)| s.dist as usize == golden.dist[i] && s.parent == golden.parent_port[i])
 }
 
 #[cfg(test)]
@@ -162,22 +163,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
 
         let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
-        assert!(sim
-            .run_until_silent(&mut Synchronous::new(), 100_000)
-            .converged);
+        assert!(
+            sim.run_until_silent(&mut Synchronous::new(), 100_000)
+                .converged
+        );
         assert!(bfs_legit(&net, sim.config()));
 
         let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
-        assert!(sim
-            .run_until_silent(&mut DistributedRandom::seeded(8), 1_000_000)
-            .converged);
+        assert!(
+            sim.run_until_silent(&mut DistributedRandom::seeded(8), 1_000_000)
+                .converged
+        );
         assert!(bfs_legit(&net, sim.config()));
 
         // The unfair daemon: always serves the lowest-index enabled node.
         let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
-        assert!(sim
-            .run_until_silent(&mut CentralFixedPriority::new(), 1_000_000)
-            .converged);
+        assert!(
+            sim.run_until_silent(&mut CentralFixedPriority::new(), 1_000_000)
+                .converged
+        );
         assert!(bfs_legit(&net, sim.config()));
     }
 

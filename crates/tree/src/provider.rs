@@ -235,10 +235,7 @@ mod tests {
         for p in net.nodes() {
             let view = ConfigView::new(&net, p, sim.config());
             assert_eq!(oracle.parent_port(&view), tree.parent_port(p));
-            assert_eq!(
-                oracle.children_ports(&view).len(),
-                tree.children(p).len()
-            );
+            assert_eq!(oracle.children_ports(&view).len(), tree.children(p).len());
         }
     }
 

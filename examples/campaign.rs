@@ -1,0 +1,79 @@
+//! The standard scenario-fleet campaign: 480 simulations across three
+//! topology families, two sizes, all five protocol stacks, two daemons,
+//! and two fault plans — executed in parallel, aggregated into per-cell
+//! moves/steps/rounds percentiles and convergence rates, and written to
+//! `BENCH_campaign.json` (the `sno-lab/v1` interchange format).
+//!
+//! The report is bit-for-bit deterministic in the matrix: re-running this
+//! example (on any machine, with any thread count) produces the same
+//! JSON.
+//!
+//! ```sh
+//! cargo run --release --example campaign
+//! ```
+
+use std::time::Instant;
+
+use sno::graph::GeneratorSpec;
+use sno::lab::{run_campaign, DaemonSpec, FaultPlan, ProtocolSpec, ScenarioMatrix};
+
+fn main() {
+    let matrix = ScenarioMatrix::new("standard-campaign")
+        .topologies([
+            GeneratorSpec::Ring,
+            GeneratorSpec::Star,
+            GeneratorSpec::RandomSparse { extra_per_node: 2 },
+        ])
+        .sizes([12, 24])
+        // Both protocols, every substrate: the oracle regimes the paper's
+        // O(n)/O(h) bounds are phrased in, plus the full self-stabilizing
+        // stacks (DFTC token circulation, BFS and Collin–Dolev trees).
+        .protocols(ProtocolSpec::ALL)
+        // Randomized-action daemons; deterministic-action schedulers can
+        // starve DFTNO's Edgelabel repair (see ROADMAP open items / E12).
+        .daemons([DaemonSpec::CentralRandom, DaemonSpec::Distributed])
+        .faults([FaultPlan::None, FaultPlan::AfterConvergence { hits: 3 }])
+        .seeds(0, 4)
+        .max_steps(30_000_000);
+
+    println!(
+        "campaign `{}`: {} cells × {} seeds = {} simulations\n",
+        matrix.name,
+        matrix.cells().len(),
+        matrix.seeds_per_cell,
+        matrix.run_count()
+    );
+
+    let start = Instant::now();
+    let report = run_campaign(&matrix);
+    let elapsed = start.elapsed();
+
+    println!("{}", report.to_markdown());
+    println!(
+        "{} of {} runs converged ({:.1}%) in {:.2?} wall time",
+        report.total_converged,
+        report.total_runs,
+        100.0 * report.convergence_rate(),
+        elapsed
+    );
+
+    report
+        .write_json("BENCH_campaign.json")
+        .expect("write report");
+    println!(
+        "wrote BENCH_campaign.json ({} bytes)",
+        report.to_json().len()
+    );
+
+    assert!(report.total_runs >= 200, "fleet-scale campaign");
+    let faultless_failures: Vec<_> = report
+        .cells
+        .iter()
+        .filter(|c| c.converged < c.runs)
+        .map(|c| format!("{} n={} {} {}", c.topology, c.nodes, c.protocol, c.daemon))
+        .collect();
+    assert!(
+        faultless_failures.is_empty(),
+        "every cell must fully converge under randomized-action daemons: {faultless_failures:?}"
+    );
+}

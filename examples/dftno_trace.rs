@@ -17,10 +17,7 @@ fn main() {
     println!(" step  event      node  η      Max");
     let (rows, etas) = dftno_figure_trace();
     for r in &rows {
-        let eta = r
-            .eta
-            .map(|e| e.to_string())
-            .unwrap_or_else(|| "—".into());
+        let eta = r.eta.map(|e| e.to_string()).unwrap_or_else(|| "—".into());
         println!(
             " {:>4}  {:<9}  {:<4}  {:<5}  {}",
             r.step, r.event, r.node, eta, r.max

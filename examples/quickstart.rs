@@ -49,6 +49,8 @@ fn main() {
             format_labels(&o, p)
         );
     }
-    println!("\nthe orientation is a chordal sense of direction: {}",
-        o.is_chordal_sense_of_direction(&net));
+    println!(
+        "\nthe orientation is a chordal sense of direction: {}",
+        o.is_chordal_sense_of_direction(&net)
+    );
 }

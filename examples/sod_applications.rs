@@ -72,7 +72,10 @@ fn main() {
     // --- Zero-setup convergecast: every node knows its DFS-tree parent
     //     from the labels alone (the largest-named smaller neighbor).
     println!("\nzero-setup convergecast (n−1 messages, no tree construction):");
-    for t in [generators::Topology::Complete, generators::Topology::RandomDense] {
+    for t in [
+        generators::Topology::Complete,
+        generators::Topology::RandomDense,
+    ] {
         let g = t.build(16, 5);
         let net = Network::new(g, NodeId::new(0));
         let o = golden_dfs_orientation(&net);

@@ -11,12 +11,13 @@
 //! | [`token`] | self-stabilizing depth-first token circulation substrate |
 //! | [`tree`] | self-stabilizing spanning tree substrates |
 //! | [`core`] | the paper's `DFTNO` and `STNO` protocols, `SP_NO` verifier, SoD applications |
+//! | [`lab`] | parallel scenario-fleet campaigns with aggregated statistics |
 //!
 //! This umbrella crate re-exports everything and hosts the runnable
 //! examples (`examples/`) and the cross-crate integration tests
 //! (`tests/`).
 //!
-//! ## Quickstart
+//! ## Quickstart: one simulation
 //!
 //! Orient an arbitrary rooted network with `STNO` over a self-stabilizing
 //! BFS tree, starting from a completely arbitrary configuration:
@@ -36,6 +37,36 @@
 //! assert!(run.converged);
 //! assert!(stno_oriented(&net, sim.config()));
 //! ```
+//!
+//! ## Quickstart: a campaign
+//!
+//! The paper's complexity claims are statements about *fleets* of runs.
+//! Declare a [`lab::ScenarioMatrix`] — topology families × sizes ×
+//! protocol stacks × daemons × fault plans × seeds — and the lab runs
+//! every cell in parallel and aggregates moves/steps/rounds percentiles
+//! and convergence rates (deterministically: the report depends only on
+//! the matrix, never on thread scheduling):
+//!
+//! ```
+//! use sno::graph::GeneratorSpec;
+//! use sno::lab::{DaemonSpec, ProtocolSpec, ScenarioMatrix, TokenSubstrate};
+//!
+//! let matrix = ScenarioMatrix::new("quickstart")
+//!     .topologies([GeneratorSpec::Ring, GeneratorSpec::Star])
+//!     .sizes([8])
+//!     .protocols([ProtocolSpec::Dftno(TokenSubstrate::Oracle)])
+//!     .daemons([DaemonSpec::CentralRandom])
+//!     .seeds(0, 4)
+//!     .max_steps(1_000_000);
+//! let report = sno::lab::run_campaign(&matrix);
+//! assert_eq!(report.total_converged, 8);
+//! println!("{}", report.to_markdown());
+//! std::fs::write("/tmp/quickstart.json", report.to_json()).unwrap();
+//! ```
+//!
+//! `examples/campaign.rs` scales this to the standard 480-run fleet and
+//! writes the `BENCH_campaign.json` artifact; the `sno-bench` report
+//! binary (`--json`) does the same for the E15 experiment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +77,8 @@ pub use sno_core as core;
 pub use sno_engine as engine;
 /// Topologies and golden traversals (`sno-graph`).
 pub use sno_graph as graph;
+/// Scenario-fleet campaigns (`sno-lab`).
+pub use sno_lab as lab;
 /// The depth-first token circulation substrate (`sno-token`).
 pub use sno_token as token;
 /// The spanning tree substrates (`sno-tree`).

@@ -57,14 +57,17 @@ fn both_protocols_agree_on_sp_no() {
     let mut rng = StdRng::seed_from_u64(1);
     let mut dftno = Simulation::from_random(&net, Dftno::new(DfsTokenCirculation), &mut rng);
     let mut daemon = CentralRandom::seeded(3);
-    assert!(dftno
-        .run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c))
-        .converged);
+    assert!(
+        dftno
+            .run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c))
+            .converged
+    );
 
     let mut stno = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
-    assert!(stno
-        .run_until_silent(&mut CentralRoundRobin::new(), 4_000_000)
-        .converged);
+    assert!(
+        stno.run_until_silent(&mut CentralRoundRobin::new(), 4_000_000)
+            .converged
+    );
 
     let od = dftno_orientation(dftno.config());
     let os = stno_orientation(stno.config());
@@ -89,9 +92,10 @@ fn full_stack_recovers_from_transient_faults() {
     let net = Network::new(g, NodeId::new(0));
     let mut rng = StdRng::seed_from_u64(5);
     let mut sim = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
-    assert!(sim
-        .run_until_silent(&mut CentralRoundRobin::new(), 4_000_000)
-        .converged);
+    assert!(
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 4_000_000)
+            .converged
+    );
 
     for k in [1usize, 3, 6, 12] {
         faults::corrupt_random(&mut sim, k, &mut rng);
@@ -119,9 +123,10 @@ fn orientation_closure_under_continued_full_stack_execution() {
     let mut rng = StdRng::seed_from_u64(3);
     let mut sim = Simulation::from_random(&net, Dftno::new(DfsTokenCirculation), &mut rng);
     let mut daemon = CentralRandom::seeded(21);
-    assert!(sim
-        .run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c))
-        .converged);
+    assert!(
+        sim.run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c))
+            .converged
+    );
     for _ in 0..3_000 {
         sim.step(&mut daemon);
         assert!(
@@ -140,9 +145,10 @@ fn dftno_full_stack_recovers_from_transient_faults() {
     let mut rng = StdRng::seed_from_u64(8);
     let mut sim = Simulation::from_random(&net, Dftno::new(DfsTokenCirculation), &mut rng);
     let mut daemon = CentralRandom::seeded(14);
-    assert!(sim
-        .run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c))
-        .converged);
+    assert!(
+        sim.run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c))
+            .converged
+    );
     for k in [1usize, 3, 9] {
         faults::corrupt_random(&mut sim, k, &mut rng);
         let run = sim.run_until(&mut daemon, 12_000_000, |c| dftno_golden(&net, c));

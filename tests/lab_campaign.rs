@@ -1,0 +1,134 @@
+//! Cross-crate integration tests of the `sno-lab` campaign subsystem:
+//! a small matrix over real protocol stacks must fully converge, report
+//! coherent statistics, and be bit-for-bit reproducible regardless of
+//! thread count.
+
+use sno::graph::GeneratorSpec;
+use sno::lab::{
+    run_campaign_with_threads, DaemonSpec, FaultPlan, ProtocolSpec, ScenarioMatrix, TokenSubstrate,
+    TreeSubstrate,
+};
+
+/// ring/star/random × DFTNO/STNO (oracle and self-stabilizing substrates)
+/// × central/synchronous daemons.
+fn small_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::new("integration")
+        .topologies([
+            GeneratorSpec::Ring,
+            GeneratorSpec::Star,
+            GeneratorSpec::RandomSparse { extra_per_node: 2 },
+        ])
+        .sizes([6, 10])
+        .protocols([
+            ProtocolSpec::Dftno(TokenSubstrate::Oracle),
+            ProtocolSpec::Dftno(TokenSubstrate::Dftc),
+            ProtocolSpec::Stno(TreeSubstrate::Oracle),
+            ProtocolSpec::Stno(TreeSubstrate::Bfs),
+        ])
+        .daemons([DaemonSpec::CentralRandom, DaemonSpec::Synchronous])
+        .seeds(0, 3)
+        .max_steps(20_000_000)
+}
+
+#[test]
+fn small_matrix_fully_converges_with_coherent_stats() {
+    let matrix = small_matrix();
+    let report = run_campaign_with_threads(&matrix, 4);
+
+    assert_eq!(report.cells.len(), 3 * 2 * 4 * 2);
+    assert_eq!(report.total_runs as u64, matrix.run_count());
+    assert_eq!(
+        report.total_converged, report.total_runs,
+        "every stack × daemon in this matrix stabilizes"
+    );
+
+    for cell in &report.cells {
+        assert_eq!(cell.convergence_rate, 1.0, "cell {}", cell.topology);
+        let moves = cell.moves.as_ref().expect("stats for converged cell");
+        let steps = cell.steps.as_ref().expect("stats for converged cell");
+        assert_eq!(moves.count, cell.runs);
+        // Order statistics are internally coherent.
+        assert!(moves.min <= moves.p50 && moves.p50 <= moves.p95 && moves.p95 <= moves.max);
+        assert!(moves.mean >= moves.min as f64 && moves.mean <= moves.max as f64);
+        // A move requires a step; a step executes at least one move.
+        assert!(moves.min >= steps.min, "moves dominate steps per run");
+        assert!(cell.nodes >= 6 && cell.edges >= cell.nodes - 1);
+    }
+}
+
+#[test]
+fn reports_are_deterministic_across_thread_counts_and_reruns() {
+    let matrix = small_matrix();
+    let a = run_campaign_with_threads(&matrix, 1);
+    let b = run_campaign_with_threads(&matrix, 8);
+    let c = run_campaign_with_threads(&matrix, 3);
+    assert_eq!(a, b, "1 thread vs 8 threads");
+    assert_eq!(b, c, "8 threads vs 3 threads");
+    assert_eq!(a.to_json(), b.to_json(), "byte-identical JSON artifacts");
+}
+
+#[test]
+fn seed_range_shifts_change_runs_but_not_shape() {
+    let base = small_matrix();
+    let shifted = small_matrix().seeds(100, 3);
+    let a = run_campaign_with_threads(&base, 4);
+    let b = run_campaign_with_threads(&shifted, 4);
+    assert_eq!(a.cells.len(), b.cells.len());
+    assert_eq!(
+        b.total_converged, b.total_runs,
+        "shifted seeds also converge"
+    );
+    assert_ne!(a, b, "different seed ranges measure different runs");
+}
+
+#[test]
+fn fault_campaign_recovers_everywhere() {
+    let matrix = ScenarioMatrix::new("integration-faults")
+        .topologies([GeneratorSpec::Ring, GeneratorSpec::Star])
+        .sizes([8])
+        .protocols([
+            ProtocolSpec::Stno(TreeSubstrate::Bfs),
+            ProtocolSpec::Dftno(TokenSubstrate::Oracle),
+        ])
+        .daemons([DaemonSpec::CentralRandom])
+        .faults([FaultPlan::AfterConvergence { hits: 3 }])
+        .seeds(0, 3)
+        .max_steps(20_000_000);
+    let report = run_campaign_with_threads(&matrix, 4);
+    for cell in &report.cells {
+        assert_eq!(cell.convergence_rate, 1.0);
+        assert_eq!(
+            cell.recovered, cell.runs,
+            "{} {}: every corrupted run re-stabilizes",
+            cell.topology, cell.protocol
+        );
+        assert!(cell.recovery_moves.is_some());
+    }
+}
+
+#[test]
+fn json_artifact_is_complete() {
+    let matrix = ScenarioMatrix::new("integration-json")
+        .topologies([GeneratorSpec::Star])
+        .sizes([6])
+        .protocols([ProtocolSpec::Stno(TreeSubstrate::Oracle)])
+        .daemons([DaemonSpec::Synchronous])
+        .seeds(0, 2)
+        .max_steps(100_000);
+    let report = run_campaign_with_threads(&matrix, 2);
+    let json = report.to_json();
+    for needle in [
+        "\"schema\":\"sno-lab/v1\"",
+        "\"name\":\"integration-json\"",
+        "\"matrix\":{",
+        "\"topology\":\"star\"",
+        "\"protocol\":\"stno/oracle-tree\"",
+        "\"daemon\":\"synchronous\"",
+        "\"convergence_rate\":1",
+        "\"p50\":",
+        "\"p95\":",
+        "\"mean\":",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+}

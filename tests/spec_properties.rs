@@ -6,9 +6,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sno::core::dftno::{dftno_golden, dftno_orientation, Dftno};
-use sno::core::orientation::{
-    chordal_label, golden_dfs_orientation, neighbor_name, Orientation,
-};
+use sno::core::orientation::{chordal_label, golden_dfs_orientation, neighbor_name, Orientation};
 use sno::core::stno::{stno_golden, Stno};
 use sno::engine::daemon::{CentralRandom, CentralRoundRobin};
 use sno::engine::{Network, Simulation};

@@ -15,7 +15,11 @@ use sno::tree::{BfsSpanningTree, CdSpanningTree, OracleSpanningTree, SpanningTre
 /// Drives any token substrate for one full round (from one root Forward to
 /// the next) and returns the sequence of `Forward` nodes and, per node,
 /// the number of Backtracks observed at it.
-fn one_round_events<T>(net: &Network, proto: T, sim: &mut Simulation<'_, T>) -> (Vec<usize>, Vec<usize>)
+fn one_round_events<T>(
+    net: &Network,
+    proto: T,
+    sim: &mut Simulation<'_, T>,
+) -> (Vec<usize>, Vec<usize>)
 where
     T: TokenCirculation + Clone,
     T::State: Clone,
@@ -66,7 +70,10 @@ where
     let dfs = traverse::first_dfs(g, net.root());
     let (forwards, backtracks) = one_round_events(net, proto.clone(), &mut sim);
     let golden: Vec<usize> = dfs.order.iter().map(|p| p.index()).collect();
-    assert_eq!(forwards, golden, "Forward fires once per node, in DFS order");
+    assert_eq!(
+        forwards, golden,
+        "Forward fires once per node, in DFS order"
+    );
     for p in g.nodes() {
         assert_eq!(
             backtracks[p.index()],
@@ -133,7 +140,11 @@ where
     let g = net.graph();
     for p in g.nodes() {
         let view = ConfigView::new(net, p, config);
-        assert_eq!(proto.parent_port(&view), tree.parent_port(p), "parent at {p}");
+        assert_eq!(
+            proto.parent_port(&view),
+            tree.parent_port(p),
+            "parent at {p}"
+        );
         let kids: Vec<NodeId> = proto
             .children_ports(&view)
             .iter()
@@ -152,9 +163,10 @@ fn bfs_spanning_tree_honors_the_contract() {
     let net = Network::new(g, root);
     let mut rng = StdRng::seed_from_u64(3);
     let mut sim = Simulation::from_random(&net, BfsSpanningTree, &mut rng);
-    assert!(sim
-        .run_until_silent(&mut CentralRoundRobin::new(), 2_000_000)
-        .converged);
+    assert!(
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 2_000_000)
+            .converged
+    );
     check_tree_contract(&net, &BfsSpanningTree, sim.config(), &tree);
 }
 
@@ -167,9 +179,10 @@ fn cd_spanning_tree_honors_the_contract() {
     let net = Network::new(g, root);
     let mut rng = StdRng::seed_from_u64(4);
     let mut sim = Simulation::from_random(&net, CdSpanningTree, &mut rng);
-    assert!(sim
-        .run_until_silent(&mut CentralRoundRobin::new(), 2_000_000)
-        .converged);
+    assert!(
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 2_000_000)
+            .converged
+    );
     check_tree_contract(&net, &CdSpanningTree, sim.config(), &tree);
 }
 
