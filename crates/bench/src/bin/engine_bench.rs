@@ -1,0 +1,54 @@
+//! Measures the incremental enabled-set engine against the full-sweep
+//! reference and writes `BENCH_engine.json`.
+//!
+//! ```sh
+//! cargo run --release -p sno-bench --bin engine_bench             # full sweep of sizes
+//! cargo run --release -p sno-bench --bin engine_bench -- --quick  # CI smoke (64, 512)
+//! cargo run --release -p sno-bench --bin engine_bench -- --json=out.json
+//! ```
+//!
+//! Exits non-zero if a performance gate fails (incremental slower than
+//! the sweep on the n = 512 star, or below 5× on the large path).
+
+use sno_bench::engine_bench::{
+    engine_bench, engine_bench_json, engine_bench_table, gate_violations, FULL_SIZES, QUICK_SIZES,
+};
+
+fn main() {
+    let mut json_path = "BENCH_engine.json".to_string();
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if let Some(p) = arg.strip_prefix("--json=") {
+            json_path = p.to_string();
+        } else {
+            eprintln!("usage: engine_bench [--quick] [--json=PATH]");
+            std::process::exit(2);
+        }
+    }
+    // Quick mode trims the size sweep, not the per-cell step count: the
+    // CI gates compare wall-clock ratios, and short measurements on
+    // shared runners would be too noisy to gate on.
+    let (sizes, steps): (&[usize], u64) = if quick {
+        (&QUICK_SIZES, 20_000)
+    } else {
+        (&FULL_SIZES, 20_000)
+    };
+
+    let rows = engine_bench(sizes, steps);
+    println!("{}", engine_bench_table(&rows).render());
+
+    let json = engine_bench_json(&rows) + "\n";
+    std::fs::write(&json_path, json).expect("write BENCH_engine.json");
+    println!("engine bench JSON written to {json_path}");
+
+    let violations = gate_violations(&rows);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("PERFORMANCE GATE FAILED: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("performance gates passed");
+}

@@ -15,10 +15,9 @@ use crate::table::Table;
 /// The standard campaign matrix: 3 topologies × 2 sizes × all 5 protocol
 /// stacks × 2 daemons × 2 fault plans, 4 seeds per cell — 480 runs.
 ///
-/// Daemons are the randomized-action families: daemons that always run a
-/// node's action 0 (round-robin, synchronous, fixed-priority) can starve
-/// `DFTNO`'s `Edgelabel` repair behind the ever-enabled token action and
-/// are studied separately in E12.
+/// Daemons are the randomized-action families; the full daemon sweep
+/// (including the deterministic-action schedules that exposed the
+/// `Edgelabel` starvation before the repair-priority fix) lives in E12.
 pub fn e15_matrix() -> ScenarioMatrix {
     ScenarioMatrix::new("e15-standard-campaign")
         .topologies([

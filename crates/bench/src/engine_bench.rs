@@ -1,0 +1,278 @@
+//! The engine microbenchmark: steps/sec of the incremental enabled-set
+//! engine vs the full-sweep reference, on a sparse-enabled workload.
+//!
+//! The workload is the regime the paper's move-complexity analysis lives
+//! in: `DFTNO` over the golden token substrate *after* stabilization, so
+//! the only activity is a single token walking an otherwise-silent
+//! network. A full-sweep engine still pays two `O(n)` guard sweeps per
+//! step there; the incremental engine pays only for the executed node's
+//! neighborhood. Measured on path / star / random-tree / torus across
+//! sizes, emitted as `BENCH_engine.json` (`sno-engine-bench/v1`), and
+//! gated in CI: the incremental engine must never lose to the sweep on
+//! the `n = 512` star, and must beat it ≥ 5× on the large path.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sno_core::dftno::Dftno;
+use sno_engine::daemon::CentralRoundRobin;
+use sno_engine::{Network, Simulation};
+use sno_graph::{GeneratorSpec, NodeId};
+use sno_token::OracleToken;
+
+use crate::cells;
+use crate::table::Table;
+
+/// Seed for the seeded topology families.
+const GRAPH_SEED: u64 = 42;
+
+/// The topology families the bench sweeps.
+pub const TOPOLOGIES: [(GeneratorSpec, &str); 4] = [
+    (GeneratorSpec::Path, "path"),
+    (GeneratorSpec::Star, "star"),
+    (GeneratorSpec::RandomTree, "random-tree"),
+    (GeneratorSpec::Torus, "torus"),
+];
+
+/// One measured cell of the engine bench.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineBenchRow {
+    /// Topology family name.
+    pub topology: &'static str,
+    /// Node count of the instantiated graph.
+    pub n: usize,
+    /// Steps timed per mode.
+    pub steps: u64,
+    /// Wall time of the full-sweep reference engine.
+    pub full_sweep_ns: u128,
+    /// Wall time of the incremental engine over the identical trace.
+    pub incremental_ns: u128,
+}
+
+impl EngineBenchRow {
+    /// Steps per second of the full-sweep reference.
+    pub fn full_steps_per_sec(&self) -> f64 {
+        self.steps as f64 / (self.full_sweep_ns as f64 / 1e9)
+    }
+
+    /// Steps per second of the incremental engine.
+    pub fn incremental_steps_per_sec(&self) -> f64 {
+        self.steps as f64 / (self.incremental_ns as f64 / 1e9)
+    }
+
+    /// `incremental / full-sweep` throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.full_sweep_ns as f64 / self.incremental_ns.max(1) as f64
+    }
+}
+
+/// Measures one cell: settle the token circulation, then time `steps`
+/// daemon selections in both engine modes from identical states and
+/// verify the runs were trace-identical.
+fn bench_cell(spec: GeneratorSpec, name: &'static str, n: usize, steps: u64) -> EngineBenchRow {
+    let g = spec.build(n, GRAPH_SEED);
+    let n = g.node_count();
+    let root = NodeId::new(0);
+    let oracle = OracleToken::new(&g, root);
+    let net = Network::new(g, root);
+    let mut sim = Simulation::from_initial(&net, Dftno::new(oracle));
+    let mut daemon = CentralRoundRobin::new();
+    // Settle: a few complete token circulations (one is `2n − 1` daemon
+    // selections, plus the label repairs they trigger) assign the names
+    // and fix the labels, after which only the token's holder is enabled —
+    // the sparse-enabled steady state.
+    let circulation = 2 * n as u64 - 1;
+    sim.run_until(&mut daemon, 6 * circulation, |_| false);
+    assert!(
+        sim.enabled_nodes().len() <= 2,
+        "{name} n={n}: steady state must be sparse-enabled"
+    );
+
+    let mut full = sim.clone();
+    full.set_full_sweep(true);
+    let mut full_daemon = daemon.clone();
+    let t0 = Instant::now();
+    let r_full = full.run_until(&mut full_daemon, steps, |_| false);
+    let full_sweep_ns = t0.elapsed().as_nanos();
+
+    let mut incr = sim;
+    let mut incr_daemon = daemon;
+    let t0 = Instant::now();
+    let r_incr = incr.run_until(&mut incr_daemon, steps, |_| false);
+    let incremental_ns = t0.elapsed().as_nanos();
+
+    // The two timed runs double as a differential check at scale.
+    assert_eq!(r_full, r_incr, "{name} n={n}: identical counters");
+    assert_eq!(r_full.steps, steps, "the token never goes silent");
+    assert_eq!(
+        full.config(),
+        incr.config(),
+        "{name} n={n}: identical configs"
+    );
+
+    EngineBenchRow {
+        topology: name,
+        n,
+        steps,
+        full_sweep_ns,
+        incremental_ns,
+    }
+}
+
+/// Runs the sweep: every topology family × every size, `steps` timed
+/// selections each.
+pub fn engine_bench(sizes: &[usize], steps: u64) -> Vec<EngineBenchRow> {
+    let mut rows = Vec::new();
+    for (spec, name) in TOPOLOGIES {
+        for &n in sizes {
+            rows.push(bench_cell(spec, name, n, steps));
+        }
+    }
+    rows
+}
+
+/// The default size sweep.
+pub const FULL_SIZES: [usize; 5] = [64, 128, 256, 512, 1024];
+/// The CI smoke sweep: small enough to be quick, still covering the
+/// gated `n = 512` cases.
+pub const QUICK_SIZES: [usize; 2] = [64, 512];
+
+/// Renders the rows as the bench crate's ASCII table format.
+pub fn engine_bench_table(rows: &[EngineBenchRow]) -> Table {
+    let mut t = Table::new(
+        "Engine throughput: incremental enabled-set engine vs full-sweep reference \
+         (DFTNO/oracle steady state, central round robin)",
+        &[
+            "topology",
+            "n",
+            "steps",
+            "full sweep steps/s",
+            "incremental steps/s",
+            "speedup",
+        ],
+    );
+    for r in rows {
+        t.row(cells!(
+            r.topology,
+            r.n,
+            r.steps,
+            format!("{:.0}", r.full_steps_per_sec()),
+            format!("{:.0}", r.incremental_steps_per_sec()),
+            format!("{:.1}x", r.speedup())
+        ));
+    }
+    t
+}
+
+/// Renders the `sno-engine-bench/v1` JSON document.
+pub fn engine_bench_json(rows: &[EngineBenchRow]) -> String {
+    let mut out = String::from("{\"schema\":\"sno-engine-bench/v1\",\"workload\":");
+    out.push_str("\"dftno/oracle-token steady state, central-round-robin\",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"topology\":\"{}\",\"n\":{},\"steps\":{},\"full_sweep_ns\":{},\
+             \"incremental_ns\":{},\"full_steps_per_sec\":{:.0},\
+             \"incremental_steps_per_sec\":{:.0},\"speedup\":{:.2}}}",
+            r.topology,
+            r.n,
+            r.steps,
+            r.full_sweep_ns,
+            r.incremental_ns,
+            r.full_steps_per_sec(),
+            r.incremental_steps_per_sec(),
+            r.speedup()
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The CI gates: the incremental engine must never lose to the sweep on
+/// the `n = 512` star (the incremental engine's worst sweep case — the
+/// hub execution dirties the whole graph every other step), and must win
+/// ≥ 5× on the largest measured path (the sparse-neighborhood best case).
+/// Returns a list of violations, empty when the gates hold.
+pub fn gate_violations(rows: &[EngineBenchRow]) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(star) = rows
+        .iter()
+        .filter(|r| r.topology == "star" && r.n >= 512)
+        .min_by_key(|r| r.n)
+    {
+        if star.speedup() < 1.0 {
+            out.push(format!(
+                "incremental engine slower than full sweep on star n={}: {:.2}x",
+                star.n,
+                star.speedup()
+            ));
+        }
+    } else {
+        out.push("gate requires a star row with n >= 512".into());
+    }
+    if let Some(path) = rows
+        .iter()
+        .filter(|r| r.topology == "path" && r.n >= 512)
+        .max_by_key(|r| r.n)
+    {
+        if path.speedup() < 5.0 {
+            out.push(format!(
+                "incremental engine below 5x on path n={}: {:.2}x",
+                path.n,
+                path.speedup()
+            ));
+        }
+    } else {
+        out.push("gate requires a path row with n >= 512".into());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_cells_are_trace_identical_and_render() {
+        // Tiny sizes: the point here is the cross-mode assertions inside
+        // `bench_cell` and the emitters, not the timings.
+        let rows = engine_bench(&[16], 500);
+        assert_eq!(rows.len(), TOPOLOGIES.len());
+        let json = engine_bench_json(&rows);
+        assert!(json.contains("\"schema\":\"sno-engine-bench/v1\""));
+        assert!(json.contains("\"topology\":\"torus\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let table = engine_bench_table(&rows);
+        assert_eq!(table.rows.len(), rows.len());
+    }
+
+    #[test]
+    fn gates_detect_missing_rows_and_regressions() {
+        assert!(!gate_violations(&[]).is_empty());
+        let good = vec![
+            EngineBenchRow {
+                topology: "star",
+                n: 512,
+                steps: 100,
+                full_sweep_ns: 2_000,
+                incremental_ns: 1_000,
+            },
+            EngineBenchRow {
+                topology: "path",
+                n: 512,
+                steps: 100,
+                full_sweep_ns: 10_000,
+                incremental_ns: 1_000,
+            },
+        ];
+        assert!(gate_violations(&good).is_empty());
+        let mut slow = good.clone();
+        slow[0].incremental_ns = 3_000;
+        slow[1].incremental_ns = 9_000;
+        let v = gate_violations(&slow);
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+}

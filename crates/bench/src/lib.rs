@@ -16,6 +16,7 @@
 
 pub mod campaign;
 pub mod complexity;
+pub mod engine_bench;
 pub mod extensions;
 pub mod figures;
 pub mod substrates;

@@ -66,13 +66,14 @@ pub fn dftno_figure_trace() -> (Vec<DftnoTraceRow>, Vec<u32>) {
     let mut named = [false; 5];
     for (step, &(node, event)) in word.iter().enumerate() {
         // The oracle is sequential: the expected node holds the only
-        // enabled token action, and token actions sort first.
+        // enabled token action (the label repair may sort before it — it
+        // is priority-ordered — so select the token action explicitly).
         let actions = sim.enabled_actions(node);
-        assert!(
-            matches!(actions.first(), Some(DftnoAction::Token(_))),
-            "token action expected at {node}"
-        );
-        sim_apply(&mut sim, node, 0);
+        let token_index = actions
+            .iter()
+            .position(|a| matches!(a, DftnoAction::Token(_)))
+            .unwrap_or_else(|| panic!("token action expected at {node}"));
+        sim_apply(&mut sim, node, token_index);
         if event == "Forward" {
             named[node.index()] = true;
         }
@@ -105,18 +106,20 @@ fn sim_apply<P: sno_engine::Protocol>(
         action_index: usize,
     }
     impl sno_engine::daemon::Daemon for One {
-        fn select(
+        fn select_into(
             &mut self,
             enabled: &[sno_engine::daemon::EnabledNode],
-        ) -> Vec<sno_engine::daemon::Choice> {
+            out: &mut Vec<sno_engine::daemon::Choice>,
+        ) {
             let i = enabled
                 .iter()
                 .position(|e| e.node == self.node)
                 .expect("node must be enabled");
-            vec![sno_engine::daemon::Choice {
+            out.clear();
+            out.push(sno_engine::daemon::Choice {
                 enabled_index: i,
                 action_index: self.action_index,
-            }]
+            });
         }
     }
     let mut d = One { node, action_index };

@@ -56,8 +56,18 @@ pub struct Choice {
 /// Daemons are `Send` so simulation fleets (see `sno-lab`) can drive runs
 /// from worker threads; every daemon here is plain data plus a seeded RNG.
 pub trait Daemon: Send {
-    /// Selects which enabled processors execute in this computation step.
-    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice>;
+    /// Selects which enabled processors execute in this computation
+    /// step, writing the choices into a caller-owned buffer (cleared
+    /// first) — the engine's allocation-free step path, and the one
+    /// method an implementor must provide.
+    fn select_into(&mut self, enabled: &[EnabledNode], out: &mut Vec<Choice>);
+
+    /// Allocating convenience wrapper around [`Daemon::select_into`].
+    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+        let mut out = Vec::new();
+        self.select_into(enabled, &mut out);
+        out
+    }
 
     /// A short human-readable name, used in experiment tables.
     fn name(&self) -> &'static str {
@@ -78,8 +88,8 @@ pub trait Daemon: Send {
 }
 
 impl<D: Daemon + ?Sized> Daemon for &mut D {
-    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
-        (**self).select(enabled)
+    fn select_into(&mut self, enabled: &[EnabledNode], out: &mut Vec<Choice>) {
+        (**self).select_into(enabled, out)
     }
 
     fn name(&self) -> &'static str {
@@ -92,8 +102,8 @@ impl<D: Daemon + ?Sized> Daemon for &mut D {
 }
 
 impl<D: Daemon + ?Sized> Daemon for Box<D> {
-    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
-        (**self).select(enabled)
+    fn select_into(&mut self, enabled: &[EnabledNode], out: &mut Vec<Choice>) {
+        (**self).select_into(enabled, out)
     }
 
     fn name(&self) -> &'static str {
@@ -121,7 +131,7 @@ impl CentralRoundRobin {
 }
 
 impl Daemon for CentralRoundRobin {
-    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+    fn select_into(&mut self, enabled: &[EnabledNode], out: &mut Vec<Choice>) {
         debug_assert!(!enabled.is_empty());
         // Pick the enabled node with the smallest index >= cursor, wrapping.
         let pick = enabled
@@ -132,10 +142,11 @@ impl Daemon for CentralRoundRobin {
             .next()
             .unwrap_or(0);
         self.cursor = enabled[pick].node.index() + 1;
-        vec![Choice {
+        out.clear();
+        out.push(Choice {
             enabled_index: pick,
             action_index: 0,
-        }]
+        });
     }
 
     fn name(&self) -> &'static str {
@@ -164,14 +175,15 @@ impl CentralRandom {
 }
 
 impl Daemon for CentralRandom {
-    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+    fn select_into(&mut self, enabled: &[EnabledNode], out: &mut Vec<Choice>) {
         debug_assert!(!enabled.is_empty());
         let i = self.rng.random_range(0..enabled.len());
         let a = self.rng.random_range(0..enabled[i].action_count);
-        vec![Choice {
+        out.clear();
+        out.push(Choice {
             enabled_index: i,
             action_index: a,
-        }]
+        });
     }
 
     fn name(&self) -> &'static str {
@@ -198,7 +210,7 @@ impl CentralFixedPriority {
 }
 
 impl Daemon for CentralFixedPriority {
-    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+    fn select_into(&mut self, enabled: &[EnabledNode], out: &mut Vec<Choice>) {
         debug_assert!(!enabled.is_empty());
         let pick = enabled
             .iter()
@@ -206,10 +218,11 @@ impl Daemon for CentralFixedPriority {
             .min_by_key(|(_, e)| e.node.index())
             .map(|(i, _)| i)
             .expect("non-empty");
-        vec![Choice {
+        out.clear();
+        out.push(Choice {
             enabled_index: pick,
             action_index: 0,
-        }]
+        });
     }
 
     fn name(&self) -> &'static str {
@@ -230,13 +243,12 @@ impl Synchronous {
 }
 
 impl Daemon for Synchronous {
-    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
-        (0..enabled.len())
-            .map(|i| Choice {
-                enabled_index: i,
-                action_index: 0,
-            })
-            .collect()
+    fn select_into(&mut self, enabled: &[EnabledNode], out: &mut Vec<Choice>) {
+        out.clear();
+        out.extend((0..enabled.len()).map(|i| Choice {
+            enabled_index: i,
+            action_index: 0,
+        }));
     }
 
     fn name(&self) -> &'static str {
@@ -276,25 +288,24 @@ impl DistributedRandom {
 }
 
 impl Daemon for DistributedRandom {
-    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+    fn select_into(&mut self, enabled: &[EnabledNode], out: &mut Vec<Choice>) {
         debug_assert!(!enabled.is_empty());
-        let mut picks: Vec<Choice> = Vec::new();
+        out.clear();
         for (i, e) in enabled.iter().enumerate() {
             if self.rng.random_bool(self.include) {
-                picks.push(Choice {
+                out.push(Choice {
                     enabled_index: i,
                     action_index: self.rng.random_range(0..e.action_count),
                 });
             }
         }
-        if picks.is_empty() {
+        if out.is_empty() {
             let i = self.rng.random_range(0..enabled.len());
-            picks.push(Choice {
+            out.push(Choice {
                 enabled_index: i,
                 action_index: self.rng.random_range(0..enabled[i].action_count),
             });
         }
-        picks
     }
 
     fn name(&self) -> &'static str {
@@ -316,51 +327,57 @@ pub struct LocallyCentralRandom {
     rng: StdRng,
     /// `adj[u]` = neighbor node indices of `u`.
     adj: Vec<Vec<usize>>,
+    /// Reusable permutation / blocked-node buffers (hot-path scratch).
+    order: Vec<usize>,
+    blocked: Vec<bool>,
 }
 
 impl LocallyCentralRandom {
     /// Creates the daemon from a seed and the network's topology (the
     /// daemon — unlike the processors — is allowed global knowledge).
     pub fn seeded(seed: u64, net: &crate::Network) -> Self {
-        let adj = net
+        let adj: Vec<Vec<usize>> = net
             .nodes()
             .map(|p| net.graph().neighbors(p).iter().map(|q| q.index()).collect())
             .collect();
+        let blocked = vec![false; adj.len()];
         LocallyCentralRandom {
             rng: StdRng::seed_from_u64(seed),
             adj,
+            order: Vec::new(),
+            blocked,
         }
     }
 }
 
 impl Daemon for LocallyCentralRandom {
-    fn select(&mut self, enabled: &[EnabledNode]) -> Vec<Choice> {
+    fn select_into(&mut self, enabled: &[EnabledNode], out: &mut Vec<Choice>) {
         debug_assert!(!enabled.is_empty());
         // Greedy independent set over a random permutation of the enabled
         // processors: always non-empty, never two neighbors.
-        let mut order: Vec<usize> = (0..enabled.len()).collect();
-        for i in (1..order.len()).rev() {
+        self.order.clear();
+        self.order.extend(0..enabled.len());
+        for i in (1..self.order.len()).rev() {
             let j = self.rng.random_range(0..=i);
-            order.swap(i, j);
+            self.order.swap(i, j);
         }
-        let mut blocked = vec![false; self.adj.len()];
-        let mut picks = Vec::new();
-        for i in order {
+        self.blocked.iter_mut().for_each(|b| *b = false);
+        out.clear();
+        for &i in &self.order {
             let node = enabled[i].node.index();
-            if blocked[node] {
+            if self.blocked[node] {
                 continue;
             }
-            blocked[node] = true;
+            self.blocked[node] = true;
             for &q in &self.adj[node] {
-                blocked[q] = true;
+                self.blocked[q] = true;
             }
-            picks.push(Choice {
+            out.push(Choice {
                 enabled_index: i,
                 action_index: self.rng.random_range(0..enabled[i].action_count),
             });
         }
-        debug_assert!(!picks.is_empty());
-        picks
+        debug_assert!(!out.is_empty());
     }
 
     fn name(&self) -> &'static str {

@@ -1,4 +1,29 @@
 //! The simulation loop: computations, moves, steps, and rounds.
+//!
+//! # The incremental enabled-set engine
+//!
+//! In the guarded-command model a guard is a function of the processor's
+//! static context, its own variables, and its neighbors' variables — the
+//! [`NodeView`](crate::protocol::NodeView) type makes any other dependence
+//! impossible. Locality has a powerful consequence: **a processor's enabled
+//! status can only change when it or one of its neighbors executes.**
+//!
+//! [`Simulation`] exploits this by maintaining the enabled set
+//! *incrementally*: a per-node cache of enabled-action counts plus a
+//! NodeId-sorted enabled list. After a step it re-evaluates guards only for
+//! the executed processors and their neighbors (the *dirty* nodes, seeded
+//! from the graph's CSR adjacency), instead of sweeping all `n` guards
+//! twice per step as a naive engine does. On sparse-enabled workloads —
+//! the regime of the paper's move-complexity analysis, where a single
+//! token walks an otherwise-silent network — this turns an `O(n)` step
+//! into an `O(Δ_dirty)` step.
+//!
+//! The daemon-visible enabled set is kept in ascending NodeId order, the
+//! same order a full sweep produces, so every daemon selection — and hence
+//! every trace, counter, and campaign report — is bit-for-bit identical to
+//! the reference full-sweep engine. [`Simulation::set_full_sweep`] switches
+//! to that reference mode; the differential test suites step both engines
+//! in lockstep and assert identical traces.
 
 use rand::RngCore;
 use sno_graph::NodeId;
@@ -15,6 +40,10 @@ pub enum StepOutcome<A> {
     Silent,
     /// The listed processors executed the listed actions (evaluated against
     /// the pre-step configuration, written atomically together).
+    ///
+    /// This vector materializes only for the public single-step API; the
+    /// bounded-run loops ([`Simulation::run_until`] and friends) use an
+    /// internal allocation-free commit path.
     Executed(Vec<(NodeId, A)>),
 }
 
@@ -65,16 +94,32 @@ pub struct Simulation<'a, P: Protocol> {
     moves: u64,
     rounds: u64,
     /// Processors enabled at the start of the current round that have not
-    /// yet executed or been neutralized.
+    /// yet executed or been neutralized. Invariant: whenever
+    /// `frontier_count == 0`, every bit is false.
     round_frontier: Vec<bool>,
     frontier_count: usize,
-    // Reusable buffers: `step` runs two enabled-set sweeps per computation
-    // step, and campaign fleets (sno-lab) run millions of steps per
-    // simulation object — keeping these hot avoids per-step allocation.
+    /// Reference mode: re-sweep every guard each step instead of using the
+    /// incremental cache (see [`Simulation::set_full_sweep`]).
+    full_sweep: bool,
+    // --- Incremental enabled-set cache (authoritative when !full_sweep) ---
+    /// `action_count[p]` = number of enabled actions at processor `p`.
+    action_count: Vec<u32>,
+    /// Processors with `action_count > 0`, in ascending NodeId order —
+    /// exactly what a full sweep would produce.
+    enabled_list: Vec<EnabledNode>,
+    /// Dirty-node scratch queue of the current step (deduplicated).
+    dirty: Vec<u32>,
+    /// `dirty_mark[p] == epoch` iff `p` is already queued this step.
+    dirty_mark: Vec<u64>,
+    epoch: u64,
+    // --- Reusable buffers: campaign fleets (sno-lab) run millions of
+    // steps per simulation object, so the hot path must not allocate. ---
     scratch_enabled: Vec<EnabledNode>,
     scratch_actions: Vec<P::Action>,
     scratch_node_mask: Vec<bool>,
     scratch_chosen: Vec<bool>,
+    scratch_choices: Vec<crate::daemon::Choice>,
+    scratch_writes: Vec<(NodeId, P::State)>,
 }
 
 impl<'a, P: Protocol> Simulation<'a, P> {
@@ -89,6 +134,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             net.node_count(),
             "configuration size mismatch"
         );
+        let n = net.node_count();
         let mut sim = Simulation {
             net,
             protocol,
@@ -96,13 +142,22 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             steps: 0,
             moves: 0,
             rounds: 0,
-            round_frontier: vec![false; net.node_count()],
+            round_frontier: vec![false; n],
             frontier_count: 0,
+            full_sweep: false,
+            action_count: vec![0; n],
+            enabled_list: Vec::new(),
+            dirty: Vec::new(),
+            dirty_mark: vec![0; n],
+            epoch: 0,
             scratch_enabled: Vec::new(),
             scratch_actions: Vec::new(),
-            scratch_node_mask: vec![false; net.node_count()],
+            scratch_node_mask: vec![false; n],
             scratch_chosen: Vec::new(),
+            scratch_choices: Vec::new(),
+            scratch_writes: Vec::new(),
         };
+        sim.rebuild_enabled_cache();
         sim.reset_round_frontier();
         sim
     }
@@ -151,6 +206,20 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     /// resets the round accounting since the adversary struck).
     pub fn set_state(&mut self, p: NodeId, s: P::State) {
         self.config[p.index()] = s;
+        // The write can flip guards at `p` and its neighbors only. In
+        // reference mode the cache is unused (and rebuilt on mode exit),
+        // so skip the refresh there.
+        if !self.full_sweep {
+            let net = self.net;
+            let mut actions = std::mem::take(&mut self.scratch_actions);
+            let mut list = std::mem::take(&mut self.enabled_list);
+            self.refresh_node(p.index(), &mut actions, &mut list);
+            for &q in net.graph().neighbors(p) {
+                self.refresh_node(q.index(), &mut actions, &mut list);
+            }
+            self.scratch_actions = actions;
+            self.enabled_list = list;
+        }
         self.reset_round_frontier();
     }
 
@@ -180,8 +249,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
 
     /// Re-starts this simulation from a fresh adversarially arbitrary
     /// configuration, reusing every allocation (configuration vector,
-    /// round frontier, step scratch). Equivalent to building a new
-    /// [`Simulation::from_random`] on the same network and protocol —
+    /// round frontier, enabled cache, step scratch). Equivalent to building
+    /// a new [`Simulation::from_random`] on the same network and protocol —
     /// campaign fleets use this to run thousands of seeds without
     /// re-allocating.
     pub fn reinit_random(&mut self, rng: &mut dyn RngCore) {
@@ -191,6 +260,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         self.steps = 0;
         self.moves = 0;
         self.rounds = 0;
+        self.rebuild_enabled_cache();
         self.reset_round_frontier();
     }
 
@@ -203,18 +273,51 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         self.steps = 0;
         self.moves = 0;
         self.rounds = 0;
+        self.rebuild_enabled_cache();
         self.reset_round_frontier();
     }
 
-    /// The processors with at least one enabled action, with action counts.
-    pub fn enabled_nodes(&self) -> Vec<EnabledNode> {
-        let mut scratch = Vec::new();
-        let mut out = Vec::new();
-        self.fill_enabled(&mut scratch, &mut out);
-        out
+    /// Switches between the incremental engine (the default) and the
+    /// **full-sweep reference mode**, which re-evaluates every guard twice
+    /// per step exactly like a naive engine.
+    ///
+    /// Both modes produce bit-for-bit identical executions — the reference
+    /// mode exists as the differential-testing oracle for the incremental
+    /// enabled-set maintenance and as the baseline the engine
+    /// microbenchmarks compare against. Leave it off outside tests and
+    /// benchmarks.
+    pub fn set_full_sweep(&mut self, on: bool) {
+        if self.full_sweep == on {
+            return;
+        }
+        self.full_sweep = on;
+        if !on {
+            // The cache went stale while the reference mode ran.
+            self.rebuild_enabled_cache();
+        }
     }
 
-    /// Writes the enabled set into `out` using `actions` as guard scratch.
+    /// `true` iff the full-sweep reference mode is active.
+    pub fn is_full_sweep(&self) -> bool {
+        self.full_sweep
+    }
+
+    /// The processors with at least one enabled action, with action
+    /// counts, **in ascending NodeId order**.
+    pub fn enabled_nodes(&self) -> Vec<EnabledNode> {
+        if self.full_sweep {
+            let mut scratch = Vec::new();
+            let mut out = Vec::new();
+            self.fill_enabled(&mut scratch, &mut out);
+            out
+        } else {
+            self.enabled_list.clone()
+        }
+    }
+
+    /// Writes the full-sweep enabled set into `out` using `actions` as
+    /// guard scratch. Nodes are visited — and therefore emitted — in
+    /// ascending NodeId order.
     fn fill_enabled(&self, actions: &mut Vec<P::Action>, out: &mut Vec<EnabledNode>) {
         out.clear();
         for p in self.net.nodes() {
@@ -238,17 +341,97 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         out
     }
 
-    fn reset_round_frontier(&mut self) {
-        let mut enabled = std::mem::take(&mut self.scratch_enabled);
+    /// Rebuilds the per-node action counts and the sorted enabled list
+    /// with one full sweep. Only used off the hot path (construction,
+    /// re-initialization, leaving the reference mode).
+    fn rebuild_enabled_cache(&mut self) {
         let mut actions = std::mem::take(&mut self.scratch_actions);
-        self.fill_enabled(&mut actions, &mut enabled);
-        self.round_frontier.iter_mut().for_each(|b| *b = false);
-        self.frontier_count = enabled.len();
-        for e in &enabled {
-            self.round_frontier[e.node.index()] = true;
+        self.enabled_list.clear();
+        for p in self.net.nodes() {
+            actions.clear();
+            let view = ConfigView::new(self.net, p, &self.config);
+            self.protocol.enabled(&view, &mut actions);
+            let count = actions.len() as u32;
+            self.action_count[p.index()] = count;
+            if count > 0 {
+                self.enabled_list.push(EnabledNode {
+                    node: p,
+                    action_count: count as usize,
+                });
+            }
         }
-        self.scratch_enabled = enabled;
         self.scratch_actions = actions;
+    }
+
+    /// Re-evaluates the guards of one processor and folds the delta into
+    /// `list` (the sorted enabled list, temporarily taken out of `self`).
+    /// Returns the new enabled-action count.
+    fn refresh_node(
+        &mut self,
+        idx: usize,
+        actions: &mut Vec<P::Action>,
+        list: &mut Vec<EnabledNode>,
+    ) -> u32 {
+        let node = NodeId::new(idx);
+        actions.clear();
+        let view = ConfigView::new(self.net, node, &self.config);
+        self.protocol.enabled(&view, actions);
+        let new = actions.len() as u32;
+        let old = std::mem::replace(&mut self.action_count[idx], new);
+        if new != old {
+            match list.binary_search_by_key(&idx, |e| e.node.index()) {
+                Ok(pos) => {
+                    if new == 0 {
+                        list.remove(pos);
+                    } else {
+                        list[pos].action_count = new as usize;
+                    }
+                }
+                Err(pos) => {
+                    debug_assert!(old == 0 && new > 0, "cache out of sync");
+                    list.insert(
+                        pos,
+                        EnabledNode {
+                            node,
+                            action_count: new as usize,
+                        },
+                    );
+                }
+            }
+        }
+        new
+    }
+
+    /// Queues `node` for guard re-evaluation, deduplicating via the epoch
+    /// stamp.
+    fn mark_dirty(&mut self, node: NodeId, dirty: &mut Vec<u32>) {
+        let i = node.index();
+        if self.dirty_mark[i] != self.epoch {
+            self.dirty_mark[i] = self.epoch;
+            dirty.push(i as u32);
+        }
+    }
+
+    /// Re-seeds the round frontier from the authoritative enabled set.
+    fn reset_round_frontier(&mut self) {
+        self.round_frontier.iter_mut().for_each(|b| *b = false);
+        self.frontier_count = 0;
+        if self.full_sweep {
+            let mut enabled = std::mem::take(&mut self.scratch_enabled);
+            let mut actions = std::mem::take(&mut self.scratch_actions);
+            self.fill_enabled(&mut actions, &mut enabled);
+            self.frontier_count = enabled.len();
+            for e in &enabled {
+                self.round_frontier[e.node.index()] = true;
+            }
+            self.scratch_enabled = enabled;
+            self.scratch_actions = actions;
+        } else {
+            self.frontier_count = self.enabled_list.len();
+            for e in &self.enabled_list {
+                self.round_frontier[e.node.index()] = true;
+            }
+        }
     }
 
     /// Performs one computation step driven by `daemon`.
@@ -262,19 +445,53 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     /// Panics if the daemon violates its contract (empty selection,
     /// duplicate nodes, or out-of-range indices).
     pub fn step(&mut self, daemon: &mut impl Daemon) -> StepOutcome<P::Action> {
-        let mut enabled = std::mem::take(&mut self.scratch_enabled);
-        let mut actions = std::mem::take(&mut self.scratch_actions);
-        self.fill_enabled(&mut actions, &mut enabled);
-        if enabled.is_empty() {
-            self.scratch_enabled = enabled;
-            self.scratch_actions = actions;
-            return StepOutcome::Silent;
+        let mut executed = Vec::new();
+        if self.step_into(daemon, Some(&mut executed)) {
+            StepOutcome::Executed(executed)
+        } else {
+            StepOutcome::Silent
         }
-        let choices = daemon.select(&enabled);
+    }
+
+    /// The allocation-free commit path used by the bounded-run loops:
+    /// identical to [`Simulation::step`] but does not materialize the
+    /// executed-action vector. Returns `false` on silence.
+    fn step_commit(&mut self, daemon: &mut impl Daemon) -> bool {
+        self.step_into(daemon, None)
+    }
+
+    /// One computation step; records `(node, action)` pairs into `record`
+    /// when provided. Returns `false` iff the configuration is silent.
+    fn step_into(
+        &mut self,
+        daemon: &mut impl Daemon,
+        mut record: Option<&mut Vec<(NodeId, P::Action)>>,
+    ) -> bool {
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        // The daemon-visible enabled set: a fresh sweep in reference mode,
+        // the incrementally maintained list otherwise (same contents, same
+        // NodeId order).
+        let mut enabled = if self.full_sweep {
+            let mut enabled = std::mem::take(&mut self.scratch_enabled);
+            self.fill_enabled(&mut actions, &mut enabled);
+            enabled
+        } else {
+            std::mem::take(&mut self.enabled_list)
+        };
+        if enabled.is_empty() {
+            self.restore_enabled(enabled);
+            self.scratch_actions = actions;
+            return false;
+        }
+
+        let mut choices = std::mem::take(&mut self.scratch_choices);
+        daemon.select_into(&enabled, &mut choices);
         assert!(!choices.is_empty(), "daemon must select a non-empty subset");
 
-        // Resolve choices to (node, action) against the old configuration.
-        let mut writes: Vec<(NodeId, P::State, P::Action)> = Vec::with_capacity(choices.len());
+        // Resolve choices to (node, new state) against the old
+        // configuration.
+        let mut writes = std::mem::take(&mut self.scratch_writes);
+        debug_assert!(writes.is_empty());
         self.scratch_chosen.clear();
         self.scratch_chosen.resize(enabled.len(), false);
         let mut chosen = std::mem::take(&mut self.scratch_chosen);
@@ -294,49 +511,130 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             );
             let action = actions.swap_remove(c.action_index);
             let new_state = self.protocol.apply(&view, &action);
-            writes.push((node, new_state, action));
+            writes.push((node, new_state));
+            if let Some(out) = record.as_deref_mut() {
+                out.push((node, action));
+            }
         }
         self.scratch_chosen = chosen;
 
-        // Commit all writes atomically.
-        let mut executed = Vec::with_capacity(writes.len());
-        for (node, state, action) in writes {
+        // Commit all writes atomically; remove executed processors from
+        // the round frontier; seed the dirty queue (executed nodes plus
+        // their CSR neighborhoods — the only guards that can have flipped).
+        self.epoch += 1;
+        let net = self.net;
+        let mut dirty = std::mem::take(&mut self.dirty);
+        dirty.clear();
+        for (node, state) in writes.drain(..) {
             self.config[node.index()] = state;
-            executed.push((node, action));
-        }
-        self.steps += 1;
-        self.moves += executed.len() as u64;
-
-        // Round accounting: remove executed processors from the frontier,
-        // then neutralize frontier processors that are no longer enabled.
-        for (node, _) in &executed {
             if std::mem::replace(&mut self.round_frontier[node.index()], false) {
                 self.frontier_count -= 1;
             }
-        }
-        if self.frontier_count > 0 {
-            self.fill_enabled(&mut actions, &mut enabled);
-            let mut enabled_mask = std::mem::take(&mut self.scratch_node_mask);
-            enabled_mask.iter_mut().for_each(|b| *b = false);
-            for e in &enabled {
-                enabled_mask[e.node.index()] = true;
+            if !self.full_sweep {
+                self.mark_dirty(node, &mut dirty);
+                for &q in net.graph().neighbors(node) {
+                    self.mark_dirty(q, &mut dirty);
+                }
             }
-            for (frontier, enabled) in self.round_frontier.iter_mut().zip(&enabled_mask) {
-                if *frontier && !enabled {
-                    *frontier = false;
+        }
+        self.scratch_writes = writes;
+        self.steps += 1;
+        self.moves += choices.len() as u64;
+        self.scratch_choices = {
+            choices.clear();
+            choices
+        };
+
+        if self.full_sweep {
+            // Reference mode: full re-sweep, neutralize frontier
+            // processors that are no longer enabled.
+            if self.frontier_count > 0 {
+                self.fill_enabled(&mut actions, &mut enabled);
+                let mut enabled_mask = std::mem::take(&mut self.scratch_node_mask);
+                enabled_mask.iter_mut().for_each(|b| *b = false);
+                for e in &enabled {
+                    enabled_mask[e.node.index()] = true;
+                }
+                for (frontier, enabled) in self.round_frontier.iter_mut().zip(&enabled_mask) {
+                    if *frontier && !enabled {
+                        *frontier = false;
+                        self.frontier_count -= 1;
+                    }
+                }
+                self.scratch_node_mask = enabled_mask;
+            }
+        } else if dirty.len() * 4 >= self.net.node_count() {
+            // Dense dirty set (e.g. the synchronous daemon mid-
+            // stabilization): per-node sorted inserts/removes would
+            // memmove `O(dirty · |enabled|)` entries. Update the counts,
+            // then rebuild the sorted list in one O(n) pass over the
+            // count array — no guard is evaluated more than once either
+            // way, so the result is identical.
+            for &d in &dirty {
+                let d = d as usize;
+                let node = NodeId::new(d);
+                actions.clear();
+                let view = ConfigView::new(self.net, node, &self.config);
+                self.protocol.enabled(&view, &mut actions);
+                let new = actions.len() as u32;
+                self.action_count[d] = new;
+                if new == 0 && self.round_frontier[d] {
+                    self.round_frontier[d] = false;
                     self.frontier_count -= 1;
                 }
             }
-            self.scratch_node_mask = enabled_mask;
+            enabled.clear();
+            enabled.extend(
+                self.action_count
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| EnabledNode {
+                        node: NodeId::new(i),
+                        action_count: c as usize,
+                    }),
+            );
+        } else {
+            // Sparse dirty set: re-evaluate guards of dirty nodes only
+            // and fold each delta into the sorted list. A frontier
+            // processor can only have become disabled if it is dirty, so
+            // the same loop neutralizes the frontier.
+            for &d in &dirty {
+                let d = d as usize;
+                let new = self.refresh_node(d, &mut actions, &mut enabled);
+                if new == 0 && self.round_frontier[d] {
+                    self.round_frontier[d] = false;
+                    self.frontier_count -= 1;
+                }
+            }
         }
-        self.scratch_enabled = enabled;
+        self.dirty = dirty;
+        self.restore_enabled(enabled);
         self.scratch_actions = actions;
+
         if self.frontier_count == 0 {
             self.rounds += 1;
-            self.reset_round_frontier();
+            if self.full_sweep {
+                self.reset_round_frontier();
+            } else {
+                // Every frontier bit is false here (each was individually
+                // cleared), so seeding costs O(|enabled|), not O(n).
+                self.frontier_count = self.enabled_list.len();
+                for e in &self.enabled_list {
+                    self.round_frontier[e.node.index()] = true;
+                }
+            }
         }
+        true
+    }
 
-        StepOutcome::Executed(executed)
+    /// Puts the taken enabled vector back where it came from.
+    fn restore_enabled(&mut self, enabled: Vec<EnabledNode>) {
+        if self.full_sweep {
+            self.scratch_enabled = enabled;
+        } else {
+            self.enabled_list = enabled;
+        }
     }
 
     /// Runs until `stop` holds on the configuration or `max_steps` elapse.
@@ -354,7 +652,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         let mut converged = stop(&self.config);
         let mut budget = max_steps;
         while !converged && budget > 0 {
-            if self.step(daemon).is_silent() {
+            if !self.step_commit(daemon) {
                 break;
             }
             budget -= 1;
@@ -373,7 +671,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         let (s0, m0, r0) = (self.steps, self.moves, self.rounds);
         let mut converged = false;
         for _ in 0..max_steps {
-            if self.step(daemon).is_silent() {
+            if !self.step_commit(daemon) {
                 converged = true;
                 break;
             }
@@ -397,7 +695,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         let mut silent = false;
         let mut budget = max_steps;
         while self.rounds < target && budget > 0 {
-            if self.step(daemon).is_silent() {
+            if !self.step_commit(daemon) {
                 silent = true;
                 break;
             }
@@ -557,5 +855,64 @@ mod tests {
         let run = sim.run_rounds(&mut CentralRoundRobin::new(), 2, 10_000);
         assert!(run.converged);
         assert!(run.rounds >= 2 || sim.enabled_nodes().is_empty());
+    }
+
+    #[test]
+    fn enabled_cache_tracks_full_sweep_every_step() {
+        // The cross-mode invariant, probed directly: after every step the
+        // incremental list equals a fresh full sweep.
+        let net = net(9);
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        let mut daemon = DistributedRandom::seeded(11);
+        for _ in 0..200 {
+            let mut scratch = Vec::new();
+            let mut swept = Vec::new();
+            sim.fill_enabled(&mut scratch, &mut swept);
+            assert_eq!(sim.enabled_nodes(), swept, "cache == sweep");
+            if sim.step(&mut daemon).is_silent() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn full_sweep_mode_matches_incremental_exactly() {
+        let net = net(10);
+        let mut a = Simulation::from_initial(&net, HopDistance);
+        let mut b = Simulation::from_initial(&net, HopDistance);
+        b.set_full_sweep(true);
+        assert!(b.is_full_sweep() && !a.is_full_sweep());
+        let mut da = DistributedRandom::seeded(3);
+        let mut db = DistributedRandom::seeded(3);
+        loop {
+            let oa = a.step(&mut da);
+            let ob = b.step(&mut db);
+            assert_eq!(oa, ob, "identical step outcomes");
+            assert_eq!(a.config(), b.config());
+            assert_eq!(
+                (a.steps(), a.moves(), a.rounds()),
+                (b.steps(), b.moves(), b.rounds())
+            );
+            if oa.is_silent() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn toggling_full_sweep_mid_run_stays_consistent() {
+        let net = net(12);
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        let mut daemon = CentralRoundRobin::new();
+        for i in 0..50 {
+            sim.set_full_sweep(i % 3 == 0);
+            if sim.step(&mut daemon).is_silent() {
+                break;
+            }
+        }
+        sim.set_full_sweep(false);
+        let run = sim.run_until_silent(&mut daemon, 10_000);
+        assert!(run.converged);
+        assert!(hop_distance_legit(&net, sim.config()));
     }
 }

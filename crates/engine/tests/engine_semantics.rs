@@ -165,11 +165,13 @@ fn model_checker_panics_on_lying_state_spaces() {
 fn duplicate_selection_is_rejected() {
     struct Doubler;
     impl sno_engine::daemon::Daemon for Doubler {
-        fn select(
+        fn select_into(
             &mut self,
             _enabled: &[sno_engine::daemon::EnabledNode],
-        ) -> Vec<sno_engine::daemon::Choice> {
-            vec![
+            out: &mut Vec<sno_engine::daemon::Choice>,
+        ) {
+            out.clear();
+            out.extend([
                 sno_engine::daemon::Choice {
                     enabled_index: 0,
                     action_index: 0,
@@ -178,7 +180,7 @@ fn duplicate_selection_is_rejected() {
                     enabled_index: 0,
                     action_index: 0,
                 },
-            ]
+            ]);
         }
     }
     let net = Network::new(generators::path(2), NodeId::new(0));

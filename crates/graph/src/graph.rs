@@ -57,6 +57,13 @@ impl std::error::Error for GraphError {}
 /// mirrors the paper's assumption that each processor maintains its neighbor
 /// set `N_p` via an underlying protocol.
 ///
+/// Adjacency is stored in **CSR (compressed sparse row) layout**: one flat
+/// neighbor array plus per-node offsets, so [`Graph::neighbors`] and
+/// [`Graph::back_ports`] are contiguous slices of one allocation. Hot loops
+/// that fan out over a node's neighborhood (the engine's incremental
+/// enabled-set maintenance in particular) iterate cache-line-adjacent
+/// memory and never allocate.
+///
 /// `Graph` is immutable once built; use [`GraphBuilder`] or
 /// [`Graph::from_edges`] to construct one.
 ///
@@ -75,20 +82,24 @@ impl std::error::Error for GraphError {}
 #[derive(Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
-    /// `adj[u][p]` = neighbor of `u` through port `p`.
-    adj: Vec<Vec<NodeId>>,
-    /// `back[u][p]` = port of the same edge at `adj[u][p]`.
-    back: Vec<Vec<Port>>,
+    /// Node `u`'s ports occupy `flat_adj[offsets[u] .. offsets[u + 1]]`.
+    offsets: Vec<u32>,
+    /// Flat neighbor array: `flat_adj[offsets[u] + p]` = neighbor of `u`
+    /// through port `p`.
+    flat_adj: Vec<NodeId>,
+    /// Flat back-port array, aligned with `flat_adj`.
+    flat_back: Vec<Port>,
     /// Number of undirected edges.
     m: usize,
 }
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let adj: Vec<&[NodeId]> = self.nodes().map(|p| self.neighbors(p)).collect();
         f.debug_struct("Graph")
             .field("n", &self.node_count())
             .field("m", &self.m)
-            .field("adj", &self.adj)
+            .field("adj", &adj)
             .finish()
     }
 }
@@ -115,7 +126,7 @@ impl Graph {
 
     /// Number of processors `|V|`.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of bidirectional links `|E|`.
@@ -123,9 +134,15 @@ impl Graph {
         self.m
     }
 
+    /// The CSR range of node `p`'s ports in the flat arrays.
+    #[inline]
+    fn range(&self, p: NodeId) -> std::ops::Range<usize> {
+        self.offsets[p.index()] as usize..self.offsets[p.index() + 1] as usize
+    }
+
     /// Iterator over all node identifiers, in index order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len()).map(NodeId::new)
+        (0..self.node_count()).map(NodeId::new)
     }
 
     /// Degree `Δ_p` of node `p`.
@@ -134,21 +151,27 @@ impl Graph {
     ///
     /// Panics if `p` is out of range.
     pub fn degree(&self, p: NodeId) -> usize {
-        self.adj[p.index()].len()
+        self.range(p).len()
     }
 
     /// The maximum degree `Δ` over all nodes.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Neighbors of `p` in port order.
+    /// Neighbors of `p` in port order — a contiguous slice of the CSR
+    /// neighbor array.
     ///
     /// # Panics
     ///
     /// Panics if `p` is out of range.
+    #[inline]
     pub fn neighbors(&self, p: NodeId) -> &[NodeId] {
-        &self.adj[p.index()]
+        &self.flat_adj[self.range(p)]
     }
 
     /// The neighbor of `p` through port `l`.
@@ -156,8 +179,9 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `p` or `l` is out of range.
+    #[inline]
     pub fn neighbor(&self, p: NodeId, l: Port) -> NodeId {
-        self.adj[p.index()][l.index()]
+        self.neighbors(p)[l.index()]
     }
 
     /// The port of the edge `(p, q)` at the *other* endpoint `q`, where the
@@ -169,21 +193,22 @@ impl Graph {
     ///
     /// Panics if `p` or `l` is out of range.
     pub fn back_port(&self, p: NodeId, l: Port) -> Port {
-        self.back[p.index()][l.index()]
+        self.back_ports(p)[l.index()]
     }
 
-    /// All back ports of `p`, in port order.
+    /// All back ports of `p`, in port order — a contiguous slice of the
+    /// CSR back-port array.
     ///
     /// # Panics
     ///
     /// Panics if `p` is out of range.
     pub fn back_ports(&self, p: NodeId) -> &[Port] {
-        &self.back[p.index()]
+        &self.flat_back[self.range(p)]
     }
 
     /// Finds the port of `p` that leads to `q`, if the edge exists.
     pub fn port_to(&self, p: NodeId, q: NodeId) -> Option<Port> {
-        self.adj[p.index()]
+        self.neighbors(p)
             .iter()
             .position(|&x| x == q)
             .map(Port::new)
@@ -192,19 +217,21 @@ impl Graph {
     /// Iterator over all undirected edges as `(u, v)` pairs with
     /// `u.index() < v.index()`, each edge reported once.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, ns)| {
-            ns.iter()
-                .filter(move |v| u < v.index())
-                .map(move |&v| (NodeId::new(u), v))
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |v| u.index() < v.index())
+                .map(move |&v| (u, v))
         })
     }
 
     /// `true` iff the graph is connected (the paper's model requires it).
     pub fn is_connected(&self) -> bool {
-        if self.adj.is_empty() {
+        let n = self.node_count();
+        if n == 0 {
             return false;
         }
-        let mut seen = vec![false; self.adj.len()];
+        let mut seen = vec![false; n];
         let mut stack = vec![NodeId::new(0)];
         seen[0] = true;
         let mut count = 1;
@@ -217,7 +244,7 @@ impl Graph {
                 }
             }
         }
-        count == self.adj.len()
+        count == n
     }
 
     /// `true` iff the graph is a tree (`connected` and `m == n − 1`).
@@ -278,9 +305,9 @@ impl GraphBuilder {
         if self.n == 0 {
             return Err(GraphError::Empty);
         }
+        // First pass: validate and count degrees for the CSR offsets.
         let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(self.edges.len());
-        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.n];
-        let mut back: Vec<Vec<Port>> = vec![Vec::new(); self.n];
+        let mut degree = vec![0u32; self.n];
         for &(u, v) in &self.edges {
             if u >= self.n {
                 return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
@@ -295,16 +322,35 @@ impl GraphBuilder {
             if !seen.insert(key) {
                 return Err(GraphError::DuplicateEdge { a: u, b: v });
             }
-            let pu = Port::new(adj[u].len());
-            let pv = Port::new(adj[v].len());
-            adj[u].push(NodeId::new(v));
-            adj[v].push(NodeId::new(u));
-            back[u].push(pv);
-            back[v].push(pu);
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            total += d;
+            offsets.push(total);
+        }
+        // Second pass: fill the flat arrays; `cursor[u] - offsets[u]` is the
+        // next free port of `u`, so ports keep their edge-list order.
+        let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
+        let mut flat_adj = vec![NodeId::new(0); total as usize];
+        let mut flat_back = vec![Port::new(0); total as usize];
+        for &(u, v) in &self.edges {
+            let pu = cursor[u] - offsets[u];
+            let pv = cursor[v] - offsets[v];
+            flat_adj[cursor[u] as usize] = NodeId::new(v);
+            flat_back[cursor[u] as usize] = Port::new(pv as usize);
+            flat_adj[cursor[v] as usize] = NodeId::new(u);
+            flat_back[cursor[v] as usize] = Port::new(pu as usize);
+            cursor[u] += 1;
+            cursor[v] += 1;
         }
         Ok(Graph {
-            adj,
-            back,
+            offsets,
+            flat_adj,
+            flat_back,
             m: self.edges.len(),
         })
     }

@@ -1,0 +1,9 @@
+//! The `sno-lab` binary: ad-hoc scenario campaigns from the command line.
+//!
+//! All logic lives in [`sno_lab::cli`]; this is the thinnest possible
+//! `main` so the parsing and execution paths stay unit-testable.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(sno_lab::cli::main_with_args(&args));
+}

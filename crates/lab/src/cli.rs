@@ -1,0 +1,354 @@
+//! The `sno-lab` command line: ad-hoc campaigns without writing Rust.
+//!
+//! Every scenario coordinate already has a stable string name with a
+//! `Display`/`FromStr` round-trip ([`GeneratorSpec`], [`ProtocolSpec`],
+//! [`DaemonSpec`], [`FaultPlan`]), so a campaign is fully describable on a
+//! command line:
+//!
+//! ```sh
+//! sno-lab run --topologies ring,star --sizes 16,32 \
+//!     --protocols dftno/oracle-token,stno/bfs-tree \
+//!     --daemons central-random --seeds 0:8 --threads 4 --json out.json
+//! sno-lab list   # print every known coordinate name
+//! ```
+//!
+//! Parsing lives here (not in the binary) so it is unit-testable; the
+//! `sno-lab` binary is a thin `main` over [`main_with_args`].
+
+use std::str::FromStr;
+
+use sno_graph::GeneratorSpec;
+
+use crate::matrix::ScenarioMatrix;
+use crate::runner::run_campaign_with_threads;
+use crate::spec::{DaemonSpec, FaultPlan, ProtocolSpec};
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `sno-lab run …`: execute a campaign.
+    Run(Box<RunArgs>),
+    /// `sno-lab list`: print the known coordinate names.
+    List,
+    /// `sno-lab help` / `--help`.
+    Help,
+}
+
+/// Arguments of `sno-lab run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// The campaign to execute.
+    pub matrix: ScenarioMatrix,
+    /// Worker threads (`None` = available parallelism).
+    pub threads: Option<usize>,
+    /// Write the `sno-lab/v1` JSON document here.
+    pub json: Option<String>,
+}
+
+/// The usage text printed by `help` and on parse errors.
+pub const USAGE: &str = "\
+sno-lab — declarative scenario-fleet campaigns
+
+USAGE:
+    sno-lab run [OPTIONS]     execute a campaign, print the Markdown table
+    sno-lab list              print every known topology/protocol/daemon name
+    sno-lab help              show this text
+
+RUN OPTIONS (comma-separated lists):
+    --topologies LIST     topology families, e.g. ring,star,random-sparse:2 (required)
+    --sizes LIST          target node counts, e.g. 16,64 (required)
+    --protocols LIST      protocol stacks, e.g. dftno/oracle-token (required)
+    --daemons LIST        daemons, e.g. central-random,distributed (required)
+    --faults LIST         fault plans: none or hit:K       [default: none]
+    --seeds START:COUNT   seed range                       [default: 0:8]
+    --graph-seed N        topology-instantiation seed
+    --max-steps N         per-run step budget
+    --name NAME           campaign name                    [default: cli]
+    --threads N           worker threads                   [default: all cores]
+    --json PATH           also write the sno-lab/v1 JSON document to PATH
+";
+
+fn parse_list<T: FromStr>(what: &str, s: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.parse::<T>().map_err(|e| format!("bad {what}: {e}")))
+        .collect()
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message (print it with [`USAGE`]) on unknown
+/// subcommands, unknown flags, missing values, or unparsable coordinates.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    match sub {
+        "help" | "--help" | "-h" => return Ok(Command::Help),
+        "list" => return Ok(Command::List),
+        "run" => {}
+        other => return Err(format!("unknown subcommand `{other}`")),
+    }
+
+    let mut matrix = ScenarioMatrix::new("cli");
+    let mut threads = None;
+    let mut json = None;
+    let mut saw = (false, false, false, false); // topologies, sizes, protocols, daemons
+    while let Some(flag) = it.next() {
+        // Accept both `--flag value` and `--flag=value`.
+        let (flag, inline) = match flag.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (flag.as_str(), None),
+        };
+        let mut value = || -> Result<String, String> {
+            match &inline {
+                Some(v) => Ok(v.clone()),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("`{flag}` needs a value")),
+            }
+        };
+        match flag {
+            "--topologies" => {
+                matrix.topologies = parse_list::<GeneratorSpec>("topology", &value()?)?;
+                saw.0 = true;
+            }
+            "--sizes" => {
+                matrix.sizes = parse_list::<usize>("size", &value()?)?;
+                saw.1 = true;
+            }
+            "--protocols" => {
+                matrix.protocols = parse_list::<ProtocolSpec>("protocol", &value()?)?;
+                saw.2 = true;
+            }
+            "--daemons" => {
+                matrix.daemons = parse_list::<DaemonSpec>("daemon", &value()?)?;
+                saw.3 = true;
+            }
+            "--faults" => matrix.faults = parse_list::<FaultPlan>("fault plan", &value()?)?,
+            "--seeds" => {
+                let v = value()?;
+                let (start, count) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad seed range `{v}` (want START:COUNT)"))?;
+                matrix.seed_start = start
+                    .parse()
+                    .map_err(|_| format!("bad seed start `{start}`"))?;
+                matrix.seeds_per_cell = count
+                    .parse()
+                    .map_err(|_| format!("bad seed count `{count}`"))?;
+            }
+            "--graph-seed" => {
+                let v = value()?;
+                matrix.graph_seed = v.parse().map_err(|_| format!("bad graph seed `{v}`"))?;
+            }
+            "--max-steps" => {
+                let v = value()?;
+                matrix.max_steps = v.parse().map_err(|_| format!("bad step budget `{v}`"))?;
+            }
+            "--name" => matrix.name = value()?,
+            "--threads" => {
+                let v = value()?;
+                let t: usize = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                if t == 0 {
+                    return Err("`--threads` must be at least 1".into());
+                }
+                threads = Some(t);
+            }
+            "--json" => json = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let missing = [
+        (!saw.0).then_some("--topologies"),
+        (!saw.1).then_some("--sizes"),
+        (!saw.2).then_some("--protocols"),
+        (!saw.3).then_some("--daemons"),
+    ];
+    let missing: Vec<&str> = missing.into_iter().flatten().collect();
+    if !missing.is_empty() {
+        return Err(format!("missing required {}", missing.join(", ")));
+    }
+    matrix.validate()?;
+    Ok(Command::Run(Box::new(RunArgs {
+        matrix,
+        threads,
+        json,
+    })))
+}
+
+/// The coordinate listing printed by `sno-lab list`.
+pub fn coordinate_listing() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "topologies (parameterized families accept `name:K`):");
+    for t in GeneratorSpec::PRESETS {
+        let _ = writeln!(out, "  {t}");
+    }
+    let _ = writeln!(out, "protocols:");
+    for p in ProtocolSpec::ALL {
+        let _ = writeln!(out, "  {p}");
+    }
+    let _ = writeln!(out, "daemons:");
+    for d in DaemonSpec::ALL {
+        let _ = writeln!(out, "  {d}");
+    }
+    let _ = writeln!(out, "fault plans:");
+    let _ = writeln!(out, "  none");
+    let _ = writeln!(out, "  hit:K    corrupt K processors after convergence");
+    out
+}
+
+/// Parses `args`, runs the requested command, prints its output, and
+/// returns the process exit code. The `sno-lab` binary delegates here.
+pub fn main_with_args(args: &[String]) -> i32 {
+    let cmd = match parse_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    match cmd {
+        Command::Help => {
+            print!("{USAGE}");
+            0
+        }
+        Command::List => {
+            print!("{}", coordinate_listing());
+            0
+        }
+        Command::Run(run) => {
+            let threads = run.threads.unwrap_or_else(crate::fleet::default_threads);
+            let report = run_campaign_with_threads(&run.matrix, threads);
+            print!("{}", report.to_markdown());
+            if let Some(path) = run.json {
+                if let Err(e) = report.write_json(&path) {
+                    eprintln!("error: cannot write campaign JSON to `{path}`: {e}");
+                    return 1;
+                }
+                println!("campaign JSON written to {path}");
+            }
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{TokenSubstrate, TreeSubstrate};
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_a_full_run_invocation() {
+        let cmd = parse_args(&args(
+            "run --topologies ring,random-sparse:2 --sizes 8,16 \
+             --protocols dftno/oracle-token,stno/bfs-tree \
+             --daemons central-random --faults none,hit:2 \
+             --seeds 5:3 --graph-seed 9 --max-steps 1000 \
+             --name demo --threads 2 --json out.json",
+        ))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(run.threads, Some(2));
+        assert_eq!(run.json.as_deref(), Some("out.json"));
+        let m = &run.matrix;
+        assert_eq!(m.name, "demo");
+        assert_eq!(
+            m.topologies,
+            vec![
+                GeneratorSpec::Ring,
+                GeneratorSpec::RandomSparse { extra_per_node: 2 }
+            ]
+        );
+        assert_eq!(m.sizes, vec![8, 16]);
+        assert_eq!(
+            m.protocols,
+            vec![
+                ProtocolSpec::Dftno(TokenSubstrate::Oracle),
+                ProtocolSpec::Stno(TreeSubstrate::Bfs)
+            ]
+        );
+        assert_eq!(m.daemons, vec![DaemonSpec::CentralRandom]);
+        assert_eq!(
+            m.faults,
+            vec![FaultPlan::None, FaultPlan::AfterConvergence { hits: 2 }]
+        );
+        assert_eq!((m.seed_start, m.seeds_per_cell), (5, 3));
+        assert_eq!(m.graph_seed, 9);
+        assert_eq!(m.max_steps, 1000);
+    }
+
+    #[test]
+    fn equals_form_flags_parse_too() {
+        let cmd = parse_args(&args(
+            "run --topologies=star --sizes=8 --protocols=stno/oracle-tree \
+             --daemons=synchronous --seeds=0:2",
+        ))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(run.matrix.topologies, vec![GeneratorSpec::Star]);
+        assert_eq!(run.matrix.seeds_per_cell, 2);
+    }
+
+    #[test]
+    fn rejects_missing_dimensions_and_bad_coordinates() {
+        let e = parse_args(&args("run --topologies ring")).unwrap_err();
+        assert!(e.contains("--sizes") && e.contains("--protocols"), "{e}");
+        let e = parse_args(&args(
+            "run --topologies mobius --sizes 8 --protocols stno/oracle-tree --daemons synchronous",
+        ))
+        .unwrap_err();
+        assert!(e.contains("mobius"), "{e}");
+        let e = parse_args(&args("fly")).unwrap_err();
+        assert!(e.contains("fly"), "{e}");
+        let e = parse_args(&args(
+            "run --topologies ring --sizes 8 --protocols stno/oracle-tree \
+             --daemons synchronous --seeds 0:0",
+        ))
+        .unwrap_err();
+        assert!(e.contains("seed"), "{e}");
+    }
+
+    #[test]
+    fn help_and_list_commands() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args("list")).unwrap(), Command::List);
+        let listing = coordinate_listing();
+        for needle in ["ring", "dftno/oracle-token", "central-random", "hit:K"] {
+            assert!(listing.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn run_executes_a_tiny_campaign() {
+        let cmd = parse_args(&args(
+            "run --topologies ring --sizes 6 --protocols stno/oracle-tree \
+             --daemons synchronous --seeds 0:2 --max-steps 100000 --threads 2",
+        ))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        let report = run_campaign_with_threads(&run.matrix, run.threads.unwrap());
+        assert_eq!(report.total_runs, 2);
+        assert_eq!(report.total_converged, 2);
+    }
+}

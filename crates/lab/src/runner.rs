@@ -91,6 +91,32 @@ pub fn run_campaign(matrix: &ScenarioMatrix) -> CampaignReport {
     run_campaign_with_threads(matrix, fleet::default_threads())
 }
 
+/// One unit of fleet work: a contiguous seed sub-range of one cell.
+///
+/// A matrix with few heavy cells would underutilize a cell-granular
+/// fleet, so the runner splits each cell's seed range into chunks and
+/// re-assembles the per-cell records in seed order afterwards. Every
+/// `(cell, seed)` run derives all of its randomness from the run seed
+/// alone, so chunk boundaries (and therefore the thread count) cannot
+/// leak into the report.
+#[derive(Debug, Clone, Copy)]
+struct SeedChunk {
+    cell_index: usize,
+    seed_lo: u64,
+    seed_hi: u64,
+}
+
+/// Picks the per-cell chunk size: whole cells when there are already
+/// enough of them to keep the fleet busy, otherwise split so the campaign
+/// yields at least ~2 work items per worker (but never below one seed).
+fn seed_chunk_size(seeds_per_cell: u64, cell_count: usize, threads: usize) -> u64 {
+    if threads <= 1 || cell_count >= threads.saturating_mul(2) {
+        return seeds_per_cell.max(1);
+    }
+    let chunks_per_cell = ((threads * 2).div_ceil(cell_count.max(1))).max(1) as u64;
+    seeds_per_cell.div_ceil(chunks_per_cell).max(1)
+}
+
 /// [`run_campaign`] with an explicit worker-thread count.
 ///
 /// # Panics
@@ -101,7 +127,37 @@ pub fn run_campaign_with_threads(matrix: &ScenarioMatrix, threads: usize) -> Cam
         panic!("invalid scenario matrix: {e}");
     }
     let cells = matrix.cells();
-    let outcomes = fleet::parallel_map(&cells, threads, |_, cell| run_cell(cell, matrix));
+    let chunk = seed_chunk_size(matrix.seeds_per_cell, cells.len(), threads);
+    let seed_end = matrix.seed_start + matrix.seeds_per_cell;
+    let mut items: Vec<SeedChunk> = Vec::new();
+    for (cell_index, _) in cells.iter().enumerate() {
+        let mut lo = matrix.seed_start;
+        while lo < seed_end {
+            let hi = (lo + chunk).min(seed_end);
+            items.push(SeedChunk {
+                cell_index,
+                seed_lo: lo,
+                seed_hi: hi,
+            });
+            lo = hi;
+        }
+    }
+    let partials = fleet::parallel_map(&items, threads, |_, it| {
+        run_cell_seeds(&cells[it.cell_index], matrix, it.seed_lo, it.seed_hi)
+    });
+    // Stitch chunk outcomes back into whole cells. Items were generated
+    // cell-major with ascending seed ranges and `parallel_map` preserves
+    // input order, so plain concatenation restores seed order.
+    let mut outcomes: Vec<CellOutcome> = Vec::with_capacity(cells.len());
+    for (it, partial) in items.into_iter().zip(partials) {
+        match outcomes.last_mut() {
+            Some(prev) if it.seed_lo != matrix.seed_start => {
+                prev.runs.extend(partial.runs);
+            }
+            _ => outcomes.push(partial),
+        }
+    }
+    debug_assert_eq!(outcomes.len(), cells.len());
     let cell_reports: Vec<CellReport> = outcomes.iter().map(CellReport::from_outcome).collect();
     CampaignReport::new(matrix, cell_reports)
 }
@@ -109,6 +165,21 @@ pub fn run_campaign_with_threads(matrix: &ScenarioMatrix, threads: usize) -> Cam
 /// Runs every seed of one cell, reusing the network, simulation, and
 /// daemon allocations across seeds.
 pub fn run_cell(cell: &CellSpec, matrix: &ScenarioMatrix) -> CellOutcome {
+    run_cell_seeds(
+        cell,
+        matrix,
+        matrix.seed_start,
+        matrix.seed_start + matrix.seeds_per_cell,
+    )
+}
+
+/// Runs the seeds `seed_lo .. seed_hi` of one cell.
+fn run_cell_seeds(
+    cell: &CellSpec,
+    matrix: &ScenarioMatrix,
+    seed_lo: u64,
+    seed_hi: u64,
+) -> CellOutcome {
     let g = cell.topology.build(cell.n, matrix.graph_seed);
     let root = NodeId::new(0);
     match cell.protocol {
@@ -127,6 +198,8 @@ pub fn run_cell(cell: &CellSpec, matrix: &ScenarioMatrix) -> CellOutcome {
                     |net, c| dftno_matches(&golden, net, c),
                     cell,
                     matrix,
+                    seed_lo,
+                    seed_hi,
                 ),
                 TokenSubstrate::Dftc => drive(
                     &net,
@@ -135,6 +208,8 @@ pub fn run_cell(cell: &CellSpec, matrix: &ScenarioMatrix) -> CellOutcome {
                     |net, c| dftno_matches(&golden, net, c),
                     cell,
                     matrix,
+                    seed_lo,
+                    seed_hi,
                 ),
             }
         }
@@ -152,6 +227,8 @@ pub fn run_cell(cell: &CellSpec, matrix: &ScenarioMatrix) -> CellOutcome {
                     stno_oriented,
                     cell,
                     matrix,
+                    seed_lo,
+                    seed_hi,
                 ),
                 TreeSubstrate::Bfs => drive(
                     &net,
@@ -160,6 +237,8 @@ pub fn run_cell(cell: &CellSpec, matrix: &ScenarioMatrix) -> CellOutcome {
                     stno_oriented,
                     cell,
                     matrix,
+                    seed_lo,
+                    seed_hi,
                 ),
                 TreeSubstrate::CdDfs => drive(
                     &net,
@@ -168,6 +247,8 @@ pub fn run_cell(cell: &CellSpec, matrix: &ScenarioMatrix) -> CellOutcome {
                     stno_oriented,
                     cell,
                     matrix,
+                    seed_lo,
+                    seed_hi,
                 ),
             }
         }
@@ -187,7 +268,8 @@ fn dftno_matches<S>(
         .all(|(s, (&name, labels))| s.eta == name && s.pi == *labels)
 }
 
-/// Runs the cell's seed range for one concrete protocol stack.
+/// Runs one concrete protocol stack over the seeds `seed_lo .. seed_hi`.
+#[allow(clippy::too_many_arguments)]
 fn drive<P, L>(
     net: &Network,
     protocol: P,
@@ -195,15 +277,25 @@ fn drive<P, L>(
     legit: L,
     cell: &CellSpec,
     matrix: &ScenarioMatrix,
+    seed_lo: u64,
+    seed_hi: u64,
 ) -> CellOutcome
 where
     P: Protocol,
     L: Fn(&Network, &[P::State]) -> bool,
 {
+    // Built from the campaign-wide seed (not the chunk's), so a chunked
+    // and an unchunked fleet construct identical daemons.
     let mut daemon = cell.daemon.build(net, matrix.seed_start ^ DAEMON_SALT);
     let mut sim = Simulation::from_initial(net, protocol);
-    let mut runs = Vec::with_capacity(matrix.seeds_per_cell as usize);
-    for seed in matrix.seed_start..matrix.seed_start + matrix.seeds_per_cell {
+    // Differential hook: `SNO_ENGINE_FULL_SWEEP=1` runs the whole
+    // campaign on the full-sweep reference engine. Reports must come out
+    // byte-identical — CI regenerates `BENCH_campaign.json` both ways.
+    if std::env::var_os("SNO_ENGINE_FULL_SWEEP").is_some_and(|v| v == "1") {
+        sim.set_full_sweep(true);
+    }
+    let mut runs = Vec::with_capacity((seed_hi - seed_lo) as usize);
+    for seed in seed_lo..seed_hi {
         let mut rng = StdRng::seed_from_u64(seed);
         sim.reinit_random(&mut rng);
         daemon.reset(seed ^ DAEMON_SALT);
@@ -297,9 +389,6 @@ mod tests {
     use sno_graph::GeneratorSpec;
 
     fn tiny_matrix() -> ScenarioMatrix {
-        // Central-random rather than round-robin: daemons that always run
-        // action index 0 can starve DFTNO's Edgelabel repair behind the
-        // ever-enabled token action (see ROADMAP open items).
         ScenarioMatrix::new("tiny")
             .topologies([GeneratorSpec::Ring, GeneratorSpec::Star])
             .sizes([6])
@@ -330,6 +419,45 @@ mod tests {
         let a = run_campaign_with_threads(&m, 1);
         let b = run_campaign_with_threads(&m, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_chunk_size_policy() {
+        // Plenty of cells: keep whole cells as the work unit.
+        assert_eq!(seed_chunk_size(100, 64, 8), 100);
+        // A single heavy cell on 4 threads splits into ≥ 8 chunks.
+        assert!(seed_chunk_size(100, 1, 4) <= 13);
+        // Never degenerates below one seed per chunk.
+        assert_eq!(seed_chunk_size(1, 1, 8), 1);
+        // Single-threaded fleets do not pay the chunking overhead.
+        assert_eq!(seed_chunk_size(100, 1, 1), 100);
+    }
+
+    #[test]
+    fn seed_chunking_splits_heavy_cells_and_stays_byte_identical() {
+        // One cell, 13 seeds: cell-granular work would serialize on one
+        // worker, so this exercises the chunked path — and the report
+        // must not depend on how (or whether) the range was split.
+        let m = ScenarioMatrix::new("heavy-cell")
+            .topologies([GeneratorSpec::Ring])
+            .sizes([8])
+            .protocols([ProtocolSpec::Stno(TreeSubstrate::Oracle)])
+            .daemons([DaemonSpec::Distributed])
+            .seeds(3, 13)
+            .max_steps(1_000_000);
+        let a = run_campaign_with_threads(&m, 1);
+        let b = run_campaign_with_threads(&m, 4);
+        let c = run_campaign_with_threads(&m, 7);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.to_json(), c.to_json(), "byte-identical JSON");
+        assert_eq!(a.cells[0].runs, 13);
+        let seeds: Vec<u64> = run_cell(&m.cells()[0], &m)
+            .runs
+            .iter()
+            .map(|r| r.seed)
+            .collect();
+        assert_eq!(seeds, (3..16).collect::<Vec<u64>>(), "seed order");
     }
 
     #[test]

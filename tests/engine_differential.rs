@@ -1,0 +1,218 @@
+//! Differential tests of the incremental enabled-set engine against the
+//! full-sweep reference mode.
+//!
+//! The incremental engine re-evaluates guards only at executed processors
+//! and their neighbors; the reference mode re-sweeps every guard twice
+//! per step. The two must be **indistinguishable**: identical enabled
+//! sets (contents *and* NodeId order — the daemons index into them),
+//! identical step outcomes, configurations, and move/step/round counters,
+//! at every step, for every protocol stack, daemon, and topology family.
+//!
+//! Coverage: 4 protocols (`DFTNO`, `STNO`, the raw token circulation, the
+//! raw BFS tree) × 4 daemons × 4 topology families, stepped in lockstep,
+//! plus a proptest over random networks and seeds asserting equal
+//! `RunResult`s and final configurations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sno::core::dftno::Dftno;
+use sno::core::stno::Stno;
+use sno::engine::daemon::Daemon;
+use sno::engine::{Network, Protocol, Simulation};
+use sno::graph::{generators, NodeId};
+use sno::lab::DaemonSpec;
+use sno::token::{DfsTokenCirculation, OracleToken};
+use sno::tree::BfsSpanningTree;
+
+/// The topology families of the differential matrix.
+fn topologies(n: usize) -> Vec<(&'static str, sno::graph::Graph)> {
+    vec![
+        ("path", generators::path(n)),
+        ("star", generators::star(n)),
+        ("random-tree", generators::random_tree(n, 31)),
+        ("torus", generators::torus(4, 3)),
+    ]
+}
+
+/// The daemon families of the differential matrix (covers a rotating, a
+/// maximal, a randomized-subset, and a randomized-central scheduler).
+const DAEMONS: [DaemonSpec; 4] = [
+    DaemonSpec::CentralRoundRobin,
+    DaemonSpec::Synchronous,
+    DaemonSpec::Distributed,
+    DaemonSpec::CentralRandom,
+];
+
+/// Steps the incremental engine and the full-sweep reference in lockstep
+/// from identical random configurations and asserts a bit-identical
+/// trace: enabled set (order included), outcome, configuration, and
+/// counters after every step.
+fn assert_identical_traces<P>(
+    label: &str,
+    net: &Network,
+    protocol: P,
+    daemon_spec: DaemonSpec,
+    seed: u64,
+    max_steps: u64,
+) where
+    P: Protocol + Clone,
+{
+    let mut rng_a = StdRng::seed_from_u64(seed);
+    let mut incremental = Simulation::from_random(net, protocol.clone(), &mut rng_a);
+    let mut rng_b = StdRng::seed_from_u64(seed);
+    let mut reference = Simulation::from_random(net, protocol, &mut rng_b);
+    reference.set_full_sweep(true);
+    assert_eq!(
+        incremental.config(),
+        reference.config(),
+        "{label}: same start"
+    );
+
+    let mut daemon_a: Box<dyn Daemon> = daemon_spec.build(net, seed);
+    let mut daemon_b: Box<dyn Daemon> = daemon_spec.build(net, seed);
+    for step in 0..max_steps {
+        assert_eq!(
+            incremental.enabled_nodes(),
+            reference.enabled_nodes(),
+            "{label}: enabled sets (and their NodeId order) at step {step}"
+        );
+        let oa = incremental.step(&mut daemon_a);
+        let ob = reference.step(&mut daemon_b);
+        assert_eq!(oa, ob, "{label}: outcome at step {step}");
+        assert_eq!(
+            incremental.config(),
+            reference.config(),
+            "{label}: config at step {step}"
+        );
+        assert_eq!(
+            (
+                incremental.steps(),
+                incremental.moves(),
+                incremental.rounds()
+            ),
+            (reference.steps(), reference.moves(), reference.rounds()),
+            "{label}: counters at step {step}"
+        );
+        if oa.is_silent() {
+            break;
+        }
+    }
+}
+
+/// Runs the whole daemon × topology sub-matrix for one protocol builder.
+fn differential_matrix<P, F>(protocol_name: &str, steps: u64, build: F)
+where
+    P: Protocol + Clone,
+    F: Fn(&Network) -> P,
+{
+    for (topo, g) in topologies(12) {
+        let net = Network::new(g, NodeId::new(0));
+        let protocol = build(&net);
+        for (i, d) in DAEMONS.into_iter().enumerate() {
+            let label = format!("{protocol_name} × {d} × {topo}");
+            assert_identical_traces(&label, &net, protocol.clone(), d, 900 + i as u64, steps);
+        }
+    }
+}
+
+#[test]
+fn dftno_traces_are_identical() {
+    differential_matrix("dftno", 400, |net| {
+        Dftno::new(OracleToken::new(net.graph(), net.root()))
+    });
+}
+
+#[test]
+fn stno_traces_are_identical() {
+    differential_matrix("stno", 400, |_| Stno::new(BfsSpanningTree));
+}
+
+#[test]
+fn token_circulation_traces_are_identical() {
+    differential_matrix("token", 400, |_| DfsTokenCirculation);
+}
+
+#[test]
+fn spanning_tree_traces_are_identical() {
+    differential_matrix("tree", 400, |_| BfsSpanningTree);
+}
+
+#[test]
+fn enabled_nodes_order_is_nodeid_sorted() {
+    // Regression: daemons index into the enabled slice, so the engine
+    // guarantees ascending NodeId order. Probe it from arbitrary (highly
+    // enabled) configurations and along a run.
+    let g = generators::random_connected(18, 12, 5);
+    let net = Network::new(g, NodeId::new(0));
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut sim = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+    let mut daemon = DaemonSpec::Distributed.build(&net, 8);
+    for step in 0..300 {
+        let enabled = sim.enabled_nodes();
+        assert!(
+            enabled
+                .windows(2)
+                .all(|w| w[0].node.index() < w[1].node.index()),
+            "enabled set not NodeId-sorted at step {step}: {enabled:?}"
+        );
+        if sim.step(&mut daemon).is_silent() {
+            break;
+        }
+    }
+}
+
+fn arb_run() -> impl Strategy<Value = (usize, usize, u64, u64)> {
+    // (nodes, extra edges, graph seed, run seed)
+    (5usize..=16, 0usize..=12, any::<u64>(), any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: for random networks and seeds, both engines report the
+    /// same `RunResult` counters and final configuration after a bounded
+    /// `run_until_silent` (exercising the allocation-free commit path).
+    #[test]
+    fn run_results_agree_on_random_networks((n, extra, gseed, seed) in arb_run()) {
+        let g = generators::random_connected(n, extra, gseed);
+        let net = Network::new(g, NodeId::new(0));
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut incremental = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut reference = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+        reference.set_full_sweep(true);
+
+        let mut da = DaemonSpec::CentralRandom.build(&net, seed);
+        let mut db = DaemonSpec::CentralRandom.build(&net, seed);
+        let ra = incremental.run_until_silent(&mut da, 200_000);
+        let rb = reference.run_until_silent(&mut db, 200_000);
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(incremental.config(), reference.config());
+    }
+
+    /// The same property for a non-silent stack (`DFTNO` over the oracle
+    /// token) under a bounded `run_until`.
+    #[test]
+    fn bounded_runs_agree_on_dftno((n, extra, gseed, seed) in arb_run()) {
+        let g = generators::random_connected(n, extra, gseed);
+        let net = Network::new(g, NodeId::new(0));
+        let proto = Dftno::new(OracleToken::new(net.graph(), net.root()));
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut incremental = Simulation::from_random(&net, proto.clone(), &mut rng);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut reference = Simulation::from_random(&net, proto, &mut rng);
+        reference.set_full_sweep(true);
+
+        let mut da = DaemonSpec::Distributed.build(&net, seed);
+        let mut db = DaemonSpec::Distributed.build(&net, seed);
+        let budget = 500 + (seed % 500);
+        let ra = incremental.run_until(&mut da, budget, |_| false);
+        let rb = reference.run_until(&mut db, budget, |_| false);
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(incremental.config(), reference.config());
+        prop_assert_eq!(incremental.enabled_nodes(), reference.enabled_nodes());
+    }
+}
