@@ -1,29 +1,38 @@
-//! Measures the incremental enabled-set engine against the full-sweep
+//! Measures the node-dirty and port-dirty engines against the full-sweep
 //! reference and writes `BENCH_engine.json`.
 //!
 //! ```sh
 //! cargo run --release -p sno-bench --bin engine_bench             # full sweep of sizes
 //! cargo run --release -p sno-bench --bin engine_bench -- --quick  # CI smoke (64, 512)
 //! cargo run --release -p sno-bench --bin engine_bench -- --json=out.json
+//! cargo run --release -p sno-bench --bin engine_bench -- --baseline=BENCH_engine.json
 //! ```
 //!
-//! Exits non-zero if a performance gate fails (incremental slower than
-//! the sweep on the n = 512 star, or below 5× on the large path).
+//! Exits non-zero if a performance gate fails: node-dirty slower than
+//! the sweep on the n = 512 star or below 5× on the large path,
+//! port-dirty below 10× on the n = 512 star, or — with `--baseline` —
+//! the port-dirty speedup ratio more than 30% below the committed
+//! document (ratios, not absolute steps/sec, so the gate is portable
+//! across differently-powered runners).
 
 use sno_bench::engine_bench::{
-    engine_bench, engine_bench_json, engine_bench_table, gate_violations, FULL_SIZES, QUICK_SIZES,
+    check_baseline, engine_bench, engine_bench_json, engine_bench_table, gate_violations,
+    BaselineOutcome, FULL_SIZES, QUICK_SIZES,
 };
 
 fn main() {
     let mut json_path = "BENCH_engine.json".to_string();
+    let mut baseline_path: Option<String> = None;
     let mut quick = false;
     for arg in std::env::args().skip(1) {
         if arg == "--quick" {
             quick = true;
         } else if let Some(p) = arg.strip_prefix("--json=") {
             json_path = p.to_string();
+        } else if let Some(p) = arg.strip_prefix("--baseline=") {
+            baseline_path = Some(p.to_string());
         } else {
-            eprintln!("usage: engine_bench [--quick] [--json=PATH]");
+            eprintln!("usage: engine_bench [--quick] [--json=PATH] [--baseline=PATH]");
             std::process::exit(2);
         }
     }
@@ -43,7 +52,16 @@ fn main() {
     std::fs::write(&json_path, json).expect("write BENCH_engine.json");
     println!("engine bench JSON written to {json_path}");
 
-    let violations = gate_violations(&rows);
+    let mut violations = gate_violations(&rows);
+    if let Some(path) = baseline_path {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        match check_baseline(&rows, &committed) {
+            BaselineOutcome::Passed => {}
+            BaselineOutcome::Incomparable(note) => println!("note: {note}"),
+            BaselineOutcome::Regressed(v) => violations.push(v),
+        }
+    }
     if !violations.is_empty() {
         for v in &violations {
             eprintln!("PERFORMANCE GATE FAILED: {v}");

@@ -25,11 +25,14 @@ use std::hash::Hash;
 use rand::Rng as _;
 use rand::RngCore;
 use sno_engine::protocol::ProjectedView;
-use sno_engine::{Network, NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_engine::{
+    Network, NodeCtx, NodeView, PortCache, PortVerdict, Protocol, Scratch, SpaceMeasured,
+    WriteScope,
+};
 use sno_graph::Port;
 use sno_token::{TokenCirculation, TokenKind};
 
-use crate::orientation::{chordal_label, golden_dfs_orientation, Orientation};
+use crate::orientation::{chordal_label, chordal_label_valid, golden_dfs_orientation, Orientation};
 
 /// Per-processor state: the substrate's variables plus the orientation
 /// variables of Algorithm 3.1.1.
@@ -94,6 +97,30 @@ impl<T: TokenCirculation> Dftno<T> {
             me.pi[l] != chordal_label(me.eta, q.eta, n)
         })
     }
+
+    /// Recomputes every cached per-port label-validity bit (and the
+    /// invalid count in `node[0]`) against the current view — `O(Δ)`,
+    /// used by cache (re)initialization and own-η/π changes.
+    fn rebuild_label_bits(view: &impl NodeView<DftnoState<T::State>>, cache: &mut PortCache<'_>) {
+        let ctx = view.ctx();
+        let n = ctx.n_bound as u32;
+        let me = view.state();
+        let mut invalid = 0u64;
+        for l in 0..ctx.degree {
+            let q = view.neighbor(Port::new(l));
+            let bad = !chordal_label_valid(me.pi[l], me.eta, q.eta, n);
+            cache.ports[l] = (cache.ports[l] & !1) | u64::from(bad);
+            invalid += u64::from(bad);
+        }
+        cache.node[0] = invalid;
+    }
+
+    /// The exact enabled-action count from the cache words: the (single)
+    /// `Edgelabel` repair iff any label bit is set, plus the substrate's
+    /// cached action count — matching `enabled`'s emission order.
+    fn count_from_cache(cache: &PortCache<'_>) -> u32 {
+        u32::from(cache.node[0] > 0) + cache.node[1] as u32
+    }
 }
 
 impl<T: TokenCirculation> Protocol for Dftno<T> {
@@ -101,6 +128,15 @@ impl<T: TokenCirculation> Protocol for Dftno<T> {
     type Action = DftnoAction<T::Action>;
 
     fn enabled(&self, view: &impl NodeView<Self::State>, out: &mut Vec<Self::Action>) {
+        self.enabled_into(view, out, &mut Scratch::new());
+    }
+
+    fn enabled_into(
+        &self,
+        view: &impl NodeView<Self::State>,
+        out: &mut Vec<Self::Action>,
+        scratch: &mut Scratch,
+    ) {
         // The paper's third action is guarded by ¬Forward ∧ ¬Backtrack ∧
         // InvalidEdgelabel. Under daemons that deterministically run a
         // node's first enabled action, that conjunct starves the repair: a
@@ -117,11 +153,111 @@ impl<T: TokenCirculation> Protocol for Dftno<T> {
             out.push(DftnoAction::EdgeLabel);
         }
         let proj = Self::project(view);
-        let mut tok_actions = Vec::new();
-        self.token.enabled(&proj, &mut tok_actions);
-        for a in tok_actions {
-            out.push(DftnoAction::Token(a));
+        let mut tok_actions = scratch.take_vec::<T::Action>();
+        self.token.enabled_into(&proj, &mut tok_actions, scratch);
+        out.extend(tok_actions.drain(..).map(DftnoAction::Token));
+        scratch.put_vec(tok_actions);
+    }
+
+    // --- Port-separable interface, live when the substrate's is
+    // (`DFTNO` over the oracle walker in practice). Cache layout: the
+    // wrapper keeps the per-port label-validity bit in bit 0 of each
+    // port word and two node words — `node[0]` the invalid-label count,
+    // `node[1]` the substrate's cached action count — then hands the
+    // substrate the remaining node words (`PortCache::layer(2)`) and the
+    // high halves of the port words, per the engine's layering
+    // convention. ---
+
+    fn port_separable(&self) -> bool {
+        self.token.port_separable()
+    }
+
+    fn port_node_words(&self) -> usize {
+        2 + self.token.port_node_words()
+    }
+
+    fn init_ports(&self, view: &impl NodeView<Self::State>, cache: &mut PortCache<'_>) -> u32 {
+        Self::rebuild_label_bits(view, cache);
+        let proj = Self::project(view);
+        let mut sub = cache.layer(2);
+        let tok = self.token.init_ports(&proj, &mut sub);
+        cache.node[1] = u64::from(tok);
+        Self::count_from_cache(cache)
+    }
+
+    fn refresh_self(
+        &self,
+        view: &impl NodeView<Self::State>,
+        old: &Self::State,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let me = view.state();
+        // The label bits read own η and π; recompute them only when one
+        // of those actually changed (a token move leaves both alone, so
+        // a steady-state hub step stays o(Δ) guard evaluations).
+        if old.eta != me.eta || old.pi != me.pi {
+            Self::rebuild_label_bits(view, cache);
         }
+        if old.token != me.token {
+            let proj = Self::project(view);
+            let mut sub = cache.layer(2);
+            match self.token.refresh_self(&proj, &old.token, &mut sub) {
+                PortVerdict::Whole => return PortVerdict::Whole,
+                PortVerdict::Count(c) => cache.node[1] = u64::from(c),
+                PortVerdict::Unchanged => {}
+            }
+        }
+        PortVerdict::Count(Self::count_from_cache(cache))
+    }
+
+    fn reevaluate_port(
+        &self,
+        view: &impl NodeView<Self::State>,
+        port: Port,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let ctx = view.ctx();
+        let n = ctx.n_bound as u32;
+        let me = view.state();
+        let q = view.neighbor(port);
+        let bad = !chordal_label_valid(me.pi[port.index()], me.eta, q.eta, n);
+        let was = cache.ports[port.index()] & 1 != 0;
+        if bad != was {
+            cache.ports[port.index()] ^= 1;
+            cache.node[0] = cache.node[0] + u64::from(bad) - u64::from(was);
+        }
+        {
+            let proj = Self::project(view);
+            let mut sub = cache.layer(2);
+            match self.token.reevaluate_port(&proj, port, &mut sub) {
+                PortVerdict::Whole => return PortVerdict::Whole,
+                PortVerdict::Count(c) => cache.node[1] = u64::from(c),
+                PortVerdict::Unchanged => {}
+            }
+        }
+        PortVerdict::Count(Self::count_from_cache(cache))
+    }
+
+    fn write_scope(
+        &self,
+        ctx: &NodeCtx,
+        old: &Self::State,
+        new: &Self::State,
+        out: &mut Vec<Port>,
+    ) -> WriteScope {
+        // Neighbor guards read exactly two things of this node: its η
+        // (their per-port label checks) and its substrate variables
+        // (their token guards). `Max` and `π` are consulted only inside
+        // `apply`, never by a guard, so changing them dirties nothing —
+        // this is what makes a hub's `Edgelabel` repair free for its
+        // Δ neighbors.
+        if old.eta != new.eta {
+            return WriteScope::All;
+        }
+        if old.token == new.token {
+            return WriteScope::Unchanged;
+        }
+        self.token.write_scope(ctx, &old.token, &new.token, out)
     }
 
     fn apply(&self, view: &impl NodeView<Self::State>, action: &Self::Action) -> Self::State {

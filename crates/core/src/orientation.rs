@@ -136,6 +136,23 @@ pub fn chordal_label(eta_p: u32, eta_q: u32, n_bound: u32) -> u32 {
     (p + n_bound - q) % n_bound
 }
 
+/// The **per-port** edge-label validity predicate: `π_p[l] ==
+/// (η_p − η_q) mod N` for one incident link.
+///
+/// This is the unit of `DFTNO`/`STNO` guard *port-separability* (what
+/// makes the engine's port-dirty invalidation exact for the `Edgelabel`
+/// actions): the whole-node `InvalidEdgelabel(p)` guard is the disjunction
+/// of this predicate over ports, each conjunct reading only `p`'s own
+/// variables and the single neighbor behind `l` — strictly-local edge
+/// labels in the sense of Itkis–Levin's flat holonomies.
+///
+/// # Panics
+///
+/// Panics if `n_bound == 0`.
+pub fn chordal_label_valid(pi_l: u32, eta_p: u32, eta_q: u32, n_bound: u32) -> bool {
+    pi_l == chordal_label(eta_p, eta_q, n_bound)
+}
+
 /// Recovers the neighbor's absolute name from a node's own name and the
 /// edge label — the sense-of-direction property that lets processors refer
 /// to each other by name without communication: `η_q = (η_p − π_p[l]) mod

@@ -37,11 +37,16 @@ use std::hash::Hash;
 use rand::Rng as _;
 use rand::RngCore;
 use sno_engine::protocol::ProjectedView;
-use sno_engine::{Network, NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_engine::{
+    Network, NodeCtx, NodeView, PortCache, PortVerdict, Protocol, Scratch, SpaceMeasured,
+    WriteScope,
+};
 use sno_graph::{Port, RootedTree};
 use sno_tree::SpanningTree;
 
-use crate::orientation::{chordal_label, golden_preorder_orientation, Orientation};
+use crate::orientation::{
+    chordal_label, chordal_label_valid, golden_preorder_orientation, Orientation,
+};
 
 /// Per-processor state: the substrate's variables plus the orientation
 /// variables of Algorithm 4.1.2.
@@ -105,18 +110,26 @@ impl<T: SpanningTree> Stno<T> {
         ProjectedView::new(view, tree_of as fn(&StnoState<T::State>) -> &T::State)
     }
 
-    /// `CalcWeight` target: `1 + Σ_{q ∈ D_p} Weight_q` — uniformly `1` at
-    /// leaves (no children), saturating at `N` against corrupt inputs.
-    fn weight_target(&self, view: &impl NodeView<StnoState<T::State>>) -> u32 {
-        let proj = Self::project(view);
+    /// `CalcWeight` target over a precomputed child-port list: `1 +
+    /// Σ_{q ∈ D_p} Weight_q` — uniformly `1` at leaves (no children),
+    /// saturating at `N` against corrupt inputs.
+    fn weight_target_over(
+        &self,
+        view: &impl NodeView<StnoState<T::State>>,
+        children: &[Port],
+    ) -> u32 {
         let cap = view.ctx().n_bound as u32;
-        let sum: u32 = self
-            .tree
-            .children_ports(&proj)
+        let sum: u32 = children
             .iter()
             .map(|&l| view.neighbor(l).weight)
             .fold(1u32, |acc, w| acc.saturating_add(w));
         sum.min(cap)
+    }
+
+    /// Allocating convenience around [`Stno::weight_target_over`].
+    fn weight_target(&self, view: &impl NodeView<StnoState<T::State>>) -> u32 {
+        let proj = Self::project(view);
+        self.weight_target_over(view, &self.tree.children_ports(&proj))
     }
 
     /// `Nodelabel` target: `0` at the root, otherwise `Start_{A_p}[p]`
@@ -133,32 +146,34 @@ impl<T: SpanningTree> Stno<T> {
         Some(view.neighbor(pp).start[slot.index()] % ctx.n_bound as u32)
     }
 
-    /// `Distribute` target: `given := η_p; ∀q ∈ D_p :: Start_p[q] :=
-    /// given + 1; given := given + Weight_q` — children in port order.
-    /// Returns `(child ports, start values)`.
-    fn distribute_target(
+    /// Walks `Distribute`'s target values — `given := η_p; ∀q ∈ D_p ::
+    /// Start_p[q] := given + 1; given := given + Weight_q`, children in
+    /// port order — calling `f(port, start)` per child. Allocation-free.
+    fn for_each_start(
+        view: &impl NodeView<StnoState<T::State>>,
+        eta: u32,
+        children: &[Port],
+        mut f: impl FnMut(Port, u32),
+    ) {
+        let mut given = eta;
+        for &l in children {
+            f(l, given.saturating_add(1));
+            given = given.saturating_add(view.neighbor(l).weight);
+        }
+    }
+
+    fn start_invalid_over(
         &self,
         view: &impl NodeView<StnoState<T::State>>,
         eta: u32,
-    ) -> (Vec<Port>, Vec<u32>) {
-        let proj = Self::project(view);
-        let children = self.tree.children_ports(&proj);
-        let mut given = eta;
-        let mut starts = Vec::with_capacity(children.len());
-        for &l in &children {
-            starts.push(given.saturating_add(1));
-            given = given.saturating_add(view.neighbor(l).weight);
-        }
-        (children, starts)
-    }
-
-    fn start_invalid(&self, view: &impl NodeView<StnoState<T::State>>, eta: u32) -> bool {
+        children: &[Port],
+    ) -> bool {
         let me = view.state();
-        let (children, starts) = self.distribute_target(view, eta);
-        children
-            .iter()
-            .zip(&starts)
-            .any(|(&l, &s)| me.start[l.index()] != s)
+        let mut invalid = false;
+        Self::for_each_start(view, eta, children, |l, s| {
+            invalid |= me.start[l.index()] != s;
+        });
+        invalid
     }
 
     /// `InvalidEdgelabel(p)` against the current names.
@@ -180,6 +195,57 @@ impl<T: SpanningTree> Stno<T> {
             s.pi[l] = chordal_label(s.eta, q.eta, n);
         }
     }
+
+    // --- Port-cache helpers (see the cache layout described on the
+    // Protocol impl below). ---
+
+    /// Label-validity flag of one port.
+    const LABEL_BIT: u64 = 1;
+    /// The neighbor behind this port is a child (static under a frozen
+    /// substrate); its cached `Weight` sits in the word's high 32 bits.
+    const CHILD_BIT: u64 = 1 << 1;
+    /// The neighbor behind this port is the parent (static likewise).
+    const PARENT_BIT: u64 = 1 << 2;
+
+    /// `CalcWeight` target from the cached child-weight sum; must agree
+    /// with [`Stno::weight_target_over`] (the saturating fold of
+    /// non-negative terms equals `min(u32::MAX, 1 + Σ)`).
+    fn weight_target_from_sum(cap: u32, sum: u64) -> u32 {
+        u32::try_from(1u64.saturating_add(sum))
+            .unwrap_or(u32::MAX)
+            .min(cap)
+    }
+
+    /// The start-validity flag recomputed from the cached child weights
+    /// (current once every pending port notification of the step has been
+    /// processed) and the node's own `Start` array.
+    fn start_flag_from_cache(me: &StnoState<T::State>, eta: u32, ports: &[u64]) -> bool {
+        let mut given = eta;
+        let mut invalid = false;
+        for (l, &w) in ports.iter().enumerate() {
+            if w & Self::CHILD_BIT != 0 {
+                invalid |= me.start[l] != given.saturating_add(1);
+                given = given.saturating_add((w >> 32) as u32);
+            }
+        }
+        invalid
+    }
+
+    /// The exact enabled-action count from the cache words, matching
+    /// `enabled`'s emission order (no tree actions under a frozen
+    /// substrate; `CalcWeight`; then `NodeLabel` *or* `Distribute` +
+    /// `EdgeLabel`).
+    fn stno_count_from_cache(cache: &PortCache<'_>) -> u32 {
+        let flags = cache.node[2];
+        let mut c = (flags & 1) as u32;
+        if flags & 2 != 0 {
+            c += 1;
+        } else {
+            c += ((flags >> 2) & 1) as u32;
+            c += u32::from(cache.node[0] > 0);
+        }
+        c
+    }
 }
 
 impl<T: SpanningTree> Protocol for Stno<T> {
@@ -187,20 +253,33 @@ impl<T: SpanningTree> Protocol for Stno<T> {
     type Action = StnoAction<T::Action>;
 
     fn enabled(&self, view: &impl NodeView<Self::State>, out: &mut Vec<Self::Action>) {
-        let proj = Self::project(view);
-        let mut tree_actions = Vec::new();
-        self.tree.enabled(&proj, &mut tree_actions);
-        out.extend(tree_actions.into_iter().map(StnoAction::Tree));
+        self.enabled_into(view, out, &mut Scratch::new());
+    }
 
+    fn enabled_into(
+        &self,
+        view: &impl NodeView<Self::State>,
+        out: &mut Vec<Self::Action>,
+        scratch: &mut Scratch,
+    ) {
+        let proj = Self::project(view);
+        let mut tree_actions = scratch.take_vec::<T::Action>();
+        self.tree.enabled_into(&proj, &mut tree_actions, scratch);
+        out.extend(tree_actions.drain(..).map(StnoAction::Tree));
+        scratch.put_vec(tree_actions);
+
+        let mut children = scratch.take_vec::<Port>();
+        let proj = Self::project(view);
+        self.tree.children_ports_into(&proj, &mut children);
         let me = view.state();
-        if me.weight != self.weight_target(view) {
+        if me.weight != self.weight_target_over(view, &children) {
             out.push(StnoAction::CalcWeight);
         }
         if let Some(eta) = self.eta_target(view) {
             if me.eta != eta {
                 out.push(StnoAction::NodeLabel);
             } else {
-                if self.start_invalid(view, eta) {
+                if self.start_invalid_over(view, eta, &children) {
                     out.push(StnoAction::Distribute);
                 }
                 if Self::invalid_edge_label(view) {
@@ -208,6 +287,7 @@ impl<T: SpanningTree> Protocol for Stno<T> {
                 }
             }
         }
+        scratch.put_vec(children);
     }
 
     fn apply(&self, view: &impl NodeView<Self::State>, action: &Self::Action) -> Self::State {
@@ -225,18 +305,20 @@ impl<T: SpanningTree> Protocol for Stno<T> {
                 // in the paper's IN/RN/LN statements.
                 let eta = self.eta_target(view).expect("guard guarantees a target");
                 s.eta = eta;
-                let (children, starts) = self.distribute_target(view, eta);
-                for (&l, &v) in children.iter().zip(&starts) {
+                let proj = Self::project(view);
+                let children = self.tree.children_ports(&proj);
+                Self::for_each_start(view, eta, &children, |l, v| {
                     s.start[l.index()] = v;
-                }
+                });
                 Self::relabel_edges(view, &mut s);
             }
             StnoAction::Distribute => {
                 let eta = s.eta;
-                let (children, starts) = self.distribute_target(view, eta);
-                for (&l, &v) in children.iter().zip(&starts) {
+                let proj = Self::project(view);
+                let children = self.tree.children_ports(&proj);
+                Self::for_each_start(view, eta, &children, |l, v| {
                     s.start[l.index()] = v;
-                }
+                });
             }
             StnoAction::EdgeLabel => {
                 Self::relabel_edges(view, &mut s);
@@ -263,6 +345,205 @@ impl<T: SpanningTree> Protocol for Stno<T> {
             eta: rng.random_range(0..n),
             start: (0..ctx.degree).map(|_| rng.random_range(0..=n)).collect(),
             pi: (0..ctx.degree).map(|_| rng.random_range(0..n)).collect(),
+        }
+    }
+
+    // --- Port-separable interface, live when the substrate is *frozen*
+    // (the paper's "after the spanning tree stabilizes" regime): tree
+    // edges cannot move, so child/parent roles are static per port.
+    //
+    // Cache layout — port word: bit 0 label-invalid, bit 1 is-child,
+    // bit 2 is-parent, high 32 bits the child's cached `Weight`; node
+    // words: [0] invalid-label count, [1] Σ cached child weights,
+    // [2] flags (bit 0 `CalcWeight` pending, bit 1 `NodeLabel` pending,
+    // bit 2 `Distribute` pending), [3] the cached η target read from the
+    // parent's `Start`.
+    //
+    // Unlike `Dftno`, this deliberately claims the *whole* port word —
+    // including the high half the engine's layering convention reserves
+    // for a substrate — because the separability precondition here is
+    // `frozen()`: a frozen substrate is inert and keeps no cache words
+    // at all (see `port_node_words` below, which grants it none). A
+    // future separable-but-live tree substrate must not reuse this
+    // impl; it would need its own layout (and a weaker precondition). ---
+
+    fn port_separable(&self) -> bool {
+        self.tree.frozen()
+    }
+
+    fn port_node_words(&self) -> usize {
+        4
+    }
+
+    fn init_ports(&self, view: &impl NodeView<Self::State>, cache: &mut PortCache<'_>) -> u32 {
+        debug_assert!(self.tree.frozen(), "separability requires a frozen tree");
+        let ctx = view.ctx();
+        let n = ctx.n_bound as u32;
+        let me = view.state();
+        let proj = Self::project(view);
+        let children = self.tree.children_ports(&proj);
+        let parent = self.tree.static_parent_port(ctx);
+        let mut child_iter = children.iter().peekable();
+        let mut invalid = 0u64;
+        let mut sum = 0u64;
+        for l in 0..ctx.degree {
+            let port = Port::new(l);
+            let q = view.neighbor(port);
+            let mut word = 0u64;
+            if !chordal_label_valid(me.pi[l], me.eta, q.eta, n) {
+                word |= Self::LABEL_BIT;
+                invalid += 1;
+            }
+            if child_iter.peek() == Some(&&port) {
+                child_iter.next();
+                word |= Self::CHILD_BIT | (u64::from(q.weight) << 32);
+                sum += u64::from(q.weight);
+            }
+            if parent == Some(port) {
+                word |= Self::PARENT_BIT;
+            }
+            cache.ports[l] = word;
+        }
+        cache.node[0] = invalid;
+        cache.node[1] = sum;
+        let eta_t = self
+            .eta_target(view)
+            .expect("a frozen substrate always knows the tree");
+        cache.node[3] = u64::from(eta_t);
+        let mut flags = 0u64;
+        if me.weight != Self::weight_target_from_sum(n, sum) {
+            flags |= 1;
+        }
+        if me.eta != eta_t {
+            flags |= 2;
+        }
+        if Self::start_flag_from_cache(me, me.eta, cache.ports) {
+            flags |= 4;
+        }
+        cache.node[2] = flags;
+        Self::stno_count_from_cache(cache)
+    }
+
+    fn refresh_self(
+        &self,
+        view: &impl NodeView<Self::State>,
+        old: &Self::State,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let ctx = view.ctx();
+        let n = ctx.n_bound as u32;
+        let me = view.state();
+        debug_assert!(old.tree == me.tree, "frozen substrates never move");
+        // Label bits read own η and π.
+        if old.eta != me.eta || old.pi != me.pi {
+            let mut invalid = 0u64;
+            for l in 0..ctx.degree {
+                let q = view.neighbor(Port::new(l));
+                let bad = !chordal_label_valid(me.pi[l], me.eta, q.eta, n);
+                cache.ports[l] = (cache.ports[l] & !Self::LABEL_BIT) | u64::from(bad);
+                invalid += u64::from(bad);
+            }
+            cache.node[0] = invalid;
+        }
+        let mut flags = cache.node[2] & !0b11;
+        if me.weight != Self::weight_target_from_sum(n, cache.node[1]) {
+            flags |= 1;
+        }
+        if me.eta != cache.node[3] as u32 {
+            flags |= 2;
+        }
+        // The start flag reads own η and `Start` (child weights cached).
+        if old.eta != me.eta || old.start != me.start {
+            flags &= !0b100;
+            if Self::start_flag_from_cache(me, me.eta, cache.ports) {
+                flags |= 4;
+            }
+        }
+        cache.node[2] = flags;
+        PortVerdict::Count(Self::stno_count_from_cache(cache))
+    }
+
+    fn reevaluate_port(
+        &self,
+        view: &impl NodeView<Self::State>,
+        port: Port,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let ctx = view.ctx();
+        let n = ctx.n_bound as u32;
+        let me = view.state();
+        let q = view.neighbor(port);
+        let li = port.index();
+        let bad = !chordal_label_valid(me.pi[li], me.eta, q.eta, n);
+        let was = cache.ports[li] & Self::LABEL_BIT != 0;
+        if bad != was {
+            cache.ports[li] ^= Self::LABEL_BIT;
+            cache.node[0] = cache.node[0] + u64::from(bad) - u64::from(was);
+        }
+        let mut flags = cache.node[2];
+        if cache.ports[li] & Self::CHILD_BIT != 0 {
+            let old_w = (cache.ports[li] >> 32) as u32;
+            let new_w = q.weight;
+            if new_w != old_w {
+                cache.node[1] = cache.node[1] - u64::from(old_w) + u64::from(new_w);
+                cache.ports[li] =
+                    (cache.ports[li] & u64::from(u32::MAX)) | (u64::from(new_w) << 32);
+                flags &= !0b101;
+                if me.weight != Self::weight_target_from_sum(n, cache.node[1]) {
+                    flags |= 1;
+                }
+                if Self::start_flag_from_cache(me, me.eta, cache.ports) {
+                    flags |= 4;
+                }
+            }
+        }
+        if cache.ports[li] & Self::PARENT_BIT != 0 {
+            let slot = ctx.back_ports[li];
+            let eta_t = u64::from(q.start[slot.index()] % n);
+            cache.node[3] = eta_t;
+            flags &= !0b10;
+            if me.eta != eta_t as u32 {
+                flags |= 2;
+            }
+        }
+        cache.node[2] = flags;
+        PortVerdict::Count(Self::stno_count_from_cache(cache))
+    }
+
+    fn write_scope(
+        &self,
+        ctx: &NodeCtx,
+        old: &Self::State,
+        new: &Self::State,
+        out: &mut Vec<Port>,
+    ) -> WriteScope {
+        // Neighbor guards read: my η (their per-port label checks — all
+        // ports), my `Weight` (only the parent's `CalcWeight` /
+        // `Distribute` targets), and my `Start[l]` (only the child behind
+        // port `l`, for its η target). My π is consulted by no neighbor
+        // guard, so a pure `Edgelabel` repair dirties nothing.
+        if old.tree != new.tree || old.eta != new.eta {
+            return WriteScope::All;
+        }
+        let mut any = false;
+        if old.weight != new.weight {
+            if let Some(pp) = self.tree.static_parent_port(ctx) {
+                out.push(pp);
+                any = true;
+            }
+        }
+        if old.start != new.start {
+            for (l, (a, b)) in old.start.iter().zip(&new.start).enumerate() {
+                if a != b {
+                    out.push(Port::new(l));
+                    any = true;
+                }
+            }
+        }
+        if any {
+            WriteScope::Ports
+        } else {
+            WriteScope::Unchanged
         }
     }
 }

@@ -26,8 +26,9 @@ use sno_graph::Port;
 pub trait UpperLayer<L: Protocol> {
     /// The upper layer's own variables.
     type State: Clone + Eq + std::hash::Hash + std::fmt::Debug;
-    /// The upper layer's action labels.
-    type Action: Clone + std::fmt::Debug + PartialEq;
+    /// The upper layer's action labels (`Send + 'static` to match
+    /// [`Protocol::Action`]).
+    type Action: Clone + std::fmt::Debug + PartialEq + Send + 'static;
 
     /// Appends the enabled upper-layer actions for the compound view.
     fn enabled(&self, view: &impl NodeView<(L::State, Self::State)>, out: &mut Vec<Self::Action>);

@@ -8,9 +8,13 @@
 //! `v_p = dist(p, r)`.
 
 use rand::RngCore;
+use sno_graph::Port;
 
 use crate::network::NodeCtx;
-use crate::protocol::{neighbor_states, Enumerable, NodeView, Protocol, SpaceMeasured};
+use crate::protocol::{
+    neighbor_states, Enumerable, NodeView, PortCache, PortVerdict, Protocol, SpaceMeasured,
+    WriteScope,
+};
 
 /// Silent self-stabilizing hop-distance computation (see module docs).
 ///
@@ -36,6 +40,21 @@ impl HopDistance {
             best.saturating_add(1).min(ctx.n_bound as u32)
         }
     }
+
+    /// The target recomputed from a cached neighbor minimum — must agree
+    /// with [`HopDistance::target`] for a consistent cache.
+    fn target_from_min(ctx: &NodeCtx, min: u64) -> u32 {
+        if ctx.is_root {
+            0
+        } else {
+            let best = u32::try_from(min).unwrap_or(u32::MAX);
+            best.saturating_add(1).min(ctx.n_bound as u32)
+        }
+    }
+
+    fn min_of(ports: &[u64]) -> u64 {
+        ports.iter().copied().min().unwrap_or(u64::from(u32::MAX))
+    }
 }
 
 impl Protocol for HopDistance {
@@ -58,6 +77,74 @@ impl Protocol for HopDistance {
 
     fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> u32 {
         rng.next_u32() % (ctx.n_bound as u32 + 1)
+    }
+
+    // --- Port-separable interface (also the reference implementation the
+    // engine docs point at): one cached word per port holds the
+    // neighbor's distance, the single node word holds their minimum, so a
+    // neighbor change re-evaluates one port instead of the whole
+    // neighborhood. ---
+
+    fn port_separable(&self) -> bool {
+        true
+    }
+
+    fn port_node_words(&self) -> usize {
+        1
+    }
+
+    fn init_ports(&self, view: &impl NodeView<u32>, cache: &mut PortCache<'_>) -> u32 {
+        for (l, &v) in neighbor_states(view) {
+            cache.ports[l.index()] = u64::from(v);
+        }
+        cache.node[0] = Self::min_of(cache.ports);
+        u32::from(*view.state() != Self::target_from_min(view.ctx(), cache.node[0]))
+    }
+
+    fn refresh_self(
+        &self,
+        view: &impl NodeView<u32>,
+        _old: &u32,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        // The guard depends on own state + the cached neighbor minimum;
+        // nothing cached depends on own state, so this is O(1).
+        PortVerdict::Count(u32::from(
+            *view.state() != Self::target_from_min(view.ctx(), cache.node[0]),
+        ))
+    }
+
+    fn reevaluate_port(
+        &self,
+        view: &impl NodeView<u32>,
+        port: Port,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let new = u64::from(*view.neighbor(port));
+        let old = std::mem::replace(&mut cache.ports[port.index()], new);
+        if new == old {
+            return PortVerdict::Unchanged;
+        }
+        if new < cache.node[0] {
+            cache.node[0] = new;
+        } else if old == cache.node[0] {
+            // The previous minimum grew: rescan (amortized rare).
+            cache.node[0] = Self::min_of(cache.ports);
+        }
+        PortVerdict::Count(u32::from(
+            *view.state() != Self::target_from_min(view.ctx(), cache.node[0]),
+        ))
+    }
+
+    fn write_scope(
+        &self,
+        _ctx: &NodeCtx,
+        _old: &u32,
+        _new: &u32,
+        _out: &mut Vec<Port>,
+    ) -> WriteScope {
+        // Every neighbor's guard reads this node's single variable.
+        WriteScope::All
     }
 }
 

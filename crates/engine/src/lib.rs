@@ -51,5 +51,7 @@ pub mod sim;
 pub mod spec;
 
 pub use network::{Network, NodeCtx};
-pub use protocol::{Enumerable, NodeView, Protocol, SpaceMeasured};
-pub use sim::{RunResult, Simulation, StepOutcome};
+pub use protocol::{
+    Enumerable, NodeView, PortCache, PortVerdict, Protocol, Scratch, SpaceMeasured, WriteScope,
+};
+pub use sim::{EngineMode, RunResult, Simulation, StepOutcome};

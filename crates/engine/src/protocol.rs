@@ -6,7 +6,30 @@
 //! guards against the pre-step configuration and applies all selected
 //! writes together — composite atomicity under a distributed daemon,
 //! exactly the paper's execution model.
+//!
+//! # Port separability
+//!
+//! Beyond the required guard evaluation, a protocol may *opt in* to the
+//! **port-separable** interface ([`Protocol::port_separable`] and friends).
+//! A port-separable protocol can answer, in `o(Δ)` time, the two questions
+//! the engine's port-dirty invalidation asks:
+//!
+//! 1. *read side* — "the neighbor behind port `l` changed; what is your
+//!    enabled-action count now?" ([`Protocol::reevaluate_port`]), using a
+//!    small engine-owned per-node cache instead of re-reading the whole
+//!    neighborhood;
+//! 2. *write side* — "your state changed from `old` to `new`; which of
+//!    your neighbors can observe a **guard-relevant** difference?"
+//!    ([`Protocol::write_scope`]), so a high-degree processor's step
+//!    dirties only the ports that actually carry a change.
+//!
+//! Every method has a conservative default (fall back to a whole-node
+//! re-evaluation, report every port as affected), so the interface is
+//! strictly opt-in and partially implementable. See the method docs for
+//! the exact contracts; `tests/port_separability.rs` cross-checks every
+//! implementor against full `enabled` sweeps.
 
+use std::any::Any;
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -46,6 +69,162 @@ where
     })
 }
 
+/// A reusable arena of typed scratch buffers for protocol-internal
+/// temporaries.
+///
+/// Layered protocols historically built a fresh `Vec` of substrate actions
+/// on **every guard evaluation** (`Dftno::enabled`, `Stno::enabled`) — the
+/// next-largest per-step cost once the engine's own hot path stopped
+/// allocating. [`Protocol::enabled_into`] threads one `Scratch` through the
+/// whole protocol stack instead: each layer *takes* a typed `Vec`, uses it,
+/// and *puts* it back, so after warm-up no guard evaluation allocates.
+///
+/// Buffers are keyed by element type. Taking removes the buffer from the
+/// arena, so re-entrant use (a layer over a layer wanting the same element
+/// type) simply warms a second buffer — correctness never depends on the
+/// arena's contents.
+#[derive(Default)]
+pub struct Scratch {
+    slots: Vec<Box<dyn Any + Send>>,
+}
+
+impl Scratch {
+    /// An empty arena. Buffers materialize (once) on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Takes a cleared `Vec<T>` out of the arena, allocating only if no
+    /// buffer of this type is currently pooled.
+    ///
+    /// The buffer is *swapped* out of its slot (an empty `Vec` stays
+    /// behind), so a warm take/put cycle performs **zero** heap
+    /// operations — the whole point of the arena.
+    pub fn take_vec<T: Send + 'static>(&mut self) -> Vec<T> {
+        for slot in &mut self.slots {
+            if let Some(v) = slot.downcast_mut::<Vec<T>>() {
+                if v.capacity() > 0 {
+                    debug_assert!(v.is_empty(), "pooled buffers are stored cleared");
+                    return std::mem::take(v);
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    /// Returns a buffer to the arena for reuse (cleared first; capacity
+    /// is kept). Warm puts land in the slot their take emptied; only a
+    /// first-ever put of a type (or a deeper nesting level than seen
+    /// before) allocates a slot.
+    pub fn put_vec<T: Send + 'static>(&mut self, mut v: Vec<T>) {
+        v.clear();
+        if std::mem::size_of::<T>() == 0 || v.capacity() == 0 {
+            // Vectors of zero-sized types never allocate (and report
+            // infinite capacity); capacity-less buffers aren't worth a
+            // slot. Dropping either here is free.
+            return;
+        }
+        for slot in &mut self.slots {
+            if let Some(existing) = slot.downcast_mut::<Vec<T>>() {
+                if existing.capacity() == 0 {
+                    *existing = v;
+                    return;
+                }
+            }
+        }
+        self.slots.push(Box::new(v));
+    }
+
+    /// Number of arena slots (each holds one buffer type × nesting
+    /// level, whether currently checked out or not). Diagnostic.
+    pub fn pooled(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl Debug for Scratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scratch")
+            .field("pooled", &self.slots.len())
+            .finish()
+    }
+}
+
+/// Scratch is a pure cache: cloning a holder starts with a cold arena.
+impl Clone for Scratch {
+    fn clone(&self) -> Self {
+        Scratch::new()
+    }
+}
+
+/// The engine-owned per-node cache a port-separable protocol reads and
+/// writes through [`Protocol::init_ports`], [`Protocol::refresh_self`],
+/// and [`Protocol::reevaluate_port`].
+///
+/// The engine stores one `u64` **port word** per incident port (CSR-
+/// aligned with the graph's flat adjacency) plus
+/// [`Protocol::port_node_words`] **node words** per processor. What the
+/// words mean is entirely up to the protocol; the engine only guarantees
+/// that the same node's words come back unchanged between calls.
+///
+/// # Layering convention
+///
+/// A layered protocol (orientation over a substrate) must hand its
+/// substrate a *disjoint* cache region: call [`PortCache::layer`] to hide
+/// the wrapper's node words, and keep the wrapper's per-port bits in the
+/// **low 32 bits** of each port word, leaving the high 32 bits to the
+/// substrate.
+#[derive(Debug)]
+pub struct PortCache<'c> {
+    /// One word per port of this node, in port order.
+    pub ports: &'c mut [u64],
+    /// The protocol's node words ([`Protocol::port_node_words`] many).
+    pub node: &'c mut [u64],
+}
+
+impl PortCache<'_> {
+    /// Reborrows the cache with the first `skip` node words hidden — the
+    /// view a wrapper passes to its substrate (see the layering
+    /// convention above).
+    pub fn layer(&mut self, skip: usize) -> PortCache<'_> {
+        PortCache {
+            ports: self.ports,
+            node: &mut self.node[skip..],
+        }
+    }
+}
+
+/// Answer of a port-separable re-evaluation ([`Protocol::refresh_self`] /
+/// [`Protocol::reevaluate_port`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortVerdict {
+    /// The change cannot have affected this processor's enabled set; the
+    /// cached action count (and cache words) remain valid.
+    Unchanged,
+    /// The processor's exact new enabled-action count (must equal what
+    /// [`Protocol::enabled`] would report — the engine's enabled set must
+    /// be bit-identical across modes).
+    Count(u32),
+    /// The protocol cannot answer locally — the engine falls back to a
+    /// whole-node `enabled` sweep and a fresh [`Protocol::init_ports`].
+    Whole,
+}
+
+/// Answer of [`Protocol::write_scope`]: which neighbors can observe a
+/// guard-relevant difference between two states of this processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteScope {
+    /// No neighbor's guard reads anything that differs (e.g. only
+    /// fields that neighbors never consult changed).
+    Unchanged,
+    /// Exactly the ports pushed into the `out` argument carry observable
+    /// changes.
+    Ports,
+    /// Conservatively assume every incident port carries a change (the
+    /// node-dirty behavior).
+    All,
+}
+
 /// A distributed protocol in the shared-variable guarded-command model.
 ///
 /// One value of the implementing type describes the *uniform* program run
@@ -55,7 +234,10 @@ pub trait Protocol {
     /// The processor-local variables.
     type State: Clone + Eq + Hash + Debug;
     /// A label identifying one enabled action (guard) of the program.
-    type Action: Clone + Debug + PartialEq;
+    ///
+    /// `Send + 'static` so guard evaluations can pool action buffers in a
+    /// [`Scratch`] arena and simulation fleets can move across threads.
+    type Action: Clone + Debug + PartialEq + Send + 'static;
 
     /// Appends every action whose guard is true in `view` to `out`.
     ///
@@ -64,6 +246,127 @@ pub trait Protocol {
     /// explicit `¬OtherGuard ∧ …` conjuncts); returning several actions
     /// hands the choice to the (possibly adversarial) daemon.
     fn enabled(&self, view: &impl NodeView<Self::State>, out: &mut Vec<Self::Action>);
+
+    /// [`Protocol::enabled`] with a caller-provided [`Scratch`] arena for
+    /// protocol-internal temporaries.
+    ///
+    /// The engine's hot paths call this variant exclusively. Layered
+    /// protocols should override it to pool their per-evaluation buffers
+    /// (substrate action vectors, child-port lists) instead of allocating;
+    /// the default simply delegates to [`Protocol::enabled`].
+    ///
+    /// Overrides must produce exactly the same actions in exactly the same
+    /// order as [`Protocol::enabled`].
+    fn enabled_into(
+        &self,
+        view: &impl NodeView<Self::State>,
+        out: &mut Vec<Self::Action>,
+        scratch: &mut Scratch,
+    ) {
+        let _ = scratch;
+        self.enabled(view, out);
+    }
+
+    /// `true` iff this protocol implements the port-separable interface
+    /// ([`Protocol::init_ports`] / [`Protocol::refresh_self`] /
+    /// [`Protocol::reevaluate_port`] / [`Protocol::write_scope`]) with
+    /// non-default answers. The engine's port-dirty mode consults this
+    /// once and falls back to node-dirty invalidation when `false`.
+    ///
+    /// Layered protocols should answer `true` only if their substrate
+    /// does too.
+    fn port_separable(&self) -> bool {
+        false
+    }
+
+    /// Number of `u64` node words this protocol keeps in its
+    /// [`PortCache`] (on top of the one word per port the engine always
+    /// provides). Layered protocols add their substrate's word count to
+    /// their own.
+    fn port_node_words(&self) -> usize {
+        0
+    }
+
+    /// Evaluates this processor's guards from scratch, (re)building its
+    /// [`PortCache`], and returns the exact enabled-action count.
+    ///
+    /// Called on cache construction, after faults, and whenever a verdict
+    /// of [`PortVerdict::Whole`] forces a full refresh. The default
+    /// performs a plain `enabled` sweep and caches nothing — correct for
+    /// protocols whose other port methods never report [`PortVerdict::
+    /// Count`] from cached words.
+    fn init_ports(&self, view: &impl NodeView<Self::State>, cache: &mut PortCache<'_>) -> u32 {
+        let _ = cache;
+        let mut out = Vec::new();
+        self.enabled(view, &mut out);
+        out.len() as u32
+    }
+
+    /// This processor's **own** state changed from `old` to the state now
+    /// in `view` (a transition produced by [`Protocol::apply`]). Update
+    /// the cache words that depend on the processor's own variables —
+    /// reading the *current* neighbor states where needed — and report
+    /// the new action count.
+    ///
+    /// Contract: after this call, every cached quantity that depends on
+    /// the processor's own state must be current. Cached quantities that
+    /// depend only on neighbor states may stay stale — the engine
+    /// re-evaluates those via [`Protocol::reevaluate_port`] for every
+    /// port its writer reported in [`Protocol::write_scope`].
+    fn refresh_self(
+        &self,
+        view: &impl NodeView<Self::State>,
+        old: &Self::State,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let (_, _, _) = (view, old, cache);
+        PortVerdict::Whole
+    }
+
+    /// The neighbor behind `port` changed (its writer reported this port
+    /// in its [`Protocol::write_scope`]). Re-evaluate **only** the cached
+    /// per-port contribution of `port` against the neighbor's current
+    /// state and report the processor's new action count.
+    ///
+    /// Must be idempotent and correct regardless of call order within a
+    /// step: under the distributed daemon several neighbors (and the
+    /// processor itself) may change in the same step, and the engine
+    /// calls [`Protocol::refresh_self`] / `reevaluate_port` once per
+    /// change in unspecified order after all writes committed.
+    fn reevaluate_port(
+        &self,
+        view: &impl NodeView<Self::State>,
+        port: Port,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let (_, _, _) = (view, port, cache);
+        PortVerdict::Whole
+    }
+
+    /// Which of this processor's ports carry a **guard-relevant** change
+    /// between `old` and `new` (a transition produced by
+    /// [`Protocol::apply`]; the engine handles arbitrary fault writes
+    /// conservatively on its own)?
+    ///
+    /// "Guard-relevant" means: a neighbor's guard — or any quantity the
+    /// neighbor caches for [`Protocol::reevaluate_port`] — could evaluate
+    /// differently. Fields neighbors never read (e.g. `DFTNO`'s `Max` and
+    /// `π`, which only `apply` consults) need not dirty anything.
+    ///
+    /// Return [`WriteScope::Ports`] after pushing the affected ports into
+    /// `out` (which arrives cleared), [`WriteScope::Unchanged`] if no
+    /// neighbor can tell, or [`WriteScope::All`] to fall back to dirtying
+    /// the whole neighborhood.
+    fn write_scope(
+        &self,
+        ctx: &NodeCtx,
+        old: &Self::State,
+        new: &Self::State,
+        out: &mut Vec<Port>,
+    ) -> WriteScope {
+        let (_, _, _, _) = (ctx, old, new, out);
+        WriteScope::All
+    }
 
     /// Atomically executes `action`, returning the processor's new state.
     ///
@@ -219,6 +522,115 @@ mod tests {
         let p = ProjectedView::new(&v, first);
         assert_eq!(*p.state(), 1);
         assert_eq!(*p.neighbor(Port::new(0)), 2);
+    }
+
+    #[test]
+    fn scratch_pools_and_reuses_typed_buffers() {
+        let mut s = Scratch::new();
+        let mut v = s.take_vec::<u32>();
+        v.extend([1, 2, 3]);
+        let cap = v.capacity();
+        s.put_vec(v);
+        assert_eq!(s.pooled(), 1);
+        let v2 = s.take_vec::<u32>();
+        assert!(v2.is_empty(), "returned cleared");
+        assert_eq!(v2.capacity(), cap, "allocation reused");
+        // A capacity-less buffer is not worth a slot.
+        let w = s.take_vec::<String>();
+        s.put_vec(w);
+        assert_eq!(s.pooled(), 1);
+        s.put_vec(v2);
+        assert_eq!(s.pooled(), 1, "warm put lands back in its slot");
+    }
+
+    #[test]
+    fn scratch_warm_cycles_do_not_touch_the_heap() {
+        // The arena exists to make take/put free after warm-up: a warm
+        // cycle must move vectors in and out of slots without boxing.
+        let mut s = Scratch::new();
+        let mut a = s.take_vec::<u64>();
+        a.push(1);
+        s.put_vec(a);
+        let slots_before = s.pooled();
+        for _ in 0..100 {
+            let got = s.take_vec::<u64>();
+            assert!(got.capacity() > 0, "warm take returns the pooled buffer");
+            s.put_vec(got);
+        }
+        assert_eq!(s.pooled(), slots_before, "no slot churn on warm cycles");
+    }
+
+    #[test]
+    fn scratch_supports_reentrant_takes() {
+        let mut s = Scratch::new();
+        let mut a = s.take_vec::<u8>();
+        let mut b = s.take_vec::<u8>(); // nested take of the same type
+        a.push(1);
+        b.push(2);
+        s.put_vec(a);
+        s.put_vec(b);
+        assert_eq!(s.pooled(), 2);
+        // Steady state at this nesting depth: both warm, no growth.
+        let a = s.take_vec::<u8>();
+        let b = s.take_vec::<u8>();
+        assert!(a.capacity() > 0 && b.capacity() > 0);
+        s.put_vec(a);
+        s.put_vec(b);
+        assert_eq!(s.pooled(), 2);
+    }
+
+    #[test]
+    fn default_port_interface_is_conservative() {
+        let g = sno_graph::generators::path(2);
+        let net = Network::new(g, NodeId::new(0));
+        let proto = HopDistanceLike;
+        let states = vec![0u32, 5];
+        let v = ConfigView::new(&net, NodeId::new(1), &states);
+        assert!(!proto.port_separable());
+        assert_eq!(proto.port_node_words(), 0);
+        let mut cache = PortCache {
+            ports: &mut [],
+            node: &mut [],
+        };
+        // Default init_ports == a plain enabled sweep.
+        assert_eq!(proto.init_ports(&v, &mut cache), 1);
+        assert_eq!(proto.refresh_self(&v, &5, &mut cache), PortVerdict::Whole);
+        assert_eq!(
+            proto.reevaluate_port(&v, Port::new(0), &mut cache),
+            PortVerdict::Whole
+        );
+        let mut out = Vec::new();
+        assert_eq!(
+            proto.write_scope(net.ctx(NodeId::new(1)), &5, &1, &mut out),
+            WriteScope::All
+        );
+    }
+
+    /// A minimal protocol relying entirely on the default port interface.
+    #[derive(Debug, Clone, Copy)]
+    struct HopDistanceLike;
+
+    impl Protocol for HopDistanceLike {
+        type State = u32;
+        type Action = ();
+
+        fn enabled(&self, view: &impl NodeView<u32>, out: &mut Vec<()>) {
+            if *view.state() != 1 {
+                out.push(());
+            }
+        }
+
+        fn apply(&self, _view: &impl NodeView<u32>, _action: &()) -> u32 {
+            1
+        }
+
+        fn initial_state(&self, _ctx: &NodeCtx) -> u32 {
+            1
+        }
+
+        fn random_state(&self, _ctx: &NodeCtx, rng: &mut dyn RngCore) -> u32 {
+            rng.next_u32() % 3
+        }
     }
 
     #[test]

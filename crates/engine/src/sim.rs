@@ -18,19 +18,64 @@
 //! token walks an otherwise-silent network — this turns an `O(n)` step
 //! into an `O(Δ_dirty)` step.
 //!
+//! # The port-dirty engine
+//!
+//! Node-granular invalidation still has a worst case: a **hub**. When a
+//! degree-`Δ` processor executes, all `Δ` neighbors are dirtied and the
+//! hub's own guard re-evaluation is `O(Δ)`, so a star network pays `O(n)`
+//! per step either way. For protocols that opt into the
+//! [port-separable interface](crate::protocol::Protocol::port_separable),
+//! [`EngineMode::PortDirty`] refines the unit of dirtiness from *nodes* to
+//! *ports*:
+//!
+//! * **write side** — an executed processor reports *which of its ports
+//!   carry a guard-relevant change*
+//!   ([`write_scope`](crate::protocol::Protocol::write_scope)); a token
+//!   hand-off dirties one port instead of `Δ`;
+//! * **read side** — a dirtied neighbor re-evaluates **only the single
+//!   back-port** pointing at the writer
+//!   ([`reevaluate_port`](crate::protocol::Protocol::reevaluate_port)),
+//!   against a small engine-owned per-port cache, instead of re-reading
+//!   its whole neighborhood.
+//!
+//! A hub step then costs `O(dirty ports)` rather than `O(Σ deg(u))`.
+//! Protocols that do not opt in (or report
+//! [`PortVerdict::Whole`](crate::protocol::PortVerdict)) fall back to the
+//! node-dirty behavior per node, so the mode is always safe to enable.
+//!
 //! The daemon-visible enabled set is kept in ascending NodeId order, the
 //! same order a full sweep produces, so every daemon selection — and hence
-//! every trace, counter, and campaign report — is bit-for-bit identical to
-//! the reference full-sweep engine. [`Simulation::set_full_sweep`] switches
-//! to that reference mode; the differential test suites step both engines
-//! in lockstep and assert identical traces.
+//! every trace, counter, and campaign report — is bit-for-bit identical
+//! across all three [`EngineMode`]s. The differential test suites
+//! (`tests/engine_differential.rs`, `tests/port_separability.rs`) step the
+//! modes in lockstep and assert identical traces.
 
 use rand::RngCore;
-use sno_graph::NodeId;
+use sno_graph::{NodeId, Port};
 
 use crate::daemon::{Daemon, EnabledNode};
 use crate::network::Network;
-use crate::protocol::{ConfigView, Protocol};
+use crate::protocol::{ConfigView, PortCache, PortVerdict, Protocol, Scratch, WriteScope};
+
+/// Which guard-invalidation strategy a [`Simulation`] runs.
+///
+/// All modes produce bit-for-bit identical executions; they differ only in
+/// how much work a step costs. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Re-evaluate every guard twice per step, like a naive engine — the
+    /// differential-testing oracle and microbenchmark baseline.
+    FullSweep,
+    /// Incremental enabled set with node-granular dirtiness: re-evaluate
+    /// executed processors and their whole neighborhoods.
+    NodeDirty,
+    /// Incremental enabled set with **port-granular** dirtiness for
+    /// protocols implementing the port-separable interface; silently
+    /// behaves like [`EngineMode::NodeDirty`] for protocols that don't.
+    /// The default.
+    #[default]
+    PortDirty,
+}
 
 /// What happened in one computation step.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,10 +143,13 @@ pub struct Simulation<'a, P: Protocol> {
     /// `frontier_count == 0`, every bit is false.
     round_frontier: Vec<bool>,
     frontier_count: usize,
-    /// Reference mode: re-sweep every guard each step instead of using the
-    /// incremental cache (see [`Simulation::set_full_sweep`]).
-    full_sweep: bool,
-    // --- Incremental enabled-set cache (authoritative when !full_sweep) ---
+    /// The active guard-invalidation strategy.
+    mode: EngineMode,
+    /// `true` iff the port-dirty machinery is live: mode is
+    /// [`EngineMode::PortDirty`] *and* the protocol opted in.
+    port_cache_active: bool,
+    // --- Incremental enabled-set cache (authoritative when the mode is
+    // not FullSweep) ---
     /// `action_count[p]` = number of enabled actions at processor `p`.
     action_count: Vec<u32>,
     /// Processors with `action_count > 0`, in ascending NodeId order —
@@ -112,6 +160,29 @@ pub struct Simulation<'a, P: Protocol> {
     /// `dirty_mark[p] == epoch` iff `p` is already queued this step.
     dirty_mark: Vec<u64>,
     epoch: u64,
+    // --- Port-separable guard cache (allocated iff `port_cache_active`).
+    // One word per directed half-edge (CSR-aligned with the graph's flat
+    // adjacency) plus `node_stride` words per node; the protocol defines
+    // the contents (see `crate::protocol::PortCache`). ---
+    port_words: Vec<u64>,
+    node_words: Vec<u64>,
+    node_stride: usize,
+    /// Dirty-port queue: `node << 32 | port`, deduplicated per step.
+    dirty_ports: Vec<u64>,
+    /// `port_mark[csr_index] == epoch` iff that port is already queued.
+    port_mark: Vec<u64>,
+    /// `full_mark[p] == epoch` iff `p` was fully re-evaluated this step
+    /// (its cache is current; pending port entries can be skipped).
+    full_mark: Vec<u64>,
+    /// Nodes whose action count was rewritten this step (port mode), for
+    /// the deferred enabled-list / round-frontier fold.
+    touched: Vec<u32>,
+    touched_mark: Vec<u64>,
+    /// Pre-step states of this step's writers (port mode), for
+    /// `refresh_self` / `write_scope`.
+    old_states: Vec<(u32, P::State)>,
+    /// `write_scope` output buffer.
+    scope_ports: Vec<Port>,
     // --- Reusable buffers: campaign fleets (sno-lab) run millions of
     // steps per simulation object, so the hot path must not allocate. ---
     scratch_enabled: Vec<EnabledNode>,
@@ -120,6 +191,9 @@ pub struct Simulation<'a, P: Protocol> {
     scratch_chosen: Vec<bool>,
     scratch_choices: Vec<crate::daemon::Choice>,
     scratch_writes: Vec<(NodeId, P::State)>,
+    /// Arena for protocol-internal guard-evaluation temporaries
+    /// ([`Protocol::enabled_into`]).
+    scratch_arena: Scratch,
 }
 
 impl<'a, P: Protocol> Simulation<'a, P> {
@@ -135,6 +209,17 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             "configuration size mismatch"
         );
         let n = net.node_count();
+        let port_cache_active = protocol.port_separable();
+        let stride = if port_cache_active {
+            protocol.port_node_words()
+        } else {
+            0
+        };
+        let csr = if port_cache_active {
+            net.graph().csr_len()
+        } else {
+            0
+        };
         let mut sim = Simulation {
             net,
             protocol,
@@ -144,18 +229,30 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             rounds: 0,
             round_frontier: vec![false; n],
             frontier_count: 0,
-            full_sweep: false,
+            mode: EngineMode::PortDirty,
+            port_cache_active,
             action_count: vec![0; n],
             enabled_list: Vec::new(),
             dirty: Vec::new(),
             dirty_mark: vec![0; n],
             epoch: 0,
+            port_words: vec![0; csr],
+            node_words: vec![0; n * stride],
+            node_stride: stride,
+            dirty_ports: Vec::new(),
+            port_mark: vec![0; csr],
+            full_mark: vec![0; if port_cache_active { n } else { 0 }],
+            touched: Vec::new(),
+            touched_mark: vec![0; if port_cache_active { n } else { 0 }],
+            old_states: Vec::new(),
+            scope_ports: Vec::new(),
             scratch_enabled: Vec::new(),
             scratch_actions: Vec::new(),
             scratch_node_mask: vec![false; n],
             scratch_chosen: Vec::new(),
             scratch_choices: Vec::new(),
             scratch_writes: Vec::new(),
+            scratch_arena: Scratch::new(),
         };
         sim.rebuild_enabled_cache();
         sim.reset_round_frontier();
@@ -208,8 +305,11 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         self.config[p.index()] = s;
         // The write can flip guards at `p` and its neighbors only. In
         // reference mode the cache is unused (and rebuilt on mode exit),
-        // so skip the refresh there.
-        if !self.full_sweep {
+        // so skip the refresh there. An adversarial write is *not* an
+        // `apply` transition, so the port-separable `write_scope` contract
+        // does not cover it: refresh the whole neighborhood and rebuild
+        // its port caches conservatively.
+        if self.mode != EngineMode::FullSweep {
             let net = self.net;
             let mut actions = std::mem::take(&mut self.scratch_actions);
             let mut list = std::mem::take(&mut self.enabled_list);
@@ -219,8 +319,35 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             }
             self.scratch_actions = actions;
             self.enabled_list = list;
+            if self.port_cache_active {
+                self.reinit_port_cache_node(p.index());
+                for &q in net.graph().neighbors(p) {
+                    self.reinit_port_cache_node(q.index());
+                }
+            }
         }
         self.reset_round_frontier();
+    }
+
+    /// Rebuilds one node's port cache from the current configuration via
+    /// [`Protocol::init_ports`]. `action_count` must already be current.
+    fn reinit_port_cache_node(&mut self, idx: usize) {
+        debug_assert!(self.port_cache_active);
+        let node = NodeId::new(idx);
+        let g = self.net.graph();
+        let base = g.csr_base(node);
+        let deg = g.degree(node);
+        let view = ConfigView::new(self.net, node, &self.config);
+        let mut cache = PortCache {
+            ports: &mut self.port_words[base..base + deg],
+            node: &mut self.node_words[idx * self.node_stride..(idx + 1) * self.node_stride],
+        };
+        let count = self.protocol.init_ports(&view, &mut cache);
+        debug_assert_eq!(
+            count, self.action_count[idx],
+            "init_ports count must match the enabled sweep at node {idx}"
+        );
+        let _ = count;
     }
 
     /// Total daemon selections so far.
@@ -277,53 +404,99 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         self.reset_round_frontier();
     }
 
-    /// Switches between the incremental engine (the default) and the
-    /// **full-sweep reference mode**, which re-evaluates every guard twice
-    /// per step exactly like a naive engine.
+    /// Switches the guard-invalidation strategy. All modes produce
+    /// bit-for-bit identical executions; see [`EngineMode`].
     ///
-    /// Both modes produce bit-for-bit identical executions — the reference
-    /// mode exists as the differential-testing oracle for the incremental
-    /// enabled-set maintenance and as the baseline the engine
-    /// microbenchmarks compare against. Leave it off outside tests and
-    /// benchmarks.
-    pub fn set_full_sweep(&mut self, on: bool) {
-        if self.full_sweep == on {
+    /// Safe at any point of a run: leaving [`EngineMode::FullSweep`]
+    /// rebuilds the incremental cache, and entering
+    /// [`EngineMode::PortDirty`] re-initializes the per-port guard cache
+    /// (both went stale while unused).
+    pub fn set_mode(&mut self, mode: EngineMode) {
+        if self.mode == mode {
             return;
         }
-        self.full_sweep = on;
-        if !on {
-            // The cache went stale while the reference mode ran.
-            self.rebuild_enabled_cache();
+        let was_full = self.mode == EngineMode::FullSweep;
+        self.mode = mode;
+        self.port_cache_active = mode == EngineMode::PortDirty && self.protocol.port_separable();
+        if self.port_cache_active && self.port_words.len() != self.net.graph().csr_len() {
+            // First entry into port mode on this simulation: allocate the
+            // cache arrays (off the hot path).
+            let n = self.net.node_count();
+            self.node_stride = self.protocol.port_node_words();
+            self.port_words = vec![0; self.net.graph().csr_len()];
+            self.node_words = vec![0; n * self.node_stride];
+            self.port_mark = vec![0; self.net.graph().csr_len()];
+            self.full_mark = vec![0; n];
+            self.touched_mark = vec![0; n];
         }
+        if was_full {
+            // The incremental cache went stale while the reference mode
+            // ran; this also re-initializes the port cache when active.
+            self.rebuild_enabled_cache();
+        } else if self.port_cache_active {
+            // Counts stayed current under node-dirty stepping, but the
+            // per-port words did not.
+            for i in 0..self.net.node_count() {
+                self.reinit_port_cache_node(i);
+            }
+        }
+    }
+
+    /// The active guard-invalidation strategy.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// `true` iff the port-granular cache is live (port-dirty mode *and*
+    /// the protocol opted into the port-separable interface).
+    pub fn is_port_dirty_active(&self) -> bool {
+        self.port_cache_active
+    }
+
+    /// Back-compat wrapper around [`Simulation::set_mode`]: `true` enters
+    /// the full-sweep reference mode, `false` returns to the default
+    /// [`EngineMode::PortDirty`].
+    pub fn set_full_sweep(&mut self, on: bool) {
+        self.set_mode(if on {
+            EngineMode::FullSweep
+        } else {
+            EngineMode::PortDirty
+        });
     }
 
     /// `true` iff the full-sweep reference mode is active.
     pub fn is_full_sweep(&self) -> bool {
-        self.full_sweep
+        self.mode == EngineMode::FullSweep
     }
 
     /// The processors with at least one enabled action, with action
     /// counts, **in ascending NodeId order**.
     pub fn enabled_nodes(&self) -> Vec<EnabledNode> {
-        if self.full_sweep {
-            let mut scratch = Vec::new();
+        if self.mode == EngineMode::FullSweep {
+            let mut actions = Vec::new();
+            let mut arena = Scratch::new();
             let mut out = Vec::new();
-            self.fill_enabled(&mut scratch, &mut out);
+            self.fill_enabled(&mut actions, &mut out, &mut arena);
             out
         } else {
             self.enabled_list.clone()
         }
     }
 
-    /// Writes the full-sweep enabled set into `out` using `actions` as
-    /// guard scratch. Nodes are visited — and therefore emitted — in
-    /// ascending NodeId order.
-    fn fill_enabled(&self, actions: &mut Vec<P::Action>, out: &mut Vec<EnabledNode>) {
+    /// Writes the full-sweep enabled set into `out` using `actions` and
+    /// `arena` as guard scratch. Nodes are visited — and therefore
+    /// emitted — in ascending NodeId order.
+    fn fill_enabled(
+        &self,
+        actions: &mut Vec<P::Action>,
+        out: &mut Vec<EnabledNode>,
+        arena: &mut Scratch,
+    ) {
         out.clear();
         for p in self.net.nodes() {
             actions.clear();
             let view = ConfigView::new(self.net, p, &self.config);
-            self.protocol.enabled(&view, actions);
+            self.protocol.enabled_into(&view, actions, arena);
             if !actions.is_empty() {
                 out.push(EnabledNode {
                     node: p,
@@ -342,15 +515,17 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     }
 
     /// Rebuilds the per-node action counts and the sorted enabled list
-    /// with one full sweep. Only used off the hot path (construction,
-    /// re-initialization, leaving the reference mode).
+    /// with one full sweep (plus the port cache when active). Only used
+    /// off the hot path (construction, re-initialization, leaving the
+    /// reference mode).
     fn rebuild_enabled_cache(&mut self) {
         let mut actions = std::mem::take(&mut self.scratch_actions);
+        let mut arena = std::mem::take(&mut self.scratch_arena);
         self.enabled_list.clear();
         for p in self.net.nodes() {
             actions.clear();
             let view = ConfigView::new(self.net, p, &self.config);
-            self.protocol.enabled(&view, &mut actions);
+            self.protocol.enabled_into(&view, &mut actions, &mut arena);
             let count = actions.len() as u32;
             self.action_count[p.index()] = count;
             if count > 0 {
@@ -361,6 +536,12 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             }
         }
         self.scratch_actions = actions;
+        self.scratch_arena = arena;
+        if self.port_cache_active {
+            for i in 0..self.net.node_count() {
+                self.reinit_port_cache_node(i);
+            }
+        }
     }
 
     /// Re-evaluates the guards of one processor and folds the delta into
@@ -375,20 +556,31 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         let node = NodeId::new(idx);
         actions.clear();
         let view = ConfigView::new(self.net, node, &self.config);
-        self.protocol.enabled(&view, actions);
+        self.protocol
+            .enabled_into(&view, actions, &mut self.scratch_arena);
         let new = actions.len() as u32;
         let old = std::mem::replace(&mut self.action_count[idx], new);
         if new != old {
-            match list.binary_search_by_key(&idx, |e| e.node.index()) {
-                Ok(pos) => {
-                    if new == 0 {
-                        list.remove(pos);
-                    } else {
-                        list[pos].action_count = new as usize;
-                    }
+            Self::fold_count_into_list(node, new, list);
+        }
+        new
+    }
+
+    /// Folds one node's new action count into the NodeId-sorted enabled
+    /// list: present nodes are updated or removed, absent nodes inserted
+    /// when the count is positive. Idempotent — safe for the port-dirty
+    /// pass, which may fold a node whose count did not actually change.
+    fn fold_count_into_list(node: NodeId, new: u32, list: &mut Vec<EnabledNode>) {
+        match list.binary_search_by_key(&node.index(), |e| e.node.index()) {
+            Ok(pos) => {
+                if new == 0 {
+                    list.remove(pos);
+                } else {
+                    list[pos].action_count = new as usize;
                 }
-                Err(pos) => {
-                    debug_assert!(old == 0 && new > 0, "cache out of sync");
+            }
+            Err(pos) => {
+                if new > 0 {
                     list.insert(
                         pos,
                         EnabledNode {
@@ -399,7 +591,6 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 }
             }
         }
-        new
     }
 
     /// Queues `node` for guard re-evaluation, deduplicating via the epoch
@@ -416,16 +607,18 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     fn reset_round_frontier(&mut self) {
         self.round_frontier.iter_mut().for_each(|b| *b = false);
         self.frontier_count = 0;
-        if self.full_sweep {
+        if self.mode == EngineMode::FullSweep {
             let mut enabled = std::mem::take(&mut self.scratch_enabled);
             let mut actions = std::mem::take(&mut self.scratch_actions);
-            self.fill_enabled(&mut actions, &mut enabled);
+            let mut arena = std::mem::take(&mut self.scratch_arena);
+            self.fill_enabled(&mut actions, &mut enabled, &mut arena);
             self.frontier_count = enabled.len();
             for e in &enabled {
                 self.round_frontier[e.node.index()] = true;
             }
             self.scratch_enabled = enabled;
             self.scratch_actions = actions;
+            self.scratch_arena = arena;
         } else {
             self.frontier_count = self.enabled_list.len();
             for e in &self.enabled_list {
@@ -467,13 +660,17 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         daemon: &mut impl Daemon,
         mut record: Option<&mut Vec<(NodeId, P::Action)>>,
     ) -> bool {
+        let full_sweep = self.mode == EngineMode::FullSweep;
+        // `port_cache_active` is only ever set in PortDirty mode.
+        let use_ports = self.port_cache_active;
         let mut actions = std::mem::take(&mut self.scratch_actions);
+        let mut arena = std::mem::take(&mut self.scratch_arena);
         // The daemon-visible enabled set: a fresh sweep in reference mode,
         // the incrementally maintained list otherwise (same contents, same
         // NodeId order).
-        let mut enabled = if self.full_sweep {
+        let mut enabled = if full_sweep {
             let mut enabled = std::mem::take(&mut self.scratch_enabled);
-            self.fill_enabled(&mut actions, &mut enabled);
+            self.fill_enabled(&mut actions, &mut enabled, &mut arena);
             enabled
         } else {
             std::mem::take(&mut self.enabled_list)
@@ -481,6 +678,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         if enabled.is_empty() {
             self.restore_enabled(enabled);
             self.scratch_actions = actions;
+            self.scratch_arena = arena;
             return false;
         }
 
@@ -504,7 +702,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             let node = enabled[c.enabled_index].node;
             let view = ConfigView::new(self.net, node, &self.config);
             actions.clear();
-            self.protocol.enabled(&view, &mut actions);
+            self.protocol.enabled_into(&view, &mut actions, &mut arena);
             assert!(
                 c.action_index < actions.len(),
                 "daemon action index out of range"
@@ -519,21 +717,31 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         self.scratch_chosen = chosen;
 
         // Commit all writes atomically; remove executed processors from
-        // the round frontier; seed the dirty queue (executed nodes plus
-        // their CSR neighborhoods — the only guards that can have flipped).
+        // the round frontier. Node-dirty mode seeds the dirty-node queue
+        // (executed nodes plus their CSR neighborhoods); port-dirty mode
+        // logs the pre-step states instead, so the writers' `write_scope`
+        // can dirty individual ports afterwards.
         self.epoch += 1;
         let net = self.net;
         let mut dirty = std::mem::take(&mut self.dirty);
         dirty.clear();
+        let mut old_log = std::mem::take(&mut self.old_states);
+        debug_assert!(old_log.is_empty());
         for (node, state) in writes.drain(..) {
-            self.config[node.index()] = state;
-            if std::mem::replace(&mut self.round_frontier[node.index()], false) {
+            let i = node.index();
+            if std::mem::replace(&mut self.round_frontier[i], false) {
                 self.frontier_count -= 1;
             }
-            if !self.full_sweep {
-                self.mark_dirty(node, &mut dirty);
-                for &q in net.graph().neighbors(node) {
-                    self.mark_dirty(q, &mut dirty);
+            if use_ports {
+                let old = std::mem::replace(&mut self.config[i], state);
+                old_log.push((i as u32, old));
+            } else {
+                self.config[i] = state;
+                if !full_sweep {
+                    self.mark_dirty(node, &mut dirty);
+                    for &q in net.graph().neighbors(node) {
+                        self.mark_dirty(q, &mut dirty);
+                    }
                 }
             }
         }
@@ -545,11 +753,11 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             choices
         };
 
-        if self.full_sweep {
+        if full_sweep {
             // Reference mode: full re-sweep, neutralize frontier
             // processors that are no longer enabled.
             if self.frontier_count > 0 {
-                self.fill_enabled(&mut actions, &mut enabled);
+                self.fill_enabled(&mut actions, &mut enabled, &mut arena);
                 let mut enabled_mask = std::mem::take(&mut self.scratch_node_mask);
                 enabled_mask.iter_mut().for_each(|b| *b = false);
                 for e in &enabled {
@@ -563,6 +771,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 }
                 self.scratch_node_mask = enabled_mask;
             }
+        } else if use_ports {
+            self.port_dirty_pass(&mut enabled, &mut old_log);
         } else if dirty.len() * 4 >= self.net.node_count() {
             // Dense dirty set (e.g. the synchronous daemon mid-
             // stabilization): per-node sorted inserts/removes would
@@ -575,7 +785,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 let node = NodeId::new(d);
                 actions.clear();
                 let view = ConfigView::new(self.net, node, &self.config);
-                self.protocol.enabled(&view, &mut actions);
+                self.protocol.enabled_into(&view, &mut actions, &mut arena);
                 let new = actions.len() as u32;
                 self.action_count[d] = new;
                 if new == 0 && self.round_frontier[d] {
@@ -599,6 +809,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             // and fold each delta into the sorted list. A frontier
             // processor can only have become disabled if it is dirty, so
             // the same loop neutralizes the frontier.
+            self.scratch_arena = arena;
             for &d in &dirty {
                 let d = d as usize;
                 let new = self.refresh_node(d, &mut actions, &mut enabled);
@@ -607,14 +818,17 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                     self.frontier_count -= 1;
                 }
             }
+            arena = std::mem::take(&mut self.scratch_arena);
         }
         self.dirty = dirty;
+        self.old_states = old_log;
         self.restore_enabled(enabled);
         self.scratch_actions = actions;
+        self.scratch_arena = arena;
 
         if self.frontier_count == 0 {
             self.rounds += 1;
-            if self.full_sweep {
+            if full_sweep {
                 self.reset_round_frontier();
             } else {
                 // Every frontier bit is false here (each was individually
@@ -628,9 +842,181 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         true
     }
 
+    /// The port-dirty evaluation pass of one step (see the module docs):
+    ///
+    /// 1. for every writer, [`Protocol::refresh_self`] updates the cached
+    ///    quantities that depend on its own state, and
+    ///    [`Protocol::write_scope`] translates its `old → new` transition
+    ///    into dirty *ports* at the neighbors that can observe it;
+    /// 2. every dirty port is re-evaluated at its reader via
+    ///    [`Protocol::reevaluate_port`] — `O(1)`-ish per port instead of
+    ///    `O(Δ)` per neighborhood;
+    /// 3. the final action counts are folded into the sorted enabled list
+    ///    and newly disabled frontier processors are neutralized.
+    ///
+    /// Verdicts of [`PortVerdict::Whole`] fall back to a full
+    /// [`Protocol::init_ports`] re-evaluation for that node only.
+    fn port_dirty_pass(
+        &mut self,
+        enabled: &mut Vec<EnabledNode>,
+        old_log: &mut Vec<(u32, P::State)>,
+    ) {
+        let net = self.net;
+        let g = net.graph();
+        let epoch = self.epoch;
+        let stride = self.node_stride;
+        let mut dirty_ports = std::mem::take(&mut self.dirty_ports);
+        let mut touched = std::mem::take(&mut self.touched);
+        let mut scope = std::mem::take(&mut self.scope_ports);
+        dirty_ports.clear();
+        touched.clear();
+
+        // Phase 1: writers — self refresh + write scope.
+        for (i, old) in old_log.iter() {
+            let i = *i as usize;
+            let node = NodeId::new(i);
+            if self.touched_mark[i] != epoch {
+                self.touched_mark[i] = epoch;
+                touched.push(i as u32);
+            }
+            let base = g.csr_base(node);
+            let deg = g.degree(node);
+            let verdict = {
+                let view = ConfigView::new(net, node, &self.config);
+                let mut cache = PortCache {
+                    ports: &mut self.port_words[base..base + deg],
+                    node: &mut self.node_words[i * stride..(i + 1) * stride],
+                };
+                self.protocol.refresh_self(&view, old, &mut cache)
+            };
+            match verdict {
+                PortVerdict::Unchanged => {}
+                PortVerdict::Count(c) => self.action_count[i] = c,
+                PortVerdict::Whole => {
+                    let view = ConfigView::new(net, node, &self.config);
+                    let mut cache = PortCache {
+                        ports: &mut self.port_words[base..base + deg],
+                        node: &mut self.node_words[i * stride..(i + 1) * stride],
+                    };
+                    self.action_count[i] = self.protocol.init_ports(&view, &mut cache);
+                    self.full_mark[i] = epoch;
+                }
+            }
+            scope.clear();
+            let ws = self
+                .protocol
+                .write_scope(net.ctx(node), old, &self.config[i], &mut scope);
+            match ws {
+                WriteScope::Unchanged => {}
+                WriteScope::Ports => {
+                    for &l in scope.iter() {
+                        debug_assert!(l.index() < deg, "write_scope port out of range");
+                        let q = g.neighbor(node, l);
+                        let back = g.back_port(node, l);
+                        let slot = g.csr_index(q, back);
+                        if self.port_mark[slot] != epoch {
+                            self.port_mark[slot] = epoch;
+                            dirty_ports.push(((q.index() as u64) << 32) | back.index() as u64);
+                        }
+                    }
+                }
+                WriteScope::All => {
+                    for l in (0..deg).map(Port::new) {
+                        let q = g.neighbor(node, l);
+                        let back = g.back_port(node, l);
+                        let slot = g.csr_index(q, back);
+                        if self.port_mark[slot] != epoch {
+                            self.port_mark[slot] = epoch;
+                            dirty_ports.push(((q.index() as u64) << 32) | back.index() as u64);
+                        }
+                    }
+                }
+            }
+        }
+        // The pre-step states are no longer needed; free them eagerly.
+        old_log.clear();
+
+        // Phase 2: readers — one port-local re-evaluation per dirty port.
+        for &entry in &dirty_ports {
+            let u = (entry >> 32) as usize;
+            let l = Port::new((entry & u64::from(u32::MAX)) as usize);
+            if self.full_mark[u] == epoch {
+                continue; // already rebuilt against the post-step config
+            }
+            let node = NodeId::new(u);
+            let base = g.csr_base(node);
+            let deg = g.degree(node);
+            let verdict = {
+                let view = ConfigView::new(net, node, &self.config);
+                let mut cache = PortCache {
+                    ports: &mut self.port_words[base..base + deg],
+                    node: &mut self.node_words[u * stride..(u + 1) * stride],
+                };
+                self.protocol.reevaluate_port(&view, l, &mut cache)
+            };
+            match verdict {
+                PortVerdict::Unchanged => continue,
+                PortVerdict::Count(c) => self.action_count[u] = c,
+                PortVerdict::Whole => {
+                    let view = ConfigView::new(net, node, &self.config);
+                    let mut cache = PortCache {
+                        ports: &mut self.port_words[base..base + deg],
+                        node: &mut self.node_words[u * stride..(u + 1) * stride],
+                    };
+                    self.action_count[u] = self.protocol.init_ports(&view, &mut cache);
+                    self.full_mark[u] = epoch;
+                }
+            }
+            if self.touched_mark[u] != epoch {
+                self.touched_mark[u] = epoch;
+                touched.push(u as u32);
+            }
+        }
+
+        // Phase 3: fold the final counts into the sorted list; a frontier
+        // processor can only have become disabled if it was touched, so
+        // the same loop neutralizes the frontier (deliberately deferred —
+        // counts may change more than once within a step, and only the
+        // final value may neutralize).
+        if touched.len() * 4 >= net.node_count() {
+            for &t in &touched {
+                let t = t as usize;
+                if self.action_count[t] == 0
+                    && std::mem::replace(&mut self.round_frontier[t], false)
+                {
+                    self.frontier_count -= 1;
+                }
+            }
+            enabled.clear();
+            enabled.extend(
+                self.action_count
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| EnabledNode {
+                        node: NodeId::new(i),
+                        action_count: c as usize,
+                    }),
+            );
+        } else {
+            for &t in &touched {
+                let t = t as usize;
+                let c = self.action_count[t];
+                Self::fold_count_into_list(NodeId::new(t), c, enabled);
+                if c == 0 && std::mem::replace(&mut self.round_frontier[t], false) {
+                    self.frontier_count -= 1;
+                }
+            }
+        }
+
+        self.dirty_ports = dirty_ports;
+        self.touched = touched;
+        self.scope_ports = scope;
+    }
+
     /// Puts the taken enabled vector back where it came from.
     fn restore_enabled(&mut self, enabled: Vec<EnabledNode>) {
-        if self.full_sweep {
+        if self.mode == EngineMode::FullSweep {
             self.scratch_enabled = enabled;
         } else {
             self.enabled_list = enabled;
@@ -866,13 +1252,100 @@ mod tests {
         let mut daemon = DistributedRandom::seeded(11);
         for _ in 0..200 {
             let mut scratch = Vec::new();
+            let mut arena = crate::protocol::Scratch::new();
             let mut swept = Vec::new();
-            sim.fill_enabled(&mut scratch, &mut swept);
+            sim.fill_enabled(&mut scratch, &mut swept, &mut arena);
             assert_eq!(sim.enabled_nodes(), swept, "cache == sweep");
             if sim.step(&mut daemon).is_silent() {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn engine_modes_produce_identical_traces() {
+        // Three-way lockstep of the mode matrix on the engine's own
+        // example protocol (which opts into the port interface).
+        let net = net(11);
+        let mut sims: Vec<_> = [
+            EngineMode::FullSweep,
+            EngineMode::NodeDirty,
+            EngineMode::PortDirty,
+        ]
+        .into_iter()
+        .map(|m| {
+            use rand::SeedableRng as _;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+            let mut s = Simulation::from_random(&net, HopDistance, &mut rng);
+            s.set_mode(m);
+            assert_eq!(s.mode(), m);
+            s
+        })
+        .collect();
+        let mut daemons: Vec<_> = (0..3).map(|_| DistributedRandom::seeded(4)).collect();
+        loop {
+            let outcomes: Vec<_> = sims
+                .iter_mut()
+                .zip(daemons.iter_mut())
+                .map(|(s, d)| s.step(d))
+                .collect();
+            assert_eq!(outcomes[0], outcomes[1]);
+            assert_eq!(outcomes[0], outcomes[2]);
+            assert_eq!(sims[0].config(), sims[1].config());
+            assert_eq!(sims[0].config(), sims[2].config());
+            assert_eq!(
+                (sims[0].steps(), sims[0].moves(), sims[0].rounds()),
+                (sims[2].steps(), sims[2].moves(), sims[2].rounds())
+            );
+            if outcomes[0].is_silent() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn mode_switching_rebuilds_caches_consistently() {
+        let net = net(13);
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        let mut daemon = CentralRoundRobin::new();
+        let modes = [
+            EngineMode::PortDirty,
+            EngineMode::NodeDirty,
+            EngineMode::FullSweep,
+            EngineMode::PortDirty,
+            EngineMode::FullSweep,
+            EngineMode::NodeDirty,
+            EngineMode::PortDirty,
+        ];
+        for (i, m) in modes.into_iter().cycle().take(40).enumerate() {
+            sim.set_mode(m);
+            let mut scratch = Vec::new();
+            let mut arena = crate::protocol::Scratch::new();
+            let mut swept = Vec::new();
+            sim.fill_enabled(&mut scratch, &mut swept, &mut arena);
+            assert_eq!(sim.enabled_nodes(), swept, "cache == sweep at step {i}");
+            if sim.step(&mut daemon).is_silent() {
+                break;
+            }
+        }
+        sim.set_mode(EngineMode::PortDirty);
+        let run = sim.run_until_silent(&mut daemon, 10_000);
+        assert!(run.converged);
+        assert!(hop_distance_legit(&net, sim.config()));
+    }
+
+    #[test]
+    fn port_dirty_handles_faults_conservatively() {
+        let net = net(8);
+        let mut sim = Simulation::from_initial(&net, HopDistance);
+        assert!(sim.is_port_dirty_active(), "HopDistance opts in");
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 10_000);
+        // An adversarial write is not an `apply` transition; set_state
+        // must rebuild the port caches so subsequent steps stay exact.
+        sim.set_state(NodeId::new(4), 0);
+        let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 10_000);
+        assert!(run.converged);
+        assert!(hop_distance_legit(&net, sim.config()));
     }
 
     #[test]

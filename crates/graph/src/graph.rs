@@ -206,6 +206,41 @@ impl Graph {
         &self.flat_back[self.range(p)]
     }
 
+    /// The index of `(p, l)` in the flat CSR arrays — a stable dense
+    /// numbering of the graph's directed half-edges in `0..csr_len()`.
+    ///
+    /// Engines that keep per-port side tables (the port-dirty guard cache
+    /// in `sno-engine` in particular) use this to address "the port `l` of
+    /// processor `p`" in one flat allocation, aligned with
+    /// [`Graph::neighbors`] / [`Graph::back_ports`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `l` is out of range.
+    #[inline]
+    pub fn csr_index(&self, p: NodeId, l: Port) -> usize {
+        let r = self.range(p);
+        debug_assert!(l.index() < r.len(), "port out of range");
+        r.start + l.index()
+    }
+
+    /// Total number of directed half-edges (`2m`) — the length of the flat
+    /// CSR arrays and the valid range of [`Graph::csr_index`].
+    pub fn csr_len(&self) -> usize {
+        self.flat_adj.len()
+    }
+
+    /// The CSR index of node `p`'s first port (ports occupy
+    /// `csr_base(p) .. csr_base(p) + degree(p)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn csr_base(&self, p: NodeId) -> usize {
+        self.offsets[p.index()] as usize
+    }
+
     /// Finds the port of `p` that leads to `q`, if the edge exists.
     pub fn port_to(&self, p: NodeId, q: NodeId) -> Option<Port> {
         self.neighbors(p)
@@ -449,6 +484,23 @@ mod tests {
         assert!(!triangle().is_tree());
         let forest = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         assert!(!forest.is_tree());
+    }
+
+    #[test]
+    fn csr_indices_are_dense_and_aligned() {
+        let g = triangle();
+        assert_eq!(g.csr_len(), 2 * g.edge_count());
+        let mut seen = vec![false; g.csr_len()];
+        for u in g.nodes() {
+            assert_eq!(g.csr_base(u), g.csr_index(u, Port::new(0)));
+            for l in 0..g.degree(u) {
+                let idx = g.csr_index(u, Port::new(l));
+                assert!(!std::mem::replace(&mut seen[idx], true), "dense");
+                // Alignment with the flat neighbor slice.
+                assert_eq!(g.neighbors(u)[l], g.neighbor(u, Port::new(l)));
+            }
+        }
+        assert!(seen.into_iter().all(|b| b), "covers 0..csr_len");
     }
 
     #[test]

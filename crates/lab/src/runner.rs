@@ -288,11 +288,13 @@ where
     // and an unchunked fleet construct identical daemons.
     let mut daemon = cell.daemon.build(net, matrix.seed_start ^ DAEMON_SALT);
     let mut sim = Simulation::from_initial(net, protocol);
-    // Differential hook: `SNO_ENGINE_FULL_SWEEP=1` runs the whole
-    // campaign on the full-sweep reference engine. Reports must come out
-    // byte-identical — CI regenerates `BENCH_campaign.json` both ways.
-    if std::env::var_os("SNO_ENGINE_FULL_SWEEP").is_some_and(|v| v == "1") {
-        sim.set_full_sweep(true);
+    // Differential hooks: `SNO_ENGINE_MODE={full-sweep,node-dirty,
+    // port-dirty}` pins the engine mode for the whole campaign (the
+    // legacy `SNO_ENGINE_FULL_SWEEP=1` still forces the reference
+    // engine). Reports must come out byte-identical under every mode —
+    // CI regenerates `BENCH_campaign.json` under all three.
+    if let Some(mode) = engine_mode_from_env() {
+        sim.set_mode(mode);
     }
     let mut runs = Vec::with_capacity((seed_hi - seed_lo) as usize);
     for seed in seed_lo..seed_hi {
@@ -335,6 +337,26 @@ where
         nodes: net.node_count(),
         edges: net.graph().edge_count(),
         runs,
+    }
+}
+
+/// The engine mode requested via the environment, if any: the
+/// `SNO_ENGINE_MODE` name, or the legacy `SNO_ENGINE_FULL_SWEEP=1`.
+/// Unknown names panic — a silently ignored differential hook would make
+/// the CI determinism gates vacuous.
+fn engine_mode_from_env() -> Option<sno_engine::EngineMode> {
+    use sno_engine::EngineMode;
+    if std::env::var_os("SNO_ENGINE_FULL_SWEEP").is_some_and(|v| v == "1") {
+        return Some(EngineMode::FullSweep);
+    }
+    let v = std::env::var("SNO_ENGINE_MODE").ok()?;
+    match v.as_str() {
+        "full-sweep" => Some(EngineMode::FullSweep),
+        "node-dirty" => Some(EngineMode::NodeDirty),
+        "port-dirty" => Some(EngineMode::PortDirty),
+        other => panic!(
+            "unknown SNO_ENGINE_MODE {other:?} (expected full-sweep, node-dirty, or port-dirty)"
+        ),
     }
 }
 

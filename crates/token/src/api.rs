@@ -33,6 +33,19 @@ pub enum TokenKind {
 /// Implementations: [`crate::DfsTokenCirculation`] (self-stabilizing, the
 /// real substrate), [`crate::FixedTreeToken`] (token wave over a frozen
 /// tree), and [`crate::OracleToken`] (golden Euler-tour walker).
+///
+/// # Port-local guard classification
+///
+/// A token hand-off is an inherently *edge-local* event: the `Forward(p)`
+/// and `Backtrack(p)` guards each watch a single incident link (the parent
+/// the token arrives from, the child it returns from). Substrates whose
+/// guards are port-local in this sense should also opt into the engine's
+/// [port-separable interface](Protocol::port_separable) — then a layering
+/// orientation protocol (`DFTNO`) inherits `o(Δ)` hub steps under the
+/// engine's port-dirty invalidation. [`crate::OracleToken`] implements the
+/// interface *exactly* (its Euler word names the one neighbor each move
+/// can enable); [`crate::DfsTokenCirculation`] keeps the conservative
+/// whole-node default, whose guards genuinely scan the neighborhood.
 pub trait TokenCirculation: Protocol {
     /// Classifies an action *enabled in `view`* as the paper's `Forward` /
     /// `Backtrack` guard or as internal housekeeping.

@@ -20,6 +20,7 @@
 //! start.
 
 use rand::RngCore;
+use sno_engine::protocol::{PortCache, PortVerdict, WriteScope};
 use sno_engine::{NodeCtx, NodeView, Protocol, SpaceMeasured};
 use sno_graph::{Graph, NodeId, Port};
 
@@ -47,6 +48,12 @@ pub struct OracleToken {
     schedule: Vec<Vec<u64>>,
     /// Per node: the port toward its DFS parent.
     parent_ports: Vec<Option<Port>>,
+    /// `succ_port[r]` = the port at `slots[r].actor` toward
+    /// `slots[(r + 1) % L].actor` — the *only* neighbor whose guard can
+    /// flip when event `r` executes (`None` when the successor event is
+    /// the actor's own, i.e. the round wrap at the root). Powers the
+    /// exact [`Protocol::write_scope`].
+    succ_port: Vec<Option<Port>>,
 }
 
 impl OracleToken {
@@ -87,10 +94,25 @@ impl OracleToken {
         for (i, s) in slots.iter().enumerate() {
             schedule[s.actor.index()].push(i as u64);
         }
+        let succ_port = (0..slots.len())
+            .map(|r| {
+                let me = slots[r].actor;
+                let next = slots[(r + 1) % slots.len()].actor;
+                if next == me {
+                    None
+                } else {
+                    Some(
+                        g.port_to(me, next)
+                            .expect("consecutive Euler actors are adjacent"),
+                    )
+                }
+            })
+            .collect();
         OracleToken {
             slots,
             schedule,
             parent_ports: dfs.parent_port.clone(),
+            succ_port,
         }
     }
 
@@ -162,6 +184,77 @@ impl Protocol for OracleToken {
     fn random_state(&self, ctx: &NodeCtx, _rng: &mut dyn RngCore) -> u64 {
         // The oracle is the "already stabilized" substrate by definition.
         self.start_clock(ctx.id)
+    }
+
+    // --- Port-separable interface: the oracle's guard is strictly
+    // port-local. `slot_enabled` reads exactly one neighbor — the one
+    // behind the current slot's `prev_port` — so both directions of the
+    // port-dirty contract are *exact* here, no cache words needed:
+    //
+    // * read side: a neighbor change matters only on the watched port;
+    // * write side: when this node advances past event `e`, the only
+    //   guard that can flip anywhere is the actor of slot `e + 1` (its
+    //   `prev_port` points back here, and its threshold `clock ≥ c` is
+    //   crossed exactly then; every other threshold against this clock
+    //   is either already satisfied — clocks are monotone — or strictly
+    //   in the future). That actor is precomputed in `succ_port`.
+    // ---
+
+    fn port_separable(&self) -> bool {
+        true
+    }
+
+    fn init_ports(&self, view: &impl NodeView<u64>, _cache: &mut PortCache<'_>) -> u32 {
+        u32::from(self.slot_enabled(view))
+    }
+
+    fn refresh_self(
+        &self,
+        view: &impl NodeView<u64>,
+        _old: &u64,
+        _cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        PortVerdict::Count(u32::from(self.slot_enabled(view)))
+    }
+
+    fn reevaluate_port(
+        &self,
+        view: &impl NodeView<u64>,
+        port: Port,
+        _cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let slot = &self.slots[self.residue(*view.state())];
+        if slot.actor != view.ctx().id {
+            // Corrupted clock: disabled regardless of any neighbor.
+            return PortVerdict::Unchanged;
+        }
+        match slot.prev_port {
+            // Round start: enabled regardless of any neighbor.
+            None => PortVerdict::Unchanged,
+            Some(watched) if watched == port => {
+                PortVerdict::Count(u32::from(self.slot_enabled(view)))
+            }
+            // The guard does not read this port at all.
+            Some(_) => PortVerdict::Unchanged,
+        }
+    }
+
+    fn write_scope(&self, _ctx: &NodeCtx, old: &u64, new: &u64, out: &mut Vec<Port>) -> WriteScope {
+        if old == new {
+            return WriteScope::Unchanged;
+        }
+        // `apply` advanced past event `residue(old)`; see the block
+        // comment above for why the successor's actor is the only
+        // affected neighbor.
+        match self.succ_port[self.residue(*old)] {
+            Some(p) => {
+                out.push(p);
+                WriteScope::Ports
+            }
+            // The successor event is this node's own (round wrap at the
+            // root) — covered by the engine's self refresh.
+            None => WriteScope::Unchanged,
+        }
     }
 }
 

@@ -30,6 +30,31 @@ pub trait SpanningTree: Protocol {
     /// The ports toward the children `D_p`, in ascending port order — the
     /// order `Distribute` hands out name ranges.
     fn children_ports(&self, view: &impl NodeView<Self::State>) -> Vec<Port>;
+
+    /// Appends the children ports to a caller-provided buffer instead of
+    /// allocating — the variant `STNO`'s hot guard evaluation uses
+    /// (through its [`sno_engine::Scratch`] arena). Implementations
+    /// should override this to avoid the default's allocation.
+    fn children_ports_into(&self, view: &impl NodeView<Self::State>, out: &mut Vec<Port>) {
+        out.extend(self.children_ports(view));
+    }
+
+    /// `true` iff this substrate is **frozen**: it has no actions, its
+    /// states never change, and each node's tree position is a function
+    /// of the node's static context alone. A frozen substrate makes the
+    /// layering `STNO` port-separable (tree edges cannot move under it),
+    /// and must answer [`SpanningTree::static_parent_port`].
+    fn frozen(&self) -> bool {
+        false
+    }
+
+    /// The parent port derived from static context only — required (and
+    /// meaningful) exactly when [`SpanningTree::frozen`] answers `true`;
+    /// used by write-side invalidation, which has no neighbor view.
+    fn static_parent_port(&self, ctx: &sno_engine::NodeCtx) -> Option<Port> {
+        let _ = ctx;
+        None
+    }
 }
 
 impl SpanningTree for BfsSpanningTree {
@@ -42,12 +67,19 @@ impl SpanningTree for BfsSpanningTree {
     }
 
     fn children_ports(&self, view: &impl NodeView<BfsState>) -> Vec<Port> {
+        let mut out = Vec::new();
+        self.children_ports_into(view, &mut out);
+        out
+    }
+
+    fn children_ports_into(&self, view: &impl NodeView<BfsState>, out: &mut Vec<Port>) {
         // q is my child iff q's parent port points back at me.
         let ctx = view.ctx();
-        (0..ctx.degree)
-            .map(Port::new)
-            .filter(|&l| view.neighbor(l).parent == Some(ctx.back_ports[l.index()]))
-            .collect()
+        out.extend(
+            (0..ctx.degree)
+                .map(Port::new)
+                .filter(|&l| view.neighbor(l).parent == Some(ctx.back_ports[l.index()])),
+        );
     }
 }
 
@@ -96,6 +128,45 @@ impl Protocol for OracleSpanningTree {
     fn initial_state(&self, _ctx: &NodeCtx) {}
 
     fn random_state(&self, _ctx: &NodeCtx, _rng: &mut dyn RngCore) {}
+
+    // The inert substrate is trivially port-separable: no guard ever
+    // holds, no state ever changes.
+
+    fn port_separable(&self) -> bool {
+        true
+    }
+
+    fn init_ports(&self, _view: &impl NodeView<()>, _cache: &mut sno_engine::PortCache<'_>) -> u32 {
+        0
+    }
+
+    fn refresh_self(
+        &self,
+        _view: &impl NodeView<()>,
+        _old: &(),
+        _cache: &mut sno_engine::PortCache<'_>,
+    ) -> sno_engine::PortVerdict {
+        sno_engine::PortVerdict::Unchanged
+    }
+
+    fn reevaluate_port(
+        &self,
+        _view: &impl NodeView<()>,
+        _port: Port,
+        _cache: &mut sno_engine::PortCache<'_>,
+    ) -> sno_engine::PortVerdict {
+        sno_engine::PortVerdict::Unchanged
+    }
+
+    fn write_scope(
+        &self,
+        _ctx: &NodeCtx,
+        _old: &(),
+        _new: &(),
+        _out: &mut Vec<Port>,
+    ) -> sno_engine::WriteScope {
+        sno_engine::WriteScope::Unchanged
+    }
 }
 
 impl SpanningTree for OracleSpanningTree {
@@ -105,6 +176,18 @@ impl SpanningTree for OracleSpanningTree {
 
     fn children_ports(&self, view: &impl NodeView<()>) -> Vec<Port> {
         self.children[view.ctx().id.index()].clone()
+    }
+
+    fn children_ports_into(&self, view: &impl NodeView<()>, out: &mut Vec<Port>) {
+        out.extend_from_slice(&self.children[view.ctx().id.index()]);
+    }
+
+    fn frozen(&self) -> bool {
+        true
+    }
+
+    fn static_parent_port(&self, ctx: &NodeCtx) -> Option<Port> {
+        self.parents[ctx.id.index()]
     }
 }
 
@@ -164,20 +247,27 @@ impl SpanningTree for CdSpanningTree {
     }
 
     fn children_ports(&self, view: &impl NodeView<DfsPath>) -> Vec<Port> {
+        let mut out = Vec::new();
+        self.children_ports_into(view, &mut out);
+        out
+    }
+
+    fn children_ports_into(&self, view: &impl NodeView<DfsPath>, out: &mut Vec<Port>) {
         let ctx = view.ctx();
         let cap = Self::cap(ctx);
         let my = view.state();
         if my.is_top() {
-            return Vec::new();
+            return;
         }
         let parent = self.parent_port(view);
         if !ctx.is_root && parent.is_none() {
-            return Vec::new();
+            return;
         }
-        (0..ctx.degree)
-            .map(Port::new)
-            .filter(|&l| Some(l) != parent && *view.neighbor(l) == my.extend(l, cap))
-            .collect()
+        out.extend(
+            (0..ctx.degree)
+                .map(Port::new)
+                .filter(|&l| Some(l) != parent && *view.neighbor(l) == my.extend(l, cap)),
+        );
     }
 }
 

@@ -1,0 +1,197 @@
+//! The zero-allocation hot-path assertions, measured through the
+//! `testalloc` shim's counting global allocator.
+//!
+//! Two claims are enforced:
+//!
+//! 1. the **engine's step loop** performs zero heap allocations per step
+//!    once warmed up (reusable scratch, incremental enabled set, port
+//!    cache) — measured with `Copy`-state protocols so no protocol-level
+//!    clone can hide an engine regression, in every engine mode;
+//! 2. the **layered protocols' guard evaluations** (`Dftno::enabled`,
+//!    `Stno::enabled` — the ROADMAP "per-guard-evaluation allocation"
+//!    item) perform zero allocations through `enabled_into` once their
+//!    `Scratch` arena is warm, and a full `DFTNO` step allocates only
+//!    the `O(1)` state clone of `apply`, never `O(Δ)` guard temporaries.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sno::core::dftno::Dftno;
+use sno::core::stno::Stno;
+use sno::engine::daemon::CentralRoundRobin;
+use sno::engine::examples::HopDistance;
+use sno::engine::protocol::{ConfigView, Scratch};
+use sno::engine::{EngineMode, Network, Protocol, Simulation};
+use sno::graph::{generators, NodeId};
+use sno::token::OracleToken;
+use sno::tree::{BfsSpanningTree, OracleSpanningTree};
+
+#[global_allocator]
+static ALLOC: testalloc::CountingAlloc = testalloc::CountingAlloc::new();
+
+/// The allocator counters are process-global, so the default parallel
+/// test harness would let one test's allocations land inside another's
+/// measured window. Every test serializes its whole body on this lock
+/// (surviving a poisoned mutex — the counters stay valid after a
+/// failed assertion).
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `steps` warmed-up daemon selections and returns the heap
+/// activity (allocations + reallocations) they performed.
+fn step_activity<P: Protocol + Clone>(
+    net: &Network,
+    protocol: P,
+    mode: EngineMode,
+    steps: u64,
+) -> u64 {
+    let mut sim = Simulation::from_initial(net, protocol);
+    sim.set_mode(mode);
+    let mut daemon = CentralRoundRobin::new();
+    // Warm-up: let every scratch buffer, arena slot, and list reach its
+    // steady capacity.
+    sim.run_until(&mut daemon, 2_000, |_| false);
+    let before = testalloc::heap_activity();
+    sim.run_until(&mut daemon, steps, |_| false);
+    testalloc::heap_activity() - before
+}
+
+#[test]
+fn engine_step_loop_is_allocation_free_for_copy_states() {
+    let _serial = serialized();
+    // OracleToken (state u64) on the star: the hub workload the
+    // port-dirty engine targets. HopDistance (state u32) on a path: the
+    // generic sparse workload. Neither protocol's apply allocates, so
+    // any count here is the engine's.
+    let star = Network::new(generators::star(64), NodeId::new(0));
+    let oracle = OracleToken::new(star.graph(), star.root());
+    let path = Network::new(generators::path(64), NodeId::new(0));
+    for mode in [
+        EngineMode::FullSweep,
+        EngineMode::NodeDirty,
+        EngineMode::PortDirty,
+    ] {
+        let a = step_activity(&star, oracle.clone(), mode, 4_000);
+        assert_eq!(a, 0, "oracle token / star allocates under {mode:?}");
+        let b = step_activity(&path, HopDistance, mode, 4_000);
+        assert_eq!(b, 0, "hop distance / path allocates under {mode:?}");
+    }
+}
+
+#[test]
+fn dftno_step_allocates_o1_not_o_delta() {
+    let _serial = serialized();
+    // A DFTNO step must allocate only `apply`'s state clone (the π
+    // vector plus the write slot): a constant per move, independent of
+    // the hub degree — and in particular not the old per-guard
+    // substrate-action vectors, which a star would multiply by Δ per
+    // step. Give both stars the same step budget and require the same
+    // per-step constant.
+    for (n, bound) in [(16usize, 3u64), (128usize, 3u64)] {
+        let net = Network::new(generators::star(n), NodeId::new(0));
+        let oracle = OracleToken::new(net.graph(), net.root());
+        let steps = 2_000u64;
+        let activity = step_activity(&net, Dftno::new(oracle), EngineMode::PortDirty, steps);
+        let per_step = activity as f64 / steps as f64;
+        assert!(
+            per_step <= bound as f64,
+            "star n={n}: {per_step} allocations/step exceeds the O(1) bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn layered_guard_evaluation_is_allocation_free_with_warm_scratch() {
+    let _serial = serialized();
+    // The ROADMAP item verbatim: `Dftno::enabled` and `Stno::enabled`
+    // built a temporary substrate-action Vec per guard evaluation.
+    // Through `enabled_into` with a warmed arena they must not allocate.
+    let g = generators::random_connected(24, 12, 9);
+    let root = NodeId::new(0);
+
+    // DFTNO over the oracle walker.
+    let oracle = OracleToken::new(&g, root);
+    let net = Network::new(g.clone(), root);
+    let dftno = Dftno::new(oracle);
+    let mut rng = StdRng::seed_from_u64(3);
+    let config: Vec<_> = net
+        .nodes()
+        .map(|p| dftno.random_state(net.ctx(p), &mut rng))
+        .collect();
+    let mut arena = Scratch::new();
+    let mut out = Vec::with_capacity(8);
+    for p in net.nodes() {
+        // Warm pass per node shape, then the measured pass.
+        let view = ConfigView::new(&net, p, &config);
+        out.clear();
+        dftno.enabled_into(&view, &mut out, &mut arena);
+        let before = testalloc::heap_activity();
+        out.clear();
+        dftno.enabled_into(&view, &mut out, &mut arena);
+        assert_eq!(
+            testalloc::heap_activity() - before,
+            0,
+            "Dftno::enabled_into allocated at node {p}"
+        );
+    }
+
+    // STNO over both a frozen and a live substrate.
+    let bfs = sno::graph::traverse::bfs(&g, root);
+    let tree = sno::graph::RootedTree::from_parents(&g, root, &bfs.parent).unwrap();
+    let oracle_tree = OracleSpanningTree::from_graph(&g, &tree);
+    let stno = Stno::new(oracle_tree);
+    let mut rng = StdRng::seed_from_u64(4);
+    let config: Vec<_> = net
+        .nodes()
+        .map(|p| stno.random_state(net.ctx(p), &mut rng))
+        .collect();
+    for p in net.nodes() {
+        let view = ConfigView::new(&net, p, &config);
+        out.clear();
+        let mut stno_out = Vec::with_capacity(8);
+        stno.enabled_into(&view, &mut stno_out, &mut arena);
+        let before = testalloc::heap_activity();
+        stno_out.clear();
+        stno.enabled_into(&view, &mut stno_out, &mut arena);
+        assert_eq!(
+            testalloc::heap_activity() - before,
+            0,
+            "Stno::enabled_into (oracle tree) allocated at node {p}"
+        );
+    }
+
+    let stno_live = Stno::new(BfsSpanningTree);
+    let mut rng = StdRng::seed_from_u64(5);
+    let config: Vec<_> = net
+        .nodes()
+        .map(|p| stno_live.random_state(net.ctx(p), &mut rng))
+        .collect();
+    let mut live_out = Vec::with_capacity(8);
+    for p in net.nodes() {
+        let view = ConfigView::new(&net, p, &config);
+        live_out.clear();
+        stno_live.enabled_into(&view, &mut live_out, &mut arena);
+        let before = testalloc::heap_activity();
+        live_out.clear();
+        stno_live.enabled_into(&view, &mut live_out, &mut arena);
+        assert_eq!(
+            testalloc::heap_activity() - before,
+            0,
+            "Stno::enabled_into (BFS tree) allocated at node {p}"
+        );
+    }
+}
+
+#[test]
+fn counting_allocator_actually_counts() {
+    let _serial = serialized();
+    // Sanity: the hook sees an obvious allocation (the zero assertions
+    // above would be vacuous against a broken counter).
+    let before = testalloc::allocation_count();
+    let v: Vec<u64> = Vec::with_capacity(1024);
+    std::hint::black_box(&v);
+    assert!(testalloc::allocation_count() > before);
+    drop(v);
+}

@@ -1,0 +1,43 @@
+//! Fixtures shared by the engine-differential and port-separability
+//! suites: the daemon/topology matrix and the nightly seed-range knob.
+
+use sno::lab::DaemonSpec;
+
+/// The daemon families of the differential matrix (covers a rotating, a
+/// maximal, a randomized-subset, and a randomized-central scheduler).
+pub const DAEMONS: [DaemonSpec; 4] = [
+    DaemonSpec::CentralRoundRobin,
+    DaemonSpec::Synchronous,
+    DaemonSpec::Distributed,
+    DaemonSpec::CentralRandom,
+];
+
+/// The topology families of the differential matrix.
+pub fn topologies(n: usize) -> Vec<(&'static str, sno::graph::Graph)> {
+    use sno::graph::generators;
+    vec![
+        ("path", generators::path(n)),
+        ("star", generators::star(n)),
+        ("random-tree", generators::random_tree(n, 31)),
+        ("torus", generators::torus(4, 3)),
+    ]
+}
+
+/// The seed offsets the matrices sweep: `0..1` by default (the fast PR
+/// gate), or the `SNO_DIFF_SEEDS=lo:hi` range for the nightly extended
+/// differential job (each extra seed re-runs the whole matrix from a
+/// different random configuration).
+pub fn seed_offsets() -> std::ops::Range<u64> {
+    match std::env::var("SNO_DIFF_SEEDS") {
+        Ok(v) => {
+            let (lo, hi) = v
+                .split_once(':')
+                .unwrap_or_else(|| panic!("SNO_DIFF_SEEDS must be lo:hi, got {v:?}"));
+            let lo: u64 = lo.parse().expect("SNO_DIFF_SEEDS lo");
+            let hi: u64 = hi.parse().expect("SNO_DIFF_SEEDS hi");
+            assert!(lo < hi, "empty SNO_DIFF_SEEDS range");
+            lo..hi
+        }
+        Err(_) => 0..1,
+    }
+}

@@ -1,17 +1,23 @@
-//! Differential tests of the incremental enabled-set engine against the
+//! Differential tests of the incremental enabled-set engines against the
 //! full-sweep reference mode.
 //!
-//! The incremental engine re-evaluates guards only at executed processors
-//! and their neighbors; the reference mode re-sweeps every guard twice
-//! per step. The two must be **indistinguishable**: identical enabled
-//! sets (contents *and* NodeId order — the daemons index into them),
-//! identical step outcomes, configurations, and move/step/round counters,
-//! at every step, for every protocol stack, daemon, and topology family.
+//! The node-dirty engine re-evaluates guards only at executed processors
+//! and their neighbors; the port-dirty engine refines that to individual
+//! dirty *ports* for port-separable protocols; the reference mode
+//! re-sweeps every guard twice per step. The three must be
+//! **indistinguishable**: identical enabled sets (contents *and* NodeId
+//! order — the daemons index into them), identical step outcomes,
+//! configurations, and move/step/round counters, at every step, for
+//! every protocol stack, daemon, and topology family.
 //!
 //! Coverage: 4 protocols (`DFTNO`, `STNO`, the raw token circulation, the
-//! raw BFS tree) × 4 daemons × 4 topology families, stepped in lockstep,
-//! plus a proptest over random networks and seeds asserting equal
-//! `RunResult`s and final configurations.
+//! raw BFS tree) × 4 daemons × 4 topology families, stepped in three-way
+//! lockstep, plus a proptest over random networks and seeds asserting
+//! equal `RunResult`s and final configurations.
+//!
+//! The cheap PR gate runs one seed per cell; the nightly extended job
+//! widens the sweep via `SNO_DIFF_SEEDS=lo:hi` (each extra seed re-runs
+//! the whole matrix from a different random configuration).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -19,35 +25,19 @@ use rand::SeedableRng;
 use sno::core::dftno::Dftno;
 use sno::core::stno::Stno;
 use sno::engine::daemon::Daemon;
-use sno::engine::{Network, Protocol, Simulation};
+use sno::engine::{EngineMode, Network, Protocol, Simulation};
 use sno::graph::{generators, NodeId};
 use sno::lab::DaemonSpec;
 use sno::token::{DfsTokenCirculation, OracleToken};
 use sno::tree::BfsSpanningTree;
 
-/// The topology families of the differential matrix.
-fn topologies(n: usize) -> Vec<(&'static str, sno::graph::Graph)> {
-    vec![
-        ("path", generators::path(n)),
-        ("star", generators::star(n)),
-        ("random-tree", generators::random_tree(n, 31)),
-        ("torus", generators::torus(4, 3)),
-    ]
-}
+mod common;
+use common::{seed_offsets, topologies, DAEMONS};
 
-/// The daemon families of the differential matrix (covers a rotating, a
-/// maximal, a randomized-subset, and a randomized-central scheduler).
-const DAEMONS: [DaemonSpec; 4] = [
-    DaemonSpec::CentralRoundRobin,
-    DaemonSpec::Synchronous,
-    DaemonSpec::Distributed,
-    DaemonSpec::CentralRandom,
-];
-
-/// Steps the incremental engine and the full-sweep reference in lockstep
-/// from identical random configurations and asserts a bit-identical
-/// trace: enabled set (order included), outcome, configuration, and
-/// counters after every step.
+/// Steps the node-dirty and port-dirty engines and the full-sweep
+/// reference in three-way lockstep from identical random configurations
+/// and asserts a bit-identical trace: enabled set (order included),
+/// outcome, configuration, and counters after every step.
 fn assert_identical_traces<P>(
     label: &str,
     net: &Network,
@@ -58,49 +48,64 @@ fn assert_identical_traces<P>(
 ) where
     P: Protocol + Clone,
 {
-    let mut rng_a = StdRng::seed_from_u64(seed);
-    let mut incremental = Simulation::from_random(net, protocol.clone(), &mut rng_a);
-    let mut rng_b = StdRng::seed_from_u64(seed);
-    let mut reference = Simulation::from_random(net, protocol, &mut rng_b);
-    reference.set_full_sweep(true);
-    assert_eq!(
-        incremental.config(),
-        reference.config(),
-        "{label}: same start"
-    );
+    let modes = [
+        EngineMode::FullSweep,
+        EngineMode::NodeDirty,
+        EngineMode::PortDirty,
+    ];
+    let mut sims: Vec<Simulation<'_, P>> = modes
+        .iter()
+        .map(|&m| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = Simulation::from_random(net, protocol.clone(), &mut rng);
+            s.set_mode(m);
+            s
+        })
+        .collect();
+    assert_eq!(sims[0].config(), sims[1].config(), "{label}: same start");
+    assert_eq!(sims[0].config(), sims[2].config(), "{label}: same start");
 
-    let mut daemon_a: Box<dyn Daemon> = daemon_spec.build(net, seed);
-    let mut daemon_b: Box<dyn Daemon> = daemon_spec.build(net, seed);
+    let mut daemons: Vec<Box<dyn Daemon>> = (0..3).map(|_| daemon_spec.build(net, seed)).collect();
     for step in 0..max_steps {
+        let reference = sims[0].enabled_nodes();
+        for (s, m) in sims.iter().zip(modes) {
+            assert_eq!(
+                s.enabled_nodes(),
+                reference,
+                "{label}: enabled set (and its NodeId order) under {m:?} at step {step}"
+            );
+        }
+        let outcomes: Vec<_> = sims
+            .iter_mut()
+            .zip(daemons.iter_mut())
+            .map(|(s, d)| s.step(d))
+            .collect();
+        assert_eq!(outcomes[0], outcomes[1], "{label}: outcome at step {step}");
+        assert_eq!(outcomes[0], outcomes[2], "{label}: outcome at step {step}");
         assert_eq!(
-            incremental.enabled_nodes(),
-            reference.enabled_nodes(),
-            "{label}: enabled sets (and their NodeId order) at step {step}"
-        );
-        let oa = incremental.step(&mut daemon_a);
-        let ob = reference.step(&mut daemon_b);
-        assert_eq!(oa, ob, "{label}: outcome at step {step}");
-        assert_eq!(
-            incremental.config(),
-            reference.config(),
+            sims[0].config(),
+            sims[1].config(),
             "{label}: config at step {step}"
         );
         assert_eq!(
-            (
-                incremental.steps(),
-                incremental.moves(),
-                incremental.rounds()
-            ),
-            (reference.steps(), reference.moves(), reference.rounds()),
-            "{label}: counters at step {step}"
+            sims[0].config(),
+            sims[2].config(),
+            "{label}: config at step {step}"
         );
-        if oa.is_silent() {
+        let counters: Vec<_> = sims
+            .iter()
+            .map(|s| (s.steps(), s.moves(), s.rounds()))
+            .collect();
+        assert_eq!(counters[0], counters[1], "{label}: counters at step {step}");
+        assert_eq!(counters[0], counters[2], "{label}: counters at step {step}");
+        if outcomes[0].is_silent() {
             break;
         }
     }
 }
 
-/// Runs the whole daemon × topology sub-matrix for one protocol builder.
+/// Runs the whole daemon × topology × seed sub-matrix for one protocol
+/// builder.
 fn differential_matrix<P, F>(protocol_name: &str, steps: u64, build: F)
 where
     P: Protocol + Clone,
@@ -110,8 +115,17 @@ where
         let net = Network::new(g, NodeId::new(0));
         let protocol = build(&net);
         for (i, d) in DAEMONS.into_iter().enumerate() {
-            let label = format!("{protocol_name} × {d} × {topo}");
-            assert_identical_traces(&label, &net, protocol.clone(), d, 900 + i as u64, steps);
+            for offset in seed_offsets() {
+                let label = format!("{protocol_name} × {d} × {topo} × seed+{offset}");
+                assert_identical_traces(
+                    &label,
+                    &net,
+                    protocol.clone(),
+                    d,
+                    900 + i as u64 + 1_000 * offset,
+                    steps,
+                );
+            }
         }
     }
 }

@@ -1,0 +1,324 @@
+//! Correctness of the port-separable guard interface, protocol by
+//! protocol.
+//!
+//! Two layers of checking, mirroring the engine-differential matrix
+//! (4 implementing protocols × 4 daemons):
+//!
+//! * **unit-level**: for random networks, random configurations, and a
+//!   random single-port perturbation, `reevaluate_port` must agree with a
+//!   full `enabled` re-evaluation of the reader — for every protocol
+//!   implementing the interface (`HopDistance`, `OracleToken`,
+//!   `DFTNO`/oracle, `STNO`/frozen tree);
+//! * **system-level**: the port-dirty engine stepped in lockstep with the
+//!   full-sweep reference and the node-dirty engine must expose identical
+//!   enabled sets, configurations, and counters at every step, under a
+//!   rotating, a maximal, a randomized-subset, and a randomized-central
+//!   daemon.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use sno::core::dftno::Dftno;
+use sno::core::stno::Stno;
+use sno::engine::daemon::Daemon;
+use sno::engine::examples::HopDistance;
+use sno::engine::protocol::{ConfigView, PortCache, PortVerdict};
+use sno::engine::{EngineMode, Network, Protocol, Simulation};
+use sno::graph::{generators, traverse, NodeId, Port, RootedTree};
+use sno::lab::DaemonSpec;
+use sno::token::OracleToken;
+use sno::tree::OracleSpanningTree;
+
+mod common;
+use common::{seed_offsets, topologies, DAEMONS};
+
+fn enabled_len<P: Protocol>(net: &Network, proto: &P, config: &[P::State], u: NodeId) -> usize {
+    let mut out = Vec::new();
+    let view = ConfigView::new(net, u, config);
+    proto.enabled(&view, &mut out);
+    out.len()
+}
+
+/// The unit-level property: build `u`'s cache, perturb the neighbor
+/// behind a random port, and require `reevaluate_port`'s verdict to
+/// agree with a from-scratch guard evaluation.
+fn check_single_port_perturbation<P: Protocol>(
+    net: &Network,
+    proto: &P,
+    config: &mut [P::State],
+    rng: &mut StdRng,
+) {
+    assert!(proto.port_separable(), "matrix protocols opt in");
+    let stride = proto.port_node_words();
+    for u in net.nodes() {
+        let deg = net.graph().degree(u);
+        if deg == 0 {
+            continue;
+        }
+        let mut ports = vec![0u64; deg];
+        let mut node_words = vec![0u64; stride];
+        let mut cache = PortCache {
+            ports: &mut ports,
+            node: &mut node_words,
+        };
+        let count0 = {
+            let view = ConfigView::new(net, u, config);
+            proto.init_ports(&view, &mut cache)
+        };
+        assert_eq!(
+            count0 as usize,
+            enabled_len(net, proto, config, u),
+            "init_ports count at {u}"
+        );
+
+        let l = Port::new((rng.next_u32() as usize) % deg);
+        let v = net.graph().neighbor(u, l);
+        let saved = config[v.index()].clone();
+        config[v.index()] = proto.random_state(net.ctx(v), rng);
+
+        let verdict = {
+            let view = ConfigView::new(net, u, config);
+            proto.reevaluate_port(&view, l, &mut cache)
+        };
+        let expected = enabled_len(net, proto, config, u);
+        let got = match verdict {
+            PortVerdict::Unchanged => count0,
+            PortVerdict::Count(c) => c,
+            PortVerdict::Whole => {
+                let view = ConfigView::new(net, u, config);
+                proto.init_ports(&view, &mut cache)
+            }
+        };
+        assert_eq!(
+            got as usize, expected,
+            "reevaluate_port at {u} via port {l:?} (perturbed neighbor {v})"
+        );
+        config[v.index()] = saved;
+    }
+}
+
+/// The system-level property: three engine modes in lockstep.
+fn assert_mode_lockstep<P>(label: &str, net: &Network, protocol: P, daemon: DaemonSpec, seed: u64)
+where
+    P: Protocol + Clone,
+{
+    let modes = [
+        EngineMode::FullSweep,
+        EngineMode::NodeDirty,
+        EngineMode::PortDirty,
+    ];
+    let mut sims: Vec<Simulation<'_, P>> = modes
+        .iter()
+        .map(|&m| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = Simulation::from_random(net, protocol.clone(), &mut rng);
+            s.set_mode(m);
+            s
+        })
+        .collect();
+    assert!(
+        sims[2].is_port_dirty_active(),
+        "{label}: protocol must drive the port-dirty machinery"
+    );
+    let mut daemons: Vec<Box<dyn Daemon>> = (0..3).map(|_| daemon.build(net, seed)).collect();
+    for step in 0..300 {
+        let reference = sims[0].enabled_nodes();
+        for (s, m) in sims.iter().zip(modes) {
+            assert_eq!(
+                s.enabled_nodes(),
+                reference,
+                "{label}: enabled set under {m:?} at step {step}"
+            );
+        }
+        let outcomes: Vec<_> = sims
+            .iter_mut()
+            .zip(daemons.iter_mut())
+            .map(|(s, d)| s.step(d))
+            .collect();
+        assert_eq!(outcomes[0], outcomes[1], "{label} at step {step}");
+        assert_eq!(outcomes[0], outcomes[2], "{label} at step {step}");
+        assert_eq!(sims[0].config(), sims[2].config(), "{label} at step {step}");
+        assert_eq!(
+            (sims[0].steps(), sims[0].moves(), sims[0].rounds()),
+            (sims[2].steps(), sims[2].moves(), sims[2].rounds()),
+            "{label} at step {step}"
+        );
+        if outcomes[0].is_silent() {
+            break;
+        }
+    }
+}
+
+fn stno_fixture(g: &sno::graph::Graph) -> Stno<OracleSpanningTree> {
+    let root = NodeId::new(0);
+    let bfs = traverse::bfs(g, root);
+    let tree = RootedTree::from_parents(g, root, &bfs.parent).expect("BFS tree");
+    Stno::new(OracleSpanningTree::from_graph(g, &tree))
+}
+
+// --- System-level lockstep, 4 protocols × 4 daemons × 4 topologies ---
+
+#[test]
+fn hop_distance_modes_agree() {
+    for (topo, g) in topologies(12) {
+        let net = Network::new(g, NodeId::new(0));
+        for (i, d) in DAEMONS.into_iter().enumerate() {
+            for offset in seed_offsets() {
+                assert_mode_lockstep(
+                    &format!("hop-distance × {d} × {topo} × seed+{offset}"),
+                    &net,
+                    HopDistance,
+                    d,
+                    500 + i as u64 + 1_000 * offset,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_token_modes_agree() {
+    for (topo, g) in topologies(12) {
+        let proto = OracleToken::new(&g, NodeId::new(0));
+        let net = Network::new(g, NodeId::new(0));
+        for (i, d) in DAEMONS.into_iter().enumerate() {
+            for offset in seed_offsets() {
+                assert_mode_lockstep(
+                    &format!("oracle-token × {d} × {topo} × seed+{offset}"),
+                    &net,
+                    proto.clone(),
+                    d,
+                    600 + i as u64 + 1_000 * offset,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dftno_oracle_modes_agree() {
+    for (topo, g) in topologies(12) {
+        let proto = Dftno::new(OracleToken::new(&g, NodeId::new(0)));
+        let net = Network::new(g, NodeId::new(0));
+        for (i, d) in DAEMONS.into_iter().enumerate() {
+            for offset in seed_offsets() {
+                assert_mode_lockstep(
+                    &format!("dftno/oracle × {d} × {topo} × seed+{offset}"),
+                    &net,
+                    proto.clone(),
+                    d,
+                    700 + i as u64 + 1_000 * offset,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stno_frozen_modes_agree() {
+    for (topo, g) in topologies(12) {
+        let proto = stno_fixture(&g);
+        let net = Network::new(g, NodeId::new(0));
+        for (i, d) in DAEMONS.into_iter().enumerate() {
+            for offset in seed_offsets() {
+                assert_mode_lockstep(
+                    &format!("stno/oracle-tree × {d} × {topo} × seed+{offset}"),
+                    &net,
+                    proto.clone(),
+                    d,
+                    800 + i as u64 + 1_000 * offset,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn non_separable_protocols_fall_back_cleanly() {
+    // STNO over the live BFS tree does not opt in; port-dirty mode must
+    // silently behave as node-dirty and stay trace-identical.
+    let g = generators::random_connected(14, 9, 4);
+    let net = Network::new(g, NodeId::new(0));
+    let proto = Stno::new(sno::tree::BfsSpanningTree);
+    assert!(!proto.port_separable());
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut port = Simulation::from_random(&net, proto, &mut rng);
+    port.set_mode(EngineMode::PortDirty);
+    assert!(!port.is_port_dirty_active(), "opt-out protocols fall back");
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut full = Simulation::from_random(&net, proto, &mut rng);
+    full.set_mode(EngineMode::FullSweep);
+    let mut da = DaemonSpec::Distributed.build(&net, 2);
+    let mut db = DaemonSpec::Distributed.build(&net, 2);
+    for _ in 0..400 {
+        assert_eq!(port.enabled_nodes(), full.enabled_nodes());
+        let (oa, ob) = (port.step(&mut da), full.step(&mut db));
+        assert_eq!(oa, ob);
+        if oa.is_silent() {
+            break;
+        }
+    }
+}
+
+// --- Unit-level single-port perturbation properties ---
+
+fn arb_case() -> impl Strategy<Value = (usize, usize, u64, u64)> {
+    // (nodes, extra edges, graph seed, state/perturbation seed)
+    (5usize..=14, 0usize..=10, any::<u64>(), any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn hop_distance_port_reevaluation_agrees((n, extra, gseed, seed) in arb_case()) {
+        let g = generators::random_connected(n, extra, gseed);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut config: Vec<u32> = net
+            .nodes()
+            .map(|p| HopDistance.random_state(net.ctx(p), &mut rng))
+            .collect();
+        check_single_port_perturbation(&net, &HopDistance, &mut config, &mut rng);
+    }
+
+    #[test]
+    fn oracle_token_port_reevaluation_agrees((n, extra, gseed, seed) in arb_case()) {
+        let g = generators::random_connected(n, extra, gseed);
+        let proto = OracleToken::new(&g, NodeId::new(0));
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Arbitrary (corrupt) clocks, not just the clean start.
+        let mut config: Vec<u64> = net
+            .nodes()
+            .map(|_| u64::from(rng.next_u32() % (4 * n as u32)))
+            .collect();
+        check_single_port_perturbation(&net, &proto, &mut config, &mut rng);
+    }
+
+    #[test]
+    fn dftno_port_reevaluation_agrees((n, extra, gseed, seed) in arb_case()) {
+        let g = generators::random_connected(n, extra, gseed);
+        let proto = Dftno::new(OracleToken::new(&g, NodeId::new(0)));
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut config: Vec<_> = net
+            .nodes()
+            .map(|p| proto.random_state(net.ctx(p), &mut rng))
+            .collect();
+        check_single_port_perturbation(&net, &proto, &mut config, &mut rng);
+    }
+
+    #[test]
+    fn stno_port_reevaluation_agrees((n, extra, gseed, seed) in arb_case()) {
+        let g = generators::random_connected(n, extra, gseed);
+        let proto = stno_fixture(&g);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut config: Vec<_> = net
+            .nodes()
+            .map(|p| proto.random_state(net.ctx(p), &mut rng))
+            .collect();
+        check_single_port_perturbation(&net, &proto, &mut config, &mut rng);
+    }
+}
