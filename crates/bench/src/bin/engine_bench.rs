@@ -10,15 +10,23 @@
 //!
 //! Exits non-zero if a performance gate fails: node-dirty slower than
 //! the sweep on the n = 512 star or below 5× on the large path,
-//! port-dirty below 10× on the n = 512 star, or — with `--baseline` —
-//! the port-dirty speedup ratio more than 30% below the committed
-//! document (ratios, not absolute steps/sec, so the gate is portable
-//! across differently-powered runners).
+//! port-dirty below the ratcheted 40× on the n = 512 star, a nonzero
+//! per-step clone/allocation count on the `star-apply` row (the binary
+//! runs under the `testalloc` counting allocator so hub steps are
+//! *measured* at zero state clones), or — with `--baseline` — the
+//! port-dirty speedup ratio more than 30% below the committed document
+//! (ratios, not absolute steps/sec, so the gate is portable across
+//! differently-powered runners).
 
 use sno_bench::engine_bench::{
-    check_baseline, engine_bench, engine_bench_json, engine_bench_table, gate_violations,
-    BaselineOutcome, FULL_SIZES, QUICK_SIZES,
+    check_baseline, engine_bench, engine_bench_json_with, engine_bench_table, gate_violations,
+    star_apply_row, star_apply_violations, BaselineOutcome, FULL_SIZES, QUICK_SIZES,
 };
+
+/// The `star-apply` clone-count gate only means something if every heap
+/// operation of the measured window is actually counted.
+#[global_allocator]
+static ALLOC: testalloc::CountingAlloc = testalloc::CountingAlloc::new();
 
 fn main() {
     let mut json_path = "BENCH_engine.json".to_string();
@@ -48,11 +56,23 @@ fn main() {
     let rows = engine_bench(sizes, steps);
     println!("{}", engine_bench_table(&rows).render());
 
-    let json = engine_bench_json(&rows) + "\n";
+    let star = star_apply_row(512, steps);
+    assert!(star.counting, "the binary installs the counting allocator");
+    println!(
+        "star-apply n={}: {:.0} port-dirty steps/s, allocs/step full={:.2} node={:.2} port={:.2}",
+        star.n,
+        star.port_steps_per_sec(),
+        star.mode_allocs[0] as f64 / star.steps as f64,
+        star.mode_allocs[1] as f64 / star.steps as f64,
+        star.port_allocs_per_step(),
+    );
+
+    let json = engine_bench_json_with(&rows, Some(&star)) + "\n";
     std::fs::write(&json_path, json).expect("write BENCH_engine.json");
     println!("engine bench JSON written to {json_path}");
 
     let mut violations = gate_violations(&rows);
+    violations.extend(star_apply_violations(&star));
     if let Some(path) = baseline_path {
         let committed =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));

@@ -15,11 +15,16 @@
 //!
 //! * node-dirty must never lose to the sweep on the `n = 512` star and
 //!   must beat it ≥ 5× on the large path (the PR-2 gates);
-//! * port-dirty must beat the sweep ≥ 10× on the `n = 512` star — the
-//!   hub worst case this engine exists for — and, when a committed
+//! * port-dirty must beat the sweep ≥ 40× on the `n = 512` star
+//!   ([`STAR_PORT_GATE`], ratcheted from the pre-`StateTxn` 10× — the
+//!   in-place commit path removed both the `O(Δ)` apply clone and the
+//!   `O(Δ)` selection-time guard re-sweep) — and, when a committed
 //!   baseline is supplied, its speedup ratio must stay within 30% of
 //!   the committed one (ratios are hardware-portable; absolute
-//!   steps/sec are not).
+//!   steps/sec are not);
+//! * the `star-apply` row additionally counts heap operations per mode
+//!   through the `testalloc` shim and gates port-dirty hub steps at
+//!   **zero** state clones ([`star_apply_violations`]).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -165,6 +170,115 @@ pub fn engine_bench(sizes: &[usize], steps: u64) -> Vec<EngineBenchRow> {
     rows
 }
 
+/// The `star-apply` measurement: steps/sec of the gated star workload
+/// **plus per-step heap-activity (≙ state-clone) counts** per engine
+/// mode, read through the `testalloc` counting-allocator shim.
+///
+/// A `DftnoState` clone allocates its `O(Δ)` `π` vector, so with the
+/// in-place `StateTxn` commit path the per-step count must be exactly
+/// zero — the bench gate behind the api redesign. Counts are only
+/// meaningful when the process runs under `testalloc::CountingAlloc`
+/// (the `engine_bench` binary installs it); `counting` records whether
+/// it was live.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarApplyRow {
+    /// Node count of the star.
+    pub n: usize,
+    /// Steps timed per mode.
+    pub steps: u64,
+    /// Wall time per mode (full sweep, node-dirty, port-dirty).
+    pub mode_ns: [u128; 3],
+    /// Heap activity (allocations + reallocations) per mode over the
+    /// timed window.
+    pub mode_allocs: [u64; 3],
+    /// Whether a counting allocator was actually installed (false ⇒ the
+    /// counts are vacuously zero and must not be gated on).
+    pub counting: bool,
+}
+
+impl StarApplyRow {
+    /// Port-dirty steps per second.
+    pub fn port_steps_per_sec(&self) -> f64 {
+        self.steps as f64 / (self.mode_ns[2] as f64 / 1e9)
+    }
+
+    /// Heap operations (≙ clones) per port-dirty step.
+    pub fn port_allocs_per_step(&self) -> f64 {
+        self.mode_allocs[2] as f64 / self.steps as f64
+    }
+}
+
+/// Probes whether a counting global allocator is live: a fresh heap
+/// allocation must move the shim's counter.
+fn counting_alloc_live() -> bool {
+    let before = testalloc::allocation_count();
+    let v: Vec<u64> = Vec::with_capacity(64);
+    std::hint::black_box(&v);
+    testalloc::allocation_count() > before
+}
+
+/// Measures the `star-apply` row on the gated `n = 512` star (DFTNO over
+/// the oracle walker, steady state, central round robin).
+pub fn star_apply_row(n: usize, steps: u64) -> StarApplyRow {
+    let g = GeneratorSpec::Star.build(n, GRAPH_SEED);
+    let n = g.node_count();
+    let root = NodeId::new(0);
+    let oracle = OracleToken::new(&g, root);
+    let net = Network::new(g, root);
+    let mut sim = Simulation::from_initial(&net, Dftno::new(oracle));
+    let mut daemon = CentralRoundRobin::new();
+    let circulation = 2 * n as u64 - 1;
+    sim.run_until(&mut daemon, 6 * circulation, |_| false);
+
+    let counting = counting_alloc_live();
+    let mut mode_ns = [0u128; 3];
+    let mut mode_allocs = [0u64; 3];
+    for (k, mode) in [
+        EngineMode::FullSweep,
+        EngineMode::NodeDirty,
+        EngineMode::PortDirty,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut run_sim = sim.clone();
+        run_sim.set_mode(mode);
+        let mut run_daemon = daemon.clone();
+        // Warm the mode's own scratch before opening the counter window.
+        run_sim.run_until(&mut run_daemon, 1_000, |_| false);
+        let allocs_before = testalloc::heap_activity();
+        let t0 = Instant::now();
+        let r = run_sim.run_until(&mut run_daemon, steps, |_| false);
+        mode_ns[k] = t0.elapsed().as_nanos();
+        mode_allocs[k] = testalloc::heap_activity() - allocs_before;
+        assert_eq!(r.steps, steps, "star-apply: the token never goes silent");
+    }
+    StarApplyRow {
+        n,
+        steps,
+        mode_ns,
+        mode_allocs,
+        counting,
+    }
+}
+
+/// The clone-count gate of the `star-apply` row: under the port-dirty
+/// engine a hub step must perform **zero** heap operations — and
+/// therefore zero state clones. Empty when the gate holds (or when no
+/// counting allocator is installed, in which case there is nothing to
+/// measure).
+pub fn star_apply_violations(row: &StarApplyRow) -> Vec<String> {
+    let mut out = Vec::new();
+    if row.counting && row.mode_allocs[2] > 0 {
+        out.push(format!(
+            "star-apply n={}: {} heap operations over {} port-dirty steps \
+             (hub steps must perform zero state clones)",
+            row.n, row.mode_allocs[2], row.steps
+        ));
+    }
+    out
+}
+
 /// The default size sweep.
 pub const FULL_SIZES: [usize; 5] = [64, 128, 256, 512, 1024];
 /// The CI smoke sweep: small enough to be quick, still covering the
@@ -202,9 +316,14 @@ pub fn engine_bench_table(rows: &[EngineBenchRow]) -> Table {
     t
 }
 
-/// Renders the `sno-engine-bench/v2` JSON document.
-pub fn engine_bench_json(rows: &[EngineBenchRow]) -> String {
-    let mut out = String::from("{\"schema\":\"sno-engine-bench/v2\",\"workload\":");
+/// Renders the `sno-engine-bench/v3` JSON document (v3 added the
+/// optional `star_apply` clone-count section; the `rows` layout is
+/// unchanged from v2, so the baseline ratio gate reads both).
+pub fn engine_bench_json_with(
+    rows: &[EngineBenchRow],
+    star_apply: Option<&StarApplyRow>,
+) -> String {
+    let mut out = String::from("{\"schema\":\"sno-engine-bench/v3\",\"workload\":");
     out.push_str("\"dftno/oracle-token steady state, central-round-robin\",\"rows\":[");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -229,8 +348,33 @@ pub fn engine_bench_json(rows: &[EngineBenchRow]) -> String {
             r.port_speedup()
         );
     }
-    out.push_str("]}");
+    out.push(']');
+    if let Some(sa) = star_apply {
+        let _ = write!(
+            out,
+            ",\"star_apply\":{{\"n\":{},\"steps\":{},\"counting\":{},\
+             \"full_sweep_ns\":{},\"node_dirty_ns\":{},\"port_dirty_ns\":{},\
+             \"full_sweep_allocs\":{},\"node_dirty_allocs\":{},\"port_dirty_allocs\":{},\
+             \"port_allocs_per_step\":{:.4}}}",
+            sa.n,
+            sa.steps,
+            sa.counting,
+            sa.mode_ns[0],
+            sa.mode_ns[1],
+            sa.mode_ns[2],
+            sa.mode_allocs[0],
+            sa.mode_allocs[1],
+            sa.mode_allocs[2],
+            sa.port_allocs_per_step()
+        );
+    }
+    out.push('}');
     out
+}
+
+/// [`engine_bench_json_with`] without a `star_apply` section.
+pub fn engine_bench_json(rows: &[EngineBenchRow]) -> String {
+    engine_bench_json_with(rows, None)
 }
 
 /// The smallest gated row of a family (`n >= 512`), if present.
@@ -240,11 +384,19 @@ fn gated_row<'r>(rows: &'r [EngineBenchRow], topology: &str) -> Option<&'r Engin
         .min_by_key(|r| r.n)
 }
 
+/// The ratcheted star gate: the PR-3 engine held ≥ 10× on the `n = 512`
+/// star; with the in-place `StateTxn` commit path (no `O(Δ)` apply
+/// clone, no `O(Δ)` selection-time guard re-sweep) the same cell
+/// measures ≈ 150–250×, so the gate ratchets to 40× — comfortably above
+/// the old architecture's ceiling, comfortably below the new one's
+/// noise floor.
+pub const STAR_PORT_GATE: f64 = 40.0;
+
 /// The CI gates. The PR-2 gates keep holding the node-dirty engine to
 /// its bar (never lose on the star, ≥ 5× on the largest path); the
-/// port-dirty engine must win ≥ 10× on the `n = 512` star — the hub
-/// worst case the port-separable interface exists for. Returns a list of
-/// violations, empty when the gates hold.
+/// port-dirty engine must win ≥ [`STAR_PORT_GATE`]× on the `n = 512`
+/// star — the hub worst case the port-separable interface exists for.
+/// Returns a list of violations, empty when the gates hold.
 pub fn gate_violations(rows: &[EngineBenchRow]) -> Vec<String> {
     let mut out = Vec::new();
     if let Some(star) = gated_row(rows, "star") {
@@ -255,9 +407,9 @@ pub fn gate_violations(rows: &[EngineBenchRow]) -> Vec<String> {
                 star.node_speedup()
             ));
         }
-        if star.port_speedup() < 10.0 {
+        if star.port_speedup() < STAR_PORT_GATE {
             out.push(format!(
-                "port-dirty engine below 10x on star n={}: {:.2}x",
+                "port-dirty engine below {STAR_PORT_GATE}x on star n={}: {:.2}x",
                 star.n,
                 star.port_speedup()
             ));
@@ -363,12 +515,46 @@ mod tests {
         let rows = engine_bench(&[16], 500);
         assert_eq!(rows.len(), TOPOLOGIES.len());
         let json = engine_bench_json(&rows);
-        assert!(json.contains("\"schema\":\"sno-engine-bench/v2\""));
+        assert!(json.contains("\"schema\":\"sno-engine-bench/v3\""));
         assert!(json.contains("\"topology\":\"torus\""));
         assert!(json.contains("\"port_dirty_ns\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         let table = engine_bench_table(&rows);
         assert_eq!(table.rows.len(), rows.len());
+    }
+
+    #[test]
+    fn star_apply_row_measures_and_renders() {
+        let row = star_apply_row(32, 400);
+        assert_eq!(row.steps, 400);
+        // The test binary installs no counting allocator: counts are
+        // vacuous and must be flagged as such (and never gated on).
+        if !row.counting {
+            assert!(star_apply_violations(&row).is_empty());
+        }
+        let json = engine_bench_json_with(&[], Some(&row));
+        assert!(json.contains("\"star_apply\":{"));
+        assert!(json.contains("\"port_allocs_per_step\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn star_apply_gate_fires_on_nonzero_clone_counts() {
+        let row = StarApplyRow {
+            n: 512,
+            steps: 100,
+            mode_ns: [3, 2, 1],
+            mode_allocs: [500, 100, 7],
+            counting: true,
+        };
+        let v = star_apply_violations(&row);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("zero state clones"), "{v:?}");
+        let clean = StarApplyRow {
+            mode_allocs: [500, 100, 0],
+            ..row
+        };
+        assert!(star_apply_violations(&clean).is_empty());
     }
 
     fn row(topology: &'static str, n: usize, full: u128, node: u128, port: u128) -> EngineBenchRow {
@@ -386,13 +572,13 @@ mod tests {
     fn gates_detect_missing_rows_and_regressions() {
         assert!(!gate_violations(&[]).is_empty());
         let good = vec![
-            row("star", 512, 20_000, 10_000, 1_000),
+            row("star", 512, 50_000, 10_000, 1_000),
             row("path", 512, 100_000, 10_000, 1_000),
         ];
         assert!(gate_violations(&good).is_empty());
         let mut slow = good.clone();
-        slow[0].node_dirty_ns = 30_000; // star: node-dirty lost to the sweep
-        slow[0].port_dirty_ns = 3_000; // star: port-dirty below 10x
+        slow[0].node_dirty_ns = 60_000; // star: node-dirty lost to the sweep
+        slow[0].port_dirty_ns = 3_000; // star: port-dirty below the 40x ratchet
         slow[1].node_dirty_ns = 90_000; // path: below 5x
         let v = gate_violations(&slow);
         assert_eq!(v.len(), 3, "{v:?}");

@@ -26,8 +26,8 @@ use rand::Rng as _;
 use rand::RngCore;
 use sno_engine::protocol::ProjectedView;
 use sno_engine::{
-    Network, NodeCtx, NodeView, PortCache, PortVerdict, Protocol, Scratch, SpaceMeasured,
-    WriteScope,
+    LayerLayout, LayerTxn, Network, NodeCtx, NodeView, PortCache, PortVerdict, Protocol, Scratch,
+    SpaceMeasured, StateTxn,
 };
 use sno_graph::Port;
 use sno_token::{TokenCirculation, TokenKind};
@@ -69,7 +69,20 @@ fn token_of<S>(s: &DftnoState<S>) -> &S {
     &s.token
 }
 
+fn token_of_mut<S>(s: &mut DftnoState<S>) -> &mut S {
+    &mut s.token
+}
+
 type TokenView<'a, S, V> = ProjectedView<'a, DftnoState<S>, V, fn(&DftnoState<S>) -> &S>;
+
+/// [`StateTxn::note_self`] bit: `η` changed (label bits must rebuild).
+const NOTE_ETA: u64 = 1;
+/// Note bit: `π` changed.
+const NOTE_PI: u64 = 1 << 1;
+/// Note bit: the substrate moved (its notes sit above [`NOTE_SHIFT`]).
+const NOTE_TOKEN: u64 = 1 << 2;
+/// The substrate's note bits start here.
+const NOTE_SHIFT: u32 = 3;
 
 impl<T: TokenCirculation> Dftno<T> {
     /// Wraps the substrate `token`.
@@ -109,7 +122,7 @@ impl<T: TokenCirculation> Dftno<T> {
         for l in 0..ctx.degree {
             let q = view.neighbor(Port::new(l));
             let bad = !chordal_label_valid(me.pi[l], me.eta, q.eta, n);
-            cache.ports[l] = (cache.ports[l] & !1) | u64::from(bad);
+            cache.set_port(l, (cache.port(l) & !1) | u64::from(bad));
             invalid += u64::from(bad);
         }
         cache.node[0] = invalid;
@@ -160,26 +173,56 @@ impl<T: TokenCirculation> Protocol for Dftno<T> {
     }
 
     // --- Port-separable interface, live when the substrate's is
-    // (`DFTNO` over the oracle walker in practice). Cache layout: the
-    // wrapper keeps the per-port label-validity bit in bit 0 of each
-    // port word and two node words — `node[0]` the invalid-label count,
-    // `node[1]` the substrate's cached action count — then hands the
-    // substrate the remaining node words (`PortCache::layer(2)`) and the
-    // high halves of the port words, per the engine's layering
-    // convention. ---
+    // (`DFTNO` over the oracle walker in practice). Cache layout,
+    // declared through `LayerLayout`: the wrapper claims one port-word
+    // bit (the per-port label-validity flag, the low bit of its window)
+    // and two node words — `node[0]` the invalid-label count, `node[1]`
+    // the substrate's cached action count — then hands the substrate the
+    // rest (`cache.layer(2, 1)`). ---
 
     fn port_separable(&self) -> bool {
         self.token.port_separable()
     }
 
-    fn port_node_words(&self) -> usize {
-        2 + self.token.port_node_words()
+    fn port_layout(&self) -> LayerLayout {
+        self.token.port_layout().stacked(1, 2)
+    }
+
+    fn enabled_from_cache(
+        &self,
+        view: &impl NodeView<Self::State>,
+        cache: &mut PortCache<'_>,
+        out: &mut Vec<Self::Action>,
+        scratch: &mut Scratch,
+    ) -> bool {
+        // Mirrors `enabled_into`'s emission order without the O(Δ)
+        // `InvalidEdgelabel` scan: the cache's invalid-label count
+        // already answers it.
+        if cache.node[0] > 0 {
+            out.push(DftnoAction::EdgeLabel);
+        }
+        let proj = Self::project(view);
+        let mut tok_actions = scratch.take_vec::<T::Action>();
+        let ok = {
+            let mut sub = cache.layer(2, 1);
+            self.token
+                .enabled_from_cache(&proj, &mut sub, &mut tok_actions, scratch)
+        };
+        if !ok {
+            tok_actions.clear();
+            scratch.put_vec(tok_actions);
+            out.clear();
+            return false;
+        }
+        out.extend(tok_actions.drain(..).map(DftnoAction::Token));
+        scratch.put_vec(tok_actions);
+        true
     }
 
     fn init_ports(&self, view: &impl NodeView<Self::State>, cache: &mut PortCache<'_>) -> u32 {
         Self::rebuild_label_bits(view, cache);
         let proj = Self::project(view);
-        let mut sub = cache.layer(2);
+        let mut sub = cache.layer(2, 1);
         let tok = self.token.init_ports(&proj, &mut sub);
         cache.node[1] = u64::from(tok);
         Self::count_from_cache(cache)
@@ -188,20 +231,23 @@ impl<T: TokenCirculation> Protocol for Dftno<T> {
     fn refresh_self(
         &self,
         view: &impl NodeView<Self::State>,
-        old: &Self::State,
+        touched: u64,
         cache: &mut PortCache<'_>,
     ) -> PortVerdict {
-        let me = view.state();
-        // The label bits read own η and π; recompute them only when one
-        // of those actually changed (a token move leaves both alone, so
-        // a steady-state hub step stays o(Δ) guard evaluations).
-        if old.eta != me.eta || old.pi != me.pi {
+        // The label bits read own η and π; recompute them only when the
+        // transaction noted one of those changed (a token move leaves
+        // both alone, so a steady-state hub step stays o(Δ) guard
+        // evaluations).
+        if touched & (NOTE_ETA | NOTE_PI) != 0 {
             Self::rebuild_label_bits(view, cache);
         }
-        if old.token != me.token {
+        if touched & NOTE_TOKEN != 0 {
             let proj = Self::project(view);
-            let mut sub = cache.layer(2);
-            match self.token.refresh_self(&proj, &old.token, &mut sub) {
+            let mut sub = cache.layer(2, 1);
+            match self
+                .token
+                .refresh_self(&proj, touched >> NOTE_SHIFT, &mut sub)
+            {
                 PortVerdict::Whole => return PortVerdict::Whole,
                 PortVerdict::Count(c) => cache.node[1] = u64::from(c),
                 PortVerdict::Unchanged => {}
@@ -221,14 +267,14 @@ impl<T: TokenCirculation> Protocol for Dftno<T> {
         let me = view.state();
         let q = view.neighbor(port);
         let bad = !chordal_label_valid(me.pi[port.index()], me.eta, q.eta, n);
-        let was = cache.ports[port.index()] & 1 != 0;
+        let was = cache.port(port.index()) & 1 != 0;
         if bad != was {
-            cache.ports[port.index()] ^= 1;
+            cache.set_port(port.index(), cache.port(port.index()) ^ 1);
             cache.node[0] = cache.node[0] + u64::from(bad) - u64::from(was);
         }
         {
             let proj = Self::project(view);
-            let mut sub = cache.layer(2);
+            let mut sub = cache.layer(2, 1);
             match self.token.reevaluate_port(&proj, port, &mut sub) {
                 PortVerdict::Whole => return PortVerdict::Whole,
                 PortVerdict::Count(c) => cache.node[1] = u64::from(c),
@@ -238,74 +284,78 @@ impl<T: TokenCirculation> Protocol for Dftno<T> {
         PortVerdict::Count(Self::count_from_cache(cache))
     }
 
-    fn write_scope(
-        &self,
-        ctx: &NodeCtx,
-        old: &Self::State,
-        new: &Self::State,
-        out: &mut Vec<Port>,
-    ) -> WriteScope {
-        // Neighbor guards read exactly two things of this node: its η
+    fn apply_in_place(&self, txn: &mut impl StateTxn<Self::State>, action: &Self::Action) {
+        let ctx_is_root = txn.ctx().is_root;
+        let n = txn.ctx().n_bound as u32;
+        // Write-scope accounting (replacing the old old-vs-new diff):
+        // neighbor guards read exactly two things of this node — its η
         // (their per-port label checks) and its substrate variables
-        // (their token guards). `Max` and `π` are consulted only inside
-        // `apply`, never by a guard, so changing them dirties nothing —
-        // this is what makes a hub's `Edgelabel` repair free for its
-        // Δ neighbors.
-        if old.eta != new.eta {
-            return WriteScope::All;
-        }
-        if old.token == new.token {
-            return WriteScope::Unchanged;
-        }
-        self.token.write_scope(ctx, &old.token, &new.token, out)
-    }
-
-    fn apply(&self, view: &impl NodeView<Self::State>, action: &Self::Action) -> Self::State {
-        let ctx = view.ctx();
-        let n = ctx.n_bound as u32;
-        let mut s = view.state().clone();
+        // (their token guards, declared by the substrate's own
+        // sub-transaction). `Max` and `π` are consulted only inside
+        // statements, never by a guard, so changing them dirties nothing
+        // — this is what makes a hub's `Edgelabel` repair free for its Δ
+        // neighbors.
         match action {
             DftnoAction::Token(a) => {
-                let proj = Self::project(view);
-                let kind = self.token.classify(&proj, a);
-                // The substrate moves and the orientation side effect land
-                // in the same atomic step, as in Algorithm 3.1.1.
-                s.token = self.token.apply(&proj, a);
+                // Classification and the parent port are read against the
+                // pre-move substrate state, then the substrate moves and
+                // the orientation side effect lands in the same atomic
+                // step, as in Algorithm 3.1.1.
+                let (kind, parent_port) = {
+                    let mut sub = LayerTxn::new(txn, token_of, token_of_mut, NOTE_SHIFT);
+                    let kind = self.token.classify(&sub, a);
+                    let pp = self.token.parent_port(&sub);
+                    self.token.apply_in_place(&mut sub, a);
+                    (kind, pp)
+                };
+                txn.note_self(NOTE_TOKEN);
                 match kind {
                     TokenKind::Forward => {
-                        if ctx.is_root {
-                            s.eta = 0;
-                            s.max = 0;
+                        let new_eta = if ctx_is_root {
+                            0
                         } else {
-                            // Nodelabel: consult the parent for the current
-                            // maximum. While the substrate is still
-                            // stabilizing the parent may be unknown; fall
-                            // back to the local Max (repaired next round).
-                            let parent_max = self
-                                .token
-                                .parent_port(&proj)
-                                .map(|l| view.neighbor(l).max)
-                                .unwrap_or(s.max);
-                            s.eta = (parent_max + 1) % n;
-                            s.max = s.eta;
+                            // Nodelabel: consult the parent for the
+                            // current maximum. While the substrate is
+                            // still stabilizing the parent may be unknown;
+                            // fall back to the local Max (repaired next
+                            // round).
+                            let parent_max = parent_port
+                                .map(|l| txn.neighbor(l).max)
+                                .unwrap_or(txn.state().max);
+                            (parent_max + 1) % n
+                        };
+                        let me = txn.state_mut();
+                        let eta_changed = me.eta != new_eta;
+                        me.eta = new_eta;
+                        me.max = new_eta;
+                        if eta_changed {
+                            txn.note_self(NOTE_ETA);
+                            txn.touch_all_ports();
                         }
                     }
                     TokenKind::Backtrack { child } => {
                         // UpdateMax: adopt the maximum of the descendant
-                        // the token returned from.
-                        s.max = view.neighbor(child).max % n;
+                        // the token returned from. Unobservable (no
+                        // neighbor guard reads Max).
+                        let m = txn.neighbor(child).max % n;
+                        txn.state_mut().max = m;
                     }
                     TokenKind::Internal => {}
                 }
             }
             DftnoAction::EdgeLabel => {
-                for l in 0..ctx.degree {
-                    let q = view.neighbor(Port::new(l));
-                    s.pi[l] = chordal_label(s.eta, q.eta, n);
+                let deg = txn.ctx().degree;
+                for l in 0..deg {
+                    let q_eta = txn.neighbor(Port::new(l)).eta;
+                    let me = txn.state_mut();
+                    me.pi[l] = chordal_label(me.eta, q_eta, n);
                 }
+                txn.note_self(NOTE_PI);
+                // π is read by no neighbor guard.
+                txn.mark_unobservable();
             }
         }
-        s
+        txn.commit();
     }
 
     fn initial_state(&self, ctx: &NodeCtx) -> Self::State {

@@ -38,8 +38,8 @@ use rand::Rng as _;
 use rand::RngCore;
 use sno_engine::protocol::ProjectedView;
 use sno_engine::{
-    Network, NodeCtx, NodeView, PortCache, PortVerdict, Protocol, Scratch, SpaceMeasured,
-    WriteScope,
+    LayerLayout, LayerTxn, Network, NodeCtx, NodeView, PortCache, PortVerdict, Protocol, Scratch,
+    SpaceMeasured, StateTxn,
 };
 use sno_graph::{Port, RootedTree};
 use sno_tree::SpanningTree;
@@ -93,7 +93,23 @@ fn tree_of<S>(s: &StnoState<S>) -> &S {
     &s.tree
 }
 
+fn tree_of_mut<S>(s: &mut StnoState<S>) -> &mut S {
+    &mut s.tree
+}
+
 type TreeView<'a, S, V> = ProjectedView<'a, StnoState<S>, V, fn(&StnoState<S>) -> &S>;
+
+/// [`StateTxn::note_self`] bit: `η` changed.
+const NOTE_ETA: u64 = 1;
+/// Note bit: `π` changed.
+const NOTE_PI: u64 = 1 << 1;
+/// Note bit: `Weight` changed.
+const NOTE_WEIGHT: u64 = 1 << 2;
+/// Note bit: some `Start` slot changed.
+const NOTE_START: u64 = 1 << 3;
+/// The substrate's note bits start here (meaningful only for a future
+/// separable-but-live tree; a frozen substrate never moves).
+const NOTE_SHIFT: u32 = 4;
 
 impl<T: SpanningTree> Stno<T> {
     /// Wraps the substrate `tree`.
@@ -187,12 +203,46 @@ impl<T: SpanningTree> Stno<T> {
         })
     }
 
-    fn relabel_edges(view: &impl NodeView<StnoState<T::State>>, s: &mut StnoState<T::State>) {
-        let ctx = view.ctx();
-        let n = ctx.n_bound as u32;
-        for l in 0..ctx.degree {
-            let q = view.neighbor(Port::new(l));
-            s.pi[l] = chordal_label(s.eta, q.eta, n);
+    /// `Edgelabel`'s statement, in place: `π[l] := (η − η_q) mod N` for
+    /// every incident edge (the transaction's alternating borrows replace
+    /// the old clone-and-return shape).
+    fn relabel_in_place(&self, txn: &mut impl StateTxn<StnoState<T::State>>, n: u32) {
+        let deg = txn.ctx().degree;
+        for l in 0..deg {
+            let q_eta = txn.neighbor(Port::new(l)).eta;
+            let me = txn.state_mut();
+            me.pi[l] = chordal_label(me.eta, q_eta, n);
+        }
+    }
+
+    /// `Distribute`'s statement, in place: `given := η; ∀q ∈ D_p ::
+    /// Start[q] := given + 1; given := given + Weight_q`, children in
+    /// port order. With `touch_exact` (frozen substrate) it declares
+    /// exactly the child ports whose slot value actually changed — the
+    /// per-slot diff the old `write_scope` computed from old-vs-new
+    /// states.
+    fn write_starts(
+        &self,
+        txn: &mut impl StateTxn<StnoState<T::State>>,
+        eta: u32,
+        children: &[Port],
+        touch_exact: bool,
+    ) {
+        let mut given = eta;
+        for &l in children {
+            let v = given.saturating_add(1);
+            if txn.state().start[l.index()] != v {
+                txn.state_mut().start[l.index()] = v;
+                if touch_exact {
+                    txn.touch_port(l);
+                }
+            }
+            given = given.saturating_add(txn.neighbor(l).weight);
+        }
+        if touch_exact {
+            // Declare even an empty scope explicitly so an all-current
+            // Distribute does not fall back to dirtying every port.
+            txn.mark_unobservable();
         }
     }
 
@@ -202,10 +252,15 @@ impl<T: SpanningTree> Stno<T> {
     /// Label-validity flag of one port.
     const LABEL_BIT: u64 = 1;
     /// The neighbor behind this port is a child (static under a frozen
-    /// substrate); its cached `Weight` sits in the word's high 32 bits.
+    /// substrate); its cached `Weight` sits at [`Stno::WEIGHT_SHIFT`].
     const CHILD_BIT: u64 = 1 << 1;
     /// The neighbor behind this port is the parent (static likewise).
     const PARENT_BIT: u64 = 1 << 2;
+    /// The cached child `Weight` occupies the 32 bits above the flags —
+    /// bits 3..35 of the layer's declared window (the old layout
+    /// hard-coded the word's high half; the explicit `LayerLayout` packs
+    /// it immediately above the flags instead).
+    const WEIGHT_SHIFT: u32 = 3;
 
     /// `CalcWeight` target from the cached child-weight sum; must agree
     /// with [`Stno::weight_target_over`] (the saturating fold of
@@ -219,13 +274,14 @@ impl<T: SpanningTree> Stno<T> {
     /// The start-validity flag recomputed from the cached child weights
     /// (current once every pending port notification of the step has been
     /// processed) and the node's own `Start` array.
-    fn start_flag_from_cache(me: &StnoState<T::State>, eta: u32, ports: &[u64]) -> bool {
+    fn start_flag_from_cache(me: &StnoState<T::State>, eta: u32, cache: &PortCache<'_>) -> bool {
         let mut given = eta;
         let mut invalid = false;
-        for (l, &w) in ports.iter().enumerate() {
+        for l in 0..cache.port_count() {
+            let w = cache.port(l);
             if w & Self::CHILD_BIT != 0 {
                 invalid |= me.start[l] != given.saturating_add(1);
-                given = given.saturating_add((w >> 32) as u32);
+                given = given.saturating_add((w >> Self::WEIGHT_SHIFT) as u32);
             }
         }
         invalid
@@ -290,41 +346,73 @@ impl<T: SpanningTree> Protocol for Stno<T> {
         scratch.put_vec(children);
     }
 
-    fn apply(&self, view: &impl NodeView<Self::State>, action: &Self::Action) -> Self::State {
-        let mut s = view.state().clone();
+    fn apply_in_place(&self, txn: &mut impl StateTxn<Self::State>, action: &Self::Action) {
+        // Write-scope accounting (replacing the old old-vs-new diff):
+        // neighbor guards read my η (their per-port label checks — all
+        // ports), my `Weight` (only the parent's `CalcWeight` /
+        // `Distribute` targets), and my `Start[l]` (only the child behind
+        // port `l`, for its η target). My π is consulted by no neighbor
+        // guard, so a pure `Edgelabel` repair dirties nothing. The exact
+        // declarations require the static tree knowledge of a frozen
+        // substrate — precisely when the protocol is port-separable; over
+        // a live tree (node-dirty anyway) we declare conservatively.
+        let frozen = self.tree.frozen();
+        let n = txn.ctx().n_bound as u32;
         match action {
             StnoAction::Tree(a) => {
-                let proj = Self::project(view);
-                s.tree = self.tree.apply(&proj, a);
+                {
+                    let mut sub = LayerTxn::new(txn, tree_of, tree_of_mut, NOTE_SHIFT);
+                    self.tree.apply_in_place(&mut sub, a);
+                }
+                // Tree edges moved: every derived quantity a neighbor
+                // reads may differ.
+                txn.touch_all_ports();
             }
             StnoAction::CalcWeight => {
-                s.weight = self.weight_target(view);
+                let w = self.weight_target(txn);
+                txn.state_mut().weight = w;
+                txn.note_self(NOTE_WEIGHT);
+                if frozen {
+                    match self.tree.static_parent_port(txn.ctx()) {
+                        Some(pp) => txn.touch_port(pp),
+                        None => txn.mark_unobservable(),
+                    }
+                } else {
+                    txn.touch_all_ports();
+                }
             }
             StnoAction::NodeLabel => {
                 // η := target; Distribute; Edgelabel — one atomic step, as
-                // in the paper's IN/RN/LN statements.
-                let eta = self.eta_target(view).expect("guard guarantees a target");
-                s.eta = eta;
-                let proj = Self::project(view);
-                let children = self.tree.children_ports(&proj);
-                Self::for_each_start(view, eta, &children, |l, v| {
-                    s.start[l.index()] = v;
-                });
-                Self::relabel_edges(view, &mut s);
+                // in the paper's IN/RN/LN statements. The guard guarantees
+                // η actually changes, and every neighbor reads η.
+                let eta = self.eta_target(txn).expect("guard guarantees a target");
+                let children = self.tree.children_ports(&Self::project(txn));
+                txn.state_mut().eta = eta;
+                self.write_starts(txn, eta, &children, false);
+                self.relabel_in_place(txn, n);
+                txn.note_self(NOTE_ETA | NOTE_START | NOTE_PI);
+                txn.touch_all_ports();
             }
             StnoAction::Distribute => {
-                let eta = s.eta;
-                let proj = Self::project(view);
-                let children = self.tree.children_ports(&proj);
-                Self::for_each_start(view, eta, &children, |l, v| {
-                    s.start[l.index()] = v;
-                });
+                let eta = txn.state().eta;
+                let children = self.tree.children_ports(&Self::project(txn));
+                self.write_starts(txn, eta, &children, frozen);
+                txn.note_self(NOTE_START);
+                if !frozen {
+                    txn.touch_all_ports();
+                }
             }
             StnoAction::EdgeLabel => {
-                Self::relabel_edges(view, &mut s);
+                self.relabel_in_place(txn, n);
+                txn.note_self(NOTE_PI);
+                if frozen {
+                    txn.mark_unobservable();
+                } else {
+                    txn.touch_all_ports();
+                }
             }
         }
-        s
+        txn.commit();
     }
 
     fn initial_state(&self, ctx: &NodeCtx) -> Self::State {
@@ -352,27 +440,52 @@ impl<T: SpanningTree> Protocol for Stno<T> {
     // (the paper's "after the spanning tree stabilizes" regime): tree
     // edges cannot move, so child/parent roles are static per port.
     //
-    // Cache layout — port word: bit 0 label-invalid, bit 1 is-child,
-    // bit 2 is-parent, high 32 bits the child's cached `Weight`; node
-    // words: [0] invalid-label count, [1] Σ cached child weights,
-    // [2] flags (bit 0 `CalcWeight` pending, bit 1 `NodeLabel` pending,
-    // bit 2 `Distribute` pending), [3] the cached η target read from the
-    // parent's `Start`.
-    //
-    // Unlike `Dftno`, this deliberately claims the *whole* port word —
-    // including the high half the engine's layering convention reserves
-    // for a substrate — because the separability precondition here is
-    // `frozen()`: a frozen substrate is inert and keeps no cache words
-    // at all (see `port_node_words` below, which grants it none). A
-    // future separable-but-live tree substrate must not reuse this
-    // impl; it would need its own layout (and a weaker precondition). ---
+    // Cache layout, declared through `LayerLayout` (35 port bits + 4
+    // node words of its own) — port word window: bit 0 label-invalid,
+    // bit 1 is-child, bit 2 is-parent, bits 3..35 the child's cached
+    // `Weight`; node words: [0] invalid-label count, [1] Σ cached child
+    // weights, [2] flags (bit 0 `CalcWeight` pending, bit 1 `NodeLabel`
+    // pending, bit 2 `Distribute` pending), [3] the cached η target read
+    // from the parent's `Start`. A frozen substrate is inert and
+    // declares an empty layout, so the whole 35-bit window fits with
+    // room to spare; a future separable-but-live tree substrate would
+    // declare its own bits and stack below automatically. ---
 
     fn port_separable(&self) -> bool {
         self.tree.frozen()
     }
 
-    fn port_node_words(&self) -> usize {
-        4
+    fn port_layout(&self) -> LayerLayout {
+        self.tree.port_layout().stacked(35, 4)
+    }
+
+    fn enabled_from_cache(
+        &self,
+        _view: &impl NodeView<Self::State>,
+        cache: &mut PortCache<'_>,
+        out: &mut Vec<Self::Action>,
+        _scratch: &mut Scratch,
+    ) -> bool {
+        // A frozen substrate has no tree actions; the flags word holds
+        // the rest, in `enabled_into`'s emission order (`CalcWeight`,
+        // then `NodeLabel` *or* `Distribute` + `EdgeLabel`) — must match
+        // `stno_count_from_cache`.
+        debug_assert!(self.tree.frozen(), "separability requires a frozen tree");
+        let flags = cache.node[2];
+        if flags & 1 != 0 {
+            out.push(StnoAction::CalcWeight);
+        }
+        if flags & 2 != 0 {
+            out.push(StnoAction::NodeLabel);
+        } else {
+            if flags & 4 != 0 {
+                out.push(StnoAction::Distribute);
+            }
+            if cache.node[0] > 0 {
+                out.push(StnoAction::EdgeLabel);
+            }
+        }
+        true
     }
 
     fn init_ports(&self, view: &impl NodeView<Self::State>, cache: &mut PortCache<'_>) -> u32 {
@@ -396,13 +509,13 @@ impl<T: SpanningTree> Protocol for Stno<T> {
             }
             if child_iter.peek() == Some(&&port) {
                 child_iter.next();
-                word |= Self::CHILD_BIT | (u64::from(q.weight) << 32);
+                word |= Self::CHILD_BIT | (u64::from(q.weight) << Self::WEIGHT_SHIFT);
                 sum += u64::from(q.weight);
             }
             if parent == Some(port) {
                 word |= Self::PARENT_BIT;
             }
-            cache.ports[l] = word;
+            cache.set_port(l, word);
         }
         cache.node[0] = invalid;
         cache.node[1] = sum;
@@ -417,7 +530,7 @@ impl<T: SpanningTree> Protocol for Stno<T> {
         if me.eta != eta_t {
             flags |= 2;
         }
-        if Self::start_flag_from_cache(me, me.eta, cache.ports) {
+        if Self::start_flag_from_cache(me, me.eta, cache) {
             flags |= 4;
         }
         cache.node[2] = flags;
@@ -427,20 +540,19 @@ impl<T: SpanningTree> Protocol for Stno<T> {
     fn refresh_self(
         &self,
         view: &impl NodeView<Self::State>,
-        old: &Self::State,
+        touched: u64,
         cache: &mut PortCache<'_>,
     ) -> PortVerdict {
         let ctx = view.ctx();
         let n = ctx.n_bound as u32;
         let me = view.state();
-        debug_assert!(old.tree == me.tree, "frozen substrates never move");
         // Label bits read own η and π.
-        if old.eta != me.eta || old.pi != me.pi {
+        if touched & (NOTE_ETA | NOTE_PI) != 0 {
             let mut invalid = 0u64;
             for l in 0..ctx.degree {
                 let q = view.neighbor(Port::new(l));
                 let bad = !chordal_label_valid(me.pi[l], me.eta, q.eta, n);
-                cache.ports[l] = (cache.ports[l] & !Self::LABEL_BIT) | u64::from(bad);
+                cache.set_port(l, (cache.port(l) & !Self::LABEL_BIT) | u64::from(bad));
                 invalid += u64::from(bad);
             }
             cache.node[0] = invalid;
@@ -453,9 +565,9 @@ impl<T: SpanningTree> Protocol for Stno<T> {
             flags |= 2;
         }
         // The start flag reads own η and `Start` (child weights cached).
-        if old.eta != me.eta || old.start != me.start {
+        if touched & (NOTE_ETA | NOTE_START) != 0 {
             flags &= !0b100;
-            if Self::start_flag_from_cache(me, me.eta, cache.ports) {
+            if Self::start_flag_from_cache(me, me.eta, cache) {
                 flags |= 4;
             }
         }
@@ -475,29 +587,29 @@ impl<T: SpanningTree> Protocol for Stno<T> {
         let q = view.neighbor(port);
         let li = port.index();
         let bad = !chordal_label_valid(me.pi[li], me.eta, q.eta, n);
-        let was = cache.ports[li] & Self::LABEL_BIT != 0;
+        let was = cache.port(li) & Self::LABEL_BIT != 0;
         if bad != was {
-            cache.ports[li] ^= Self::LABEL_BIT;
+            cache.set_port(li, cache.port(li) ^ Self::LABEL_BIT);
             cache.node[0] = cache.node[0] + u64::from(bad) - u64::from(was);
         }
         let mut flags = cache.node[2];
-        if cache.ports[li] & Self::CHILD_BIT != 0 {
-            let old_w = (cache.ports[li] >> 32) as u32;
+        if cache.port(li) & Self::CHILD_BIT != 0 {
+            let old_w = (cache.port(li) >> Self::WEIGHT_SHIFT) as u32;
             let new_w = q.weight;
             if new_w != old_w {
                 cache.node[1] = cache.node[1] - u64::from(old_w) + u64::from(new_w);
-                cache.ports[li] =
-                    (cache.ports[li] & u64::from(u32::MAX)) | (u64::from(new_w) << 32);
+                let flags_part = cache.port(li) & ((1 << Self::WEIGHT_SHIFT) - 1);
+                cache.set_port(li, flags_part | (u64::from(new_w) << Self::WEIGHT_SHIFT));
                 flags &= !0b101;
                 if me.weight != Self::weight_target_from_sum(n, cache.node[1]) {
                     flags |= 1;
                 }
-                if Self::start_flag_from_cache(me, me.eta, cache.ports) {
+                if Self::start_flag_from_cache(me, me.eta, cache) {
                     flags |= 4;
                 }
             }
         }
-        if cache.ports[li] & Self::PARENT_BIT != 0 {
+        if cache.port(li) & Self::PARENT_BIT != 0 {
             let slot = ctx.back_ports[li];
             let eta_t = u64::from(q.start[slot.index()] % n);
             cache.node[3] = eta_t;
@@ -508,43 +620,6 @@ impl<T: SpanningTree> Protocol for Stno<T> {
         }
         cache.node[2] = flags;
         PortVerdict::Count(Self::stno_count_from_cache(cache))
-    }
-
-    fn write_scope(
-        &self,
-        ctx: &NodeCtx,
-        old: &Self::State,
-        new: &Self::State,
-        out: &mut Vec<Port>,
-    ) -> WriteScope {
-        // Neighbor guards read: my η (their per-port label checks — all
-        // ports), my `Weight` (only the parent's `CalcWeight` /
-        // `Distribute` targets), and my `Start[l]` (only the child behind
-        // port `l`, for its η target). My π is consulted by no neighbor
-        // guard, so a pure `Edgelabel` repair dirties nothing.
-        if old.tree != new.tree || old.eta != new.eta {
-            return WriteScope::All;
-        }
-        let mut any = false;
-        if old.weight != new.weight {
-            if let Some(pp) = self.tree.static_parent_port(ctx) {
-                out.push(pp);
-                any = true;
-            }
-        }
-        if old.start != new.start {
-            for (l, (a, b)) in old.start.iter().zip(&new.start).enumerate() {
-                if a != b {
-                    out.push(Port::new(l));
-                    any = true;
-                }
-            }
-        }
-        if any {
-            WriteScope::Ports
-        } else {
-            WriteScope::Unchanged
-        }
     }
 }
 

@@ -18,7 +18,9 @@
 use rand::RngCore;
 
 use crate::network::NodeCtx;
-use crate::protocol::{NodeView, Protocol};
+use crate::protocol::{
+    LayerLayout, LayerTxn, NodeView, PortCache, PortVerdict, Protocol, StateTxn,
+};
 use sno_graph::Port;
 
 /// A protocol layer that runs on top of a lower-layer protocol `L`,
@@ -33,18 +35,77 @@ pub trait UpperLayer<L: Protocol> {
     /// Appends the enabled upper-layer actions for the compound view.
     fn enabled(&self, view: &impl NodeView<(L::State, Self::State)>, out: &mut Vec<Self::Action>);
 
-    /// Executes an upper-layer action, producing the new upper state.
-    fn apply(
+    /// Executes an upper-layer action in place.
+    ///
+    /// The transaction exposes the *compound* state — the upper layer
+    /// reads the lower layer's variables through it — but the layering
+    /// contract (this trait's defining property) requires the statement
+    /// to write **only** the upper component `txn.state_mut().1`. Touch
+    /// declarations follow the usual [`StateTxn`] rules; an undeclared
+    /// write conservatively dirties every port.
+    fn apply_in_place(
         &self,
-        view: &impl NodeView<(L::State, Self::State)>,
+        txn: &mut impl StateTxn<(L::State, Self::State)>,
         action: &Self::Action,
-    ) -> Self::State;
+    );
 
     /// Canonical initial state.
     fn initial_state(&self, ctx: &NodeCtx) -> Self::State;
 
     /// Arbitrary (possibly corrupt) state.
     fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> Self::State;
+
+    /// `true` iff this layer implements the port-separable hooks below
+    /// with non-default answers (see [`Protocol::port_separable`]). The
+    /// composition is port-separable only if *both* layers are.
+    fn port_separable(&self) -> bool {
+        false
+    }
+
+    /// The [`PortCache`] resources this layer itself needs (the lower
+    /// layer declares its own through [`Protocol::port_layout`];
+    /// [`Layered`] stacks the two plus its own bookkeeping words).
+    fn port_layout(&self) -> LayerLayout {
+        LayerLayout::EMPTY
+    }
+
+    /// Rebuilds this layer's cache window from scratch and returns its
+    /// exact enabled-action count (see [`Protocol::init_ports`]).
+    fn init_ports(
+        &self,
+        view: &impl NodeView<(L::State, Self::State)>,
+        cache: &mut PortCache<'_>,
+    ) -> u32 {
+        let _ = cache;
+        let mut out = Vec::new();
+        self.enabled(view, &mut out);
+        out.len() as u32
+    }
+
+    /// The compound state of this processor changed; see
+    /// [`Protocol::refresh_self`]. `touched` carries the layer's own
+    /// shifted note bits.
+    fn refresh_self(
+        &self,
+        view: &impl NodeView<(L::State, Self::State)>,
+        touched: u64,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let (_, _, _) = (view, touched, cache);
+        PortVerdict::Whole
+    }
+
+    /// The neighbor behind `port` changed; see
+    /// [`Protocol::reevaluate_port`].
+    fn reevaluate_port(
+        &self,
+        view: &impl NodeView<(L::State, Self::State)>,
+        port: Port,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let (_, _, _) = (view, port, cache);
+        PortVerdict::Whole
+    }
 }
 
 /// An action of a layered composition.
@@ -109,6 +170,47 @@ impl<S, T, V: NodeView<(S, T)>> NodeView<S> for LowerView<'_, V, T> {
     }
 }
 
+fn lower_of<A, B>(s: &(A, B)) -> &A {
+    &s.0
+}
+
+fn lower_of_mut<A, B>(s: &mut (A, B)) -> &mut A {
+    &mut s.0
+}
+
+/// The note-bit convention of [`Layered`]: bit 0 = the lower layer
+/// moved, bit 1 = the upper layer moved; whichever moved keeps its own
+/// note bits shifted left by 2 (exactly one of the two flags is set per
+/// transaction, so the layers share the shifted space unambiguously, and
+/// nested compositions stack the convention recursively).
+const LOWER_MOVED: u64 = 0b01;
+/// See [`LOWER_MOVED`].
+const UPPER_MOVED: u64 = 0b10;
+
+/// The `touched` value an [`UpperLayer::refresh_self`] receives when the
+/// *lower* layer moved (the upper layer's own lower component changed in
+/// a way its own notes cannot describe) — treat it conservatively.
+pub const UPPER_TOUCHED_BY_LOWER: u64 = u64::MAX;
+
+impl<L, U> Layered<L, U>
+where
+    L: Protocol,
+    U: UpperLayer<L>,
+{
+    /// The upper layer's window of the composed [`PortCache`]: lowest
+    /// declared bits, first node words after the two cached counts.
+    fn upper_cache<'a>(&self, cache: &'a mut PortCache<'_>) -> PortCache<'a> {
+        cache.layer(2, 0)
+    }
+
+    /// The lower protocol's window: shifted past the upper layer's
+    /// declared bits, node words after the counts and the upper's words.
+    fn lower_cache<'a>(&self, cache: &'a mut PortCache<'_>) -> PortCache<'a> {
+        let upper = self.upper.port_layout();
+        cache.layer(2 + upper.node_words, upper.port_bits)
+    }
+}
+
 impl<L, U> Protocol for Layered<L, U>
 where
     L: Protocol,
@@ -127,18 +229,25 @@ where
         out.extend(upper_actions.into_iter().map(LayeredAction::Upper));
     }
 
-    fn apply(&self, view: &impl NodeView<Self::State>, action: &Self::Action) -> Self::State {
-        let (mut lower, mut upper) = view.state().clone();
+    fn apply_in_place(&self, txn: &mut impl StateTxn<Self::State>, action: &Self::Action) {
         match action {
             LayeredAction::Lower(a) => {
-                let lower_view = LowerView::new(view);
-                lower = self.lower.apply(&lower_view, a);
+                let mut sub = LayerTxn::new(txn, lower_of, lower_of_mut, 2);
+                self.lower.apply_in_place(&mut sub, a);
+                txn.note_self(LOWER_MOVED);
             }
             LayeredAction::Upper(a) => {
-                upper = self.upper.apply(view, a);
+                let mut sub = LayerTxn::new(
+                    txn,
+                    crate::protocol::identity_read,
+                    crate::protocol::identity_write,
+                    2,
+                );
+                self.upper.apply_in_place(&mut sub, a);
+                txn.note_self(UPPER_MOVED);
             }
         }
-        (lower, upper)
+        txn.commit();
     }
 
     fn initial_state(&self, ctx: &NodeCtx) -> Self::State {
@@ -150,6 +259,120 @@ where
             self.lower.random_state(ctx, rng),
             self.upper.random_state(ctx, rng),
         )
+    }
+
+    // --- Port-separable interface: live when *both* layers opt in.
+    //
+    // Cache layout, allocated explicitly through `LayerLayout` (this is
+    // what unlocks >= 3-deep compositions): the composition's own two
+    // node words cache the per-layer action counts (`node[0]` lower,
+    // `node[1]` upper — `enabled` emits lower actions first); the upper
+    // layer's declared port bits occupy the lowest bits of the window
+    // with its node words next; the lower protocol's whole stack sits
+    // above both.
+    //
+    // Additional separability requirement, inherited from fair
+    // composition itself: the upper layer reads the lower layer's
+    // neighbor variables, so the lower layer's touch declarations must
+    // cover every lower field the upper layer consults (true for
+    // protocols that dirty every port whose observable state changed,
+    // e.g. `HopDistance`'s `touch_all_ports`). ---
+
+    fn port_separable(&self) -> bool {
+        self.lower.port_separable() && self.upper.port_separable()
+    }
+
+    fn port_layout(&self) -> LayerLayout {
+        let lower = self.lower.port_layout();
+        let upper = self.upper.port_layout();
+        LayerLayout {
+            port_bits: lower.port_bits + upper.port_bits,
+            node_words: 2 + lower.node_words + upper.node_words,
+        }
+    }
+
+    fn init_ports(&self, view: &impl NodeView<Self::State>, cache: &mut PortCache<'_>) -> u32 {
+        let lower_view = LowerView::new(view);
+        let low = self
+            .lower
+            .init_ports(&lower_view, &mut self.lower_cache(cache));
+        let up = self.upper.init_ports(view, &mut self.upper_cache(cache));
+        cache.node[0] = u64::from(low);
+        cache.node[1] = u64::from(up);
+        low + up
+    }
+
+    fn refresh_self(
+        &self,
+        view: &impl NodeView<Self::State>,
+        touched: u64,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        if touched & LOWER_MOVED != 0 {
+            let lower_view = LowerView::new(view);
+            match self
+                .lower
+                .refresh_self(&lower_view, touched >> 2, &mut self.lower_cache(cache))
+            {
+                PortVerdict::Whole => return PortVerdict::Whole,
+                PortVerdict::Count(c) => cache.node[0] = u64::from(c),
+                PortVerdict::Unchanged => {}
+            }
+            // The upper layer's guards read the compound own state, so a
+            // lower move is an own-state change for it too.
+            match self.upper.refresh_self(
+                view,
+                UPPER_TOUCHED_BY_LOWER,
+                &mut self.upper_cache(cache),
+            ) {
+                PortVerdict::Whole => return PortVerdict::Whole,
+                PortVerdict::Count(c) => cache.node[1] = u64::from(c),
+                PortVerdict::Unchanged => {}
+            }
+        }
+        if touched & UPPER_MOVED != 0 {
+            // The lower layer never reads upper state: its cache stays
+            // current.
+            match self
+                .upper
+                .refresh_self(view, touched >> 2, &mut self.upper_cache(cache))
+            {
+                PortVerdict::Whole => return PortVerdict::Whole,
+                PortVerdict::Count(c) => cache.node[1] = u64::from(c),
+                PortVerdict::Unchanged => {}
+            }
+        }
+        PortVerdict::Count((cache.node[0] + cache.node[1]) as u32)
+    }
+
+    fn reevaluate_port(
+        &self,
+        view: &impl NodeView<Self::State>,
+        port: Port,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        // A dirty port does not say which component of the neighbor
+        // changed; both layers re-evaluate their windows.
+        let lower_view = LowerView::new(view);
+        let low = self
+            .lower
+            .reevaluate_port(&lower_view, port, &mut self.lower_cache(cache));
+        let up = self
+            .upper
+            .reevaluate_port(view, port, &mut self.upper_cache(cache));
+        match (low, up) {
+            (PortVerdict::Whole, _) | (_, PortVerdict::Whole) => PortVerdict::Whole,
+            (PortVerdict::Unchanged, PortVerdict::Unchanged) => PortVerdict::Unchanged,
+            (l, u) => {
+                if let PortVerdict::Count(c) = l {
+                    cache.node[0] = u64::from(c);
+                }
+                if let PortVerdict::Count(c) = u {
+                    cache.node[1] = u64::from(c);
+                }
+                PortVerdict::Count((cache.node[0] + cache.node[1]) as u32)
+            }
+        }
     }
 }
 
@@ -196,12 +419,12 @@ mod tests {
             }
         }
 
-        fn apply(
-            &self,
-            view: &impl NodeView<(u32, Option<Port>)>,
-            _action: &Reselect,
-        ) -> Option<Port> {
-            Self::target(view)
+        fn apply_in_place(&self, txn: &mut impl StateTxn<(u32, Option<Port>)>, _action: &Reselect) {
+            let t = Self::target(txn);
+            txn.state_mut().1 = t;
+            // No neighbor guard reads the parent choice.
+            txn.mark_unobservable();
+            txn.commit();
         }
 
         fn initial_state(&self, _ctx: &NodeCtx) -> Option<Port> {

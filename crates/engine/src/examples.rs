@@ -12,8 +12,8 @@ use sno_graph::Port;
 
 use crate::network::NodeCtx;
 use crate::protocol::{
-    neighbor_states, Enumerable, NodeView, PortCache, PortVerdict, Protocol, SpaceMeasured,
-    WriteScope,
+    neighbor_states, Enumerable, LayerLayout, NodeView, PortCache, PortVerdict, Protocol,
+    SpaceMeasured, StateTxn,
 };
 
 /// Silent self-stabilizing hop-distance computation (see module docs).
@@ -52,8 +52,11 @@ impl HopDistance {
         }
     }
 
-    fn min_of(ports: &[u64]) -> u64 {
-        ports.iter().copied().min().unwrap_or(u64::from(u32::MAX))
+    fn min_of(cache: &PortCache<'_>) -> u64 {
+        (0..cache.port_count())
+            .map(|l| cache.port(l))
+            .min()
+            .unwrap_or(u64::from(u32::MAX))
     }
 }
 
@@ -67,8 +70,15 @@ impl Protocol for HopDistance {
         }
     }
 
-    fn apply(&self, view: &impl NodeView<u32>, _action: &Recompute) -> u32 {
-        self.target(view)
+    fn apply_in_place(&self, txn: &mut impl StateTxn<u32>, _action: &Recompute) {
+        // The worked migration example from the `Protocol` rustdoc: read
+        // the target through the transaction's view, write in place, and
+        // declare that every neighbor (whose guards all read this one
+        // variable) can observe it.
+        let t = self.target(txn);
+        *txn.state_mut() = t;
+        txn.touch_all_ports();
+        txn.commit();
     }
 
     fn initial_state(&self, ctx: &NodeCtx) -> u32 {
@@ -89,22 +99,37 @@ impl Protocol for HopDistance {
         true
     }
 
-    fn port_node_words(&self) -> usize {
-        1
+    fn port_layout(&self) -> LayerLayout {
+        // 32 port-word bits (a cached neighbor distance) + one node word
+        // (the maintained minimum).
+        LayerLayout::new(32, 1)
+    }
+
+    fn enabled_from_cache(
+        &self,
+        view: &impl NodeView<u32>,
+        cache: &mut PortCache<'_>,
+        out: &mut Vec<Recompute>,
+        _scratch: &mut crate::protocol::Scratch,
+    ) -> bool {
+        if *view.state() != Self::target_from_min(view.ctx(), cache.node[0]) {
+            out.push(Recompute);
+        }
+        true
     }
 
     fn init_ports(&self, view: &impl NodeView<u32>, cache: &mut PortCache<'_>) -> u32 {
         for (l, &v) in neighbor_states(view) {
-            cache.ports[l.index()] = u64::from(v);
+            cache.set_port(l.index(), u64::from(v));
         }
-        cache.node[0] = Self::min_of(cache.ports);
+        cache.node[0] = Self::min_of(cache);
         u32::from(*view.state() != Self::target_from_min(view.ctx(), cache.node[0]))
     }
 
     fn refresh_self(
         &self,
         view: &impl NodeView<u32>,
-        _old: &u32,
+        _touched: u64,
         cache: &mut PortCache<'_>,
     ) -> PortVerdict {
         // The guard depends on own state + the cached neighbor minimum;
@@ -121,30 +146,20 @@ impl Protocol for HopDistance {
         cache: &mut PortCache<'_>,
     ) -> PortVerdict {
         let new = u64::from(*view.neighbor(port));
-        let old = std::mem::replace(&mut cache.ports[port.index()], new);
+        let old = cache.port(port.index());
         if new == old {
             return PortVerdict::Unchanged;
         }
+        cache.set_port(port.index(), new);
         if new < cache.node[0] {
             cache.node[0] = new;
         } else if old == cache.node[0] {
             // The previous minimum grew: rescan (amortized rare).
-            cache.node[0] = Self::min_of(cache.ports);
+            cache.node[0] = Self::min_of(cache);
         }
         PortVerdict::Count(u32::from(
             *view.state() != Self::target_from_min(view.ctx(), cache.node[0]),
         ))
-    }
-
-    fn write_scope(
-        &self,
-        _ctx: &NodeCtx,
-        _old: &u32,
-        _new: &u32,
-        _out: &mut Vec<Port>,
-    ) -> WriteScope {
-        // Every neighbor's guard reads this node's single variable.
-        WriteScope::All
     }
 }
 

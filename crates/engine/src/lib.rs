@@ -52,6 +52,7 @@ pub mod spec;
 
 pub use network::{Network, NodeCtx};
 pub use protocol::{
-    Enumerable, NodeView, PortCache, PortVerdict, Protocol, Scratch, SpaceMeasured, WriteScope,
+    apply_via_clone, Enumerable, LayerLayout, LayerTxn, NodeView, PortCache, PortVerdict, Protocol,
+    Scratch, SpaceMeasured, StateTxn, TouchRecord, TouchScope, WriteTxn,
 };
 pub use sim::{EngineMode, RunResult, Simulation, StepOutcome};

@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use sno_graph::NodeId;
 
 use crate::network::Network;
-use crate::protocol::{ConfigView, Enumerable};
+use crate::protocol::{apply_via_clone, ConfigView, Enumerable};
 
 /// The model-checking request was too large to enumerate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,7 +175,7 @@ impl<'a, P: Enumerable> ModelChecker<'a, P> {
             let view = ConfigView::new(self.net, p, config);
             self.protocol.enabled(&view, &mut actions);
             for a in &actions {
-                let new_state = self.protocol.apply(&view, a);
+                let new_state = apply_via_clone(self.protocol, self.net, p, config, a);
                 let i = p.index();
                 let old_digit = self.index_of[i][&config[i]] as u64;
                 let new_digit = *self.index_of[i].get(&new_state).unwrap_or_else(|| {
@@ -393,8 +393,7 @@ impl<'a, P: Enumerable> ModelChecker<'a, P> {
                         return Err(Box::new(Violation::Deadlock { config }));
                     }
                 };
-                let view = ConfigView::new(self.net, p, &config);
-                let new_state = self.protocol.apply(&view, &a);
+                let new_state = apply_via_clone(self.protocol, self.net, p, &config, &a);
                 let i = p.index();
                 let old_digit = self.index_of[i][&config[i]] as u64;
                 let new_digit = self.index_of[i][&new_state] as u64;

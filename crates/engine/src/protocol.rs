@@ -7,6 +7,66 @@
 //! writes together — composite atomicity under a distributed daemon,
 //! exactly the paper's execution model.
 //!
+//! # The state-transaction write API
+//!
+//! Statements execute through [`Protocol::apply_in_place`]: the engine
+//! hands the processor a [`StateTxn`] — a write handle over the
+//! processor's *own* state slot that doubles as the read-only
+//! [`NodeView`] of its neighborhood — and the protocol mutates its
+//! variables **in place** while *declaring* which neighbors can observe
+//! the change ([`StateTxn::touch_port`] and friends). The engine folds
+//! those declarations straight into its dirty-port invalidation, so a
+//! single-writer step (any central daemon) writes a high-degree
+//! processor's state with **zero clones and zero heap traffic** — the
+//! per-move footprint is the constant number of words the statement
+//! touches, not the node's full `O(Δ)` state.
+//!
+//! ## Migrating from the old clone-based `apply`
+//!
+//! Until this revision the trait required
+//! `fn apply(&self, view, action) -> Self::State`: clone the old state,
+//! mutate the clone, return it — an `O(Δ)` copy per move for protocols
+//! with per-port arrays, and a separate old-vs-new diff (`write_scope`)
+//! to recover what changed. The recipe for porting an implementation:
+//!
+//! 1. Replace the signature with
+//!    `fn apply_in_place(&self, txn: &mut impl StateTxn<Self::State>, action: &Self::Action)`.
+//!    The `view` parameter is gone — the transaction *is* the view
+//!    (`StateTxn: NodeView`), which is what makes the borrow of the own
+//!    state slot and the reads of neighbor slots coexist.
+//! 2. Replace `let mut s = view.state().clone()` + `return s` with reads
+//!    through `txn.state()` / writes through `txn.state_mut()`. Read any
+//!    pre-write values you need (e.g. the old clock, the parent port of a
+//!    substrate) *before* overwriting them — the transaction exposes the
+//!    live state, not a snapshot.
+//! 3. Replace the old `write_scope` old-vs-new diff with declarations
+//!    made *while writing*: [`StateTxn::touch_all_ports`] if every
+//!    neighbor's guard can observe the write, [`StateTxn::touch_port`]
+//!    per observing neighbor, or [`StateTxn::mark_unobservable`] when no
+//!    neighbor guard reads the touched fields. An undeclared write falls
+//!    back to dirtying every port (always safe, never fast).
+//! 4. If the protocol implements [`Protocol::refresh_self`], record which
+//!    own-state aspects changed via [`StateTxn::note_self`] — the
+//!    engine passes the accumulated bits back to `refresh_self` in place
+//!    of the old pre-step state.
+//! 5. End with [`StateTxn::commit`].
+//!
+//! Worked example, the engine's own [`HopDistance`](crate::examples::HopDistance)
+//! (old form on the left, new form on the right):
+//!
+//! ```text
+//! fn apply(&self, view, _a) -> u32 {      fn apply_in_place(&self, txn, _a) {
+//!     self.target(view)                       let t = self.target(txn);
+//! }                                           *txn.state_mut() = t;
+//! fn write_scope(..) -> WriteScope {          txn.touch_all_ports();
+//!     WriteScope::All                         txn.commit();
+//! }                                       }
+//! ```
+//!
+//! Code that needs the old contract (the model checker, differential
+//! reference tests) uses the [`apply_via_clone`] shim, which evaluates an
+//! `apply_in_place` transaction against a detached clone of the state.
+//!
 //! # Port separability
 //!
 //! Beyond the required guard evaluation, a protocol may *opt in* to the
@@ -18,10 +78,11 @@
 //!    enabled-action count now?" ([`Protocol::reevaluate_port`]), using a
 //!    small engine-owned per-node cache instead of re-reading the whole
 //!    neighborhood;
-//! 2. *write side* — "your state changed from `old` to `new`; which of
-//!    your neighbors can observe a **guard-relevant** difference?"
-//!    ([`Protocol::write_scope`]), so a high-degree processor's step
-//!    dirties only the ports that actually carry a change.
+//! 2. *write side* — "which of your neighbors can observe a
+//!    **guard-relevant** difference?", declared by the writer itself
+//!    *during* [`Protocol::apply_in_place`] (the [`StateTxn`] touch
+//!    calls), so a high-degree processor's step dirties only the ports
+//!    that actually carry a change.
 //!
 //! Every method has a conservative default (fall back to a whole-node
 //! re-evaluation, report every port as affected), so the interface is
@@ -157,39 +218,148 @@ impl Clone for Scratch {
     }
 }
 
+/// The explicit cache-layout declaration of one protocol layer: how many
+/// port-word bits and node words the whole stack below (and including)
+/// this protocol needs.
+///
+/// The engine stores one `u64` port word per incident half-edge. A
+/// *layered* protocol shares that word between its layers by declaring,
+/// per layer, an explicit bit width: the wrapper claims the lowest
+/// `port_bits` of its window and hands its substrate the rest via
+/// [`PortCache::layer`]. Unlike the earlier fixed low/high-32-bit
+/// convention this composes to any depth — three and more layers simply
+/// stack disjoint bit ranges, and the engine asserts the total fits the
+/// word when the cache is activated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerLayout {
+    /// Total port-word bits used by this protocol *including* every
+    /// substrate below it. Must not exceed 64 for the port cache to
+    /// activate.
+    pub port_bits: u32,
+    /// Total node words used by this protocol including every substrate.
+    pub node_words: usize,
+}
+
+impl LayerLayout {
+    /// The layout of a protocol that caches nothing.
+    pub const EMPTY: LayerLayout = LayerLayout {
+        port_bits: 0,
+        node_words: 0,
+    };
+
+    /// A leaf layout.
+    pub const fn new(port_bits: u32, node_words: usize) -> LayerLayout {
+        LayerLayout {
+            port_bits,
+            node_words,
+        }
+    }
+
+    /// The layout of a wrapper with `own` resources stacked on top of a
+    /// substrate with layout `self`.
+    pub const fn stacked(self, own_port_bits: u32, own_node_words: usize) -> LayerLayout {
+        LayerLayout {
+            port_bits: self.port_bits + own_port_bits,
+            node_words: self.node_words + own_node_words,
+        }
+    }
+}
+
 /// The engine-owned per-node cache a port-separable protocol reads and
 /// writes through [`Protocol::init_ports`], [`Protocol::refresh_self`],
 /// and [`Protocol::reevaluate_port`].
 ///
 /// The engine stores one `u64` **port word** per incident port (CSR-
 /// aligned with the graph's flat adjacency) plus
-/// [`Protocol::port_node_words`] **node words** per processor. What the
+/// [`LayerLayout::node_words`] **node words** per processor. What the
 /// words mean is entirely up to the protocol; the engine only guarantees
 /// that the same node's words come back unchanged between calls.
 ///
-/// # Layering convention
+/// # Layering
 ///
-/// A layered protocol (orientation over a substrate) must hand its
-/// substrate a *disjoint* cache region: call [`PortCache::layer`] to hide
-/// the wrapper's node words, and keep the wrapper's per-port bits in the
-/// **low 32 bits** of each port word, leaving the high 32 bits to the
-/// substrate.
+/// A layered protocol (orientation over a substrate) hands its substrate
+/// a *disjoint* cache region: [`PortCache::layer`] hides the wrapper's
+/// node words and shifts the port-word window past the wrapper's declared
+/// bit width ([`Protocol::port_layout`]), so every layer reads and writes
+/// its own bit range through [`PortCache::port`] / [`PortCache::set_port`]
+/// without knowing where in the physical word it landed. This supports
+/// arbitrarily deep compositions as long as the total declared widths fit
+/// in 64 bits.
 #[derive(Debug)]
 pub struct PortCache<'c> {
-    /// One word per port of this node, in port order.
-    pub ports: &'c mut [u64],
-    /// The protocol's node words ([`Protocol::port_node_words`] many).
+    /// One word per port of this node, in port order. Private: all access
+    /// goes through the window accessors so layers stay disjoint.
+    ports: &'c mut [u64],
+    /// The layer's node words (not bit-shared; partitioned by count via
+    /// [`PortCache::layer`]).
     pub node: &'c mut [u64],
+    /// The start of this layer's bit window within each port word.
+    shift: u32,
+    /// The width of the window (this layer's bits plus every layer
+    /// below it).
+    width: u32,
 }
 
-impl PortCache<'_> {
-    /// Reborrows the cache with the first `skip` node words hidden — the
-    /// view a wrapper passes to its substrate (see the layering
-    /// convention above).
-    pub fn layer(&mut self, skip: usize) -> PortCache<'_> {
+impl<'c> PortCache<'c> {
+    /// Wraps raw storage as the top-level (whole-word) cache window.
+    pub fn new(ports: &'c mut [u64], node: &'c mut [u64]) -> PortCache<'c> {
+        PortCache {
+            ports,
+            node,
+            shift: 0,
+            width: 64,
+        }
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Number of port words (the node's degree).
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Reads this layer's window of port `l`'s word.
+    pub fn port(&self, l: usize) -> u64 {
+        (self.ports[l] >> self.shift) & self.mask()
+    }
+
+    /// Overwrites this layer's window of port `l`'s word.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `v` does not fit the window.
+    pub fn set_port(&mut self, l: usize, v: u64) {
+        debug_assert!(
+            v <= self.mask(),
+            "port-cache value exceeds the layer window"
+        );
+        let m = self.mask() << self.shift;
+        self.ports[l] = (self.ports[l] & !m) | ((v & self.mask()) << self.shift);
+    }
+
+    /// Reborrows the cache for a substrate: the first `skip_words` node
+    /// words and the lowest `skip_bits` port-word bits (the wrapper's
+    /// declared resources) are hidden.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `skip_bits` exceeds the remaining window.
+    pub fn layer(&mut self, skip_words: usize, skip_bits: u32) -> PortCache<'_> {
+        debug_assert!(
+            skip_bits <= self.width,
+            "layer claims more port bits than its window holds"
+        );
         PortCache {
             ports: self.ports,
-            node: &mut self.node[skip..],
+            node: &mut self.node[skip_words..],
+            shift: self.shift + skip_bits,
+            width: self.width - skip_bits,
         }
     }
 }
@@ -210,19 +380,176 @@ pub enum PortVerdict {
     Whole,
 }
 
-/// Answer of [`Protocol::write_scope`]: which neighbors can observe a
-/// guard-relevant difference between two states of this processor.
+/// The resolved write scope of one committed transaction: which
+/// neighbors can observe a guard-relevant difference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WriteScope {
-    /// No neighbor's guard reads anything that differs (e.g. only
-    /// fields that neighbors never consult changed).
-    Unchanged,
-    /// Exactly the ports pushed into the `out` argument carry observable
-    /// changes.
-    Ports,
-    /// Conservatively assume every incident port carries a change (the
-    /// node-dirty behavior).
+pub enum TouchScope<'r> {
+    /// No neighbor's guard reads anything that differs (e.g. only fields
+    /// that neighbors never consult changed, or nothing was written).
+    Unobservable,
+    /// Exactly the listed ports carry observable changes.
+    Ports(&'r [Port]),
+    /// Every incident port carries (or must be assumed to carry) a
+    /// change — also the conservative fallback for writes that declared
+    /// nothing.
     All,
+}
+
+/// The engine-owned record behind a [`StateTxn`]: which port slots and
+/// own-state aspects one write touched.
+///
+/// One record exists per writer per step; the engine pools and resets
+/// them, so a warmed-up step allocates nothing here.
+#[derive(Debug, Clone, Default)]
+pub struct TouchRecord {
+    ports: Vec<Port>,
+    all: bool,
+    declared: bool,
+    wrote: bool,
+    committed: bool,
+    self_bits: u64,
+}
+
+impl TouchRecord {
+    /// A fresh (empty, uncommitted) record.
+    pub fn new() -> TouchRecord {
+        TouchRecord::default()
+    }
+
+    /// Clears the record for reuse (keeps the port buffer's capacity).
+    pub fn reset(&mut self) {
+        self.ports.clear();
+        self.all = false;
+        self.declared = false;
+        self.wrote = false;
+        self.committed = false;
+        self.self_bits = 0;
+    }
+
+    fn assert_open(&self) {
+        debug_assert!(!self.committed, "state transaction used after commit");
+    }
+
+    fn touch_port(&mut self, l: Port, degree: usize) {
+        self.assert_open();
+        debug_assert!(
+            l.index() < degree,
+            "touch_port out of range: port {} of degree {}",
+            l.index(),
+            degree
+        );
+        self.declared = true;
+        if !self.all {
+            self.ports.push(l);
+        }
+    }
+
+    fn touch_all_ports(&mut self) {
+        self.assert_open();
+        self.declared = true;
+        self.all = true;
+    }
+
+    fn mark_unobservable(&mut self) {
+        self.assert_open();
+        self.declared = true;
+    }
+
+    fn note_self(&mut self, bits: u64) {
+        self.assert_open();
+        self.self_bits |= bits;
+    }
+
+    fn mark_wrote(&mut self) {
+        self.assert_open();
+        self.wrote = true;
+    }
+
+    /// Seals the record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction was already committed.
+    pub fn commit(&mut self) {
+        assert!(!self.committed, "state transaction committed twice");
+        self.committed = true;
+    }
+
+    /// `true` once [`TouchRecord::commit`] ran.
+    pub fn is_committed(&self) -> bool {
+        self.committed
+    }
+
+    /// The accumulated [`StateTxn::note_self`] bits.
+    pub fn self_bits(&self) -> u64 {
+        self.self_bits
+    }
+
+    /// Resolves the declarations into the scope the invalidation pass
+    /// consumes. A write that declared nothing resolves conservatively to
+    /// [`TouchScope::All`]; a transaction that never took the mutable
+    /// state handle resolves to [`TouchScope::Unobservable`].
+    pub fn scope(&self) -> TouchScope<'_> {
+        if self.all {
+            TouchScope::All
+        } else if self.declared {
+            TouchScope::Ports(&self.ports)
+        } else if self.wrote {
+            TouchScope::All
+        } else {
+            TouchScope::Unobservable
+        }
+    }
+}
+
+/// The write handle of one atomic statement execution (see the module
+/// docs' migration notes).
+///
+/// A `StateTxn` is simultaneously:
+///
+/// * the [`NodeView`] of the executing processor — [`NodeView::state`]
+///   reads the *live* own state (pre-write values until the statement
+///   overwrites them), [`NodeView::neighbor`] always reads the pre-step
+///   neighbor states;
+/// * the mutable handle over the processor's own state slot
+///   ([`StateTxn::state_mut`]), writing **in place** — no clone, no
+///   return value;
+/// * the declaration channel feeding the engine's dirty-port
+///   invalidation (`touch_*`, [`StateTxn::note_self`]).
+///
+/// Every transaction must end with exactly one [`StateTxn::commit`];
+/// committing twice panics, and (in debug builds) so does touching an
+/// out-of-range port or writing after the commit.
+///
+/// Layered protocols forward a **sub-transaction** to each substrate via
+/// [`LayerTxn`]; the layers share one underlying record (their port
+/// touches union), and a sub-transaction's `commit` is absorbed — the
+/// root transaction seals the write.
+pub trait StateTxn<S>: NodeView<S> {
+    /// Mutable access to the processor's own state, written in place.
+    fn state_mut(&mut self) -> &mut S;
+
+    /// Declares that the neighbor behind `l` can observe a guard-relevant
+    /// difference from this write.
+    fn touch_port(&mut self, l: Port);
+
+    /// Declares that every neighbor can observe the write (e.g. a field
+    /// every neighbor guard reads changed).
+    fn touch_all_ports(&mut self);
+
+    /// Declares that **no** neighbor guard reads anything this write
+    /// changed. Without any declaration the engine assumes the worst
+    /// ([`TouchScope::All`]).
+    fn mark_unobservable(&mut self);
+
+    /// Records protocol-private bits describing which *own-state* aspects
+    /// changed; the engine hands the union back to
+    /// [`Protocol::refresh_self`]. Layered protocols shift their
+    /// substrate's bits via [`LayerTxn`] so the layers stay disjoint.
+    fn note_self(&mut self, bits: u64);
+
+    /// Seals the transaction. Must be called exactly once, last.
+    fn commit(&mut self);
 }
 
 /// A distributed protocol in the shared-variable guarded-command model.
@@ -269,9 +596,10 @@ pub trait Protocol {
 
     /// `true` iff this protocol implements the port-separable interface
     /// ([`Protocol::init_ports`] / [`Protocol::refresh_self`] /
-    /// [`Protocol::reevaluate_port`] / [`Protocol::write_scope`]) with
-    /// non-default answers. The engine's port-dirty mode consults this
-    /// once and falls back to node-dirty invalidation when `false`.
+    /// [`Protocol::reevaluate_port`] plus exact [`StateTxn`] touch
+    /// declarations in [`Protocol::apply_in_place`]) with non-default
+    /// answers. The engine's port-dirty mode consults this once and falls
+    /// back to node-dirty invalidation when `false`.
     ///
     /// Layered protocols should answer `true` only if their substrate
     /// does too.
@@ -279,12 +607,41 @@ pub trait Protocol {
         false
     }
 
-    /// Number of `u64` node words this protocol keeps in its
-    /// [`PortCache`] (on top of the one word per port the engine always
-    /// provides). Layered protocols add their substrate's word count to
-    /// their own.
-    fn port_node_words(&self) -> usize {
-        0
+    /// The [`PortCache`] resources this protocol needs — its own plus
+    /// every substrate's ([`LayerLayout::stacked`]). The engine sizes the
+    /// per-node cache from `node_words` and asserts `port_bits <= 64`
+    /// when the port-dirty machinery activates.
+    fn port_layout(&self) -> LayerLayout {
+        LayerLayout::EMPTY
+    }
+
+    /// Materializes this processor's exact enabled-action list **from
+    /// the current port cache** instead of a fresh guard sweep, or
+    /// returns `false` to decline (the engine then falls back to
+    /// [`Protocol::enabled_into`]).
+    ///
+    /// Only called while the port-dirty machinery is live, with a cache
+    /// the engine has kept current, and against the same configuration
+    /// the cache describes. Implementations must append **exactly** the
+    /// actions [`Protocol::enabled`] would, in the same order — the
+    /// daemon's action indices point into this list. The cache is `&mut`
+    /// only so layered protocols can reborrow substrate windows
+    /// ([`PortCache::layer`]); the call must not change any cached
+    /// state.
+    ///
+    /// This is the selection-time half of the `o(Δ)` hub-step story: the
+    /// invalidation passes keep per-node action *counts* current in
+    /// `o(Δ)`, and this hook keeps the daemon's chosen processor from
+    /// paying an `O(Δ)` re-sweep just to name its actions.
+    fn enabled_from_cache(
+        &self,
+        view: &impl NodeView<Self::State>,
+        cache: &mut PortCache<'_>,
+        out: &mut Vec<Self::Action>,
+        scratch: &mut Scratch,
+    ) -> bool {
+        let (_, _, _, _) = (view, cache, out, scratch);
+        false
     }
 
     /// Evaluates this processor's guards from scratch, (re)building its
@@ -302,29 +659,30 @@ pub trait Protocol {
         out.len() as u32
     }
 
-    /// This processor's **own** state changed from `old` to the state now
-    /// in `view` (a transition produced by [`Protocol::apply`]). Update
-    /// the cache words that depend on the processor's own variables —
-    /// reading the *current* neighbor states where needed — and report
-    /// the new action count.
+    /// This processor's **own** state changed (a transition produced by
+    /// [`Protocol::apply_in_place`]); `touched` carries the
+    /// [`StateTxn::note_self`] bits that transaction recorded. Update the
+    /// cache words that depend on the processor's own variables — reading
+    /// the *current* neighbor states where needed — and report the new
+    /// action count.
     ///
     /// Contract: after this call, every cached quantity that depends on
     /// the processor's own state must be current. Cached quantities that
     /// depend only on neighbor states may stay stale — the engine
     /// re-evaluates those via [`Protocol::reevaluate_port`] for every
-    /// port its writer reported in [`Protocol::write_scope`].
+    /// port the writer's transaction touched.
     fn refresh_self(
         &self,
         view: &impl NodeView<Self::State>,
-        old: &Self::State,
+        touched: u64,
         cache: &mut PortCache<'_>,
     ) -> PortVerdict {
-        let (_, _, _) = (view, old, cache);
+        let (_, _, _) = (view, touched, cache);
         PortVerdict::Whole
     }
 
-    /// The neighbor behind `port` changed (its writer reported this port
-    /// in its [`Protocol::write_scope`]). Re-evaluate **only** the cached
+    /// The neighbor behind `port` changed (its writer's transaction
+    /// touched this port). Re-evaluate **only** the cached
     /// per-port contribution of `port` against the neighbor's current
     /// state and report the processor's new action count.
     ///
@@ -343,36 +701,24 @@ pub trait Protocol {
         PortVerdict::Whole
     }
 
-    /// Which of this processor's ports carry a **guard-relevant** change
-    /// between `old` and `new` (a transition produced by
-    /// [`Protocol::apply`]; the engine handles arbitrary fault writes
-    /// conservatively on its own)?
-    ///
-    /// "Guard-relevant" means: a neighbor's guard — or any quantity the
-    /// neighbor caches for [`Protocol::reevaluate_port`] — could evaluate
-    /// differently. Fields neighbors never read (e.g. `DFTNO`'s `Max` and
-    /// `π`, which only `apply` consults) need not dirty anything.
-    ///
-    /// Return [`WriteScope::Ports`] after pushing the affected ports into
-    /// `out` (which arrives cleared), [`WriteScope::Unchanged`] if no
-    /// neighbor can tell, or [`WriteScope::All`] to fall back to dirtying
-    /// the whole neighborhood.
-    fn write_scope(
-        &self,
-        ctx: &NodeCtx,
-        old: &Self::State,
-        new: &Self::State,
-        out: &mut Vec<Port>,
-    ) -> WriteScope {
-        let (_, _, _, _) = (ctx, old, new, out);
-        WriteScope::All
-    }
-
-    /// Atomically executes `action`, returning the processor's new state.
+    /// Atomically executes `action`, mutating the processor's state **in
+    /// place** through the transaction (see the module docs' migration
+    /// notes for the recipe and a worked example).
     ///
     /// Must only be called with an action previously returned by
-    /// [`Protocol::enabled`] for an identical view.
-    fn apply(&self, view: &impl NodeView<Self::State>, action: &Self::Action) -> Self::State;
+    /// [`Protocol::enabled`] for an identical view. The transaction's
+    /// neighbor reads always see the pre-step configuration; its own
+    /// state starts as the pre-step value and reflects the statement's
+    /// writes as they happen, so read any pre-write values first.
+    ///
+    /// Implementations must declare their write scope (`touch_*` — a
+    /// "guard-relevant" change is one a neighbor's guard, or any quantity
+    /// the neighbor caches for [`Protocol::reevaluate_port`], could
+    /// observe; fields neighbors never read, e.g. `DFTNO`'s `Max` and
+    /// `π`, need not dirty anything) and finish with
+    /// [`StateTxn::commit`]. The engine handles arbitrary fault writes
+    /// conservatively on its own.
+    fn apply_in_place(&self, txn: &mut impl StateTxn<Self::State>, action: &Self::Action);
 
     /// A canonical "freshly booted" state. Self-stabilizing protocols must
     /// converge from *any* state, so this is a convenience for demos — the
@@ -382,6 +728,252 @@ pub trait Protocol {
     /// Samples an arbitrary (possibly corrupt) state — the adversary's
     /// transient fault. Used by convergence tests and the fault injector.
     fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> Self::State;
+}
+
+/// The engine's root [`StateTxn`]: a write handle over one state slot
+/// plus read access to the pre-step neighbor states.
+///
+/// Two construction modes:
+///
+/// * [`WriteTxn::split`] — the zero-copy hot path: borrows the live
+///   configuration, splitting it around the writer so the own slot is
+///   written **in place** while neighbors stay readable. Used for every
+///   single-writer step.
+/// * [`WriteTxn::detached`] — the staging mode: the own state lives in a
+///   caller-provided slot while neighbors (and the writer's untouched
+///   pre-step state) are read from a shared configuration. Used for
+///   multi-writer steps (composite atomicity demands every writer read
+///   pre-step values) and by the [`apply_via_clone`] reference shim.
+#[derive(Debug)]
+pub struct WriteTxn<'t, S> {
+    net: &'t Network,
+    node: NodeId,
+    /// `config[..i]` in split mode; the whole configuration in detached
+    /// mode (the slot boundary is `before.len()`).
+    before: &'t [S],
+    /// `config[i + 1..]` in split mode; empty in detached mode.
+    after: &'t [S],
+    me: &'t mut S,
+    rec: &'t mut TouchRecord,
+}
+
+impl<'t, S> WriteTxn<'t, S> {
+    /// Splits `config` around `node`, yielding an in-place transaction
+    /// over its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.len()` differs from the network size or `node`
+    /// is out of range.
+    pub fn split(
+        net: &'t Network,
+        node: NodeId,
+        config: &'t mut [S],
+        rec: &'t mut TouchRecord,
+    ) -> WriteTxn<'t, S> {
+        assert_eq!(
+            config.len(),
+            net.node_count(),
+            "configuration size mismatch"
+        );
+        let (before, rest) = config.split_at_mut(node.index());
+        let (me, after) = rest.split_first_mut().expect("node out of range");
+        WriteTxn {
+            net,
+            node,
+            before,
+            after,
+            me,
+            rec,
+        }
+    }
+
+    /// A transaction whose own state lives in the detached slot `me`
+    /// while neighbors are read from `config` (whose `node` entry — the
+    /// pre-step state — is left untouched).
+    pub fn detached(
+        net: &'t Network,
+        node: NodeId,
+        config: &'t [S],
+        me: &'t mut S,
+        rec: &'t mut TouchRecord,
+    ) -> WriteTxn<'t, S> {
+        assert_eq!(
+            config.len(),
+            net.node_count(),
+            "configuration size mismatch"
+        );
+        assert!(node.index() < config.len(), "node out of range");
+        WriteTxn {
+            net,
+            node,
+            before: config,
+            after: &[],
+            me,
+            rec,
+        }
+    }
+
+    /// The underlying touch record (for post-commit inspection in tests).
+    pub fn record(&self) -> &TouchRecord {
+        self.rec
+    }
+}
+
+impl<S> NodeView<S> for WriteTxn<'_, S> {
+    fn ctx(&self) -> &NodeCtx {
+        self.net.ctx(self.node)
+    }
+
+    fn state(&self) -> &S {
+        &*self.me
+    }
+
+    fn neighbor(&self, l: Port) -> &S {
+        let q = self.net.graph().neighbor(self.node, l).index();
+        if q < self.before.len() {
+            &self.before[q]
+        } else {
+            &self.after[q - self.before.len() - 1]
+        }
+    }
+}
+
+impl<S> StateTxn<S> for WriteTxn<'_, S> {
+    fn state_mut(&mut self) -> &mut S {
+        self.rec.mark_wrote();
+        self.me
+    }
+
+    fn touch_port(&mut self, l: Port) {
+        let degree = self.net.ctx(self.node).degree;
+        self.rec.touch_port(l, degree);
+    }
+
+    fn touch_all_ports(&mut self) {
+        self.rec.touch_all_ports();
+    }
+
+    fn mark_unobservable(&mut self) {
+        self.rec.mark_unobservable();
+    }
+
+    fn note_self(&mut self, bits: u64) {
+        self.rec.note_self(bits);
+    }
+
+    fn commit(&mut self) {
+        self.rec.commit();
+    }
+}
+
+/// A projected sub-transaction: the view a layered protocol hands its
+/// substrate.
+///
+/// Wraps a parent [`StateTxn`] over the compound state `S` with a pair of
+/// accessors selecting the substrate's component `T`. Touch declarations
+/// forward to the shared record (the layers' port touches union);
+/// [`StateTxn::note_self`] bits are shifted by `note_shift` so each
+/// layer's bits stay disjoint; [`StateTxn::commit`] is **absorbed** — the
+/// root transaction seals the write (substrates still call `commit` as
+/// their contract requires, which keeps them usable standalone).
+#[derive(Debug)]
+pub struct LayerTxn<'a, S, T, X: StateTxn<S> + ?Sized> {
+    parent: &'a mut X,
+    read: fn(&S) -> &T,
+    write: fn(&mut S) -> &mut T,
+    note_shift: u32,
+}
+
+impl<'a, S, T, X: StateTxn<S> + ?Sized> LayerTxn<'a, S, T, X> {
+    /// Projects `parent` through the component accessors, shifting the
+    /// substrate's [`StateTxn::note_self`] bits left by `note_shift`.
+    pub fn new(
+        parent: &'a mut X,
+        read: fn(&S) -> &T,
+        write: fn(&mut S) -> &mut T,
+        note_shift: u32,
+    ) -> LayerTxn<'a, S, T, X> {
+        LayerTxn {
+            parent,
+            read,
+            write,
+            note_shift,
+        }
+    }
+}
+
+/// The identity component accessor, for note-shift-only wrappers.
+pub fn identity_read<S>(s: &S) -> &S {
+    s
+}
+
+/// The identity mutable component accessor, for note-shift-only wrappers.
+pub fn identity_write<S>(s: &mut S) -> &mut S {
+    s
+}
+
+impl<S, T, X: StateTxn<S> + ?Sized> NodeView<T> for LayerTxn<'_, S, T, X> {
+    fn ctx(&self) -> &NodeCtx {
+        self.parent.ctx()
+    }
+
+    fn state(&self) -> &T {
+        (self.read)(self.parent.state())
+    }
+
+    fn neighbor(&self, l: Port) -> &T {
+        (self.read)(self.parent.neighbor(l))
+    }
+}
+
+impl<S, T, X: StateTxn<S> + ?Sized> StateTxn<T> for LayerTxn<'_, S, T, X> {
+    fn state_mut(&mut self) -> &mut T {
+        (self.write)(self.parent.state_mut())
+    }
+
+    fn touch_port(&mut self, l: Port) {
+        self.parent.touch_port(l);
+    }
+
+    fn touch_all_ports(&mut self) {
+        self.parent.touch_all_ports();
+    }
+
+    fn mark_unobservable(&mut self) {
+        self.parent.mark_unobservable();
+    }
+
+    fn note_self(&mut self, bits: u64) {
+        self.parent.note_self(bits << self.note_shift);
+    }
+
+    fn commit(&mut self) {
+        // Absorbed: the root transaction seals the write exactly once.
+    }
+}
+
+/// The clone-based reference shim around [`Protocol::apply_in_place`]:
+/// evaluates the transaction against a detached clone of the writer's
+/// state and returns the post-state, leaving `config` untouched.
+///
+/// This is the old `apply(&self, view, action) -> State` contract, kept
+/// for consumers that genuinely need value semantics — the exhaustive
+/// model checker and the differential / proptest suites that lock the
+/// in-place path against an independent reference.
+pub fn apply_via_clone<P: Protocol>(
+    protocol: &P,
+    net: &Network,
+    node: NodeId,
+    config: &[P::State],
+    action: &P::Action,
+) -> P::State {
+    let mut next = config[node.index()].clone();
+    let mut rec = TouchRecord::new();
+    let mut txn = WriteTxn::detached(net, node, config, &mut next, &mut rec);
+    protocol.apply_in_place(&mut txn, action);
+    debug_assert!(rec.is_committed(), "apply_in_place must commit");
+    next
 }
 
 /// Protocols with a finite, enumerable per-node state space — the interface
@@ -587,26 +1179,22 @@ mod tests {
         let states = vec![0u32, 5];
         let v = ConfigView::new(&net, NodeId::new(1), &states);
         assert!(!proto.port_separable());
-        assert_eq!(proto.port_node_words(), 0);
-        let mut cache = PortCache {
-            ports: &mut [],
-            node: &mut [],
-        };
+        assert_eq!(proto.port_layout(), LayerLayout::EMPTY);
+        let mut cache = PortCache::new(&mut [], &mut []);
         // Default init_ports == a plain enabled sweep.
         assert_eq!(proto.init_ports(&v, &mut cache), 1);
-        assert_eq!(proto.refresh_self(&v, &5, &mut cache), PortVerdict::Whole);
+        assert_eq!(proto.refresh_self(&v, 0, &mut cache), PortVerdict::Whole);
         assert_eq!(
             proto.reevaluate_port(&v, Port::new(0), &mut cache),
             PortVerdict::Whole
         );
-        let mut out = Vec::new();
-        assert_eq!(
-            proto.write_scope(net.ctx(NodeId::new(1)), &5, &1, &mut out),
-            WriteScope::All
-        );
+        // An undeclared write resolves to the conservative scope.
+        let out = apply_via_clone(&proto, &net, NodeId::new(1), &states, &());
+        assert_eq!(out, 1);
     }
 
-    /// A minimal protocol relying entirely on the default port interface.
+    /// A minimal protocol relying entirely on the default port interface
+    /// (and on the conservative undeclared write scope).
     #[derive(Debug, Clone, Copy)]
     struct HopDistanceLike;
 
@@ -620,8 +1208,9 @@ mod tests {
             }
         }
 
-        fn apply(&self, _view: &impl NodeView<u32>, _action: &()) -> u32 {
-            1
+        fn apply_in_place(&self, txn: &mut impl StateTxn<u32>, _action: &()) {
+            *txn.state_mut() = 1;
+            txn.commit();
         }
 
         fn initial_state(&self, _ctx: &NodeCtx) -> u32 {
@@ -631,6 +1220,149 @@ mod tests {
         fn random_state(&self, _ctx: &NodeCtx, rng: &mut dyn RngCore) -> u32 {
             rng.next_u32() % 3
         }
+    }
+
+    #[test]
+    fn write_txn_split_reads_neighbors_and_writes_in_place() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let mut states = vec![10u32, 20, 30];
+        let mut rec = TouchRecord::new();
+        {
+            let mut txn = WriteTxn::split(&net, NodeId::new(1), &mut states, &mut rec);
+            assert_eq!(*txn.state(), 20);
+            assert_eq!(*txn.neighbor(Port::new(0)), 10);
+            assert_eq!(*txn.neighbor(Port::new(1)), 30);
+            *txn.state_mut() = 99;
+            assert_eq!(*txn.state(), 99, "the txn exposes the live state");
+            txn.touch_port(Port::new(1));
+            txn.commit();
+        }
+        assert_eq!(states, vec![10, 99, 30], "written in place");
+        assert!(rec.is_committed());
+        assert_eq!(rec.scope(), TouchScope::Ports(&[Port::new(1)]));
+    }
+
+    #[test]
+    fn detached_txn_leaves_the_configuration_untouched() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let states = vec![1u32, 2, 3];
+        let mut staged = states[2];
+        let mut rec = TouchRecord::new();
+        let mut txn = WriteTxn::detached(&net, NodeId::new(2), &states, &mut staged, &mut rec);
+        assert_eq!(*txn.state(), 3);
+        assert_eq!(*txn.neighbor(Port::new(0)), 2);
+        *txn.state_mut() = 7;
+        txn.commit();
+        assert_eq!(staged, 7);
+        assert_eq!(states, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn undeclared_write_resolves_to_all_ports() {
+        let mut rec = TouchRecord::new();
+        rec.mark_wrote();
+        assert_eq!(rec.scope(), TouchScope::All);
+        rec.reset();
+        assert_eq!(rec.scope(), TouchScope::Unobservable, "no write, no scope");
+        rec.mark_unobservable();
+        rec.mark_wrote();
+        assert_eq!(
+            rec.scope(),
+            TouchScope::Ports(&[]),
+            "an explicit declaration overrides the conservative fallback"
+        );
+        rec.touch_all_ports();
+        assert_eq!(rec.scope(), TouchScope::All);
+    }
+
+    #[test]
+    fn layer_txn_projects_and_shifts_notes() {
+        let g = sno_graph::generators::path(2);
+        let net = Network::new(g, NodeId::new(0));
+        let mut states = vec![(1u32, 'a'), (2u32, 'b')];
+        let mut rec = TouchRecord::new();
+        let mut txn = WriteTxn::split(&net, NodeId::new(0), &mut states, &mut rec);
+        {
+            fn first(s: &(u32, char)) -> &u32 {
+                &s.0
+            }
+            fn first_mut(s: &mut (u32, char)) -> &mut u32 {
+                &mut s.0
+            }
+            let mut sub = LayerTxn::new(&mut txn, first, first_mut, 3);
+            assert_eq!(*sub.state(), 1);
+            assert_eq!(*sub.neighbor(Port::new(0)), 2);
+            *sub.state_mut() = 5;
+            sub.note_self(0b1);
+            sub.touch_port(Port::new(0));
+            sub.commit(); // absorbed
+        }
+        txn.note_self(0b1);
+        txn.commit();
+        assert_eq!(states[0], (5, 'a'));
+        assert_eq!(
+            rec.self_bits(),
+            0b1001,
+            "substrate bits shifted past the wrapper's"
+        );
+        assert_eq!(rec.scope(), TouchScope::Ports(&[Port::new(0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "committed twice")]
+    fn double_commit_panics() {
+        let mut rec = TouchRecord::new();
+        rec.commit();
+        rec.commit();
+    }
+
+    #[test]
+    fn port_cache_layers_are_disjoint_bit_windows() {
+        let mut ports = vec![0u64; 2];
+        let mut node = vec![0u64; 3];
+        let mut cache = PortCache::new(&mut ports, &mut node);
+        // Wrapper layer: 4 bits.
+        cache.set_port(0, 0xF);
+        cache.node[0] = 11;
+        {
+            // Middle layer: 8 bits above the wrapper's 4.
+            let mut mid = cache.layer(1, 4);
+            mid.set_port(0, 0xAB);
+            mid.node[0] = 22;
+            {
+                // Substrate: everything above 4 + 8.
+                let mut sub = mid.layer(1, 8);
+                sub.set_port(0, 0x123);
+                sub.node[0] = 33;
+                assert_eq!(sub.port(0), 0x123);
+            }
+            // A layer's window spans everything above its shift; its own
+            // bits are the low `my_bits` of it.
+            assert_eq!(mid.port(0) & 0xFF, 0xAB, "mid keeps its own bits");
+        }
+        assert_eq!(cache.port(0) & 0xF, 0xF, "wrapper bits survive");
+        assert_eq!(ports[0], (0x123 << 12) | (0xAB << 4) | 0xF);
+        assert_eq!(node, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn layer_layout_stacks() {
+        let sub = LayerLayout::new(32, 1);
+        let whole = sub.stacked(3, 2);
+        assert_eq!(whole, LayerLayout::new(35, 3));
+        assert_eq!(LayerLayout::EMPTY.stacked(0, 0), LayerLayout::EMPTY);
+    }
+
+    #[test]
+    fn apply_via_clone_matches_in_place_semantics() {
+        let g = sno_graph::generators::star(4);
+        let net = Network::new(g, NodeId::new(0));
+        let states = vec![5u32, 0, 0, 0];
+        let next = apply_via_clone(&HopDistanceLike, &net, NodeId::new(0), &states, &());
+        assert_eq!(next, 1);
+        assert_eq!(states[0], 5, "reference shim leaves the config alone");
     }
 
     #[test]

@@ -28,10 +28,19 @@
 //! [`EngineMode::PortDirty`] refines the unit of dirtiness from *nodes* to
 //! *ports*:
 //!
-//! * **write side** — an executed processor reports *which of its ports
-//!   carry a guard-relevant change*
-//!   ([`write_scope`](crate::protocol::Protocol::write_scope)); a token
-//!   hand-off dirties one port instead of `Δ`;
+//! * **write side** — an executed processor *declares, while writing*,
+//!   which of its ports carry a guard-relevant change (the
+//!   [`StateTxn`](crate::protocol::StateTxn) touch calls recorded during
+//!   [`apply_in_place`](crate::protocol::Protocol::apply_in_place)); a
+//!   token hand-off dirties one port instead of `Δ`;
+//!
+//! Writes themselves are **in place**: a single-writer step (any central
+//! daemon) splits the configuration around the writer and hands the
+//! protocol a zero-copy [`WriteTxn`](crate::protocol::WriteTxn), so a hub
+//! step performs no state clone and no heap traffic at all. Multi-writer
+//! steps (distributed and synchronous daemons) stage each writer's
+//! post-state in a pooled slot first — composite atomicity demands every
+//! statement read pre-step values — and swap the batch in together.
 //! * **read side** — a dirtied neighbor re-evaluates **only the single
 //!   back-port** pointing at the writer
 //!   ([`reevaluate_port`](crate::protocol::Protocol::reevaluate_port)),
@@ -55,7 +64,9 @@ use sno_graph::{NodeId, Port};
 
 use crate::daemon::{Daemon, EnabledNode};
 use crate::network::Network;
-use crate::protocol::{ConfigView, PortCache, PortVerdict, Protocol, Scratch, WriteScope};
+use crate::protocol::{
+    ConfigView, PortCache, PortVerdict, Protocol, Scratch, TouchRecord, TouchScope, WriteTxn,
+};
 
 /// Which guard-invalidation strategy a [`Simulation`] runs.
 ///
@@ -178,11 +189,14 @@ pub struct Simulation<'a, P: Protocol> {
     /// the deferred enabled-list / round-frontier fold.
     touched: Vec<u32>,
     touched_mark: Vec<u64>,
-    /// Pre-step states of this step's writers (port mode), for
-    /// `refresh_self` / `write_scope`.
-    old_states: Vec<(u32, P::State)>,
-    /// `write_scope` output buffer.
-    scope_ports: Vec<Port>,
+    /// One pooled [`TouchRecord`] per writer of the current step: the
+    /// write-scope and self-note declarations each `apply_in_place`
+    /// transaction made, consumed by the port-dirty pass.
+    txn_recs: Vec<TouchRecord>,
+    /// Pooled staging slots for multi-writer steps (each writer's
+    /// post-state is built here so every statement reads pre-step
+    /// values, then the batch is swapped in atomically).
+    stage_states: Vec<P::State>,
     // --- Reusable buffers: campaign fleets (sno-lab) run millions of
     // steps per simulation object, so the hot path must not allocate. ---
     scratch_enabled: Vec<EnabledNode>,
@@ -190,7 +204,8 @@ pub struct Simulation<'a, P: Protocol> {
     scratch_node_mask: Vec<bool>,
     scratch_chosen: Vec<bool>,
     scratch_choices: Vec<crate::daemon::Choice>,
-    scratch_writes: Vec<(NodeId, P::State)>,
+    /// The step's resolved `(writer, action)` pairs.
+    scratch_pending: Vec<(u32, P::Action)>,
     /// Arena for protocol-internal guard-evaluation temporaries
     /// ([`Protocol::enabled_into`]).
     scratch_arena: Scratch,
@@ -211,7 +226,13 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         let n = net.node_count();
         let port_cache_active = protocol.port_separable();
         let stride = if port_cache_active {
-            protocol.port_node_words()
+            let layout = protocol.port_layout();
+            assert!(
+                layout.port_bits <= 64,
+                "layered port-cache layout needs {} bits, the port word holds 64",
+                layout.port_bits
+            );
+            layout.node_words
         } else {
             0
         };
@@ -244,14 +265,14 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             full_mark: vec![0; if port_cache_active { n } else { 0 }],
             touched: Vec::new(),
             touched_mark: vec![0; if port_cache_active { n } else { 0 }],
-            old_states: Vec::new(),
-            scope_ports: Vec::new(),
+            txn_recs: Vec::new(),
+            stage_states: Vec::new(),
             scratch_enabled: Vec::new(),
             scratch_actions: Vec::new(),
             scratch_node_mask: vec![false; n],
             scratch_chosen: Vec::new(),
             scratch_choices: Vec::new(),
-            scratch_writes: Vec::new(),
+            scratch_pending: Vec::new(),
             scratch_arena: Scratch::new(),
         };
         sim.rebuild_enabled_cache();
@@ -338,10 +359,10 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         let base = g.csr_base(node);
         let deg = g.degree(node);
         let view = ConfigView::new(self.net, node, &self.config);
-        let mut cache = PortCache {
-            ports: &mut self.port_words[base..base + deg],
-            node: &mut self.node_words[idx * self.node_stride..(idx + 1) * self.node_stride],
-        };
+        let mut cache = PortCache::new(
+            &mut self.port_words[base..base + deg],
+            &mut self.node_words[idx * self.node_stride..(idx + 1) * self.node_stride],
+        );
         let count = self.protocol.init_ports(&view, &mut cache);
         debug_assert_eq!(
             count, self.action_count[idx],
@@ -422,7 +443,13 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             // First entry into port mode on this simulation: allocate the
             // cache arrays (off the hot path).
             let n = self.net.node_count();
-            self.node_stride = self.protocol.port_node_words();
+            let layout = self.protocol.port_layout();
+            assert!(
+                layout.port_bits <= 64,
+                "layered port-cache layout needs {} bits, the port word holds 64",
+                layout.port_bits
+            );
+            self.node_stride = layout.node_words;
             self.port_words = vec![0; self.net.graph().csr_len()];
             self.node_words = vec![0; n * self.node_stride];
             self.port_mark = vec![0; self.net.graph().csr_len()];
@@ -686,10 +713,14 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         daemon.select_into(&enabled, &mut choices);
         assert!(!choices.is_empty(), "daemon must select a non-empty subset");
 
-        // Resolve choices to (node, new state) against the old
-        // configuration.
-        let mut writes = std::mem::take(&mut self.scratch_writes);
-        debug_assert!(writes.is_empty());
+        // Resolve choices to (node, action) pairs against the pre-step
+        // configuration (guards are evaluated before any write lands).
+        // With the port cache live, the chosen processor's action list
+        // comes straight from its cache words (`enabled_from_cache`) —
+        // without this, a hub selection would pay an `O(Δ)` guard
+        // re-sweep that the o(Δ) invalidation machinery just avoided.
+        let mut pending = std::mem::take(&mut self.scratch_pending);
+        debug_assert!(pending.is_empty());
         self.scratch_chosen.clear();
         self.scratch_chosen.resize(enabled.len(), false);
         let mut chosen = std::mem::take(&mut self.scratch_chosen);
@@ -702,50 +733,123 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             let node = enabled[c.enabled_index].node;
             let view = ConfigView::new(self.net, node, &self.config);
             actions.clear();
-            self.protocol.enabled_into(&view, &mut actions, &mut arena);
+            let mut from_cache = false;
+            if use_ports {
+                let g = self.net.graph();
+                let base = g.csr_base(node);
+                let deg = g.degree(node);
+                let i = node.index();
+                let mut cache = PortCache::new(
+                    &mut self.port_words[base..base + deg],
+                    &mut self.node_words[i * self.node_stride..(i + 1) * self.node_stride],
+                );
+                from_cache =
+                    self.protocol
+                        .enabled_from_cache(&view, &mut cache, &mut actions, &mut arena);
+            }
+            if !from_cache {
+                actions.clear();
+                self.protocol.enabled_into(&view, &mut actions, &mut arena);
+            }
+            debug_assert!(
+                self.mode == EngineMode::FullSweep
+                    || actions.len() == self.action_count[node.index()] as usize,
+                "materialized action list disagrees with the cached count"
+            );
             assert!(
                 c.action_index < actions.len(),
                 "daemon action index out of range"
             );
             let action = actions.swap_remove(c.action_index);
-            let new_state = self.protocol.apply(&view, &action);
-            writes.push((node, new_state));
             if let Some(out) = record.as_deref_mut() {
-                out.push((node, action));
+                out.push((node, action.clone()));
             }
+            pending.push((node.index() as u32, action));
         }
         self.scratch_chosen = chosen;
 
-        // Commit all writes atomically; remove executed processors from
-        // the round frontier. Node-dirty mode seeds the dirty-node queue
-        // (executed nodes plus their CSR neighborhoods); port-dirty mode
-        // logs the pre-step states instead, so the writers' `write_scope`
-        // can dirty individual ports afterwards.
+        // Commit all writes atomically through in-place transactions and
+        // remove executed processors from the round frontier. A single
+        // writer (any central daemon — the port-dirty hot path) mutates
+        // its configuration slot directly: zero clones, zero heap
+        // traffic. Multiple writers stage their post-states in pooled
+        // slots first — composite atomicity demands every statement read
+        // pre-step values — and the batch is swapped in together.
+        // Node-dirty mode seeds the dirty-node queue (executed nodes plus
+        // their CSR neighborhoods); port-dirty mode instead consumes the
+        // touch declarations the transactions recorded.
         self.epoch += 1;
         let net = self.net;
         let mut dirty = std::mem::take(&mut self.dirty);
         dirty.clear();
-        let mut old_log = std::mem::take(&mut self.old_states);
-        debug_assert!(old_log.is_empty());
-        for (node, state) in writes.drain(..) {
-            let i = node.index();
+        while self.txn_recs.len() < pending.len() {
+            self.txn_recs.push(TouchRecord::new());
+        }
+        if pending.len() == 1 {
+            let (i, action) = &pending[0];
+            let i = *i as usize;
+            let node = NodeId::new(i);
             if std::mem::replace(&mut self.round_frontier[i], false) {
                 self.frontier_count -= 1;
             }
-            if use_ports {
-                let old = std::mem::replace(&mut self.config[i], state);
-                old_log.push((i as u32, old));
-            } else {
-                self.config[i] = state;
-                if !full_sweep {
+            self.txn_recs[0].reset();
+            {
+                let mut txn = WriteTxn::split(net, node, &mut self.config, &mut self.txn_recs[0]);
+                self.protocol.apply_in_place(&mut txn, action);
+            }
+            debug_assert!(
+                self.txn_recs[0].is_committed(),
+                "apply_in_place must commit its transaction"
+            );
+            if !full_sweep && !use_ports {
+                self.mark_dirty(node, &mut dirty);
+                for &q in net.graph().neighbors(node) {
+                    self.mark_dirty(q, &mut dirty);
+                }
+            }
+        } else {
+            for (k, (i, action)) in pending.iter().enumerate() {
+                let i = *i as usize;
+                let node = NodeId::new(i);
+                if std::mem::replace(&mut self.round_frontier[i], false) {
+                    self.frontier_count -= 1;
+                }
+                if k < self.stage_states.len() {
+                    let (stage, config) = (&mut self.stage_states, &self.config);
+                    stage[k].clone_from(&config[i]);
+                } else {
+                    let fresh = self.config[i].clone();
+                    self.stage_states.push(fresh);
+                }
+                self.txn_recs[k].reset();
+                {
+                    let mut txn = WriteTxn::detached(
+                        net,
+                        node,
+                        &self.config,
+                        &mut self.stage_states[k],
+                        &mut self.txn_recs[k],
+                    );
+                    self.protocol.apply_in_place(&mut txn, action);
+                }
+                debug_assert!(
+                    self.txn_recs[k].is_committed(),
+                    "apply_in_place must commit its transaction"
+                );
+                if !full_sweep && !use_ports {
                     self.mark_dirty(node, &mut dirty);
                     for &q in net.graph().neighbors(node) {
                         self.mark_dirty(q, &mut dirty);
                     }
                 }
             }
+            // The atomic commit point: swap every staged post-state in
+            // (the pre-states land in the stage pool and are recycled by
+            // `clone_from` next step).
+            for (k, (i, _)) in pending.iter().enumerate() {
+                std::mem::swap(&mut self.config[*i as usize], &mut self.stage_states[k]);
+            }
         }
-        self.scratch_writes = writes;
         self.steps += 1;
         self.moves += choices.len() as u64;
         self.scratch_choices = {
@@ -772,7 +876,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 self.scratch_node_mask = enabled_mask;
             }
         } else if use_ports {
-            self.port_dirty_pass(&mut enabled, &mut old_log);
+            self.port_dirty_pass(&mut enabled, &pending);
         } else if dirty.len() * 4 >= self.net.node_count() {
             // Dense dirty set (e.g. the synchronous daemon mid-
             // stabilization): per-node sorted inserts/removes would
@@ -821,7 +925,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             arena = std::mem::take(&mut self.scratch_arena);
         }
         self.dirty = dirty;
-        self.old_states = old_log;
+        pending.clear();
+        self.scratch_pending = pending;
         self.restore_enabled(enabled);
         self.scratch_actions = actions;
         self.scratch_arena = arena;
@@ -844,10 +949,12 @@ impl<'a, P: Protocol> Simulation<'a, P> {
 
     /// The port-dirty evaluation pass of one step (see the module docs):
     ///
-    /// 1. for every writer, [`Protocol::refresh_self`] updates the cached
-    ///    quantities that depend on its own state, and
-    ///    [`Protocol::write_scope`] translates its `old → new` transition
-    ///    into dirty *ports* at the neighbors that can observe it;
+    /// 1. for every writer, [`Protocol::refresh_self`] — fed the
+    ///    [`StateTxn::note_self`](crate::protocol::StateTxn::note_self)
+    ///    bits its transaction recorded — updates the cached quantities
+    ///    that depend on its own state, and the transaction's touch
+    ///    declarations become dirty *ports* at the neighbors that can
+    ///    observe the write (no old-vs-new diff, no retained pre-state);
     /// 2. every dirty port is re-evaluated at its reader via
     ///    [`Protocol::reevaluate_port`] — `O(1)`-ish per port instead of
     ///    `O(Δ)` per neighborhood;
@@ -856,23 +963,19 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     ///
     /// Verdicts of [`PortVerdict::Whole`] fall back to a full
     /// [`Protocol::init_ports`] re-evaluation for that node only.
-    fn port_dirty_pass(
-        &mut self,
-        enabled: &mut Vec<EnabledNode>,
-        old_log: &mut Vec<(u32, P::State)>,
-    ) {
+    fn port_dirty_pass(&mut self, enabled: &mut Vec<EnabledNode>, pending: &[(u32, P::Action)]) {
         let net = self.net;
         let g = net.graph();
         let epoch = self.epoch;
         let stride = self.node_stride;
         let mut dirty_ports = std::mem::take(&mut self.dirty_ports);
         let mut touched = std::mem::take(&mut self.touched);
-        let mut scope = std::mem::take(&mut self.scope_ports);
         dirty_ports.clear();
         touched.clear();
 
-        // Phase 1: writers — self refresh + write scope.
-        for (i, old) in old_log.iter() {
+        // Phase 1: writers — self refresh from the transactions' note
+        // bits, dirty ports from their declared write scopes.
+        for (k, (i, _)) in pending.iter().enumerate() {
             let i = *i as usize;
             let node = NodeId::new(i);
             if self.touched_mark[i] != epoch {
@@ -881,36 +984,33 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             }
             let base = g.csr_base(node);
             let deg = g.degree(node);
+            let bits = self.txn_recs[k].self_bits();
             let verdict = {
                 let view = ConfigView::new(net, node, &self.config);
-                let mut cache = PortCache {
-                    ports: &mut self.port_words[base..base + deg],
-                    node: &mut self.node_words[i * stride..(i + 1) * stride],
-                };
-                self.protocol.refresh_self(&view, old, &mut cache)
+                let mut cache = PortCache::new(
+                    &mut self.port_words[base..base + deg],
+                    &mut self.node_words[i * stride..(i + 1) * stride],
+                );
+                self.protocol.refresh_self(&view, bits, &mut cache)
             };
             match verdict {
                 PortVerdict::Unchanged => {}
                 PortVerdict::Count(c) => self.action_count[i] = c,
                 PortVerdict::Whole => {
                     let view = ConfigView::new(net, node, &self.config);
-                    let mut cache = PortCache {
-                        ports: &mut self.port_words[base..base + deg],
-                        node: &mut self.node_words[i * stride..(i + 1) * stride],
-                    };
+                    let mut cache = PortCache::new(
+                        &mut self.port_words[base..base + deg],
+                        &mut self.node_words[i * stride..(i + 1) * stride],
+                    );
                     self.action_count[i] = self.protocol.init_ports(&view, &mut cache);
                     self.full_mark[i] = epoch;
                 }
             }
-            scope.clear();
-            let ws = self
-                .protocol
-                .write_scope(net.ctx(node), old, &self.config[i], &mut scope);
-            match ws {
-                WriteScope::Unchanged => {}
-                WriteScope::Ports => {
-                    for &l in scope.iter() {
-                        debug_assert!(l.index() < deg, "write_scope port out of range");
+            match self.txn_recs[k].scope() {
+                TouchScope::Unobservable => {}
+                TouchScope::Ports(ports) => {
+                    for &l in ports {
+                        debug_assert!(l.index() < deg, "touched port out of range");
                         let q = g.neighbor(node, l);
                         let back = g.back_port(node, l);
                         let slot = g.csr_index(q, back);
@@ -920,7 +1020,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                         }
                     }
                 }
-                WriteScope::All => {
+                TouchScope::All => {
                     for l in (0..deg).map(Port::new) {
                         let q = g.neighbor(node, l);
                         let back = g.back_port(node, l);
@@ -933,8 +1033,6 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 }
             }
         }
-        // The pre-step states are no longer needed; free them eagerly.
-        old_log.clear();
 
         // Phase 2: readers — one port-local re-evaluation per dirty port.
         for &entry in &dirty_ports {
@@ -948,10 +1046,10 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             let deg = g.degree(node);
             let verdict = {
                 let view = ConfigView::new(net, node, &self.config);
-                let mut cache = PortCache {
-                    ports: &mut self.port_words[base..base + deg],
-                    node: &mut self.node_words[u * stride..(u + 1) * stride],
-                };
+                let mut cache = PortCache::new(
+                    &mut self.port_words[base..base + deg],
+                    &mut self.node_words[u * stride..(u + 1) * stride],
+                );
                 self.protocol.reevaluate_port(&view, l, &mut cache)
             };
             match verdict {
@@ -959,10 +1057,10 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 PortVerdict::Count(c) => self.action_count[u] = c,
                 PortVerdict::Whole => {
                     let view = ConfigView::new(net, node, &self.config);
-                    let mut cache = PortCache {
-                        ports: &mut self.port_words[base..base + deg],
-                        node: &mut self.node_words[u * stride..(u + 1) * stride],
-                    };
+                    let mut cache = PortCache::new(
+                        &mut self.port_words[base..base + deg],
+                        &mut self.node_words[u * stride..(u + 1) * stride],
+                    );
                     self.action_count[u] = self.protocol.init_ports(&view, &mut cache);
                     self.full_mark[u] = epoch;
                 }
@@ -1011,7 +1109,6 @@ impl<'a, P: Protocol> Simulation<'a, P> {
 
         self.dirty_ports = dirty_ports;
         self.touched = touched;
-        self.scope_ports = scope;
     }
 
     /// Puts the taken enabled vector back where it came from.

@@ -8,7 +8,7 @@ use sno_engine::daemon::{CentralRoundRobin, Synchronous};
 use sno_engine::examples::HopDistance;
 use sno_engine::modelcheck::{ModelChecker, Violation};
 use sno_engine::protocol::neighbor_states;
-use sno_engine::{Enumerable, Network, NodeCtx, NodeView, Protocol, Simulation};
+use sno_engine::{Enumerable, Network, NodeCtx, NodeView, Protocol, Simulation, StateTxn};
 use sno_graph::{generators, NodeId};
 
 /// Guards must be evaluated against the *pre-step* configuration: under
@@ -63,8 +63,9 @@ impl Protocol for Blinker {
         out.push(Flip); // always enabled: never silent
     }
 
-    fn apply(&self, view: &impl NodeView<bool>, _a: &Flip) -> bool {
-        !view.state()
+    fn apply_in_place(&self, txn: &mut impl StateTxn<bool>, _a: &Flip) {
+        *txn.state_mut() = !*txn.state();
+        txn.commit();
     }
 
     fn initial_state(&self, _ctx: &NodeCtx) -> bool {
@@ -129,8 +130,9 @@ impl Protocol for Escapee {
         }
     }
 
-    fn apply(&self, view: &impl NodeView<u32>, _a: &Flip) -> u32 {
-        view.state() + 7 // escapes {0, 1} immediately
+    fn apply_in_place(&self, txn: &mut impl StateTxn<u32>, _a: &Flip) {
+        *txn.state_mut() = *txn.state() + 7; // escapes {0, 1} immediately
+        txn.commit();
     }
 
     fn initial_state(&self, _ctx: &NodeCtx) -> u32 {

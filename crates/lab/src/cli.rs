@@ -228,6 +228,11 @@ pub fn main_with_args(args: &[String]) -> i32 {
         }
         Command::Run(run) => {
             let threads = run.threads.unwrap_or_else(crate::fleet::default_threads);
+            // Cross-mode campaign diffs in CI compare these reports; the
+            // header names the active engine so each run is
+            // self-describing. (The JSON artifact deliberately omits it —
+            // byte-identity across modes is a CI invariant.)
+            println!("engine mode: {}", crate::runner::active_engine_mode_name());
             let report = run_campaign_with_threads(&run.matrix, threads);
             print!("{}", report.to_markdown());
             if let Some(path) = run.json {

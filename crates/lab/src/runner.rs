@@ -340,6 +340,20 @@ where
     }
 }
 
+/// The engine-mode name campaigns started now will run under, resolved
+/// from the environment exactly as the runner does — printed in the
+/// `sno-lab run` report header so cross-mode campaign diffs in CI are
+/// self-describing.
+pub fn active_engine_mode_name() -> &'static str {
+    use sno_engine::EngineMode;
+    match engine_mode_from_env() {
+        Some(EngineMode::FullSweep) => "full-sweep",
+        Some(EngineMode::NodeDirty) => "node-dirty",
+        Some(EngineMode::PortDirty) => "port-dirty",
+        None => "port-dirty (default)",
+    }
+}
+
 /// The engine mode requested via the environment, if any: the
 /// `SNO_ENGINE_MODE` name, or the legacy `SNO_ENGINE_FULL_SWEEP=1`.
 /// Unknown names panic — a silently ignored differential hook would make

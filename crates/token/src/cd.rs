@@ -16,7 +16,7 @@
 
 use rand::Rng as _;
 use rand::RngCore;
-use sno_engine::{Enumerable, NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_engine::{Enumerable, NodeCtx, NodeView, Protocol, SpaceMeasured, StateTxn};
 use sno_graph::Port;
 
 use crate::path::{enumerate_paths, DfsPath};
@@ -67,8 +67,12 @@ impl Protocol for CollinDolev {
         }
     }
 
-    fn apply(&self, view: &impl NodeView<DfsPath>, _action: &FixPath) -> DfsPath {
-        Self::target(view)
+    fn apply_in_place(&self, txn: &mut impl StateTxn<DfsPath>, _action: &FixPath) {
+        let t = Self::target(txn);
+        *txn.state_mut() = t;
+        // Every neighbor's target reads this word.
+        txn.touch_all_ports();
+        txn.commit();
     }
 
     fn initial_state(&self, _ctx: &NodeCtx) -> DfsPath {

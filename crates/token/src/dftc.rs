@@ -11,7 +11,7 @@
 //! guarantees of the protocol of \[10\] that the paper's `DFTNO` assumes.
 
 use rand::RngCore;
-use sno_engine::{NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_engine::{NodeCtx, NodeView, Protocol, SpaceMeasured, StateTxn};
 use sno_graph::Port;
 
 use crate::api::{TokenCirculation, TokenKind};
@@ -117,19 +117,26 @@ impl Protocol for DfsTokenCirculation {
         }
     }
 
-    fn apply(&self, view: &impl NodeView<DftcState>, action: &DftcAction) -> DftcState {
-        let mut s = view.state().clone();
+    fn apply_in_place(&self, txn: &mut impl StateTxn<DftcState>, action: &DftcAction) {
         match action {
             DftcAction::FixPath => {
-                s.path = CollinDolev::target(&project_path(view));
+                let path = CollinDolev::target(&project_path(txn));
+                txn.state_mut().path = path;
             }
             DftcAction::Tok(a) => {
-                let tree = Self::derive_tree(view);
-                let tv = Self::tok_view(view, &tree);
-                s.tok = tok_apply(&tv, *a);
+                let tok = {
+                    let tree = Self::derive_tree(txn);
+                    let tv = Self::tok_view(txn, &tree);
+                    tok_apply(&tv, *a)
+                };
+                txn.state_mut().tok = tok;
             }
         }
-        s
+        // Both layers' variables are read by every neighbor's guards
+        // (word extensions, handshake bits); the composed substrate is
+        // not port-separable, so stay conservative.
+        txn.touch_all_ports();
+        txn.commit();
     }
 
     fn initial_state(&self, ctx: &NodeCtx) -> DftcState {

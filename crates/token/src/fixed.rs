@@ -12,7 +12,7 @@
 //!   protocol stabilizes" is literally "the tree no longer moves".
 
 use rand::RngCore;
-use sno_engine::{Enumerable, NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_engine::{Enumerable, NodeCtx, NodeView, Protocol, SpaceMeasured, StateTxn};
 use sno_graph::{NodeId, Port, RootedTree};
 
 use crate::api::{TokenCirculation, TokenKind};
@@ -92,8 +92,13 @@ impl Protocol for FixedTreeToken {
         }
     }
 
-    fn apply(&self, view: &impl NodeView<TokState>, action: &TokAction) -> TokState {
-        tok_apply(&self.tok_view(view), *action)
+    fn apply_in_place(&self, txn: &mut impl StateTxn<TokState>, action: &TokAction) {
+        let next = tok_apply(&self.tok_view(txn), *action);
+        *txn.state_mut() = next;
+        // Handshake bits are read across every tree edge; stay
+        // conservative (the wave substrate is not port-separable).
+        txn.touch_all_ports();
+        txn.commit();
     }
 
     fn initial_state(&self, ctx: &NodeCtx) -> TokState {

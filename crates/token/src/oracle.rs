@@ -20,7 +20,7 @@
 //! start.
 
 use rand::RngCore;
-use sno_engine::protocol::{PortCache, PortVerdict, WriteScope};
+use sno_engine::protocol::{PortCache, PortVerdict, StateTxn};
 use sno_engine::{NodeCtx, NodeView, Protocol, SpaceMeasured};
 use sno_graph::{Graph, NodeId, Port};
 
@@ -52,7 +52,8 @@ pub struct OracleToken {
     /// `slots[(r + 1) % L].actor` — the *only* neighbor whose guard can
     /// flip when event `r` executes (`None` when the successor event is
     /// the actor's own, i.e. the round wrap at the root). Powers the
-    /// exact [`Protocol::write_scope`].
+    /// exact [`StateTxn::touch_port`] declaration in
+    /// [`Protocol::apply_in_place`].
     succ_port: Vec<Option<Port>>,
 }
 
@@ -132,12 +133,16 @@ impl OracleToken {
         debug_assert!(!sched.is_empty(), "every node executes at least one event");
         let round = clock / len;
         let pos = clock % len;
-        for &r in sched {
-            if r > pos {
-                return round * len + r;
-            }
+        // The schedule is sorted: binary-search the successor event. A
+        // star hub executes ~n of the round's events, so the old linear
+        // scan made the hub's own move O(n) — the last O(n) term of a
+        // port-dirty hub step now that the state clone is gone too.
+        let idx = sched.partition_point(|&r| r <= pos);
+        if idx < sched.len() {
+            round * len + sched[idx]
+        } else {
+            (round + 1) * len + sched[0]
         }
-        (round + 1) * len + sched[0]
     }
 
     /// The clean starting clock of a node: its first event of round zero.
@@ -173,8 +178,19 @@ impl Protocol for OracleToken {
         }
     }
 
-    fn apply(&self, view: &impl NodeView<u64>, _action: &Execute) -> u64 {
-        self.advance(view.ctx().id, *view.state())
+    fn apply_in_place(&self, txn: &mut impl StateTxn<u64>, _action: &Execute) {
+        let old = *txn.state();
+        *txn.state_mut() = self.advance(txn.ctx().id, old);
+        // Advancing past event `residue(old)` can flip exactly one guard
+        // anywhere: the actor of the successor slot (see the write-side
+        // block comment below). When that successor is this node's own
+        // event (the round wrap at the root) the write is invisible to
+        // every neighbor.
+        match self.succ_port[self.residue(old)] {
+            Some(p) => txn.touch_port(p),
+            None => txn.mark_unobservable(),
+        }
+        txn.commit();
     }
 
     fn initial_state(&self, ctx: &NodeCtx) -> u64 {
@@ -197,10 +213,25 @@ impl Protocol for OracleToken {
     //   `prev_port` points back here, and its threshold `clock ≥ c` is
     //   crossed exactly then; every other threshold against this clock
     //   is either already satisfied — clocks are monotone — or strictly
-    //   in the future). That actor is precomputed in `succ_port`.
+    //   in the future). That actor is precomputed in `succ_port`, and
+    //   `apply_in_place` declares exactly that port.
     // ---
 
     fn port_separable(&self) -> bool {
+        true
+    }
+
+    fn enabled_from_cache(
+        &self,
+        view: &impl NodeView<u64>,
+        _cache: &mut PortCache<'_>,
+        out: &mut Vec<Execute>,
+        _scratch: &mut sno_engine::Scratch,
+    ) -> bool {
+        // The guard is O(1) from the live state; no cache words needed.
+        if self.slot_enabled(view) {
+            out.push(Execute);
+        }
         true
     }
 
@@ -211,7 +242,7 @@ impl Protocol for OracleToken {
     fn refresh_self(
         &self,
         view: &impl NodeView<u64>,
-        _old: &u64,
+        _touched: u64,
         _cache: &mut PortCache<'_>,
     ) -> PortVerdict {
         PortVerdict::Count(u32::from(self.slot_enabled(view)))
@@ -236,24 +267,6 @@ impl Protocol for OracleToken {
             }
             // The guard does not read this port at all.
             Some(_) => PortVerdict::Unchanged,
-        }
-    }
-
-    fn write_scope(&self, _ctx: &NodeCtx, old: &u64, new: &u64, out: &mut Vec<Port>) -> WriteScope {
-        if old == new {
-            return WriteScope::Unchanged;
-        }
-        // `apply` advanced past event `residue(old)`; see the block
-        // comment above for why the successor's actor is the only
-        // affected neighbor.
-        match self.succ_port[self.residue(*old)] {
-            Some(p) => {
-                out.push(p);
-                WriteScope::Ports
-            }
-            // The successor event is this node's own (round wrap at the
-            // root) — covered by the engine's self refresh.
-            None => WriteScope::Unchanged,
         }
     }
 }

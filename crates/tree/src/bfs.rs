@@ -11,7 +11,10 @@
 use rand::Rng as _;
 use rand::RngCore;
 use sno_engine::protocol::neighbor_states;
-use sno_engine::{Enumerable, NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_engine::{
+    Enumerable, LayerLayout, NodeCtx, NodeView, PortCache, PortVerdict, Protocol, SpaceMeasured,
+    StateTxn,
+};
 use sno_graph::Port;
 
 /// Per-processor variables of the BFS tree protocol.
@@ -56,6 +59,62 @@ impl BfsSpanningTree {
             parent: if best_dist < cap { best_port } else { None },
         }
     }
+
+    // --- Port-cache helpers (cached min-aggregate pattern, following
+    // `HopDistance`): one 32-bit port word caches the neighbor's `dist`,
+    // the node word holds the maintained `(min dist, lowest argmin
+    // port)` pair, so a neighbor change re-evaluates one port instead of
+    // the whole neighborhood. ---
+
+    /// Packs the maintained aggregate: low 32 bits the minimum neighbor
+    /// distance, high bits the lowest port attaining it plus one (zero
+    /// when the node has no ports).
+    fn pack_min(min: u64, argmin: Option<usize>) -> u64 {
+        min | ((argmin.map_or(0, |l| l as u64 + 1)) << 32)
+    }
+
+    /// Rescans every cached port word for the `(min, lowest argmin)`
+    /// aggregate — cache (re)initialization and the amortized-rare case
+    /// of the previous minimum growing.
+    fn scan_min(cache: &PortCache<'_>) -> u64 {
+        let mut min = u64::from(u32::MAX);
+        let mut argmin = None;
+        for l in 0..cache.port_count() {
+            let d = cache.port(l);
+            if d < min {
+                min = d;
+                argmin = Some(l);
+            }
+        }
+        Self::pack_min(min, argmin)
+    }
+
+    /// The target recomputed from the cached aggregate — must agree with
+    /// [`BfsSpanningTree::target`] whenever the cache is current.
+    fn target_from_min(ctx: &NodeCtx, packed: u64) -> BfsState {
+        if ctx.is_root {
+            return BfsState {
+                dist: 0,
+                parent: None,
+            };
+        }
+        let cap = ctx.n_bound as u32;
+        let min = u32::try_from(packed & u64::from(u32::MAX)).unwrap_or(u32::MAX);
+        let best = min.saturating_add(1).min(cap);
+        // `best < cap` implies the minimum itself was below `cap - 1`,
+        // so the lowest port attaining the minimal *through* value is
+        // exactly the lowest port attaining the minimal distance.
+        let parent = if best < cap {
+            Some(Port::new((packed >> 32) as usize - 1))
+        } else {
+            None
+        };
+        BfsState { dist: best, parent }
+    }
+
+    fn count_from_cache(view: &impl NodeView<BfsState>, cache: &PortCache<'_>) -> u32 {
+        u32::from(*view.state() != Self::target_from_min(view.ctx(), cache.node[0]))
+    }
 }
 
 impl Protocol for BfsSpanningTree {
@@ -68,8 +127,89 @@ impl Protocol for BfsSpanningTree {
         }
     }
 
-    fn apply(&self, view: &impl NodeView<BfsState>, _action: &Recompute) -> BfsState {
-        Self::target(view)
+    fn apply_in_place(&self, txn: &mut impl StateTxn<BfsState>, _action: &Recompute) {
+        let t = Self::target(txn);
+        let dist_changed = txn.state().dist != t.dist;
+        *txn.state_mut() = t;
+        // Neighbor guards read only this node's `dist` (their targets);
+        // the parent choice is read by nobody, so a parent-only repair
+        // dirties nothing.
+        if dist_changed {
+            txn.touch_all_ports();
+        } else {
+            txn.mark_unobservable();
+        }
+        txn.commit();
+    }
+
+    // --- Port-separable interface (closes the ROADMAP "self-stabilizing
+    // substrates are not port-separable yet" bullet for the BFS tree;
+    // the Collin–Dolev path comparisons remain genuinely
+    // neighborhood-global and keep the conservative default). ---
+
+    fn port_separable(&self) -> bool {
+        true
+    }
+
+    fn port_layout(&self) -> LayerLayout {
+        LayerLayout::new(32, 1)
+    }
+
+    fn enabled_from_cache(
+        &self,
+        view: &impl NodeView<BfsState>,
+        cache: &mut PortCache<'_>,
+        out: &mut Vec<Recompute>,
+        _scratch: &mut sno_engine::Scratch,
+    ) -> bool {
+        if *view.state() != Self::target_from_min(view.ctx(), cache.node[0]) {
+            out.push(Recompute);
+        }
+        true
+    }
+
+    fn init_ports(&self, view: &impl NodeView<BfsState>, cache: &mut PortCache<'_>) -> u32 {
+        for (l, s) in neighbor_states(view) {
+            cache.set_port(l.index(), u64::from(s.dist));
+        }
+        cache.node[0] = Self::scan_min(cache);
+        Self::count_from_cache(view, cache)
+    }
+
+    fn refresh_self(
+        &self,
+        view: &impl NodeView<BfsState>,
+        _touched: u64,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        // Nothing cached depends on own state: O(1).
+        PortVerdict::Count(Self::count_from_cache(view, cache))
+    }
+
+    fn reevaluate_port(
+        &self,
+        view: &impl NodeView<BfsState>,
+        port: Port,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let li = port.index();
+        let new = u64::from(view.neighbor(port).dist);
+        let old = cache.port(li);
+        if new == old {
+            return PortVerdict::Unchanged;
+        }
+        cache.set_port(li, new);
+        let packed = cache.node[0];
+        let min = packed & u64::from(u32::MAX);
+        let argmin = (packed >> 32) as usize;
+        if new < min || (new == min && li + 1 < argmin) {
+            cache.node[0] = Self::pack_min(new, Some(li));
+        } else if old == min && li + 1 == argmin {
+            // The previous minimum's holder grew: rescan (amortized
+            // rare).
+            cache.node[0] = Self::scan_min(cache);
+        }
+        PortVerdict::Count(Self::count_from_cache(view, cache))
     }
 
     fn initial_state(&self, ctx: &NodeCtx) -> BfsState {

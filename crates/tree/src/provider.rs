@@ -9,7 +9,7 @@
 //! protocol), produce the parent port and the port-ordered child list.
 
 use rand::RngCore;
-use sno_engine::{NodeCtx, NodeView, Protocol, SpaceMeasured};
+use sno_engine::{NodeCtx, NodeView, Protocol, SpaceMeasured, StateTxn};
 use sno_graph::{NodeId, Port, RootedTree};
 use sno_token::cd::CollinDolev;
 use sno_token::DfsPath;
@@ -121,7 +121,7 @@ impl Protocol for OracleSpanningTree {
 
     fn enabled(&self, _view: &impl NodeView<()>, _out: &mut Vec<Self::Action>) {}
 
-    fn apply(&self, _view: &impl NodeView<()>, action: &Self::Action) {
+    fn apply_in_place(&self, _txn: &mut impl StateTxn<()>, action: &Self::Action) {
         match *action {}
     }
 
@@ -136,6 +136,16 @@ impl Protocol for OracleSpanningTree {
         true
     }
 
+    fn enabled_from_cache(
+        &self,
+        _view: &impl NodeView<()>,
+        _cache: &mut sno_engine::PortCache<'_>,
+        _out: &mut Vec<Self::Action>,
+        _scratch: &mut sno_engine::Scratch,
+    ) -> bool {
+        true // inert: never any action
+    }
+
     fn init_ports(&self, _view: &impl NodeView<()>, _cache: &mut sno_engine::PortCache<'_>) -> u32 {
         0
     }
@@ -143,7 +153,7 @@ impl Protocol for OracleSpanningTree {
     fn refresh_self(
         &self,
         _view: &impl NodeView<()>,
-        _old: &(),
+        _touched: u64,
         _cache: &mut sno_engine::PortCache<'_>,
     ) -> sno_engine::PortVerdict {
         sno_engine::PortVerdict::Unchanged
@@ -156,16 +166,6 @@ impl Protocol for OracleSpanningTree {
         _cache: &mut sno_engine::PortCache<'_>,
     ) -> sno_engine::PortVerdict {
         sno_engine::PortVerdict::Unchanged
-    }
-
-    fn write_scope(
-        &self,
-        _ctx: &NodeCtx,
-        _old: &(),
-        _new: &(),
-        _out: &mut Vec<Port>,
-    ) -> sno_engine::WriteScope {
-        sno_engine::WriteScope::Unchanged
     }
 }
 
@@ -217,8 +217,8 @@ impl Protocol for CdSpanningTree {
         CollinDolev.enabled(view, out);
     }
 
-    fn apply(&self, view: &impl NodeView<DfsPath>, action: &Self::Action) -> DfsPath {
-        CollinDolev.apply(view, action)
+    fn apply_in_place(&self, txn: &mut impl StateTxn<DfsPath>, action: &Self::Action) {
+        CollinDolev.apply_in_place(txn, action)
     }
 
     fn initial_state(&self, ctx: &NodeCtx) -> DfsPath {

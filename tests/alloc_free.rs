@@ -1,17 +1,23 @@
 //! The zero-allocation hot-path assertions, measured through the
 //! `testalloc` shim's counting global allocator.
 //!
-//! Two claims are enforced:
+//! Three claims are enforced:
 //!
 //! 1. the **engine's step loop** performs zero heap allocations per step
 //!    once warmed up (reusable scratch, incremental enabled set, port
 //!    cache) — measured with `Copy`-state protocols so no protocol-level
 //!    clone can hide an engine regression, in every engine mode;
-//! 2. the **layered protocols' guard evaluations** (`Dftno::enabled`,
+//! 2. a **port-dirty `DFTNO` hub step is copy-free end to end**: with
+//!    the in-place `StateTxn` write API a star `n = 512` step performs
+//!    **zero** heap allocations and therefore **zero** `State` clones
+//!    (every `DftnoState` clone would allocate its `O(Δ)` `π` vector,
+//!    so a zero allocation count is a zero clone count) — the
+//!    api-redesign acceptance gate that retired the cloning
+//!    `Protocol::apply` contract;
+//! 3. the **layered protocols' guard evaluations** (`Dftno::enabled`,
 //!    `Stno::enabled` — the ROADMAP "per-guard-evaluation allocation"
 //!    item) perform zero allocations through `enabled_into` once their
-//!    `Scratch` arena is warm, and a full `DFTNO` step allocates only
-//!    the `O(1)` state clone of `apply`, never `O(Δ)` guard temporaries.
+//!    `Scratch` arena is warm.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,25 +87,38 @@ fn engine_step_loop_is_allocation_free_for_copy_states() {
 }
 
 #[test]
-fn dftno_step_allocates_o1_not_o_delta() {
+fn dftno_port_dirty_hub_steps_are_clone_and_allocation_free() {
     let _serial = serialized();
-    // A DFTNO step must allocate only `apply`'s state clone (the π
-    // vector plus the write slot): a constant per move, independent of
-    // the hub degree — and in particular not the old per-guard
-    // substrate-action vectors, which a star would multiply by Δ per
-    // step. Give both stars the same step budget and require the same
-    // per-step constant.
-    for (n, bound) in [(16usize, 3u64), (128usize, 3u64)] {
+    // The api-redesign acceptance gate. Under the old clone-based
+    // `Protocol::apply`, every hub move cloned DFTNO's whole state —
+    // including the `O(Δ)` `π` vector, one heap allocation per step.
+    // The in-place `StateTxn` path must perform **zero** heap
+    // allocations per warmed-up port-dirty step, which (π being
+    // heap-backed) certifies **zero** `State` clones. Pinned on the
+    // gated star size, `n = 512`, and a smaller one.
+    for n in [16usize, 512] {
         let net = Network::new(generators::star(n), NodeId::new(0));
         let oracle = OracleToken::new(net.graph(), net.root());
         let steps = 2_000u64;
         let activity = step_activity(&net, Dftno::new(oracle), EngineMode::PortDirty, steps);
-        let per_step = activity as f64 / steps as f64;
-        assert!(
-            per_step <= bound as f64,
-            "star n={n}: {per_step} allocations/step exceeds the O(1) bound {bound}"
+        assert_eq!(
+            activity, 0,
+            "star n={n}: {activity} heap operations over {steps} port-dirty steps \
+             (expected zero allocations and zero state clones)"
         );
     }
+}
+
+#[test]
+fn dftno_node_dirty_steps_stay_o1() {
+    let _serial = serialized();
+    // The node-dirty engine re-evaluates the hub's whole neighborhood
+    // but must still write states in place: zero allocations per step
+    // there too (single-writer steps never stage).
+    let net = Network::new(generators::star(64), NodeId::new(0));
+    let oracle = OracleToken::new(net.graph(), net.root());
+    let activity = step_activity(&net, Dftno::new(oracle), EngineMode::NodeDirty, 2_000);
+    assert_eq!(activity, 0, "node-dirty DFTNO steps must not allocate");
 }
 
 #[test]

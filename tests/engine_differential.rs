@@ -18,6 +18,14 @@
 //! The cheap PR gate runs one seed per cell; the nightly extended job
 //! widens the sweep via `SNO_DIFF_SEEDS=lo:hi` (each extra seed re-runs
 //! the whole matrix from a different random configuration).
+//!
+//! Beyond trace identity, the suite diffs **clone/allocation counters**
+//! across the modes through the `testalloc` shim: the in-place
+//! `StateTxn` commit path must keep warmed-up single-writer steps at
+//! zero heap activity in every mode (a `DftnoState` clone would
+//! allocate its `π` vector, so the counter doubles as a clone counter).
+//! The counters are process-global, so every test in this binary
+//! serializes on one lock.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -33,6 +41,17 @@ use sno::tree::BfsSpanningTree;
 
 mod common;
 use common::{seed_offsets, topologies, DAEMONS};
+
+#[global_allocator]
+static ALLOC: testalloc::CountingAlloc = testalloc::CountingAlloc::new();
+
+/// Serializes every test body: the allocation counters the clone-diff
+/// test reads are process-global (survives a poisoned mutex).
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Steps the node-dirty and port-dirty engines and the full-sweep
 /// reference in three-way lockstep from identical random configurations
@@ -132,6 +151,7 @@ where
 
 #[test]
 fn dftno_traces_are_identical() {
+    let _serial = serialized();
     differential_matrix("dftno", 400, |net| {
         Dftno::new(OracleToken::new(net.graph(), net.root()))
     });
@@ -139,21 +159,65 @@ fn dftno_traces_are_identical() {
 
 #[test]
 fn stno_traces_are_identical() {
+    let _serial = serialized();
     differential_matrix("stno", 400, |_| Stno::new(BfsSpanningTree));
 }
 
 #[test]
 fn token_circulation_traces_are_identical() {
+    let _serial = serialized();
     differential_matrix("token", 400, |_| DfsTokenCirculation);
 }
 
 #[test]
 fn spanning_tree_traces_are_identical() {
+    let _serial = serialized();
     differential_matrix("tree", 400, |_| BfsSpanningTree);
 }
 
 #[test]
+fn three_way_lockstep_diffs_clone_counters() {
+    let _serial = serialized();
+    // The modes must agree not only on traces but on their *clone
+    // budget*: with the in-place commit path, a warmed-up DFTNO/oracle
+    // star run performs zero heap activity per step in every mode
+    // (`DftnoState`'s π vector makes any state clone an allocation, so
+    // the counter is a clone counter). The runs are also diffed for
+    // identical counters and final configurations — the clone-budget
+    // assertion rides on a genuine three-way differential.
+    let g = generators::star(96);
+    let proto = Dftno::new(OracleToken::new(&g, NodeId::new(0)));
+    let net = Network::new(g, NodeId::new(0));
+    let modes = [
+        EngineMode::FullSweep,
+        EngineMode::NodeDirty,
+        EngineMode::PortDirty,
+    ];
+    let mut results = Vec::new();
+    let mut activity = Vec::new();
+    for mode in modes {
+        let mut sim = Simulation::from_initial(&net, proto.clone());
+        sim.set_mode(mode);
+        let mut daemon = DaemonSpec::CentralRoundRobin.build(&net, 0);
+        // Warm up allocations (scratch, enabled list, stage pools).
+        sim.run_until(&mut daemon, 2_000, |_| false);
+        let before = testalloc::heap_activity();
+        let r = sim.run_until(&mut daemon, 3_000, |_| false);
+        activity.push(testalloc::heap_activity() - before);
+        results.push((r, sim.config().to_vec()));
+    }
+    assert_eq!(results[0], results[1], "full-sweep vs node-dirty");
+    assert_eq!(results[0], results[2], "full-sweep vs port-dirty");
+    assert_eq!(
+        activity,
+        vec![0, 0, 0],
+        "warmed-up steps must clone no state in any mode (allocations per 3000 steps)"
+    );
+}
+
+#[test]
 fn enabled_nodes_order_is_nodeid_sorted() {
+    let _serial = serialized();
     // Regression: daemons index into the enabled slice, so the engine
     // guarantees ascending NodeId order. Probe it from arbitrary (highly
     // enabled) configurations and along a run.
@@ -189,6 +253,7 @@ proptest! {
     /// `run_until_silent` (exercising the allocation-free commit path).
     #[test]
     fn run_results_agree_on_random_networks((n, extra, gseed, seed) in arb_run()) {
+        let _serial = serialized();
         let g = generators::random_connected(n, extra, gseed);
         let net = Network::new(g, NodeId::new(0));
 
@@ -210,6 +275,7 @@ proptest! {
     /// token) under a bounded `run_until`.
     #[test]
     fn bounded_runs_agree_on_dftno((n, extra, gseed, seed) in arb_run()) {
+        let _serial = serialized();
         let g = generators::random_connected(n, extra, gseed);
         let net = Network::new(g, NodeId::new(0));
         let proto = Dftno::new(OracleToken::new(net.graph(), net.root()));

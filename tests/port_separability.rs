@@ -20,14 +20,15 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use sno::core::dftno::Dftno;
 use sno::core::stno::Stno;
+use sno::engine::compose::{Layered, UpperLayer, UPPER_TOUCHED_BY_LOWER};
 use sno::engine::daemon::Daemon;
 use sno::engine::examples::HopDistance;
-use sno::engine::protocol::{ConfigView, PortCache, PortVerdict};
-use sno::engine::{EngineMode, Network, Protocol, Simulation};
+use sno::engine::protocol::{ConfigView, PortCache, PortVerdict, StateTxn};
+use sno::engine::{EngineMode, LayerLayout, Network, NodeCtx, NodeView, Protocol, Simulation};
 use sno::graph::{generators, traverse, NodeId, Port, RootedTree};
 use sno::lab::DaemonSpec;
 use sno::token::OracleToken;
-use sno::tree::OracleSpanningTree;
+use sno::tree::{BfsSpanningTree, OracleSpanningTree};
 
 mod common;
 use common::{seed_offsets, topologies, DAEMONS};
@@ -49,18 +50,16 @@ fn check_single_port_perturbation<P: Protocol>(
     rng: &mut StdRng,
 ) {
     assert!(proto.port_separable(), "matrix protocols opt in");
-    let stride = proto.port_node_words();
+    let layout = proto.port_layout();
+    assert!(layout.port_bits <= 64, "declared layout must fit the word");
     for u in net.nodes() {
         let deg = net.graph().degree(u);
         if deg == 0 {
             continue;
         }
         let mut ports = vec![0u64; deg];
-        let mut node_words = vec![0u64; stride];
-        let mut cache = PortCache {
-            ports: &mut ports,
-            node: &mut node_words,
-        };
+        let mut node_words = vec![0u64; layout.node_words];
+        let mut cache = PortCache::new(&mut ports, &mut node_words);
         let count0 = {
             let view = ConfigView::new(net, u, config);
             proto.init_ports(&view, &mut cache)
@@ -234,6 +233,257 @@ fn stno_frozen_modes_agree() {
 }
 
 #[test]
+fn bfs_tree_modes_agree() {
+    // The BFS spanning tree joined the port-separable set (cached
+    // min-aggregate, like `HopDistance` with a maintained argmin for the
+    // parent choice).
+    for (topo, g) in topologies(12) {
+        let net = Network::new(g, NodeId::new(0));
+        for (i, d) in DAEMONS.into_iter().enumerate() {
+            for offset in seed_offsets() {
+                assert_mode_lockstep(
+                    &format!("bfs-tree × {d} × {topo} × seed+{offset}"),
+                    &net,
+                    BfsSpanningTree,
+                    d,
+                    850 + i as u64 + 1_000 * offset,
+                );
+            }
+        }
+    }
+}
+
+// --- A three-layer composition (wrapper × wrapper × substrate) under
+// the explicit `LayerLayout` bit allocation ---
+
+/// Middle layer: select the BFS parent from `HopDistance`'s values
+/// (lowest port whose neighbor is one hop closer). Port-separable with a
+/// 1-bit-per-port cache — exercising a narrow window under the layered
+/// bit allocation.
+#[derive(Debug, Clone, Copy, Default)]
+struct ParentSelect;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Reselect;
+
+impl ParentSelect {
+    fn target(view: &impl NodeView<(u32, Option<Port>)>) -> Option<Port> {
+        let ctx = view.ctx();
+        if ctx.is_root {
+            return None;
+        }
+        let mine = view.state().0;
+        (0..ctx.degree)
+            .map(Port::new)
+            .find(|&l| view.neighbor(l).0 + 1 == mine)
+    }
+
+    /// The target recomputed from the cached one-hop-closer bits.
+    fn target_from_bits(ctx: &NodeCtx, cache: &PortCache<'_>) -> Option<Port> {
+        if ctx.is_root {
+            return None;
+        }
+        (0..cache.port_count())
+            .find(|&l| cache.port(l) & 1 != 0)
+            .map(Port::new)
+    }
+
+    fn rebuild_bits(view: &impl NodeView<(u32, Option<Port>)>, cache: &mut PortCache<'_>) {
+        let mine = view.state().0;
+        for l in 0..view.ctx().degree {
+            let closer = view.neighbor(Port::new(l)).0 + 1 == mine;
+            // A layer's window spans everything above its shift: keep
+            // the substrate's bits (above this layer's declared 1)
+            // intact.
+            cache.set_port(l, (cache.port(l) & !1) | u64::from(closer));
+        }
+    }
+
+    fn count(view: &impl NodeView<(u32, Option<Port>)>, cache: &PortCache<'_>) -> u32 {
+        u32::from(view.state().1 != Self::target_from_bits(view.ctx(), cache))
+    }
+}
+
+impl UpperLayer<HopDistance> for ParentSelect {
+    type State = Option<Port>;
+    type Action = Reselect;
+
+    fn enabled(&self, view: &impl NodeView<(u32, Option<Port>)>, out: &mut Vec<Reselect>) {
+        if view.state().1 != Self::target(view) {
+            out.push(Reselect);
+        }
+    }
+
+    fn apply_in_place(&self, txn: &mut impl StateTxn<(u32, Option<Port>)>, _action: &Reselect) {
+        let t = Self::target(txn);
+        txn.state_mut().1 = t;
+        // No neighbor guard reads the parent choice.
+        txn.mark_unobservable();
+        txn.commit();
+    }
+
+    fn initial_state(&self, _ctx: &NodeCtx) -> Option<Port> {
+        None
+    }
+
+    fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn rand::RngCore) -> Option<Port> {
+        match rng.next_u32() as usize % (ctx.degree + 1) {
+            0 => None,
+            l => Some(Port::new(l - 1)),
+        }
+    }
+
+    fn port_separable(&self) -> bool {
+        true
+    }
+
+    fn port_layout(&self) -> LayerLayout {
+        LayerLayout::new(1, 0)
+    }
+
+    fn init_ports(
+        &self,
+        view: &impl NodeView<(u32, Option<Port>)>,
+        cache: &mut PortCache<'_>,
+    ) -> u32 {
+        Self::rebuild_bits(view, cache);
+        Self::count(view, cache)
+    }
+
+    fn refresh_self(
+        &self,
+        view: &impl NodeView<(u32, Option<Port>)>,
+        _touched: u64,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        // The bits read own dist (which `UPPER_TOUCHED_BY_LOWER` may
+        // have changed): rebuild conservatively.
+        Self::rebuild_bits(view, cache);
+        PortVerdict::Count(Self::count(view, cache))
+    }
+
+    fn reevaluate_port(
+        &self,
+        view: &impl NodeView<(u32, Option<Port>)>,
+        port: Port,
+        cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let closer = view.neighbor(port).0 + 1 == view.state().0;
+        let li = port.index();
+        cache.set_port(li, (cache.port(li) & !1) | u64::from(closer));
+        PortVerdict::Count(Self::count(view, cache))
+    }
+}
+
+type TwoLayer = (u32, Option<Port>);
+
+/// Outermost layer: track the parity of the (layered) hop distance —
+/// reads only its own compound state, so its port interface is trivially
+/// exact with an empty cache window.
+#[derive(Debug, Clone, Copy, Default)]
+struct DepthParity;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Recalc;
+
+impl DepthParity {
+    fn target(view: &impl NodeView<(TwoLayer, bool)>) -> bool {
+        view.state().0 .0 % 2 == 1
+    }
+}
+
+impl UpperLayer<Layered<HopDistance, ParentSelect>> for DepthParity {
+    type State = bool;
+    type Action = Recalc;
+
+    fn enabled(&self, view: &impl NodeView<(TwoLayer, bool)>, out: &mut Vec<Recalc>) {
+        if view.state().1 != Self::target(view) {
+            out.push(Recalc);
+        }
+    }
+
+    fn apply_in_place(&self, txn: &mut impl StateTxn<(TwoLayer, bool)>, _action: &Recalc) {
+        let t = Self::target(txn);
+        txn.state_mut().1 = t;
+        txn.mark_unobservable();
+        txn.commit();
+    }
+
+    fn initial_state(&self, _ctx: &NodeCtx) -> bool {
+        false
+    }
+
+    fn random_state(&self, _ctx: &NodeCtx, rng: &mut dyn rand::RngCore) -> bool {
+        rng.next_u32().is_multiple_of(2)
+    }
+
+    fn port_separable(&self) -> bool {
+        true
+    }
+
+    fn init_ports(
+        &self,
+        view: &impl NodeView<(TwoLayer, bool)>,
+        _cache: &mut PortCache<'_>,
+    ) -> u32 {
+        u32::from(view.state().1 != Self::target(view))
+    }
+
+    fn refresh_self(
+        &self,
+        view: &impl NodeView<(TwoLayer, bool)>,
+        touched: u64,
+        _cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        let _ = touched == UPPER_TOUCHED_BY_LOWER; // either way: recompute, own-state only
+        PortVerdict::Count(u32::from(view.state().1 != Self::target(view)))
+    }
+
+    fn reevaluate_port(
+        &self,
+        _view: &impl NodeView<(TwoLayer, bool)>,
+        _port: Port,
+        _cache: &mut PortCache<'_>,
+    ) -> PortVerdict {
+        // The guard reads no neighbor at all.
+        PortVerdict::Unchanged
+    }
+}
+
+#[test]
+fn three_layer_composition_runs_port_dirty_with_layered_layout() {
+    // wrapper × wrapper × substrate: DepthParity over ParentSelect over
+    // HopDistance. The explicit LayerLayout stacks 0 + 1 + 32 port bits
+    // (HopDistance's 32-bit window lands at a non-zero shift — the
+    // configuration the old fixed low/high-32 convention could not
+    // express) and the whole stack must stay trace-identical to the
+    // full-sweep reference under port-dirty invalidation.
+    let proto = Layered::new(Layered::new(HopDistance, ParentSelect), DepthParity);
+    assert!(proto.port_separable());
+    let layout = proto.port_layout();
+    assert_eq!(layout.port_bits, 33, "1 (ParentSelect) + 32 (HopDistance)");
+    assert!(
+        layout.node_words >= 4,
+        "two compositions' count words + caches"
+    );
+
+    for (topo, g) in topologies(12) {
+        let net = Network::new(g, NodeId::new(0));
+        for (i, d) in DAEMONS.into_iter().enumerate() {
+            for offset in seed_offsets() {
+                assert_mode_lockstep(
+                    &format!("three-layer × {d} × {topo} × seed+{offset}"),
+                    &net,
+                    proto,
+                    d,
+                    950 + i as u64 + 1_000 * offset,
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn non_separable_protocols_fall_back_cleanly() {
     // STNO over the live BFS tree does not opt in; port-dirty mode must
     // silently behave as node-dirty and stay trace-identical.
@@ -301,6 +551,31 @@ proptest! {
         let g = generators::random_connected(n, extra, gseed);
         let proto = Dftno::new(OracleToken::new(&g, NodeId::new(0)));
         let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut config: Vec<_> = net
+            .nodes()
+            .map(|p| proto.random_state(net.ctx(p), &mut rng))
+            .collect();
+        check_single_port_perturbation(&net, &proto, &mut config, &mut rng);
+    }
+
+    #[test]
+    fn bfs_tree_port_reevaluation_agrees((n, extra, gseed, seed) in arb_case()) {
+        let g = generators::random_connected(n, extra, gseed);
+        let net = Network::new(g, NodeId::new(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut config: Vec<_> = net
+            .nodes()
+            .map(|p| BfsSpanningTree.random_state(net.ctx(p), &mut rng))
+            .collect();
+        check_single_port_perturbation(&net, &BfsSpanningTree, &mut config, &mut rng);
+    }
+
+    #[test]
+    fn three_layer_port_reevaluation_agrees((n, extra, gseed, seed) in arb_case()) {
+        let g = generators::random_connected(n, extra, gseed);
+        let net = Network::new(g, NodeId::new(0));
+        let proto = Layered::new(Layered::new(HopDistance, ParentSelect), DepthParity);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut config: Vec<_> = net
             .nodes()
