@@ -19,8 +19,9 @@
 //! differently-powered runners).
 
 use sno_bench::engine_bench::{
-    check_baseline, engine_bench, engine_bench_json_with, engine_bench_table, gate_violations,
-    star_apply_row, star_apply_violations, BaselineOutcome, FULL_SIZES, QUICK_SIZES,
+    check_baseline, check_sync_baseline, engine_bench, engine_bench_json_with, engine_bench_table,
+    gate_violations, star_apply_row, star_apply_violations, sync_gate_violations, sync_round_bench,
+    sync_round_table, BaselineOutcome, FULL_SIZES, QUICK_SIZES,
 };
 
 /// The `star-apply` clone-count gate only means something if every heap
@@ -56,6 +57,16 @@ fn main() {
     let rows = engine_bench(sizes, steps);
     println!("{}", engine_bench_table(&rows).render());
 
+    // The synchronous-round shard-scaling sweep: dense DFTNO rounds from
+    // random configurations under the sharded executor, torus /
+    // random-tree / hubs at n = 4096, shard counts 1/2/4/8 — every
+    // configuration verified trace-identical to the serial run. Quick
+    // mode keeps the full size: the baseline-relative gate compares the
+    // committed n = 4096 ratio, and the sweep is short (3 restarts × 24
+    // steps per configuration).
+    let sync_rows = sync_round_bench(4096, 3, 24);
+    println!("{}", sync_round_table(&sync_rows).render());
+
     let star = star_apply_row(512, steps);
     assert!(star.counting, "the binary installs the counting allocator");
     println!(
@@ -67,16 +78,32 @@ fn main() {
         star.port_allocs_per_step(),
     );
 
-    let json = engine_bench_json_with(&rows, Some(&star)) + "\n";
+    let json = engine_bench_json_with(&rows, Some(&star), &sync_rows) + "\n";
     std::fs::write(&json_path, json).expect("write BENCH_engine.json");
     println!("engine bench JSON written to {json_path}");
 
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut violations = gate_violations(&rows);
     violations.extend(star_apply_violations(&star));
+    violations.extend(sync_gate_violations(&sync_rows, parallelism));
+    if parallelism < 8 {
+        println!(
+            "note: {parallelism} hardware threads — the absolute {}x sync-round \
+             speedup gate is skipped (baseline-relative ratio gate still applies)",
+            sno_bench::engine_bench::SYNC_SPEEDUP_GATE
+        );
+    }
     if let Some(path) = baseline_path {
         let committed =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
         match check_baseline(&rows, &committed) {
+            BaselineOutcome::Passed => {}
+            BaselineOutcome::Incomparable(note) => println!("note: {note}"),
+            BaselineOutcome::Regressed(v) => violations.push(v),
+        }
+        match check_sync_baseline(&sync_rows, &committed) {
             BaselineOutcome::Passed => {}
             BaselineOutcome::Incomparable(note) => println!("note: {note}"),
             BaselineOutcome::Regressed(v) => violations.push(v),

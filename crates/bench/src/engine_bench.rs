@@ -11,7 +11,7 @@
 //! its `n − 1` dirtied leaves); the port-dirty engine pays only for the
 //! dirty *ports*, making hub steps `o(n)`. Measured on path / star /
 //! random-tree / torus across sizes, emitted as `BENCH_engine.json`
-//! (`sno-engine-bench/v2`), and gated in CI:
+//! (`sno-engine-bench/v4`), and gated in CI:
 //!
 //! * node-dirty must never lose to the sweep on the `n = 512` star and
 //!   must beat it ≥ 5× on the large path (the PR-2 gates);
@@ -24,13 +24,25 @@
 //!   steps/sec are not);
 //! * the `star-apply` row additionally counts heap operations per mode
 //!   through the `testalloc` shim and gates port-dirty hub steps at
-//!   **zero** state clones ([`star_apply_violations`]).
+//!   **zero** state clones ([`star_apply_violations`]);
+//! * the `sync_rounds` section ([`sync_round_bench`]) measures the
+//!   opposite regime — dense synchronous rounds from random
+//!   configurations under `EngineMode::SyncSharded` — across shard
+//!   counts on torus / random-tree / hubs, verifies every configuration
+//!   trace-identical to the serial run, gates the serial row at zero
+//!   heap operations (the delta-staging acceptance criterion) and, on
+//!   machines with ≥ 8 hardware threads, the 8-shard torus row at
+//!   ≥ [`SYNC_SPEEDUP_GATE`]× serial throughput
+//!   ([`sync_gate_violations`], plus the baseline-relative
+//!   [`check_sync_baseline`]).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sno_core::dftno::Dftno;
-use sno_engine::daemon::CentralRoundRobin;
+use sno_engine::daemon::{CentralRoundRobin, Synchronous};
 use sno_engine::{EngineMode, Network, Simulation};
 use sno_graph::{GeneratorSpec, NodeId};
 use sno_token::OracleToken;
@@ -279,6 +291,303 @@ pub fn star_apply_violations(row: &StarApplyRow) -> Vec<String> {
     out
 }
 
+/// The topology families of the synchronous-round bench: the
+/// degree-regular torus (the gated cell), a random tree, and the
+/// `hubs` skewed-degree family the star gate only proxies.
+pub const SYNC_TOPOLOGIES: [(GeneratorSpec, &str); 3] = [
+    (GeneratorSpec::Torus, "torus"),
+    (GeneratorSpec::RandomTree, "random-tree"),
+    (GeneratorSpec::Hubs { hubs: 3 }, "hubs:3"),
+];
+
+/// The shard counts the synchronous-round bench sweeps (engine worker
+/// threads follow the shard count).
+pub const SYNC_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured cell of the synchronous-round bench: DFTNO over the
+/// oracle walker, re-started from random configurations, driven by the
+/// synchronous daemon under `EngineMode::SyncSharded` with the given
+/// shard count. The timed window covers only the steps (re-seeding
+/// allocates by design); the serial (`shards == 1`) torus row is gated
+/// at zero heap operations — the delta-staging acceptance criterion,
+/// measured rather than assumed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncRoundRow {
+    /// Topology family name.
+    pub topology: &'static str,
+    /// Node count of the instantiated graph.
+    pub n: usize,
+    /// Shard (and engine worker-thread) count.
+    pub shards: usize,
+    /// Synchronous daemon selections timed.
+    pub steps: u64,
+    /// Complete rounds those steps closed.
+    pub rounds: u64,
+    /// Individual action executions (writers summed over the steps).
+    pub moves: u64,
+    /// Wall time of the timed step windows.
+    pub wall_ns: u128,
+    /// Heap operations inside the timed windows (meaningful only when
+    /// `counting`).
+    pub allocs: u64,
+    /// Copy-on-write preservations the delta-staged commits performed.
+    pub stage_clones: u64,
+    /// Whether a counting allocator was live.
+    pub counting: bool,
+}
+
+impl SyncRoundRow {
+    /// Synchronous steps per second.
+    pub fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Complete rounds per second.
+    pub fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Individual moves (writer executions) per second.
+    pub fn moves_per_sec(&self) -> f64 {
+        self.moves as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// Measures the synchronous-round sweep at size `n`: every
+/// [`SYNC_TOPOLOGIES`] family × every [`SYNC_SHARD_COUNTS`] entry,
+/// `restarts` random re-seeds × `steps_per_restart` timed synchronous
+/// steps each (plus one untimed warm-up restart per configuration so
+/// pools reach their high-water marks before counting). Each family's
+/// shard configurations are verified trace-identical — counters and
+/// final configurations must match the serial run exactly, making the
+/// bench a determinism check at scale on top of a measurement.
+pub fn sync_round_bench(n: usize, restarts: u64, steps_per_restart: u64) -> Vec<SyncRoundRow> {
+    let mut rows = Vec::new();
+    for (spec, name) in SYNC_TOPOLOGIES {
+        let g = spec.build(n, GRAPH_SEED);
+        let n_actual = g.node_count();
+        let root = NodeId::new(0);
+        let oracle = OracleToken::new(&g, root);
+        let net = Network::new(g, root);
+        // Per-restart counters + final configuration of the serial run,
+        // diffed against every sharded configuration.
+        let mut reference = None;
+        for shards in SYNC_SHARD_COUNTS {
+            let mut sim = Simulation::from_initial(&net, Dftno::new(oracle.clone()));
+            sim.set_mode(EngineMode::SyncSharded);
+            sim.configure_sync_sharding(shards, shards);
+            let mut daemon = Synchronous::new();
+            // Warm-up restart (untimed): stash, records, lists.
+            let mut rng = StdRng::seed_from_u64(0);
+            sim.reinit_random(&mut rng);
+            sim.run_until(&mut daemon, steps_per_restart, |_| false);
+
+            let clones_before = sim.stage_clone_count();
+            let mut wall_ns = 0u128;
+            let mut allocs = 0u64;
+            // Accumulated across restarts (`reinit_random` zeroes the
+            // simulation counters per re-seed): the row's rates divide
+            // by the wall time of *all* timed windows, so its counters
+            // must span them too.
+            let mut moves = 0u64;
+            let mut rounds = 0u64;
+            let mut trace = Vec::with_capacity(restarts as usize);
+            for seed in 0..restarts {
+                let mut rng = StdRng::seed_from_u64(seed);
+                sim.reinit_random(&mut rng);
+                let a0 = testalloc::heap_activity();
+                let t0 = Instant::now();
+                let r = sim.run_until(&mut daemon, steps_per_restart, |_| false);
+                wall_ns += t0.elapsed().as_nanos();
+                allocs += testalloc::heap_activity() - a0;
+                assert_eq!(
+                    r.steps, steps_per_restart,
+                    "{name} n={n_actual}: the token never goes silent"
+                );
+                moves += r.moves;
+                rounds += r.rounds;
+                trace.push((r, sim.config().to_vec()));
+            }
+            match &reference {
+                None => reference = Some(trace),
+                Some(r) => {
+                    assert_eq!(
+                        &trace, r,
+                        "{name} n={n_actual} shards={shards}: every restart's counters \
+                         and final configuration must match the serial run"
+                    );
+                }
+            }
+            rows.push(SyncRoundRow {
+                topology: name,
+                n: n_actual,
+                shards,
+                steps: restarts * steps_per_restart,
+                rounds,
+                moves,
+                wall_ns,
+                allocs,
+                stage_clones: sim.stage_clone_count() - clones_before,
+                counting: counting_alloc_live(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the synchronous-round rows as an ASCII table.
+pub fn sync_round_table(rows: &[SyncRoundRow]) -> Table {
+    let mut t = Table::new(
+        "Synchronous-round throughput vs shard count \
+         (DFTNO/oracle from random configurations, synchronous daemon, SyncSharded engine)",
+        &[
+            "topology",
+            "n",
+            "shards",
+            "steps",
+            "steps/s",
+            "rounds/s",
+            "moves/s",
+            "speedup",
+            "allocs",
+            "stage clones",
+        ],
+    );
+    for r in rows {
+        t.row(cells!(
+            r.topology,
+            r.n,
+            r.shards,
+            r.steps,
+            format!("{:.0}", r.steps_per_sec()),
+            format!("{:.0}", r.rounds_per_sec()),
+            format!("{:.0}", r.moves_per_sec()),
+            format!(
+                "{:.2}x",
+                sync_speedup(rows, r.topology, r.n, r.shards).unwrap_or(1.0)
+            ),
+            r.allocs,
+            r.stage_clones
+        ));
+    }
+    t
+}
+
+/// The step-throughput ratio of a sharded row over its family's serial
+/// (`shards == 1`) row.
+pub fn sync_speedup(rows: &[SyncRoundRow], topology: &str, n: usize, shards: usize) -> Option<f64> {
+    let serial = rows
+        .iter()
+        .find(|r| r.topology == topology && r.n == n && r.shards == 1)?;
+    let row = rows
+        .iter()
+        .find(|r| r.topology == topology && r.n == n && r.shards == shards)?;
+    Some(row.steps_per_sec() / serial.steps_per_sec().max(f64::MIN_POSITIVE))
+}
+
+/// The parallel sync-round gate: ≥ this speedup at 8 shards over the
+/// serial run on the gated torus — enforced only on machines with at
+/// least 8 hardware threads (the ratio is meaningless on fewer; the
+/// baseline-relative gate still applies there).
+pub const SYNC_SPEEDUP_GATE: f64 = 3.0;
+
+/// The synchronous-round CI gates:
+///
+/// * the serial (`shards == 1`) torus row must perform **zero** heap
+///   operations per timed window (delta staging's zero-clone
+///   acceptance criterion, measured under the binary's counting
+///   allocator);
+/// * with ≥ 8 hardware threads available, the torus 8-shard row must
+///   beat the serial row ≥ [`SYNC_SPEEDUP_GATE`]× (skipped — not
+///   failed — on smaller machines, where the baseline-relative check
+///   in [`check_sync_baseline`] still holds the ratio).
+pub fn sync_gate_violations(rows: &[SyncRoundRow], parallelism: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(serial) = rows
+        .iter()
+        .filter(|r| r.topology == "torus" && r.shards == 1)
+        .max_by_key(|r| r.n)
+    else {
+        out.push("sync gate requires a serial torus row".into());
+        return out;
+    };
+    if serial.counting && serial.allocs > 0 {
+        out.push(format!(
+            "sync-round torus n={} shards=1: {} heap operations over {} steps \
+             (delta-staged synchronous rounds must perform zero state clones)",
+            serial.n, serial.allocs, serial.steps
+        ));
+    }
+    match sync_speedup(rows, "torus", serial.n, 8) {
+        Some(speedup) if parallelism >= 8 && speedup < SYNC_SPEEDUP_GATE => {
+            out.push(format!(
+                "sync-round torus n={}: {speedup:.2}x at 8 shards, below the \
+                 {SYNC_SPEEDUP_GATE}x gate (machine has {parallelism} hardware threads)",
+                serial.n
+            ));
+        }
+        Some(_) => {}
+        None => out.push(format!(
+            "sync gate requires an 8-shard torus n={} row",
+            serial.n
+        )),
+    }
+    out
+}
+
+/// The baseline-relative synchronous-round gate: the 8-shard torus
+/// speedup ratio must stay within 30% of the committed
+/// `BENCH_engine.json` — like the star gate, ratios (not absolute
+/// steps/sec) are compared so the gate is portable across
+/// differently-powered runners.
+pub fn check_sync_baseline(rows: &[SyncRoundRow], baseline_json: &str) -> BaselineOutcome {
+    let Some(serial) = rows
+        .iter()
+        .filter(|r| r.topology == "torus" && r.shards == 1)
+        .max_by_key(|r| r.n)
+    else {
+        return BaselineOutcome::Regressed("sync baseline gate requires a torus row".into());
+    };
+    let Some(measured) = sync_speedup(rows, "torus", serial.n, 8) else {
+        return BaselineOutcome::Regressed(
+            "sync baseline gate requires an 8-shard torus row".into(),
+        );
+    };
+    let anchor = format!("\"topology\":\"torus\",\"n\":{},\"shards\":8,", serial.n);
+    let committed = baseline_json
+        .find(&anchor)
+        .map(|at| &baseline_json[at..])
+        .and_then(|row| {
+            let end = row.find('}').unwrap_or(row.len());
+            let row = &row[..end];
+            let field = "\"speedup\":";
+            let at = row.find(field)? + field.len();
+            let rest = &row[at..];
+            let end = rest
+                .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse::<f64>().ok()
+        });
+    match committed {
+        Some(committed) if committed > 0.0 => {
+            if measured < 0.7 * committed {
+                BaselineOutcome::Regressed(format!(
+                    "sync-round speedup on torus n={} regressed more than 30% vs the \
+                     committed baseline: {measured:.2}x < 0.7 x {committed:.2}x",
+                    serial.n
+                ))
+            } else {
+                BaselineOutcome::Passed
+            }
+        }
+        _ => BaselineOutcome::Incomparable(format!(
+            "baseline document has no comparable sync-round torus n={} shards=8 \
+             speedup field (pre-v4 baseline?)",
+            serial.n
+        )),
+    }
+}
+
 /// The default size sweep.
 pub const FULL_SIZES: [usize; 5] = [64, 128, 256, 512, 1024];
 /// The CI smoke sweep: small enough to be quick, still covering the
@@ -316,14 +625,16 @@ pub fn engine_bench_table(rows: &[EngineBenchRow]) -> Table {
     t
 }
 
-/// Renders the `sno-engine-bench/v3` JSON document (v3 added the
-/// optional `star_apply` clone-count section; the `rows` layout is
-/// unchanged from v2, so the baseline ratio gate reads both).
+/// Renders the `sno-engine-bench/v4` JSON document (v3 added the
+/// optional `star_apply` clone-count section, v4 the `sync_rounds`
+/// shard-scaling section; the `rows` layout is unchanged from v2, so
+/// the baseline ratio gates read all of them).
 pub fn engine_bench_json_with(
     rows: &[EngineBenchRow],
     star_apply: Option<&StarApplyRow>,
+    sync_rows: &[SyncRoundRow],
 ) -> String {
-    let mut out = String::from("{\"schema\":\"sno-engine-bench/v3\",\"workload\":");
+    let mut out = String::from("{\"schema\":\"sno-engine-bench/v4\",\"workload\":");
     out.push_str("\"dftno/oracle-token steady state, central-round-robin\",\"rows\":[");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -368,13 +679,43 @@ pub fn engine_bench_json_with(
             sa.port_allocs_per_step()
         );
     }
+    if !sync_rows.is_empty() {
+        out.push_str(",\"sync_rounds\":[");
+        for (i, r) in sync_rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"topology\":\"{}\",\"n\":{},\"shards\":{},\"steps\":{},\
+                 \"rounds\":{},\"moves\":{},\"wall_ns\":{},\"steps_per_sec\":{:.0},\
+                 \"rounds_per_sec\":{:.0},\"moves_per_sec\":{:.0},\"speedup\":{:.2},\
+                 \"allocs\":{},\"stage_clones\":{},\"counting\":{}}}",
+                r.topology,
+                r.n,
+                r.shards,
+                r.steps,
+                r.rounds,
+                r.moves,
+                r.wall_ns,
+                r.steps_per_sec(),
+                r.rounds_per_sec(),
+                r.moves_per_sec(),
+                sync_speedup(sync_rows, r.topology, r.n, r.shards).unwrap_or(1.0),
+                r.allocs,
+                r.stage_clones,
+                r.counting
+            );
+        }
+        out.push(']');
+    }
     out.push('}');
     out
 }
 
-/// [`engine_bench_json_with`] without a `star_apply` section.
+/// [`engine_bench_json_with`] without the optional sections.
 pub fn engine_bench_json(rows: &[EngineBenchRow]) -> String {
-    engine_bench_json_with(rows, None)
+    engine_bench_json_with(rows, None, &[])
 }
 
 /// The smallest gated row of a family (`n >= 512`), if present.
@@ -515,12 +856,93 @@ mod tests {
         let rows = engine_bench(&[16], 500);
         assert_eq!(rows.len(), TOPOLOGIES.len());
         let json = engine_bench_json(&rows);
-        assert!(json.contains("\"schema\":\"sno-engine-bench/v3\""));
+        assert!(json.contains("\"schema\":\"sno-engine-bench/v4\""));
         assert!(json.contains("\"topology\":\"torus\""));
         assert!(json.contains("\"port_dirty_ns\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         let table = engine_bench_table(&rows);
         assert_eq!(table.rows.len(), rows.len());
+    }
+
+    #[test]
+    fn sync_round_bench_measures_deterministically_and_renders() {
+        // Tiny size: the value here is the cross-shard trace assertions
+        // inside `sync_round_bench` plus the emitters and gates, not the
+        // timings.
+        let rows = sync_round_bench(48, 2, 12);
+        assert_eq!(rows.len(), SYNC_TOPOLOGIES.len() * SYNC_SHARD_COUNTS.len());
+        for r in &rows {
+            assert_eq!(r.steps, 24);
+            assert!(r.rounds > 0, "{r:?}");
+        }
+        let json = engine_bench_json_with(&[], None, &rows);
+        assert!(json.contains("\"sync_rounds\":["));
+        assert!(json.contains("\"topology\":\"hubs:3\""));
+        assert!(json.contains("\"stage_clones\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let table = sync_round_table(&rows);
+        assert_eq!(table.rows.len(), rows.len());
+        // No counting allocator in the test binary: the alloc gate is
+        // vacuous, and the speedup gate is skipped below 8 threads.
+        assert!(sync_gate_violations(&rows, 1).is_empty());
+    }
+
+    #[test]
+    fn sync_gates_fire_on_allocs_and_slow_speedups() {
+        let mk = |shards: usize, wall_ns: u128, allocs: u64| SyncRoundRow {
+            topology: "torus",
+            n: 4096,
+            shards,
+            steps: 100,
+            rounds: 90,
+            moves: 5_000,
+            wall_ns,
+            allocs,
+            stage_clones: 0,
+            counting: true,
+        };
+        let good = vec![mk(1, 80_000, 0), mk(8, 20_000, 500)];
+        assert!(sync_gate_violations(&good, 8).is_empty());
+        // Parallel-path allocations are expected; serial ones are not.
+        let leaky = vec![mk(1, 80_000, 7), mk(8, 20_000, 0)];
+        let v = sync_gate_violations(&leaky, 8);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("zero state clones"), "{v:?}");
+        // 2x at 8 shards: below the 3x gate on a big machine…
+        let slow = vec![mk(1, 80_000, 0), mk(8, 40_000, 0)];
+        assert_eq!(sync_gate_violations(&slow, 8).len(), 1);
+        // …but skipped on a small one.
+        assert!(sync_gate_violations(&slow, 2).is_empty());
+    }
+
+    #[test]
+    fn sync_baseline_gate_compares_speedup_ratios() {
+        let mk = |shards: usize, wall_ns: u128| SyncRoundRow {
+            topology: "torus",
+            n: 4096,
+            shards,
+            steps: 100,
+            rounds: 90,
+            moves: 5_000,
+            wall_ns,
+            allocs: 0,
+            stage_clones: 0,
+            counting: true,
+        };
+        // measured speedup = 2x.
+        let rows = vec![mk(1, 80_000), mk(8, 40_000)];
+        let fast = r#"{"sync_rounds":[{"topology":"torus","n":4096,"shards":8,"speedup":4.00}]}"#;
+        assert!(matches!(
+            check_sync_baseline(&rows, fast),
+            BaselineOutcome::Regressed(_)
+        ));
+        let close = r#"{"sync_rounds":[{"topology":"torus","n":4096,"shards":8,"speedup":2.50}]}"#;
+        assert_eq!(check_sync_baseline(&rows, close), BaselineOutcome::Passed);
+        let v3 = r#"{"schema":"sno-engine-bench/v3","rows":[]}"#;
+        assert!(matches!(
+            check_sync_baseline(&rows, v3),
+            BaselineOutcome::Incomparable(_)
+        ));
     }
 
     #[test]
@@ -532,7 +954,7 @@ mod tests {
         if !row.counting {
             assert!(star_apply_violations(&row).is_empty());
         }
-        let json = engine_bench_json_with(&[], Some(&row));
+        let json = engine_bench_json_with(&[], Some(&row), &[]);
         assert!(json.contains("\"star_apply\":{"));
         assert!(json.contains("\"port_allocs_per_step\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

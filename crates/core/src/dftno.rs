@@ -26,8 +26,8 @@ use rand::Rng as _;
 use rand::RngCore;
 use sno_engine::protocol::ProjectedView;
 use sno_engine::{
-    LayerLayout, LayerTxn, Network, NodeCtx, NodeView, PortCache, PortVerdict, Protocol, Scratch,
-    SpaceMeasured, StateTxn,
+    ApplyProfile, LayerLayout, LayerTxn, Network, NodeCtx, NodeView, PortCache, PortVerdict,
+    Protocol, ReadScope, Scratch, SpaceMeasured, StateTxn,
 };
 use sno_graph::Port;
 use sno_token::{TokenCirculation, TokenKind};
@@ -36,7 +36,7 @@ use crate::orientation::{chordal_label, chordal_label_valid, golden_dfs_orientat
 
 /// Per-processor state: the substrate's variables plus the orientation
 /// variables of Algorithm 3.1.1.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct DftnoState<S> {
     /// The token-circulation substrate's variables.
     pub token: S,
@@ -46,6 +46,29 @@ pub struct DftnoState<S> {
     pub max: u32,
     /// The edge labels `π_p[l]`, one per port.
     pub pi: Vec<u32>,
+}
+
+/// Manual so `clone_from` is field-wise: the engine's copy-on-write
+/// stash pools pre-round copies, and `pi.clone_from` reusing its
+/// capacity is what keeps a rare multi-writer preservation
+/// allocation-free (the derive would fall back to a fresh `O(Δ)`
+/// allocation per copy).
+impl<S: Clone> Clone for DftnoState<S> {
+    fn clone(&self) -> Self {
+        DftnoState {
+            token: self.token.clone(),
+            eta: self.eta,
+            max: self.max,
+            pi: self.pi.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.token.clone_from(&source.token);
+        self.eta = source.eta;
+        self.max = source.max;
+        self.pi.clone_from(&source.pi);
+    }
 }
 
 /// Actions of `DFTNO`: substrate actions (with orientation side effects on
@@ -282,6 +305,57 @@ impl<T: TokenCirculation> Protocol for Dftno<T> {
             }
         }
         PortVerdict::Count(Self::count_from_cache(cache))
+    }
+
+    fn apply_profile(
+        &self,
+        view: &impl NodeView<Self::State>,
+        action: &Self::Action,
+    ) -> ApplyProfile {
+        // Aspect vocabulary of the delta-staged commit (coarser than the
+        // note bits need to be): `NOTE_ETA` the name, `NOTE_PI` the edge
+        // labels, `NOTE_TOKEN` everything token-adjacent — the substrate
+        // variables *and* `Max`, which only token statements read or
+        // write. This is what makes dense synchronous repair rounds
+        // copy-free: an `Edgelabel` statement reads neighbor η (never
+        // written by other `Edgelabel`s, whose writes are π-only), so
+        // the only conflict left is a token hand-off adjacent to a
+        // same-step repair.
+        match action {
+            DftnoAction::EdgeLabel => ApplyProfile::reading(ReadScope::All, NOTE_ETA, NOTE_PI),
+            DftnoAction::Token(a) => {
+                let proj = Self::project(view);
+                // The substrate's own reads, coarsened to the one
+                // token aspect (substrate-substrate conflicts stay
+                // conservative; cross-layer ones stay precise).
+                let sub = self.token.apply_profile(&proj, a);
+                let sub = ApplyProfile::reading(
+                    sub.reads,
+                    if sub.is_reader() { NOTE_TOKEN } else { 0 },
+                    NOTE_TOKEN,
+                );
+                let own = match self.token.classify(&proj, a) {
+                    TokenKind::Forward => {
+                        let reads = if view.ctx().is_root {
+                            (ReadScope::None, 0)
+                        } else {
+                            match self.token.parent_port(&proj) {
+                                // Nodelabel consults the parent's Max.
+                                Some(pp) => (ReadScope::One(pp), NOTE_TOKEN),
+                                None => (ReadScope::None, 0),
+                            }
+                        };
+                        ApplyProfile::reading(reads.0, reads.1, NOTE_TOKEN | NOTE_ETA)
+                    }
+                    TokenKind::Backtrack { child } => {
+                        // UpdateMax consults the descendant's Max.
+                        ApplyProfile::reading(ReadScope::One(child), NOTE_TOKEN, NOTE_TOKEN)
+                    }
+                    TokenKind::Internal => ApplyProfile::local(NOTE_TOKEN),
+                };
+                own.union(sub)
+            }
+        }
     }
 
     fn apply_in_place(&self, txn: &mut impl StateTxn<Self::State>, action: &Self::Action) {

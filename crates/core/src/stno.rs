@@ -38,8 +38,8 @@ use rand::Rng as _;
 use rand::RngCore;
 use sno_engine::protocol::ProjectedView;
 use sno_engine::{
-    LayerLayout, LayerTxn, Network, NodeCtx, NodeView, PortCache, PortVerdict, Protocol, Scratch,
-    SpaceMeasured, StateTxn,
+    ApplyProfile, LayerLayout, LayerTxn, Network, NodeCtx, NodeView, PortCache, PortVerdict,
+    Protocol, ReadScope, Scratch, SpaceMeasured, StateTxn,
 };
 use sno_graph::{Port, RootedTree};
 use sno_tree::SpanningTree;
@@ -50,7 +50,7 @@ use crate::orientation::{
 
 /// Per-processor state: the substrate's variables plus the orientation
 /// variables of Algorithm 4.1.2.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct StnoState<S> {
     /// The spanning-tree substrate's variables.
     pub tree: S,
@@ -63,6 +63,29 @@ pub struct StnoState<S> {
     pub start: Vec<u32>,
     /// The edge labels `π_p[l]`, one per port (tree *and* non-tree edges).
     pub pi: Vec<u32>,
+}
+
+/// Manual so `clone_from` is field-wise and reuses the per-port vector
+/// capacities — the engine's copy-on-write stash depends on this to
+/// keep multi-writer preservations allocation-free.
+impl<S: Clone> Clone for StnoState<S> {
+    fn clone(&self) -> Self {
+        StnoState {
+            tree: self.tree.clone(),
+            weight: self.weight,
+            eta: self.eta,
+            start: self.start.clone(),
+            pi: self.pi.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.tree.clone_from(&source.tree);
+        self.weight = source.weight;
+        self.eta = source.eta;
+        self.start.clone_from(&source.start);
+        self.pi.clone_from(&source.pi);
+    }
 }
 
 /// Actions of `STNO` (grouped; the paper spells them per role as
@@ -344,6 +367,39 @@ impl<T: SpanningTree> Protocol for Stno<T> {
             }
         }
         scratch.put_vec(children);
+    }
+
+    fn apply_profile(
+        &self,
+        _view: &impl NodeView<Self::State>,
+        action: &Self::Action,
+    ) -> ApplyProfile {
+        // Aspect vocabulary of the delta-staged commit: the wrapper's
+        // note bits plus the whole shifted substrate space for tree
+        // reads (`children_ports` / `parent_port` consult neighbor tree
+        // variables on a live substrate). Tree moves stay conservative;
+        // the orientation statements declare exactly the fields their
+        // helpers read — which is what lets a dense synchronous repair
+        // round (η/π relabeling) commit with few or no copies.
+        const TREE_MASK: u64 = u64::MAX << NOTE_SHIFT;
+        match action {
+            StnoAction::Tree(_) => ApplyProfile::CONSERVATIVE,
+            // weight := 1 + Σ child weights (children from the tree).
+            StnoAction::CalcWeight => {
+                ApplyProfile::reading(ReadScope::All, NOTE_WEIGHT | TREE_MASK, NOTE_WEIGHT)
+            }
+            // η from the parent's Start, Start from child weights,
+            // π from neighbor η — all in one atomic statement.
+            StnoAction::NodeLabel => ApplyProfile::reading(
+                ReadScope::All,
+                NOTE_ETA | NOTE_START | NOTE_WEIGHT | TREE_MASK,
+                NOTE_ETA | NOTE_START | NOTE_PI,
+            ),
+            StnoAction::Distribute => {
+                ApplyProfile::reading(ReadScope::All, NOTE_WEIGHT | TREE_MASK, NOTE_START)
+            }
+            StnoAction::EdgeLabel => ApplyProfile::reading(ReadScope::All, NOTE_ETA, NOTE_PI),
+        }
     }
 
     fn apply_in_place(&self, txn: &mut impl StateTxn<Self::State>, action: &Self::Action) {

@@ -25,12 +25,13 @@ use sno_graph::Port;
 
 /// A protocol layer that runs on top of a lower-layer protocol `L`,
 /// reading (but never writing) `L`'s variables.
-pub trait UpperLayer<L: Protocol> {
-    /// The upper layer's own variables.
-    type State: Clone + Eq + std::hash::Hash + std::fmt::Debug;
-    /// The upper layer's action labels (`Send + 'static` to match
+pub trait UpperLayer<L: Protocol>: Sync {
+    /// The upper layer's own variables (`Send + Sync` to match
+    /// [`Protocol::State`]).
+    type State: Clone + Eq + std::hash::Hash + std::fmt::Debug + Send + Sync;
+    /// The upper layer's action labels (`Send + Sync + 'static` to match
     /// [`Protocol::Action`]).
-    type Action: Clone + std::fmt::Debug + PartialEq + Send + 'static;
+    type Action: Clone + std::fmt::Debug + PartialEq + Send + Sync + 'static;
 
     /// Appends the enabled upper-layer actions for the compound view.
     fn enabled(&self, view: &impl NodeView<(L::State, Self::State)>, out: &mut Vec<Self::Action>);

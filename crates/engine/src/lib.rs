@@ -49,10 +49,13 @@ pub mod network;
 pub mod protocol;
 pub mod sim;
 pub mod spec;
+pub mod store;
 
 pub use network::{Network, NodeCtx};
 pub use protocol::{
-    apply_via_clone, Enumerable, LayerLayout, LayerTxn, NodeView, PortCache, PortVerdict, Protocol,
-    Scratch, SpaceMeasured, StateTxn, TouchRecord, TouchScope, WriteTxn,
+    apply_via_clone, ApplyProfile, Enumerable, LayerLayout, LayerTxn, NodeView, PortCache,
+    PortVerdict, Protocol, ReadScope, Scratch, SpaceMeasured, StateTxn, TouchRecord, TouchScope,
+    WriteTxn,
 };
-pub use sim::{EngineMode, RunResult, Simulation, StepOutcome};
+pub use sim::{EngineMode, RunResult, Simulation, StepOutcome, DEFAULT_SYNC_THRESHOLD};
+pub use store::{ConfigStore, DeltaTxn, ShardTxn};

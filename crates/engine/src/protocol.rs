@@ -380,6 +380,117 @@ pub enum PortVerdict {
     Whole,
 }
 
+/// Which neighbor states one `apply_in_place` execution may **read**.
+///
+/// Part of an action's [`ApplyProfile`]. Multi-writer steps (the
+/// distributed and synchronous daemons) commit through delta staging:
+/// every writer mutates its configuration slot **in place**, and the
+/// engine preserves a pre-step copy of a slot only when some other
+/// writer's declared reads could actually observe the write. The
+/// narrower the declared scope, the fewer copies a synchronous round
+/// pays — [`ReadScope::None`] writers are also the ones a sharded round
+/// can apply in parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadScope {
+    /// The statement never reads a neighbor's state. The engine enforces
+    /// this: a neighbor read through a delta transaction declared
+    /// `None` panics.
+    None,
+    /// The statement reads at most the neighbor behind this port.
+    One(Port),
+    /// The statement may read any neighbor (the conservative default).
+    All,
+}
+
+/// The declared read/write footprint of one action's `apply_in_place`,
+/// consumed by the engine's delta-staged multi-writer commit.
+///
+/// * `reads` / `read_mask` — which neighbors the statement may read,
+///   and which *aspects* of their state it consults;
+/// * `write_mask` — which aspects of the **own** state the statement
+///   may change.
+///
+/// Aspect bits are protocol-private, in the same bit space as
+/// [`StateTxn::note_self`] (layered protocols shift a substrate's bits
+/// exactly like note bits — see [`ApplyProfile::shifted`]); a protocol
+/// may use bits beyond its note vocabulary, the engine only ever
+/// intersects masks. Two writers conflict — and the earlier-written one
+/// must be preserved for the later reader — iff the reader's
+/// `read_mask` intersects the writer's `write_mask` *and* the reader's
+/// scope covers the writer. The default profile
+/// ([`ApplyProfile::CONSERVATIVE`]) makes every pair conflict, which
+/// reproduces classic whole-state staging behavior (correct, never
+/// fast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyProfile {
+    /// Which neighbors the statement may read.
+    pub reads: ReadScope,
+    /// Which aspects of those neighbors' states it consults.
+    pub read_mask: u64,
+    /// Which aspects of the own state it may change.
+    pub write_mask: u64,
+}
+
+impl ApplyProfile {
+    /// Reads anything, writes anything — always correct.
+    pub const CONSERVATIVE: ApplyProfile = ApplyProfile {
+        reads: ReadScope::All,
+        read_mask: u64::MAX,
+        write_mask: u64::MAX,
+    };
+
+    /// A statement that reads no neighbor at all and may change the
+    /// listed own-state aspects. These writers commit with zero copies
+    /// and are eligible for shard-parallel application.
+    pub const fn local(write_mask: u64) -> ApplyProfile {
+        ApplyProfile {
+            reads: ReadScope::None,
+            read_mask: 0,
+            write_mask,
+        }
+    }
+
+    /// A statement reading the listed aspects through the given scope.
+    pub const fn reading(reads: ReadScope, read_mask: u64, write_mask: u64) -> ApplyProfile {
+        ApplyProfile {
+            reads,
+            read_mask,
+            write_mask,
+        }
+    }
+
+    /// `true` iff this statement may read any neighbor state.
+    pub fn is_reader(&self) -> bool {
+        !matches!(self.reads, ReadScope::None)
+    }
+
+    /// The profile of a wrapper statement that also runs `other` (a
+    /// substrate's statement): scopes union, masks union.
+    pub fn union(self, other: ApplyProfile) -> ApplyProfile {
+        let reads = match (self.reads, other.reads) {
+            (ReadScope::None, r) | (r, ReadScope::None) => r,
+            (ReadScope::One(a), ReadScope::One(b)) if a == b => ReadScope::One(a),
+            _ => ReadScope::All,
+        };
+        ApplyProfile {
+            reads,
+            read_mask: self.read_mask | other.read_mask,
+            write_mask: self.write_mask | other.write_mask,
+        }
+    }
+
+    /// This profile with both aspect masks shifted left by `bits` — how
+    /// a layered protocol lifts its substrate's profile past its own
+    /// note-bit vocabulary (mirroring [`LayerTxn`]'s note shifting).
+    pub fn shifted(self, bits: u32) -> ApplyProfile {
+        ApplyProfile {
+            reads: self.reads,
+            read_mask: self.read_mask << bits,
+            write_mask: self.write_mask << bits,
+        }
+    }
+}
+
 /// The resolved write scope of one committed transaction: which
 /// neighbors can observe a guard-relevant difference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -430,7 +541,7 @@ impl TouchRecord {
         debug_assert!(!self.committed, "state transaction used after commit");
     }
 
-    fn touch_port(&mut self, l: Port, degree: usize) {
+    pub(crate) fn touch_port(&mut self, l: Port, degree: usize) {
         self.assert_open();
         debug_assert!(
             l.index() < degree,
@@ -444,23 +555,23 @@ impl TouchRecord {
         }
     }
 
-    fn touch_all_ports(&mut self) {
+    pub(crate) fn touch_all_ports(&mut self) {
         self.assert_open();
         self.declared = true;
         self.all = true;
     }
 
-    fn mark_unobservable(&mut self) {
+    pub(crate) fn mark_unobservable(&mut self) {
         self.assert_open();
         self.declared = true;
     }
 
-    fn note_self(&mut self, bits: u64) {
+    pub(crate) fn note_self(&mut self, bits: u64) {
         self.assert_open();
         self.self_bits |= bits;
     }
 
-    fn mark_wrote(&mut self) {
+    pub(crate) fn mark_wrote(&mut self) {
         self.assert_open();
         self.wrote = true;
     }
@@ -557,14 +668,24 @@ pub trait StateTxn<S>: NodeView<S> {
 /// One value of the implementing type describes the *uniform* program run
 /// by every processor (the root distinguishes itself via
 /// [`NodeCtx::is_root`]).
-pub trait Protocol {
+///
+/// `Sync` is a supertrait because the engine's sharded synchronous
+/// executor evaluates guards and applies delta transactions from worker
+/// threads sharing one `&Protocol`; protocol values are immutable
+/// program descriptions, so this costs implementors nothing.
+pub trait Protocol: Sync {
     /// The processor-local variables.
-    type State: Clone + Eq + Hash + Debug;
+    ///
+    /// `Send + Sync` so shard workers can read a shared configuration
+    /// and write disjoint chunks of it in parallel.
+    type State: Clone + Eq + Hash + Debug + Send + Sync;
     /// A label identifying one enabled action (guard) of the program.
     ///
-    /// `Send + 'static` so guard evaluations can pool action buffers in a
-    /// [`Scratch`] arena and simulation fleets can move across threads.
-    type Action: Clone + Debug + PartialEq + Send + 'static;
+    /// `Send + Sync + 'static` so guard evaluations can pool action
+    /// buffers in a [`Scratch`] arena, simulation fleets can move across
+    /// threads, and shard workers can read the step's resolved action
+    /// list in place.
+    type Action: Clone + Debug + PartialEq + Send + Sync + 'static;
 
     /// Appends every action whose guard is true in `view` to `out`.
     ///
@@ -699,6 +820,26 @@ pub trait Protocol {
     ) -> PortVerdict {
         let (_, _, _) = (view, port, cache);
         PortVerdict::Whole
+    }
+
+    /// The declared read/write footprint of executing `action` —
+    /// evaluated against the **pre-step** view, consumed by the
+    /// multi-writer delta-staged commit (see [`ApplyProfile`]).
+    ///
+    /// Contract: during `apply_in_place(txn, action)`, every
+    /// `txn.neighbor(l)` call must fall inside the declared
+    /// [`ReadScope`] (the engine panics otherwise), the aspects read
+    /// from those neighbors must be covered by `read_mask`, and the
+    /// own-state aspects changed must be covered by `write_mask`. The
+    /// conservative default is always correct; narrowing it is what
+    /// makes synchronous multi-writer rounds copy-free.
+    fn apply_profile(
+        &self,
+        view: &impl NodeView<Self::State>,
+        action: &Self::Action,
+    ) -> ApplyProfile {
+        let (_, _) = (view, action);
+        ApplyProfile::CONSERVATIVE
     }
 
     /// Atomically executes `action`, mutating the processor's state **in

@@ -1,0 +1,513 @@
+//! Generation-stamped configuration storage with copy-on-write delta
+//! staging — the engine's answer to the multi-writer clone problem.
+//!
+//! # Why staging existed
+//!
+//! A computation step under the distributed or synchronous daemon
+//! executes **k > 1** statements with composite atomicity: every
+//! statement's reads must see the *pre-step* configuration even though
+//! the statements' writes land together. The engine used to buy that
+//! guarantee by `clone_from`-ing each writer's whole state into a pooled
+//! slot, building the post-state there, and swapping the batch in — an
+//! `O(Δ)` copy per writer per step for protocols with per-port arrays,
+//! exactly in the dense synchronous rounds where self-stabilization is
+//! most expensive.
+//!
+//! # Delta staging
+//!
+//! [`ConfigStore`] inverts the scheme. There is one **generation** per
+//! multi-writer round and one **epoch word per slot** (`stamp`): writers
+//! mutate their slots **in place**, stamping them with the round's
+//! generation, and the store preserves a pre-round copy of a slot *only
+//! when a later writer's declared reads could actually observe the
+//! write* — the copy-on-write delta against the pre-round generation.
+//! What "could observe" means comes from the protocol's
+//! [`ApplyProfile`](crate::protocol::ApplyProfile) declarations: a
+//! reader and an earlier writer conflict iff the reader's read mask
+//! intersects the writer's write mask and its read scope covers the
+//! writer. The engine additionally orders **readers before non-readers**
+//! within the round, so a statement that reads nothing (the common case
+//! in repair-heavy rounds) can never force a preservation.
+//!
+//! Commit is a **bulk epoch bump**: the next round's `begin_round`
+//! advances the generation, which atomically invalidates every stamp,
+//! stash entry, and plan mark of the previous round — no per-slot
+//! cleanup, no swap pass.
+//!
+//! Reads during the round resolve through [`DeltaTxn`]:
+//!
+//! * an **unstamped** neighbor still holds its pre-round value — read it
+//!   live;
+//! * a **stamped and preserved** neighbor was written by a conflicting
+//!   earlier writer — read the stash copy;
+//! * a **stamped but unpreserved** neighbor was written, but only in
+//!   aspects the reader declared it does not consult — read it live
+//!   (the consulted aspects are untouched by declaration).
+//!
+//! [`ShardTxn`] is the degenerate transaction for
+//! [`ReadScope::None`](crate::protocol::ReadScope) writers inside a
+//! sharded parallel round: it sees only the writer's own slot (its
+//! shard's chunk), and any neighbor read panics — which both enforces
+//! the declaration and is what makes the parallel write phase safe
+//! without locks.
+
+use sno_graph::{NodeId, Port};
+
+use crate::network::{Network, NodeCtx};
+use crate::protocol::{NodeView, ReadScope, StateTxn, TouchRecord};
+
+/// The engine's configuration storage: one state slot per processor,
+/// one epoch word per slot, and the copy-on-write stash of the current
+/// multi-writer round. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ConfigStore<S> {
+    /// The live configuration (struct-of-slots; always current outside
+    /// a round's write phase, and the post-state inside it).
+    slots: Vec<S>,
+    /// `stamp[i] == generation` iff slot `i` was delta-written in the
+    /// current round.
+    stamp: Vec<u64>,
+    /// The current round's generation. Monotone; bumping it is the
+    /// whole commit.
+    generation: u64,
+    /// Pooled pre-round copies (copy-on-write). `stash[stash_pos[i]]`
+    /// is slot `i`'s pre-round state iff `stash_mark[i] == generation`.
+    stash: Vec<S>,
+    stash_pos: Vec<u32>,
+    stash_mark: Vec<u64>,
+    /// Stash slots used this round (the pool high-water mark persists).
+    stash_used: usize,
+    /// Planned write masks of the round's *reader* writers
+    /// (`plan_mark[i] == generation` gates validity) — the conflict
+    /// pre-pass runs against these before any write lands.
+    plan_bits: Vec<u64>,
+    plan_mark: Vec<u64>,
+    /// Total pre-round preservations ever performed — the diagnostic
+    /// behind the "synchronous steps perform zero whole-state clones"
+    /// pins and the sync bench row.
+    clones: u64,
+}
+
+impl<S: Clone> ConfigStore<S> {
+    /// Wraps a configuration vector.
+    pub fn new(slots: Vec<S>) -> ConfigStore<S> {
+        let n = slots.len();
+        ConfigStore {
+            slots,
+            stamp: vec![0; n],
+            generation: 0,
+            stash: Vec::new(),
+            stash_pos: vec![0; n],
+            stash_mark: vec![0; n],
+            stash_used: 0,
+            plan_bits: vec![0; n],
+            plan_mark: vec![0; n],
+            clones: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` iff the store holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The live configuration.
+    pub fn slice(&self) -> &[S] {
+        &self.slots
+    }
+
+    /// Mutable access to the live configuration — the single-writer
+    /// in-place path ([`crate::protocol::WriteTxn::split`]), fault
+    /// injection, and re-initialization write through this.
+    pub fn slots_mut(&mut self) -> &mut [S] {
+        &mut self.slots
+    }
+
+    /// Opens a new multi-writer round: bumps the generation, which bulk-
+    /// invalidates every stamp, stash entry, and plan mark of the
+    /// previous round, and rewinds the stash pool.
+    pub fn begin_round(&mut self) -> u64 {
+        self.generation += 1;
+        self.stash_used = 0;
+        self.generation
+    }
+
+    /// Records that a *reader* writer of this round will write the
+    /// given own-state aspects (the conflict pre-pass input).
+    pub fn plan_write(&mut self, i: usize, write_mask: u64) {
+        if self.plan_mark[i] == self.generation {
+            self.plan_bits[i] |= write_mask;
+        } else {
+            self.plan_mark[i] = self.generation;
+            self.plan_bits[i] = write_mask;
+        }
+    }
+
+    /// `true` iff an earlier reader of this round planned a write to `i`
+    /// whose aspects intersect `read_mask` — the copy-on-write trigger.
+    pub fn planned_conflict(&self, i: usize, read_mask: u64) -> bool {
+        self.plan_mark[i] == self.generation && self.plan_bits[i] & read_mask != 0
+    }
+
+    /// Preserves slot `i`'s current (pre-round) value in the stash. Must
+    /// run before any write to `i` in this round; idempotent within a
+    /// round. Pooled: a warm stash slot is `clone_from`-reused, so
+    /// protocols with capacity-reusing `clone_from` implementations pay
+    /// no heap traffic here.
+    pub fn preserve(&mut self, i: usize) {
+        if self.stash_mark[i] == self.generation {
+            return;
+        }
+        debug_assert_ne!(
+            self.stamp[i], self.generation,
+            "preserve must precede the slot's delta write"
+        );
+        if self.stash_used == self.stash.len() {
+            self.stash.push(self.slots[i].clone());
+        } else {
+            self.stash[self.stash_used].clone_from(&self.slots[i]);
+        }
+        self.stash_pos[i] = self.stash_used as u32;
+        self.stash_mark[i] = self.generation;
+        self.stash_used += 1;
+        self.clones += 1;
+    }
+
+    /// Stamps slot `i` as delta-written in the current round.
+    pub fn stamp_write(&mut self, i: usize) {
+        self.stamp[i] = self.generation;
+    }
+
+    /// Total copy-on-write preservations performed over the store's
+    /// lifetime (each is exactly one whole-state copy). Zero for rounds
+    /// whose writers' declared reads never overlap earlier writers'
+    /// declared writes.
+    pub fn clone_count(&self) -> u64 {
+        self.clones
+    }
+
+    /// Splits the slots into one `&mut` chunk per contiguous shard
+    /// range, for the parallel write phase. `bounds` is the partition's
+    /// boundary array (`shards + 1` entries).
+    pub fn split_shards(&mut self, bounds: &[u32]) -> Vec<&mut [S]> {
+        let mut rest: &mut [S] = &mut self.slots;
+        let mut chunks = Vec::with_capacity(bounds.len().saturating_sub(1));
+        for w in bounds.windows(2) {
+            let len = (w[1] - w[0]) as usize;
+            let (head, tail) = rest.split_at_mut(len);
+            chunks.push(head);
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty(), "bounds must cover every slot");
+        chunks
+    }
+
+    /// Opens the delta transaction of one writer: in-place mutable
+    /// access to its slot, stash-resolved reads of its neighbors, and
+    /// the declared read scope enforced on every neighbor access.
+    pub fn delta_txn<'t>(
+        &'t mut self,
+        net: &'t Network,
+        node: NodeId,
+        reads: ReadScope,
+        rec: &'t mut TouchRecord,
+    ) -> DeltaTxn<'t, S> {
+        assert_eq!(self.slots.len(), net.node_count(), "store/network mismatch");
+        let (before, rest) = self.slots.split_at_mut(node.index());
+        let (me, after) = rest.split_first_mut().expect("node out of range");
+        DeltaTxn {
+            net,
+            node,
+            before,
+            after,
+            me,
+            stash: &self.stash,
+            stash_pos: &self.stash_pos,
+            stash_mark: &self.stash_mark,
+            stamp: &self.stamp,
+            generation: self.generation,
+            reads,
+            rec,
+        }
+    }
+}
+
+/// The multi-writer delta transaction: writes one slot in place while
+/// resolving neighbor reads against the round's copy-on-write stash.
+/// See the module docs for the read-resolution rules.
+#[derive(Debug)]
+pub struct DeltaTxn<'t, S> {
+    net: &'t Network,
+    node: NodeId,
+    /// `slots[..node]` / `slots[node + 1..]` around the writer's slot.
+    before: &'t [S],
+    after: &'t [S],
+    me: &'t mut S,
+    stash: &'t [S],
+    stash_pos: &'t [u32],
+    stash_mark: &'t [u64],
+    stamp: &'t [u64],
+    generation: u64,
+    reads: ReadScope,
+    rec: &'t mut TouchRecord,
+}
+
+impl<S> DeltaTxn<'_, S> {
+    fn live(&self, q: usize) -> &S {
+        if q < self.before.len() {
+            &self.before[q]
+        } else {
+            &self.after[q - self.before.len() - 1]
+        }
+    }
+}
+
+impl<S> NodeView<S> for DeltaTxn<'_, S> {
+    fn ctx(&self) -> &NodeCtx {
+        self.net.ctx(self.node)
+    }
+
+    fn state(&self) -> &S {
+        &*self.me
+    }
+
+    fn neighbor(&self, l: Port) -> &S {
+        match self.reads {
+            ReadScope::All => {}
+            ReadScope::One(p) if p == l => {}
+            _ => panic!(
+                "apply_in_place read neighbor port {} outside its declared \
+                 ApplyProfile read scope {:?}",
+                l.index(),
+                self.reads
+            ),
+        }
+        let q = self.net.graph().neighbor(self.node, l).index();
+        if self.stamp[q] == self.generation && self.stash_mark[q] == self.generation {
+            // Written this round by a conflicting earlier writer: the
+            // pre-round value lives in the stash.
+            &self.stash[self.stash_pos[q] as usize]
+        } else {
+            // Unwritten (live == pre-round), or written only in aspects
+            // this reader declared it does not consult.
+            self.live(q)
+        }
+    }
+}
+
+impl<S> StateTxn<S> for DeltaTxn<'_, S> {
+    fn state_mut(&mut self) -> &mut S {
+        self.rec.mark_wrote();
+        self.me
+    }
+
+    fn touch_port(&mut self, l: Port) {
+        let degree = self.net.ctx(self.node).degree;
+        self.rec.touch_port(l, degree);
+    }
+
+    fn touch_all_ports(&mut self) {
+        self.rec.touch_all_ports();
+    }
+
+    fn mark_unobservable(&mut self) {
+        self.rec.mark_unobservable();
+    }
+
+    fn note_self(&mut self, bits: u64) {
+        self.rec.note_self(bits);
+    }
+
+    fn commit(&mut self) {
+        self.rec.commit();
+    }
+}
+
+/// The shard-parallel write transaction: a [`ReadScope::None`] writer's
+/// view of the world — its static context and its own slot, nothing
+/// else. Any neighbor read panics, which is simultaneously the
+/// declaration's enforcement and the reason a shard worker needs no
+/// access to other shards' chunks.
+#[derive(Debug)]
+pub struct ShardTxn<'t, S> {
+    ctx: &'t NodeCtx,
+    me: &'t mut S,
+    rec: &'t mut TouchRecord,
+}
+
+impl<'t, S> ShardTxn<'t, S> {
+    /// Opens the transaction over one slot of a shard's chunk.
+    pub fn new(ctx: &'t NodeCtx, me: &'t mut S, rec: &'t mut TouchRecord) -> ShardTxn<'t, S> {
+        ShardTxn { ctx, me, rec }
+    }
+}
+
+impl<S> NodeView<S> for ShardTxn<'_, S> {
+    fn ctx(&self) -> &NodeCtx {
+        self.ctx
+    }
+
+    fn state(&self) -> &S {
+        &*self.me
+    }
+
+    fn neighbor(&self, l: Port) -> &S {
+        panic!(
+            "apply_in_place declared ReadScope::None but read neighbor port {} \
+             (node {:?})",
+            l.index(),
+            self.ctx.id
+        );
+    }
+}
+
+impl<S> StateTxn<S> for ShardTxn<'_, S> {
+    fn state_mut(&mut self) -> &mut S {
+        self.rec.mark_wrote();
+        self.me
+    }
+
+    fn touch_port(&mut self, l: Port) {
+        self.rec.touch_port(l, self.ctx.degree);
+    }
+
+    fn touch_all_ports(&mut self) {
+        self.rec.touch_all_ports();
+    }
+
+    fn mark_unobservable(&mut self) {
+        self.rec.mark_unobservable();
+    }
+
+    fn note_self(&mut self, bits: u64) {
+        self.rec.note_self(bits);
+    }
+
+    fn commit(&mut self) {
+        self.rec.commit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize) -> Network {
+        Network::new(sno_graph::generators::path(n), NodeId::new(0))
+    }
+
+    #[test]
+    fn begin_round_is_a_bulk_invalidation() {
+        let mut store = ConfigStore::new(vec![10u32, 20, 30]);
+        let g1 = store.begin_round();
+        store.plan_write(1, 0b1);
+        store.preserve(1);
+        store.stamp_write(1);
+        assert!(store.planned_conflict(1, 0b1));
+        let g2 = store.begin_round();
+        assert_eq!(g2, g1 + 1);
+        // Everything from the previous round is invalid without any
+        // per-slot work having happened.
+        assert!(!store.planned_conflict(1, u64::MAX));
+        assert_eq!(store.clone_count(), 1);
+    }
+
+    #[test]
+    fn preserve_is_idempotent_and_pooled() {
+        let mut store = ConfigStore::new(vec![1u32, 2, 3]);
+        store.begin_round();
+        store.preserve(2);
+        store.preserve(2);
+        assert_eq!(store.clone_count(), 1, "idempotent within a round");
+        store.begin_round();
+        store.preserve(0);
+        assert_eq!(store.clone_count(), 2, "pool slot reused across rounds");
+    }
+
+    #[test]
+    fn delta_txn_reads_stash_for_conflicting_writers_only() {
+        let net = net(3);
+        let mut store = ConfigStore::new(vec![10u32, 20, 30]);
+        store.begin_round();
+        // Writer 0 is preserved and then written in place.
+        store.preserve(0);
+        store.slots_mut()[0] = 99;
+        store.stamp_write(0);
+        // Writer 2 is written without preservation (declared-disjoint).
+        store.slots_mut()[2] = 77;
+        store.stamp_write(2);
+        let mut rec = TouchRecord::new();
+        let txn = store.delta_txn(&net, NodeId::new(1), ReadScope::All, &mut rec);
+        assert_eq!(*txn.state(), 20);
+        assert_eq!(*txn.neighbor(Port::new(0)), 10, "stash: pre-round value");
+        assert_eq!(*txn.neighbor(Port::new(1)), 77, "unpreserved: live value");
+    }
+
+    #[test]
+    fn delta_txn_writes_in_place_and_records_touches() {
+        let net = net(3);
+        let mut store = ConfigStore::new(vec![1u32, 2, 3]);
+        store.begin_round();
+        let mut rec = TouchRecord::new();
+        {
+            let mut txn = store.delta_txn(&net, NodeId::new(1), ReadScope::None, &mut rec);
+            *txn.state_mut() = 42;
+            txn.touch_port(Port::new(1));
+            txn.commit();
+        }
+        store.stamp_write(1);
+        assert_eq!(store.slice(), &[1, 42, 3]);
+        assert!(rec.is_committed());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its declared ApplyProfile read scope")]
+    fn delta_txn_enforces_one_port_scope() {
+        let net = net(3);
+        let mut store = ConfigStore::new(vec![1u32, 2, 3]);
+        store.begin_round();
+        let mut rec = TouchRecord::new();
+        let txn = store.delta_txn(&net, NodeId::new(1), ReadScope::One(Port::new(0)), &mut rec);
+        let _ = txn.neighbor(Port::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "declared ReadScope::None")]
+    fn shard_txn_panics_on_any_neighbor_read() {
+        let net = net(2);
+        let mut slot = 5u32;
+        let mut rec = TouchRecord::new();
+        let txn = ShardTxn::new(net.ctx(NodeId::new(0)), &mut slot, &mut rec);
+        let _ = txn.neighbor(Port::new(0));
+    }
+
+    #[test]
+    fn shard_txn_writes_its_slot() {
+        let net = net(2);
+        let mut slot = 5u32;
+        let mut rec = TouchRecord::new();
+        {
+            let mut txn = ShardTxn::new(net.ctx(NodeId::new(1)), &mut slot, &mut rec);
+            assert_eq!(*txn.state(), 5);
+            *txn.state_mut() = 9;
+            txn.mark_unobservable();
+            txn.commit();
+        }
+        assert_eq!(slot, 9);
+        assert!(rec.is_committed());
+    }
+
+    #[test]
+    fn split_shards_chunks_cover_the_slots() {
+        let mut store = ConfigStore::new((0..10u32).collect::<Vec<_>>());
+        let chunks = store.split_shards(&[0, 3, 7, 10]);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], &[0, 1, 2]);
+        assert_eq!(chunks[2], &[7, 8, 9]);
+    }
+}

@@ -229,6 +229,42 @@ pub fn wheel(n: usize) -> Graph {
     b.build().expect("wheel is valid")
 }
 
+/// A hub graph: nodes `0..h` are hubs wired to **every** other node
+/// (including each other), nodes `h..n` are spokes — a power-law-ish
+/// degree profile (h nodes of degree `n − 1`, the rest of degree `h`)
+/// between the star (`h = 1`) and the clique (`h = n`).
+///
+/// The `seed` shuffles the spoke attachment order, and with it the hubs'
+/// port numbering, so campaigns over a seed range see different
+/// port-local traversal orders on the same degree profile. The
+/// *topology* is the same for every seed; only port numbers move.
+///
+/// This is the skewed-degree family the engine's star gate only proxies:
+/// several hubs keep the high-degree worst case while giving an edge-cut
+/// partitioner something meaningful to balance.
+///
+/// # Panics
+///
+/// Panics if `h == 0` or `n <= h`.
+pub fn hubs(n: usize, h: usize, seed: u64) -> Graph {
+    assert!(h > 0, "hub graph needs at least one hub");
+    assert!(n > h, "hub graph needs at least one spoke");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Hub–hub clique first: deterministic low ports between hubs.
+    for u in 0..h {
+        for v in (u + 1)..h {
+            b.edge(u, v);
+        }
+    }
+    // Hub–spoke edges in a seeded order (the shuffle permutes ports).
+    let mut spoke_edges: Vec<(usize, usize)> =
+        (0..h).flat_map(|u| (h..n).map(move |v| (u, v))).collect();
+    spoke_edges.shuffle(&mut rng);
+    b.edges(spoke_edges);
+    b.build().expect("hub graph is valid")
+}
+
 /// The complete bipartite graph `K_{a,b}`: nodes `0..a` on one side,
 /// `a..a+b` on the other.
 ///
@@ -493,6 +529,29 @@ mod tests {
         let g = complete(5);
         assert_eq!(g.edge_count(), 10);
         assert!(g.nodes().all(|u| g.degree(u) == 4));
+    }
+
+    #[test]
+    fn hubs_shape_and_seed_behavior() {
+        let g = hubs(20, 3, 1);
+        assert_eq!(g.node_count(), 20);
+        // Hub–hub clique + every hub wired to every spoke.
+        assert_eq!(g.edge_count(), 3 + 3 * 17);
+        for i in 0..3 {
+            assert_eq!(g.degree(NodeId::new(i)), 19, "hub {i}");
+        }
+        for i in 3..20 {
+            assert_eq!(g.degree(NodeId::new(i)), 3, "spoke {i}");
+        }
+        assert!(g.is_connected());
+        // Seeds permute ports, not the topology.
+        assert_eq!(hubs(20, 3, 4), hubs(20, 3, 4), "deterministic in seed");
+        let a = hubs(20, 3, 1);
+        let b = hubs(20, 3, 2);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_ne!(a, b, "port numbering differs across seeds");
+        // h = 1 degenerates to a star.
+        assert_eq!(hubs(9, 1, 0).degree(NodeId::new(0)), 8);
     }
 
     #[test]

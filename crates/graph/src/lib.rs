@@ -34,6 +34,7 @@ mod id;
 
 pub mod dot;
 pub mod generators;
+pub mod partition;
 pub mod props;
 pub mod rooted;
 pub mod spec;
@@ -41,5 +42,6 @@ pub mod traverse;
 
 pub use graph::{Graph, GraphBuilder, GraphError};
 pub use id::{NodeId, Port};
+pub use partition::{Partition, ShardView};
 pub use rooted::RootedTree;
 pub use spec::GeneratorSpec;

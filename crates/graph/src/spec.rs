@@ -49,6 +49,13 @@ pub enum GeneratorSpec {
         /// Leaves attached to each spine node.
         legs: u8,
     },
+    /// [`generators::hubs`] with this many hub nodes wired to all
+    /// others — the skewed-degree family between the star and the
+    /// clique (seeded port numbering).
+    Hubs {
+        /// Number of hub nodes (≥ 1, clamped below the node count).
+        hubs: u8,
+    },
     /// [`generators::random_tree`] (seeded).
     RandomTree,
     /// [`generators::random_connected`] with `extra_per_node × n` chords.
@@ -64,12 +71,14 @@ pub enum GeneratorSpec {
 }
 
 impl GeneratorSpec {
-    /// A broad default sweep covering tree, sparse, and dense shapes.
-    pub const PRESETS: [GeneratorSpec; 8] = [
+    /// A broad default sweep covering tree, sparse, dense, and
+    /// skewed-degree shapes.
+    pub const PRESETS: [GeneratorSpec; 9] = [
         GeneratorSpec::Path,
         GeneratorSpec::Ring,
         GeneratorSpec::Star,
         GeneratorSpec::BalancedTree { arity: 2 },
+        GeneratorSpec::Hubs { hubs: 2 },
         GeneratorSpec::RandomTree,
         GeneratorSpec::RandomSparse { extra_per_node: 2 },
         GeneratorSpec::RandomDense,
@@ -122,6 +131,10 @@ impl GeneratorSpec {
                 let spine = (n / (1 + legs as usize)).max(1);
                 generators::caterpillar(spine, legs as usize)
             }
+            GeneratorSpec::Hubs { hubs } => {
+                let h = (hubs.max(1) as usize).min(n.max(2) - 1);
+                generators::hubs(n.max(2), h, seed)
+            }
             GeneratorSpec::RandomTree => generators::random_tree(n, seed),
             GeneratorSpec::RandomSparse { extra_per_node } => {
                 generators::random_connected(n.max(2), extra_per_node as usize * n, seed)
@@ -161,6 +174,7 @@ impl fmt::Display for GeneratorSpec {
             GeneratorSpec::Wheel => f.write_str("wheel"),
             GeneratorSpec::BalancedTree { arity } => write!(f, "balanced-tree:{arity}"),
             GeneratorSpec::Caterpillar { legs } => write!(f, "caterpillar:{legs}"),
+            GeneratorSpec::Hubs { hubs } => write!(f, "hubs:{hubs}"),
             GeneratorSpec::RandomTree => f.write_str("random-tree"),
             GeneratorSpec::RandomSparse { extra_per_node } => {
                 write!(f, "random-sparse:{extra_per_node}")
@@ -208,6 +222,7 @@ impl FromStr for GeneratorSpec {
             "wheel" => GeneratorSpec::Wheel,
             "balanced-tree" => GeneratorSpec::BalancedTree { arity: param_u8()? },
             "caterpillar" => GeneratorSpec::Caterpillar { legs: param_u8()? },
+            "hubs" => GeneratorSpec::Hubs { hubs: param_u8()? },
             "random-tree" => GeneratorSpec::RandomTree,
             "random-sparse" => GeneratorSpec::RandomSparse {
                 extra_per_node: param_u8()?,
@@ -255,6 +270,7 @@ mod tests {
             GeneratorSpec::Wheel,
             GeneratorSpec::BalancedTree { arity: 3 },
             GeneratorSpec::Caterpillar { legs: 2 },
+            GeneratorSpec::Hubs { hubs: 3 },
             GeneratorSpec::RandomTree,
             GeneratorSpec::RandomSparse { extra_per_node: 4 },
             GeneratorSpec::RandomDense,

@@ -20,7 +20,7 @@ use std::str::FromStr;
 use sno_graph::GeneratorSpec;
 
 use crate::matrix::ScenarioMatrix;
-use crate::runner::run_campaign_with_threads;
+use crate::runner::{engine_mode_label, run_campaign_with_options, EngineOptions};
 use crate::spec::{DaemonSpec, FaultPlan, ProtocolSpec};
 
 /// A parsed invocation.
@@ -41,6 +41,9 @@ pub struct RunArgs {
     pub matrix: ScenarioMatrix,
     /// Worker threads (`None` = available parallelism).
     pub threads: Option<usize>,
+    /// Engine mode / shard overrides (`--mode`, `--shards`); `None`
+    /// fields fall back to the environment, then the engine default.
+    pub engine: EngineOptions,
     /// Write the `sno-lab/v1` JSON document here.
     pub json: Option<String>,
 }
@@ -65,7 +68,12 @@ RUN OPTIONS (comma-separated lists):
     --max-steps N         per-run step budget
     --name NAME           campaign name                    [default: cli]
     --threads N           worker threads                   [default: all cores]
+    --mode MODE           engine mode: full|node|port|sync [default: SNO_ENGINE_MODE, else port]
+    --shards N            shard count for --mode sync      [default: SNO_SYNC_SHARDS, else 1]
     --json PATH           also write the sno-lab/v1 JSON document to PATH
+
+Reports are byte-identical for every --mode/--shards/--threads choice;
+the flags only change what a step costs.
 ";
 
 fn parse_list<T: FromStr>(what: &str, s: &str) -> Result<Vec<T>, String>
@@ -99,6 +107,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
 
     let mut matrix = ScenarioMatrix::new("cli");
     let mut threads = None;
+    let mut engine = EngineOptions::default();
     let mut json = None;
     let mut saw = (false, false, false, false); // topologies, sizes, protocols, daemons
     while let Some(flag) = it.next() {
@@ -163,6 +172,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
                 threads = Some(t);
             }
+            "--mode" => {
+                let v = value()?;
+                engine.mode = Some(match v.as_str() {
+                    "full" | "full-sweep" => sno_engine::EngineMode::FullSweep,
+                    "node" | "node-dirty" => sno_engine::EngineMode::NodeDirty,
+                    "port" | "port-dirty" => sno_engine::EngineMode::PortDirty,
+                    "sync" | "sync-sharded" => sno_engine::EngineMode::SyncSharded,
+                    other => {
+                        return Err(format!(
+                            "unknown engine mode `{other}` (expected full, node, port, or sync)"
+                        ))
+                    }
+                });
+            }
+            "--shards" => {
+                let v = value()?;
+                let k: usize = v.parse().map_err(|_| format!("bad shard count `{v}`"))?;
+                if k == 0 {
+                    return Err("`--shards` must be at least 1".into());
+                }
+                engine.shards = Some(k);
+            }
             "--json" => json = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -177,10 +208,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     if !missing.is_empty() {
         return Err(format!("missing required {}", missing.join(", ")));
     }
+    // `--shards` needs the sharded executor, but the mode may also come
+    // from the SNO_ENGINE_MODE environment fallback — only an *explicit*
+    // conflicting `--mode` is rejected here; with no flag the runner
+    // resolves the mode at campaign start (and ignores the shard count
+    // unless it resolves to the sharded executor).
+    if engine.shards.is_some()
+        && engine.mode.is_some()
+        && engine.mode != Some(sno_engine::EngineMode::SyncSharded)
+    {
+        return Err("`--shards` requires `--mode sync`".into());
+    }
     matrix.validate()?;
     Ok(Command::Run(Box::new(RunArgs {
         matrix,
         threads,
+        engine,
         json,
     })))
 }
@@ -229,11 +272,16 @@ pub fn main_with_args(args: &[String]) -> i32 {
         Command::Run(run) => {
             let threads = run.threads.unwrap_or_else(crate::fleet::default_threads);
             // Cross-mode campaign diffs in CI compare these reports; the
-            // header names the active engine so each run is
-            // self-describing. (The JSON artifact deliberately omits it —
-            // byte-identity across modes is a CI invariant.)
-            println!("engine mode: {}", crate::runner::active_engine_mode_name());
-            let report = run_campaign_with_threads(&run.matrix, threads);
+            // header names the active engine and the thread count so each
+            // run is self-describing. (The JSON artifact deliberately
+            // omits both — byte-identity across modes, shard counts, and
+            // thread counts is a CI invariant.)
+            println!(
+                "engine mode: {} | threads: {}",
+                engine_mode_label(&run.engine),
+                threads
+            );
+            let report = run_campaign_with_options(&run.matrix, threads, &run.engine);
             print!("{}", report.to_markdown());
             if let Some(path) = run.json {
                 if let Err(e) = report.write_json(&path) {
@@ -332,6 +380,68 @@ mod tests {
     }
 
     #[test]
+    fn parses_engine_mode_and_shards() {
+        let cmd = parse_args(&args(
+            "run --topologies torus --sizes 16 --protocols dftno/oracle-token \
+             --daemons synchronous --mode sync --shards 8",
+        ))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(run.engine.mode, Some(sno_engine::EngineMode::SyncSharded));
+        assert_eq!(run.engine.shards, Some(8));
+
+        for (name, mode) in [
+            ("full", sno_engine::EngineMode::FullSweep),
+            ("node", sno_engine::EngineMode::NodeDirty),
+            ("port", sno_engine::EngineMode::PortDirty),
+            ("sync-sharded", sno_engine::EngineMode::SyncSharded),
+        ] {
+            let cmd = parse_args(&args(&format!(
+                "run --topologies ring --sizes 8 --protocols stno/oracle-tree \
+                 --daemons synchronous --mode {name}"
+            )))
+            .unwrap();
+            let Command::Run(run) = cmd else {
+                panic!("expected run");
+            };
+            assert_eq!(run.engine.mode, Some(mode), "{name}");
+        }
+
+        let e = parse_args(&args(
+            "run --topologies ring --sizes 8 --protocols stno/oracle-tree \
+             --daemons synchronous --mode warp",
+        ))
+        .unwrap_err();
+        assert!(e.contains("warp"), "{e}");
+        let e = parse_args(&args(
+            "run --topologies ring --sizes 8 --protocols stno/oracle-tree \
+             --daemons synchronous --mode port --shards 4",
+        ))
+        .unwrap_err();
+        assert!(e.contains("--mode sync"), "{e}");
+        // Without an explicit --mode the env fallback may still resolve
+        // to the sharded executor, so a bare --shards must parse.
+        let cmd = parse_args(&args(
+            "run --topologies ring --sizes 8 --protocols stno/oracle-tree \
+             --daemons synchronous --shards 4",
+        ))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(run.engine.shards, Some(4));
+        assert_eq!(run.engine.mode, None);
+        let e = parse_args(&args(
+            "run --topologies ring --sizes 8 --protocols stno/oracle-tree \
+             --daemons synchronous --mode sync --shards 0",
+        ))
+        .unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+    }
+
+    #[test]
     fn help_and_list_commands() {
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
         assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
@@ -352,7 +462,7 @@ mod tests {
         let Command::Run(run) = cmd else {
             panic!("expected run");
         };
-        let report = run_campaign_with_threads(&run.matrix, run.threads.unwrap());
+        let report = run_campaign_with_options(&run.matrix, run.threads.unwrap(), &run.engine);
         assert_eq!(report.total_runs, 2);
         assert_eq!(report.total_converged, 2);
     }

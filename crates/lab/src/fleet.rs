@@ -1,77 +1,26 @@
 //! The thread fleet: deterministic parallel map over scenario cells.
 //!
-//! This is a stand-in for `rayon::par_iter` built on `std::thread::scope`
-//! (this build environment cannot pull rayon from a registry). Work items
-//! are claimed from a shared atomic counter, so threads stay busy even
-//! when cell costs are skewed, and results are returned **in input
-//! order** — the parallel schedule can never leak into a report.
+//! The executor itself now lives in the shared `sno-fleet` crate — the
+//! engine's sharded synchronous executor (`EngineMode::SyncSharded`)
+//! drives its per-shard round phases over the same scoped-thread
+//! fleet the campaign runner fans cells out over. This module re-exports
+//! it under the lab's historical path; see `sno-fleet` for the claim
+//! protocol, ordering guarantee, and panic-identity capture
+//! (the runner labels items with their cell and seed range via
+//! [`parallel_map_labeled`], so a panicking run names itself).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Applies `f` to every item on up to `threads` worker threads and
-/// returns the results in input order.
-///
-/// `f` receives the item index alongside the item. With `threads <= 1`
-/// the map runs inline on the caller's thread.
-///
-/// # Panics
-///
-/// Propagates the first worker panic.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let workers = threads.clamp(1, items.len());
-    if workers == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(i, &items[i]);
-                results
-                    .lock()
-                    .expect("fleet poisoned by a panic")
-                    .push((i, r));
-            });
-        }
-    });
-
-    let mut indexed = results.into_inner().expect("fleet poisoned by a panic");
-    assert_eq!(indexed.len(), items.len(), "every item produced a result");
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
-}
-
-/// The number of worker threads to use by default: the machine's
-/// available parallelism.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+pub use sno_fleet::{default_threads, parallel_map, parallel_map_labeled, parallel_map_mut};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // The behavioral suite lives in `sno-fleet`; these smoke tests pin
+    // the re-exported surface the lab depends on.
     #[test]
-    fn preserves_input_order() {
-        let items: Vec<usize> = (0..257).collect();
-        let out = parallel_map(&items, 8, |i, &x| {
+    fn reexported_map_preserves_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map(&items, 4, |i, &x| {
             assert_eq!(i, x);
             x * 2
         });
@@ -79,36 +28,7 @@ mod tests {
     }
 
     #[test]
-    fn single_threaded_fallback_matches() {
-        let items: Vec<u64> = (0..40).collect();
-        let seq = parallel_map(&items, 1, |_, &x| x + 1);
-        let par = parallel_map(&items, 4, |_, &x| x + 1);
-        assert_eq!(seq, par);
-    }
-
-    #[test]
-    fn empty_input_is_fine() {
-        let out: Vec<u32> = parallel_map(&[] as &[u8], 4, |_, _| 1);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn skewed_work_is_shared() {
-        // One huge item first; the counter-based claim means other threads
-        // drain the rest concurrently. Just assert correctness here.
-        let items: Vec<u64> = (0..64).collect();
-        let out = parallel_map(&items, 4, |_, &x| {
-            if x == 0 {
-                (0..100_000u64).sum::<u64>() % 7 + x
-            } else {
-                x
-            }
-        });
-        assert_eq!(out[1..], items[1..]);
-    }
-
-    #[test]
-    fn default_threads_is_positive() {
+    fn reexported_default_threads_is_positive() {
         assert!(default_threads() >= 1);
     }
 }

@@ -79,6 +79,43 @@ enum Mode {
     Silence,
 }
 
+/// Engine configuration a campaign applies to every simulation it
+/// drives: the guard-invalidation mode and — for
+/// [`EngineMode::SyncSharded`](sno_engine::EngineMode) — the shard
+/// count.
+///
+/// `None` fields fall back to the environment
+/// (`SNO_ENGINE_MODE` / `SNO_SYNC_SHARDS`, plus the legacy
+/// `SNO_ENGINE_FULL_SWEEP=1`), which itself falls back to the engine
+/// default. The `sno-lab run --mode/--shards` flags populate this;
+/// reports are byte-identical under every choice — only the cost of a
+/// step changes, never its result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Explicit engine mode (overrides the environment).
+    pub mode: Option<sno_engine::EngineMode>,
+    /// Shard count for the sharded synchronous executor (engine worker
+    /// threads follow the shard count). Ignored unless the resolved
+    /// mode is `SyncSharded`.
+    pub shards: Option<usize>,
+}
+
+impl EngineOptions {
+    /// Resolves the effective mode: explicit option, then environment,
+    /// then `None` (engine default).
+    fn resolved_mode(&self) -> Option<sno_engine::EngineMode> {
+        self.mode.or_else(engine_mode_from_env)
+    }
+
+    /// Resolves the effective shard count likewise.
+    fn resolved_shards(&self) -> usize {
+        self.shards
+            .or_else(sync_shards_from_env)
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
 /// Runs a whole campaign on the default number of worker threads.
 ///
 /// Results are bit-for-bit deterministic in the matrix alone — thread
@@ -123,6 +160,20 @@ fn seed_chunk_size(seeds_per_cell: u64, cell_count: usize, threads: usize) -> u6
 ///
 /// Panics if the matrix fails [`ScenarioMatrix::validate`].
 pub fn run_campaign_with_threads(matrix: &ScenarioMatrix, threads: usize) -> CampaignReport {
+    run_campaign_with_options(matrix, threads, &EngineOptions::default())
+}
+
+/// [`run_campaign_with_threads`] with explicit [`EngineOptions`] — the
+/// `sno-lab run --mode/--shards` entry point.
+///
+/// # Panics
+///
+/// Panics if the matrix fails [`ScenarioMatrix::validate`].
+pub fn run_campaign_with_options(
+    matrix: &ScenarioMatrix,
+    threads: usize,
+    options: &EngineOptions,
+) -> CampaignReport {
     if let Err(e) = matrix.validate() {
         panic!("invalid scenario matrix: {e}");
     }
@@ -142,9 +193,28 @@ pub fn run_campaign_with_threads(matrix: &ScenarioMatrix, threads: usize) -> Cam
             lo = hi;
         }
     }
-    let partials = fleet::parallel_map(&items, threads, |_, it| {
-        run_cell_seeds(&cells[it.cell_index], matrix, it.seed_lo, it.seed_hi)
-    });
+    let partials = fleet::parallel_map_labeled(
+        &items,
+        threads,
+        |_, it| {
+            run_cell_seeds(
+                &cells[it.cell_index],
+                matrix,
+                it.seed_lo,
+                it.seed_hi,
+                options,
+            )
+        },
+        // Evaluated only when a worker panics: name the scenario cell
+        // and seed sub-range so the failing run is attributable without
+        // a single-threaded re-run.
+        |_, it| {
+            format!(
+                "{} seeds {}..{}",
+                cells[it.cell_index], it.seed_lo, it.seed_hi
+            )
+        },
+    );
     // Stitch chunk outcomes back into whole cells. Items were generated
     // cell-major with ascending seed ranges and `parallel_map` preserves
     // input order, so plain concatenation restores seed order.
@@ -170,6 +240,7 @@ pub fn run_cell(cell: &CellSpec, matrix: &ScenarioMatrix) -> CellOutcome {
         matrix,
         matrix.seed_start,
         matrix.seed_start + matrix.seeds_per_cell,
+        &EngineOptions::default(),
     )
 }
 
@@ -179,6 +250,7 @@ fn run_cell_seeds(
     matrix: &ScenarioMatrix,
     seed_lo: u64,
     seed_hi: u64,
+    options: &EngineOptions,
 ) -> CellOutcome {
     let g = cell.topology.build(cell.n, matrix.graph_seed);
     let root = NodeId::new(0);
@@ -200,6 +272,7 @@ fn run_cell_seeds(
                     matrix,
                     seed_lo,
                     seed_hi,
+                    options,
                 ),
                 TokenSubstrate::Dftc => drive(
                     &net,
@@ -210,6 +283,7 @@ fn run_cell_seeds(
                     matrix,
                     seed_lo,
                     seed_hi,
+                    options,
                 ),
             }
         }
@@ -229,6 +303,7 @@ fn run_cell_seeds(
                     matrix,
                     seed_lo,
                     seed_hi,
+                    options,
                 ),
                 TreeSubstrate::Bfs => drive(
                     &net,
@@ -239,6 +314,7 @@ fn run_cell_seeds(
                     matrix,
                     seed_lo,
                     seed_hi,
+                    options,
                 ),
                 TreeSubstrate::CdDfs => drive(
                     &net,
@@ -249,6 +325,7 @@ fn run_cell_seeds(
                     matrix,
                     seed_lo,
                     seed_hi,
+                    options,
                 ),
             }
         }
@@ -279,6 +356,7 @@ fn drive<P, L>(
     matrix: &ScenarioMatrix,
     seed_lo: u64,
     seed_hi: u64,
+    options: &EngineOptions,
 ) -> CellOutcome
 where
     P: Protocol,
@@ -288,13 +366,19 @@ where
     // and an unchunked fleet construct identical daemons.
     let mut daemon = cell.daemon.build(net, matrix.seed_start ^ DAEMON_SALT);
     let mut sim = Simulation::from_initial(net, protocol);
-    // Differential hooks: `SNO_ENGINE_MODE={full-sweep,node-dirty,
-    // port-dirty}` pins the engine mode for the whole campaign (the
-    // legacy `SNO_ENGINE_FULL_SWEEP=1` still forces the reference
-    // engine). Reports must come out byte-identical under every mode —
-    // CI regenerates `BENCH_campaign.json` under all three.
-    if let Some(mode) = engine_mode_from_env() {
+    // Differential hooks: `--mode` (via `EngineOptions`) or
+    // `SNO_ENGINE_MODE={full-sweep,node-dirty,port-dirty,sync-sharded}`
+    // pins the engine mode for the whole campaign (the legacy
+    // `SNO_ENGINE_FULL_SWEEP=1` still forces the reference engine).
+    // Reports must come out byte-identical under every mode, shard
+    // count, and thread count — CI regenerates `BENCH_campaign.json`
+    // under all of them.
+    if let Some(mode) = options.resolved_mode() {
         sim.set_mode(mode);
+        if mode == sno_engine::EngineMode::SyncSharded {
+            let shards = options.resolved_shards();
+            sim.configure_sync_sharding(shards, shards);
+        }
     }
     let mut runs = Vec::with_capacity((seed_hi - seed_lo) as usize);
     for seed in seed_lo..seed_hi {
@@ -340,18 +424,31 @@ where
     }
 }
 
-/// The engine-mode name campaigns started now will run under, resolved
-/// from the environment exactly as the runner does — printed in the
-/// `sno-lab run` report header so cross-mode campaign diffs in CI are
+/// The engine-mode label campaigns started with these options will run
+/// under — printed in the `sno-lab run` report header (next to the
+/// thread count) so cross-mode campaign diffs in CI are
 /// self-describing.
-pub fn active_engine_mode_name() -> &'static str {
+pub fn engine_mode_label(options: &EngineOptions) -> String {
     use sno_engine::EngineMode;
-    match engine_mode_from_env() {
-        Some(EngineMode::FullSweep) => "full-sweep",
-        Some(EngineMode::NodeDirty) => "node-dirty",
-        Some(EngineMode::PortDirty) => "port-dirty",
-        None => "port-dirty (default)",
+    let name = |m| match m {
+        EngineMode::FullSweep => "full-sweep",
+        EngineMode::NodeDirty => "node-dirty",
+        EngineMode::PortDirty => "port-dirty",
+        EngineMode::SyncSharded => "sync-sharded",
+    };
+    match options.resolved_mode() {
+        Some(EngineMode::SyncSharded) => {
+            format!("sync-sharded (shards {})", options.resolved_shards())
+        }
+        Some(m) => name(m).to_string(),
+        None => "port-dirty (default)".to_string(),
     }
+}
+
+/// Back-compat alias of [`engine_mode_label`] for environment-only
+/// resolution.
+pub fn active_engine_mode_name() -> String {
+    engine_mode_label(&EngineOptions::default())
 }
 
 /// The engine mode requested via the environment, if any: the
@@ -368,10 +465,23 @@ fn engine_mode_from_env() -> Option<sno_engine::EngineMode> {
         "full-sweep" => Some(EngineMode::FullSweep),
         "node-dirty" => Some(EngineMode::NodeDirty),
         "port-dirty" => Some(EngineMode::PortDirty),
+        "sync-sharded" | "sync" => Some(EngineMode::SyncSharded),
         other => panic!(
-            "unknown SNO_ENGINE_MODE {other:?} (expected full-sweep, node-dirty, or port-dirty)"
+            "unknown SNO_ENGINE_MODE {other:?} (expected full-sweep, node-dirty, port-dirty, \
+             or sync-sharded)"
         ),
     }
+}
+
+/// The shard count requested via `SNO_SYNC_SHARDS`, if any (the
+/// `--shards` flag overrides it). Only consulted when the resolved mode
+/// is the sharded executor.
+fn sync_shards_from_env() -> Option<usize> {
+    let v = std::env::var("SNO_SYNC_SHARDS").ok()?;
+    Some(
+        v.parse()
+            .unwrap_or_else(|_| panic!("SNO_SYNC_SHARDS must be a positive integer, got {v:?}")),
+    )
 }
 
 /// One convergence phase under the cell's detection mode.

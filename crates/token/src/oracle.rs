@@ -178,6 +178,17 @@ impl Protocol for OracleToken {
         }
     }
 
+    fn apply_profile(
+        &self,
+        _view: &impl NodeView<u64>,
+        _action: &Execute,
+    ) -> sno_engine::ApplyProfile {
+        // `advance` is a function of the own clock alone — no neighbor
+        // read, so oracle moves never force a copy-on-write
+        // preservation and are eligible for shard-parallel application.
+        sno_engine::ApplyProfile::local(1)
+    }
+
     fn apply_in_place(&self, txn: &mut impl StateTxn<u64>, _action: &Execute) {
         let old = *txn.state();
         *txn.state_mut() = self.advance(txn.ctx().id, old);

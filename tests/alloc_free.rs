@@ -110,6 +110,52 @@ fn dftno_port_dirty_hub_steps_are_clone_and_allocation_free() {
 }
 
 #[test]
+fn dftno_sync_round_multi_writer_steps_are_clone_and_allocation_free() {
+    let _serial = serialized();
+    // The delta-staging acceptance pin: synchronous-daemon DFTNO steps
+    // select *every* enabled processor — the multi-writer path that
+    // used to `clone_from` each writer's whole `O(Δ)` state into a
+    // pooled staging slot (one heap-backed π copy per writer per step).
+    // The copy-on-write ConfigStore must commit those rounds with zero
+    // heap activity once warm: repairs are read-free or η-only readers,
+    // so preservations are rare and pooled, and in-place writes clone
+    // nothing. Warm-up replays the exact seeds the measured window
+    // re-runs, so every pool (stash, records, profiles, enabled list)
+    // is at its high-water mark before counting starts.
+    for mode in [EngineMode::PortDirty, EngineMode::SyncSharded] {
+        let net = Network::new(generators::torus(6, 6), NodeId::new(0));
+        let oracle = OracleToken::new(net.graph(), net.root());
+        let mut sim = Simulation::from_initial(&net, Dftno::new(oracle));
+        sim.set_mode(mode);
+        let mut daemon = sno::engine::daemon::Synchronous::new();
+        let seeds = 0..4u64;
+        for seed in seeds.clone() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            sim.reinit_random(&mut rng);
+            sim.run_until(&mut daemon, 300, |_| false);
+        }
+        let mut activity = 0;
+        let mut moves = 0;
+        for seed in seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Re-initialization itself builds fresh random states (it
+            // allocates by design) — the measured window is the steps.
+            sim.reinit_random(&mut rng);
+            let before = testalloc::heap_activity();
+            let run = sim.run_until(&mut daemon, 300, |_| false);
+            activity += testalloc::heap_activity() - before;
+            moves += run.moves;
+        }
+        assert!(moves > 1_200, "dense multi-writer rounds actually ran");
+        assert_eq!(
+            activity, 0,
+            "{mode:?}: synchronous DFTNO rounds must stage without clones \
+             ({activity} heap operations observed)"
+        );
+    }
+}
+
+#[test]
 fn dftno_node_dirty_steps_stay_o1() {
     let _serial = serialized();
     // The node-dirty engine re-evaluates the hub's whole neighborhood

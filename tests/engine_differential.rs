@@ -11,9 +11,13 @@
 //! every protocol stack, daemon, and topology family.
 //!
 //! Coverage: 4 protocols (`DFTNO`, `STNO`, the raw token circulation, the
-//! raw BFS tree) × 4 daemons × 4 topology families, stepped in three-way
-//! lockstep, plus a proptest over random networks and seeds asserting
-//! equal `RunResult`s and final configurations.
+//! raw BFS tree) × 4 daemons × 4 topology families, stepped in four-way
+//! lockstep — the sharded synchronous executor (`SyncSharded`, with its
+//! parallel-threshold pinned to 0 so even these small graphs exercise
+//! the shard-parallel resolve/write/re-eval phases) against the
+//! node-dirty, port-dirty, and full-sweep engines — plus a proptest over
+//! random networks and seeds asserting equal `RunResult`s and final
+//! configurations.
 //!
 //! The cheap PR gate runs one seed per cell; the nightly extended job
 //! widens the sweep via `SNO_DIFF_SEEDS=lo:hi` (each extra seed re-runs
@@ -53,10 +57,11 @@ fn serialized() -> std::sync::MutexGuard<'static, ()> {
     SERIAL.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Steps the node-dirty and port-dirty engines and the full-sweep
-/// reference in three-way lockstep from identical random configurations
-/// and asserts a bit-identical trace: enabled set (order included),
-/// outcome, configuration, and counters after every step.
+/// Steps the node-dirty, port-dirty, and sharded-synchronous engines
+/// and the full-sweep reference in four-way lockstep from identical
+/// random configurations and asserts a bit-identical trace: enabled set
+/// (order included), outcome, configuration, and counters after every
+/// step.
 fn assert_identical_traces<P>(
     label: &str,
     net: &Network,
@@ -71,6 +76,7 @@ fn assert_identical_traces<P>(
         EngineMode::FullSweep,
         EngineMode::NodeDirty,
         EngineMode::PortDirty,
+        EngineMode::SyncSharded,
     ];
     let mut sims: Vec<Simulation<'_, P>> = modes
         .iter()
@@ -78,13 +84,21 @@ fn assert_identical_traces<P>(
             let mut rng = StdRng::seed_from_u64(seed);
             let mut s = Simulation::from_random(net, protocol.clone(), &mut rng);
             s.set_mode(m);
+            if m == EngineMode::SyncSharded {
+                // Force the shard-parallel phases even at these sizes.
+                s.configure_sync_sharding(3, 2);
+                s.set_sync_parallel_threshold(0);
+            }
             s
         })
         .collect();
-    assert_eq!(sims[0].config(), sims[1].config(), "{label}: same start");
-    assert_eq!(sims[0].config(), sims[2].config(), "{label}: same start");
+    for s in &sims[1..] {
+        assert_eq!(sims[0].config(), s.config(), "{label}: same start");
+    }
 
-    let mut daemons: Vec<Box<dyn Daemon>> = (0..3).map(|_| daemon_spec.build(net, seed)).collect();
+    let mut daemons: Vec<Box<dyn Daemon>> = (0..sims.len())
+        .map(|_| daemon_spec.build(net, seed))
+        .collect();
     for step in 0..max_steps {
         let reference = sims[0].enabled_nodes();
         for (s, m) in sims.iter().zip(modes) {
@@ -99,24 +113,27 @@ fn assert_identical_traces<P>(
             .zip(daemons.iter_mut())
             .map(|(s, d)| s.step(d))
             .collect();
-        assert_eq!(outcomes[0], outcomes[1], "{label}: outcome at step {step}");
-        assert_eq!(outcomes[0], outcomes[2], "{label}: outcome at step {step}");
-        assert_eq!(
-            sims[0].config(),
-            sims[1].config(),
-            "{label}: config at step {step}"
-        );
-        assert_eq!(
-            sims[0].config(),
-            sims[2].config(),
-            "{label}: config at step {step}"
-        );
+        for (o, m) in outcomes.iter().zip(modes).skip(1) {
+            assert_eq!(
+                &outcomes[0], o,
+                "{label}: outcome under {m:?} at step {step}"
+            );
+        }
         let counters: Vec<_> = sims
             .iter()
             .map(|s| (s.steps(), s.moves(), s.rounds()))
             .collect();
-        assert_eq!(counters[0], counters[1], "{label}: counters at step {step}");
-        assert_eq!(counters[0], counters[2], "{label}: counters at step {step}");
+        for (i, m) in modes.iter().enumerate().skip(1) {
+            assert_eq!(
+                sims[0].config(),
+                sims[i].config(),
+                "{label}: config under {m:?} at step {step}"
+            );
+            assert_eq!(
+                counters[0], counters[i],
+                "{label}: counters under {m:?} at step {step}"
+            );
+        }
         if outcomes[0].is_silent() {
             break;
         }
@@ -192,6 +209,7 @@ fn three_way_lockstep_diffs_clone_counters() {
         EngineMode::FullSweep,
         EngineMode::NodeDirty,
         EngineMode::PortDirty,
+        EngineMode::SyncSharded,
     ];
     let mut results = Vec::new();
     let mut activity = Vec::new();
@@ -208,9 +226,10 @@ fn three_way_lockstep_diffs_clone_counters() {
     }
     assert_eq!(results[0], results[1], "full-sweep vs node-dirty");
     assert_eq!(results[0], results[2], "full-sweep vs port-dirty");
+    assert_eq!(results[0], results[3], "full-sweep vs sync-sharded");
     assert_eq!(
         activity,
-        vec![0, 0, 0],
+        vec![0, 0, 0, 0],
         "warmed-up steps must clone no state in any mode (allocations per 3000 steps)"
     );
 }

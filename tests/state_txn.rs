@@ -163,16 +163,57 @@ where
         EngineMode::FullSweep,
         EngineMode::NodeDirty,
         EngineMode::PortDirty,
+        EngineMode::SyncSharded,
     ] {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sim = Simulation::from_random(net, protocol.clone(), &mut rng);
         sim.set_mode(mode);
+        if mode == EngineMode::SyncSharded {
+            // Force the shard-parallel phases even on small graphs so
+            // the replay covers them, not just the serial fallback.
+            sim.configure_sync_sharding(3, 2);
+            sim.set_sync_parallel_threshold(0);
+        }
         let mut shadow = sim.config().to_vec();
         let mut d = daemon.build(net, seed);
         for _ in 0..200 {
             if !lockstep_against_clone_shim(net, &protocol, &mut sim, &mut d, &mut shadow) {
                 break;
             }
+        }
+    }
+}
+
+/// The delta-staging acceptance matrix: multi-writer synchronous steps
+/// replayed through the copy-on-write commit against the clone-based
+/// shim, for every daemon family × four topology families, under both
+/// the serial and the forced-parallel sharded executor. `DFTNO` (precise
+/// [`ApplyProfile`]s over the oracle walker) and `STNO` over the live
+/// BFS tree (mixed precise/conservative profiles) cover both ends of
+/// the declaration spectrum.
+#[test]
+fn multi_writer_sync_steps_match_clone_shim_across_daemons_and_topologies() {
+    let daemons = [
+        DaemonSpec::Synchronous,
+        DaemonSpec::Distributed,
+        DaemonSpec::LocallyCentral,
+        DaemonSpec::CentralRandom,
+        DaemonSpec::CentralRoundRobin,
+    ];
+    let topologies: [(&str, sno::graph::Graph); 4] = [
+        ("path", generators::path(12)),
+        ("star", generators::star(12)),
+        ("random-tree", generators::random_tree(12, 31)),
+        ("torus", generators::torus(4, 3)),
+    ];
+    for (name, g) in topologies {
+        let net = Network::new(g.clone(), NodeId::new(0));
+        for (i, d) in daemons.into_iter().enumerate() {
+            let seed = 400 + i as u64;
+            let dftno = Dftno::new(OracleToken::new(&g, NodeId::new(0)));
+            assert_clone_shim_equivalence(&net, dftno, d, seed);
+            assert_clone_shim_equivalence(&net, Stno::new(BfsSpanningTree), d, seed);
+            let _ = name;
         }
     }
 }
@@ -253,5 +294,110 @@ fn enabled_views_and_txn_views_agree() {
             assert_eq!(txn.neighbor(Port::new(l)), want);
         }
         txn.commit();
+    }
+}
+
+// --- The zero-clone pin ---
+//
+// Delta staging's headline claim: a statement that declares
+// `ReadScope::None` can never force a copy-on-write preservation, so a
+// protocol made of such statements commits arbitrarily dense
+// multi-writer synchronous rounds with **zero** whole-state clones —
+// not just zero allocations. The state type below counts every
+// `clone`/`clone_from` it suffers, which pins the claim exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sno::engine::ApplyProfile;
+
+static STATE_COPIES: AtomicU64 = AtomicU64::new(0);
+
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct CountedState(u32);
+
+impl Clone for CountedState {
+    fn clone(&self) -> Self {
+        STATE_COPIES.fetch_add(1, Ordering::Relaxed);
+        CountedState(self.0)
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        STATE_COPIES.fetch_add(1, Ordering::Relaxed);
+        self.0 = source.0;
+    }
+}
+
+/// Every processor counts its own variable down, reading no neighbor —
+/// the pure `ReadScope::None` regime (DFTNO's repair rounds are the
+/// realistic approximation of it).
+#[derive(Debug, Clone, Copy)]
+struct LocalCountdown;
+
+impl Protocol for LocalCountdown {
+    type State = CountedState;
+    type Action = ();
+
+    fn enabled(&self, view: &impl sno::engine::NodeView<CountedState>, out: &mut Vec<()>) {
+        if view.state().0 > 0 {
+            out.push(());
+        }
+    }
+
+    fn apply_profile(
+        &self,
+        _view: &impl sno::engine::NodeView<CountedState>,
+        _action: &(),
+    ) -> ApplyProfile {
+        ApplyProfile::local(1)
+    }
+
+    fn apply_in_place(&self, txn: &mut impl sno::engine::StateTxn<CountedState>, _action: &()) {
+        txn.state_mut().0 -= 1;
+        txn.touch_all_ports();
+        txn.commit();
+    }
+
+    fn initial_state(&self, _ctx: &sno::engine::NodeCtx) -> CountedState {
+        CountedState(0)
+    }
+
+    fn random_state(
+        &self,
+        _ctx: &sno::engine::NodeCtx,
+        rng: &mut dyn rand::RngCore,
+    ) -> CountedState {
+        CountedState(rng.next_u32() % 8 + 1)
+    }
+}
+
+#[test]
+fn read_free_multi_writer_sync_rounds_perform_zero_state_clones() {
+    let g = generators::torus(5, 5);
+    let net = Network::new(g, NodeId::new(0));
+    for (mode, shards, threads) in [
+        (EngineMode::NodeDirty, 1, 1),
+        (EngineMode::PortDirty, 1, 1),
+        (EngineMode::SyncSharded, 1, 1),
+        (EngineMode::SyncSharded, 4, 2),
+    ] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut sim = Simulation::from_random(&net, LocalCountdown, &mut rng);
+        sim.set_mode(mode);
+        if mode == EngineMode::SyncSharded {
+            sim.configure_sync_sharding(shards, threads);
+            sim.set_sync_parallel_threshold(0);
+        }
+        // Every node starts enabled: the first synchronous steps are
+        // maximal 25-writer rounds.
+        let copies_before = STATE_COPIES.load(Ordering::Relaxed);
+        let run = sim.run_until_silent(&mut sno::engine::daemon::Synchronous::new(), 1_000);
+        assert!(run.converged);
+        assert!(run.moves >= 25, "dense rounds actually happened");
+        assert_eq!(
+            STATE_COPIES.load(Ordering::Relaxed) - copies_before,
+            0,
+            "{mode:?} shards={shards}: read-free writers must never clone state"
+        );
+        assert_eq!(sim.stage_clone_count(), 0, "{mode:?}: no preservations");
     }
 }
