@@ -16,12 +16,15 @@
 //! *measured* at zero state clones), or — with `--baseline` — the
 //! port-dirty speedup ratio more than 30% below the committed document
 //! (ratios, not absolute steps/sec, so the gate is portable across
-//! differently-powered runners).
+//! differently-powered runners) **or any per-step work counter above
+//! the committed one** (the counter ratchet is exact: the telemetry
+//! counters are deterministic, so there is no noise to tolerate).
 
 use sno_bench::engine_bench::{
-    check_baseline, check_sync_baseline, engine_bench, engine_bench_json_with, engine_bench_table,
-    gate_violations, star_apply_row, star_apply_violations, sync_gate_violations, sync_round_bench,
-    sync_round_table, BaselineOutcome, FULL_SIZES, QUICK_SIZES,
+    check_baseline, check_counter_baseline, check_sync_baseline, engine_bench,
+    engine_bench_json_with, engine_bench_table, gate_violations, star_apply_row,
+    star_apply_violations, sync_gate_violations, sync_round_bench, sync_round_table,
+    BaselineOutcome, FULL_SIZES, QUICK_SIZES,
 };
 
 /// The `star-apply` clone-count gate only means something if every heap
@@ -104,6 +107,11 @@ fn main() {
             BaselineOutcome::Regressed(v) => violations.push(v),
         }
         match check_sync_baseline(&sync_rows, &committed) {
+            BaselineOutcome::Passed => {}
+            BaselineOutcome::Incomparable(note) => println!("note: {note}"),
+            BaselineOutcome::Regressed(v) => violations.push(v),
+        }
+        match check_counter_baseline(&rows, &committed) {
             BaselineOutcome::Passed => {}
             BaselineOutcome::Incomparable(note) => println!("note: {note}"),
             BaselineOutcome::Regressed(v) => violations.push(v),

@@ -11,7 +11,8 @@
 //! its `n − 1` dirtied leaves); the port-dirty engine pays only for the
 //! dirty *ports*, making hub steps `o(n)`. Measured on path / star /
 //! random-tree / torus across sizes, emitted as `BENCH_engine.json`
-//! (`sno-engine-bench/v4`), and gated in CI:
+//! (`sno-engine-bench/v5` — v5 adds per-mode deterministic work
+//! counters from the telemetry `Meter`), and gated in CI:
 //!
 //! * node-dirty must never lose to the sweep on the `n = 512` star and
 //!   must beat it ≥ 5× on the large path (the PR-2 gates);
@@ -22,6 +23,12 @@
 //!   baseline is supplied, its speedup ratio must stay within 30% of
 //!   the committed one (ratios are hardware-portable; absolute
 //!   steps/sec are not);
+//! * the per-mode work counters on the `n = 512` star are ratcheted
+//!   **exactly** against the committed baseline ([`check_counter_baseline`]):
+//!   counters are deterministic, so unlike wall-clock ratios there is
+//!   no noise to tolerate — any increase in guard re-evaluations, port
+//!   evaluations, or cache invalidations per step is a real algorithmic
+//!   regression and fails CI outright;
 //! * the `star-apply` row additionally counts heap operations per mode
 //!   through the `testalloc` shim and gates port-dirty hub steps at
 //!   **zero** state clones ([`star_apply_violations`]);
@@ -43,7 +50,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sno_core::dftno::Dftno;
 use sno_engine::daemon::{CentralRoundRobin, Synchronous};
-use sno_engine::{EngineMode, Network, Simulation};
+use sno_engine::{Counter, CounterMeter, EngineMode, Network, Simulation};
 use sno_graph::{GeneratorSpec, NodeId};
 use sno_token::OracleToken;
 
@@ -77,6 +84,19 @@ pub struct EngineBenchRow {
     pub node_dirty_ns: u128,
     /// Wall time of the port-dirty engine over the identical trace.
     pub port_dirty_ns: u128,
+    /// Whole-node guard evaluations of the full-sweep run over the
+    /// timed window (from the deterministic telemetry counters; setup
+    /// work excluded — these describe steady-state per-step cost).
+    pub full_guard_evals: u64,
+    /// Whole-node guard evaluations of the node-dirty run.
+    pub node_guard_evals: u64,
+    /// Whole-node guard evaluations of the port-dirty run — zero in
+    /// steady state: its step loop re-evaluates *ports*, not nodes.
+    pub port_guard_evals: u64,
+    /// Per-port guard evaluations of the port-dirty run.
+    pub port_port_evals: u64,
+    /// Port-cache invalidations of the port-dirty run.
+    pub port_invalidations: u64,
 }
 
 impl EngineBenchRow {
@@ -103,6 +123,12 @@ impl EngineBenchRow {
     /// `port-dirty / full-sweep` throughput ratio.
     pub fn port_speedup(&self) -> f64 {
         self.full_sweep_ns as f64 / self.port_dirty_ns.max(1) as f64
+    }
+
+    /// A counter scaled to per-step cost (the ratchet gate compares
+    /// per-step values so baselines survive a change of `steps`).
+    pub fn per_step(&self, counter: u64) -> f64 {
+        counter as f64 / self.steps.max(1) as f64
     }
 }
 
@@ -160,6 +186,41 @@ fn bench_cell(spec: GeneratorSpec, name: &'static str, n: usize, steps: u64) -> 
         "{name} n={n}: identical configs"
     );
 
+    // Untimed metered replay per mode: the deterministic work counters
+    // behind the same window the wall clocks measured. The meter is
+    // zeroed after construction so one-time setup (cache builds, mode
+    // switch) does not pollute the steady-state per-step figures —
+    // same convention as the lab's campaign meters.
+    let metered = |mode: EngineMode| -> CounterMeter {
+        let mut m_sim = Simulation::with_meter(
+            &net,
+            sim.protocol().clone(),
+            sim.config().to_vec(),
+            CounterMeter::new(),
+        );
+        m_sim.set_mode(mode);
+        *m_sim.meter_mut() = CounterMeter::new();
+        let mut m_daemon = daemon.clone();
+        let r = m_sim.run_until(&mut m_daemon, steps, |_| false);
+        // `rounds` is omitted: a freshly-constructed simulation starts a
+        // new round tracker while the timed clones inherited the settle
+        // run's mid-round state, so only the trajectory is compared.
+        assert_eq!(
+            (r.steps, r.moves),
+            (r_full.steps, r_full.moves),
+            "{name} n={n}: the metered replay must retrace the timed run"
+        );
+        assert_eq!(
+            m_sim.config(),
+            full.config(),
+            "{name} n={n}: identical configs"
+        );
+        m_sim.meter().clone()
+    };
+    let m_full = metered(EngineMode::FullSweep);
+    let m_node = metered(EngineMode::NodeDirty);
+    let m_port = metered(EngineMode::PortDirty);
+
     EngineBenchRow {
         topology: name,
         n,
@@ -167,6 +228,11 @@ fn bench_cell(spec: GeneratorSpec, name: &'static str, n: usize, steps: u64) -> 
         full_sweep_ns,
         node_dirty_ns,
         port_dirty_ns,
+        full_guard_evals: m_full.get(Counter::GuardEvals),
+        node_guard_evals: m_node.get(Counter::GuardEvals),
+        port_guard_evals: m_port.get(Counter::GuardEvals),
+        port_port_evals: m_port.get(Counter::PortEvals),
+        port_invalidations: m_port.get(Counter::PortInvalidations),
     }
 }
 
@@ -598,7 +664,8 @@ pub const QUICK_SIZES: [usize; 2] = [64, 512];
 pub fn engine_bench_table(rows: &[EngineBenchRow]) -> Table {
     let mut t = Table::new(
         "Engine throughput: node-dirty and port-dirty engines vs full-sweep reference \
-         (DFTNO/oracle steady state, central round robin)",
+         (DFTNO/oracle steady state, central round robin; ge = whole-node guard evals, \
+         pe = per-port evals — deterministic counters over the timed window)",
         &[
             "topology",
             "n",
@@ -608,6 +675,10 @@ pub fn engine_bench_table(rows: &[EngineBenchRow]) -> Table {
             "port-dirty steps/s",
             "node x",
             "port x",
+            "full ge/step",
+            "node ge/step",
+            "port pe/step",
+            "port inval/step",
         ],
     );
     for r in rows {
@@ -619,22 +690,27 @@ pub fn engine_bench_table(rows: &[EngineBenchRow]) -> Table {
             format!("{:.0}", r.node_steps_per_sec()),
             format!("{:.0}", r.port_steps_per_sec()),
             format!("{:.1}x", r.node_speedup()),
-            format!("{:.1}x", r.port_speedup())
+            format!("{:.1}x", r.port_speedup()),
+            format!("{:.1}", r.per_step(r.full_guard_evals)),
+            format!("{:.1}", r.per_step(r.node_guard_evals)),
+            format!("{:.2}", r.per_step(r.port_port_evals)),
+            format!("{:.2}", r.per_step(r.port_invalidations))
         ));
     }
     t
 }
 
-/// Renders the `sno-engine-bench/v4` JSON document (v3 added the
+/// Renders the `sno-engine-bench/v5` JSON document (v3 added the
 /// optional `star_apply` clone-count section, v4 the `sync_rounds`
-/// shard-scaling section; the `rows` layout is unchanged from v2, so
-/// the baseline ratio gates read all of them).
+/// shard-scaling section, v5 the per-mode deterministic work counters
+/// appended to each row; the leading `rows` fields are unchanged from
+/// v2, so the baseline ratio gates read all of them).
 pub fn engine_bench_json_with(
     rows: &[EngineBenchRow],
     star_apply: Option<&StarApplyRow>,
     sync_rows: &[SyncRoundRow],
 ) -> String {
-    let mut out = String::from("{\"schema\":\"sno-engine-bench/v4\",\"workload\":");
+    let mut out = String::from("{\"schema\":\"sno-engine-bench/v5\",\"workload\":");
     out.push_str("\"dftno/oracle-token steady state, central-round-robin\",\"rows\":[");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -645,7 +721,9 @@ pub fn engine_bench_json_with(
             "{{\"topology\":\"{}\",\"n\":{},\"steps\":{},\"full_sweep_ns\":{},\
              \"node_dirty_ns\":{},\"port_dirty_ns\":{},\"full_steps_per_sec\":{:.0},\
              \"node_steps_per_sec\":{:.0},\"port_steps_per_sec\":{:.0},\
-             \"node_speedup\":{:.2},\"port_speedup\":{:.2}}}",
+             \"node_speedup\":{:.2},\"port_speedup\":{:.2},\
+             \"full_guard_evals\":{},\"node_guard_evals\":{},\"port_guard_evals\":{},\
+             \"port_port_evals\":{},\"port_invalidations\":{}}}",
             r.topology,
             r.n,
             r.steps,
@@ -656,7 +734,12 @@ pub fn engine_bench_json_with(
             r.node_steps_per_sec(),
             r.port_steps_per_sec(),
             r.node_speedup(),
-            r.port_speedup()
+            r.port_speedup(),
+            r.full_guard_evals,
+            r.node_guard_evals,
+            r.port_guard_evals,
+            r.port_port_evals,
+            r.port_invalidations
         );
     }
     out.push(']');
@@ -845,6 +928,64 @@ pub fn check_baseline(rows: &[EngineBenchRow], baseline_json: &str) -> BaselineO
     }
 }
 
+/// The **exact** counter ratchet against a committed `BENCH_engine.json`:
+/// on the gated `n = 512` star, no per-step work counter may exceed the
+/// committed value. Period — no 30% slop.
+///
+/// The wall-clock gates above need tolerance because time is noisy; the
+/// telemetry counters are deterministic functions of the workload, so an
+/// increase is by construction an algorithmic change, not runner jitter.
+/// Per-*step* values are compared (not totals) so the gate survives a
+/// change of the step budget; improvements (decreases) re-arm the
+/// ratchet the next time the baseline document is regenerated.
+pub fn check_counter_baseline(rows: &[EngineBenchRow], baseline_json: &str) -> BaselineOutcome {
+    let Some(star) = gated_row(rows, "star") else {
+        return BaselineOutcome::Regressed(
+            "counter ratchet requires a star row with n >= 512".into(),
+        );
+    };
+    let Some(committed_steps) =
+        baseline_field(baseline_json, "star", star.n, "steps").filter(|s| *s > 0.0)
+    else {
+        return BaselineOutcome::Incomparable(format!(
+            "baseline document has no star n={} row; counter ratchet skipped",
+            star.n
+        ));
+    };
+    let fields: [(&str, u64); 5] = [
+        ("full_guard_evals", star.full_guard_evals),
+        ("node_guard_evals", star.node_guard_evals),
+        ("port_guard_evals", star.port_guard_evals),
+        ("port_port_evals", star.port_port_evals),
+        ("port_invalidations", star.port_invalidations),
+    ];
+    let mut compared = 0;
+    for (key, measured) in fields {
+        let Some(committed) = baseline_field(baseline_json, "star", star.n, key) else {
+            continue;
+        };
+        compared += 1;
+        let measured_per_step = star.per_step(measured);
+        let committed_per_step = committed / committed_steps;
+        if measured_per_step > committed_per_step {
+            return BaselineOutcome::Regressed(format!(
+                "star n={} {key} per step regressed vs the committed baseline: \
+                 {measured_per_step:.4} > {committed_per_step:.4} — counters are \
+                 deterministic, so this is a real work increase, not noise",
+                star.n
+            ));
+        }
+    }
+    if compared == 0 {
+        return BaselineOutcome::Incomparable(format!(
+            "baseline star n={} row has no counter fields (pre-v5 baseline?); \
+             counter ratchet skipped",
+            star.n
+        ));
+    }
+    BaselineOutcome::Passed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -855,10 +996,39 @@ mod tests {
         // `bench_cell` and the emitters, not the timings.
         let rows = engine_bench(&[16], 500);
         assert_eq!(rows.len(), TOPOLOGIES.len());
+        for r in &rows {
+            // The metered replay must have seen real steady-state work:
+            // the sweep re-evaluates every guard every step, the port
+            // engine's step loop evaluates ports (whole-node evals stay
+            // at the one-time setup we excluded — i.e. zero here).
+            assert!(
+                r.full_guard_evals >= r.steps * r.n as u64,
+                "{}: sweep must pay O(n) guard evals per step",
+                r.topology
+            );
+            assert!(
+                r.port_port_evals > 0,
+                "{}: port engine evaluates ports",
+                r.topology
+            );
+            assert_eq!(
+                r.port_guard_evals, 0,
+                "{}: the port engine's steady-state step loop performs no \
+                 whole-node evaluations",
+                r.topology
+            );
+            assert!(
+                r.full_guard_evals > r.node_guard_evals,
+                "{}: node-dirty must re-evaluate fewer guards than the sweep",
+                r.topology
+            );
+        }
         let json = engine_bench_json(&rows);
-        assert!(json.contains("\"schema\":\"sno-engine-bench/v4\""));
+        assert!(json.contains("\"schema\":\"sno-engine-bench/v5\""));
         assert!(json.contains("\"topology\":\"torus\""));
         assert!(json.contains("\"port_dirty_ns\""));
+        assert!(json.contains("\"full_guard_evals\""));
+        assert!(json.contains("\"port_invalidations\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         let table = engine_bench_table(&rows);
         assert_eq!(table.rows.len(), rows.len());
@@ -987,6 +1157,11 @@ mod tests {
             full_sweep_ns: full,
             node_dirty_ns: node,
             port_dirty_ns: port,
+            full_guard_evals: 102_500,
+            node_guard_evals: 51_300,
+            port_guard_evals: 0,
+            port_port_evals: 400,
+            port_invalidations: 200,
         }
     }
 
@@ -1023,6 +1198,57 @@ mod tests {
             check_baseline(&rows, committed_close),
             BaselineOutcome::Passed
         );
+    }
+
+    #[test]
+    fn counter_ratchet_is_exact_and_per_step() {
+        let rows = vec![row("star", 512, 20_000, 10_000, 1_000)];
+        // Identical per-step counters (same steps): passes.
+        let same = r#"{"schema":"sno-engine-bench/v5","rows":[
+            {"topology":"star","n":512,"steps":100,"port_speedup":40.00,
+             "full_guard_evals":102500,"node_guard_evals":51300,
+             "port_guard_evals":0,"port_port_evals":400,"port_invalidations":200}]}"#;
+        assert_eq!(check_counter_baseline(&rows, same), BaselineOutcome::Passed);
+        // A different step budget with the same per-step cost: still passes.
+        let rescaled = r#"{"rows":[
+            {"topology":"star","n":512,"steps":200,"port_speedup":40.00,
+             "full_guard_evals":205000,"node_guard_evals":102600,
+             "port_guard_evals":0,"port_port_evals":800,"port_invalidations":400}]}"#;
+        assert_eq!(
+            check_counter_baseline(&rows, rescaled),
+            BaselineOutcome::Passed
+        );
+        // One extra port eval per step in the measurement: no slop, fails.
+        let tighter = r#"{"rows":[
+            {"topology":"star","n":512,"steps":100,
+             "full_guard_evals":102500,"node_guard_evals":51300,
+             "port_guard_evals":0,"port_port_evals":399,"port_invalidations":200}]}"#;
+        assert!(matches!(
+            check_counter_baseline(&rows, tighter),
+            BaselineOutcome::Regressed(_)
+        ));
+        // Improvements pass (the ratchet re-arms on regeneration).
+        let looser = r#"{"rows":[
+            {"topology":"star","n":512,"steps":100,
+             "full_guard_evals":110000,"node_guard_evals":60000,
+             "port_guard_evals":50,"port_port_evals":500,"port_invalidations":300}]}"#;
+        assert_eq!(
+            check_counter_baseline(&rows, looser),
+            BaselineOutcome::Passed
+        );
+        // Pre-v5 baselines (row exists, no counter fields): a note, not a failure.
+        let v4 = r#"{"schema":"sno-engine-bench/v4","rows":[
+            {"topology":"star","n":512,"steps":100,"port_speedup":40.00}]}"#;
+        assert!(matches!(
+            check_counter_baseline(&rows, v4),
+            BaselineOutcome::Incomparable(_)
+        ));
+        // No star row at all: also incomparable.
+        let empty = r#"{"schema":"sno-engine-bench/v5","rows":[]}"#;
+        assert!(matches!(
+            check_counter_baseline(&rows, empty),
+            BaselineOutcome::Incomparable(_)
+        ));
     }
 
     #[test]

@@ -13,11 +13,12 @@ use sno_graph::NodeId;
 
 use crate::protocol::Protocol;
 use crate::sim::Simulation;
+use sno_telemetry::Meter;
 
 /// Overwrites the state of each node in `nodes` with an arbitrary
 /// (protocol-sampled) state.
-pub fn corrupt_nodes<P: Protocol>(
-    sim: &mut Simulation<'_, P>,
+pub fn corrupt_nodes<P: Protocol, M: Meter>(
+    sim: &mut Simulation<'_, P, M>,
     nodes: &[NodeId],
     rng: &mut dyn RngCore,
 ) {
@@ -33,8 +34,8 @@ pub fn corrupt_nodes<P: Protocol>(
 /// # Panics
 ///
 /// Panics if `k` exceeds the network size.
-pub fn corrupt_random<P: Protocol>(
-    sim: &mut Simulation<'_, P>,
+pub fn corrupt_random<P: Protocol, M: Meter>(
+    sim: &mut Simulation<'_, P, M>,
     k: usize,
     rng: &mut (impl RngCore + Clone),
 ) -> Vec<NodeId> {

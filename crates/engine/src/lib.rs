@@ -59,3 +59,12 @@ pub use protocol::{
 };
 pub use sim::{EngineMode, RunResult, Simulation, StepOutcome, DEFAULT_SYNC_THRESHOLD};
 pub use store::{ConfigStore, DeltaTxn, ShardTxn};
+
+/// Deterministic engine telemetry (re-exported from `sno-telemetry`):
+/// the [`Meter`](telemetry::Meter) trait the simulation is generic over,
+/// the zero-overhead [`NoopMeter`](telemetry::NoopMeter) default, the
+/// collecting [`CounterMeter`](telemetry::CounterMeter), mergeable
+/// log-bucketed histograms, exact digests, and Chrome trace-event
+/// export.
+pub use sno_telemetry as telemetry;
+pub use sno_telemetry::{Counter, CounterMeter, Meter, Metric, NoopMeter, TraceBuffer};

@@ -1,8 +1,14 @@
 //! Stabilization measurement helpers: run many seeded trials of a
 //! convergence experiment and aggregate move/round statistics — the
 //! building block of the complexity experiments (E4/E5/E7/E8/E11).
+//!
+//! Aggregation is delegated to the shared exact digest
+//! ([`sno_telemetry::SummaryStats`]), the same type the lab's per-cell
+//! summaries use — one implementation of min/mean/percentile/max
+//! semantics across the workspace.
 
 use crate::sim::RunResult;
+use sno_telemetry::SummaryStats;
 
 /// Aggregated statistics over several seeded runs of the same experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -15,10 +21,18 @@ pub struct StabilizationStats {
     pub mean_moves: f64,
     /// Minimum moves over the converged trials.
     pub min_moves: u64,
+    /// Median moves (nearest-rank) over the converged trials.
+    pub p50_moves: u64,
+    /// 95th-percentile moves (nearest-rank) over the converged trials.
+    pub p95_moves: u64,
     /// Maximum moves over the converged trials.
     pub max_moves: u64,
     /// Mean rounds over the converged trials.
     pub mean_rounds: f64,
+    /// Median rounds (nearest-rank) over the converged trials.
+    pub p50_rounds: u64,
+    /// 95th-percentile rounds (nearest-rank) over the converged trials.
+    pub p95_rounds: u64,
     /// Maximum rounds over the converged trials.
     pub max_rounds: u64,
 }
@@ -53,42 +67,40 @@ impl StabilizationStats {
 /// });
 /// assert!(stats.all_converged());
 /// assert!(stats.mean_moves > 0.0);
+/// assert!(stats.p50_moves <= stats.p95_moves);
 /// ```
 pub fn stabilization_stats(
     seeds: u64,
     mut trial: impl FnMut(u64) -> RunResult,
 ) -> StabilizationStats {
     assert!(seeds > 0, "at least one trial");
-    let mut stats = StabilizationStats {
-        trials: seeds as u32,
-        converged: 0,
-        mean_moves: 0.0,
-        min_moves: u64::MAX,
-        max_moves: 0,
-        mean_rounds: 0.0,
-        max_rounds: 0,
-    };
-    let mut total_moves = 0u64;
-    let mut total_rounds = 0u64;
+    let mut converged = 0u32;
+    let mut moves: Vec<u64> = Vec::with_capacity(seeds as usize);
+    let mut rounds: Vec<u64> = Vec::with_capacity(seeds as usize);
     for seed in 0..seeds {
         let r = trial(seed);
         if !r.converged {
             continue;
         }
-        stats.converged += 1;
-        total_moves += r.moves;
-        total_rounds += r.rounds;
-        stats.min_moves = stats.min_moves.min(r.moves);
-        stats.max_moves = stats.max_moves.max(r.moves);
-        stats.max_rounds = stats.max_rounds.max(r.rounds);
+        converged += 1;
+        moves.push(r.moves);
+        rounds.push(r.rounds);
     }
-    if stats.converged > 0 {
-        stats.mean_moves = total_moves as f64 / stats.converged as f64;
-        stats.mean_rounds = total_rounds as f64 / stats.converged as f64;
-    } else {
-        stats.min_moves = 0;
+    let m = SummaryStats::from_samples(&mut moves);
+    let r = SummaryStats::from_samples(&mut rounds);
+    StabilizationStats {
+        trials: seeds as u32,
+        converged,
+        mean_moves: m.map_or(0.0, |s| s.mean),
+        min_moves: m.map_or(0, |s| s.min),
+        p50_moves: m.map_or(0, |s| s.p50),
+        p95_moves: m.map_or(0, |s| s.p95),
+        max_moves: m.map_or(0, |s| s.max),
+        mean_rounds: r.map_or(0.0, |s| s.mean),
+        p50_rounds: r.map_or(0, |s| s.p50),
+        p95_rounds: r.map_or(0, |s| s.p95),
+        max_rounds: r.map_or(0, |s| s.max),
     }
-    stats
 }
 
 #[cfg(test)]
@@ -111,6 +123,32 @@ mod tests {
         assert!(stats.all_converged());
         assert!(stats.min_moves <= stats.mean_moves.round() as u64);
         assert!(stats.mean_moves.round() as u64 <= stats.max_moves);
+        // The digest's percentile envelope.
+        assert!(stats.min_moves <= stats.p50_moves);
+        assert!(stats.p50_moves <= stats.p95_moves);
+        assert!(stats.p95_moves <= stats.max_moves);
+        assert!(stats.p50_rounds <= stats.p95_rounds);
+        assert!(stats.p95_rounds <= stats.max_rounds);
+    }
+
+    #[test]
+    fn percentiles_match_the_shared_digest() {
+        // Deterministic trials with known move counts: the stats must
+        // agree field-for-field with SummaryStats over the same samples.
+        let samples = [40u64, 10, 30, 20, 50, 60, 90, 70];
+        let stats = stabilization_stats(samples.len() as u64, |seed| RunResult {
+            converged: true,
+            steps: 0,
+            moves: samples[seed as usize],
+            rounds: samples[seed as usize] / 10,
+        });
+        let mut m = samples.to_vec();
+        let digest = SummaryStats::from_samples(&mut m).unwrap();
+        assert_eq!(stats.min_moves, digest.min);
+        assert_eq!(stats.mean_moves, digest.mean);
+        assert_eq!(stats.p50_moves, digest.p50);
+        assert_eq!(stats.p95_moves, digest.p95);
+        assert_eq!(stats.max_moves, digest.max);
     }
 
     #[test]

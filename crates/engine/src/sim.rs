@@ -90,8 +90,11 @@
 //! (`tests/engine_differential.rs`, `tests/port_separability.rs`) step the
 //! modes in lockstep and assert identical traces.
 
+use std::time::Instant;
+
 use rand::RngCore;
 use sno_graph::{NodeId, Partition, Port};
+use sno_telemetry::{Counter, Meter, Metric, NoopMeter, TraceBuffer};
 
 use crate::daemon::{Daemon, EnabledNode};
 use crate::network::Network;
@@ -192,9 +195,18 @@ pub struct RunResult {
 /// assert!(run.converged);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Simulation<'a, P: Protocol> {
+pub struct Simulation<'a, P: Protocol, M: Meter = NoopMeter> {
     net: &'a Network,
     protocol: P,
+    /// The telemetry sink. The default [`NoopMeter`] monomorphizes every
+    /// hook into nothing — the disabled path is the uninstrumented hot
+    /// loop, bit for bit. Hooks are issued from serial sections only,
+    /// with schedule-independent aggregates, so an enabled meter's
+    /// counters are byte-identical across thread and shard counts.
+    meter: M,
+    /// Optional wall-clock span collection for the sharded synchronous
+    /// executor's phases (diagnostic only — never feeds counters).
+    tracer: Option<TraceBuffer>,
     /// The configuration: generation-stamped slots with copy-on-write
     /// delta staging for multi-writer rounds.
     store: ConfigStore<P::State>,
@@ -296,12 +308,47 @@ pub struct Simulation<'a, P: Protocol> {
 }
 
 impl<'a, P: Protocol> Simulation<'a, P> {
-    /// Starts a simulation from an explicit configuration.
+    /// Starts a simulation from an explicit configuration (with the
+    /// zero-overhead [`NoopMeter`]; see [`Simulation::with_meter`] for
+    /// an instrumented simulation).
     ///
     /// # Panics
     ///
     /// Panics if `config.len()` differs from the network size.
     pub fn new(net: &'a Network, protocol: P, config: Vec<P::State>) -> Self {
+        Self::with_meter(net, protocol, config, NoopMeter)
+    }
+
+    /// Starts from the protocol's canonical initial state at every node.
+    pub fn from_initial(net: &'a Network, protocol: P) -> Self {
+        let config = net
+            .nodes()
+            .map(|p| protocol.initial_state(net.ctx(p)))
+            .collect();
+        Self::new(net, protocol, config)
+    }
+
+    /// Starts from an adversarially arbitrary configuration — the
+    /// self-stabilization entry point ("irrespective of the initial
+    /// state").
+    pub fn from_random(net: &'a Network, protocol: P, rng: &mut dyn RngCore) -> Self {
+        let config = net
+            .nodes()
+            .map(|p| protocol.random_state(net.ctx(p), rng))
+            .collect();
+        Self::new(net, protocol, config)
+    }
+}
+
+impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
+    /// Starts a simulation from an explicit configuration with an
+    /// explicit telemetry [`Meter`] (e.g.
+    /// [`CounterMeter`](sno_telemetry::CounterMeter)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.len()` differs from the network size.
+    pub fn with_meter(net: &'a Network, protocol: P, config: Vec<P::State>, meter: M) -> Self {
         assert_eq!(
             config.len(),
             net.node_count(),
@@ -328,6 +375,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         let mut sim = Simulation {
             net,
             protocol,
+            meter,
+            tracer: None,
             store: ConfigStore::new(config),
             steps: 0,
             moves: 0,
@@ -375,24 +424,51 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         sim
     }
 
-    /// Starts from the protocol's canonical initial state at every node.
-    pub fn from_initial(net: &'a Network, protocol: P) -> Self {
+    /// [`Simulation::from_initial`] with an explicit meter.
+    pub fn from_initial_with_meter(net: &'a Network, protocol: P, meter: M) -> Self {
         let config = net
             .nodes()
             .map(|p| protocol.initial_state(net.ctx(p)))
             .collect();
-        Self::new(net, protocol, config)
+        Self::with_meter(net, protocol, config, meter)
     }
 
-    /// Starts from an adversarially arbitrary configuration — the
-    /// self-stabilization entry point ("irrespective of the initial
-    /// state").
-    pub fn from_random(net: &'a Network, protocol: P, rng: &mut dyn RngCore) -> Self {
+    /// [`Simulation::from_random`] with an explicit meter.
+    pub fn from_random_with_meter(
+        net: &'a Network,
+        protocol: P,
+        rng: &mut dyn RngCore,
+        meter: M,
+    ) -> Self {
         let config = net
             .nodes()
             .map(|p| protocol.random_state(net.ctx(p), rng))
             .collect();
-        Self::new(net, protocol, config)
+        Self::with_meter(net, protocol, config, meter)
+    }
+
+    /// The telemetry meter (its counters, when collecting).
+    pub fn meter(&self) -> &M {
+        &self.meter
+    }
+
+    /// Mutable access to the telemetry meter (e.g. to reset or merge).
+    pub fn meter_mut(&mut self) -> &mut M {
+        &mut self.meter
+    }
+
+    /// Attaches a wall-clock phase tracer. The sharded synchronous
+    /// executor records per-shard spans for its parallel phases (guard
+    /// resolution, read-free writes, dirty re-evaluation) plus the
+    /// implicit-join barrier wait of each shard, on one lane per shard.
+    /// Tracing never feeds counters — timings stay diagnostic.
+    pub fn set_tracer(&mut self, tracer: TraceBuffer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches and returns the tracer (e.g. to export its spans).
+    pub fn take_tracer(&mut self) -> Option<TraceBuffer> {
+        self.tracer.take()
     }
 
     /// The network this simulation runs on.
@@ -427,6 +503,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         // its port caches conservatively.
         if self.mode != EngineMode::FullSweep {
             let net = self.net;
+            let neighborhood = 1 + net.graph().degree(p) as u64;
+            self.meter.add(Counter::GuardEvals, neighborhood);
             let mut actions = std::mem::take(&mut self.scratch_actions);
             let mut list = std::mem::take(&mut self.enabled_list);
             self.refresh_node(p.index(), &mut actions, &mut list);
@@ -436,6 +514,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             self.scratch_actions = actions;
             self.enabled_list = list;
             if self.port_cache_active {
+                self.meter.add(Counter::GuardEvals, neighborhood);
                 self.reinit_port_cache_node(p.index());
                 for &q in net.graph().neighbors(p) {
                     self.reinit_port_cache_node(q.index());
@@ -694,6 +773,17 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     /// off the hot path (construction, re-initialization, leaving the
     /// reference mode).
     fn rebuild_enabled_cache(&mut self) {
+        // One whole-node guard evaluation per node for the sweep, and a
+        // second one per node when the port cache is rebuilt on top —
+        // re-initialization work is real work, and counting it keeps
+        // `GuardEvals` meaningful in every mode (campaign fleets rebuild
+        // once per seed).
+        self.meter
+            .add(Counter::GuardEvals, self.net.node_count() as u64);
+        if self.port_cache_active {
+            self.meter
+                .add(Counter::GuardEvals, self.net.node_count() as u64);
+        }
         let mut actions = std::mem::take(&mut self.scratch_actions);
         let mut arena = std::mem::take(&mut self.scratch_arena);
         self.enabled_list.clear();
@@ -771,6 +861,9 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     /// Queues `node` for guard re-evaluation, deduplicating via the epoch
     /// stamp.
     fn mark_dirty(&mut self, node: NodeId, dirty: &mut Vec<u32>) {
+        // Counted as an *attempt*: the dedup-suppressed pushes are the
+        // interesting part of the queue's behavior.
+        self.meter.add(Counter::DirtyPushes, 1);
         let i = node.index();
         if self.dirty_mark[i] != self.epoch {
             self.dirty_mark[i] = self.epoch;
@@ -846,6 +939,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         let mut enabled = if full_sweep {
             let mut enabled = std::mem::take(&mut self.scratch_enabled);
             self.fill_enabled(&mut actions, &mut enabled, &mut arena);
+            self.meter
+                .add(Counter::GuardEvals, self.net.node_count() as u64);
             enabled
         } else {
             std::mem::take(&mut self.enabled_list)
@@ -856,10 +951,15 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             self.scratch_arena = arena;
             return false;
         }
+        self.meter.add(Counter::EnabledNodes, enabled.len() as u64);
+        self.meter
+            .record(Metric::EnabledPerStep, enabled.len() as u64);
 
         let mut choices = std::mem::take(&mut self.scratch_choices);
         daemon.select_into(&enabled, &mut choices);
         assert!(!choices.is_empty(), "daemon must select a non-empty subset");
+        self.meter
+            .record(Metric::WritersPerStep, choices.len() as u64);
 
         // Resolve choices to (node, action) pairs against the pre-step
         // configuration (guards are evaluated before any write lands).
@@ -891,6 +991,10 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                     "daemon selected the same processor twice"
                 );
             }
+            // One whole-node guard materialization per selected writer —
+            // counted as a serial aggregate so the total is identical to
+            // the serial loop's for any thread or shard count.
+            self.meter.add(Counter::GuardEvals, choices.len() as u64);
             self.resolve_parallel(&enabled, &choices, &mut pending);
             if let Some(out) = record.as_deref_mut() {
                 for (i, action) in &pending {
@@ -927,6 +1031,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 if !from_cache {
                     actions.clear();
                     self.protocol.enabled_into(&view, &mut actions, &mut arena);
+                    self.meter.add(Counter::GuardEvals, 1);
                 }
                 debug_assert!(
                     self.mode == EngineMode::FullSweep
@@ -965,6 +1070,14 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         // their CSR neighborhoods); port-dirty mode instead consumes the
         // touch declarations the transactions recorded.
         self.epoch += 1;
+        // `M::ENABLED` is a monomorphization-time constant: the read
+        // below (and its pairing delta after the commit) compiles away
+        // entirely for the no-op meter.
+        let precopies_before = if M::ENABLED {
+            self.store.clone_count()
+        } else {
+            0
+        };
         let net = self.net;
         let mut dirty = std::mem::take(&mut self.dirty);
         dirty.clear();
@@ -1010,6 +1123,13 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 }
             }
         }
+        self.meter.add(Counter::TxnCommits, pending.len() as u64);
+        if M::ENABLED {
+            self.meter.add(
+                Counter::StagePrecopies,
+                self.store.clone_count() - precopies_before,
+            );
+        }
         self.steps += 1;
         self.moves += choices.len() as u64;
         self.scratch_choices = {
@@ -1017,11 +1137,22 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             choices
         };
 
+        if !full_sweep && !use_ports {
+            // Node-dirty re-evaluation work, counted as aggregates over
+            // the deduplicated queue — identical for the serial and
+            // shard-parallel paths below by construction.
+            self.meter.add(Counter::DirtyPops, dirty.len() as u64);
+            self.meter
+                .record(Metric::DirtyNodesPerStep, dirty.len() as u64);
+            self.meter.add(Counter::GuardEvals, dirty.len() as u64);
+        }
         if full_sweep {
             // Reference mode: full re-sweep, neutralize frontier
             // processors that are no longer enabled.
             if self.frontier_count > 0 {
                 self.fill_enabled(&mut actions, &mut enabled, &mut arena);
+                self.meter
+                    .add(Counter::GuardEvals, self.net.node_count() as u64);
                 let mut enabled_mask = std::mem::take(&mut self.scratch_node_mask);
                 enabled_mask.iter_mut().for_each(|b| *b = false);
                 for e in &enabled {
@@ -1188,6 +1319,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 );
                 self.protocol.refresh_self(&view, bits, &mut cache)
             };
+            self.meter.add(Counter::SelfRefreshes, 1);
             match verdict {
                 PortVerdict::Unchanged => {}
                 PortVerdict::Count(c) => self.action_count[i] = c,
@@ -1199,6 +1331,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                     );
                     self.action_count[i] = self.protocol.init_ports(&view, &mut cache);
                     self.full_mark[i] = epoch;
+                    self.meter.add(Counter::GuardEvals, 1);
                 }
             }
             match self.txn_recs[k].scope() {
@@ -1230,6 +1363,10 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         }
 
         // Phase 2: readers — one port-local re-evaluation per dirty port.
+        self.meter
+            .add(Counter::PortInvalidations, dirty_ports.len() as u64);
+        self.meter
+            .record(Metric::DirtyPortsPerStep, dirty_ports.len() as u64);
         for &entry in &dirty_ports {
             let u = (entry >> 32) as usize;
             let l = Port::new((entry & u64::from(u32::MAX)) as usize);
@@ -1247,6 +1384,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 );
                 self.protocol.reevaluate_port(&view, l, &mut cache)
             };
+            self.meter.add(Counter::PortEvals, 1);
             match verdict {
                 PortVerdict::Unchanged => continue,
                 PortVerdict::Count(c) => self.action_count[u] = c,
@@ -1258,6 +1396,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                     );
                     self.action_count[u] = self.protocol.init_ports(&view, &mut cache);
                     self.full_mark[u] = epoch;
+                    self.meter.add(Counter::GuardEvals, 1);
                 }
             }
             if self.touched_mark[u] != epoch {
@@ -1339,6 +1478,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         let config = self.store.slice();
         #[cfg(debug_assertions)]
         let counts = &self.action_count;
+        let tracing = self.tracer.is_some();
+        let phase_start = tracing.then(Instant::now);
         let mut items: Vec<ResolveShard<'_, P::Action>> = self
             .shard_resolved
             .iter_mut()
@@ -1350,9 +1491,11 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 out,
                 scratch,
                 actions,
+                span: None,
             })
             .collect();
         sno_fleet::parallel_map_mut(&mut items, self.sync_threads, |_, it| {
+            let t0 = tracing.then(Instant::now);
             for &(node, action_index) in it.jobs {
                 let node = NodeId::new(node as usize);
                 let view = ConfigView::new(net, node, config);
@@ -1372,7 +1515,14 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 let profile = protocol.apply_profile(&view, &action);
                 it.out.push((Some(action), profile));
             }
+            if let Some(t0) = t0 {
+                it.span = Some((t0, Instant::now()));
+            }
         });
+        if let Some(tracer) = self.tracer.as_mut() {
+            let spans: Vec<_> = items.iter().map(|it| it.span).collect();
+            emit_phase_spans(tracer, "resolve", phase_start, &spans);
+        }
 
         // Stitch back in selection order.
         for k in 0..choices.len() {
@@ -1494,6 +1644,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         let protocol = &self.protocol;
         let bounds = partition.bounds();
         let chunks = self.store.split_shards(bounds);
+        let tracing = self.tracer.is_some();
+        let phase_start = tracing.then(Instant::now);
         let mut items: Vec<WriteShard<'_, P::State>> = chunks
             .into_iter()
             .zip(self.shard_writers.iter())
@@ -1504,9 +1656,11 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 chunk,
                 ks,
                 rec,
+                span: None,
             })
             .collect();
         sno_fleet::parallel_map_mut(&mut items, self.sync_threads, |_, it| {
+            let t0 = tracing.then(Instant::now);
             let lo = it.lo;
             for &k in it.ks {
                 let (i, action) = &pending[k as usize];
@@ -1522,7 +1676,14 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                     "apply_in_place must commit its transaction"
                 );
             }
+            if let Some(t0) = t0 {
+                it.span = Some((t0, Instant::now()));
+            }
         });
+        if let Some(tracer) = self.tracer.as_mut() {
+            let spans: Vec<_> = items.iter().map(|it| it.span).collect();
+            emit_phase_spans(tracer, "write", phase_start, &spans);
+        }
     }
 
     /// Shard-parallel dirty-node guard re-evaluation: dirty nodes are
@@ -1544,6 +1705,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         let config = self.store.slice();
         let bounds = partition.bounds();
         let counts = partition.split_mut(&mut self.action_count);
+        let tracing = self.tracer.is_some();
+        let phase_start = tracing.then(Instant::now);
         let mut items: Vec<EvalShard<'_, P::Action>> = counts
             .into_iter()
             .zip(self.shard_dirty.iter())
@@ -1556,9 +1719,11 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 nodes,
                 scratch,
                 actions,
+                span: None,
             })
             .collect();
         sno_fleet::parallel_map_mut(&mut items, self.sync_threads, |_, it| {
+            let t0 = tracing.then(Instant::now);
             let lo = it.lo;
             for &d in it.nodes {
                 let node = NodeId::new(d as usize);
@@ -1567,7 +1732,14 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 protocol.enabled_into(&view, it.actions, it.scratch);
                 it.counts[d as usize - lo] = it.actions.len() as u32;
             }
+            if let Some(t0) = t0 {
+                it.span = Some((t0, Instant::now()));
+            }
         });
+        if let Some(tracer) = self.tracer.as_mut() {
+            let spans: Vec<_> = items.iter().map(|it| it.span).collect();
+            emit_phase_spans(tracer, "reeval", phase_start, &spans);
+        }
     }
 
     /// Puts the taken enabled vector back where it came from.
@@ -1661,6 +1833,9 @@ struct ResolveShard<'x, A> {
     out: &'x mut Vec<(Option<A>, ApplyProfile)>,
     scratch: &'x mut Scratch,
     actions: &'x mut Vec<A>,
+    /// The worker's busy window, captured only while a tracer is
+    /// attached.
+    span: Option<(Instant, Instant)>,
 }
 
 /// One shard's work item of the parallel write phase: the shard's chunk
@@ -1671,6 +1846,9 @@ struct WriteShard<'x, S> {
     chunk: &'x mut [S],
     ks: &'x [u32],
     rec: &'x mut TouchRecord,
+    /// The worker's busy window, captured only while a tracer is
+    /// attached.
+    span: Option<(Instant, Instant)>,
 }
 
 /// One shard's work item of the parallel dirty re-evaluation: its chunk
@@ -1681,6 +1859,36 @@ struct EvalShard<'x, A> {
     nodes: &'x [u32],
     scratch: &'x mut Scratch,
     actions: &'x mut Vec<A>,
+    /// The worker's busy window, captured only while a tracer is
+    /// attached.
+    span: Option<(Instant, Instant)>,
+}
+
+/// Emits one sharded phase's spans into `tracer`: each shard's busy
+/// window plus its wait at the phase's implicit join barrier (busy end →
+/// phase end) on the shard's own lane, and the phase extent on the
+/// control lane — the Perfetto view where barrier imbalance is visible
+/// as staggered `barrier` blocks.
+fn emit_phase_spans(
+    tracer: &mut TraceBuffer,
+    phase: &'static str,
+    phase_start: Option<Instant>,
+    spans: &[Option<(Instant, Instant)>],
+) {
+    let phase_end = Instant::now();
+    for (s, span) in spans.iter().enumerate() {
+        let tid = s as u64;
+        tracer.name_lane(tid, &format!("shard {s}"));
+        if let Some((t0, t1)) = *span {
+            tracer.push_span(phase, "sync-sharded", tid, t0, t1);
+            tracer.push_span("barrier", "sync-sharded", tid, t1, phase_end);
+        }
+    }
+    let control = spans.len() as u64;
+    tracer.name_lane(control, "control");
+    if let Some(t0) = phase_start {
+        tracer.push_span(phase, "control", control, t0, phase_end);
+    }
 }
 
 #[cfg(test)]

@@ -45,7 +45,13 @@ pub fn default_threads() -> usize {
 
 /// Renders a caught panic payload (the `&str` / `String` payloads
 /// `panic!` produces; anything else becomes a placeholder).
-fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+///
+/// Public so fleet *callers* can enrich a payload before re-raising it —
+/// the lab's campaign driver catches a per-seed panic, appends the
+/// failing cell's telemetry counter snapshot, and re-panics with the
+/// combined message, which then flows through [`parallel_map_labeled`]'s
+/// own labeling unchanged.
+pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -20,7 +20,9 @@ use std::str::FromStr;
 use sno_graph::GeneratorSpec;
 
 use crate::matrix::ScenarioMatrix;
-use crate::runner::{engine_mode_label, run_campaign_with_options, EngineOptions};
+use crate::runner::{
+    engine_mode_label, run_campaign_with_options, trace_first_cell, EngineOptions,
+};
 use crate::spec::{DaemonSpec, FaultPlan, ProtocolSpec};
 
 /// A parsed invocation.
@@ -46,6 +48,9 @@ pub struct RunArgs {
     pub engine: EngineOptions,
     /// Write the `sno-lab/v1` JSON document here.
     pub json: Option<String>,
+    /// Write a Chrome trace-event JSON of the first cell's first seed
+    /// (re-run under the sharded synchronous executor) here.
+    pub trace: Option<String>,
 }
 
 /// The usage text printed by `help` and on parse errors.
@@ -71,9 +76,16 @@ RUN OPTIONS (comma-separated lists):
     --mode MODE           engine mode: full|node|port|sync [default: SNO_ENGINE_MODE, else port]
     --shards N            shard count for --mode sync      [default: SNO_SYNC_SHARDS, else 1]
     --json PATH           also write the sno-lab/v1 JSON document to PATH
+    --metrics             collect deterministic engine counters per cell (adds a
+                          Metrics table and a `metrics` JSON section)
+    --trace PATH          write a Chrome trace-event JSON (Perfetto-loadable) of the
+                          first cell's first seed, re-run under the sharded
+                          synchronous executor with one lane per shard
 
 Reports are byte-identical for every --mode/--shards/--threads choice;
-the flags only change what a step costs.
+the flags only change what a step costs. Metrics are deterministic too:
+counter totals are byte-identical across thread, shard, and chunking
+choices. Only --trace records wall-clock time.
 ";
 
 fn parse_list<T: FromStr>(what: &str, s: &str) -> Result<Vec<T>, String>
@@ -109,6 +121,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut threads = None;
     let mut engine = EngineOptions::default();
     let mut json = None;
+    let mut trace = None;
     let mut saw = (false, false, false, false); // topologies, sizes, protocols, daemons
     while let Some(flag) = it.next() {
         // Accept both `--flag value` and `--flag=value`.
@@ -195,6 +208,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 engine.shards = Some(k);
             }
             "--json" => json = Some(value()?),
+            "--metrics" => {
+                if inline.is_some() {
+                    return Err("`--metrics` takes no value".into());
+                }
+                engine.metrics = true;
+            }
+            "--trace" => trace = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -225,6 +245,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         threads,
         engine,
         json,
+        trace,
     })))
 }
 
@@ -276,11 +297,22 @@ pub fn main_with_args(args: &[String]) -> i32 {
             // run is self-describing. (The JSON artifact deliberately
             // omits both — byte-identity across modes, shard counts, and
             // thread counts is a CI invariant.)
-            println!(
+            // The telemetry flags are echoed here too (and only here):
+            // metrics change the report only by *adding* sections, and
+            // the trace is a side artifact, so the JSON byte-identity
+            // invariant above is untouched in the default configuration.
+            let mut header = format!(
                 "engine mode: {} | threads: {}",
                 engine_mode_label(&run.engine),
                 threads
             );
+            if run.engine.metrics {
+                header.push_str(" | metrics: on");
+            }
+            if let Some(path) = &run.trace {
+                header.push_str(&format!(" | trace: {path}"));
+            }
+            println!("{header}");
             let report = run_campaign_with_options(&run.matrix, threads, &run.engine);
             print!("{}", report.to_markdown());
             if let Some(path) = run.json {
@@ -289,6 +321,15 @@ pub fn main_with_args(args: &[String]) -> i32 {
                     return 1;
                 }
                 println!("campaign JSON written to {path}");
+            }
+            if let Some(path) = run.trace {
+                let doc = trace_first_cell(&run.matrix, &run.engine)
+                    .expect("validated matrices have at least one cell");
+                if let Err(e) = std::fs::write(&path, doc + "\n") {
+                    eprintln!("error: cannot write trace to `{path}`: {e}");
+                    return 1;
+                }
+                println!("phase trace written to {path}");
             }
             0
         }
@@ -439,6 +480,38 @@ mod tests {
         ))
         .unwrap_err();
         assert!(e.contains("at least 1"), "{e}");
+    }
+
+    #[test]
+    fn parses_metrics_and_trace_flags() {
+        let cmd = parse_args(&args(
+            "run --topologies hubs:3 --sizes 24 --protocols stno/oracle-tree \
+             --daemons synchronous --mode sync --shards 4 --metrics --trace out.json",
+        ))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        assert!(run.engine.metrics);
+        assert_eq!(run.trace.as_deref(), Some("out.json"));
+
+        // Defaults stay off: the unflagged campaign collects nothing.
+        let cmd = parse_args(&args(
+            "run --topologies ring --sizes 8 --protocols stno/oracle-tree --daemons synchronous",
+        ))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        assert!(!run.engine.metrics);
+        assert_eq!(run.trace, None);
+
+        let e = parse_args(&args(
+            "run --topologies ring --sizes 8 --protocols stno/oracle-tree \
+             --daemons synchronous --metrics=yes",
+        ))
+        .unwrap_err();
+        assert!(e.contains("no value"), "{e}");
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! (the runner labels items with their cell and seed range via
 //! [`parallel_map_labeled`], so a panicking run names itself).
 
-pub use sno_fleet::{default_threads, parallel_map, parallel_map_labeled, parallel_map_mut};
+pub use sno_fleet::{
+    default_threads, parallel_map, parallel_map_labeled, parallel_map_mut, payload_message,
+};
 
 #[cfg(test)]
 mod tests {

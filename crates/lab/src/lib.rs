@@ -62,7 +62,7 @@ pub use matrix::{CellSpec, ScenarioMatrix};
 pub use report::{CampaignReport, CellReport};
 pub use runner::{
     converge_once, engine_mode_label, run_campaign, run_campaign_with_options,
-    run_campaign_with_threads, CellOutcome, EngineOptions, Recovery, RunRecord,
+    run_campaign_with_threads, trace_first_cell, CellOutcome, EngineOptions, Recovery, RunRecord,
 };
 pub use spec::{DaemonSpec, FaultPlan, ProtocolSpec, TokenSubstrate, TreeSubstrate};
 pub use stats::Summary;

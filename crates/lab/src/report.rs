@@ -7,6 +7,8 @@
 
 use std::fmt::Write as _;
 
+use sno_telemetry::{Counter, CounterMeter, Histogram, Metric};
+
 use crate::matrix::ScenarioMatrix;
 use crate::runner::CellOutcome;
 use crate::stats::Summary;
@@ -53,6 +55,14 @@ pub struct CellReport {
     pub recovery_steps: Option<Summary>,
     /// Rounds of re-convergence.
     pub recovery_rounds: Option<Summary>,
+    /// Deterministic engine counters and per-step histograms summed over
+    /// every run of the cell. `None` unless the campaign ran with
+    /// metrics collection ([`EngineOptions::metrics`]); absent metrics
+    /// render nothing, keeping default reports byte-identical to
+    /// pre-telemetry ones.
+    ///
+    /// [`EngineOptions::metrics`]: crate::runner::EngineOptions
+    pub metrics: Option<CounterMeter>,
 }
 
 impl CellReport {
@@ -97,6 +107,7 @@ impl CellReport {
             recovery_moves: Summary::from_samples(&mut rec_moves),
             recovery_steps: Summary::from_samples(&mut rec_steps),
             recovery_rounds: Summary::from_samples(&mut rec_rounds),
+            metrics: outcome.metrics.clone(),
         }
     }
 }
@@ -137,7 +148,29 @@ impl CampaignReport {
         }
     }
 
+    /// Exact merge of every cell's counter meter, or `None` when the
+    /// campaign collected no metrics. Counter merge is plain `u64`
+    /// addition and histogram merge is bucket-wise addition, so the
+    /// campaign total is independent of cell order and chunking.
+    pub fn merged_metrics(&self) -> Option<CounterMeter> {
+        let mut acc: Option<CounterMeter> = None;
+        for cell in &self.cells {
+            if let Some(m) = &cell.metrics {
+                match acc.as_mut() {
+                    Some(a) => a.merge(m),
+                    None => acc = Some(m.clone()),
+                }
+            }
+        }
+        acc
+    }
+
     /// Renders the `sno-lab/v1` JSON document.
+    ///
+    /// Campaigns run without metrics collection produce exactly the
+    /// pre-telemetry document — the `metrics` fields (per cell and the
+    /// campaign-level merge) appear only when a meter actually ran, so
+    /// the committed `BENCH_campaign.json` stays byte-identical.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.open_object();
@@ -148,6 +181,9 @@ impl CampaignReport {
         w.int_field("total_converged", self.total_converged as u64);
         w.num_field("convergence_rate", self.convergence_rate());
         w.array_field("cells", self.cells.iter().map(cell_json));
+        if let Some(m) = self.merged_metrics() {
+            w.raw_field("metrics", &metrics_json(&m));
+        }
         w.close_object();
         w.finish()
     }
@@ -199,6 +235,43 @@ impl CampaignReport {
                 p(&c.steps, |s| s.p50),
                 p(&c.rounds, |s| s.p50),
             );
+        }
+        // Metered campaigns get a second table rather than wider rows:
+        // the main table's shape is stable whether metrics ran or not.
+        if self.cells.iter().any(|c| c.metrics.is_some()) {
+            let _ = writeln!(out, "\n### Metrics (deterministic engine counters)\n");
+            let _ = writeln!(
+                out,
+                "| topology | n | protocol | daemon | guard evals | port evals | dirty pushes | \
+                 invalidations | commits | pre-copies | enabled/step p50 | enabled/step p95 |"
+            );
+            let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|");
+            for c in self.cells.iter().filter(|c| c.metrics.is_some()) {
+                let m = c.metrics.as_ref().expect("filtered to Some");
+                let enabled = m.histogram(Metric::EnabledPerStep);
+                let q = |p: u32| {
+                    enabled
+                        .quantile(p)
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "—".into())
+                };
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                    c.topology,
+                    c.nodes,
+                    c.protocol,
+                    c.daemon,
+                    m.get(Counter::GuardEvals),
+                    m.get(Counter::PortEvals),
+                    m.get(Counter::DirtyPushes),
+                    m.get(Counter::PortInvalidations),
+                    m.get(Counter::TxnCommits),
+                    m.get(Counter::StagePrecopies),
+                    q(50),
+                    q(95),
+                );
+            }
         }
         out
     }
@@ -270,6 +343,51 @@ fn cell_json(c: &CellReport) -> String {
     w.raw_field("recovery_moves", &summary_json(&c.recovery_moves));
     w.raw_field("recovery_steps", &summary_json(&c.recovery_steps));
     w.raw_field("recovery_rounds", &summary_json(&c.recovery_rounds));
+    if let Some(m) = &c.metrics {
+        w.raw_field("metrics", &metrics_json(m));
+    }
+    w.close_object();
+    w.finish()
+}
+
+/// Renders a [`CounterMeter`]: a `counters` object (every counter, in
+/// stable order, even when zero) and a `histograms` object (one entry
+/// per per-step metric; empty histograms render as `null`).
+fn metrics_json(m: &CounterMeter) -> String {
+    let mut w = JsonWriter::new();
+    w.open_object();
+    let mut c = JsonWriter::new();
+    c.open_object();
+    for counter in Counter::ALL {
+        c.int_field(counter.name(), m.get(counter));
+    }
+    c.close_object();
+    w.raw_field("counters", &c.finish());
+    let mut h = JsonWriter::new();
+    h.open_object();
+    for metric in Metric::ALL {
+        h.raw_field(metric.name(), &histogram_json(m.histogram(metric)));
+    }
+    h.close_object();
+    w.raw_field("histograms", &h.finish());
+    w.close_object();
+    w.finish()
+}
+
+/// Renders a log-bucketed histogram's exact moments and quantile
+/// estimates (`p50`/`p95` resolve to bucket bounds, not exact ranks).
+fn histogram_json(h: &Histogram) -> String {
+    if h.is_empty() {
+        return "null".to_string();
+    }
+    let mut w = JsonWriter::new();
+    w.open_object();
+    w.int_field("count", h.count());
+    w.int_field("min", h.min().unwrap_or(0));
+    w.num_field("mean", h.mean().unwrap_or(0.0));
+    w.int_field("p50", h.quantile(50).unwrap_or(0));
+    w.int_field("p95", h.quantile(95).unwrap_or(0));
+    w.int_field("max", h.max().unwrap_or(0));
     w.close_object();
     w.finish()
 }
@@ -426,6 +544,7 @@ mod tests {
                     recovery: None,
                 },
             ],
+            metrics: None,
         }
     }
 

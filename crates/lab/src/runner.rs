@@ -8,7 +8,7 @@ use sno_core::orientation::{golden_dfs_orientation, Orientation};
 use sno_core::stno::{stno_oriented, Stno};
 use sno_engine::daemon::Daemon;
 use sno_engine::faults::corrupt_random;
-use sno_engine::{Network, Protocol, Simulation};
+use sno_engine::{CounterMeter, Meter, Network, NoopMeter, Protocol, Simulation, TraceBuffer};
 use sno_graph::{traverse, NodeId, RootedTree};
 use sno_token::{DfsTokenCirculation, OracleToken};
 use sno_tree::{BfsSpanningTree, CdSpanningTree, OracleSpanningTree};
@@ -67,6 +67,12 @@ pub struct CellOutcome {
     pub edges: usize,
     /// One record per seed, in seed order.
     pub runs: Vec<RunRecord>,
+    /// Deterministic engine counters summed over every run of the cell
+    /// (convergence and recovery phases alike). `None` unless the
+    /// campaign ran with [`EngineOptions::metrics`] — the default
+    /// campaign path is monomorphized over the no-op meter and collects
+    /// nothing.
+    pub metrics: Option<CounterMeter>,
 }
 
 /// How a protocol stack's convergence is detected.
@@ -98,6 +104,15 @@ pub struct EngineOptions {
     /// threads follow the shard count). Ignored unless the resolved
     /// mode is `SyncSharded`.
     pub shards: Option<usize>,
+    /// Collect deterministic engine counters
+    /// ([`sno_engine::CounterMeter`]) for every cell. Off by default:
+    /// the unmetered campaign is monomorphized over
+    /// [`sno_engine::NoopMeter`], so reports — and the committed
+    /// `BENCH_campaign.json` — stay byte-identical whether this build
+    /// even knows about telemetry. With metrics on, the counter totals
+    /// themselves are deterministic: byte-identical across thread
+    /// counts, shard counts, and seed chunkings.
+    pub metrics: bool,
 }
 
 impl EngineOptions {
@@ -223,6 +238,13 @@ pub fn run_campaign_with_options(
         match outcomes.last_mut() {
             Some(prev) if it.seed_lo != matrix.seed_start => {
                 prev.runs.extend(partial.runs);
+                // Counter merge is exact u64 addition — commutative and
+                // associative — so the chunked total equals the
+                // unchunked one and chunk boundaries still cannot leak
+                // into the report.
+                if let (Some(acc), Some(m)) = (prev.metrics.as_mut(), partial.metrics.as_ref()) {
+                    acc.merge(m);
+                }
             }
             _ => outcomes.push(partial),
         }
@@ -245,6 +267,10 @@ pub fn run_cell(cell: &CellSpec, matrix: &ScenarioMatrix) -> CellOutcome {
 }
 
 /// Runs the seeds `seed_lo .. seed_hi` of one cell.
+///
+/// The meter choice is made once here, outside the hot loops: the
+/// metered and unmetered campaigns are separate monomorphizations of
+/// [`drive`], so the default path carries no telemetry branches at all.
 fn run_cell_seeds(
     cell: &CellSpec,
     matrix: &ScenarioMatrix,
@@ -252,6 +278,52 @@ fn run_cell_seeds(
     seed_hi: u64,
     options: &EngineOptions,
 ) -> CellOutcome {
+    if options.metrics {
+        dispatch_stack(
+            cell,
+            matrix,
+            DriveVisitor::<CounterMeter> {
+                cell,
+                matrix,
+                seed_lo,
+                seed_hi,
+                options,
+                _meter: std::marker::PhantomData,
+            },
+        )
+    } else {
+        dispatch_stack(
+            cell,
+            matrix,
+            DriveVisitor::<NoopMeter> {
+                cell,
+                matrix,
+                seed_lo,
+                seed_hi,
+                options,
+                _meter: std::marker::PhantomData,
+            },
+        )
+    }
+}
+
+/// Rank-2 dispatch from a cell's [`ProtocolSpec`] to its concrete
+/// protocol stack: builds the topology, network, and goal predicate and
+/// hands the visitor the monomorphic pieces. The campaign runner
+/// ([`run_cell_seeds`]) and the `--trace` re-run ([`trace_first_cell`])
+/// share it, so the spec-to-stack table exists exactly once.
+trait StackVisitor {
+    /// What the visitor produces from the concrete stack.
+    type Out;
+    /// Called with exactly one concrete `(protocol, detection mode,
+    /// legitimacy predicate)` triple.
+    fn visit<P, L>(self, net: &Network, protocol: P, mode: Mode, legit: L) -> Self::Out
+    where
+        P: Protocol,
+        L: Fn(&Network, &[P::State]) -> bool;
+}
+
+fn dispatch_stack<V: StackVisitor>(cell: &CellSpec, matrix: &ScenarioMatrix, v: V) -> V::Out {
     let g = cell.topology.build(cell.n, matrix.graph_seed);
     let root = NodeId::new(0);
     match cell.protocol {
@@ -263,27 +335,16 @@ fn run_cell_seeds(
             // check allocation-free.
             let golden = golden_dfs_orientation(&net);
             match substrate {
-                TokenSubstrate::Oracle => drive(
-                    &net,
-                    Dftno::new(oracle_walker),
-                    Mode::Goal,
-                    |net, c| dftno_matches(&golden, net, c),
-                    cell,
-                    matrix,
-                    seed_lo,
-                    seed_hi,
-                    options,
-                ),
-                TokenSubstrate::Dftc => drive(
+                TokenSubstrate::Oracle => {
+                    v.visit(&net, Dftno::new(oracle_walker), Mode::Goal, |net, c| {
+                        dftno_matches(&golden, net, c)
+                    })
+                }
+                TokenSubstrate::Dftc => v.visit(
                     &net,
                     Dftno::new(DfsTokenCirculation),
                     Mode::Goal,
                     |net, c| dftno_matches(&golden, net, c),
-                    cell,
-                    matrix,
-                    seed_lo,
-                    seed_hi,
-                    options,
                 ),
             }
         }
@@ -294,41 +355,56 @@ fn run_cell_seeds(
             let oracle_tree = OracleSpanningTree::from_graph(&g, &tree);
             let net = Network::new(g, root);
             match substrate {
-                TreeSubstrate::Oracle => drive(
-                    &net,
-                    Stno::new(oracle_tree),
-                    Mode::Silence,
-                    stno_oriented,
-                    cell,
-                    matrix,
-                    seed_lo,
-                    seed_hi,
-                    options,
-                ),
-                TreeSubstrate::Bfs => drive(
+                TreeSubstrate::Oracle => {
+                    v.visit(&net, Stno::new(oracle_tree), Mode::Silence, stno_oriented)
+                }
+                TreeSubstrate::Bfs => v.visit(
                     &net,
                     Stno::new(BfsSpanningTree),
                     Mode::Silence,
                     stno_oriented,
-                    cell,
-                    matrix,
-                    seed_lo,
-                    seed_hi,
-                    options,
                 ),
-                TreeSubstrate::CdDfs => drive(
+                TreeSubstrate::CdDfs => v.visit(
                     &net,
                     Stno::new(CdSpanningTree),
                     Mode::Silence,
                     stno_oriented,
-                    cell,
-                    matrix,
-                    seed_lo,
-                    seed_hi,
-                    options,
                 ),
             }
         }
+    }
+}
+
+/// The campaign visitor: drives every seed of the sub-range under the
+/// meter type `M`.
+struct DriveVisitor<'a, M> {
+    cell: &'a CellSpec,
+    matrix: &'a ScenarioMatrix,
+    seed_lo: u64,
+    seed_hi: u64,
+    options: &'a EngineOptions,
+    _meter: std::marker::PhantomData<M>,
+}
+
+impl<M: Meter + Default> StackVisitor for DriveVisitor<'_, M> {
+    type Out = CellOutcome;
+
+    fn visit<P, L>(self, net: &Network, protocol: P, mode: Mode, legit: L) -> CellOutcome
+    where
+        P: Protocol,
+        L: Fn(&Network, &[P::State]) -> bool,
+    {
+        drive::<P, L, M>(
+            net,
+            protocol,
+            mode,
+            legit,
+            self.cell,
+            self.matrix,
+            self.seed_lo,
+            self.seed_hi,
+            self.options,
+        )
     }
 }
 
@@ -347,7 +423,7 @@ fn dftno_matches<S>(
 
 /// Runs one concrete protocol stack over the seeds `seed_lo .. seed_hi`.
 #[allow(clippy::too_many_arguments)]
-fn drive<P, L>(
+fn drive<P, L, M>(
     net: &Network,
     protocol: P,
     mode: Mode,
@@ -361,11 +437,12 @@ fn drive<P, L>(
 where
     P: Protocol,
     L: Fn(&Network, &[P::State]) -> bool,
+    M: Meter + Default,
 {
     // Built from the campaign-wide seed (not the chunk's), so a chunked
     // and an unchunked fleet construct identical daemons.
     let mut daemon = cell.daemon.build(net, matrix.seed_start ^ DAEMON_SALT);
-    let mut sim = Simulation::from_initial(net, protocol);
+    let mut sim = Simulation::from_initial_with_meter(net, protocol, M::default());
     // Differential hooks: `--mode` (via `EngineOptions`) or
     // `SNO_ENGINE_MODE={full-sweep,node-dirty,port-dirty,sync-sharded}`
     // pins the engine mode for the whole campaign (the legacy
@@ -380,47 +457,156 @@ where
             sim.configure_sync_sharding(shards, shards);
         }
     }
+    // Setup work (simulation construction, the mode switch above)
+    // happens once per *seed chunk*, so letting it into the counters
+    // would leak the fleet's chunking into the report. Campaign metrics
+    // measure the seeds' work only: zero the meter here, so per-chunk
+    // totals are exact sums of per-seed work and merge chunk-count- and
+    // thread-count-independently.
+    *sim.meter_mut() = M::default();
     let mut runs = Vec::with_capacity((seed_hi - seed_lo) as usize);
     for seed in seed_lo..seed_hi {
-        let mut rng = StdRng::seed_from_u64(seed);
-        sim.reinit_random(&mut rng);
-        daemon.reset(seed ^ DAEMON_SALT);
-        let (converged, moves, steps, rounds) =
-            run_phase(&mut sim, &mut daemon, &mode, &legit, net, matrix.max_steps);
+        let mut one_seed = || -> RunRecord {
+            let mut rng = StdRng::seed_from_u64(seed);
+            sim.reinit_random(&mut rng);
+            daemon.reset(seed ^ DAEMON_SALT);
+            let (converged, moves, steps, rounds) =
+                run_phase(&mut sim, &mut daemon, &mode, &legit, net, matrix.max_steps);
 
-        let mut recovery = None;
-        if converged {
-            // `hits == 0` never reaches here: `ScenarioMatrix::validate`
-            // rejects it, so the cap below only shrinks oversized plans.
-            if let FaultPlan::AfterConvergence { hits } = cell.fault {
-                let hits = (hits as usize).min(net.node_count());
-                let mut fault_rng = StdRng::seed_from_u64(seed ^ FAULT_SALT);
-                corrupt_random(&mut sim, hits, &mut fault_rng);
-                sim.reset_counters();
-                let (rc, rm, rs, rr) =
-                    run_phase(&mut sim, &mut daemon, &mode, &legit, net, matrix.max_steps);
-                recovery = Some(Recovery {
-                    converged: rc,
-                    moves: rm,
-                    steps: rs,
-                    rounds: rr,
-                });
+            let mut recovery = None;
+            if converged {
+                // `hits == 0` never reaches here: `ScenarioMatrix::validate`
+                // rejects it, so the cap below only shrinks oversized plans.
+                if let FaultPlan::AfterConvergence { hits } = cell.fault {
+                    let hits = (hits as usize).min(net.node_count());
+                    let mut fault_rng = StdRng::seed_from_u64(seed ^ FAULT_SALT);
+                    corrupt_random(&mut sim, hits, &mut fault_rng);
+                    sim.reset_counters();
+                    let (rc, rm, rs, rr) =
+                        run_phase(&mut sim, &mut daemon, &mode, &legit, net, matrix.max_steps);
+                    recovery = Some(Recovery {
+                        converged: rc,
+                        moves: rm,
+                        steps: rs,
+                        rounds: rr,
+                    });
+                }
             }
-        }
-        runs.push(RunRecord {
-            seed,
-            converged,
-            moves,
-            steps,
-            rounds,
-            recovery,
-        });
+            RunRecord {
+                seed,
+                converged,
+                moves,
+                steps,
+                rounds,
+                recovery,
+            }
+        };
+        let record = if M::ENABLED {
+            // Metered campaigns catch per-seed panics to enrich the
+            // message with the counter snapshot at the point of death,
+            // then re-raise; `fleet::parallel_map_labeled` adds the cell
+            // and seed-range label on top. The unmetered path keeps its
+            // zero-overhead unwinding.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut one_seed)) {
+                Ok(record) => record,
+                Err(payload) => {
+                    // The closure holds `&mut sim`; end it so the meter
+                    // can be read for the snapshot.
+                    #[allow(clippy::drop_non_drop)]
+                    drop(one_seed);
+                    let msg = crate::fleet::payload_message(payload.as_ref());
+                    let counters = sim
+                        .meter()
+                        .counters()
+                        .map_or_else(|| "unavailable".to_string(), |c| c.render());
+                    panic!("seed {seed} panicked: {msg} [counters: {counters}]");
+                }
+            }
+        } else {
+            one_seed()
+        };
+        runs.push(record);
     }
+    let metrics = sim.meter().counters().cloned();
     CellOutcome {
         cell: *cell,
         nodes: net.node_count(),
         edges: net.graph().edge_count(),
         runs,
+        metrics,
+    }
+}
+
+/// Renders the sharded synchronous executor's phase trace of the first
+/// seed of the matrix's first cell as a Chrome trace-event JSON document
+/// (`chrome://tracing` / Perfetto) — the `sno-lab run --trace` backend.
+///
+/// The re-run always uses [`EngineMode::SyncSharded`](sno_engine::EngineMode)
+/// with the options' resolved shard count (raised to at least 2 — a
+/// one-shard trace has nothing to attribute) and a parallel-activation
+/// threshold of zero, so the guard/write/re-eval phases fan out over the
+/// shard fleet (one trace lane per shard) even at lab-scale instances.
+/// Steps with a single writer still run the serial path — pair the flag
+/// with a daemon that selects many writers (`synchronous`,
+/// `distributed`) for a meaningful trace.
+/// Engine modes agree bit-for-bit on every trajectory, so the traced run
+/// computes exactly what the campaign's run of the same seed computed.
+///
+/// Returns `None` for an empty matrix.
+pub fn trace_first_cell(matrix: &ScenarioMatrix, options: &EngineOptions) -> Option<String> {
+    let cells = matrix.cells();
+    let cell = cells.first()?;
+    Some(dispatch_stack(
+        cell,
+        matrix,
+        TraceVisitor {
+            cell,
+            matrix,
+            seed: matrix.seed_start,
+            shards: options.resolved_shards().max(2),
+        },
+    ))
+}
+
+/// The `--trace` visitor: one seed, sharded executor, tracer attached.
+struct TraceVisitor<'a> {
+    cell: &'a CellSpec,
+    matrix: &'a ScenarioMatrix,
+    seed: u64,
+    shards: usize,
+}
+
+impl StackVisitor for TraceVisitor<'_> {
+    type Out = String;
+
+    fn visit<P, L>(self, net: &Network, protocol: P, mode: Mode, legit: L) -> String
+    where
+        P: Protocol,
+        L: Fn(&Network, &[P::State]) -> bool,
+    {
+        let mut daemon = self
+            .cell
+            .daemon
+            .build(net, self.matrix.seed_start ^ DAEMON_SALT);
+        let mut sim = Simulation::from_initial(net, protocol);
+        sim.set_mode(sno_engine::EngineMode::SyncSharded);
+        sim.configure_sync_sharding(self.shards, self.shards);
+        sim.set_sync_parallel_threshold(0);
+        sim.set_tracer(TraceBuffer::new());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        sim.reinit_random(&mut rng);
+        daemon.reset(self.seed ^ DAEMON_SALT);
+        let _ = run_phase(
+            &mut sim,
+            &mut daemon,
+            &mode,
+            &legit,
+            net,
+            self.matrix.max_steps,
+        );
+        sim.take_tracer()
+            .expect("tracer was attached above")
+            .to_chrome_json()
     }
 }
 
@@ -485,8 +671,8 @@ fn sync_shards_from_env() -> Option<usize> {
 }
 
 /// One convergence phase under the cell's detection mode.
-fn run_phase<P, L>(
-    sim: &mut Simulation<'_, P>,
+fn run_phase<P, L, M>(
+    sim: &mut Simulation<'_, P, M>,
     daemon: &mut Box<dyn Daemon>,
     mode: &Mode,
     legit: &L,
@@ -496,6 +682,7 @@ fn run_phase<P, L>(
 where
     P: Protocol,
     L: Fn(&Network, &[P::State]) -> bool,
+    M: Meter,
 {
     match mode {
         Mode::Goal => {
@@ -604,6 +791,84 @@ mod tests {
             .map(|r| r.seed)
             .collect();
         assert_eq!(seeds, (3..16).collect::<Vec<u64>>(), "seed order");
+    }
+
+    #[test]
+    fn metered_campaigns_are_deterministic_and_additive_only() {
+        use sno_engine::Counter;
+        let m = tiny_matrix();
+        let metered = EngineOptions {
+            metrics: true,
+            ..EngineOptions::default()
+        };
+        let a = run_campaign_with_options(&m, 1, &metered);
+        let b = run_campaign_with_options(&m, 4, &metered);
+        // Counter totals are byte-identical across thread counts (and
+        // with them seed chunkings) — the whole report compares equal,
+        // metrics included.
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        for cell in &a.cells {
+            let metrics = cell.metrics.as_ref().expect("metrics collected");
+            assert!(
+                metrics.get(Counter::GuardEvals) > 0,
+                "guards were evaluated"
+            );
+            assert!(metrics.get(Counter::TxnCommits) > 0, "moves were committed");
+            let moves = cell.moves.as_ref().expect("all runs converged");
+            assert_eq!(
+                metrics.get(Counter::TxnCommits),
+                (moves.mean * moves.count as f64).round() as u64,
+                "one transaction commit per move"
+            );
+        }
+        assert!(a
+            .to_json()
+            .contains("\"metrics\":{\"counters\":{\"guard_evals\":"));
+        assert!(a.to_markdown().contains("### Metrics"));
+
+        // The unmetered campaign computes the same runs and renders the
+        // same (metrics-free) sections — the meter only ever adds.
+        let plain = run_campaign_with_threads(&m, 2);
+        assert!(plain.cells.iter().all(|c| c.metrics.is_none()));
+        assert!(!plain.to_json().contains("\"metrics\""));
+        assert!(!plain.to_markdown().contains("### Metrics"));
+        for (metered_cell, plain_cell) in a.cells.iter().zip(&plain.cells) {
+            assert_eq!(metered_cell.moves, plain_cell.moves);
+            assert_eq!(metered_cell.steps, plain_cell.steps);
+            assert_eq!(metered_cell.rounds, plain_cell.rounds);
+            assert_eq!(metered_cell.converged, plain_cell.converged);
+        }
+    }
+
+    #[test]
+    fn trace_renders_shard_lanes_for_the_first_cell() {
+        let m = ScenarioMatrix::new("trace")
+            .topologies([GeneratorSpec::Hubs { hubs: 3 }])
+            .sizes([24])
+            .protocols([ProtocolSpec::Stno(TreeSubstrate::Oracle)])
+            .daemons([DaemonSpec::Synchronous])
+            .seeds(0, 1)
+            .max_steps(100_000);
+        let options = EngineOptions {
+            shards: Some(4),
+            ..EngineOptions::default()
+        };
+        let doc = trace_first_cell(&m, &options).expect("non-empty matrix");
+        assert!(doc.starts_with("{\"traceEvents\":["), "{doc}");
+        for needle in [
+            "\"ph\":\"M\"",
+            "\"name\":\"thread_name\"",
+            "\"shard 0\"",
+            "\"shard 3\"",
+            "\"control\"",
+            "\"ph\":\"X\"",
+            "\"name\":\"resolve\"",
+            "\"name\":\"write\"",
+            "\"name\":\"barrier\"",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in {doc}");
+        }
     }
 
     #[test]

@@ -1,48 +1,14 @@
 //! Order statistics over per-run counters.
+//!
+//! The digest itself lives in `sno-telemetry` ([`SummaryStats`]) and is
+//! shared with the engine's `StabilizationStats`; this module re-exports
+//! it under the lab's historical name and keeps the lab-side contract
+//! tests pinning the exact nearest-rank semantics the campaign JSON's
+//! byte-identity depends on.
+//!
+//! [`SummaryStats`]: sno_telemetry::SummaryStats
 
-/// Five-number summary (plus mean) of a set of `u64` samples.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Summary {
-    /// Number of samples.
-    pub count: usize,
-    /// Minimum.
-    pub min: u64,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Median (nearest-rank).
-    pub p50: u64,
-    /// 95th percentile (nearest-rank).
-    pub p95: u64,
-    /// Maximum.
-    pub max: u64,
-}
-
-impl Summary {
-    /// Summarizes `samples` (sorted in place); `None` when empty.
-    pub fn from_samples(samples: &mut [u64]) -> Option<Summary> {
-        if samples.is_empty() {
-            return None;
-        }
-        samples.sort_unstable();
-        let count = samples.len();
-        let sum: u128 = samples.iter().map(|&v| v as u128).sum();
-        Some(Summary {
-            count,
-            min: samples[0],
-            mean: sum as f64 / count as f64,
-            p50: nearest_rank(samples, 50),
-            p95: nearest_rank(samples, 95),
-            max: samples[count - 1],
-        })
-    }
-}
-
-/// Nearest-rank percentile of an ascending-sorted non-empty slice.
-fn nearest_rank(sorted: &[u64], percentile: u32) -> u64 {
-    debug_assert!(!sorted.is_empty() && (1..=100).contains(&percentile));
-    let rank = (percentile as usize * sorted.len()).div_ceil(100);
-    sorted[rank.max(1) - 1]
-}
+pub use sno_telemetry::SummaryStats as Summary;
 
 #[cfg(test)]
 mod tests {
