@@ -58,12 +58,14 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod dcd;
 pub mod dftno;
 pub mod orientation;
 pub mod sod;
 pub mod stno;
 pub mod trace;
 
+pub use dcd::Dcd;
 pub use dftno::Dftno;
 pub use orientation::Orientation;
 pub use stno::Stno;

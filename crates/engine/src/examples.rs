@@ -89,6 +89,13 @@ impl Protocol for HopDistance {
         rng.next_u32() % (ctx.n_bound as u32 + 1)
     }
 
+    fn reattach_state(&self, _ctx: &NodeCtx, old: &u32) -> u32 {
+        // The distance variable references no port numbers, so it can
+        // survive a topology event at this node unchanged — stabilization
+        // then repairs it like any other perturbation.
+        *old
+    }
+
     // --- Port-separable interface (also the reference implementation the
     // engine docs point at): one cached word per port holds the
     // neighbor's distance, the single node word holds their minimum, so a

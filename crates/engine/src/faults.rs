@@ -37,7 +37,7 @@ pub fn corrupt_nodes<P: Protocol, M: Meter>(
 pub fn corrupt_random<P: Protocol, M: Meter>(
     sim: &mut Simulation<'_, P, M>,
     k: usize,
-    rng: &mut (impl RngCore + Clone),
+    rng: &mut dyn RngCore,
 ) -> Vec<NodeId> {
     let n = sim.network().node_count();
     assert!(k <= n, "cannot corrupt more processors than exist");

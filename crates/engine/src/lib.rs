@@ -58,6 +58,7 @@ pub use protocol::{
     WriteTxn,
 };
 pub use sim::{EngineMode, RunResult, Simulation, StepOutcome, DEFAULT_SYNC_THRESHOLD};
+pub use sno_graph::{CsrDelta, TopologyEvent, TopologyRepair};
 pub use store::{ConfigStore, DeltaTxn, ShardTxn};
 
 /// Deterministic engine telemetry (re-exported from `sno-telemetry`):

@@ -1,6 +1,6 @@
 //! A rooted network: topology + the static knowledge each processor holds.
 
-use sno_graph::{Graph, NodeId, Port};
+use sno_graph::{Graph, GraphError, NodeId, Port, TopologyEvent, TopologyRepair};
 
 /// The static, per-processor knowledge the paper's model grants a node:
 /// whether it is the distinguished root `r`, its degree `Δ_p`, the back port
@@ -127,6 +127,73 @@ impl Network {
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.graph.nodes()
     }
+
+    /// Applies one [`TopologyEvent`] with **incremental repair**: the
+    /// graph splices its CSR arrays in place (see `sno_graph::mutate`)
+    /// and only the contexts whose degree, back ports, or membership
+    /// could have changed — the event's endpoints *and their current
+    /// neighbors* (a removal renumbers ports, which rewrites back ports
+    /// stored at neighbors) — are rebuilt. A `NodeJoin` appends one
+    /// fresh context.
+    ///
+    /// Unlike construction, a mutated network may be **disconnected**:
+    /// dynamic topology makes disconnection a first-class fault (the
+    /// disconnection-aware protocol layer is what recovers from it), so
+    /// no connectivity assertion runs here.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GraphError`] from the mutation (the network is unchanged on
+    /// error). Additionally rejects crashing the root (the model keeps
+    /// the distinguished root) and joins that would exceed the known
+    /// bound `N` (every processor's name must stay below it).
+    pub fn apply_event(&mut self, event: &TopologyEvent) -> Result<TopologyRepair, GraphError> {
+        match event {
+            TopologyEvent::NodeCrash { node } => {
+                assert!(*node != self.root, "the distinguished root cannot crash");
+            }
+            TopologyEvent::NodeJoin { .. } => {
+                assert!(
+                    self.graph.node_count() < self.n_bound,
+                    "a join would exceed the known bound N = {} — construct the \
+                     network with a loose `Network::with_bound` to leave room \
+                     for arrivals",
+                    self.n_bound
+                );
+            }
+            _ => {}
+        }
+        let repair = self.graph.apply_event(event)?;
+        if let Some(x) = repair.joined {
+            debug_assert_eq!(x.index(), self.ctxs.len());
+            self.ctxs.push(NodeCtx {
+                id: x,
+                is_root: false,
+                degree: 0,
+                back_ports: Vec::new(),
+                n_bound: self.n_bound,
+            });
+        }
+        // Rebuild the contexts of the footprint: endpoints first, then
+        // their current neighbors (deduplicated via the refresh itself
+        // being idempotent and cheap — footprints are O(Δ)).
+        for &p in &repair.endpoints {
+            self.refresh_ctx(p);
+            for l in 0..self.graph.degree(p) {
+                let q = self.graph.neighbor(p, Port::new(l));
+                self.refresh_ctx(q);
+            }
+        }
+        Ok(repair)
+    }
+
+    /// Rebuilds one context from the current graph.
+    fn refresh_ctx(&mut self, p: NodeId) {
+        let ctx = &mut self.ctxs[p.index()];
+        ctx.degree = self.graph.degree(p);
+        ctx.back_ports.clear();
+        ctx.back_ports.extend_from_slice(self.graph.back_ports(p));
+    }
 }
 
 #[cfg(test)]
@@ -177,5 +244,101 @@ mod tests {
     fn rejects_tight_bound_violation() {
         let g = sno_graph::generators::path(5);
         let _ = Network::with_bound(g, NodeId::new(0), 4);
+    }
+
+    /// After any event sequence that keeps the graph connected, the
+    /// incrementally repaired contexts must equal a from-scratch
+    /// `Network::with_bound` over the same graph.
+    fn assert_ctxs_match_rebuild(net: &Network) {
+        let fresh = Network::with_bound(net.graph().clone(), net.root(), net.n_bound());
+        for p in net.nodes() {
+            assert_eq!(net.ctx(p), fresh.ctx(p), "ctx {p:?} drifted");
+        }
+    }
+
+    #[test]
+    fn apply_event_repairs_ctxs_incrementally() {
+        let g = sno_graph::generators::ring(6);
+        let mut net = Network::with_bound(g, NodeId::new(0), 8);
+        net.apply_event(&TopologyEvent::LinkAdd {
+            u: NodeId::new(0),
+            v: NodeId::new(3),
+        })
+        .unwrap();
+        assert_eq!(net.ctx(NodeId::new(0)).degree, 3);
+        assert_ctxs_match_rebuild(&net);
+
+        net.apply_event(&TopologyEvent::LinkFail {
+            u: NodeId::new(1),
+            v: NodeId::new(2),
+        })
+        .unwrap();
+        assert_ctxs_match_rebuild(&net);
+
+        net.apply_event(&TopologyEvent::NodeJoin {
+            links: vec![NodeId::new(2), NodeId::new(5)],
+        })
+        .unwrap();
+        assert_eq!(net.node_count(), 7);
+        assert_eq!(net.ctx(NodeId::new(6)).degree, 2);
+        assert!(!net.ctx(NodeId::new(6)).is_root);
+        assert_ctxs_match_rebuild(&net);
+    }
+
+    #[test]
+    fn crash_leaves_a_stable_zombie() {
+        let g = sno_graph::generators::complete(5);
+        let mut net = Network::new(g, NodeId::new(0));
+        let repair = net
+            .apply_event(&TopologyEvent::NodeCrash {
+                node: NodeId::new(3),
+            })
+            .unwrap();
+        assert_eq!(repair.deltas.len(), 4);
+        assert_eq!(net.node_count(), 5, "NodeIds stay stable");
+        assert_eq!(net.ctx(NodeId::new(3)).degree, 0);
+        // The survivors' ctxs match a rebuild of the mutated graph
+        // (which is still connected around the zombie-free component —
+        // complete(5) minus one node is complete(4) plus a zombie, and
+        // `with_bound` would reject the disconnected zombie, so compare
+        // per-field instead).
+        for p in net.nodes() {
+            assert_eq!(net.ctx(p).degree, net.graph().degree(p));
+            assert_eq!(net.ctx(p).back_ports.len(), net.graph().degree(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "root cannot crash")]
+    fn rejects_root_crash() {
+        let g = sno_graph::generators::path(3);
+        let mut net = Network::new(g, NodeId::new(0));
+        let _ = net.apply_event(&TopologyEvent::NodeCrash {
+            node: NodeId::new(0),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the known bound")]
+    fn rejects_join_beyond_bound() {
+        let g = sno_graph::generators::path(3);
+        let mut net = Network::new(g, NodeId::new(0));
+        let _ = net.apply_event(&TopologyEvent::NodeJoin {
+            links: vec![NodeId::new(0)],
+        });
+    }
+
+    #[test]
+    fn disconnection_is_allowed_under_mutation() {
+        let g = sno_graph::generators::path(4);
+        let mut net = Network::new(g, NodeId::new(0));
+        net.apply_event(&TopologyEvent::LinkFail {
+            u: NodeId::new(1),
+            v: NodeId::new(2),
+        })
+        .unwrap();
+        assert!(!net.graph().is_connected());
+        assert_eq!(net.ctx(NodeId::new(1)).degree, 1);
+        assert_eq!(net.ctx(NodeId::new(2)).degree, 1);
     }
 }

@@ -869,6 +869,23 @@ pub trait Protocol: Sync {
     /// Samples an arbitrary (possibly corrupt) state — the adversary's
     /// transient fault. Used by convergence tests and the fault injector.
     fn random_state(&self, ctx: &NodeCtx, rng: &mut dyn RngCore) -> Self::State;
+
+    /// The state a processor keeps after a **topology event** changed
+    /// its port space (a link appeared or failed at one of its ports):
+    /// `ctx` is the post-event context, `old` the pre-event state.
+    ///
+    /// The conservative default boots the processor fresh via
+    /// [`Protocol::initial_state`] — always self-stabilizingly correct,
+    /// since any state is. Protocols whose state carries no port-indexed
+    /// structure (e.g. a plain distance value) should override this to
+    /// return `old.clone()` so a link event elsewhere in a node's
+    /// neighborhood doesn't needlessly restart it; protocols with
+    /// port-indexed state (edge labels, per-port flags) must either
+    /// keep the default or remap the surviving ports themselves.
+    fn reattach_state(&self, ctx: &NodeCtx, old: &Self::State) -> Self::State {
+        let _ = old;
+        self.initial_state(ctx)
+    }
 }
 
 /// The engine's root [`StateTxn`]: a write handle over one state slot

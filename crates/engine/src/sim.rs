@@ -90,10 +90,11 @@
 //! (`tests/engine_differential.rs`, `tests/port_separability.rs`) step the
 //! modes in lockstep and assert identical traces.
 
+use std::borrow::Cow;
 use std::time::Instant;
 
 use rand::RngCore;
-use sno_graph::{NodeId, Partition, Port};
+use sno_graph::{GraphError, NodeId, Partition, Port, TopologyEvent, TopologyRepair};
 use sno_telemetry::{Counter, Meter, Metric, NoopMeter, TraceBuffer};
 
 use crate::daemon::{Daemon, EnabledNode};
@@ -196,7 +197,10 @@ pub struct RunResult {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulation<'a, P: Protocol, M: Meter = NoopMeter> {
-    net: &'a Network,
+    /// The network, copy-on-write: constructed borrowed (many simulations
+    /// share one immutable network), upgraded to an owned clone the first
+    /// time a [`TopologyEvent`] mutates the topology mid-run.
+    net: Cow<'a, Network>,
     protocol: P,
     /// The telemetry sink. The default [`NoopMeter`] monomorphizes every
     /// hook into nothing — the disabled path is the uninstrumented hot
@@ -235,6 +239,10 @@ pub struct Simulation<'a, P: Protocol, M: Meter = NoopMeter> {
     /// `dirty_mark[p] == epoch` iff `p` is already queued this step.
     dirty_mark: Vec<u64>,
     epoch: u64,
+    /// The most recent [`TopologyEvent`] applied to this simulation, kept
+    /// for diagnostics (campaign panic messages cite it to localize
+    /// dynamic-topology failures).
+    last_topology_event: Option<TopologyEvent>,
     // --- Port-separable guard cache (allocated iff `port_cache_active`).
     // One word per directed half-edge (CSR-aligned with the graph's flat
     // adjacency) plus `node_stride` words per node; the protocol defines
@@ -373,7 +381,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
             0
         };
         let mut sim = Simulation {
-            net,
+            net: Cow::Borrowed(net),
             protocol,
             meter,
             tracer: None,
@@ -390,6 +398,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
             dirty: Vec::new(),
             dirty_mark: vec![0; n],
             epoch: 0,
+            last_topology_event: None,
             port_words: vec![0; csr],
             node_words: vec![0; n * stride],
             node_stride: stride,
@@ -471,9 +480,16 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
         self.tracer.take()
     }
 
-    /// The network this simulation runs on.
+    /// The network this simulation runs on. After a topology event this is
+    /// the simulation's own mutated copy, not the network it was built
+    /// from — legitimacy predicates must evaluate against it.
     pub fn network(&self) -> &Network {
-        self.net
+        &self.net
+    }
+
+    /// The most recently applied [`TopologyEvent`], if any.
+    pub fn last_topology_event(&self) -> Option<&TopologyEvent> {
+        self.last_topology_event.as_ref()
     }
 
     /// The protocol instance.
@@ -502,13 +518,14 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
         // does not cover it: refresh the whole neighborhood and rebuild
         // its port caches conservatively.
         if self.mode != EngineMode::FullSweep {
-            let net = self.net;
-            let neighborhood = 1 + net.graph().degree(p) as u64;
+            let deg = self.net.graph().degree(p);
+            let neighborhood = 1 + deg as u64;
             self.meter.add(Counter::GuardEvals, neighborhood);
             let mut actions = std::mem::take(&mut self.scratch_actions);
             let mut list = std::mem::take(&mut self.enabled_list);
             self.refresh_node(p.index(), &mut actions, &mut list);
-            for &q in net.graph().neighbors(p) {
+            for l in 0..deg {
+                let q = self.net.graph().neighbor(p, Port::new(l));
                 self.refresh_node(q.index(), &mut actions, &mut list);
             }
             self.scratch_actions = actions;
@@ -516,12 +533,166 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
             if self.port_cache_active {
                 self.meter.add(Counter::GuardEvals, neighborhood);
                 self.reinit_port_cache_node(p.index());
-                for &q in net.graph().neighbors(p) {
+                for l in 0..deg {
+                    let q = self.net.graph().neighbor(p, Port::new(l));
                     self.reinit_port_cache_node(q.index());
                 }
             }
         }
         self.reset_round_frontier();
+    }
+
+    /// Applies one [`TopologyEvent`] to the running simulation with
+    /// **incremental repair** — no engine structure is rebuilt from
+    /// scratch on this path:
+    ///
+    /// 1. the network is upgraded to an owned copy (first event only) and
+    ///    mutated in place, splicing its CSR arrays
+    ///    ([`Network::apply_event`]);
+    /// 2. the engine-owned CSR-aligned arrays (`port_words`, `port_mark`)
+    ///    are spliced by the same deltas, whenever they are allocated —
+    ///    even while another mode runs, because [`Simulation::set_mode`]
+    ///    re-allocates only on a length mismatch and a stale
+    ///    right-length array would be silently reused;
+    /// 3. a `NodeJoin` grows every per-node array, pushes one
+    ///    configuration slot ([`ConfigStore::push_slot`]), and extends
+    ///    the sharded executor's partition ([`Partition::absorb_node`]);
+    /// 4. state semantics: a crashed processor's state is dropped (the
+    ///    zombie keeps a fresh [`Protocol::initial_state`] so its guards
+    ///    stay silent), an arrival boots from
+    ///    [`Protocol::random_state`] when `rng` is given (the adversary
+    ///    picks the join state, as self-stabilization demands) or
+    ///    [`Protocol::initial_state`] otherwise, and every other
+    ///    endpoint passes through [`Protocol::reattach_state`] (its
+    ///    port numbering may have shifted);
+    /// 5. the dirty footprint — the endpoints plus their **current**
+    ///    neighborhoods, exactly the processors whose guards can have
+    ///    flipped — is re-evaluated and its port caches rebuilt, in
+    ///    every [`EngineMode`] (the reference mode sweeps on its own);
+    /// 6. the round frontier is re-seeded: a topology event is an
+    ///    adversarial action, so round accounting restarts like it does
+    ///    for [`Simulation::set_state`].
+    ///
+    /// Emits [`Counter::TopoEvents`], [`Counter::CsrRepairs`] (CSR table
+    /// edits), and [`Counter::CacheRepairs`] (footprint nodes) — all
+    /// schedule-independent, so enabled meters stay byte-identical
+    /// across shard and thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from the graph mutation; the simulation
+    /// is unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event crashes the root or joins beyond the bound
+    /// `N` (see [`Network::apply_event`]).
+    pub fn apply_topology_event(
+        &mut self,
+        event: &TopologyEvent,
+        rng: Option<&mut dyn RngCore>,
+    ) -> Result<TopologyRepair, GraphError> {
+        let repair = self.net.to_mut().apply_event(event)?;
+        self.meter.add(Counter::TopoEvents, 1);
+        self.meter.add(Counter::CsrRepairs, repair.edits() as u64);
+
+        // 2. Splice the CSR-aligned cache arrays (stale contents are fine
+        // — the footprint pass below rebuilds every affected node — but
+        // the *layout* must track the graph).
+        if self.port_cache_active || !self.port_words.is_empty() {
+            for delta in &repair.deltas {
+                delta.splice(&mut self.port_words, 0u64);
+                delta.splice(&mut self.port_mark, 0u64);
+            }
+        }
+
+        // 3. An arrival grows every per-node engine array by one slot.
+        if let Some(x) = repair.joined {
+            debug_assert_eq!(x.index() + 1, self.net.node_count());
+            self.round_frontier.push(false);
+            self.action_count.push(0);
+            self.dirty_mark.push(0);
+            self.scratch_node_mask.push(false);
+            if !self.full_mark.is_empty() {
+                self.full_mark.push(0);
+                self.touched_mark.push(0);
+            }
+            self.node_words
+                .extend(std::iter::repeat_n(0, self.node_stride));
+            let state = {
+                let ctx = self.net.ctx(x);
+                match rng {
+                    Some(r) => self.protocol.random_state(ctx, r),
+                    None => self.protocol.initial_state(ctx),
+                }
+            };
+            self.store.push_slot(state);
+            if let Some(p) = self.sync_partition.as_mut() {
+                p.absorb_node();
+            }
+        }
+
+        // 4. Departure/reattachment state semantics.
+        if let TopologyEvent::NodeCrash { node } = event {
+            let s = self.protocol.initial_state(self.net.ctx(*node));
+            self.store.slots_mut()[node.index()] = s;
+        }
+        for &p in &repair.endpoints {
+            if Some(p) == repair.joined {
+                continue; // just booted above
+            }
+            if matches!(event, TopologyEvent::NodeCrash { node } if *node == p) {
+                continue; // the zombie keeps its fresh initial state
+            }
+            let s = self
+                .protocol
+                .reattach_state(self.net.ctx(p), &self.store.slice()[p.index()]);
+            self.store.slots_mut()[p.index()] = s;
+        }
+
+        // 5. Re-evaluate the mutation footprint: endpoints (ports and
+        // states changed) plus their current neighbors (they observe
+        // those states). Deduplicated through the node-mask scratch.
+        let mut footprint: Vec<u32> = Vec::new();
+        for &p in &repair.endpoints {
+            let i = p.index();
+            if !std::mem::replace(&mut self.scratch_node_mask[i], true) {
+                footprint.push(i as u32);
+            }
+            for l in 0..self.net.graph().degree(p) {
+                let q = self.net.graph().neighbor(p, Port::new(l)).index();
+                if !std::mem::replace(&mut self.scratch_node_mask[q], true) {
+                    footprint.push(q as u32);
+                }
+            }
+        }
+        for &i in &footprint {
+            self.scratch_node_mask[i as usize] = false;
+        }
+        // Counted in every mode (the footprint is mode-independent), so
+        // campaign determinism gates can compare it across modes too.
+        self.meter
+            .add(Counter::CacheRepairs, footprint.len() as u64);
+        if self.mode != EngineMode::FullSweep {
+            self.meter.add(Counter::GuardEvals, footprint.len() as u64);
+            let mut actions = std::mem::take(&mut self.scratch_actions);
+            let mut list = std::mem::take(&mut self.enabled_list);
+            for &i in &footprint {
+                self.refresh_node(i as usize, &mut actions, &mut list);
+            }
+            self.scratch_actions = actions;
+            self.enabled_list = list;
+            if self.port_cache_active {
+                self.meter.add(Counter::GuardEvals, footprint.len() as u64);
+                for &i in &footprint {
+                    self.reinit_port_cache_node(i as usize);
+                }
+            }
+        }
+
+        self.last_topology_event = Some(event.clone());
+        self.reset_round_frontier();
+        Ok(repair)
     }
 
     /// Rebuilds one node's port cache from the current configuration via
@@ -532,7 +703,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
         let g = self.net.graph();
         let base = g.csr_base(node);
         let deg = g.degree(node);
-        let view = ConfigView::new(self.net, node, self.store.slice());
+        let view = ConfigView::new(&self.net, node, self.store.slice());
         let mut cache = PortCache::new(
             &mut self.port_words[base..base + deg],
             &mut self.node_words[idx * self.node_stride..(idx + 1) * self.node_stride],
@@ -749,7 +920,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
         out.clear();
         for p in self.net.nodes() {
             actions.clear();
-            let view = ConfigView::new(self.net, p, self.store.slice());
+            let view = ConfigView::new(&self.net, p, self.store.slice());
             self.protocol.enabled_into(&view, actions, arena);
             if !actions.is_empty() {
                 out.push(EnabledNode {
@@ -763,7 +934,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
     /// The enabled actions of one processor in the current configuration.
     pub fn enabled_actions(&self, p: NodeId) -> Vec<P::Action> {
         let mut out = Vec::new();
-        let view = ConfigView::new(self.net, p, self.store.slice());
+        let view = ConfigView::new(&self.net, p, self.store.slice());
         self.protocol.enabled(&view, &mut out);
         out
     }
@@ -789,7 +960,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
         self.enabled_list.clear();
         for p in self.net.nodes() {
             actions.clear();
-            let view = ConfigView::new(self.net, p, self.store.slice());
+            let view = ConfigView::new(&self.net, p, self.store.slice());
             self.protocol.enabled_into(&view, &mut actions, &mut arena);
             let count = actions.len() as u32;
             self.action_count[p.index()] = count;
@@ -820,7 +991,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
     ) -> u32 {
         let node = NodeId::new(idx);
         actions.clear();
-        let view = ConfigView::new(self.net, node, self.store.slice());
+        let view = ConfigView::new(&self.net, node, self.store.slice());
         self.protocol
             .enabled_into(&view, actions, &mut self.scratch_arena);
         let new = actions.len() as u32;
@@ -859,14 +1030,21 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
     }
 
     /// Queues `node` for guard re-evaluation, deduplicating via the epoch
-    /// stamp.
-    fn mark_dirty(&mut self, node: NodeId, dirty: &mut Vec<u32>) {
+    /// stamp. An associated fn over the disjoint fields it needs, so call
+    /// sites can hold a borrow of the network across it.
+    fn mark_dirty(
+        meter: &mut M,
+        dirty_mark: &mut [u64],
+        epoch: u64,
+        node: NodeId,
+        dirty: &mut Vec<u32>,
+    ) {
         // Counted as an *attempt*: the dedup-suppressed pushes are the
         // interesting part of the queue's behavior.
-        self.meter.add(Counter::DirtyPushes, 1);
+        meter.add(Counter::DirtyPushes, 1);
         let i = node.index();
-        if self.dirty_mark[i] != self.epoch {
-            self.dirty_mark[i] = self.epoch;
+        if dirty_mark[i] != epoch {
+            dirty_mark[i] = epoch;
             dirty.push(i as u32);
         }
     }
@@ -1009,7 +1187,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                     "daemon selected the same processor twice"
                 );
                 let node = enabled[c.enabled_index].node;
-                let view = ConfigView::new(self.net, node, self.store.slice());
+                let view = ConfigView::new(&self.net, node, self.store.slice());
                 actions.clear();
                 let mut from_cache = false;
                 if use_ports {
@@ -1078,7 +1256,6 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
         } else {
             0
         };
-        let net = self.net;
         let mut dirty = std::mem::take(&mut self.dirty);
         dirty.clear();
         while self.txn_recs.len() < pending.len() {
@@ -1093,8 +1270,12 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
             }
             self.txn_recs[0].reset();
             {
-                let mut txn =
-                    WriteTxn::split(net, node, self.store.slots_mut(), &mut self.txn_recs[0]);
+                let mut txn = WriteTxn::split(
+                    &self.net,
+                    node,
+                    self.store.slots_mut(),
+                    &mut self.txn_recs[0],
+                );
                 self.protocol.apply_in_place(&mut txn, action);
             }
             debug_assert!(
@@ -1102,9 +1283,21 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                 "apply_in_place must commit its transaction"
             );
             if !full_sweep && !use_ports {
-                self.mark_dirty(node, &mut dirty);
-                for &q in net.graph().neighbors(node) {
-                    self.mark_dirty(q, &mut dirty);
+                Self::mark_dirty(
+                    &mut self.meter,
+                    &mut self.dirty_mark,
+                    self.epoch,
+                    node,
+                    &mut dirty,
+                );
+                for &q in self.net.graph().neighbors(node) {
+                    Self::mark_dirty(
+                        &mut self.meter,
+                        &mut self.dirty_mark,
+                        self.epoch,
+                        q,
+                        &mut dirty,
+                    );
                 }
             }
         } else {
@@ -1116,9 +1309,21 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                 }
                 if !full_sweep && !use_ports {
                     let node = NodeId::new(i);
-                    self.mark_dirty(node, &mut dirty);
-                    for &q in net.graph().neighbors(node) {
-                        self.mark_dirty(q, &mut dirty);
+                    Self::mark_dirty(
+                        &mut self.meter,
+                        &mut self.dirty_mark,
+                        self.epoch,
+                        node,
+                        &mut dirty,
+                    );
+                    for &q in self.net.graph().neighbors(node) {
+                        Self::mark_dirty(
+                            &mut self.meter,
+                            &mut self.dirty_mark,
+                            self.epoch,
+                            q,
+                            &mut dirty,
+                        );
                     }
                 }
             }
@@ -1214,7 +1419,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                 let d = d as usize;
                 let node = NodeId::new(d);
                 actions.clear();
-                let view = ConfigView::new(self.net, node, self.store.slice());
+                let view = ConfigView::new(&self.net, node, self.store.slice());
                 self.protocol.enabled_into(&view, &mut actions, &mut arena);
                 let new = actions.len() as u32;
                 self.action_count[d] = new;
@@ -1290,7 +1495,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
     /// Verdicts of [`PortVerdict::Whole`] fall back to a full
     /// [`Protocol::init_ports`] re-evaluation for that node only.
     fn port_dirty_pass(&mut self, enabled: &mut Vec<EnabledNode>, pending: &[(u32, P::Action)]) {
-        let net = self.net;
+        let net = &*self.net;
         let g = net.graph();
         let epoch = self.epoch;
         let stride = self.node_stride;
@@ -1473,7 +1678,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
             self.shard_jobs[s].push((node.index() as u32, c.action_index as u32));
         }
 
-        let net = self.net;
+        let net = &*self.net;
         let protocol = &self.protocol;
         let config = self.store.slice();
         #[cfg(debug_assertions)]
@@ -1542,7 +1747,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
     /// are observed by nothing, so chunked in-place application is safe
     /// and order-free).
     fn commit_multi_delta(&mut self, pending: &[(u32, P::Action)], parallel: bool) {
-        let net = self.net;
+        let net = &*self.net;
         let g = net.graph();
         debug_assert_eq!(self.pending_profiles.len(), pending.len());
         self.store.begin_round();
@@ -1640,7 +1845,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
             let s = partition.shard_of(NodeId::new(*i as usize));
             self.shard_writers[s].push(k as u32);
         }
-        let net = self.net;
+        let net = &*self.net;
         let protocol = &self.protocol;
         let bounds = partition.bounds();
         let chunks = self.store.split_shards(bounds);
@@ -1700,7 +1905,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
             let s = partition.shard_of(NodeId::new(d as usize));
             self.shard_dirty[s].push(d);
         }
-        let net = self.net;
+        let net = &*self.net;
         let protocol = &self.protocol;
         let config = self.store.slice();
         let bounds = partition.bounds();
@@ -2258,6 +2463,127 @@ mod tests {
             if oa.is_silent() {
                 break;
             }
+        }
+    }
+
+    #[test]
+    fn topology_repair_matches_a_fresh_rebuild_after_every_event() {
+        // The incremental-repair contract at the engine level: after each
+        // event, the repaired enabled cache (and port caches, exercised by
+        // continuing to step) must equal those of a simulation freshly
+        // built over the mutated network with the same configuration.
+        let g = sno_graph::generators::ring(8);
+        let base = Network::with_bound(g, NodeId::new(0), 10);
+        let mut sim = Simulation::from_initial(&base, HopDistance);
+        sim.run_until_silent(&mut CentralRoundRobin::new(), 10_000);
+        let events = [
+            TopologyEvent::LinkAdd {
+                u: NodeId::new(0),
+                v: NodeId::new(4),
+            },
+            TopologyEvent::NodeJoin {
+                links: vec![NodeId::new(2), NodeId::new(6)],
+            },
+            TopologyEvent::LinkFail {
+                u: NodeId::new(0),
+                v: NodeId::new(1),
+            },
+            TopologyEvent::NodeCrash {
+                node: NodeId::new(3),
+            },
+        ];
+        for event in events {
+            sim.apply_topology_event(&event, None).unwrap();
+            assert_eq!(sim.last_topology_event(), Some(&event));
+            let fresh = Simulation::new(sim.network(), HopDistance, sim.config().to_vec());
+            assert_eq!(sim.enabled_nodes(), fresh.enabled_nodes(), "{event}");
+            let run = sim.run_until_silent(&mut CentralRoundRobin::new(), 10_000);
+            assert!(run.converged, "reconverges after {event}");
+        }
+    }
+
+    #[test]
+    fn topology_events_keep_all_modes_in_lockstep() {
+        use rand::SeedableRng as _;
+        let g = sno_graph::generators::torus(4, 3);
+        let base = Network::with_bound(g, NodeId::new(0), 14);
+        let modes = [
+            EngineMode::FullSweep,
+            EngineMode::NodeDirty,
+            EngineMode::PortDirty,
+            EngineMode::SyncSharded,
+        ];
+        let schedule: [(u64, TopologyEvent); 4] = [
+            (
+                2,
+                TopologyEvent::LinkFail {
+                    u: NodeId::new(0),
+                    v: NodeId::new(1),
+                },
+            ),
+            (
+                5,
+                TopologyEvent::NodeJoin {
+                    links: vec![NodeId::new(3), NodeId::new(7)],
+                },
+            ),
+            (
+                8,
+                TopologyEvent::LinkAdd {
+                    u: NodeId::new(2),
+                    v: NodeId::new(9),
+                },
+            ),
+            (
+                11,
+                TopologyEvent::NodeCrash {
+                    node: NodeId::new(5),
+                },
+            ),
+        ];
+        let mut sims: Vec<_> = modes
+            .iter()
+            .map(|&m| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+                let mut s = Simulation::from_random(&base, HopDistance, &mut rng);
+                s.set_mode(m);
+                if m == EngineMode::SyncSharded {
+                    s.configure_sync_sharding(3, 2);
+                    s.set_sync_parallel_threshold(0);
+                }
+                s
+            })
+            .collect();
+        let mut daemons: Vec<_> = (0..sims.len())
+            .map(|_| DistributedRandom::seeded(13))
+            .collect();
+        let mut step = 0u64;
+        loop {
+            if let Some((_, event)) = schedule.iter().find(|(at, _)| *at == step) {
+                for sim in sims.iter_mut() {
+                    // A seeded join-state rng per sim keeps arrivals
+                    // identical across modes.
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(step);
+                    sim.apply_topology_event(event, Some(&mut rng)).unwrap();
+                }
+            }
+            let outcomes: Vec<_> = sims
+                .iter_mut()
+                .zip(daemons.iter_mut())
+                .map(|(s, d)| s.step(d))
+                .collect();
+            for o in &outcomes[1..] {
+                assert_eq!(&outcomes[0], o, "step {step}");
+            }
+            for s in &sims[1..] {
+                assert_eq!(sims[0].config(), s.config(), "step {step}");
+                assert_eq!(sims[0].enabled_nodes(), s.enabled_nodes(), "step {step}");
+            }
+            step += 1;
+            if outcomes[0].is_silent() && step > 11 {
+                break;
+            }
+            assert!(step < 10_000, "must reconverge");
         }
     }
 

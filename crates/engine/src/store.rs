@@ -128,6 +128,19 @@ impl<S: Clone> ConfigStore<S> {
         &mut self.slots
     }
 
+    /// Appends one slot (a `NodeJoin` arrival's state) with fresh epoch
+    /// words — the in-place `ConfigStore` repair for a topology event
+    /// that grows the network. Existing slots, stamps, and the stash
+    /// pool are untouched.
+    pub fn push_slot(&mut self, state: S) {
+        self.slots.push(state);
+        self.stamp.push(0);
+        self.stash_pos.push(0);
+        self.stash_mark.push(0);
+        self.plan_bits.push(0);
+        self.plan_mark.push(0);
+    }
+
     /// Opens a new multi-writer round: bumps the generation, which bulk-
     /// invalidates every stamp, stash entry, and plan mark of the
     /// previous round, and rewinds the stash pool.

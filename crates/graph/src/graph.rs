@@ -30,6 +30,13 @@ pub enum GraphError {
         /// The other endpoint.
         b: usize,
     },
+    /// A mutation named an edge the graph does not contain.
+    MissingEdge {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -42,6 +49,9 @@ impl fmt::Display for GraphError {
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
             GraphError::DuplicateEdge { a, b } => {
                 write!(f, "duplicate edge between {a} and {b}")
+            }
+            GraphError::MissingEdge { a, b } => {
+                write!(f, "no edge between {a} and {b}")
             }
         }
     }
@@ -64,8 +74,13 @@ impl std::error::Error for GraphError {}
 /// enabled-set maintenance in particular) iterate cache-line-adjacent
 /// memory and never allocate.
 ///
-/// `Graph` is immutable once built; use [`GraphBuilder`] or
-/// [`Graph::from_edges`] to construct one.
+/// Construct a `Graph` with [`GraphBuilder`] or [`Graph::from_edges`].
+/// After construction the topology can still *mutate* — [`Graph::add_edge`],
+/// [`Graph::remove_edge`], [`Graph::add_node`], [`Graph::detach_node`] —
+/// with **incremental CSR repair**: each mutation splices the flat
+/// arrays in place (no rebuild) and returns a
+/// [`CsrDelta`](crate::mutate::CsrDelta) describing the splice so
+/// aligned side tables can mirror it. See [`crate::mutate`].
 ///
 /// # Example
 ///
@@ -285,6 +300,288 @@ impl Graph {
     /// `true` iff the graph is a tree (`connected` and `m == n − 1`).
     pub fn is_tree(&self) -> bool {
         self.m + 1 == self.node_count() && self.is_connected()
+    }
+
+    /// `true` iff the graph contains the undirected edge `(u, v)`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u.index() < self.node_count() && self.port_to(u, v).is_some()
+    }
+
+    /// `true` iff the graph stays connected after removing the edge
+    /// `(u, v)` — i.e. the edge is **not a bridge**. Non-mutating: the
+    /// connectivity probe skips the edge without touching the CSR
+    /// arrays (re-adding a removed edge would renumber ports, so "remove,
+    /// test, revert" is *not* an identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn is_connected_without(&self, u: NodeId, v: NodeId) -> bool {
+        let n = self.node_count();
+        assert!(u.index() < n && v.index() < n, "endpoint out of range");
+        if n == 0 {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(p) = stack.pop() {
+            for &q in self.neighbors(p) {
+                if (p == u && q == v) || (p == v && q == u) {
+                    continue;
+                }
+                if !seen[q.index()] {
+                    seen[q.index()] = true;
+                    count += 1;
+                    stack.push(q);
+                }
+            }
+        }
+        count == n
+    }
+
+    // -----------------------------------------------------------------
+    // Incremental mutation (see `crate::mutate` for the repair contract)
+    // -----------------------------------------------------------------
+
+    /// Adds the undirected edge `(u, v)` **in place**, appending port
+    /// `degree(u)` at `u` and `degree(v)` at `v`. No existing port is
+    /// renumbered. `O(csr_len)` for the two flat-array insertions plus
+    /// `O(n)` for the offset shift — no rebuild, no re-hash of the edge
+    /// set.
+    ///
+    /// Returns the [`CsrDelta`](crate::mutate::CsrDelta) naming the two
+    /// inserted flat-array slots (post-mutation indices).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`], [`GraphError::SelfLoop`], or
+    /// [`GraphError::DuplicateEdge`].
+    pub fn add_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<crate::mutate::CsrDelta, GraphError> {
+        let n = self.node_count();
+        for x in [u, v] {
+            if x.index() >= n {
+                return Err(GraphError::NodeOutOfRange { node: x.index(), n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u.index() });
+        }
+        if self.port_to(u, v).is_some() {
+            return Err(GraphError::DuplicateEdge {
+                a: u.index(),
+                b: v.index(),
+            });
+        }
+        // Normalize so `a` is the smaller NodeId: its range end comes no
+        // later than `b`'s in the flat arrays.
+        let (a, b) = if u.index() < v.index() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let deg_a = self.degree(a);
+        let deg_b = self.degree(b);
+        let pa = self.offsets[a.index() + 1] as usize;
+        let pb = self.offsets[b.index() + 1] as usize;
+        // Insert `b`'s slot first (the higher old position), so `a`'s
+        // old position stays valid; the second insert shifts `b`'s new
+        // slot to `pb + 1`.
+        self.flat_adj.insert(pb, a);
+        self.flat_back.insert(pb, Port::new(deg_a));
+        self.flat_adj.insert(pa, b);
+        self.flat_back.insert(pa, Port::new(deg_b));
+        for i in a.index() + 1..=b.index() {
+            self.offsets[i] += 1;
+        }
+        for o in self.offsets[b.index() + 1..].iter_mut() {
+            *o += 2;
+        }
+        self.m += 1;
+        debug_assert_eq!(self.back_port(a, Port::new(deg_a)), Port::new(deg_b));
+        Ok(crate::mutate::CsrDelta {
+            removed: Vec::new(),
+            inserted: vec![pa, pb + 1],
+        })
+    }
+
+    /// Removes the undirected edge `(u, v)` **in place**. The removed
+    /// port vanishes at each endpoint and that endpoint's
+    /// higher-numbered ports shift down by one (edge-log compaction
+    /// order — exactly the numbering [`Graph::from_edges`] would assign
+    /// without the edge); back ports naming the shifted ports are
+    /// patched. `O(csr_len + Δ_u + Δ_v)`, no rebuild.
+    ///
+    /// Returns the [`CsrDelta`](crate::mutate::CsrDelta) naming the two
+    /// removed flat-array slots (pre-mutation indices).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`] or [`GraphError::MissingEdge`].
+    pub fn remove_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<crate::mutate::CsrDelta, GraphError> {
+        let n = self.node_count();
+        for x in [u, v] {
+            if x.index() >= n {
+                return Err(GraphError::NodeOutOfRange { node: x.index(), n });
+            }
+        }
+        let (a, b) = if u.index() < v.index() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let la = self.port_to(a, b).ok_or(GraphError::MissingEdge {
+            a: u.index(),
+            b: v.index(),
+        })?;
+        let lb = self.back_port(a, la);
+        let ia = self.csr_index(a, la);
+        let ib = self.csr_index(b, lb);
+        debug_assert!(ia < ib, "a's range precedes b's");
+        // Splice out the higher slot first so the lower index stays valid.
+        self.flat_adj.remove(ib);
+        self.flat_back.remove(ib);
+        self.flat_adj.remove(ia);
+        self.flat_back.remove(ia);
+        for i in a.index() + 1..=b.index() {
+            self.offsets[i] -= 1;
+        }
+        for o in self.offsets[b.index() + 1..].iter_mut() {
+            *o -= 2;
+        }
+        self.m -= 1;
+        // Ports `la..` of `a` and `lb..` of `b` were renumbered down by
+        // one: patch the back ports stored at their neighbors.
+        self.fix_back_ports_from(a, la.index());
+        self.fix_back_ports_from(b, lb.index());
+        Ok(crate::mutate::CsrDelta {
+            removed: vec![ia, ib],
+            inserted: Vec::new(),
+        })
+    }
+
+    /// Rewrites the back ports of `p`'s ports `from..degree(p)` at their
+    /// neighbors, after those ports were renumbered by a removal.
+    fn fix_back_ports_from(&mut self, p: NodeId, from: usize) {
+        for l in from..self.degree(p) {
+            let q = self.neighbor(p, Port::new(l));
+            let bp = self.back_port(p, Port::new(l));
+            let idx = self.csr_index(q, bp);
+            self.flat_back[idx] = Port::new(l);
+        }
+    }
+
+    /// Appends a fresh degree-0 node and returns its `NodeId` (always
+    /// the previous `node_count()`). `O(1)`: one empty CSR range.
+    pub fn add_node(&mut self) -> NodeId {
+        let last = *self.offsets.last().expect("offsets non-empty");
+        self.offsets.push(last);
+        NodeId::new(self.node_count() - 1)
+    }
+
+    /// Removes every edge incident to `x` (highest port first), leaving
+    /// a degree-0 zombie. `NodeId`s are stable — nothing is renumbered
+    /// — so per-node arrays downstream keep their indices.
+    ///
+    /// Returns one [`CsrDelta`](crate::mutate::CsrDelta) per removed
+    /// edge, each relative to the intermediate layout, in application
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`].
+    pub fn detach_node(&mut self, x: NodeId) -> Result<Vec<crate::mutate::CsrDelta>, GraphError> {
+        let n = self.node_count();
+        if x.index() >= n {
+            return Err(GraphError::NodeOutOfRange { node: x.index(), n });
+        }
+        let mut deltas = Vec::with_capacity(self.degree(x));
+        while self.degree(x) > 0 {
+            let q = self.neighbor(x, Port::new(self.degree(x) - 1));
+            deltas.push(self.remove_edge(x, q)?);
+        }
+        Ok(deltas)
+    }
+
+    /// Applies one [`TopologyEvent`](crate::mutate::TopologyEvent) and
+    /// returns its full [`TopologyRepair`](crate::mutate::TopologyRepair)
+    /// record (CSR splices in order + the affected processors).
+    ///
+    /// # Errors
+    ///
+    /// Any [`GraphError`] from the underlying mutation; the graph is
+    /// unchanged on error for single-edge events and for `NodeJoin`
+    /// (links are validated before the node is appended).
+    pub fn apply_event(
+        &mut self,
+        event: &crate::mutate::TopologyEvent,
+    ) -> Result<crate::mutate::TopologyRepair, GraphError> {
+        use crate::mutate::{TopologyEvent, TopologyRepair};
+        match event {
+            TopologyEvent::LinkAdd { u, v } => Ok(TopologyRepair {
+                deltas: vec![self.add_edge(*u, *v)?],
+                endpoints: vec![*u, *v],
+                joined: None,
+            }),
+            TopologyEvent::LinkFail { u, v } => Ok(TopologyRepair {
+                deltas: vec![self.remove_edge(*u, *v)?],
+                endpoints: vec![*u, *v],
+                joined: None,
+            }),
+            TopologyEvent::NodeCrash { node } => {
+                let x = *node;
+                if x.index() >= self.node_count() {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: x.index(),
+                        n: self.node_count(),
+                    });
+                }
+                let mut endpoints = vec![x];
+                endpoints.extend_from_slice(self.neighbors(x));
+                let deltas = self.detach_node(x)?;
+                Ok(TopologyRepair {
+                    deltas,
+                    endpoints,
+                    joined: None,
+                })
+            }
+            TopologyEvent::NodeJoin { links } => {
+                // Validate before mutating so a bad link list leaves the
+                // graph untouched.
+                let n = self.node_count();
+                for &q in links {
+                    if q.index() >= n {
+                        return Err(GraphError::NodeOutOfRange { node: q.index(), n });
+                    }
+                }
+                for (i, &q) in links.iter().enumerate() {
+                    if links[..i].contains(&q) {
+                        return Err(GraphError::DuplicateEdge { a: n, b: q.index() });
+                    }
+                }
+                let x = self.add_node();
+                let mut deltas = Vec::with_capacity(links.len());
+                for &q in links {
+                    deltas.push(self.add_edge(x, q)?);
+                }
+                let mut endpoints = vec![x];
+                endpoints.extend_from_slice(links);
+                Ok(TopologyRepair {
+                    deltas,
+                    endpoints,
+                    joined: Some(x),
+                })
+            }
+        }
     }
 }
 
@@ -517,5 +814,172 @@ mod tests {
     fn error_display_is_informative() {
         let e = GraphError::DuplicateEdge { a: 1, b: 2 };
         assert!(e.to_string().contains("duplicate"));
+        let e = GraphError::MissingEdge { a: 1, b: 2 };
+        assert!(e.to_string().contains("no edge"));
+    }
+
+    // -- incremental mutation ------------------------------------------
+
+    /// Asserts the whole CSR invariant set: offsets monotone and
+    /// consistent with the flat arrays, back ports symmetric, csr
+    /// indices dense.
+    fn assert_csr_invariants(g: &Graph) {
+        assert_eq!(g.csr_len(), 2 * g.edge_count());
+        for u in g.nodes() {
+            for l in 0..g.degree(u) {
+                let l = Port::new(l);
+                let v = g.neighbor(u, l);
+                let bl = g.back_port(u, l);
+                assert_eq!(g.neighbor(v, bl), u, "back port returns to origin");
+                assert_eq!(g.back_port(v, bl), l, "back of back is identity");
+            }
+        }
+    }
+
+    #[test]
+    fn add_edge_appends_ports_and_matches_rebuild() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let delta = g.add_edge(NodeId::new(3), NodeId::new(0)).unwrap();
+        assert_eq!(delta.removed, Vec::<usize>::new());
+        assert_eq!(delta.inserted.len(), 2);
+        assert_csr_invariants(&g);
+        let rebuilt = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g, rebuilt, "incremental add equals from-scratch rebuild");
+        // The inserted slots hold the new edge's half-edges.
+        assert_eq!(g.flat_adj[delta.inserted[0]], NodeId::new(3));
+        assert_eq!(g.flat_adj[delta.inserted[1]], NodeId::new(0));
+    }
+
+    #[test]
+    fn remove_edge_compacts_ports_and_matches_rebuild() {
+        let edges = [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)];
+        let mut g = Graph::from_edges(4, &edges).unwrap();
+        let delta = g.remove_edge(NodeId::new(0), NodeId::new(2)).unwrap();
+        assert_eq!(delta.removed.len(), 2);
+        assert!(delta.removed[0] < delta.removed[1]);
+        assert_csr_invariants(&g);
+        let rebuilt = Graph::from_edges(4, &[(0, 1), (0, 3), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(g, rebuilt, "removal equals rebuild without the edge");
+    }
+
+    #[test]
+    fn remove_then_add_round_trips_through_rebuild() {
+        // Removing and re-adding renumbers ports (the re-added edge goes
+        // to the *end* of each endpoint's port list) — equal to a rebuild
+        // whose edge log moved the edge last.
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        g.remove_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let rebuilt = Graph::from_edges(3, &[(1, 2), (2, 0), (0, 1)]).unwrap();
+        assert_eq!(g, rebuilt);
+    }
+
+    #[test]
+    fn add_node_and_detach_node() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let x = g.add_node();
+        assert_eq!(x, NodeId::new(3));
+        assert_eq!(g.degree(x), 0);
+        g.add_edge(x, NodeId::new(1)).unwrap();
+        g.add_edge(x, NodeId::new(2)).unwrap();
+        assert_csr_invariants(&g);
+
+        let deltas = g.detach_node(NodeId::new(1)).unwrap();
+        assert_eq!(deltas.len(), 3, "one delta per removed edge");
+        assert_eq!(g.degree(NodeId::new(1)), 0, "zombie");
+        assert_eq!(g.node_count(), 4, "NodeIds are stable");
+        assert_csr_invariants(&g);
+        let rebuilt = Graph::from_edges(4, &[(2, 0), (3, 2)]).unwrap();
+        assert_eq!(g, rebuilt);
+    }
+
+    #[test]
+    fn mutation_errors_leave_graph_unchanged() {
+        let mut g = triangle();
+        let before = g.clone();
+        assert_eq!(
+            g.add_edge(NodeId::new(0), NodeId::new(0)),
+            Err(GraphError::SelfLoop { node: 0 })
+        );
+        assert_eq!(
+            g.add_edge(NodeId::new(0), NodeId::new(1)),
+            Err(GraphError::DuplicateEdge { a: 0, b: 1 })
+        );
+        assert_eq!(
+            g.add_edge(NodeId::new(0), NodeId::new(9)),
+            Err(GraphError::NodeOutOfRange { node: 9, n: 3 })
+        );
+        let mut path = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(
+            path.remove_edge(NodeId::new(0), NodeId::new(2)),
+            Err(GraphError::MissingEdge { a: 0, b: 2 })
+        );
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn apply_event_round_trips_all_variants() {
+        use crate::mutate::TopologyEvent;
+        let mut g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let r = g
+            .apply_event(&TopologyEvent::LinkAdd {
+                u: NodeId::new(0),
+                v: NodeId::new(2),
+            })
+            .unwrap();
+        assert_eq!(r.endpoints, vec![NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(r.edits(), 2);
+        let r = g
+            .apply_event(&TopologyEvent::NodeJoin {
+                links: vec![NodeId::new(1), NodeId::new(3)],
+            })
+            .unwrap();
+        assert_eq!(r.joined, Some(NodeId::new(4)));
+        assert_eq!(g.node_count(), 5);
+        let r = g
+            .apply_event(&TopologyEvent::NodeCrash {
+                node: NodeId::new(2),
+            })
+            .unwrap();
+        assert_eq!(r.joined, None);
+        assert_eq!(r.deltas.len(), 3);
+        assert_eq!(g.degree(NodeId::new(2)), 0);
+        assert_csr_invariants(&g);
+        // The zombie makes `is_connected` false; the live component is
+        // still intact around it.
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn is_connected_without_detects_bridges() {
+        // Triangle with a tail: 0-1-2-0, 2-3. The tail edge is a bridge,
+        // the cycle edges are not.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        assert!(g.is_connected_without(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.is_connected_without(NodeId::new(2), NodeId::new(3)));
+        // Probing must not mutate.
+        let before = g.clone();
+        let _ = g.is_connected_without(NodeId::new(1), NodeId::new(2));
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn csr_delta_splice_mirrors_the_flat_arrays() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        // A side table aligned with the flat arrays, tagged by content.
+        let mut table: Vec<NodeId> = g.flat_adj.clone();
+        let d1 = g.add_edge(NodeId::new(0), NodeId::new(2)).unwrap();
+        d1.splice(&mut table, NodeId::new(999));
+        let d2 = g.remove_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+        d2.splice(&mut table, NodeId::new(999));
+        // Every surviving slot still aligns with its flat-array entry,
+        // and exactly the fresh slots carry the fill value.
+        assert_eq!(table.len(), g.csr_len());
+        for (i, &t) in table.iter().enumerate() {
+            if t != NodeId::new(999) {
+                assert_eq!(t, g.flat_adj[i], "slot {i} drifted");
+            }
+        }
+        assert_eq!(table.iter().filter(|&&t| t == NodeId::new(999)).count(), 2);
     }
 }

@@ -34,6 +34,7 @@ mod id;
 
 pub mod dot;
 pub mod generators;
+pub mod mutate;
 pub mod partition;
 pub mod props;
 pub mod rooted;
@@ -42,6 +43,7 @@ pub mod traverse;
 
 pub use graph::{Graph, GraphBuilder, GraphError};
 pub use id::{NodeId, Port};
+pub use mutate::{CsrDelta, TopologyEvent, TopologyRepair};
 pub use partition::{Partition, ShardView};
 pub use rooted::RootedTree;
 pub use spec::GeneratorSpec;

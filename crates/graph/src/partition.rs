@@ -85,6 +85,15 @@ impl Partition {
         Partition { bounds }
     }
 
+    /// Extends the last shard to cover one appended node — the `O(1)`
+    /// incremental repair for a `TopologyEvent::NodeJoin` (the arrival
+    /// always takes `NodeId` `n`, which is contiguous with the last
+    /// range). Link events need no repair at all: bounds stay a valid
+    /// cover and degree balance is only a performance heuristic.
+    pub fn absorb_node(&mut self) {
+        *self.bounds.last_mut().expect("non-empty") += 1;
+    }
+
     /// The trivial one-shard partition of an `n`-node graph.
     pub fn whole(n: usize) -> Partition {
         Partition {
@@ -264,6 +273,19 @@ mod tests {
         let p = Partition::degree_balanced(&g, 16);
         assert!(p.shard_count() <= 3);
         assert_eq!(p.range(p.shard_count() - 1).end, 3);
+    }
+
+    #[test]
+    fn absorb_node_extends_the_last_shard() {
+        let g = generators::path(9);
+        let mut p = Partition::degree_balanced(&g, 3);
+        let shards = p.shard_count();
+        p.absorb_node();
+        p.absorb_node();
+        assert_eq!(p.shard_count(), shards);
+        assert_eq!(p.range(shards - 1).end, 11);
+        assert_eq!(p.shard_of(NodeId::new(10)), shards - 1);
+        assert_eq!(*p.bounds().last().unwrap(), 11);
     }
 
     #[test]

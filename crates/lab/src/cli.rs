@@ -59,6 +59,9 @@ sno-lab — declarative scenario-fleet campaigns
 
 USAGE:
     sno-lab run [OPTIONS]     execute a campaign, print the Markdown table
+    sno-lab churn [OPTIONS]   execute the churn preset (recovery cost vs. churn
+                              rate; hubs + random-tree, stno/bfs-tree, 32 seeds);
+                              accepts the run options as overrides
     sno-lab list              print every known topology/protocol/daemon name
     sno-lab help              show this text
 
@@ -67,7 +70,17 @@ RUN OPTIONS (comma-separated lists):
     --sizes LIST          target node counts, e.g. 16,64 (required)
     --protocols LIST      protocol stacks, e.g. dftno/oracle-token (required)
     --daemons LIST        daemons, e.g. central-random,distributed (required)
-    --faults LIST         fault plans: none or hit:K       [default: none]
+    --faults LIST         fault plans                      [default: none]
+                            none         no injected fault
+                            hit:K        corrupt K processors after convergence
+                            hit:K@S      corrupt K processors after S daemon steps
+                            link-fail@S  fail a non-bridge link after S steps
+                            link-add@S   add an absent link after S steps
+                            node-crash@S restart a non-root processor after S steps
+                            node-join@S  a fresh processor joins after S steps
+                            churn:R:SEED R add+fail windows after convergence
+                          (topology plans require stno/bfs-tree or
+                           stno/cd-dfs-tree)
     --seeds START:COUNT   seed range                       [default: 0:8]
     --graph-seed N        topology-instantiation seed
     --max-steps N         per-run step budget
@@ -113,16 +126,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     match sub {
         "help" | "--help" | "-h" => return Ok(Command::Help),
         "list" => return Ok(Command::List),
-        "run" => {}
+        "run" | "churn" => {}
         other => return Err(format!("unknown subcommand `{other}`")),
     }
 
-    let mut matrix = ScenarioMatrix::new("cli");
+    // `churn` starts from the preset matrix (so every dimension has a
+    // value) and accepts the same flags as overrides.
+    let preset = sub == "churn";
+    let mut matrix = if preset {
+        crate::matrix::churn_preset()
+    } else {
+        ScenarioMatrix::new("cli")
+    };
     let mut threads = None;
     let mut engine = EngineOptions::default();
     let mut json = None;
     let mut trace = None;
-    let mut saw = (false, false, false, false); // topologies, sizes, protocols, daemons
+    // topologies, sizes, protocols, daemons — all pre-filled by the preset
+    let mut saw = (preset, preset, preset, preset);
     while let Some(flag) = it.next() {
         // Accept both `--flag value` and `--flag=value`.
         let (flag, inline) = match flag.split_once('=') {
@@ -267,7 +288,22 @@ pub fn coordinate_listing() -> String {
     }
     let _ = writeln!(out, "fault plans:");
     let _ = writeln!(out, "  none");
-    let _ = writeln!(out, "  hit:K    corrupt K processors after convergence");
+    let _ = writeln!(
+        out,
+        "  hit:K         corrupt K processors after convergence"
+    );
+    let _ = writeln!(
+        out,
+        "  hit:K@S       corrupt K processors after S daemon steps"
+    );
+    let _ = writeln!(out, "  link-fail@S   fail a non-bridge link after S steps");
+    let _ = writeln!(out, "  link-add@S    add an absent link after S steps");
+    let _ = writeln!(
+        out,
+        "  node-crash@S  restart a non-root processor after S steps"
+    );
+    let _ = writeln!(out, "  node-join@S   a fresh processor joins after S steps");
+    let _ = writeln!(out, "  churn:R:SEED  R add+fail windows after convergence");
     out
 }
 
@@ -301,10 +337,16 @@ pub fn main_with_args(args: &[String]) -> i32 {
             // metrics change the report only by *adding* sections, and
             // the trace is a side artifact, so the JSON byte-identity
             // invariant above is untouched in the default configuration.
+            // The active fault plan(s) are echoed too: a recovery table
+            // is meaningless without knowing what was injected, and the
+            // plans are a matrix property, so the header stays identical
+            // across modes and thread counts.
+            let faults: Vec<String> = run.matrix.faults.iter().map(|f| f.to_string()).collect();
             let mut header = format!(
-                "engine mode: {} | threads: {}",
+                "engine mode: {} | threads: {} | faults: {}",
                 engine_mode_label(&run.engine),
-                threads
+                threads,
+                faults.join(",")
             );
             if run.engine.metrics {
                 header.push_str(" | metrics: on");
@@ -512,6 +554,71 @@ mod tests {
         ))
         .unwrap_err();
         assert!(e.contains("no value"), "{e}");
+    }
+
+    #[test]
+    fn churn_subcommand_starts_from_the_preset() {
+        let cmd = parse_args(&args("churn")).unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(run.matrix, crate::matrix::churn_preset());
+        run.matrix.validate().unwrap();
+        assert!(run
+            .matrix
+            .faults
+            .iter()
+            .all(|f| matches!(f, FaultPlan::Churn { .. })));
+
+        // Overrides apply on top of the preset.
+        let cmd = parse_args(&args("churn --seeds 0:2 --sizes 12 --threads 3")).unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(run.matrix.seeds_per_cell, 2);
+        assert_eq!(run.matrix.sizes, vec![12]);
+        assert_eq!(run.threads, Some(3));
+        assert_eq!(run.matrix.name, "churn");
+    }
+
+    #[test]
+    fn parses_topology_fault_plans() {
+        let cmd = parse_args(&args(
+            "run --topologies ring --sizes 8 --protocols stno/bfs-tree \
+             --daemons synchronous --faults link-fail@40,churn:2:7,hit:1@100",
+        ))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(
+            run.matrix.faults,
+            vec![
+                FaultPlan::LinkFail { step: 40 },
+                FaultPlan::Churn { rate: 2, seed: 7 },
+                FaultPlan::AtStep { step: 100, hits: 1 },
+            ]
+        );
+        // Oracle substrates cannot ride topology mutation — validation
+        // rejects the pairing with a pointed message.
+        let e = parse_args(&args(
+            "run --topologies ring --sizes 8 --protocols stno/oracle-tree \
+             --daemons synchronous --faults link-fail@40",
+        ))
+        .unwrap_err();
+        assert!(e.contains("self-stabilizing"), "{e}");
+    }
+
+    #[test]
+    fn header_echoes_fault_plans() {
+        // The fault echo lives in `main_with_args`' header; keep its
+        // ingredients stable: every plan renders its spec-grammar name.
+        let m = crate::matrix::churn_preset();
+        let names: Vec<String> = m.faults.iter().map(|f| f.to_string()).collect();
+        assert_eq!(
+            names.join(","),
+            "churn:1:49374,churn:2:49374,churn:4:49374,churn:8:49374"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use sno_graph::GeneratorSpec;
 
-use crate::spec::{DaemonSpec, FaultPlan, ProtocolSpec};
+use crate::spec::{DaemonSpec, FaultPlan, ProtocolSpec, TreeSubstrate};
 
 /// A declarative campaign: the cross product of topology families, target
 /// sizes, protocol stacks, daemons, and fault plans, each cell measured
@@ -177,11 +177,35 @@ impl ScenarioMatrix {
         if self.faults.is_empty() {
             return Err("matrix has no fault plans".into());
         }
-        if self
-            .faults
-            .contains(&FaultPlan::AfterConvergence { hits: 0 })
-        {
-            return Err("fault plan `hit:0` injects nothing — use `none`".into());
+        for f in &self.faults {
+            match f {
+                FaultPlan::AfterConvergence { hits: 0 } | FaultPlan::AtStep { hits: 0, .. } => {
+                    return Err(format!("fault plan `{f}` injects nothing — use `none`"));
+                }
+                FaultPlan::Churn { rate: 0, .. } => {
+                    return Err("fault plan `churn:0:_` perturbs nothing — use `none`".into());
+                }
+                _ => {}
+            }
+        }
+        if self.faults.iter().any(FaultPlan::mutates_topology) {
+            // Oracle substrates and DFTNO's golden-orientation goal are
+            // precomputed from the initial graph; under topology mutation
+            // they would silently measure against a stale structure.
+            let stale = self.protocols.iter().find(|p| {
+                !matches!(
+                    p,
+                    ProtocolSpec::Stno(crate::spec::TreeSubstrate::Bfs)
+                        | ProtocolSpec::Stno(crate::spec::TreeSubstrate::CdDfs)
+                )
+            });
+            if let Some(p) = stale {
+                return Err(format!(
+                    "topology-mutating fault plans require a fully self-stabilizing stack \
+                     (stno/bfs-tree or stno/cd-dfs-tree); `{p}` precomputes structure from \
+                     the initial graph"
+                ));
+            }
         }
         if self.seeds_per_cell == 0 {
             return Err("matrix has an empty seed range".into());
@@ -191,6 +215,46 @@ impl ScenarioMatrix {
         }
         Ok(())
     }
+}
+
+/// The churn campaign preset behind `sno-lab churn`: recovery cost as a
+/// function of churn rate.
+///
+/// Sweeps a hub-and-spoke and a random-tree topology under the
+/// self-stabilizing `stno/bfs-tree` stack and the paper's distributed
+/// daemon, over four churn rates (1, 2, 4, 8 perturbation windows per
+/// run) and 32 seeds per cell. Every run first stabilizes, then rides
+/// out its churn windows; the `recovery_*` columns aggregate the
+/// re-convergence cost of all windows, so plotting them against the
+/// rate gives the marginal price of a topology perturbation. Like every
+/// campaign, the report is byte-identical across engine modes, shard
+/// counts, and thread counts.
+pub fn churn_preset() -> ScenarioMatrix {
+    ScenarioMatrix::new("churn")
+        .topologies([GeneratorSpec::Hubs { hubs: 3 }, GeneratorSpec::RandomTree])
+        .sizes([16])
+        .protocols([ProtocolSpec::Stno(TreeSubstrate::Bfs)])
+        .daemons([DaemonSpec::Distributed])
+        .faults([
+            FaultPlan::Churn {
+                rate: 1,
+                seed: 0xC0DE,
+            },
+            FaultPlan::Churn {
+                rate: 2,
+                seed: 0xC0DE,
+            },
+            FaultPlan::Churn {
+                rate: 4,
+                seed: 0xC0DE,
+            },
+            FaultPlan::Churn {
+                rate: 8,
+                seed: 0xC0DE,
+            },
+        ])
+        .seeds(0, 32)
+        .max_steps(2_000_000)
 }
 
 /// One cell of the expanded matrix: a concrete scenario measured over the
@@ -266,5 +330,32 @@ mod tests {
                 .is_err(),
             "a zero-hit fault plan is a contradiction, not a no-op"
         );
+        assert!(sample()
+            .faults([FaultPlan::AtStep { step: 10, hits: 0 }])
+            .validate()
+            .is_err());
+        assert!(sample()
+            .faults([FaultPlan::Churn { rate: 0, seed: 1 }])
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn topology_plans_require_self_stabilizing_stacks() {
+        // The sample matrix sweeps stno/oracle-tree — its frozen tree
+        // would go stale under mutation.
+        let e = sample()
+            .faults([FaultPlan::Churn { rate: 2, seed: 0 }])
+            .validate()
+            .unwrap_err();
+        assert!(e.contains("self-stabilizing"), "{e}");
+        sample()
+            .protocols([
+                ProtocolSpec::Stno(TreeSubstrate::Bfs),
+                ProtocolSpec::Stno(TreeSubstrate::CdDfs),
+            ])
+            .faults([FaultPlan::LinkFail { step: 8 }, FaultPlan::None])
+            .validate()
+            .unwrap();
     }
 }

@@ -2,14 +2,16 @@
 //! aggregate per-cell statistics.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use sno_core::dftno::Dftno;
 use sno_core::orientation::{golden_dfs_orientation, Orientation};
 use sno_core::stno::{stno_oriented, Stno};
 use sno_engine::daemon::Daemon;
 use sno_engine::faults::corrupt_random;
-use sno_engine::{CounterMeter, Meter, Network, NoopMeter, Protocol, Simulation, TraceBuffer};
-use sno_graph::{traverse, NodeId, RootedTree};
+use sno_engine::{
+    CounterMeter, Meter, Network, NoopMeter, Protocol, Simulation, TopologyEvent, TraceBuffer,
+};
+use sno_graph::{traverse, Graph, NodeId, Port, RootedTree};
 use sno_token::{DfsTokenCirculation, OracleToken};
 use sno_tree::{BfsSpanningTree, CdSpanningTree, OracleSpanningTree};
 
@@ -23,6 +25,8 @@ use crate::spec::{FaultPlan, ProtocolSpec, TokenSubstrate, TreeSubstrate};
 const DAEMON_SALT: u64 = 0xDAE1_B0A7_5EED_0001;
 /// Decorrelates the fault injector's RNG stream likewise.
 const FAULT_SALT: u64 = 0xFA17_B0A7_5EED_0002;
+/// Decorrelates the topology-event derivation stream likewise.
+const TOPO_SALT: u64 = 0x70B0_B0A7_5EED_0003;
 
 /// Counters of one simulation run within a campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -316,10 +320,12 @@ trait StackVisitor {
     /// What the visitor produces from the concrete stack.
     type Out;
     /// Called with exactly one concrete `(protocol, detection mode,
-    /// legitimacy predicate)` triple.
+    /// legitimacy predicate)` triple. The `Clone` bound lets
+    /// topology-mutating fault plans build a fresh simulation per seed
+    /// (every protocol value here is a small copyable struct).
     fn visit<P, L>(self, net: &Network, protocol: P, mode: Mode, legit: L) -> Self::Out
     where
-        P: Protocol,
+        P: Protocol + Clone,
         L: Fn(&Network, &[P::State]) -> bool;
 }
 
@@ -353,7 +359,11 @@ fn dispatch_stack<V: StackVisitor>(cell: &CellSpec, matrix: &ScenarioMatrix, v: 
             let tree = RootedTree::from_parents(&g, root, &bfs.parent)
                 .expect("BFS parents of a connected graph form a tree");
             let oracle_tree = OracleSpanningTree::from_graph(&g, &tree);
-            let net = Network::new(g, root);
+            // Node-arrival fault plans need room in the known bound `N`
+            // for the joining processor; without headroom the bound is
+            // exactly the node count, i.e. `Network::new`.
+            let bound = g.node_count() + cell.fault.join_headroom();
+            let net = Network::with_bound(g, root, bound);
             match substrate {
                 TreeSubstrate::Oracle => {
                     v.visit(&net, Stno::new(oracle_tree), Mode::Silence, stno_oriented)
@@ -391,7 +401,7 @@ impl<M: Meter + Default> StackVisitor for DriveVisitor<'_, M> {
 
     fn visit<P, L>(self, net: &Network, protocol: P, mode: Mode, legit: L) -> CellOutcome
     where
-        P: Protocol,
+        P: Protocol + Clone,
         L: Fn(&Network, &[P::State]) -> bool,
     {
         drive::<P, L, M>(
@@ -435,10 +445,18 @@ fn drive<P, L, M>(
     options: &EngineOptions,
 ) -> CellOutcome
 where
-    P: Protocol,
+    P: Protocol + Clone,
     L: Fn(&Network, &[P::State]) -> bool,
     M: Meter + Default,
 {
+    if cell.fault.mutates_topology() {
+        // Topology events mutate the simulation's copy-on-write network;
+        // reusing one simulation across seeds would leak one seed's
+        // mutations into the next, so these plans build fresh per seed.
+        return drive_topology::<P, L, M>(
+            net, protocol, mode, legit, cell, matrix, seed_lo, seed_hi, options,
+        );
+    }
     // Built from the campaign-wide seed (not the chunk's), so a chunked
     // and an unchunked fleet construct identical daemons.
     let mut daemon = cell.daemon.build(net, matrix.seed_start ^ DAEMON_SALT);
@@ -470,6 +488,39 @@ where
             let mut rng = StdRng::seed_from_u64(seed);
             sim.reinit_random(&mut rng);
             daemon.reset(seed ^ DAEMON_SALT);
+            if let FaultPlan::AtStep { step, hits } = cell.fault {
+                // Mid-run corruption: at most `step` selections before the
+                // hit (a run that converges sooner is hit while silent),
+                // then re-convergence, reported as the recovery phase. The
+                // record's totals span both segments.
+                let (_, am, a_steps, ar) = run_phase(
+                    &mut sim,
+                    &mut daemon,
+                    &mode,
+                    &legit,
+                    net,
+                    u64::from(step).min(matrix.max_steps),
+                );
+                let hits = (hits as usize).min(net.node_count());
+                let mut fault_rng = StdRng::seed_from_u64(seed ^ FAULT_SALT);
+                corrupt_random(&mut sim, hits, &mut fault_rng);
+                sim.reset_counters();
+                let (rc, rm, rs, rr) =
+                    run_phase(&mut sim, &mut daemon, &mode, &legit, net, matrix.max_steps);
+                return RunRecord {
+                    seed,
+                    converged: rc,
+                    moves: am + rm,
+                    steps: a_steps + rs,
+                    rounds: ar + rr,
+                    recovery: Some(Recovery {
+                        converged: rc,
+                        moves: rm,
+                        steps: rs,
+                        rounds: rr,
+                    }),
+                };
+            }
             let (converged, moves, steps, rounds) =
                 run_phase(&mut sim, &mut daemon, &mode, &legit, net, matrix.max_steps);
 
@@ -519,7 +570,8 @@ where
                         .meter()
                         .counters()
                         .map_or_else(|| "unavailable".to_string(), |c| c.render());
-                    panic!("seed {seed} panicked: {msg} [counters: {counters}]");
+                    let topo = topology_suffix(sim.last_topology_event());
+                    panic!("seed {seed} panicked: {msg} [counters: {counters}]{topo}");
                 }
             }
         } else {
@@ -535,6 +587,291 @@ where
         runs,
         metrics,
     }
+}
+
+/// The `[last topology event: …]` fragment of a metered panic message —
+/// empty when the run never mutated its topology.
+fn topology_suffix(event: Option<&TopologyEvent>) -> String {
+    event.map_or_else(String::new, |e| format!(" [last topology event: {e}]"))
+}
+
+/// Runs one topology-mutating protocol stack over `seed_lo .. seed_hi`,
+/// building a fresh simulation per seed (see [`drive`]). Every scheduled
+/// event is derived from the run seed alone, so chunk boundaries and
+/// thread counts still cannot leak into the report.
+#[allow(clippy::too_many_arguments)]
+fn drive_topology<P, L, M>(
+    net: &Network,
+    protocol: P,
+    mode: Mode,
+    legit: L,
+    cell: &CellSpec,
+    matrix: &ScenarioMatrix,
+    seed_lo: u64,
+    seed_hi: u64,
+    options: &EngineOptions,
+) -> CellOutcome
+where
+    P: Protocol + Clone,
+    L: Fn(&Network, &[P::State]) -> bool,
+    M: Meter + Default,
+{
+    let mut daemon = cell.daemon.build(net, matrix.seed_start ^ DAEMON_SALT);
+    let mut runs = Vec::with_capacity((seed_hi - seed_lo) as usize);
+    let mut metrics: Option<CounterMeter> = None;
+    for seed in seed_lo..seed_hi {
+        let mut sim = Simulation::from_initial_with_meter(net, protocol.clone(), M::default());
+        if let Some(mode) = options.resolved_mode() {
+            sim.set_mode(mode);
+            if mode == sno_engine::EngineMode::SyncSharded {
+                let shards = options.resolved_shards();
+                sim.configure_sync_sharding(shards, shards);
+            }
+        }
+        // As in `drive`: construction and the mode switch are setup, not
+        // the seed's work.
+        *sim.meter_mut() = M::default();
+        let mut one_seed = || -> RunRecord {
+            let mut rng = StdRng::seed_from_u64(seed);
+            sim.reinit_random(&mut rng);
+            daemon.reset(seed ^ DAEMON_SALT);
+            let mut topo_rng = StdRng::seed_from_u64(seed ^ TOPO_SALT);
+            match cell.fault {
+                FaultPlan::Churn { rate, seed: salt } => {
+                    let (converged, moves, steps, rounds) =
+                        run_phase(&mut sim, &mut daemon, &mode, &legit, net, matrix.max_steps);
+                    let mut recovery = None;
+                    if converged {
+                        let mut churn_rng = StdRng::seed_from_u64(seed ^ salt ^ TOPO_SALT);
+                        let (mut all_ok, mut tm, mut ts, mut tr) = (true, 0, 0, 0);
+                        for _ in 0..rate {
+                            apply_churn_window(&mut sim, &mut churn_rng);
+                            sim.reset_counters();
+                            let (rc, rm, rs, rr) = run_phase(
+                                &mut sim,
+                                &mut daemon,
+                                &mode,
+                                &legit,
+                                net,
+                                matrix.max_steps,
+                            );
+                            all_ok &= rc;
+                            tm += rm;
+                            ts += rs;
+                            tr += rr;
+                            if !rc {
+                                break;
+                            }
+                        }
+                        recovery = Some(Recovery {
+                            converged: all_ok,
+                            moves: tm,
+                            steps: ts,
+                            rounds: tr,
+                        });
+                    }
+                    RunRecord {
+                        seed,
+                        converged,
+                        moves,
+                        steps,
+                        rounds,
+                        recovery,
+                    }
+                }
+                FaultPlan::LinkFail { step }
+                | FaultPlan::LinkAdd { step }
+                | FaultPlan::NodeCrash { step }
+                | FaultPlan::NodeJoin { step } => {
+                    // Segment A up to the scheduled step, the event, then
+                    // re-convergence (reported as recovery, like `hit:K@S`).
+                    let (_, am, a_steps, ar) = run_phase(
+                        &mut sim,
+                        &mut daemon,
+                        &mode,
+                        &legit,
+                        net,
+                        u64::from(step).min(matrix.max_steps),
+                    );
+                    apply_scheduled_event(&mut sim, &cell.fault, &mut topo_rng);
+                    sim.reset_counters();
+                    let (rc, rm, rs, rr) =
+                        run_phase(&mut sim, &mut daemon, &mode, &legit, net, matrix.max_steps);
+                    RunRecord {
+                        seed,
+                        converged: rc,
+                        moves: am + rm,
+                        steps: a_steps + rs,
+                        rounds: ar + rr,
+                        recovery: Some(Recovery {
+                            converged: rc,
+                            moves: rm,
+                            steps: rs,
+                            rounds: rr,
+                        }),
+                    }
+                }
+                _ => unreachable!("drive_topology only receives topology-mutating plans"),
+            }
+        };
+        let record = if M::ENABLED {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut one_seed)) {
+                Ok(record) => record,
+                Err(payload) => {
+                    #[allow(clippy::drop_non_drop)]
+                    drop(one_seed);
+                    let msg = crate::fleet::payload_message(payload.as_ref());
+                    let counters = sim
+                        .meter()
+                        .counters()
+                        .map_or_else(|| "unavailable".to_string(), |c| c.render());
+                    let topo = topology_suffix(sim.last_topology_event());
+                    panic!("seed {seed} panicked: {msg} [counters: {counters}]{topo}");
+                }
+            }
+        } else {
+            one_seed()
+        };
+        runs.push(record);
+        if let Some(c) = sim.meter().counters() {
+            match metrics.as_mut() {
+                Some(acc) => acc.merge(c),
+                None => metrics = Some(c.clone()),
+            }
+        }
+    }
+    CellOutcome {
+        cell: *cell,
+        nodes: net.node_count(),
+        edges: net.graph().edge_count(),
+        runs,
+        metrics,
+    }
+}
+
+/// Applies the single scheduled topology event of a `link-fail@S` /
+/// `link-add@S` / `node-crash@S` / `node-join@S` plan, derived from the
+/// run's topology RNG against the *current* (possibly already mutated)
+/// graph. Plans whose precondition has vanished (no absent link to add,
+/// no removable link, no room to join) degrade to a no-op rather than
+/// fail the run.
+fn apply_scheduled_event<P: Protocol, M: Meter>(
+    sim: &mut Simulation<'_, P, M>,
+    plan: &FaultPlan,
+    rng: &mut dyn RngCore,
+) {
+    match plan {
+        FaultPlan::LinkAdd { .. } => {
+            if let Some((u, v)) = pick_absent_link(sim.network().graph(), rng) {
+                sim.apply_topology_event(&TopologyEvent::LinkAdd { u, v }, None)
+                    .expect("derived link addition is valid");
+            }
+        }
+        FaultPlan::LinkFail { .. } => {
+            if let Some((u, v)) = pick_removable_link(sim.network().graph(), rng) {
+                sim.apply_topology_event(&TopologyEvent::LinkFail { u, v }, None)
+                    .expect("derived link failure is valid");
+            }
+        }
+        FaultPlan::NodeCrash { .. } => {
+            // Restart semantics: the processor loses its state and links
+            // atomically, then rejoins with the same links — a processor
+            // reboot, which keeps the network connected without having to
+            // search for a non-articulation victim.
+            let n = sim.network().node_count();
+            if n < 2 {
+                return;
+            }
+            let x = NodeId::new(1 + (rng.next_u64() as usize) % (n - 1));
+            let g = sim.network().graph();
+            let links: Vec<NodeId> = (0..g.degree(x))
+                .map(|l| g.neighbor(x, Port::new(l)))
+                .collect();
+            sim.apply_topology_event(&TopologyEvent::NodeCrash { node: x }, None)
+                .expect("non-root crash is valid");
+            for v in links {
+                sim.apply_topology_event(&TopologyEvent::LinkAdd { u: x, v }, None)
+                    .expect("re-adding a dropped link is valid");
+            }
+        }
+        FaultPlan::NodeJoin { .. } => {
+            let n = sim.network().node_count();
+            if n >= sim.network().n_bound() {
+                return;
+            }
+            let a = NodeId::new((rng.next_u64() as usize) % n);
+            let mut links = vec![a];
+            if n > 1 {
+                let b = NodeId::new((rng.next_u64() as usize) % n);
+                if b != a {
+                    links.push(b);
+                }
+            }
+            sim.apply_topology_event(&TopologyEvent::NodeJoin { links }, Some(rng))
+                .expect("derived join is valid");
+        }
+        _ => unreachable!("not a single scheduled topology event"),
+    }
+}
+
+/// One churn perturbation: a new link appears between two non-adjacent
+/// processors and a non-bridge link fails, in that order (the addition
+/// can turn a former bridge into a removable link). Either half degrades
+/// to a no-op when the graph has no candidate.
+fn apply_churn_window<P: Protocol, M: Meter>(
+    sim: &mut Simulation<'_, P, M>,
+    rng: &mut dyn RngCore,
+) {
+    if let Some((u, v)) = pick_absent_link(sim.network().graph(), rng) {
+        sim.apply_topology_event(&TopologyEvent::LinkAdd { u, v }, None)
+            .expect("derived link addition is valid");
+    }
+    if let Some((u, v)) = pick_removable_link(sim.network().graph(), rng) {
+        sim.apply_topology_event(&TopologyEvent::LinkFail { u, v }, None)
+            .expect("derived link failure is valid");
+    }
+}
+
+/// A uniformly-ish sampled absent link (bounded rejection sampling —
+/// `None` on tiny or near-complete graphs).
+fn pick_absent_link(g: &Graph, rng: &mut dyn RngCore) -> Option<(NodeId, NodeId)> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    for _ in 0..64 {
+        let u = NodeId::new((rng.next_u64() as usize) % n);
+        let v = NodeId::new((rng.next_u64() as usize) % n);
+        if u == v {
+            continue;
+        }
+        let adjacent = (0..g.degree(u)).any(|l| g.neighbor(u, Port::new(l)) == v);
+        if !adjacent {
+            return Some((u, v));
+        }
+    }
+    None
+}
+
+/// A randomly chosen link whose failure keeps the network connected —
+/// `None` when every link is a bridge (e.g. on a tree).
+fn pick_removable_link(g: &Graph, rng: &mut dyn RngCore) -> Option<(NodeId, NodeId)> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(g.edge_count());
+    for u in g.nodes() {
+        for l in 0..g.degree(u) {
+            let v = g.neighbor(u, Port::new(l));
+            if u.index() < v.index() {
+                edges.push((u, v));
+            }
+        }
+    }
+    if edges.is_empty() {
+        return None;
+    }
+    let start = (rng.next_u64() as usize) % edges.len();
+    (0..edges.len())
+        .map(|i| edges[(start + i) % edges.len()])
+        .find(|&(u, v)| g.is_connected_without(u, v))
 }
 
 /// Renders the sharded synchronous executor's phase trace of the first
@@ -581,7 +918,7 @@ impl StackVisitor for TraceVisitor<'_> {
 
     fn visit<P, L>(self, net: &Network, protocol: P, mode: Mode, legit: L) -> String
     where
-        P: Protocol,
+        P: Protocol + Clone,
         L: Fn(&Network, &[P::State]) -> bool,
     {
         let mut daemon = self
@@ -691,7 +1028,11 @@ where
         }
         Mode::Silence => {
             let r = sim.run_until_silent(daemon, max_steps);
-            let ok = r.converged && legit(net, sim.config());
+            // Evaluated against the simulation's own network, not the
+            // `net` the cell was built from: under a topology-mutating
+            // fault plan the two differ, and legitimacy is a property of
+            // the *current* topology.
+            let ok = r.converged && legit(sim.network(), sim.config());
             (ok, r.moves, r.steps, r.rounds)
         }
     }
@@ -916,6 +1257,98 @@ mod tests {
         let rec = cell.recovery_moves.as_ref().expect("recovery measured");
         assert_eq!(rec.count, 3);
         assert_eq!(cell.recovered, 3);
+    }
+
+    #[test]
+    fn at_step_plans_hit_mid_run_and_measure_recovery() {
+        let m = ScenarioMatrix::new("mid-run")
+            .topologies([GeneratorSpec::Ring])
+            .sizes([8])
+            .protocols([ProtocolSpec::Stno(TreeSubstrate::Bfs)])
+            .daemons([DaemonSpec::CentralRoundRobin])
+            .faults([FaultPlan::AtStep { step: 25, hits: 2 }])
+            .seeds(0, 3)
+            .max_steps(2_000_000);
+        let report = run_campaign_with_threads(&m, 2);
+        let cell = &report.cells[0];
+        assert_eq!(cell.convergence_rate, 1.0);
+        assert_eq!(cell.recovered, 3);
+        // The record's totals span both segments, so they dominate the
+        // recovery phase alone.
+        let rec = cell.recovery_steps.as_ref().expect("recovery measured");
+        let all = cell.steps.as_ref().expect("steps measured");
+        assert!(all.mean >= rec.mean);
+    }
+
+    fn topology_matrix(faults: &[FaultPlan]) -> ScenarioMatrix {
+        ScenarioMatrix::new("topo")
+            .topologies([GeneratorSpec::Hubs { hubs: 2 }, GeneratorSpec::RandomTree])
+            .sizes([10])
+            .protocols([ProtocolSpec::Stno(TreeSubstrate::Bfs)])
+            .daemons([DaemonSpec::Distributed])
+            .faults(faults.iter().copied())
+            .seeds(0, 3)
+            .max_steps(2_000_000)
+    }
+
+    #[test]
+    fn topology_fault_plans_converge_after_every_event() {
+        let m = topology_matrix(&[
+            FaultPlan::LinkFail { step: 30 },
+            FaultPlan::LinkAdd { step: 30 },
+            FaultPlan::NodeCrash { step: 30 },
+            FaultPlan::NodeJoin { step: 30 },
+            FaultPlan::Churn { rate: 3, seed: 5 },
+        ]);
+        let report = run_campaign_with_threads(&m, 2);
+        assert_eq!(report.cells.len(), 10);
+        for cell in &report.cells {
+            let label = format!("{} fault={}", cell.topology, cell.fault);
+            assert_eq!(cell.convergence_rate, 1.0, "{label}");
+            assert_eq!(cell.recovered, 3, "{label}");
+        }
+    }
+
+    #[test]
+    fn topology_campaigns_are_deterministic_across_threads_and_modes() {
+        let m = topology_matrix(&[
+            FaultPlan::NodeJoin { step: 20 },
+            FaultPlan::Churn { rate: 2, seed: 9 },
+        ]);
+        let a = run_campaign_with_threads(&m, 1);
+        let b = run_campaign_with_threads(&m, 4);
+        assert_eq!(a, b);
+        // Engine modes agree byte-for-byte even across topology events —
+        // the JSON is the CI determinism artifact.
+        for mode in [
+            sno_engine::EngineMode::FullSweep,
+            sno_engine::EngineMode::NodeDirty,
+            sno_engine::EngineMode::SyncSharded,
+        ] {
+            let options = EngineOptions {
+                mode: Some(mode),
+                shards: Some(3),
+                ..EngineOptions::default()
+            };
+            let c = run_campaign_with_options(&m, 2, &options);
+            assert_eq!(a.to_json(), c.to_json(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn churn_preset_is_a_valid_topology_campaign() {
+        let m = crate::matrix::churn_preset();
+        m.validate().unwrap();
+        assert!(m.seeds_per_cell >= 32);
+        let rates: std::collections::HashSet<u8> = m
+            .faults
+            .iter()
+            .map(|f| match f {
+                FaultPlan::Churn { rate, .. } => *rate,
+                other => panic!("non-churn plan {other} in the churn preset"),
+            })
+            .collect();
+        assert!(rates.len() >= 3, "at least three churn rates");
     }
 
     #[test]

@@ -157,7 +157,16 @@ impl FromStr for DaemonSpec {
     }
 }
 
-/// What the adversary does to a run after it first converges.
+/// What the adversary does to a run: nothing, state corruption, or a
+/// dynamic-topology fault ([`sno_engine::TopologyEvent`]s scheduled by
+/// the runner).
+///
+/// Topology-mutating plans are restricted to fully self-stabilizing
+/// stacks (`stno/bfs-tree`, `stno/cd-dfs-tree`): oracle substrates and
+/// `DFTNO`'s golden-orientation goal are precomputed from the initial
+/// graph and would silently go stale under mutation —
+/// [`ScenarioMatrix::validate`](crate::ScenarioMatrix::validate) rejects
+/// the combination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultPlan {
     /// No injected faults: measure stabilization from an arbitrary
@@ -170,6 +179,75 @@ pub enum FaultPlan {
         /// Number of processors hit (capped at the network size).
         hits: u8,
     },
+    /// Mid-run corruption: after `step` daemon selections (or at
+    /// convergence, whichever comes first), corrupt `hits` uniformly
+    /// chosen processors; the post-fault phase is reported as recovery.
+    AtStep {
+        /// Daemon selections before the hit.
+        step: u32,
+        /// Number of processors hit (capped at the network size).
+        hits: u8,
+    },
+    /// After `step` daemon selections, a non-bridge link fails
+    /// (connectivity is preserved; a tree has none, making this a no-op).
+    LinkFail {
+        /// Daemon selections before the failure.
+        step: u32,
+    },
+    /// After `step` daemon selections, a new link appears between two
+    /// non-adjacent processors (a no-op on complete graphs).
+    LinkAdd {
+        /// Daemon selections before the new link.
+        step: u32,
+    },
+    /// After `step` daemon selections, a non-root processor restarts:
+    /// it crashes (state reset, links dropped) and immediately rejoins
+    /// with the same links.
+    NodeCrash {
+        /// Daemon selections before the restart.
+        step: u32,
+    },
+    /// After `step` daemon selections, a fresh processor joins with
+    /// links to one or two existing processors. Cells with this plan
+    /// instantiate their network with one node of bound headroom.
+    NodeJoin {
+        /// Daemon selections before the arrival.
+        step: u32,
+    },
+    /// Churn: after convergence, `rate` consecutive perturbations (each
+    /// adds an absent link and fails a non-bridge link), re-converging
+    /// after each; recovery statistics aggregate all windows.
+    Churn {
+        /// Number of perturbation windows per run.
+        rate: u8,
+        /// Extra salt decorrelating the churn stream from the run seed.
+        seed: u64,
+    },
+}
+
+impl FaultPlan {
+    /// Whether this plan schedules [`sno_engine::TopologyEvent`]s (and
+    /// therefore needs a fresh simulation per seed and a self-stabilizing
+    /// protocol stack).
+    pub fn mutates_topology(&self) -> bool {
+        matches!(
+            self,
+            FaultPlan::LinkFail { .. }
+                | FaultPlan::LinkAdd { .. }
+                | FaultPlan::NodeCrash { .. }
+                | FaultPlan::NodeJoin { .. }
+                | FaultPlan::Churn { .. }
+        )
+    }
+
+    /// How many processors beyond the instantiated topology the network
+    /// bound `N` must leave room for (node arrivals).
+    pub fn join_headroom(&self) -> usize {
+        match self {
+            FaultPlan::NodeJoin { .. } => 1,
+            _ => 0,
+        }
+    }
 }
 
 impl fmt::Display for FaultPlan {
@@ -177,6 +255,12 @@ impl fmt::Display for FaultPlan {
         match self {
             FaultPlan::None => f.write_str("none"),
             FaultPlan::AfterConvergence { hits } => write!(f, "hit:{hits}"),
+            FaultPlan::AtStep { step, hits } => write!(f, "hit:{hits}@{step}"),
+            FaultPlan::LinkFail { step } => write!(f, "link-fail@{step}"),
+            FaultPlan::LinkAdd { step } => write!(f, "link-add@{step}"),
+            FaultPlan::NodeCrash { step } => write!(f, "node-crash@{step}"),
+            FaultPlan::NodeJoin { step } => write!(f, "node-join@{step}"),
+            FaultPlan::Churn { rate, seed } => write!(f, "churn:{rate}:{seed}"),
         }
     }
 }
@@ -188,9 +272,33 @@ impl FromStr for FaultPlan {
         if s == "none" {
             return Ok(FaultPlan::None);
         }
-        if let Some(hits) = s.strip_prefix("hit:") {
-            if let Ok(hits) = hits.parse() {
+        if let Some(rest) = s.strip_prefix("hit:") {
+            if let Some((hits, step)) = rest.split_once('@') {
+                if let (Ok(hits), Ok(step)) = (hits.parse(), step.parse()) {
+                    return Ok(FaultPlan::AtStep { step, hits });
+                }
+            } else if let Ok(hits) = rest.parse() {
                 return Ok(FaultPlan::AfterConvergence { hits });
+            }
+        }
+        type Make = fn(u32) -> FaultPlan;
+        for (name, make) in [
+            ("link-fail@", (|step| FaultPlan::LinkFail { step }) as Make),
+            ("link-add@", |step| FaultPlan::LinkAdd { step }),
+            ("node-crash@", |step| FaultPlan::NodeCrash { step }),
+            ("node-join@", |step| FaultPlan::NodeJoin { step }),
+        ] {
+            if let Some(step) = s.strip_prefix(name) {
+                if let Ok(step) = step.parse() {
+                    return Ok(make(step));
+                }
+            }
+        }
+        if let Some(rest) = s.strip_prefix("churn:") {
+            if let Some((rate, seed)) = rest.split_once(':') {
+                if let (Ok(rate), Ok(seed)) = (rate.parse(), seed.parse()) {
+                    return Ok(FaultPlan::Churn { rate, seed });
+                }
             }
         }
         Err(ParseError::new("fault plan", s))
@@ -243,10 +351,31 @@ mod tests {
 
     #[test]
     fn fault_plans_round_trip() {
-        for f in [FaultPlan::None, FaultPlan::AfterConvergence { hits: 3 }] {
+        for f in [
+            FaultPlan::None,
+            FaultPlan::AfterConvergence { hits: 3 },
+            FaultPlan::AtStep { step: 500, hits: 2 },
+            FaultPlan::LinkFail { step: 40 },
+            FaultPlan::LinkAdd { step: 0 },
+            FaultPlan::NodeCrash { step: 17 },
+            FaultPlan::NodeJoin { step: 9 },
+            FaultPlan::Churn { rate: 4, seed: 11 },
+        ] {
             assert_eq!(f.to_string().parse::<FaultPlan>().unwrap(), f);
         }
-        assert!("hit:".parse::<FaultPlan>().is_err());
+        for bad in ["hit:", "hit:2@", "link-fail", "churn:4", "churn::3"] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn fault_plan_classification() {
+        assert!(!FaultPlan::None.mutates_topology());
+        assert!(!FaultPlan::AtStep { step: 5, hits: 1 }.mutates_topology());
+        assert!(FaultPlan::LinkFail { step: 5 }.mutates_topology());
+        assert!(FaultPlan::Churn { rate: 2, seed: 0 }.mutates_topology());
+        assert_eq!(FaultPlan::NodeJoin { step: 5 }.join_headroom(), 1);
+        assert_eq!(FaultPlan::Churn { rate: 2, seed: 0 }.join_headroom(), 0);
     }
 
     #[test]

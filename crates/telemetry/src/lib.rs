@@ -74,11 +74,19 @@ pub enum Counter {
     StagePrecopies,
     /// Sum of the enabled-set size over all non-silent steps.
     EnabledNodes,
+    /// Topology events applied (`Simulation::apply_topology_event`).
+    TopoEvents,
+    /// CSR flat-array slot edits performed by incremental topology
+    /// repair (removals + insertions, summed over every applied delta).
+    CsrRepairs,
+    /// Per-node derived-cache repairs forced by topology events (guard
+    /// refreshes + port-cache rebuilds over the mutation footprint).
+    CacheRepairs,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 12;
 
     /// Every counter, in stable rendering order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -91,6 +99,9 @@ impl Counter {
         Counter::TxnCommits,
         Counter::StagePrecopies,
         Counter::EnabledNodes,
+        Counter::TopoEvents,
+        Counter::CsrRepairs,
+        Counter::CacheRepairs,
     ];
 
     /// Stable snake_case name (used in JSON reports and baselines).
@@ -105,6 +116,9 @@ impl Counter {
             Counter::TxnCommits => "txn_commits",
             Counter::StagePrecopies => "stage_precopies",
             Counter::EnabledNodes => "enabled_nodes",
+            Counter::TopoEvents => "topo_events",
+            Counter::CsrRepairs => "csr_repairs",
+            Counter::CacheRepairs => "cache_repairs",
         }
     }
 

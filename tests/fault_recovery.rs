@@ -1,0 +1,142 @@
+//! Transient-fault recovery matrix: the paper's central promise, probed
+//! end-to-end.
+//!
+//! Both orientation stacks (`DFTNO` over the oracle token, `STNO` over
+//! the self-stabilizing BFS tree) are driven to a legitimate
+//! configuration, hit with a transient fault
+//! ([`corrupt_random`] — arbitrary protocol-sampled states at random
+//! processors), and must **re-converge to legitimacy** under every
+//! daemon family of the shared differential matrix, on every topology
+//! family. Legitimacy is the paper's `SP_NO` specification
+//! ([`stno_oriented`] / [`dftno_oriented`]: unique names in `0..N`,
+//! chordal labels), not mere silence — a run that quiesces in an
+//! illegitimate configuration fails.
+//!
+//! The fault hits ⌈n/3⌉ processors, well past single-fault containment,
+//! and the recovery run starts from the corrupted configuration with no
+//! reset of any kind. `SNO_DIFF_SEEDS=lo:hi` widens the sweep in the
+//! nightly job.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sno::core::dftno::{dftno_oriented, Dftno};
+use sno::core::stno::{stno_oriented, Stno};
+use sno::engine::faults::corrupt_random;
+use sno::engine::{Network, Protocol, Simulation};
+use sno::graph::NodeId;
+use sno::token::OracleToken;
+use sno::tree::BfsSpanningTree;
+
+mod common;
+use common::{seed_offsets, topologies, DAEMONS};
+
+const BUDGET: u64 = 2_000_000;
+
+/// Converge → corrupt → re-converge, asserting legitimacy at both ends.
+fn assert_recovers<P>(
+    label: &str,
+    net: &Network,
+    protocol: P,
+    daemon_spec: sno::lab::DaemonSpec,
+    seed: u64,
+    legit: impl Fn(&Network, &[P::State]) -> bool,
+    goal: bool,
+) where
+    P: Protocol,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sim = Simulation::from_random(net, protocol, &mut rng);
+    let mut daemon = daemon_spec.build(net, seed);
+
+    // `STNO` announces termination (silence); `DFTNO` circulates its
+    // token forever, so its runs stop on the goal predicate instead.
+    let run = |sim: &mut Simulation<'_, P>, daemon: &mut Box<dyn sno::engine::daemon::Daemon>| {
+        if goal {
+            sim.run_until(daemon, BUDGET, |c| legit(net, c))
+        } else {
+            sim.run_until_silent(daemon, BUDGET)
+        }
+    };
+
+    let first = run(&mut sim, &mut daemon);
+    assert!(first.converged, "{label}: no initial convergence");
+    assert!(
+        legit(net, sim.config()),
+        "{label}: converged illegitimately"
+    );
+
+    let hits = net.node_count().div_ceil(3);
+    let victims = corrupt_random(&mut sim, hits, &mut rng);
+    sim.reset_counters();
+    let recovery = run(&mut sim, &mut daemon);
+    assert!(
+        recovery.converged,
+        "{label}: no recovery after corrupting {victims:?}"
+    );
+    assert!(
+        legit(net, sim.config()),
+        "{label}: recovered illegitimately after corrupting {victims:?}"
+    );
+}
+
+/// The full daemon × topology × seed matrix for one protocol builder.
+fn recovery_matrix<P, F, L>(protocol_name: &str, goal: bool, build: F, legit: L)
+where
+    P: Protocol,
+    F: Fn(&Network) -> P,
+    L: Fn(&Network, &[P::State]) -> bool + Copy,
+{
+    for (topo, g) in topologies(10) {
+        let net = Network::new(g, NodeId::new(0));
+        for (i, d) in DAEMONS.into_iter().enumerate() {
+            for offset in seed_offsets() {
+                let label = format!("{protocol_name} × {d} × {topo} × seed+{offset}");
+                assert_recovers(
+                    &label,
+                    &net,
+                    build(&net),
+                    d,
+                    5_600 + i as u64 + 1_000 * offset,
+                    legit,
+                    goal,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stno_recovers_legitimately_from_transient_faults() {
+    recovery_matrix("stno", false, |_| Stno::new(BfsSpanningTree), stno_oriented);
+}
+
+#[test]
+fn dftno_recovers_legitimately_from_transient_faults() {
+    recovery_matrix(
+        "dftno",
+        true,
+        |net| Dftno::new(OracleToken::new(net.graph(), net.root())),
+        dftno_oriented,
+    );
+}
+
+/// Corruption of *every* processor at once — the strongest transient
+/// fault the model admits — must still recover (STNO, distributed
+/// daemon, one topology per family).
+#[test]
+fn stno_recovers_from_total_corruption() {
+    for (topo, g) in topologies(10) {
+        let net = Network::new(g, NodeId::new(0));
+        let n = net.node_count();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sim = Simulation::from_random(&net, Stno::new(BfsSpanningTree), &mut rng);
+        let mut daemon = sno::lab::DaemonSpec::Distributed.build(&net, 42);
+        assert!(sim.run_until_silent(&mut daemon, BUDGET).converged);
+        corrupt_random(&mut sim, n, &mut rng);
+        let recovery = sim.run_until_silent(&mut daemon, BUDGET);
+        assert!(
+            recovery.converged && stno_oriented(&net, sim.config()),
+            "stno × {topo}: total corruption not recovered"
+        );
+    }
+}
