@@ -6,6 +6,7 @@
 //! cargo run --release -p sno-bench --bin engine_bench -- --quick  # CI smoke (64, 512)
 //! cargo run --release -p sno-bench --bin engine_bench -- --json=out.json
 //! cargo run --release -p sno-bench --bin engine_bench -- --baseline=BENCH_engine.json
+//! cargo run --release -p sno-bench --bin engine_bench -- --sync-only --curve=curve.json
 //! ```
 //!
 //! Exits non-zero if a performance gate fails: node-dirty slower than
@@ -13,18 +14,29 @@
 //! port-dirty below the ratcheted 40× on the n = 512 star, a nonzero
 //! per-step clone/allocation count on the `star-apply` row (the binary
 //! runs under the `testalloc` counting allocator so hub steps are
-//! *measured* at zero state clones), or — with `--baseline` — the
-//! port-dirty speedup ratio more than 30% below the committed document
-//! (ratios, not absolute steps/sec, so the gate is portable across
-//! differently-powered runners) **or any per-step work counter above
-//! the committed one** (the counter ratchet is exact: the telemetry
-//! counters are deterministic, so there is no noise to tolerate).
+//! *measured* at zero state clones), a pooled sync-round row spawning a
+//! single OS thread inside its timed windows (the persistent pool's
+//! zero-spawn acceptance criterion — exact on any machine), the pooled
+//! 8-shard sync rows below 3× (torus) / 6× (hubs) the node-serial
+//! baseline on runners with ≥ 8 hardware threads, a non-monotonic
+//! pooled scaling curve, or — with `--baseline` — a speedup ratio more
+//! than 30% (single-point) / 15% (scaling curve) below the committed
+//! document (ratios, not absolute steps/sec, so the gates are portable
+//! across differently-powered runners) **or any per-step work counter
+//! above the committed one** (the counter ratchet is exact: the
+//! telemetry counters are deterministic, so there is no noise to
+//! tolerate).
+//!
+//! `--sync-only` skips the steady-state sweep and the star-apply row,
+//! running just the synchronous-round executor matrix — the fast path
+//! the `scaling-curve` CI job drives at several runner sizes;
+//! `--curve=PATH` writes the `sno-scaling-curve/v1` artifact.
 
 use sno_bench::engine_bench::{
     check_baseline, check_counter_baseline, check_sync_baseline, engine_bench,
-    engine_bench_json_with, engine_bench_table, gate_violations, star_apply_row,
-    star_apply_violations, sync_gate_violations, sync_round_bench, sync_round_table,
-    BaselineOutcome, FULL_SIZES, QUICK_SIZES,
+    engine_bench_json_with, engine_bench_table, gate_violations, scaling_curve_json,
+    scaling_violations, star_apply_row, star_apply_violations, sync_gate_violations,
+    sync_round_bench, sync_round_table, BaselineOutcome, FULL_SIZES, QUICK_SIZES,
 };
 
 /// The `star-apply` clone-count gate only means something if every heap
@@ -35,88 +47,117 @@ static ALLOC: testalloc::CountingAlloc = testalloc::CountingAlloc::new();
 fn main() {
     let mut json_path = "BENCH_engine.json".to_string();
     let mut baseline_path: Option<String> = None;
+    let mut curve_path: Option<String> = None;
     let mut quick = false;
+    let mut sync_only = false;
     for arg in std::env::args().skip(1) {
         if arg == "--quick" {
             quick = true;
+        } else if arg == "--sync-only" {
+            sync_only = true;
         } else if let Some(p) = arg.strip_prefix("--json=") {
             json_path = p.to_string();
         } else if let Some(p) = arg.strip_prefix("--baseline=") {
             baseline_path = Some(p.to_string());
+        } else if let Some(p) = arg.strip_prefix("--curve=") {
+            curve_path = Some(p.to_string());
         } else {
-            eprintln!("usage: engine_bench [--quick] [--json=PATH] [--baseline=PATH]");
+            eprintln!(
+                "usage: engine_bench [--quick] [--sync-only] [--json=PATH] \
+                 [--baseline=PATH] [--curve=PATH]"
+            );
             std::process::exit(2);
         }
     }
-    // Quick mode trims the size sweep, not the per-cell step count: the
-    // CI gates compare wall-clock ratios, and short measurements on
-    // shared runners would be too noisy to gate on.
-    let (sizes, steps): (&[usize], u64) = if quick {
-        (&QUICK_SIZES, 20_000)
-    } else {
-        (&FULL_SIZES, 20_000)
-    };
-
-    let rows = engine_bench(sizes, steps);
-    println!("{}", engine_bench_table(&rows).render());
-
-    // The synchronous-round shard-scaling sweep: dense DFTNO rounds from
-    // random configurations under the sharded executor, torus /
-    // random-tree / hubs at n = 4096, shard counts 1/2/4/8 — every
-    // configuration verified trace-identical to the serial run. Quick
-    // mode keeps the full size: the baseline-relative gate compares the
-    // committed n = 4096 ratio, and the sweep is short (3 restarts × 24
-    // steps per configuration).
-    let sync_rows = sync_round_bench(4096, 3, 24);
-    println!("{}", sync_round_table(&sync_rows).render());
-
-    let star = star_apply_row(512, steps);
-    assert!(star.counting, "the binary installs the counting allocator");
-    println!(
-        "star-apply n={}: {:.0} port-dirty steps/s, allocs/step full={:.2} node={:.2} port={:.2}",
-        star.n,
-        star.port_steps_per_sec(),
-        star.mode_allocs[0] as f64 / star.steps as f64,
-        star.mode_allocs[1] as f64 / star.steps as f64,
-        star.port_allocs_per_step(),
-    );
-
-    let json = engine_bench_json_with(&rows, Some(&star), &sync_rows) + "\n";
-    std::fs::write(&json_path, json).expect("write BENCH_engine.json");
-    println!("engine bench JSON written to {json_path}");
-
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut violations = gate_violations(&rows);
-    violations.extend(star_apply_violations(&star));
-    violations.extend(sync_gate_violations(&sync_rows, parallelism));
+    let baseline = baseline_path.map(|path| {
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"))
+    });
+
+    // The synchronous-round executor matrix: dense DFTNO rounds from
+    // random configurations, torus / random-tree / hubs at n = 4096,
+    // node-serial baseline + sharded-serial + pooled 2/4/8 + scoped A/B
+    // — every configuration verified trace-identical. Quick mode keeps
+    // the full size: the baseline-relative gates compare the committed
+    // n = 4096 ratios, and the sweep is short (3 restarts × 24 steps
+    // per configuration).
+    let sync_rows = sync_round_bench(4096, 3, 24);
+    println!("{}", sync_round_table(&sync_rows).render());
+
+    let mut violations = sync_gate_violations(&sync_rows, parallelism);
+    violations.extend(scaling_violations(
+        &sync_rows,
+        parallelism,
+        baseline.as_deref(),
+    ));
     if parallelism < 8 {
         println!(
-            "note: {parallelism} hardware threads — the absolute {}x sync-round \
-             speedup gate is skipped (baseline-relative ratio gate still applies)",
-            sno_bench::engine_bench::SYNC_SPEEDUP_GATE
+            "note: {parallelism} hardware threads — the absolute sync-round speedup \
+             gates ({}x torus / {}x hubs) and the scaling-curve monotonicity gate \
+             are skipped (the zero-spawn and baseline-relative gates still apply)",
+            sno_bench::engine_bench::SYNC_SPEEDUP_GATE,
+            sno_bench::engine_bench::HUBS_SYNC_GATE,
         );
     }
-    if let Some(path) = baseline_path {
-        let committed =
-            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
-        match check_baseline(&rows, &committed) {
-            BaselineOutcome::Passed => {}
-            BaselineOutcome::Incomparable(note) => println!("note: {note}"),
-            BaselineOutcome::Regressed(v) => violations.push(v),
-        }
-        match check_sync_baseline(&sync_rows, &committed) {
-            BaselineOutcome::Passed => {}
-            BaselineOutcome::Incomparable(note) => println!("note: {note}"),
-            BaselineOutcome::Regressed(v) => violations.push(v),
-        }
-        match check_counter_baseline(&rows, &committed) {
+    if let Some(path) = &curve_path {
+        let curve = scaling_curve_json(&sync_rows, parallelism) + "\n";
+        std::fs::write(path, curve).expect("write scaling curve");
+        println!("scaling curve written to {path}");
+    }
+    if let Some(committed) = &baseline {
+        match check_sync_baseline(&sync_rows, committed) {
             BaselineOutcome::Passed => {}
             BaselineOutcome::Incomparable(note) => println!("note: {note}"),
             BaselineOutcome::Regressed(v) => violations.push(v),
         }
     }
+
+    if !sync_only {
+        let (sizes, steps): (&[usize], u64) = if quick {
+            // Quick mode trims the size sweep, not the per-cell step
+            // count: the CI gates compare wall-clock ratios, and short
+            // measurements on shared runners would be too noisy to gate
+            // on.
+            (&QUICK_SIZES, 20_000)
+        } else {
+            (&FULL_SIZES, 20_000)
+        };
+        let rows = engine_bench(sizes, steps);
+        println!("{}", engine_bench_table(&rows).render());
+
+        let star = star_apply_row(512, steps);
+        assert!(star.counting, "the binary installs the counting allocator");
+        println!(
+            "star-apply n={}: {:.0} port-dirty steps/s, allocs/step full={:.2} node={:.2} port={:.2}",
+            star.n,
+            star.port_steps_per_sec(),
+            star.mode_allocs[0] as f64 / star.steps as f64,
+            star.mode_allocs[1] as f64 / star.steps as f64,
+            star.port_allocs_per_step(),
+        );
+
+        let json = engine_bench_json_with(&rows, Some(&star), &sync_rows) + "\n";
+        std::fs::write(&json_path, json).expect("write BENCH_engine.json");
+        println!("engine bench JSON written to {json_path}");
+
+        violations.extend(gate_violations(&rows));
+        violations.extend(star_apply_violations(&star));
+        if let Some(committed) = &baseline {
+            match check_baseline(&rows, committed) {
+                BaselineOutcome::Passed => {}
+                BaselineOutcome::Incomparable(note) => println!("note: {note}"),
+                BaselineOutcome::Regressed(v) => violations.push(v),
+            }
+            match check_counter_baseline(&rows, committed) {
+                BaselineOutcome::Passed => {}
+                BaselineOutcome::Incomparable(note) => println!("note: {note}"),
+                BaselineOutcome::Regressed(v) => violations.push(v),
+            }
+        }
+    }
+
     if !violations.is_empty() {
         for v in &violations {
             eprintln!("PERFORMANCE GATE FAILED: {v}");

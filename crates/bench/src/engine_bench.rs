@@ -11,8 +11,11 @@
 //! its `n − 1` dirtied leaves); the port-dirty engine pays only for the
 //! dirty *ports*, making hub steps `o(n)`. Measured on path / star /
 //! random-tree / torus across sizes, emitted as `BENCH_engine.json`
-//! (`sno-engine-bench/v5` — v5 adds per-mode deterministic work
-//! counters from the telemetry `Meter`), and gated in CI:
+//! (`sno-engine-bench/v6` — v5 added per-mode deterministic work
+//! counters from the telemetry `Meter`; v6 re-anchors the sync-round
+//! speedups to a node-dirty serial baseline and adds the executor /
+//! threads / thread-spawns columns of the persistent worker pool), and
+//! gated in CI:
 //!
 //! * node-dirty must never lose to the sweep on the `n = 512` star and
 //!   must beat it ≥ 5× on the large path (the PR-2 gates);
@@ -34,14 +37,20 @@
 //!   **zero** state clones ([`star_apply_violations`]);
 //! * the `sync_rounds` section ([`sync_round_bench`]) measures the
 //!   opposite regime — dense synchronous rounds from random
-//!   configurations under `EngineMode::SyncSharded` — across shard
-//!   counts on torus / random-tree / hubs, verifies every configuration
-//!   trace-identical to the serial run, gates the serial row at zero
-//!   heap operations (the delta-staging acceptance criterion) and, on
-//!   machines with ≥ 8 hardware threads, the 8-shard torus row at
-//!   ≥ [`SYNC_SPEEDUP_GATE`]× serial throughput
-//!   ([`sync_gate_violations`], plus the baseline-relative
-//!   [`check_sync_baseline`]).
+//!   configurations — across the [`SYNC_CONFIGS`] executor matrix
+//!   (node-dirty serial baseline, sharded-serial, the pooled executor
+//!   at 2/4/8 shards, and the legacy scoped spawn-per-phase executor
+//!   as an A/B row) on torus / random-tree / hubs, verifies every
+//!   configuration trace-identical, gates the sharded-serial row at
+//!   zero heap operations (the delta-staging acceptance criterion),
+//!   every pooled row at **zero thread spawns** inside the timed
+//!   windows (the persistent pool's acceptance criterion), and, on
+//!   machines with ≥ 8 hardware threads, the 8-shard pooled rows at
+//!   ≥ [`SYNC_SPEEDUP_GATE`]× (torus) and ≥ [`HUBS_SYNC_GATE`]×
+//!   (hubs — the skewed-degree family the sharded port cache exists
+//!   for) the node-serial baseline ([`sync_gate_violations`], plus the
+//!   baseline-relative [`check_sync_baseline`] and the
+//!   [`scaling_violations`] monotonicity curve).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -50,7 +59,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sno_core::dftno::Dftno;
 use sno_engine::daemon::{CentralRoundRobin, Synchronous};
-use sno_engine::{Counter, CounterMeter, EngineMode, Network, Simulation};
+use sno_engine::{Counter, CounterMeter, EngineMode, Network, Simulation, SyncExecutor};
 use sno_graph::{GeneratorSpec, NodeId};
 use sno_token::OracleToken;
 
@@ -366,16 +375,42 @@ pub const SYNC_TOPOLOGIES: [(GeneratorSpec, &str); 3] = [
     (GeneratorSpec::Hubs { hubs: 3 }, "hubs:3"),
 ];
 
-/// The shard counts the synchronous-round bench sweeps (engine worker
-/// threads follow the shard count).
-pub const SYNC_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// One executor configuration of the synchronous-round sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncConfig {
+    /// Executor label: `node-serial` (the node-dirty engine — the best
+    /// serial engine before the sharded executor existed, and the
+    /// baseline every speedup in the document divides by), `serial`
+    /// (`SyncSharded` at one shard: the sharded *algorithm* without
+    /// parallelism — its win over node-serial is the composed port
+    /// cache), `pooled` (the persistent worker pool), or `scoped` (the
+    /// legacy spawn-per-phase executor, kept as the A/B row that prices
+    /// what the pool saves).
+    pub executor: &'static str,
+    /// Shard count (1 = the serial step path).
+    pub shards: usize,
+    /// Engine worker threads.
+    pub threads: usize,
+}
+
+/// The executor × shard matrix the synchronous-round bench sweeps per
+/// topology family.
+pub const SYNC_CONFIGS: [SyncConfig; 6] = [
+    SyncConfig { executor: "node-serial", shards: 1, threads: 1 },
+    SyncConfig { executor: "serial", shards: 1, threads: 1 },
+    SyncConfig { executor: "pooled", shards: 2, threads: 2 },
+    SyncConfig { executor: "pooled", shards: 4, threads: 4 },
+    SyncConfig { executor: "pooled", shards: 8, threads: 8 },
+    SyncConfig { executor: "scoped", shards: 8, threads: 8 },
+];
 
 /// One measured cell of the synchronous-round bench: DFTNO over the
 /// oracle walker, re-started from random configurations, driven by the
-/// synchronous daemon under `EngineMode::SyncSharded` with the given
-/// shard count. The timed window covers only the steps (re-seeding
-/// allocates by design); the serial (`shards == 1`) torus row is gated
-/// at zero heap operations — the delta-staging acceptance criterion,
+/// synchronous daemon under the given [`SyncConfig`]. The timed window
+/// covers only the steps (re-seeding allocates by design); the
+/// sharded-serial torus row is gated at zero heap operations (the
+/// delta-staging acceptance criterion) and every pooled row at zero
+/// thread spawns (the persistent pool's acceptance criterion) —
 /// measured rather than assumed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SyncRoundRow {
@@ -383,8 +418,15 @@ pub struct SyncRoundRow {
     pub topology: &'static str,
     /// Node count of the instantiated graph.
     pub n: usize,
-    /// Shard (and engine worker-thread) count.
+    /// Shard count (1 for the serial rows).
     pub shards: usize,
+    /// Executor label (see [`SyncConfig::executor`]).
+    pub executor: &'static str,
+    /// Engine worker threads.
+    pub threads: usize,
+    /// OS threads spawned inside the timed windows (from the fleet's
+    /// process-global spawn counter — exactly zero for a warmed pool).
+    pub thread_spawns: u64,
     /// Synchronous daemon selections timed.
     pub steps: u64,
     /// Complete rounds those steps closed.
@@ -420,13 +462,14 @@ impl SyncRoundRow {
 }
 
 /// Measures the synchronous-round sweep at size `n`: every
-/// [`SYNC_TOPOLOGIES`] family × every [`SYNC_SHARD_COUNTS`] entry,
+/// [`SYNC_TOPOLOGIES`] family × every [`SYNC_CONFIGS`] entry,
 /// `restarts` random re-seeds × `steps_per_restart` timed synchronous
 /// steps each (plus one untimed warm-up restart per configuration so
-/// pools reach their high-water marks before counting). Each family's
-/// shard configurations are verified trace-identical — counters and
-/// final configurations must match the serial run exactly, making the
-/// bench a determinism check at scale on top of a measurement.
+/// pools — worker threads included — reach their high-water marks
+/// before counting). Each family's configurations are verified
+/// trace-identical — counters and final configurations must match the
+/// node-serial baseline exactly, making the bench a determinism check
+/// at scale on top of a measurement.
 pub fn sync_round_bench(n: usize, restarts: u64, steps_per_restart: u64) -> Vec<SyncRoundRow> {
     let mut rows = Vec::new();
     for (spec, name) in SYNC_TOPOLOGIES {
@@ -435,20 +478,32 @@ pub fn sync_round_bench(n: usize, restarts: u64, steps_per_restart: u64) -> Vec<
         let root = NodeId::new(0);
         let oracle = OracleToken::new(&g, root);
         let net = Network::new(g, root);
-        // Per-restart counters + final configuration of the serial run,
-        // diffed against every sharded configuration.
+        // Per-restart counters + final configuration of the baseline
+        // run, diffed against every other configuration.
         let mut reference = None;
-        for shards in SYNC_SHARD_COUNTS {
+        for cfg in SYNC_CONFIGS {
             let mut sim = Simulation::from_initial(&net, Dftno::new(oracle.clone()));
-            sim.set_mode(EngineMode::SyncSharded);
-            sim.configure_sync_sharding(shards, shards);
+            if cfg.executor == "node-serial" {
+                sim.set_mode(EngineMode::NodeDirty);
+            } else {
+                sim.set_mode(EngineMode::SyncSharded);
+                sim.configure_sync_sharding(cfg.shards, cfg.threads);
+                sim.set_sync_executor(if cfg.executor == "scoped" {
+                    SyncExecutor::Scoped
+                } else {
+                    SyncExecutor::Pooled
+                });
+            }
             let mut daemon = Synchronous::new();
-            // Warm-up restart (untimed): stash, records, lists.
+            // Warm-up restart (untimed): stash, records, lists — and the
+            // pool's worker threads, so the timed spawn delta isolates
+            // per-step spawning.
             let mut rng = StdRng::seed_from_u64(0);
             sim.reinit_random(&mut rng);
             sim.run_until(&mut daemon, steps_per_restart, |_| false);
 
             let clones_before = sim.stage_clone_count();
+            let spawns_before = sno_fleet::thread_spawns();
             let mut wall_ns = 0u128;
             let mut allocs = 0u64;
             // Accumulated across restarts (`reinit_random` zeroes the
@@ -474,20 +529,25 @@ pub fn sync_round_bench(n: usize, restarts: u64, steps_per_restart: u64) -> Vec<
                 rounds += r.rounds;
                 trace.push((r, sim.config().to_vec()));
             }
+            let thread_spawns = sno_fleet::thread_spawns() - spawns_before;
             match &reference {
                 None => reference = Some(trace),
                 Some(r) => {
                     assert_eq!(
                         &trace, r,
-                        "{name} n={n_actual} shards={shards}: every restart's counters \
-                         and final configuration must match the serial run"
+                        "{name} n={n_actual} executor={} shards={}: every restart's \
+                         counters and final configuration must match the baseline run",
+                        cfg.executor, cfg.shards
                     );
                 }
             }
             rows.push(SyncRoundRow {
                 topology: name,
                 n: n_actual,
-                shards,
+                shards: cfg.shards,
+                executor: cfg.executor,
+                threads: cfg.threads,
+                thread_spawns,
                 steps: restarts * steps_per_restart,
                 rounds,
                 moves,
@@ -504,18 +564,22 @@ pub fn sync_round_bench(n: usize, restarts: u64, steps_per_restart: u64) -> Vec<
 /// Renders the synchronous-round rows as an ASCII table.
 pub fn sync_round_table(rows: &[SyncRoundRow]) -> Table {
     let mut t = Table::new(
-        "Synchronous-round throughput vs shard count \
-         (DFTNO/oracle from random configurations, synchronous daemon, SyncSharded engine)",
+        "Synchronous-round throughput vs executor and shard count \
+         (DFTNO/oracle from random configurations, synchronous daemon; \
+         speedups relative to the node-serial baseline row)",
         &[
             "topology",
             "n",
+            "executor",
             "shards",
+            "threads",
             "steps",
             "steps/s",
             "rounds/s",
             "moves/s",
             "speedup",
             "allocs",
+            "spawns",
             "stage clones",
         ],
     );
@@ -523,88 +587,238 @@ pub fn sync_round_table(rows: &[SyncRoundRow]) -> Table {
         t.row(cells!(
             r.topology,
             r.n,
+            r.executor,
             r.shards,
+            r.threads,
             r.steps,
             format!("{:.0}", r.steps_per_sec()),
             format!("{:.0}", r.rounds_per_sec()),
             format!("{:.0}", r.moves_per_sec()),
             format!(
                 "{:.2}x",
-                sync_speedup(rows, r.topology, r.n, r.shards).unwrap_or(1.0)
+                sync_speedup(rows, r.topology, r.n, r.executor, r.shards).unwrap_or(1.0)
             ),
             r.allocs,
+            r.thread_spawns,
             r.stage_clones
         ));
     }
     t
 }
 
-/// The step-throughput ratio of a sharded row over its family's serial
-/// (`shards == 1`) row.
-pub fn sync_speedup(rows: &[SyncRoundRow], topology: &str, n: usize, shards: usize) -> Option<f64> {
-    let serial = rows
+/// The step-throughput ratio of a row over its family's `node-serial`
+/// baseline row — the best serial engine, so every ratio in the
+/// document answers "how much faster than just running the node-dirty
+/// engine is this configuration, end to end".
+pub fn sync_speedup(
+    rows: &[SyncRoundRow],
+    topology: &str,
+    n: usize,
+    executor: &str,
+    shards: usize,
+) -> Option<f64> {
+    let base = rows
         .iter()
-        .find(|r| r.topology == topology && r.n == n && r.shards == 1)?;
+        .find(|r| r.topology == topology && r.n == n && r.executor == "node-serial")?;
     let row = rows
         .iter()
-        .find(|r| r.topology == topology && r.n == n && r.shards == shards)?;
-    Some(row.steps_per_sec() / serial.steps_per_sec().max(f64::MIN_POSITIVE))
+        .find(|r| r.topology == topology && r.n == n && r.executor == executor && r.shards == shards)?;
+    Some(row.steps_per_sec() / base.steps_per_sec().max(f64::MIN_POSITIVE))
 }
 
-/// The parallel sync-round gate: ≥ this speedup at 8 shards over the
-/// serial run on the gated torus — enforced only on machines with at
-/// least 8 hardware threads (the ratio is meaningless on fewer; the
-/// baseline-relative gate still applies there).
+/// The parallel sync-round gate on the degree-regular torus: ≥ this
+/// speedup for the pooled 8-shard row over the node-serial baseline —
+/// enforced only on machines with at least 8 hardware threads (the
+/// ratio is meaningless on fewer; the baseline-relative gate still
+/// applies there).
 pub const SYNC_SPEEDUP_GATE: f64 = 3.0;
+
+/// The ratcheted hub gate: on `hubs:3` the pooled 8-shard row must beat
+/// the node-serial baseline ≥ 6× — the persistent pool removes the
+/// spawn tax and the sharded port cache removes the `O(Δ)` hub
+/// re-evaluations, so the composition must clear twice the old 3× bar.
+pub const HUBS_SYNC_GATE: f64 = 6.0;
 
 /// The synchronous-round CI gates:
 ///
-/// * the serial (`shards == 1`) torus row must perform **zero** heap
-///   operations per timed window (delta staging's zero-clone
-///   acceptance criterion, measured under the binary's counting
-///   allocator);
-/// * with ≥ 8 hardware threads available, the torus 8-shard row must
-///   beat the serial row ≥ [`SYNC_SPEEDUP_GATE`]× (skipped — not
+/// * the sharded-serial (`executor == "serial"`) torus row must perform
+///   **zero** heap operations per timed window (delta staging's
+///   zero-clone acceptance criterion, measured under the binary's
+///   counting allocator);
+/// * every pooled row must spawn **zero** OS threads inside its timed
+///   windows — exact and machine-independent: the pool's workers are
+///   started before the window, so any spawn is the per-phase spawn tax
+///   the pool exists to remove;
+/// * with ≥ 8 hardware threads available, the pooled 8-shard rows must
+///   beat the node-serial baseline ≥ [`SYNC_SPEEDUP_GATE`]× on the
+///   torus and ≥ [`HUBS_SYNC_GATE`]× on `hubs:3` (skipped — not
 ///   failed — on smaller machines, where the baseline-relative check
 ///   in [`check_sync_baseline`] still holds the ratio).
 pub fn sync_gate_violations(rows: &[SyncRoundRow], parallelism: usize) -> Vec<String> {
     let mut out = Vec::new();
     let Some(serial) = rows
         .iter()
-        .filter(|r| r.topology == "torus" && r.shards == 1)
+        .filter(|r| r.topology == "torus" && r.executor == "serial")
         .max_by_key(|r| r.n)
     else {
-        out.push("sync gate requires a serial torus row".into());
+        out.push("sync gate requires a sharded-serial torus row".into());
         return out;
     };
     if serial.counting && serial.allocs > 0 {
         out.push(format!(
-            "sync-round torus n={} shards=1: {} heap operations over {} steps \
+            "sync-round torus n={} executor=serial: {} heap operations over {} steps \
              (delta-staged synchronous rounds must perform zero state clones)",
             serial.n, serial.allocs, serial.steps
         ));
     }
-    match sync_speedup(rows, "torus", serial.n, 8) {
-        Some(speedup) if parallelism >= 8 && speedup < SYNC_SPEEDUP_GATE => {
+    for r in rows.iter().filter(|r| r.executor == "pooled") {
+        if r.thread_spawns > 0 {
             out.push(format!(
-                "sync-round torus n={}: {speedup:.2}x at 8 shards, below the \
-                 {SYNC_SPEEDUP_GATE}x gate (machine has {parallelism} hardware threads)",
-                serial.n
+                "sync-round {} n={} shards={} executor=pooled: {} OS threads spawned \
+                 inside the timed windows (a warmed worker pool must spawn zero — \
+                 this is the per-phase spawn tax the pool exists to remove)",
+                r.topology, r.n, r.shards, r.thread_spawns
             ));
         }
-        Some(_) => {}
-        None => out.push(format!(
-            "sync gate requires an 8-shard torus n={} row",
-            serial.n
-        )),
+    }
+    for (topology, gate) in [("torus", SYNC_SPEEDUP_GATE), ("hubs:3", HUBS_SYNC_GATE)] {
+        match sync_speedup(rows, topology, serial.n, "pooled", 8) {
+            Some(speedup) if parallelism >= 8 && speedup < gate => {
+                out.push(format!(
+                    "sync-round {topology} n={}: {speedup:.2}x for the pooled 8-shard \
+                     row over node-serial, below the {gate}x gate (machine has \
+                     {parallelism} hardware threads)",
+                    serial.n
+                ));
+            }
+            Some(_) => {}
+            None => out.push(format!(
+                "sync gate requires a pooled 8-shard {topology} n={} row",
+                serial.n
+            )),
+        }
     }
     out
 }
 
-/// The baseline-relative synchronous-round gate: the 8-shard torus
-/// speedup ratio must stay within 30% of the committed
-/// `BENCH_engine.json` — like the star gate, ratios (not absolute
-/// steps/sec) are compared so the gate is portable across
+/// The scaling-curve gates of the `scaling-curve` CI job (enforced only
+/// with ≥ 8 hardware threads, like the absolute speedup gates):
+///
+/// * **monotonicity** — per topology, the pooled speedup must not
+///   *drop* as shards double (serial → 2 → 4 → 8), with a 5% noise
+///   allowance; a falling curve means added threads are making rounds
+///   slower, the classic symptom of a barrier or false-sharing
+///   regression that absolute gates on a single point would miss;
+/// * **baseline regression** — with a committed `BENCH_engine.json`,
+///   every pooled row's speedup must stay within 15% of the committed
+///   one (tighter than the 30% single-point gate: the curve job runs on
+///   the dedicated runner class, so its ratios are less noisy).
+pub fn scaling_violations(
+    rows: &[SyncRoundRow],
+    parallelism: usize,
+    baseline_json: Option<&str>,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    if parallelism < 8 {
+        return out;
+    }
+    for (_, name) in SYNC_TOPOLOGIES {
+        let Some(base) = rows
+            .iter()
+            .find(|r| r.topology == name && r.executor == "node-serial")
+        else {
+            continue;
+        };
+        let n = base.n;
+        let mut curve: Vec<(usize, f64)> = Vec::new();
+        if let Some(s) = sync_speedup(rows, name, n, "serial", 1) {
+            curve.push((1, s));
+        }
+        for shards in [2, 4, 8] {
+            if let Some(s) = sync_speedup(rows, name, n, "pooled", shards) {
+                curve.push((shards, s));
+            }
+        }
+        for w in curve.windows(2) {
+            let ((s0, v0), (s1, v1)) = (w[0], w[1]);
+            if s1 <= parallelism && v1 < 0.95 * v0 {
+                out.push(format!(
+                    "scaling curve on {name} n={n}: speedup fell from {v0:.2}x at \
+                     {s0} shard(s) to {v1:.2}x at {s1} shards — adding threads must \
+                     not make synchronous rounds slower (5% noise allowance)"
+                ));
+            }
+        }
+        if let Some(doc) = baseline_json {
+            for &(shards, measured) in curve.iter().filter(|(s, _)| *s > 1) {
+                let anchor = format!(
+                    "\"topology\":\"{name}\",\"n\":{n},\"shards\":{shards},\"executor\":\"pooled\","
+                );
+                let Some(committed) = anchored_field(doc, &anchor, "speedup") else {
+                    continue;
+                };
+                if committed > 0.0 && measured < 0.85 * committed {
+                    out.push(format!(
+                        "scaling curve on {name} n={n} shards={shards}: pooled speedup \
+                         regressed more than 15% vs the committed baseline: \
+                         {measured:.2}x < 0.85 x {committed:.2}x"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the `sno-scaling-curve/v1` artifact the `scaling-curve` CI
+/// job uploads: one record per sync-round row, with the node-serial
+/// relative speedup and the timed-window thread-spawn count.
+pub fn scaling_curve_json(rows: &[SyncRoundRow], parallelism: usize) -> String {
+    let mut out = format!(
+        "{{\"schema\":\"sno-scaling-curve/v1\",\"parallelism\":{parallelism},\"rows\":["
+    );
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"topology\":\"{}\",\"n\":{},\"shards\":{},\"executor\":\"{}\",\
+             \"threads\":{},\"steps_per_sec\":{:.0},\"speedup\":{:.2},\
+             \"thread_spawns\":{}}}",
+            r.topology,
+            r.n,
+            r.shards,
+            r.executor,
+            r.threads,
+            r.steps_per_sec(),
+            sync_speedup(rows, r.topology, r.n, r.executor, r.shards).unwrap_or(1.0),
+            r.thread_spawns
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Extracts `"key":<number>` from the JSON object slice that starts at
+/// `anchor` — the shared field reader of the baseline gates (the
+/// offline build has no JSON parser dependency; the emitters above
+/// write fields in a fixed order, so a literal anchor pins the row).
+fn anchored_field(json: &str, anchor: &str, key: &str) -> Option<f64> {
+    let row = &json[json.find(anchor)?..];
+    let row = &row[..row.find('}').unwrap_or(row.len())];
+    let field = format!("\"{key}\":");
+    let rest = &row[row.find(&field)? + field.len()..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The baseline-relative synchronous-round gate: the pooled 8-shard
+/// torus speedup ratio (over node-serial) must stay within 30% of the
+/// committed `BENCH_engine.json` — like the star gate, ratios (not
+/// absolute steps/sec) are compared so the gate is portable across
 /// differently-powered runners.
 pub fn check_sync_baseline(rows: &[SyncRoundRow], baseline_json: &str) -> BaselineOutcome {
     let Some(serial) = rows
@@ -614,26 +828,16 @@ pub fn check_sync_baseline(rows: &[SyncRoundRow], baseline_json: &str) -> Baseli
     else {
         return BaselineOutcome::Regressed("sync baseline gate requires a torus row".into());
     };
-    let Some(measured) = sync_speedup(rows, "torus", serial.n, 8) else {
+    let Some(measured) = sync_speedup(rows, "torus", serial.n, "pooled", 8) else {
         return BaselineOutcome::Regressed(
-            "sync baseline gate requires an 8-shard torus row".into(),
+            "sync baseline gate requires a pooled 8-shard torus row".into(),
         );
     };
-    let anchor = format!("\"topology\":\"torus\",\"n\":{},\"shards\":8,", serial.n);
-    let committed = baseline_json
-        .find(&anchor)
-        .map(|at| &baseline_json[at..])
-        .and_then(|row| {
-            let end = row.find('}').unwrap_or(row.len());
-            let row = &row[..end];
-            let field = "\"speedup\":";
-            let at = row.find(field)? + field.len();
-            let rest = &row[at..];
-            let end = rest
-                .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
-                .unwrap_or(rest.len());
-            rest[..end].parse::<f64>().ok()
-        });
+    let anchor = format!(
+        "\"topology\":\"torus\",\"n\":{},\"shards\":8,\"executor\":\"pooled\",",
+        serial.n
+    );
+    let committed = anchored_field(baseline_json, &anchor, "speedup");
     match committed {
         Some(committed) if committed > 0.0 => {
             if measured < 0.7 * committed {
@@ -648,7 +852,7 @@ pub fn check_sync_baseline(rows: &[SyncRoundRow], baseline_json: &str) -> Baseli
         }
         _ => BaselineOutcome::Incomparable(format!(
             "baseline document has no comparable sync-round torus n={} shards=8 \
-             speedup field (pre-v4 baseline?)",
+             executor=pooled speedup field (pre-v6 baseline?)",
             serial.n
         )),
     }
@@ -700,17 +904,19 @@ pub fn engine_bench_table(rows: &[EngineBenchRow]) -> Table {
     t
 }
 
-/// Renders the `sno-engine-bench/v5` JSON document (v3 added the
+/// Renders the `sno-engine-bench/v6` JSON document (v3 added the
 /// optional `star_apply` clone-count section, v4 the `sync_rounds`
 /// shard-scaling section, v5 the per-mode deterministic work counters
-/// appended to each row; the leading `rows` fields are unchanged from
+/// appended to each row, v6 the sync-round executor matrix — executor /
+/// threads / thread-spawns columns, speedups re-anchored to the
+/// node-serial baseline; the leading `rows` fields are unchanged from
 /// v2, so the baseline ratio gates read all of them).
 pub fn engine_bench_json_with(
     rows: &[EngineBenchRow],
     star_apply: Option<&StarApplyRow>,
     sync_rows: &[SyncRoundRow],
 ) -> String {
-    let mut out = String::from("{\"schema\":\"sno-engine-bench/v5\",\"workload\":");
+    let mut out = String::from("{\"schema\":\"sno-engine-bench/v6\",\"workload\":");
     out.push_str("\"dftno/oracle-token steady state, central-round-robin\",\"rows\":[");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -770,13 +976,16 @@ pub fn engine_bench_json_with(
             }
             let _ = write!(
                 out,
-                "{{\"topology\":\"{}\",\"n\":{},\"shards\":{},\"steps\":{},\
+                "{{\"topology\":\"{}\",\"n\":{},\"shards\":{},\"executor\":\"{}\",\
+                 \"threads\":{},\"steps\":{},\
                  \"rounds\":{},\"moves\":{},\"wall_ns\":{},\"steps_per_sec\":{:.0},\
                  \"rounds_per_sec\":{:.0},\"moves_per_sec\":{:.0},\"speedup\":{:.2},\
-                 \"allocs\":{},\"stage_clones\":{},\"counting\":{}}}",
+                 \"allocs\":{},\"thread_spawns\":{},\"stage_clones\":{},\"counting\":{}}}",
                 r.topology,
                 r.n,
                 r.shards,
+                r.executor,
+                r.threads,
                 r.steps,
                 r.rounds,
                 r.moves,
@@ -784,8 +993,9 @@ pub fn engine_bench_json_with(
                 r.steps_per_sec(),
                 r.rounds_per_sec(),
                 r.moves_per_sec(),
-                sync_speedup(sync_rows, r.topology, r.n, r.shards).unwrap_or(1.0),
+                sync_speedup(sync_rows, r.topology, r.n, r.executor, r.shards).unwrap_or(1.0),
                 r.allocs,
+                r.thread_spawns,
                 r.stage_clones,
                 r.counting
             );
@@ -865,18 +1075,7 @@ pub fn gate_violations(rows: &[EngineBenchRow]) -> Vec<String> {
 /// dependency, and the emitter above writes the fields in a fixed
 /// order).
 fn baseline_field(json: &str, topology: &str, n: usize, key: &str) -> Option<f64> {
-    let anchor = format!("\"topology\":\"{topology}\",\"n\":{n},");
-    let row_start = json.find(&anchor)?;
-    let row = &json[row_start..];
-    let row_end = row.find('}').unwrap_or(row.len());
-    let row = &row[..row_end];
-    let field = format!("\"{key}\":");
-    let at = row.find(&field)? + field.len();
-    let rest = &row[at..];
-    let end = rest
-        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+    anchored_field(json, &format!("\"topology\":\"{topology}\",\"n\":{n},"), key)
 }
 
 /// Outcome of the committed-baseline comparison.
@@ -1024,7 +1223,7 @@ mod tests {
             );
         }
         let json = engine_bench_json(&rows);
-        assert!(json.contains("\"schema\":\"sno-engine-bench/v5\""));
+        assert!(json.contains("\"schema\":\"sno-engine-bench/v6\""));
         assert!(json.contains("\"topology\":\"torus\""));
         assert!(json.contains("\"port_dirty_ns\""));
         assert!(json.contains("\"full_guard_evals\""));
@@ -1036,33 +1235,56 @@ mod tests {
 
     #[test]
     fn sync_round_bench_measures_deterministically_and_renders() {
-        // Tiny size: the value here is the cross-shard trace assertions
-        // inside `sync_round_bench` plus the emitters and gates, not the
-        // timings.
+        // Tiny size: the value here is the cross-configuration trace
+        // assertions inside `sync_round_bench` plus the emitters and
+        // gates, not the timings.
         let rows = sync_round_bench(48, 2, 12);
-        assert_eq!(rows.len(), SYNC_TOPOLOGIES.len() * SYNC_SHARD_COUNTS.len());
+        assert_eq!(rows.len(), SYNC_TOPOLOGIES.len() * SYNC_CONFIGS.len());
         for r in &rows {
             assert_eq!(r.steps, 24);
             assert!(r.rounds > 0, "{r:?}");
+            if r.executor == "pooled" {
+                // The warmed pool's invariant holds on any machine.
+                assert_eq!(r.thread_spawns, 0, "{r:?}");
+            }
         }
         let json = engine_bench_json_with(&[], None, &rows);
         assert!(json.contains("\"sync_rounds\":["));
         assert!(json.contains("\"topology\":\"hubs:3\""));
+        assert!(json.contains("\"executor\":\"node-serial\""));
+        assert!(json.contains("\"executor\":\"pooled\""));
+        assert!(json.contains("\"executor\":\"scoped\""));
+        assert!(json.contains("\"thread_spawns\""));
         assert!(json.contains("\"stage_clones\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         let table = sync_round_table(&rows);
         assert_eq!(table.rows.len(), rows.len());
         // No counting allocator in the test binary: the alloc gate is
-        // vacuous, and the speedup gate is skipped below 8 threads.
+        // vacuous, the speedup/curve gates are skipped below 8 threads,
+        // and the spawn gate just held above.
         assert!(sync_gate_violations(&rows, 1).is_empty());
+        assert!(scaling_violations(&rows, 1, None).is_empty());
+        let curve = scaling_curve_json(&rows, 1);
+        assert!(curve.contains("\"schema\":\"sno-scaling-curve/v1\""));
+        assert!(curve.contains("\"executor\":\"pooled\""));
+        assert_eq!(curve.matches('{').count(), curve.matches('}').count());
     }
 
-    #[test]
-    fn sync_gates_fire_on_allocs_and_slow_speedups() {
-        let mk = |shards: usize, wall_ns: u128, allocs: u64| SyncRoundRow {
-            topology: "torus",
+    fn sync_row(
+        topology: &'static str,
+        executor: &'static str,
+        shards: usize,
+        wall_ns: u128,
+        allocs: u64,
+        thread_spawns: u64,
+    ) -> SyncRoundRow {
+        SyncRoundRow {
+            topology,
             n: 4096,
             shards,
+            executor,
+            threads: shards,
+            thread_spawns,
             steps: 100,
             rounds: 90,
             moves: 5_000,
@@ -1070,49 +1292,104 @@ mod tests {
             allocs,
             stage_clones: 0,
             counting: true,
-        };
-        let good = vec![mk(1, 80_000, 0), mk(8, 20_000, 500)];
+        }
+    }
+
+    #[test]
+    fn sync_gates_fire_on_allocs_spawns_and_slow_speedups() {
+        // Node-serial at 120k ns; torus pooled-8 at 24k ns = 5x (≥ 3x
+        // gate); hubs pooled-8 at 15k ns = 8x (≥ 6x gate).
+        let good = vec![
+            sync_row("torus", "node-serial", 1, 120_000, 300, 0),
+            sync_row("torus", "serial", 1, 100_000, 0, 0),
+            sync_row("torus", "pooled", 8, 24_000, 500, 0),
+            sync_row("hubs:3", "node-serial", 1, 120_000, 300, 0),
+            sync_row("hubs:3", "pooled", 8, 15_000, 500, 0),
+        ];
         assert!(sync_gate_violations(&good, 8).is_empty());
-        // Parallel-path allocations are expected; serial ones are not.
-        let leaky = vec![mk(1, 80_000, 7), mk(8, 20_000, 0)];
+        // Parallel-path allocations are expected; sharded-serial ones
+        // are not.
+        let mut leaky = good.clone();
+        leaky[1].allocs = 7;
         let v = sync_gate_violations(&leaky, 8);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("zero state clones"), "{v:?}");
-        // 2x at 8 shards: below the 3x gate on a big machine…
-        let slow = vec![mk(1, 80_000, 0), mk(8, 40_000, 0)];
-        assert_eq!(sync_gate_violations(&slow, 8).len(), 1);
-        // …but skipped on a small one.
+        // A pooled row that spawned threads inside its timed windows:
+        // the spawn tax is back, and the gate is machine-independent.
+        let mut spawning = good.clone();
+        spawning[2].thread_spawns = 48;
+        let v = sync_gate_violations(&spawning, 1);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("spawn zero"), "{v:?}");
+        // Torus 2x (< 3x) and hubs 4x (< 6x): both fire on a big
+        // machine…
+        let mut slow = good.clone();
+        slow[2].wall_ns = 60_000;
+        slow[4].wall_ns = 30_000;
+        assert_eq!(sync_gate_violations(&slow, 8).len(), 2);
+        // …but are skipped on a small one.
         assert!(sync_gate_violations(&slow, 2).is_empty());
     }
 
     #[test]
     fn sync_baseline_gate_compares_speedup_ratios() {
-        let mk = |shards: usize, wall_ns: u128| SyncRoundRow {
-            topology: "torus",
-            n: 4096,
-            shards,
-            steps: 100,
-            rounds: 90,
-            moves: 5_000,
-            wall_ns,
-            allocs: 0,
-            stage_clones: 0,
-            counting: true,
-        };
-        // measured speedup = 2x.
-        let rows = vec![mk(1, 80_000), mk(8, 40_000)];
-        let fast = r#"{"sync_rounds":[{"topology":"torus","n":4096,"shards":8,"speedup":4.00}]}"#;
+        // measured pooled-8 speedup over node-serial = 2x.
+        let rows = vec![
+            sync_row("torus", "node-serial", 1, 80_000, 0, 0),
+            sync_row("torus", "serial", 1, 70_000, 0, 0),
+            sync_row("torus", "pooled", 8, 40_000, 0, 0),
+        ];
+        let fast = r#"{"sync_rounds":[{"topology":"torus","n":4096,"shards":8,"executor":"pooled","speedup":4.00}]}"#;
         assert!(matches!(
             check_sync_baseline(&rows, fast),
             BaselineOutcome::Regressed(_)
         ));
-        let close = r#"{"sync_rounds":[{"topology":"torus","n":4096,"shards":8,"speedup":2.50}]}"#;
+        let close = r#"{"sync_rounds":[{"topology":"torus","n":4096,"shards":8,"executor":"pooled","speedup":2.50}]}"#;
         assert_eq!(check_sync_baseline(&rows, close), BaselineOutcome::Passed);
+        // Pre-v6 documents keyed rows by shards alone: incomparable, not
+        // a failure.
+        let v5 = r#"{"sync_rounds":[{"topology":"torus","n":4096,"shards":8,"speedup":2.50}]}"#;
+        assert!(matches!(
+            check_sync_baseline(&rows, v5),
+            BaselineOutcome::Incomparable(_)
+        ));
         let v3 = r#"{"schema":"sno-engine-bench/v3","rows":[]}"#;
         assert!(matches!(
             check_sync_baseline(&rows, v3),
             BaselineOutcome::Incomparable(_)
         ));
+    }
+
+    #[test]
+    fn scaling_curve_gates_fire_on_dips_and_baseline_regressions() {
+        // A healthy curve: 1.2x (serial) → 2x → 3.5x → 6x.
+        let curve = |w2: u128, w4: u128, w8: u128| {
+            vec![
+                sync_row("torus", "node-serial", 1, 120_000, 0, 0),
+                sync_row("torus", "serial", 1, 100_000, 0, 0),
+                sync_row("torus", "pooled", 2, w2, 0, 0),
+                sync_row("torus", "pooled", 4, w4, 0, 0),
+                sync_row("torus", "pooled", 8, w8, 0, 0),
+            ]
+        };
+        let good = curve(60_000, 34_000, 20_000);
+        assert!(scaling_violations(&good, 8, None).is_empty());
+        // 4-shard slower than 2-shard beyond the 5% allowance: fires…
+        let dipped = curve(40_000, 60_000, 20_000);
+        let v = scaling_violations(&dipped, 8, None);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("fell from"), "{v:?}");
+        // …except on a machine too small to expect scaling at all.
+        assert!(scaling_violations(&dipped, 4, None).is_empty());
+        // Committed baseline says 8 shards reached 8x; measuring 6x is
+        // a 25% regression, beyond the 15% curve tolerance.
+        let committed = r#"{"sync_rounds":[
+            {"topology":"torus","n":4096,"shards":2,"executor":"pooled","speedup":2.00},
+            {"topology":"torus","n":4096,"shards":4,"executor":"pooled","speedup":3.50},
+            {"topology":"torus","n":4096,"shards":8,"executor":"pooled","speedup":8.00}]}"#;
+        let v = scaling_violations(&good, 8, Some(committed));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("regressed more than 15%"), "{v:?}");
     }
 
     #[test]

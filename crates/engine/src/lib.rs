@@ -57,7 +57,9 @@ pub use protocol::{
     PortVerdict, Protocol, ReadScope, Scratch, SpaceMeasured, StateTxn, TouchRecord, TouchScope,
     WriteTxn,
 };
-pub use sim::{EngineMode, RunResult, Simulation, StepOutcome, DEFAULT_SYNC_THRESHOLD};
+pub use sim::{
+    EngineMode, RunResult, Simulation, StepOutcome, SyncExecutor, DEFAULT_SYNC_THRESHOLD,
+};
 pub use sno_graph::{CsrDelta, TopologyEvent, TopologyRepair};
 pub use store::{ConfigStore, DeltaTxn, ShardTxn};
 
@@ -68,4 +70,4 @@ pub use store::{ConfigStore, DeltaTxn, ShardTxn};
 /// log-bucketed histograms, exact digests, and Chrome trace-event
 /// export.
 pub use sno_telemetry as telemetry;
-pub use sno_telemetry::{Counter, CounterMeter, Meter, Metric, NoopMeter, TraceBuffer};
+pub use sno_telemetry::{Counter, CounterMeter, ExchangeStats, Meter, Metric, NoopMeter, TraceBuffer};

@@ -91,11 +91,13 @@
 //! modes in lockstep and assert identical traces.
 
 use std::borrow::Cow;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::RngCore;
+use sno_fleet::WorkerPool;
 use sno_graph::{GraphError, NodeId, Partition, Port, TopologyEvent, TopologyRepair};
-use sno_telemetry::{Counter, Meter, Metric, NoopMeter, TraceBuffer};
+use sno_telemetry::{Counter, ExchangeStats, Meter, Metric, NoopMeter, TraceBuffer};
 
 use crate::daemon::{Daemon, EnabledNode};
 use crate::network::Network;
@@ -141,6 +143,23 @@ pub enum EngineMode {
 /// [`Simulation::set_sync_parallel_threshold`] (tests and benches pin it
 /// to 0 to force the parallel phases on small graphs).
 pub const DEFAULT_SYNC_THRESHOLD: usize = 192;
+
+/// How [`EngineMode::SyncSharded`]'s parallel phases are driven.
+///
+/// Both executors run the identical phase bodies and produce
+/// byte-identical traces and counters; they differ only in thread
+/// lifecycle cost. The bench harness runs them A/B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncExecutor {
+    /// A persistent [`WorkerPool`]: long-lived workers parked between
+    /// phases, epoch/barrier handoff, zero thread spawns after warmup.
+    /// The default.
+    #[default]
+    Pooled,
+    /// Scoped `std::thread` spawn-and-join per phase (the pre-pool
+    /// behavior, kept as the A/B baseline).
+    Scoped,
+}
 
 /// What happened in one computation step.
 #[derive(Debug, Clone, PartialEq)]
@@ -225,7 +244,8 @@ pub struct Simulation<'a, P: Protocol, M: Meter = NoopMeter> {
     /// The active guard-invalidation strategy.
     mode: EngineMode,
     /// `true` iff the port-dirty machinery is live: mode is
-    /// [`EngineMode::PortDirty`] *and* the protocol opted in.
+    /// [`EngineMode::PortDirty`] or [`EngineMode::SyncSharded`] *and*
+    /// the protocol opted in.
     port_cache_active: bool,
     // --- Incremental enabled-set cache (authoritative when the mode is
     // not FullSweep) ---
@@ -293,14 +313,51 @@ pub struct Simulation<'a, P: Protocol, M: Meter = NoopMeter> {
     /// workers never contend.
     shard_scratch: Vec<Scratch>,
     shard_actions: Vec<Vec<P::Action>>,
-    /// Per-shard pooled transaction records for the parallel write
-    /// phase (no port pass consumes them; commit still requires one).
-    shard_recs: Vec<TouchRecord>,
+    /// Per-shard pools of transaction records for the parallel write
+    /// phase — one record per read-free writer in bucket order, swapped
+    /// back into `txn_recs` afterwards so the port-dirty pass consumes
+    /// a single authoritative record array regardless of executor.
+    shard_recs: Vec<Vec<TouchRecord>>,
     /// Per-shard buckets of read-free writers (indices into
     /// `scratch_pending`) for the parallel write phase.
     shard_writers: Vec<Vec<u32>>,
     /// Per-shard dirty-node buckets for the parallel re-evaluation.
     shard_dirty: Vec<Vec<u32>>,
+    /// The persistent worker pool driving the parallel phases under
+    /// [`SyncExecutor::Pooled`]. Shared (`Arc`) so a lab campaign can
+    /// run many cells on one pool; created by
+    /// [`Simulation::configure_sync_sharding`] when both shards and
+    /// threads exceed 1.
+    sync_pool: Option<Arc<WorkerPool>>,
+    /// Which executor drives the parallel phases (A/B-tested by the
+    /// bench harness; identical semantics).
+    sync_executor: SyncExecutor,
+    // --- Sharded port-dirty pass scratch (EngineMode::SyncSharded with
+    // a port-separable protocol): the writer-side refresh and the
+    // reader-side port re-evaluations run shard-parallel, bridged by a
+    // serial boundary exchange that reconstructs the canonical
+    // dirty-port queue. ---
+    /// Per-writer-shard buckets of pending indices (all writers, not
+    /// just read-free ones), in selection order.
+    shard_port_jobs: Vec<Vec<u32>>,
+    /// `shard_port_pos[k]` = (shard, index) of pending writer `k` in
+    /// `shard_port_jobs`, for the canonical-order boundary exchange.
+    shard_port_pos: Vec<(u32, u32)>,
+    /// Per-writer-shard raw dirty-port candidates (`reader << 32 |
+    /// back_port`), in per-writer segments.
+    shard_port_out: Vec<Vec<u64>>,
+    /// Per-writer-shard segment ends into `shard_port_out` (one entry
+    /// per writer in the shard's bucket).
+    shard_port_bounds: Vec<Vec<u32>>,
+    /// Per-reader-shard buckets of the canonical dirty-port queue,
+    /// preserving canonical order within each shard.
+    shard_ports: Vec<Vec<u64>>,
+    /// Per-reader-shard touched-node output of the parallel port pass.
+    shard_touched: Vec<Vec<u32>>,
+    /// Cumulative boundary-exchange statistics of the sharded port
+    /// pass (diagnostic — partition-dependent, so deliberately *not* a
+    /// [`Counter`]: meters stay schedule-independent).
+    exchange_stats: ExchangeStats,
     // --- Reusable buffers: campaign fleets (sno-lab) run millions of
     // steps per simulation object, so the hot path must not allocate. ---
     scratch_enabled: Vec<EnabledNode>,
@@ -420,6 +477,15 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
             shard_recs: Vec::new(),
             shard_writers: Vec::new(),
             shard_dirty: Vec::new(),
+            sync_pool: None,
+            sync_executor: SyncExecutor::default(),
+            shard_port_jobs: Vec::new(),
+            shard_port_pos: Vec::new(),
+            shard_port_out: Vec::new(),
+            shard_port_bounds: Vec::new(),
+            shard_ports: Vec::new(),
+            shard_touched: Vec::new(),
+            exchange_stats: ExchangeStats::default(),
             scratch_enabled: Vec::new(),
             scratch_actions: Vec::new(),
             scratch_node_mask: vec![false; n],
@@ -783,7 +849,14 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
         }
         let was_full = self.mode == EngineMode::FullSweep;
         self.mode = mode;
-        self.port_cache_active = mode == EngineMode::PortDirty && self.protocol.port_separable();
+        // The port cache composes with the sharded executor: sparse
+        // sync-sharded steps run the serial port-dirty pass, dense ones
+        // its shard-parallel counterpart — either way the o(Δ) port win
+        // applies, which is what makes hub-heavy sharded rounds fast.
+        self.port_cache_active = matches!(
+            mode,
+            EngineMode::PortDirty | EngineMode::SyncSharded
+        ) && self.protocol.port_separable();
         if self.port_cache_active && self.port_words.len() != self.net.graph().csr_len() {
             // First entry into port mode on this simulation: allocate the
             // cache arrays (off the hot path).
@@ -835,22 +908,79 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
     /// it computes — traces are byte-identical for every `(shards,
     /// threads)` choice.
     pub fn configure_sync_sharding(&mut self, shards: usize, threads: usize) {
+        let threads = threads.max(1);
+        // Reuse the existing pool when the thread count matches (its
+        // workers are warm); otherwise build a fresh one. Serial
+        // configurations carry no pool at all.
+        let pool = if shards > 1 && threads > 1 {
+            match self.sync_pool.take() {
+                Some(p) if p.threads() == threads => Some(p),
+                _ => Some(Arc::new(WorkerPool::new(threads))),
+            }
+        } else {
+            None
+        };
+        self.configure_sync_sharding_impl(shards, threads, pool);
+    }
+
+    /// [`Simulation::configure_sync_sharding`] with an externally shared
+    /// [`WorkerPool`]: the thread count comes from the pool, and many
+    /// simulations (e.g. a lab campaign's cells) can hand phases to the
+    /// same parked workers — concurrent callers serialize whole phases
+    /// inside the pool, so this is always safe.
+    pub fn configure_sync_sharding_with_pool(&mut self, shards: usize, pool: Arc<WorkerPool>) {
+        let threads = pool.threads();
+        self.configure_sync_sharding_impl(shards, threads, Some(pool));
+    }
+
+    fn configure_sync_sharding_impl(
+        &mut self,
+        shards: usize,
+        threads: usize,
+        pool: Option<Arc<WorkerPool>>,
+    ) {
         let shards = shards.clamp(1, self.net.node_count());
-        self.sync_threads = threads.max(1);
+        self.sync_threads = threads;
+        self.sync_pool = pool;
         if shards > 1 {
             let p = Partition::degree_balanced(self.net.graph(), shards);
             let count = p.shard_count();
             self.sync_partition = Some(p);
             self.shard_scratch.resize_with(count, Scratch::new);
             self.shard_actions.resize_with(count, Vec::new);
-            self.shard_recs.resize_with(count, TouchRecord::new);
+            self.shard_recs.resize_with(count, Vec::new);
             self.shard_jobs.resize_with(count, Vec::new);
             self.shard_resolved.resize_with(count, Vec::new);
             self.shard_writers.resize_with(count, Vec::new);
             self.shard_dirty.resize_with(count, Vec::new);
+            self.shard_port_jobs.resize_with(count, Vec::new);
+            self.shard_port_out.resize_with(count, Vec::new);
+            self.shard_port_bounds.resize_with(count, Vec::new);
+            self.shard_ports.resize_with(count, Vec::new);
+            self.shard_touched.resize_with(count, Vec::new);
         } else {
             self.sync_partition = None;
         }
+    }
+
+    /// Switches between the persistent-pool and scoped-spawn executors
+    /// for the sharded phases (identical semantics; see
+    /// [`SyncExecutor`]). The bench harness A/Bs them.
+    pub fn set_sync_executor(&mut self, executor: SyncExecutor) {
+        self.sync_executor = executor;
+    }
+
+    /// The executor currently driving the sharded phases.
+    pub fn sync_executor(&self) -> SyncExecutor {
+        self.sync_executor
+    }
+
+    /// Cumulative boundary-exchange statistics of the sharded port-dirty
+    /// pass. Diagnostic only: the local/boundary split depends on the
+    /// partition, so these deliberately never feed a [`Meter`] (whose
+    /// counters must stay byte-identical across shard counts).
+    pub fn exchange_stats(&self) -> ExchangeStats {
+        self.exchange_stats
     }
 
     /// Overrides the writer/dirty-count threshold below which
@@ -1169,10 +1299,6 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                     "daemon selected the same processor twice"
                 );
             }
-            // One whole-node guard materialization per selected writer —
-            // counted as a serial aggregate so the total is identical to
-            // the serial loop's for any thread or shard count.
-            self.meter.add(Counter::GuardEvals, choices.len() as u64);
             self.resolve_parallel(&enabled, &choices, &mut pending);
             if let Some(out) = record.as_deref_mut() {
                 for (i, action) in &pending {
@@ -1372,7 +1498,15 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                 self.scratch_node_mask = enabled_mask;
             }
         } else if use_ports {
-            self.port_dirty_pass(&mut enabled, &pending);
+            if sharded_par {
+                // Dense sharded step of a port-separable protocol: the
+                // writer refresh and the reader port re-evaluations run
+                // shard-parallel around a serial boundary exchange —
+                // counters and traces byte-identical to the serial pass.
+                self.port_dirty_pass_sharded(&mut enabled, &pending);
+            } else {
+                self.port_dirty_pass(&mut enabled, &pending);
+            }
         } else if self.mode == EngineMode::SyncSharded
             && self.sync_threads > 1
             && self.sync_partition.is_some()
@@ -1610,13 +1744,23 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
             }
         }
 
-        // Phase 3: fold the final counts into the sorted list; a frontier
-        // processor can only have become disabled if it was touched, so
-        // the same loop neutralizes the frontier (deliberately deferred —
-        // counts may change more than once within a step, and only the
-        // final value may neutralize).
-        if touched.len() * 4 >= net.node_count() {
-            for &t in &touched {
+        self.fold_touched(enabled, &touched);
+
+        self.dirty_ports = dirty_ports;
+        self.touched = touched;
+    }
+
+    /// The final phase of a port-dirty pass (serial or sharded): fold
+    /// the final counts into the sorted list; a frontier processor can
+    /// only have become disabled if it was touched, so the same loop
+    /// neutralizes the frontier (deliberately deferred — counts may
+    /// change more than once within a step, and only the final value may
+    /// neutralize). Order-independent in `touched`: the counts are
+    /// settled, the dense branch rebuilds from the count array, and the
+    /// sparse folds are idempotent.
+    fn fold_touched(&mut self, enabled: &mut Vec<EnabledNode>, touched: &[u32]) {
+        if touched.len() * 4 >= self.net.node_count() {
+            for &t in touched {
                 let t = t as usize;
                 if self.action_count[t] == 0
                     && std::mem::replace(&mut self.round_frontier[t], false)
@@ -1636,7 +1780,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                     }),
             );
         } else {
-            for &t in &touched {
+            for &t in touched {
                 let t = t as usize;
                 let c = self.action_count[t];
                 Self::fold_count_into_list(NodeId::new(t), c, enabled);
@@ -1645,8 +1789,340 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                 }
             }
         }
+    }
 
-        self.dirty_ports = dirty_ports;
+    /// The sharded counterpart of [`Simulation::port_dirty_pass`] for
+    /// dense synchronous steps — same three phases, same counters, same
+    /// trace, shard-parallel where the work is:
+    ///
+    /// * **refresh** (parallel by *writer* shard): every writer's
+    ///   [`Protocol::refresh_self`] plus the raw dirty-port candidates
+    ///   from its declared write scope, into per-shard buffers. All
+    ///   per-node state a worker touches (`action_count`, `full_mark`,
+    ///   port/node cache words) is owned by the node's shard, so the
+    ///   chunked `&mut` hand-out is race-free by construction.
+    /// * **exchange** (serial): the boundary hand-off. Candidate
+    ///   segments are merged back in pending (selection) order and
+    ///   deduplicated through the global `port_mark` stamps — exactly
+    ///   the serial pass's canonical dirty-port queue, byte for byte —
+    ///   then bucketed by *reader* shard, preserving canonical order
+    ///   within each bucket. Cross-shard hand-offs are tallied into
+    ///   [`ExchangeStats`] (diagnostic only).
+    /// * **reeval** (parallel by *reader* shard): per-port
+    ///   [`Protocol::reevaluate_port`] against shard-local cache words.
+    ///   A node's entries keep their canonical relative order inside
+    ///   its shard's bucket, so the `full_mark` skip pattern — and with
+    ///   it every counter — matches the serial pass exactly.
+    ///
+    /// The serial fold ([`Simulation::fold_touched`]) finishes the step.
+    fn port_dirty_pass_sharded(
+        &mut self,
+        enabled: &mut Vec<EnabledNode>,
+        pending: &[(u32, P::Action)],
+    ) {
+        let epoch = self.epoch;
+        let stride = self.node_stride;
+        let partition = self.sync_partition.as_ref().expect("sharding configured");
+        let shard_count = partition.shard_count();
+        let bounds = partition.bounds();
+        let net = &*self.net;
+        let g = net.graph();
+        let protocol = &self.protocol;
+        let config = self.store.slice();
+        let recs = &self.txn_recs;
+        let tracing = self.tracer.is_some();
+
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.clear();
+
+        // Serial prologue: bucket all writers by owning shard in pending
+        // order, and mark them touched (every writer is, in the serial
+        // pass's phase 1 — do it here so the reader phase's dedup sees
+        // the same marks).
+        for b in self.shard_port_jobs.iter_mut() {
+            b.clear();
+        }
+        self.shard_port_pos.clear();
+        for (k, (i, _)) in pending.iter().enumerate() {
+            let i = *i as usize;
+            let s = partition.shard_of(NodeId::new(i));
+            self.shard_port_pos
+                .push((s as u32, self.shard_port_jobs[s].len() as u32));
+            self.shard_port_jobs[s].push(k as u32);
+            if self.touched_mark[i] != epoch {
+                self.touched_mark[i] = epoch;
+                touched.push(i as u32);
+            }
+        }
+
+        let csr_bounds = csr_offsets(g, bounds);
+        let word_bounds: Vec<usize> = bounds.iter().map(|&b| b as usize * stride).collect();
+        let pool = match self.sync_executor {
+            SyncExecutor::Pooled => self.sync_pool.as_deref(),
+            SyncExecutor::Scoped => None,
+        };
+
+        // Phase "port-refresh": writers, parallel by writer shard.
+        let phase_start = tracing.then(Instant::now);
+        {
+            for (s, b) in self.shard_port_out.iter_mut().enumerate() {
+                b.clear();
+                self.shard_port_bounds[s].clear();
+            }
+            let counts = partition.split_mut(&mut self.action_count);
+            let fulls = partition.split_mut(&mut self.full_mark);
+            let pw = split_at_offsets(&mut self.port_words, &csr_bounds);
+            let nw = split_at_offsets(&mut self.node_words, &word_bounds);
+            let mut items: Vec<PortRefreshShard<'_>> = counts
+                .into_iter()
+                .zip(fulls)
+                .zip(pw.into_iter().zip(nw))
+                .zip(self.shard_port_jobs.iter())
+                .zip(
+                    self.shard_port_out
+                        .iter_mut()
+                        .zip(self.shard_port_bounds.iter_mut()),
+                )
+                .enumerate()
+                .map(
+                    |(s, ((((counts, full), (ports, words)), ks), (out, ends)))| {
+                        PortRefreshShard {
+                            ks,
+                            counts,
+                            full,
+                            chunk: PortChunk {
+                                ports,
+                                words,
+                                lo: bounds[s] as usize,
+                                csr_lo: csr_bounds[s],
+                            },
+                            out,
+                            ends,
+                            whole: 0,
+                            span: None,
+                        }
+                    },
+                )
+                .collect();
+            drive_shards(pool, self.sync_threads, &mut items, |_, it| {
+                let t0 = tracing.then(Instant::now);
+                let n_lo = it.chunk.lo;
+                let c_lo = it.chunk.csr_lo;
+                for &k in it.ks {
+                    let k = k as usize;
+                    let i = pending[k].0 as usize;
+                    let node = NodeId::new(i);
+                    let base = g.csr_base(node);
+                    let deg = g.degree(node);
+                    let bits = recs[k].self_bits();
+                    let verdict = {
+                        let view = ConfigView::new(net, node, config);
+                        let mut cache = PortCache::new(
+                            &mut it.chunk.ports[base - c_lo..base - c_lo + deg],
+                            &mut it.chunk.words[(i - n_lo) * stride..(i - n_lo + 1) * stride],
+                        );
+                        protocol.refresh_self(&view, bits, &mut cache)
+                    };
+                    match verdict {
+                        PortVerdict::Unchanged => {}
+                        PortVerdict::Count(c) => it.counts[i - n_lo] = c,
+                        PortVerdict::Whole => {
+                            let view = ConfigView::new(net, node, config);
+                            let mut cache = PortCache::new(
+                                &mut it.chunk.ports[base - c_lo..base - c_lo + deg],
+                                &mut it.chunk.words
+                                    [(i - n_lo) * stride..(i - n_lo + 1) * stride],
+                            );
+                            it.counts[i - n_lo] = protocol.init_ports(&view, &mut cache);
+                            it.full[i - n_lo] = epoch;
+                            it.whole += 1;
+                        }
+                    }
+                    match recs[k].scope() {
+                        TouchScope::Unobservable => {}
+                        TouchScope::Ports(ports) => {
+                            for &l in ports {
+                                debug_assert!(l.index() < deg, "touched port out of range");
+                                let q = g.neighbor(node, l);
+                                let back = g.back_port(node, l);
+                                it.out
+                                    .push(((q.index() as u64) << 32) | back.index() as u64);
+                            }
+                        }
+                        TouchScope::All => {
+                            for l in (0..deg).map(Port::new) {
+                                let q = g.neighbor(node, l);
+                                let back = g.back_port(node, l);
+                                it.out
+                                    .push(((q.index() as u64) << 32) | back.index() as u64);
+                            }
+                        }
+                    }
+                    it.ends.push(it.out.len() as u32);
+                }
+                if let Some(t0) = t0 {
+                    it.span = Some((t0, Instant::now()));
+                }
+            });
+            self.meter
+                .add(Counter::SelfRefreshes, pending.len() as u64);
+            let whole: u64 = items.iter().map(|it| it.whole).sum();
+            self.meter.add(Counter::GuardEvals, whole);
+            if let Some(tracer) = self.tracer.as_mut() {
+                let spans: Vec<_> = items.iter().map(|it| it.span).collect();
+                emit_phase_spans(tracer, "port-refresh", phase_start, &spans);
+            }
+        }
+
+        // Serial boundary exchange: reconstruct the canonical dirty-port
+        // queue (pending order, `port_mark` dedup — identical to the
+        // serial pass) and bucket it by reader shard, preserving order.
+        let t_ex = tracing.then(Instant::now);
+        for b in self.shard_ports.iter_mut() {
+            b.clear();
+        }
+        let mut total_ports = 0u64;
+        let (mut local, mut boundary) = (0u64, 0u64);
+        for k in 0..pending.len() {
+            let (s, j) = self.shard_port_pos[k];
+            let (s, j) = (s as usize, j as usize);
+            let start = if j == 0 {
+                0
+            } else {
+                self.shard_port_bounds[s][j - 1] as usize
+            };
+            let end = self.shard_port_bounds[s][j] as usize;
+            for &packed in &self.shard_port_out[s][start..end] {
+                let q = NodeId::new((packed >> 32) as usize);
+                let back = Port::new((packed & u64::from(u32::MAX)) as usize);
+                let slot = g.csr_index(q, back);
+                if self.port_mark[slot] != epoch {
+                    self.port_mark[slot] = epoch;
+                    total_ports += 1;
+                    let rs = partition.shard_of(q);
+                    if rs == s {
+                        local += 1;
+                    } else {
+                        boundary += 1;
+                    }
+                    self.shard_ports[rs].push(packed);
+                }
+            }
+        }
+        self.exchange_stats.local_ports += local;
+        self.exchange_stats.boundary_ports += boundary;
+        self.exchange_stats.exchanges += 1;
+        self.meter.add(Counter::PortInvalidations, total_ports);
+        self.meter.record(Metric::DirtyPortsPerStep, total_ports);
+        if let Some(tracer) = self.tracer.as_mut() {
+            let control = shard_count as u64;
+            tracer.name_lane(control, "control");
+            if let Some(t0) = t_ex {
+                tracer.push_span("exchange", "control", control, t0, Instant::now());
+            }
+        }
+
+        // Phase "port-reeval": readers, parallel by reader shard.
+        let phase_start = tracing.then(Instant::now);
+        {
+            for b in self.shard_touched.iter_mut() {
+                b.clear();
+            }
+            let counts = partition.split_mut(&mut self.action_count);
+            let fulls = partition.split_mut(&mut self.full_mark);
+            let tmarks = partition.split_mut(&mut self.touched_mark);
+            let pw = split_at_offsets(&mut self.port_words, &csr_bounds);
+            let nw = split_at_offsets(&mut self.node_words, &word_bounds);
+            let mut items: Vec<PortEvalShard<'_>> = counts
+                .into_iter()
+                .zip(fulls.into_iter().zip(tmarks))
+                .zip(pw.into_iter().zip(nw))
+                .zip(self.shard_ports.iter())
+                .zip(self.shard_touched.iter_mut())
+                .enumerate()
+                .map(
+                    |(s, ((((counts, (full, tmark)), (ports, words)), queue), touched_out))| {
+                        PortEvalShard {
+                            queue,
+                            counts,
+                            full,
+                            tmark,
+                            chunk: PortChunk {
+                                ports,
+                                words,
+                                lo: bounds[s] as usize,
+                                csr_lo: csr_bounds[s],
+                            },
+                            touched_out,
+                            evals: 0,
+                            whole: 0,
+                            span: None,
+                        }
+                    },
+                )
+                .collect();
+            drive_shards(pool, self.sync_threads, &mut items, |_, it| {
+                let t0 = tracing.then(Instant::now);
+                let n_lo = it.chunk.lo;
+                let c_lo = it.chunk.csr_lo;
+                for &entry in it.queue {
+                    let u = (entry >> 32) as usize;
+                    let l = Port::new((entry & u64::from(u32::MAX)) as usize);
+                    if it.full[u - n_lo] == epoch {
+                        continue; // already rebuilt against the post-step config
+                    }
+                    let node = NodeId::new(u);
+                    let base = g.csr_base(node);
+                    let deg = g.degree(node);
+                    let verdict = {
+                        let view = ConfigView::new(net, node, config);
+                        let mut cache = PortCache::new(
+                            &mut it.chunk.ports[base - c_lo..base - c_lo + deg],
+                            &mut it.chunk.words[(u - n_lo) * stride..(u - n_lo + 1) * stride],
+                        );
+                        protocol.reevaluate_port(&view, l, &mut cache)
+                    };
+                    it.evals += 1;
+                    match verdict {
+                        PortVerdict::Unchanged => continue,
+                        PortVerdict::Count(c) => it.counts[u - n_lo] = c,
+                        PortVerdict::Whole => {
+                            let view = ConfigView::new(net, node, config);
+                            let mut cache = PortCache::new(
+                                &mut it.chunk.ports[base - c_lo..base - c_lo + deg],
+                                &mut it.chunk.words
+                                    [(u - n_lo) * stride..(u - n_lo + 1) * stride],
+                            );
+                            it.counts[u - n_lo] = protocol.init_ports(&view, &mut cache);
+                            it.full[u - n_lo] = epoch;
+                            it.whole += 1;
+                        }
+                    }
+                    if it.tmark[u - n_lo] != epoch {
+                        it.tmark[u - n_lo] = epoch;
+                        it.touched_out.push(u as u32);
+                    }
+                }
+                if let Some(t0) = t0 {
+                    it.span = Some((t0, Instant::now()));
+                }
+            });
+            let evals: u64 = items.iter().map(|it| it.evals).sum();
+            let whole: u64 = items.iter().map(|it| it.whole).sum();
+            self.meter.add(Counter::PortEvals, evals);
+            self.meter.add(Counter::GuardEvals, whole);
+            if let Some(tracer) = self.tracer.as_mut() {
+                let spans: Vec<_> = items.iter().map(|it| it.span).collect();
+                emit_phase_spans(tracer, "port-reeval", phase_start, &spans);
+            }
+        }
+        for s in 0..shard_count {
+            let extra = std::mem::take(&mut self.shard_touched[s]);
+            touched.extend_from_slice(&extra);
+            self.shard_touched[s] = extra;
+        }
+
+        self.fold_touched(enabled, &touched);
         self.touched = touched;
     }
 
@@ -1679,33 +2155,84 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
         }
 
         let net = &*self.net;
+        let g = net.graph();
         let protocol = &self.protocol;
         let config = self.store.slice();
+        let stride = self.node_stride;
+        let use_ports = self.port_cache_active;
         #[cfg(debug_assertions)]
         let counts = &self.action_count;
         let tracing = self.tracer.is_some();
         let phase_start = tracing.then(Instant::now);
+        // With an active port cache the workers resolve straight from
+        // their shard's cache words (`enabled_from_cache`) and only fall
+        // back to a fresh guard evaluation on a miss — the per-shard
+        // miss totals are what GuardEvals charges for this phase, which
+        // sums to exactly what the serial port path would have charged.
+        let bounds = partition.bounds();
+        let mut port_chunks: Vec<Option<PortChunk<'_>>> = if use_ports {
+            let csr_bounds = csr_offsets(g, bounds);
+            let word_bounds: Vec<usize> = bounds.iter().map(|&b| b as usize * stride).collect();
+            split_at_offsets(&mut self.port_words, &csr_bounds)
+                .into_iter()
+                .zip(split_at_offsets(&mut self.node_words, &word_bounds))
+                .enumerate()
+                .map(|(s, (ports, words))| {
+                    Some(PortChunk {
+                        ports,
+                        words,
+                        lo: bounds[s] as usize,
+                        csr_lo: csr_bounds[s],
+                    })
+                })
+                .collect()
+        } else {
+            self.shard_jobs.iter().map(|_| None).collect()
+        };
         let mut items: Vec<ResolveShard<'_, P::Action>> = self
             .shard_resolved
             .iter_mut()
             .zip(self.shard_scratch.iter_mut())
             .zip(self.shard_actions.iter_mut())
             .zip(self.shard_jobs.iter())
-            .map(|(((out, scratch), actions), jobs)| ResolveShard {
+            .zip(port_chunks.drain(..))
+            .map(|((((out, scratch), actions), jobs), chunk)| ResolveShard {
                 jobs,
                 out,
                 scratch,
                 actions,
+                chunk,
+                misses: 0,
                 span: None,
             })
             .collect();
-        sno_fleet::parallel_map_mut(&mut items, self.sync_threads, |_, it| {
+        let pool = match self.sync_executor {
+            SyncExecutor::Pooled => self.sync_pool.as_deref(),
+            SyncExecutor::Scoped => None,
+        };
+        drive_shards(pool, self.sync_threads, &mut items, |_, it| {
             let t0 = tracing.then(Instant::now);
             for &(node, action_index) in it.jobs {
                 let node = NodeId::new(node as usize);
                 let view = ConfigView::new(net, node, config);
                 it.actions.clear();
-                protocol.enabled_into(&view, it.actions, it.scratch);
+                let mut from_cache = false;
+                if let Some(chunk) = it.chunk.as_mut() {
+                    let i = node.index();
+                    let base = g.csr_base(node);
+                    let deg = g.degree(node);
+                    let mut cache = PortCache::new(
+                        &mut chunk.ports[base - chunk.csr_lo..base - chunk.csr_lo + deg],
+                        &mut chunk.words[(i - chunk.lo) * stride..(i - chunk.lo + 1) * stride],
+                    );
+                    from_cache =
+                        protocol.enabled_from_cache(&view, &mut cache, it.actions, it.scratch);
+                }
+                if !from_cache {
+                    it.actions.clear();
+                    protocol.enabled_into(&view, it.actions, it.scratch);
+                    it.misses += 1;
+                }
                 #[cfg(debug_assertions)]
                 debug_assert_eq!(
                     it.actions.len(),
@@ -1724,6 +2251,12 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                 it.span = Some((t0, Instant::now()));
             }
         });
+        if use_ports {
+            let misses: u64 = items.iter().map(|it| it.misses).sum();
+            self.meter.add(Counter::GuardEvals, misses);
+        } else {
+            self.meter.add(Counter::GuardEvals, choices.len() as u64);
+        }
         if let Some(tracer) = self.tracer.as_mut() {
             let spans: Vec<_> = items.iter().map(|it| it.span).collect();
             emit_phase_spans(tracer, "resolve", phase_start, &spans);
@@ -1845,6 +2378,14 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
             let s = partition.shard_of(NodeId::new(*i as usize));
             self.shard_writers[s].push(k as u32);
         }
+        // Size each shard's record pool (grow-only — keeps the Vec<Port>
+        // capacity inside retired records warm across steps).
+        for (s, ks) in self.shard_writers.iter().enumerate() {
+            let recs = &mut self.shard_recs[s];
+            while recs.len() < ks.len() {
+                recs.push(TouchRecord::new());
+            }
+        }
         let net = &*self.net;
         let protocol = &self.protocol;
         let bounds = partition.bounds();
@@ -1856,28 +2397,33 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
             .zip(self.shard_writers.iter())
             .zip(self.shard_recs.iter_mut())
             .enumerate()
-            .map(|(s, ((chunk, ks), rec))| WriteShard {
+            .map(|(s, ((chunk, ks), recs))| WriteShard {
                 lo: bounds[s] as usize,
                 chunk,
                 ks,
-                rec,
+                recs,
                 span: None,
             })
             .collect();
-        sno_fleet::parallel_map_mut(&mut items, self.sync_threads, |_, it| {
+        let pool = match self.sync_executor {
+            SyncExecutor::Pooled => self.sync_pool.as_deref(),
+            SyncExecutor::Scoped => None,
+        };
+        drive_shards(pool, self.sync_threads, &mut items, |_, it| {
             let t0 = tracing.then(Instant::now);
             let lo = it.lo;
-            for &k in it.ks {
+            for (j, &k) in it.ks.iter().enumerate() {
                 let (i, action) = &pending[k as usize];
                 let i = *i as usize;
                 let ctx = net.ctx(NodeId::new(i));
-                it.rec.reset();
+                let rec = &mut it.recs[j];
+                rec.reset();
                 {
-                    let mut txn = ShardTxn::new(ctx, &mut it.chunk[i - lo], it.rec);
+                    let mut txn = ShardTxn::new(ctx, &mut it.chunk[i - lo], rec);
                     protocol.apply_in_place(&mut txn, action);
                 }
                 debug_assert!(
-                    it.rec.is_committed(),
+                    rec.is_committed(),
                     "apply_in_place must commit its transaction"
                 );
             }
@@ -1888,6 +2434,14 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
         if let Some(tracer) = self.tracer.as_mut() {
             let spans: Vec<_> = items.iter().map(|it| it.span).collect();
             emit_phase_spans(tracer, "write", phase_start, &spans);
+        }
+        // Swap each writer's record into the authoritative `txn_recs[k]`
+        // slot so downstream passes (the port-dirty phases) read records
+        // from one place regardless of which executor produced them.
+        for (s, ks) in self.shard_writers.iter().enumerate() {
+            for (j, &k) in ks.iter().enumerate() {
+                std::mem::swap(&mut self.txn_recs[k as usize], &mut self.shard_recs[s][j]);
+            }
         }
     }
 
@@ -1927,7 +2481,11 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                 span: None,
             })
             .collect();
-        sno_fleet::parallel_map_mut(&mut items, self.sync_threads, |_, it| {
+        let pool = match self.sync_executor {
+            SyncExecutor::Pooled => self.sync_pool.as_deref(),
+            SyncExecutor::Scoped => None,
+        };
+        drive_shards(pool, self.sync_threads, &mut items, |_, it| {
             let t0 = tracing.then(Instant::now);
             let lo = it.lo;
             for &d in it.nodes {
@@ -2038,6 +2596,12 @@ struct ResolveShard<'x, A> {
     out: &'x mut Vec<(Option<A>, ApplyProfile)>,
     scratch: &'x mut Scratch,
     actions: &'x mut Vec<A>,
+    /// The shard's slice of the port-cache words, present when the port
+    /// cache composes with the sharded executor.
+    chunk: Option<PortChunk<'x>>,
+    /// Jobs that missed the port cache and fell back to a fresh guard
+    /// evaluation — the phase's GuardEvals charge.
+    misses: u64,
     /// The worker's busy window, captured only while a tracer is
     /// attached.
     span: Option<(Instant, Instant)>,
@@ -2050,7 +2614,58 @@ struct WriteShard<'x, S> {
     lo: usize,
     chunk: &'x mut [S],
     ks: &'x [u32],
-    rec: &'x mut TouchRecord,
+    /// One record per writer in `ks` order, swapped back into the
+    /// step's `txn_recs` after the phase.
+    recs: &'x mut [TouchRecord],
+    /// The worker's busy window, captured only while a tracer is
+    /// attached.
+    span: Option<(Instant, Instant)>,
+}
+
+/// One shard's slice of the port-cache state: per-half-edge port words
+/// and per-node summary words, with the offsets needed to rebase global
+/// node/CSR indices into the slices.
+struct PortChunk<'x> {
+    ports: &'x mut [u64],
+    words: &'x mut [u64],
+    /// First node of the shard (rebases node indices).
+    lo: usize,
+    /// CSR slot of the shard's first half-edge (rebases CSR slots).
+    csr_lo: usize,
+}
+
+/// One shard's work item of the parallel port-refresh phase: the
+/// shard's writers plus its slices of the per-node state, producing raw
+/// dirty-port candidates into per-writer segments of `out`.
+struct PortRefreshShard<'x> {
+    ks: &'x [u32],
+    counts: &'x mut [u32],
+    full: &'x mut [u64],
+    chunk: PortChunk<'x>,
+    out: &'x mut Vec<u64>,
+    /// Per-writer segment ends into `out`, in `ks` order.
+    ends: &'x mut Vec<u32>,
+    /// Whole-rebuild verdicts — the phase's GuardEvals charge.
+    whole: u64,
+    /// The worker's busy window, captured only while a tracer is
+    /// attached.
+    span: Option<(Instant, Instant)>,
+}
+
+/// One shard's work item of the parallel port-reeval phase: the shard's
+/// bucket of the canonical dirty-port queue plus its slices of the
+/// per-node state.
+struct PortEvalShard<'x> {
+    queue: &'x [u64],
+    counts: &'x mut [u32],
+    full: &'x mut [u64],
+    tmark: &'x mut [u64],
+    chunk: PortChunk<'x>,
+    touched_out: &'x mut Vec<u32>,
+    /// Per-port re-evaluations — the phase's PortEvals charge.
+    evals: u64,
+    /// Whole-rebuild verdicts — the phase's GuardEvals charge.
+    whole: u64,
     /// The worker's busy window, captured only while a tracer is
     /// attached.
     span: Option<(Instant, Instant)>,
@@ -2067,6 +2682,59 @@ struct EvalShard<'x, A> {
     /// The worker's busy window, captured only while a tracer is
     /// attached.
     span: Option<(Instant, Instant)>,
+}
+
+/// Runs one barrier-synchronized phase over per-shard work items:
+/// through the persistent [`WorkerPool`] when one is wired (no thread
+/// spawns on the steady path), or through scoped spawn-per-phase
+/// threads otherwise — the legacy executor, kept callable for A/B
+/// benchmarking via [`SyncExecutor::Scoped`].
+fn drive_shards<T, F>(pool: Option<&WorkerPool>, threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    match pool {
+        Some(pool) => pool.run_mut(items, f),
+        None => {
+            sno_fleet::parallel_map_mut(items, threads, f);
+        }
+    }
+}
+
+/// CSR slot offsets of a partition's node bounds. Shards own contiguous
+/// node ranges, so each shard's half-edges are a contiguous CSR range —
+/// which is what lets the flat port-word array split into disjoint
+/// per-shard `&mut` chunks.
+fn csr_offsets(g: &sno_graph::Graph, bounds: &[u32]) -> Vec<usize> {
+    let n = *bounds.last().expect("partition bounds are non-empty") as usize;
+    bounds
+        .iter()
+        .map(|&b| {
+            let b = b as usize;
+            if b < n {
+                g.csr_base(NodeId::new(b))
+            } else {
+                g.csr_len()
+            }
+        })
+        .collect()
+}
+
+/// Splits `data` into consecutive `&mut` chunks at the given absolute
+/// offsets (first `0`, last `data.len()`, non-decreasing) — the
+/// variable-width analogue of [`Partition::split_mut`] for arrays that
+/// are not one-slot-per-node.
+fn split_at_offsets<'d, T>(mut data: &'d mut [T], offsets: &[usize]) -> Vec<&'d mut [T]> {
+    debug_assert_eq!(offsets.first(), Some(&0));
+    debug_assert_eq!(offsets.last(), Some(&data.len()));
+    let mut out = Vec::with_capacity(offsets.len().saturating_sub(1));
+    for w in offsets.windows(2) {
+        let (head, tail) = data.split_at_mut(w[1] - w[0]);
+        out.push(head);
+        data = tail;
+    }
+    out
 }
 
 /// Emits one sharded phase's spans into `tracer`: each shard's busy

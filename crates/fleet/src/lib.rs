@@ -27,13 +27,46 @@
 //! name items in domain terms (the lab names the scenario cell and seed
 //! range), so a campaign failure points at the cell that died instead of
 //! a bare `Any { .. }` join error.
+//!
+//! # Persistent pools
+//!
+//! The scoped maps spawn fresh OS threads per call — fine for campaign
+//! cells that run for seconds, ruinous for a synchronous-round executor
+//! that runs three parallel phases per *step*. [`WorkerPool`] keeps
+//! long-lived workers parked on a condvar and hands each phase to them
+//! through an epoch/barrier handshake; [`WorkerPool::run_mut`] has the
+//! same contract as [`parallel_map_mut`] (exclusive `&mut` hand-out,
+//! per-item panic capture, labeled re-raise after the barrier) with
+//! zero thread spawns after warmup. [`thread_spawns`] counts every OS
+//! thread the crate has ever started, so benches can assert that.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+mod pool;
+
+pub use pool::WorkerPool;
+
+/// Every OS thread this crate has ever spawned (scoped maps and pool
+/// workers alike). Monotonic; benches read the delta across a timed
+/// window to prove a hot loop spawns nothing.
+static THREAD_SPAWNS: AtomicU64 = AtomicU64::new(0);
+
+/// Total OS threads spawned by this crate since process start.
+///
+/// The pooled executor gate reads this before and after a timed bench
+/// window: a warmed [`WorkerPool`] must leave the delta at exactly zero.
+pub fn thread_spawns() -> u64 {
+    THREAD_SPAWNS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_spawn() {
+    THREAD_SPAWNS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// The number of worker threads to use by default: the machine's
 /// available parallelism.
@@ -63,15 +96,15 @@ pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// A worker panic captured with the identity of the item it was
 /// processing.
-struct CapturedPanic {
-    index: usize,
-    label: String,
-    payload: Box<dyn std::any::Any + Send>,
+pub(crate) struct CapturedPanic {
+    pub(crate) index: usize,
+    pub(crate) label: String,
+    pub(crate) payload: Box<dyn std::any::Any + Send>,
 }
 
 /// Re-raises a captured panic with the item identity prepended, so the
 /// failure is diagnosable from the backtrace-less test output alone.
-fn reraise(captured: CapturedPanic) -> ! {
+pub(crate) fn reraise(captured: CapturedPanic) -> ! {
     let msg = payload_message(captured.payload.as_ref());
     resume_unwind(Box::new(format!(
         "fleet worker panicked on {} (item {}): {msg}",
@@ -127,6 +160,7 @@ where
     let failure: Mutex<Option<CapturedPanic>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
+            note_spawn();
             scope.spawn(|| loop {
                 if poisoned.load(Ordering::Relaxed) {
                     break;
@@ -205,6 +239,7 @@ where
     let failure: Mutex<Option<CapturedPanic>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
+            note_spawn();
             scope.spawn(|| loop {
                 if poisoned.load(Ordering::Relaxed) {
                     break;

@@ -11,9 +11,11 @@ use sno_engine::faults::corrupt_random;
 use sno_engine::{
     CounterMeter, Meter, Network, NoopMeter, Protocol, Simulation, TopologyEvent, TraceBuffer,
 };
+use sno_fleet::WorkerPool;
 use sno_graph::{traverse, Graph, NodeId, Port, RootedTree};
 use sno_token::{DfsTokenCirculation, OracleToken};
 use sno_tree::{BfsSpanningTree, CdSpanningTree, OracleSpanningTree};
+use std::sync::Arc;
 
 use crate::fleet;
 use crate::matrix::{CellSpec, ScenarioMatrix};
@@ -147,6 +149,42 @@ pub fn run_campaign(matrix: &ScenarioMatrix) -> CampaignReport {
     run_campaign_with_threads(matrix, fleet::default_threads())
 }
 
+/// One persistent engine worker pool for the whole campaign, when the
+/// resolved engine options call for the sharded executor: every cell's
+/// simulations hand their phases to the same parked workers instead of
+/// each spawning a pool of its own (concurrent cells serialize whole
+/// phases inside the pool, which is always safe). `None` when no
+/// sharded simulation will run.
+fn campaign_pool(options: &EngineOptions) -> Option<Arc<WorkerPool>> {
+    let shards = options.resolved_shards();
+    if options.resolved_mode() == Some(sno_engine::EngineMode::SyncSharded) && shards > 1 {
+        Some(Arc::new(WorkerPool::new(shards)))
+    } else {
+        None
+    }
+}
+
+/// Applies the campaign's resolved engine options to one simulation,
+/// wiring the shared campaign pool into sharded executors.
+fn configure_engine<P: Protocol, M: Meter>(
+    sim: &mut Simulation<'_, P, M>,
+    options: &EngineOptions,
+    pool: Option<&Arc<WorkerPool>>,
+) {
+    if let Some(mode) = options.resolved_mode() {
+        sim.set_mode(mode);
+        if mode == sno_engine::EngineMode::SyncSharded {
+            let shards = options.resolved_shards();
+            match pool {
+                Some(p) if shards > 1 => {
+                    sim.configure_sync_sharding_with_pool(shards, Arc::clone(p));
+                }
+                _ => sim.configure_sync_sharding(shards, shards),
+            }
+        }
+    }
+}
+
 /// One unit of fleet work: a contiguous seed sub-range of one cell.
 ///
 /// A matrix with few heavy cells would underutilize a cell-granular
@@ -212,6 +250,7 @@ pub fn run_campaign_with_options(
             lo = hi;
         }
     }
+    let pool = campaign_pool(options);
     let partials = fleet::parallel_map_labeled(
         &items,
         threads,
@@ -222,6 +261,7 @@ pub fn run_campaign_with_options(
                 it.seed_lo,
                 it.seed_hi,
                 options,
+                pool.as_ref(),
             )
         },
         // Evaluated only when a worker panics: name the scenario cell
@@ -261,12 +301,15 @@ pub fn run_campaign_with_options(
 /// Runs every seed of one cell, reusing the network, simulation, and
 /// daemon allocations across seeds.
 pub fn run_cell(cell: &CellSpec, matrix: &ScenarioMatrix) -> CellOutcome {
+    let options = EngineOptions::default();
+    let pool = campaign_pool(&options);
     run_cell_seeds(
         cell,
         matrix,
         matrix.seed_start,
         matrix.seed_start + matrix.seeds_per_cell,
-        &EngineOptions::default(),
+        &options,
+        pool.as_ref(),
     )
 }
 
@@ -281,6 +324,7 @@ fn run_cell_seeds(
     seed_lo: u64,
     seed_hi: u64,
     options: &EngineOptions,
+    pool: Option<&Arc<WorkerPool>>,
 ) -> CellOutcome {
     if options.metrics {
         dispatch_stack(
@@ -292,6 +336,7 @@ fn run_cell_seeds(
                 seed_lo,
                 seed_hi,
                 options,
+                pool,
                 _meter: std::marker::PhantomData,
             },
         )
@@ -305,6 +350,7 @@ fn run_cell_seeds(
                 seed_lo,
                 seed_hi,
                 options,
+                pool,
                 _meter: std::marker::PhantomData,
             },
         )
@@ -393,6 +439,7 @@ struct DriveVisitor<'a, M> {
     seed_lo: u64,
     seed_hi: u64,
     options: &'a EngineOptions,
+    pool: Option<&'a Arc<WorkerPool>>,
     _meter: std::marker::PhantomData<M>,
 }
 
@@ -414,6 +461,7 @@ impl<M: Meter + Default> StackVisitor for DriveVisitor<'_, M> {
             self.seed_lo,
             self.seed_hi,
             self.options,
+            self.pool,
         )
     }
 }
@@ -443,6 +491,7 @@ fn drive<P, L, M>(
     seed_lo: u64,
     seed_hi: u64,
     options: &EngineOptions,
+    pool: Option<&Arc<WorkerPool>>,
 ) -> CellOutcome
 where
     P: Protocol + Clone,
@@ -454,7 +503,7 @@ where
         // reusing one simulation across seeds would leak one seed's
         // mutations into the next, so these plans build fresh per seed.
         return drive_topology::<P, L, M>(
-            net, protocol, mode, legit, cell, matrix, seed_lo, seed_hi, options,
+            net, protocol, mode, legit, cell, matrix, seed_lo, seed_hi, options, pool,
         );
     }
     // Built from the campaign-wide seed (not the chunk's), so a chunked
@@ -467,14 +516,8 @@ where
     // `SNO_ENGINE_FULL_SWEEP=1` still forces the reference engine).
     // Reports must come out byte-identical under every mode, shard
     // count, and thread count — CI regenerates `BENCH_campaign.json`
-    // under all of them.
-    if let Some(mode) = options.resolved_mode() {
-        sim.set_mode(mode);
-        if mode == sno_engine::EngineMode::SyncSharded {
-            let shards = options.resolved_shards();
-            sim.configure_sync_sharding(shards, shards);
-        }
-    }
+    // under all of them. Sharded simulations share the campaign pool.
+    configure_engine(&mut sim, options, pool);
     // Setup work (simulation construction, the mode switch above)
     // happens once per *seed chunk*, so letting it into the counters
     // would leak the fleet's chunking into the report. Campaign metrics
@@ -610,6 +653,7 @@ fn drive_topology<P, L, M>(
     seed_lo: u64,
     seed_hi: u64,
     options: &EngineOptions,
+    pool: Option<&Arc<WorkerPool>>,
 ) -> CellOutcome
 where
     P: Protocol + Clone,
@@ -621,13 +665,7 @@ where
     let mut metrics: Option<CounterMeter> = None;
     for seed in seed_lo..seed_hi {
         let mut sim = Simulation::from_initial_with_meter(net, protocol.clone(), M::default());
-        if let Some(mode) = options.resolved_mode() {
-            sim.set_mode(mode);
-            if mode == sno_engine::EngineMode::SyncSharded {
-                let shards = options.resolved_shards();
-                sim.configure_sync_sharding(shards, shards);
-            }
-        }
+        configure_engine(&mut sim, options, pool);
         // As in `drive`: construction and the mode switch are setup, not
         // the seed's work.
         *sim.meter_mut() = M::default();

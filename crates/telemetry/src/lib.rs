@@ -497,6 +497,41 @@ pub fn nearest_rank(sorted: &[u64], percentile: u32) -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// Diagnostic (schedule-dependent) statistics
+// ---------------------------------------------------------------------------
+
+/// Boundary-exchange statistics of a sharded port-dirty pass: how many
+/// dirty-port hand-offs stayed inside the writer's own shard versus
+/// crossing a shard boundary (the serial exchange phase's traffic).
+///
+/// These depend on the partition — a different shard count gives
+/// different numbers for the *same* execution — so they are deliberately
+/// **not** [`Counter`]s: a [`Meter`]'s counters must stay byte-identical
+/// across shard and thread counts, and the campaign-determinism gates
+/// enforce exactly that. Diagnostics like this one ride next to the
+/// trace buffer instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Dirty-port candidates whose reader lives in the writer's shard.
+    pub local_ports: u64,
+    /// Dirty-port candidates handed across a shard boundary by the
+    /// serial exchange phase.
+    pub boundary_ports: u64,
+    /// Serial exchange phases executed (one per dense sharded step of a
+    /// port-separable protocol).
+    pub exchanges: u64,
+}
+
+impl ExchangeStats {
+    /// Merges another instance (campaign aggregation across cells).
+    pub fn merge(&mut self, other: &ExchangeStats) {
+        self.local_ports += other.local_ports;
+        self.boundary_ports += other.boundary_ports;
+        self.exchanges += other.exchanges;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Trace export
 // ---------------------------------------------------------------------------
 

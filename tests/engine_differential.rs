@@ -11,11 +11,12 @@
 //! every protocol stack, daemon, and topology family.
 //!
 //! Coverage: 4 protocols (`DFTNO`, `STNO`, the raw token circulation, the
-//! raw BFS tree) × 4 daemons × 4 topology families, stepped in four-way
+//! raw BFS tree) × 4 daemons × 4 topology families, stepped in five-way
 //! lockstep — the sharded synchronous executor (`SyncSharded`, with its
 //! parallel-threshold pinned to 0 so even these small graphs exercise
-//! the shard-parallel resolve/write/re-eval phases) against the
-//! node-dirty, port-dirty, and full-sweep engines — plus a proptest over
+//! the shard-parallel phases) under both the persistent worker pool and
+//! the legacy scoped spawn-per-phase executor, against the node-dirty,
+//! port-dirty, and full-sweep engines — plus a proptest over
 //! random networks and seeds asserting equal `RunResult`s and final
 //! configurations.
 //!
@@ -37,7 +38,7 @@ use rand::SeedableRng;
 use sno::core::dftno::Dftno;
 use sno::core::stno::Stno;
 use sno::engine::daemon::Daemon;
-use sno::engine::{EngineMode, Network, Protocol, Simulation};
+use sno::engine::{EngineMode, Network, Protocol, Simulation, SyncExecutor};
 use sno::graph::{generators, NodeId};
 use sno::lab::DaemonSpec;
 use sno::token::{DfsTokenCirculation, OracleToken};
@@ -58,10 +59,10 @@ fn serialized() -> std::sync::MutexGuard<'static, ()> {
 }
 
 /// Steps the node-dirty, port-dirty, and sharded-synchronous engines
-/// and the full-sweep reference in four-way lockstep from identical
-/// random configurations and asserts a bit-identical trace: enabled set
-/// (order included), outcome, configuration, and counters after every
-/// step.
+/// (pooled and scoped executors) and the full-sweep reference in
+/// five-way lockstep from identical random configurations and asserts a
+/// bit-identical trace: enabled set (order included), outcome,
+/// configuration, and counters after every step.
 fn assert_identical_traces<P>(
     label: &str,
     net: &Network,
@@ -72,21 +73,27 @@ fn assert_identical_traces<P>(
 ) where
     P: Protocol + Clone,
 {
-    let modes = [
-        EngineMode::FullSweep,
-        EngineMode::NodeDirty,
-        EngineMode::PortDirty,
-        EngineMode::SyncSharded,
+    // The two sharded entries differ only in executor (and geometry):
+    // the persistent pool vs the legacy scoped spawn-per-phase threads.
+    // Both must be indistinguishable from the serial engines.
+    let configs = [
+        (EngineMode::FullSweep, None),
+        (EngineMode::NodeDirty, None),
+        (EngineMode::PortDirty, None),
+        (EngineMode::SyncSharded, Some((3, 2, SyncExecutor::Pooled))),
+        (EngineMode::SyncSharded, Some((4, 8, SyncExecutor::Scoped))),
     ];
-    let mut sims: Vec<Simulation<'_, P>> = modes
+    let modes = configs.map(|(m, _)| m);
+    let mut sims: Vec<Simulation<'_, P>> = configs
         .iter()
-        .map(|&m| {
+        .map(|&(m, sharding)| {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut s = Simulation::from_random(net, protocol.clone(), &mut rng);
             s.set_mode(m);
-            if m == EngineMode::SyncSharded {
+            if let Some((shards, threads, executor)) = sharding {
                 // Force the shard-parallel phases even at these sizes.
-                s.configure_sync_sharding(3, 2);
+                s.configure_sync_sharding(shards, threads);
+                s.set_sync_executor(executor);
                 s.set_sync_parallel_threshold(0);
             }
             s
