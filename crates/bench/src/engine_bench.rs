@@ -396,12 +396,36 @@ pub struct SyncConfig {
 /// The executor × shard matrix the synchronous-round bench sweeps per
 /// topology family.
 pub const SYNC_CONFIGS: [SyncConfig; 6] = [
-    SyncConfig { executor: "node-serial", shards: 1, threads: 1 },
-    SyncConfig { executor: "serial", shards: 1, threads: 1 },
-    SyncConfig { executor: "pooled", shards: 2, threads: 2 },
-    SyncConfig { executor: "pooled", shards: 4, threads: 4 },
-    SyncConfig { executor: "pooled", shards: 8, threads: 8 },
-    SyncConfig { executor: "scoped", shards: 8, threads: 8 },
+    SyncConfig {
+        executor: "node-serial",
+        shards: 1,
+        threads: 1,
+    },
+    SyncConfig {
+        executor: "serial",
+        shards: 1,
+        threads: 1,
+    },
+    SyncConfig {
+        executor: "pooled",
+        shards: 2,
+        threads: 2,
+    },
+    SyncConfig {
+        executor: "pooled",
+        shards: 4,
+        threads: 4,
+    },
+    SyncConfig {
+        executor: "pooled",
+        shards: 8,
+        threads: 8,
+    },
+    SyncConfig {
+        executor: "scoped",
+        shards: 8,
+        threads: 8,
+    },
 ];
 
 /// One measured cell of the synchronous-round bench: DFTNO over the
@@ -620,9 +644,9 @@ pub fn sync_speedup(
     let base = rows
         .iter()
         .find(|r| r.topology == topology && r.n == n && r.executor == "node-serial")?;
-    let row = rows
-        .iter()
-        .find(|r| r.topology == topology && r.n == n && r.executor == executor && r.shards == shards)?;
+    let row = rows.iter().find(|r| {
+        r.topology == topology && r.n == n && r.executor == executor && r.shards == shards
+    })?;
     Some(row.steps_per_sec() / base.steps_per_sec().max(f64::MIN_POSITIVE))
 }
 
@@ -774,9 +798,8 @@ pub fn scaling_violations(
 /// job uploads: one record per sync-round row, with the node-serial
 /// relative speedup and the timed-window thread-spawn count.
 pub fn scaling_curve_json(rows: &[SyncRoundRow], parallelism: usize) -> String {
-    let mut out = format!(
-        "{{\"schema\":\"sno-scaling-curve/v1\",\"parallelism\":{parallelism},\"rows\":["
-    );
+    let mut out =
+        format!("{{\"schema\":\"sno-scaling-curve/v1\",\"parallelism\":{parallelism},\"rows\":[");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -1075,7 +1098,11 @@ pub fn gate_violations(rows: &[EngineBenchRow]) -> Vec<String> {
 /// dependency, and the emitter above writes the fields in a fixed
 /// order).
 fn baseline_field(json: &str, topology: &str, n: usize, key: &str) -> Option<f64> {
-    anchored_field(json, &format!("\"topology\":\"{topology}\",\"n\":{n},"), key)
+    anchored_field(
+        json,
+        &format!("\"topology\":\"{topology}\",\"n\":{n},"),
+        key,
+    )
 }
 
 /// Outcome of the committed-baseline comparison.

@@ -1,0 +1,398 @@
+//! Daemon-fairness-aware liveness analysis over the explored state
+//! space.
+//!
+//! Convergence is a statement about *schedules*, so "does the protocol
+//! converge?" is not one question — it is one question per daemon:
+//!
+//! * **Unfair central daemon** — convergence must hold on *every*
+//!   maximal central schedule. Violated exactly when the illegitimate
+//!   region of the reachable program-transition graph contains a cycle
+//!   or a deadlock (a finite space has no other way to avoid the
+//!   legitimate set forever).
+//! * **Round-robin central daemon** — the weakly fair daemon the
+//!   paper's `DFTNO` composition assumes. The schedule is a
+//!   deterministic function of `(configuration, cursor)`, so
+//!   non-convergence is a **lasso** in that product walk.
+//!
+//! A cycle under the unfair daemon is *not* a counterexample to
+//! round-robin convergence — both verdicts are computed and reported
+//! side by side, which is precisely the daemon-assumption bookkeeping
+//! the paper does informally.
+//!
+//! Analyses run per world over the sorted reachable configuration sets
+//! from [`explore`](crate::explore::explore) (collapsed over budget
+//! layers — closed under program moves, since program edges never
+//! change world or budget). All walks iterate in ascending
+//! configuration order, so the reported witness is deterministic.
+
+use sno_engine::protocol::ConfigView;
+use sno_engine::Enumerable;
+
+use crate::model::{CheckSpec, Model};
+use crate::space::Succ;
+
+/// One program move in a witness path: from `config` (a configuration
+/// index of the witness's world), processor `node` executes its
+/// `action`-th enabled action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveStep {
+    /// Source configuration index.
+    pub config: u64,
+    /// Moving processor.
+    pub node: u32,
+    /// Index into the processor's enabled-action list.
+    pub action: u32,
+}
+
+/// A divergence witness: a walk that never reaches the legitimate set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lasso {
+    /// World the witness lives in.
+    pub world: u32,
+    /// Reachable configuration the walk starts from.
+    pub start: u64,
+    /// The walk's moves; `steps[cycle_at..]` repeat forever (empty with
+    /// `deadlock` for a stuck illegitimate configuration).
+    pub steps: Vec<MoveStep>,
+    /// Index into `steps` where the cycle begins.
+    pub cycle_at: usize,
+    /// True if the walk ends in an illegitimate deadlock instead of a
+    /// cycle.
+    pub deadlock: bool,
+}
+
+/// Outcome of one liveness analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every considered schedule reaches the legitimate set.
+    Converges,
+    /// A witness schedule avoids it forever.
+    Diverges(Lasso),
+}
+
+impl Verdict {
+    /// `true` on [`Verdict::Converges`].
+    pub fn converges(&self) -> bool {
+        matches!(self, Verdict::Converges)
+    }
+}
+
+const WHITE: u8 = 0;
+const GRAY: u8 = 1;
+const BLACK: u8 = 2;
+
+struct Frame {
+    rank: usize,
+    succs: Vec<Succ>,
+    pos: usize,
+}
+
+/// Checks convergence under the **unfair** central daemon: no cycle and
+/// no deadlock in the illegitimate region of any world's reachable
+/// program-transition graph.
+pub fn check_unfair<P: Enumerable>(
+    model: &Model<'_, P>,
+    spec: &CheckSpec<'_, P>,
+    reachable: &[Vec<u64>],
+) -> Verdict {
+    let mut config_buf: Vec<P::State> = Vec::new();
+    let mut actions: Vec<P::Action> = Vec::new();
+    for (w_idx, world) in model.worlds.iter().enumerate() {
+        let configs = &reachable[w_idx];
+        let mut color = vec![WHITE; configs.len()];
+        let rank_of = |cfg: u64| -> usize {
+            configs
+                .binary_search(&cfg)
+                .expect("reachable sets are closed under program moves")
+        };
+        let succs_of = |cfg: u64,
+                        config_buf: &mut Vec<P::State>,
+                        actions: &mut Vec<P::Action>|
+         -> (bool, Vec<Succ>) {
+            world.space.decode_into(cfg, config_buf);
+            let legit = (spec.legit)(&world.net, config_buf);
+            let mut out = Vec::new();
+            if !legit {
+                world.space.successors_into(
+                    &world.net,
+                    model.protocol,
+                    cfg,
+                    config_buf,
+                    actions,
+                    &mut out,
+                );
+            }
+            (legit, out)
+        };
+        for i in 0..configs.len() {
+            if color[i] != WHITE {
+                continue;
+            }
+            let (legit, succs) = succs_of(configs[i], &mut config_buf, &mut actions);
+            if legit {
+                color[i] = BLACK;
+                continue;
+            }
+            if succs.is_empty() {
+                return Verdict::Diverges(Lasso {
+                    world: w_idx as u32,
+                    start: configs[i],
+                    steps: Vec::new(),
+                    cycle_at: 0,
+                    deadlock: true,
+                });
+            }
+            color[i] = GRAY;
+            let mut stack = vec![Frame {
+                rank: i,
+                succs,
+                pos: 0,
+            }];
+            while let Some(frame) = stack.last_mut() {
+                if frame.pos >= frame.succs.len() {
+                    color[frame.rank] = BLACK;
+                    stack.pop();
+                    continue;
+                }
+                let succ = frame.succs[frame.pos];
+                frame.pos += 1;
+                let j = rank_of(succ.next);
+                match color[j] {
+                    BLACK => {}
+                    GRAY => {
+                        // The stack suffix from j's frame closes a cycle
+                        // of illegitimate configurations.
+                        let at = stack
+                            .iter()
+                            .position(|f| f.rank == j)
+                            .expect("gray nodes are on the stack");
+                        let steps: Vec<MoveStep> = stack[at..]
+                            .iter()
+                            .map(|f| {
+                                let s = f.succs[f.pos - 1];
+                                MoveStep {
+                                    config: configs[f.rank],
+                                    node: s.node,
+                                    action: s.action,
+                                }
+                            })
+                            .collect();
+                        return Verdict::Diverges(Lasso {
+                            world: w_idx as u32,
+                            start: configs[j],
+                            steps,
+                            cycle_at: 0,
+                            deadlock: false,
+                        });
+                    }
+                    _ => {
+                        let (legit, succs) = succs_of(succ.next, &mut config_buf, &mut actions);
+                        if legit {
+                            color[j] = BLACK;
+                            continue;
+                        }
+                        if succs.is_empty() {
+                            return Verdict::Diverges(Lasso {
+                                world: w_idx as u32,
+                                start: succ.next,
+                                steps: Vec::new(),
+                                cycle_at: 0,
+                                deadlock: true,
+                            });
+                        }
+                        color[j] = GRAY;
+                        stack.push(Frame {
+                            rank: j,
+                            succs,
+                            pos: 0,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Verdict::Converges
+}
+
+const RR_UNKNOWN: u8 = 0;
+const RR_ON_PATH: u8 = 1;
+const RR_GOOD: u8 = 2;
+
+/// Checks convergence under the weakly fair central **round-robin**
+/// daemon: from every reachable configuration (cursor 0), the
+/// deterministic `(configuration, cursor)` walk — activate the first
+/// enabled processor at or after the cursor, wrapping; execute its
+/// first enabled action; advance the cursor past it — must reach the
+/// legitimate set.
+///
+/// The schedule semantics match the retired serial checker
+/// (`sno_engine::modelcheck::ModelChecker::check_convergence_round_robin`)
+/// move for move.
+pub fn check_round_robin<P: Enumerable>(
+    model: &Model<'_, P>,
+    spec: &CheckSpec<'_, P>,
+    reachable: &[Vec<u64>],
+) -> Verdict {
+    let mut config_buf: Vec<P::State> = Vec::new();
+    let mut actions: Vec<P::Action> = Vec::new();
+    for (w_idx, world) in model.worlds.iter().enumerate() {
+        let configs = &reachable[w_idx];
+        let n = world.net.node_count();
+        let mut status = vec![RR_UNKNOWN; configs.len() * n];
+        // Per-configuration legitimacy memo: 0 unknown, 1 legit, 2 not.
+        let mut legit_memo = vec![0u8; configs.len()];
+        let mut is_legit = |rank: usize, config_buf: &mut Vec<P::State>| -> bool {
+            if legit_memo[rank] == 0 {
+                world.space.decode_into(configs[rank], config_buf);
+                legit_memo[rank] = if (spec.legit)(&world.net, config_buf) {
+                    1
+                } else {
+                    2
+                };
+            }
+            legit_memo[rank] == 1
+        };
+        for i in 0..configs.len() {
+            if status[i * n] != RR_UNKNOWN {
+                continue;
+            }
+            let mut path: Vec<usize> = Vec::new();
+            let mut steps: Vec<MoveStep> = Vec::new();
+            let mut rank = i;
+            let mut cursor = 0usize;
+            loop {
+                let state = rank * n + cursor;
+                match status[state] {
+                    RR_GOOD => break,
+                    RR_ON_PATH => {
+                        let at = path
+                            .iter()
+                            .position(|&s| s == state)
+                            .expect("on-path states are on the path");
+                        return Verdict::Diverges(Lasso {
+                            world: w_idx as u32,
+                            start: configs[i],
+                            steps,
+                            cycle_at: at,
+                            deadlock: false,
+                        });
+                    }
+                    _ => {}
+                }
+                if is_legit(rank, &mut config_buf) {
+                    status[state] = RR_GOOD;
+                    break;
+                }
+                status[state] = RR_ON_PATH;
+                path.push(state);
+                // First enabled processor at or after the cursor,
+                // wrapping — the legacy checker's schedule.
+                world.space.decode_into(configs[rank], &mut config_buf);
+                let mut chosen: Option<usize> = None;
+                for off in 0..n {
+                    let p = (cursor + off) % n;
+                    actions.clear();
+                    let view = ConfigView::new(&world.net, sno_graph::NodeId::new(p), &config_buf);
+                    model.protocol.enabled(&view, &mut actions);
+                    if !actions.is_empty() {
+                        chosen = Some(p);
+                        break;
+                    }
+                }
+                let Some(p) = chosen else {
+                    // Silent but illegitimate: the daemon is stuck.
+                    return Verdict::Diverges(Lasso {
+                        world: w_idx as u32,
+                        start: configs[i],
+                        steps,
+                        cycle_at: path.len().saturating_sub(1),
+                        deadlock: true,
+                    });
+                };
+                let next_cfg = world
+                    .space
+                    .apply_move(&world.net, model.protocol, configs[rank], p as u32, 0)
+                    .expect("chosen processor is enabled");
+                steps.push(MoveStep {
+                    config: configs[rank],
+                    node: p as u32,
+                    action: 0,
+                });
+                rank = configs
+                    .binary_search(&next_cfg)
+                    .expect("reachable sets are closed under program moves");
+                cursor = (p + 1) % n;
+            }
+            for &s in &path {
+                status[s] = RR_GOOD;
+            }
+        }
+    }
+    Verdict::Converges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+    use crate::model::{CheckOptions, Liveness, Seeds};
+    use sno_engine::examples::HopDistance;
+    use sno_engine::Network;
+    use sno_fleet::WorkerPool;
+    use sno_graph::NodeId;
+
+    use sno_engine::examples::hop_distance_legit as hop_legit;
+
+    #[test]
+    fn hop_distance_converges_under_both_daemons() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let model = Model::new(&net, &HopDistance, &[], &CheckOptions::default()).unwrap();
+        let spec = CheckSpec {
+            protocol: "hop".into(),
+            topology: "path:3".into(),
+            legit: &hop_legit,
+            invariants: Vec::new(),
+            closure: true,
+            liveness: Liveness::Both,
+            seeds: Seeds::AllConfigs,
+            faults: Vec::new(),
+        };
+        let pool = WorkerPool::new(1);
+        let r = explore(&model, &spec, &pool, 1);
+        assert!(check_unfair(&model, &spec, &r.reachable).converges());
+        assert!(check_round_robin(&model, &spec, &r.reachable).converges());
+    }
+
+    #[test]
+    fn a_wrong_predicate_yields_a_cycle_witness() {
+        // Demand an impossible legitimate set: every walk must diverge,
+        // and the witness must be a replayable lasso.
+        let g = sno_graph::generators::path(2);
+        let net = Network::new(g, NodeId::new(0));
+        let model = Model::new(&net, &HopDistance, &[], &CheckOptions::default()).unwrap();
+        let never = |_: &Network, _: &[u32]| false;
+        let spec = CheckSpec {
+            protocol: "hop".into(),
+            topology: "path:2".into(),
+            legit: &never,
+            invariants: Vec::new(),
+            closure: false,
+            liveness: Liveness::Both,
+            seeds: Seeds::AllConfigs,
+            faults: Vec::new(),
+        };
+        let pool = WorkerPool::new(1);
+        let r = explore(&model, &spec, &pool, 1);
+        let unfair = check_unfair(&model, &spec, &r.reachable);
+        match &unfair {
+            Verdict::Diverges(l) => {
+                // HopDistance is silent once distances are exact, so the
+                // witness is a deadlock, not a cycle.
+                assert!(l.deadlock);
+            }
+            Verdict::Converges => panic!("no legitimate set means no convergence"),
+        }
+        assert!(!check_round_robin(&model, &spec, &r.reachable).converges());
+    }
+}

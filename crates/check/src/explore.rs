@@ -1,0 +1,606 @@
+//! Fleet-parallel level-synchronous breadth-first exploration with a
+//! sharded seen-set.
+//!
+//! Every state key has a fixed owner shard (`splitmix64(key) % shards`),
+//! so ownership never depends on discovery order. Each epoch runs three
+//! phases on the [`WorkerPool`]:
+//!
+//! 1. **expand** — every shard expands its own frontier, routing each
+//!    produced edge to the owner shard's outbox;
+//! 2. **transpose** — the driver moves outboxes to inboxes (serial,
+//!    pointer swaps only);
+//! 3. **absorb** — every shard drains its inbox into its seen-set,
+//!    running invariant checks on newly discovered states.
+//!
+//! Determinism at any shard/thread count is by construction, not by
+//! sorting: every absorbed quantity is either an order-independent sum
+//! (state/transition/dedup counters, frontier sizes) or a **min-combine**
+//! (canonical parent edges, first-violation witnesses), so the value is
+//! the same no matter which order the inbox happens to arrive in.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::mem;
+
+use sno_engine::Enumerable;
+use sno_fleet::WorkerPool;
+use sno_telemetry::ExploreStats;
+
+use crate::model::{CheckSpec, Model, Seeds};
+use crate::space::Succ;
+
+/// Edge kinds, in canonical (tie-break) order.
+pub const KIND_SEED: u8 = 0;
+/// A program move (one enabled action of one processor).
+pub const KIND_PROGRAM: u8 = 1;
+/// A transient fault replacing one processor's state.
+pub const KIND_CORRUPT: u8 = 2;
+/// A crash resetting one processor to its initial state.
+pub const KIND_CRASH: u8 = 3;
+/// A topology event advancing to the next world.
+pub const KIND_TOPOLOGY: u8 = 4;
+
+/// Human-readable edge-kind label for traces and certificates.
+pub fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        KIND_SEED => "seed",
+        KIND_PROGRAM => "program",
+        KIND_CORRUPT => "corrupt",
+        KIND_CRASH => "crash",
+        KIND_TOPOLOGY => "topology",
+        _ => "?",
+    }
+}
+
+/// Discovery record of one reachable state: BFS depth plus the
+/// canonical (minimal) incoming edge, for counterexample stems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Meta {
+    /// BFS depth (seeds are depth 0).
+    pub depth: u32,
+    /// Edge kind (`KIND_*`).
+    pub kind: u8,
+    /// Moving / faulted processor (`u32::MAX` for seed and topology
+    /// edges).
+    pub node: u32,
+    /// Action index for program edges; target digit for corrupt/crash.
+    pub action: u32,
+    /// Predecessor key (self for seeds).
+    pub parent: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    key: u64,
+    pred: u64,
+    node: u32,
+    action: u32,
+    kind: u8,
+}
+
+impl Edge {
+    /// Canonical order for min-combining parallel discoveries.
+    fn rank(&self) -> (u64, u32, u32, u8) {
+        (self.pred, self.node, self.action, self.kind)
+    }
+}
+
+struct Shard<P: Enumerable> {
+    id: usize,
+    seen: HashMap<u64, Meta>,
+    frontier: Vec<u64>,
+    next: Vec<u64>,
+    outbox: Vec<Vec<Edge>>,
+    inbox: Vec<Edge>,
+    stats: ExploreStats,
+    legitimate: u64,
+    skipped: u64,
+    closure: Option<(u64, u64)>,
+    invariants: Vec<Option<u64>>,
+    config: Vec<P::State>,
+    mapped: Vec<P::State>,
+    actions: Vec<P::Action>,
+    succs: Vec<Succ>,
+}
+
+/// Everything one exploration produced, sufficient for liveness
+/// analysis and counterexample extraction.
+#[derive(Debug)]
+pub struct ExploreResult {
+    /// Per-shard seen maps (key → discovery record).
+    pub seen: Vec<HashMap<u64, Meta>>,
+    /// Order-independent exploration counters.
+    pub stats: ExploreStats,
+    /// States newly discovered per BFS depth (`frontier[0]` = seeds).
+    pub frontier: Vec<u64>,
+    /// Maximum BFS depth reached.
+    pub diameter: u32,
+    /// Reachable states whose configuration is legitimate in its world.
+    pub legitimate: u64,
+    /// Cross-world mappings dropped because the mapped configuration is
+    /// not representable in the target world.
+    pub skipped_mappings: u64,
+    /// Per-world sorted, deduplicated reachable configuration indices
+    /// (collapsed over budget layers — closed under program moves).
+    pub reachable: Vec<Vec<u64>>,
+    /// Minimal closure violation `(legitimate source key, illegitimate
+    /// program-successor key)`, if any.
+    pub closure_violation: Option<(u64, u64)>,
+    /// Per-invariant minimal violating state key (parallel to
+    /// `spec.invariants`).
+    pub invariant_violations: Vec<Option<u64>>,
+}
+
+impl ExploreResult {
+    /// The discovery record of `key`, if reachable.
+    pub fn meta<P: Enumerable>(&self, model: &Model<P>, key: u64) -> Option<Meta> {
+        self.seen[model.owner(key, self.seen.len())]
+            .get(&key)
+            .copied()
+    }
+
+    /// The minimal reachable key carrying `(world, config)` at any
+    /// budget layer, if that configuration was reached.
+    pub fn min_key<P: Enumerable>(&self, model: &Model<P>, world: u32, config: u64) -> Option<u64> {
+        (0..=model.budget)
+            .map(|b| model.key(world, b, config))
+            .find(|&k| self.meta(model, k).is_some())
+    }
+}
+
+fn min_pair(a: Option<(u64, u64)>, b: Option<(u64, u64)>) -> Option<(u64, u64)> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn min_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Runs the sharded BFS over `model` under `spec`, using `shards`
+/// seen-set shards on `pool`. Deterministic at any shard/thread count.
+pub fn explore<P: Enumerable>(
+    model: &Model<'_, P>,
+    spec: &CheckSpec<'_, P>,
+    pool: &WorkerPool,
+    shards: usize,
+) -> ExploreResult {
+    let shards = shards.max(1);
+    let n_inv = spec.invariants.len();
+    let mut fleet: Vec<Shard<P>> = (0..shards)
+        .map(|id| Shard {
+            id,
+            seen: HashMap::new(),
+            frontier: Vec::new(),
+            next: Vec::new(),
+            outbox: (0..shards).map(|_| Vec::new()).collect(),
+            inbox: Vec::new(),
+            stats: ExploreStats::default(),
+            legitimate: 0,
+            skipped: 0,
+            closure: None,
+            invariants: vec![None; n_inv],
+            config: Vec::new(),
+            mapped: Vec::new(),
+            actions: Vec::new(),
+            succs: Vec::new(),
+        })
+        .collect();
+
+    // Per-world initial-state digits, for crash edges.
+    let initial_digits: Vec<Vec<u64>> = model
+        .worlds
+        .iter()
+        .map(|w| {
+            let cfg: Vec<P::State> = w
+                .net
+                .nodes()
+                .map(|p| model.protocol.initial_state(w.net.ctx(p)))
+                .collect();
+            let idx = w
+                .space
+                .encode(&cfg)
+                .expect("initial states are part of enumerate_states");
+            (0..cfg.len()).map(|i| w.space.digit(idx, i)).collect()
+        })
+        .collect();
+
+    // Phase 0: seed. Each shard scans its stripe of world 0 and routes
+    // the kept keys to their owners.
+    let base = &model.worlds[0];
+    let total = base.space.config_count();
+    let initial_key = initial_digits_key(&initial_digits[0], base);
+    pool.run_mut(&mut fleet, |_, shard: &mut Shard<P>| {
+        let lo = total * shard.id as u64 / shards as u64;
+        let hi = total * (shard.id as u64 + 1) / shards as u64;
+        for config in lo..hi {
+            let keep = match spec.seeds {
+                Seeds::AllConfigs => true,
+                Seeds::Legitimate => {
+                    base.space.decode_into(config, &mut shard.config);
+                    (spec.legit)(&base.net, &shard.config)
+                }
+                Seeds::Initial => config == initial_key,
+            };
+            if keep {
+                let key = model.key(0, model.budget, config);
+                shard.outbox[model.owner(key, shards)].push(Edge {
+                    key,
+                    pred: key,
+                    node: u32::MAX,
+                    action: 0,
+                    kind: KIND_SEED,
+                });
+            }
+        }
+    });
+
+    let mut histogram: Vec<u64> = Vec::new();
+    let mut depth: u32 = 0;
+    loop {
+        // Transpose: outboxes → inboxes (serial pointer moves).
+        for src in 0..shards {
+            for dst in 0..shards {
+                let batch = mem::take(&mut fleet[src].outbox[dst]);
+                fleet[dst].inbox.push_batch(batch);
+            }
+        }
+
+        // Absorb at `depth`.
+        pool.run_mut(&mut fleet, |_, shard: &mut Shard<P>| {
+            let inbox = mem::take(&mut shard.inbox);
+            for edge in &inbox {
+                match shard.seen.entry(edge.key) {
+                    Entry::Occupied(mut o) => {
+                        shard.stats.dedup_hits += 1;
+                        let m = o.get_mut();
+                        if m.depth == depth && edge.rank() < (m.parent, m.node, m.action, m.kind) {
+                            *m = Meta {
+                                depth,
+                                kind: edge.kind,
+                                node: edge.node,
+                                action: edge.action,
+                                parent: edge.pred,
+                            };
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert(Meta {
+                            depth,
+                            kind: edge.kind,
+                            node: edge.node,
+                            action: edge.action,
+                            parent: edge.pred,
+                        });
+                        shard.stats.states += 1;
+                        shard.next.push(edge.key);
+                        let (world, _, cidx) = model.split(edge.key);
+                        let w = &model.worlds[world as usize];
+                        w.space.decode_into(cidx, &mut shard.config);
+                        if (spec.legit)(&w.net, &shard.config) {
+                            shard.legitimate += 1;
+                        }
+                        for (ii, inv) in spec.invariants.iter().enumerate() {
+                            if !(inv.pred)(&w.net, &shard.config) {
+                                shard.invariants[ii] =
+                                    min_opt(shard.invariants[ii], Some(edge.key));
+                            }
+                        }
+                    }
+                }
+            }
+            shard.inbox = inbox;
+            shard.inbox.clear();
+        });
+
+        let new_total: u64 = fleet.iter().map(|s| s.next.len() as u64).sum();
+        if new_total == 0 {
+            break;
+        }
+        histogram.push(new_total);
+        for shard in &mut fleet {
+            debug_assert!(shard.frontier.is_empty());
+            shard.frontier = mem::take(&mut shard.next);
+        }
+
+        // Expand the `depth` frontier.
+        pool.run_mut(&mut fleet, |_, shard: &mut Shard<P>| {
+            let frontier = mem::take(&mut shard.frontier);
+            for &key in &frontier {
+                expand_one(model, spec, shard, key, &initial_digits, shards);
+            }
+        });
+        depth += 1;
+    }
+
+    // Fold shard-local results (all order-independent).
+    let mut stats = ExploreStats::default();
+    let mut legitimate = 0u64;
+    let mut skipped = 0u64;
+    let mut closure_violation = None;
+    let mut invariant_violations: Vec<Option<u64>> = vec![None; n_inv];
+    let mut reachable: Vec<Vec<u64>> = model.worlds.iter().map(|_| Vec::new()).collect();
+    for shard in &fleet {
+        stats.merge(&shard.stats);
+        legitimate += shard.legitimate;
+        skipped += shard.skipped;
+        closure_violation = min_pair(closure_violation, shard.closure);
+        for (ii, v) in shard.invariants.iter().enumerate() {
+            invariant_violations[ii] = min_opt(invariant_violations[ii], *v);
+        }
+        for &key in shard.seen.keys() {
+            let (world, _, cidx) = model.split(key);
+            reachable[world as usize].push(cidx);
+        }
+    }
+    for r in &mut reachable {
+        r.sort_unstable();
+        r.dedup();
+    }
+
+    ExploreResult {
+        seen: fleet.into_iter().map(|s| s.seen).collect(),
+        stats,
+        frontier: histogram,
+        diameter: depth.saturating_sub(1),
+        legitimate,
+        skipped_mappings: skipped,
+        reachable,
+        closure_violation,
+        invariant_violations,
+    }
+}
+
+fn expand_one<P: Enumerable>(
+    model: &Model<'_, P>,
+    spec: &CheckSpec<'_, P>,
+    shard: &mut Shard<P>,
+    key: u64,
+    initial_digits: &[Vec<u64>],
+    shards: usize,
+) {
+    let (world, budget_left, cidx) = model.split(key);
+    let w = &model.worlds[world as usize];
+    w.space.decode_into(cidx, &mut shard.config);
+    let n = shard.config.len();
+
+    // Program moves (stay inside the layer).
+    shard.succs.clear();
+    w.space.successors_into(
+        &w.net,
+        model.protocol,
+        cidx,
+        &shard.config,
+        &mut shard.actions,
+        &mut shard.succs,
+    );
+    let src_legit = spec.closure && (spec.legit)(&w.net, &shard.config);
+    let succs = mem::take(&mut shard.succs);
+    for s in &succs {
+        let next_key = model.key(world, budget_left, s.next);
+        shard.stats.transitions += 1;
+        if src_legit {
+            // Evaluate the successor's legitimacy by swapping the one
+            // changed digit in and out of the decoded configuration.
+            let i = s.node as usize;
+            let d = w.space.digit(s.next, i) as usize;
+            let new_state = w.space.node_space(i)[d].clone();
+            let old_state = mem::replace(&mut shard.config[i], new_state);
+            if !(spec.legit)(&w.net, &shard.config) {
+                shard.closure = min_pair(shard.closure, Some((key, next_key)));
+            }
+            shard.config[i] = old_state;
+        }
+        shard.outbox[model.owner(next_key, shards)].push(Edge {
+            key: next_key,
+            pred: key,
+            node: s.node,
+            action: s.action,
+            kind: KIND_PROGRAM,
+        });
+    }
+    shard.succs = succs;
+
+    // Corrupt faults: one processor's state becomes anything.
+    if budget_left > 0 && model.corrupt {
+        for i in 0..n {
+            let cur = w.space.digit(cidx, i);
+            for d in 0..w.space.node_space(i).len() as u64 {
+                if d == cur {
+                    continue;
+                }
+                let next_key = model.key(world, budget_left - 1, w.space.with_digit(cidx, i, d));
+                shard.stats.fault_transitions += 1;
+                shard.outbox[model.owner(next_key, shards)].push(Edge {
+                    key: next_key,
+                    pred: key,
+                    node: i as u32,
+                    action: d as u32,
+                    kind: KIND_CORRUPT,
+                });
+            }
+        }
+    }
+
+    // Crash faults: one processor reboots to its initial state.
+    if budget_left > 0 && model.crash {
+        for (i, &init) in initial_digits[world as usize].iter().enumerate() {
+            if w.space.digit(cidx, i) == init {
+                continue;
+            }
+            let next_key = model.key(world, budget_left - 1, w.space.with_digit(cidx, i, init));
+            shard.stats.fault_transitions += 1;
+            shard.outbox[model.owner(next_key, shards)].push(Edge {
+                key: next_key,
+                pred: key,
+                node: i as u32,
+                action: init as u32,
+                kind: KIND_CRASH,
+            });
+        }
+    }
+
+    // Topology fault: advance to the next world, mapping the event's
+    // endpoints through reattach_state (budget is not consumed).
+    if (world as usize) + 1 < model.worlds.len() {
+        let nw = &model.worlds[world as usize + 1];
+        shard.mapped.clear();
+        shard.mapped.extend_from_slice(&shard.config);
+        for &p in &nw.remapped {
+            shard.mapped[p.index()] = model
+                .protocol
+                .reattach_state(nw.net.ctx(p), &shard.config[p.index()]);
+        }
+        shard.stats.fault_transitions += 1;
+        match nw.space.encode(&shard.mapped) {
+            Some(c2) => {
+                let next_key = model.key(world + 1, budget_left, c2);
+                shard.outbox[model.owner(next_key, shards)].push(Edge {
+                    key: next_key,
+                    pred: key,
+                    node: u32::MAX,
+                    action: 0,
+                    kind: KIND_TOPOLOGY,
+                });
+            }
+            None => shard.skipped += 1,
+        }
+    }
+}
+
+fn initial_digits_key<S: Clone + Eq + std::hash::Hash>(
+    digits: &[u64],
+    world: &crate::model::World<S>,
+) -> u64 {
+    let mut idx = 0u64;
+    for (i, &d) in digits.iter().enumerate() {
+        idx = world.space.with_digit(idx, i, d);
+    }
+    idx
+}
+
+trait PushBatch<T> {
+    fn push_batch(&mut self, batch: Vec<T>);
+}
+
+impl<T> PushBatch<T> for Vec<T> {
+    fn push_batch(&mut self, mut batch: Vec<T>) {
+        if self.is_empty() {
+            *self = batch;
+        } else {
+            self.append(&mut batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CheckOptions, FaultClass, Liveness};
+    use sno_engine::examples::HopDistance;
+    use sno_engine::Network;
+    use sno_graph::NodeId;
+
+    use sno_engine::examples::hop_distance_legit as hop_legit;
+
+    fn spec<'a>(
+        legit: &'a (dyn Fn(&Network, &[u32]) -> bool + Sync),
+        seeds: Seeds,
+        faults: Vec<FaultClass>,
+    ) -> CheckSpec<'a, HopDistance> {
+        CheckSpec {
+            protocol: "hop".into(),
+            topology: "test".into(),
+            legit,
+            invariants: Vec::new(),
+            closure: true,
+            liveness: Liveness::None,
+            seeds,
+            faults,
+        }
+    }
+
+    #[test]
+    fn explores_full_space_and_is_shard_thread_invariant() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let opts = CheckOptions::default();
+        let model = Model::new(&net, &HopDistance, &[], &opts).unwrap();
+        let s = spec(&hop_legit, Seeds::AllConfigs, Vec::new());
+        let pool1 = WorkerPool::new(1);
+        let baseline = explore(&model, &s, &pool1, 1);
+        assert_eq!(baseline.stats.states, 64, "4^3 configurations");
+        assert_eq!(baseline.legitimate, 1);
+        assert!(
+            baseline.closure_violation.is_none(),
+            "hop distances are closed"
+        );
+        let pool2 = WorkerPool::new(3);
+        for shards in [2usize, 5] {
+            let r = explore(&model, &s, &pool2, shards);
+            assert_eq!(r.stats, baseline.stats);
+            assert_eq!(r.frontier, baseline.frontier);
+            assert_eq!(r.diameter, baseline.diameter);
+            assert_eq!(r.legitimate, baseline.legitimate);
+            assert_eq!(r.reachable, baseline.reachable);
+            // Canonical parents agree key-by-key across shardings.
+            for (key, meta) in baseline.seen[0].iter() {
+                assert_eq!(r.meta(&model, *key), Some(*meta));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_budget_reaches_beyond_initial_seed() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let opts = CheckOptions::default();
+        let pool = WorkerPool::new(2);
+        let plain_model = Model::new(&net, &HopDistance, &[], &opts).unwrap();
+        let plain = explore(
+            &plain_model,
+            &spec(&hop_legit, Seeds::Initial, Vec::new()),
+            &pool,
+            3,
+        );
+        let model = Model::new(&net, &HopDistance, &[FaultClass::Corrupt], &opts).unwrap();
+        let s = spec(&hop_legit, Seeds::Initial, vec![FaultClass::Corrupt]);
+        let r = explore(&model, &s, &pool, 3);
+        assert!(
+            r.stats.states > plain.stats.states,
+            "the corrupt budget opens states the program alone cannot reach \
+             ({} vs {})",
+            r.stats.states,
+            plain.stats.states
+        );
+        assert!(r.stats.fault_transitions > 0);
+        assert!(r.closure_violation.is_none());
+    }
+
+    #[test]
+    fn topology_fault_populates_second_world() {
+        let g = sno_graph::generators::ring(4);
+        let net = Network::new(g, NodeId::new(0));
+        let faults = vec![FaultClass::Topology(sno_graph::TopologyEvent::LinkFail {
+            u: NodeId::new(1),
+            v: NodeId::new(2),
+        })];
+        let opts = CheckOptions::default();
+        let model = Model::new(&net, &HopDistance, &faults, &opts).unwrap();
+        let s = spec(&hop_legit, Seeds::Legitimate, faults.clone());
+        let pool = WorkerPool::new(2);
+        let r = explore(&model, &s, &pool, 2);
+        assert_eq!(r.reachable.len(), 2);
+        assert!(
+            !r.reachable[1].is_empty(),
+            "the post-event world is reached"
+        );
+    }
+}

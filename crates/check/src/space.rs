@@ -1,0 +1,275 @@
+//! Mixed-radix configuration encoding over an [`Enumerable`] protocol.
+//!
+//! A configuration of an `n`-processor network assigns each processor
+//! one of its enumerated states; the product space is addressed by a
+//! mixed-radix integer whose `i`-th digit indexes into processor `i`'s
+//! enumeration. The encoding is the same one the retired serial checker
+//! (`sno_engine::modelcheck`) used — a single-processor move changes a
+//! single digit, so a successor index is one subtract-add away from its
+//! predecessor — but the space here carries no network borrow, so one
+//! checker can hold *several* spaces (one per topology world) at once.
+
+use std::collections::HashMap;
+
+use sno_engine::protocol::ConfigView;
+use sno_engine::{apply_via_clone, Enumerable, Network};
+use sno_graph::NodeId;
+
+/// The model was too large to enumerate within the configured limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooLarge {
+    /// Number of configurations the largest world's product contains.
+    pub configs: u128,
+    /// The configured per-world enumeration limit.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for TooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "state space of {} configurations exceeds the limit of {}",
+            self.configs, self.limit
+        )
+    }
+}
+
+impl std::error::Error for TooLarge {}
+
+/// One program transition out of a configuration: processor `node`
+/// executed its `action`-th enabled action, producing `next`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Succ {
+    /// The successor configuration index.
+    pub next: u64,
+    /// The moving processor.
+    pub node: u32,
+    /// The index of the executed action in the processor's enabled list
+    /// (deterministic: [`Protocol::enabled`] order is part of the
+    /// protocol contract).
+    ///
+    /// [`Protocol::enabled`]: sno_engine::Protocol::enabled
+    pub action: u32,
+}
+
+/// The enumerated per-node state spaces of one network ("world"), with
+/// mixed-radix indexing.
+#[derive(Debug, Clone)]
+pub struct StateSpace<S> {
+    spaces: Vec<Vec<S>>,
+    index_of: Vec<HashMap<S, usize>>,
+    weights: Vec<u64>,
+    total: u64,
+}
+
+impl<S: Clone + Eq + std::hash::Hash> StateSpace<S> {
+    /// Enumerates the per-node state spaces of `protocol` on `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TooLarge`] if the product exceeds `limit`.
+    pub fn new<P>(net: &Network, protocol: &P, limit: u64) -> Result<Self, TooLarge>
+    where
+        P: Enumerable<State = S>,
+    {
+        let spaces: Vec<Vec<S>> = net
+            .nodes()
+            .map(|p| protocol.enumerate_states(net.ctx(p)))
+            .collect();
+        let mut product: u128 = 1;
+        for s in &spaces {
+            assert!(!s.is_empty(), "a node's state space cannot be empty");
+            product = product.saturating_mul(s.len() as u128);
+        }
+        if product > limit as u128 {
+            return Err(TooLarge {
+                configs: product,
+                limit,
+            });
+        }
+        let mut weights = Vec::with_capacity(spaces.len());
+        let mut w: u64 = 1;
+        for s in &spaces {
+            weights.push(w);
+            w *= s.len() as u64;
+        }
+        let index_of = spaces
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .enumerate()
+                    .map(|(i, st)| (st.clone(), i))
+                    .collect()
+            })
+            .collect();
+        Ok(StateSpace {
+            spaces,
+            index_of,
+            weights,
+            total: product as u64,
+        })
+    }
+
+    /// Total number of configurations in the product.
+    pub fn config_count(&self) -> u64 {
+        self.total
+    }
+
+    /// The enumerated states of processor `i`.
+    pub fn node_space(&self, i: usize) -> &[S] {
+        &self.spaces[i]
+    }
+
+    /// Decodes `idx` into `out` (cleared first).
+    pub fn decode_into(&self, mut idx: u64, out: &mut Vec<S>) {
+        out.clear();
+        for s in &self.spaces {
+            let r = s.len() as u64;
+            out.push(s[(idx % r) as usize].clone());
+            idx /= r;
+        }
+    }
+
+    /// Decodes `idx` into a fresh configuration.
+    pub fn decode(&self, idx: u64) -> Vec<S> {
+        let mut out = Vec::with_capacity(self.spaces.len());
+        self.decode_into(idx, &mut out);
+        out
+    }
+
+    /// Encodes a configuration; `None` if some processor's state is not
+    /// in its enumeration (possible only for configurations produced by
+    /// cross-world mapping, never by program moves).
+    pub fn encode(&self, config: &[S]) -> Option<u64> {
+        debug_assert_eq!(config.len(), self.spaces.len());
+        let mut idx = 0u64;
+        for (i, s) in config.iter().enumerate() {
+            let d = *self.index_of[i].get(s)? as u64;
+            idx += d * self.weights[i];
+        }
+        Some(idx)
+    }
+
+    /// The digit (state index) of processor `i` in configuration `idx`.
+    pub fn digit(&self, idx: u64, i: usize) -> u64 {
+        (idx / self.weights[i]) % (self.spaces[i].len() as u64)
+    }
+
+    /// `idx` with processor `i`'s digit replaced by `new_digit`.
+    pub fn with_digit(&self, idx: u64, i: usize, new_digit: u64) -> u64 {
+        let old = self.digit(idx, i);
+        idx - old * self.weights[i] + new_digit * self.weights[i]
+    }
+
+    /// Appends every central-daemon program transition out of `idx` to
+    /// `out`, reusing `actions` as scratch. `config` must be the decoded
+    /// configuration of `idx`.
+    pub fn successors_into<P>(
+        &self,
+        net: &Network,
+        protocol: &P,
+        idx: u64,
+        config: &[S],
+        actions: &mut Vec<P::Action>,
+        out: &mut Vec<Succ>,
+    ) where
+        P: Enumerable<State = S>,
+    {
+        for p in net.nodes() {
+            actions.clear();
+            let view = ConfigView::new(net, p, config);
+            protocol.enabled(&view, actions);
+            for (ai, a) in actions.iter().enumerate() {
+                let new_state = apply_via_clone(protocol, net, p, config, a);
+                let i = p.index();
+                let new_digit = *self.index_of[i].get(&new_state).unwrap_or_else(|| {
+                    panic!("apply produced a state outside enumerate_states at {p}")
+                }) as u64;
+                out.push(Succ {
+                    next: self.with_digit(idx, i, new_digit),
+                    node: i as u32,
+                    action: ai as u32,
+                });
+            }
+        }
+    }
+
+    /// The successor of `idx` when processor `node` executes its
+    /// `action`-th enabled action; `None` if that action is not enabled.
+    /// Used by trace replay and minimization, never by the hot loop.
+    pub fn apply_move<P>(
+        &self,
+        net: &Network,
+        protocol: &P,
+        idx: u64,
+        node: u32,
+        action: u32,
+    ) -> Option<u64>
+    where
+        P: Enumerable<State = S>,
+    {
+        let config = self.decode(idx);
+        let p = NodeId::new(node as usize);
+        let mut actions = Vec::new();
+        let view = ConfigView::new(net, p, &config);
+        protocol.enabled(&view, &mut actions);
+        let a = actions.get(action as usize)?;
+        let new_state = apply_via_clone(protocol, net, p, &config, a);
+        let new_digit = *self.index_of[node as usize].get(&new_state)? as u64;
+        Some(self.with_digit(idx, node as usize, new_digit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_engine::examples::HopDistance;
+
+    #[test]
+    fn encode_decode_round_trip_and_digits() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let space = StateSpace::new(&net, &HopDistance, 1_000_000).unwrap();
+        assert_eq!(space.config_count(), 4 * 4 * 4);
+        for idx in 0..space.config_count() {
+            let config = space.decode(idx);
+            assert_eq!(space.encode(&config), Some(idx));
+            for (i, &c) in config.iter().enumerate() {
+                assert_eq!(space.digit(idx, i), c as u64);
+            }
+        }
+        let idx = space.encode(&[0, 3, 1]).unwrap();
+        assert_eq!(
+            space.with_digit(idx, 1, 2),
+            space.encode(&[0, 2, 1]).unwrap()
+        );
+    }
+
+    #[test]
+    fn successors_match_serial_checker_shape() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let space = StateSpace::new(&net, &HopDistance, 1_000_000).unwrap();
+        let idx = space.encode(&[3, 3, 3]).unwrap();
+        let config = space.decode(idx);
+        let mut actions = Vec::new();
+        let mut out = Vec::new();
+        space.successors_into(&net, &HopDistance, idx, &config, &mut actions, &mut out);
+        assert!(!out.is_empty());
+        for s in &out {
+            assert_ne!(s.next, idx, "HopDistance moves always change the state");
+            assert_eq!(
+                space.apply_move(&net, &HopDistance, idx, s.node, s.action),
+                Some(s.next)
+            );
+        }
+    }
+
+    #[test]
+    fn respects_limit() {
+        let g = sno_graph::generators::path(12);
+        let net = Network::new(g, NodeId::new(0));
+        let err = StateSpace::<u32>::new(&net, &HopDistance, 1_000).unwrap_err();
+        assert!(err.configs > 1_000);
+    }
+}

@@ -1,0 +1,275 @@
+//! Lockstep pinning of `sno-check` against the retired serial
+//! [`ModelChecker`] — the reference semantics — on the E11 instances,
+//! plus property-based **replay**: every liveness counterexample the
+//! checker emits must drive a live [`Simulation`] move by move into a
+//! genuine illegitimate cycle.
+//!
+//! The serial checker stays compiled exactly so these tests can never
+//! rot: if the fleet-parallel checker's verdicts or state counts ever
+//! drift from the reference, this file fails.
+
+use proptest::prelude::*;
+use sno_check::{check, CheckOptions, CheckSpec, Counterexample, Liveness, Seeds, WorkerPool};
+use sno_engine::daemon::{Choice, Daemon, EnabledNode};
+use sno_engine::examples::{fairness_witness_legit, FairnessWitness, HopDistance};
+use sno_engine::modelcheck::ModelChecker;
+use sno_engine::{Enumerable, Network, Simulation};
+use sno_graph::{generators, traverse, NodeId, RootedTree};
+
+fn options() -> CheckOptions {
+    CheckOptions {
+        threads: 2,
+        shards: 3,
+        ..CheckOptions::default()
+    }
+}
+
+fn spec<'a, P: Enumerable>(
+    name: &str,
+    topology: &str,
+    legit: sno_check::PredFn<'a, P>,
+    liveness: Liveness,
+) -> CheckSpec<'a, P> {
+    CheckSpec {
+        protocol: name.into(),
+        topology: topology.into(),
+        legit,
+        invariants: Vec::new(),
+        closure: true,
+        liveness,
+        seeds: Seeds::AllConfigs,
+        faults: Vec::new(),
+    }
+}
+
+#[test]
+fn bfs_tree_on_a_triangle_matches_the_legacy_checker() {
+    let net = Network::new(generators::ring(3), NodeId::new(0));
+    let mc = ModelChecker::new(&net, &sno_tree::BfsSpanningTree, 10_000_000).unwrap();
+    let closure = mc
+        .check_closure(|c| sno_tree::bfs_legit(&net, c))
+        .expect("legacy closure holds");
+    mc.check_convergence_any_schedule(|c| sno_tree::bfs_legit(&net, c))
+        .expect("legacy any-schedule convergence holds");
+
+    let pool = WorkerPool::new(2);
+    let cert = check(
+        &net,
+        &sno_tree::BfsSpanningTree,
+        &spec("bfs-tree", "ring:3", &sno_tree::bfs_legit, Liveness::Both),
+        &options(),
+        &pool,
+    )
+    .unwrap();
+    assert!(cert.all_hold());
+    assert_eq!(cert.states, closure.configs);
+    assert_eq!(cert.legitimate, closure.legitimate);
+}
+
+#[test]
+fn collin_dolev_on_a_path_matches_the_legacy_checker() {
+    let net = Network::new(generators::path(3), NodeId::new(0));
+    let mc = ModelChecker::new(&net, &sno_token::CollinDolev, 10_000_000).unwrap();
+    let closure = mc
+        .check_closure(|c| sno_token::cd::cd_legit(&net, c))
+        .expect("legacy closure holds");
+    mc.check_convergence_any_schedule(|c| sno_token::cd::cd_legit(&net, c))
+        .expect("legacy any-schedule convergence holds");
+
+    let pool = WorkerPool::new(2);
+    let cert = check(
+        &net,
+        &sno_token::CollinDolev,
+        &spec(
+            "cd-token",
+            "path:3",
+            &sno_token::cd::cd_legit,
+            Liveness::Both,
+        ),
+        &options(),
+        &pool,
+    )
+    .unwrap();
+    assert!(cert.all_hold());
+    assert_eq!(cert.states, closure.configs);
+    assert_eq!(cert.legitimate, closure.legitimate);
+}
+
+#[test]
+fn fixed_token_wave_matches_the_legacy_round_robin_verdict() {
+    let g = generators::star(4);
+    let dfs = traverse::first_dfs(&g, NodeId::new(0));
+    let tree = RootedTree::from_parents(&g, NodeId::new(0), &dfs.parent).unwrap();
+    let proto = sno_token::FixedTreeToken::from_graph(&g, &tree);
+    let net = Network::new(g, NodeId::new(0));
+    let mc = ModelChecker::new(&net, &proto, 10_000_000).unwrap();
+    let closure = mc
+        .check_closure(|c| proto.is_legitimate(c))
+        .expect("legacy closure holds");
+    mc.check_convergence_round_robin(|c| proto.is_legitimate(c))
+        .expect("legacy round-robin convergence holds");
+
+    let pool = WorkerPool::new(2);
+    let legit = |_: &Network, c: &[sno_token::tok::TokState]| proto.is_legitimate(c);
+    let cert = check(
+        &net,
+        &proto,
+        &spec("fixed-token", "star:4", &legit, Liveness::RoundRobin),
+        &options(),
+        &pool,
+    )
+    .unwrap();
+    assert!(cert.all_hold());
+    assert_eq!(cert.states, closure.configs);
+    assert_eq!(cert.legitimate, closure.legitimate);
+}
+
+#[test]
+fn both_checkers_refute_the_bogus_predicate() {
+    // E11's negative control: "node 1 holds 2" is not closed under
+    // hop-distance moves, and its complement region deadlocks.
+    let net = Network::new(generators::path(2), NodeId::new(0));
+    let mc = ModelChecker::new(&net, &HopDistance, 10_000_000).unwrap();
+    assert!(mc.check_closure(|c: &[u32]| c[1] == 2).is_err());
+    assert!(mc
+        .check_convergence_any_schedule(|c: &[u32]| c[1] == 2)
+        .is_err());
+
+    let pool = WorkerPool::new(2);
+    let bogus = |_: &Network, c: &[u32]| c[1] == 2;
+    let cert = check(
+        &net,
+        &HopDistance,
+        &spec("hop", "path:2", &bogus, Liveness::Unfair),
+        &options(),
+        &pool,
+    )
+    .unwrap();
+    assert!(!cert.all_hold());
+    let closure = cert
+        .properties
+        .iter()
+        .find(|p| p.name == "closure")
+        .unwrap();
+    assert!(!closure.holds);
+    // The closure witness ends with the single program move that
+    // escapes the "legitimate" set.
+    let cx = closure.counterexample.as_ref().unwrap();
+    assert_eq!(cx.stem.last().unwrap().kind, "program");
+    let unfair = cert
+        .properties
+        .iter()
+        .find(|p| p.daemon == "unfair")
+        .unwrap();
+    assert!(
+        !unfair.holds,
+        "legacy and fleet checkers agree on refutation"
+    );
+}
+
+/// A daemon that executes one scripted `(node, action)` choice.
+struct Scripted {
+    node: usize,
+    action: usize,
+}
+
+impl Daemon for Scripted {
+    fn select_into(&mut self, enabled: &[EnabledNode], out: &mut Vec<Choice>) {
+        let idx = enabled
+            .iter()
+            .position(|e| e.node.index() == self.node)
+            .expect("counterexample step names an enabled processor");
+        out.clear();
+        out.push(Choice {
+            enabled_index: idx,
+            action_index: self.action,
+        });
+    }
+}
+
+fn parse_bools(rendered: &str) -> Vec<bool> {
+    rendered
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .split(", ")
+        .filter(|t| !t.is_empty())
+        .map(|t| t == "true")
+        .collect()
+}
+
+/// Replays a fault-free lasso counterexample on a live [`Simulation`]:
+/// every stem/cycle move must be enabled and reproduce the certificate's
+/// rendered configuration, the cycle must close on itself, and every
+/// configuration on it must be illegitimate — a real execution that
+/// avoids `L` forever.
+fn replay_lasso(net: &Network, cx: &Counterexample) {
+    assert!(!cx.cycle.is_empty(), "the spinner never deadlocks");
+    let seed = parse_bools(&cx.stem[0].config);
+    let mut sim = Simulation::from_initial(net, FairnessWitness);
+    for (i, &b) in seed.iter().enumerate() {
+        sim.set_state(NodeId::new(i), b);
+    }
+    assert_eq!(format!("{:?}", sim.config()), cx.stem[0].config);
+    for step in cx.stem.iter().skip(1) {
+        assert_eq!(step.kind, "program", "fault-free model");
+        let mut d = Scripted {
+            node: step.node.unwrap() as usize,
+            action: step.action as usize,
+        };
+        sim.step(&mut d);
+        assert_eq!(format!("{:?}", sim.config()), step.config);
+    }
+    let cycle_entry = format!("{:?}", sim.config());
+    for step in &cx.cycle {
+        assert_eq!(step.kind, "program", "fault-free model");
+        let mut d = Scripted {
+            node: step.node.unwrap() as usize,
+            action: step.action as usize,
+        };
+        sim.step(&mut d);
+        assert_eq!(format!("{:?}", sim.config()), step.config);
+        assert!(
+            !fairness_witness_legit(net, sim.config()),
+            "lasso cycles lie wholly outside L"
+        );
+    }
+    assert_eq!(
+        format!("{:?}", sim.config()),
+        cycle_entry,
+        "the cycle closes on itself"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On every small random graph the fairness witness yields an
+    /// unfair-daemon lasso, and that lasso replays move-for-move on the
+    /// real engine into a closed illegitimate cycle.
+    #[test]
+    fn unfair_lassos_replay_to_real_nonconvergence(n in 2usize..=5, extra in 0usize..3, seed: u64) {
+        let g = generators::random_connected(n, extra, seed);
+        let net = Network::new(g, NodeId::new(0));
+        let pool = WorkerPool::new(2);
+        let cert = check(
+            &net,
+            &FairnessWitness,
+            &spec(
+                "fairness-witness",
+                &format!("random:{n}"),
+                &fairness_witness_legit,
+                Liveness::Both,
+            ),
+            &options(),
+            &pool,
+        )
+        .unwrap();
+        let closure = cert.properties.iter().find(|p| p.name == "closure").unwrap();
+        prop_assert!(closure.holds, "latching is closed");
+        let unfair = cert.properties.iter().find(|p| p.daemon == "unfair").unwrap();
+        prop_assert!(!unfair.holds, "the spinner starves a latch");
+        let rr = cert.properties.iter().find(|p| p.daemon == "round-robin").unwrap();
+        prop_assert!(rr.holds, "weak fairness converges");
+        replay_lasso(&net, unfair.counterexample.as_ref().unwrap());
+    }
+}

@@ -34,7 +34,7 @@
 //! again).
 
 use rand::RngCore;
-use sno_engine::{Network, NodeCtx, NodeView, Protocol, SpaceMeasured, StateTxn};
+use sno_engine::{Enumerable, Network, NodeCtx, NodeView, Protocol, SpaceMeasured, StateTxn};
 use sno_graph::NodeId;
 
 /// Per-processor state of [`Dcd`].
@@ -149,6 +149,24 @@ impl Protocol for Dcd {
             dist: old.dist,
             parent: DcdState::NO_PARENT,
         }
+    }
+}
+
+impl Enumerable for Dcd {
+    fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<DcdState> {
+        // dist ∈ {0, …, N}; parent ∈ {ports} ∪ {NO_PARENT} — the full
+        // corruption range of `random_state`, so the model checker
+        // covers every adversarial value including dangling pointers
+        // (e.g. a finite dist with no parent, or a parent at a
+        // saturated processor).
+        let inf = DcdState::inf(ctx.n_bound);
+        let mut out = Vec::with_capacity((inf as usize + 1) * (ctx.degree + 1));
+        for dist in 0..=inf {
+            for parent in (0..ctx.degree as u32).chain([DcdState::NO_PARENT]) {
+                out.push(DcdState { dist, parent });
+            }
+        }
+        out
     }
 }
 

@@ -19,7 +19,7 @@ use rand::RngCore;
 
 use crate::network::NodeCtx;
 use crate::protocol::{
-    LayerLayout, LayerTxn, NodeView, PortCache, PortVerdict, Protocol, StateTxn,
+    Enumerable, LayerLayout, LayerTxn, NodeView, PortCache, PortVerdict, Protocol, StateTxn,
 };
 use sno_graph::Port;
 
@@ -106,6 +106,36 @@ pub trait UpperLayer<L: Protocol>: Sync {
     ) -> PortVerdict {
         let (_, _, _) = (view, port, cache);
         PortVerdict::Whole
+    }
+}
+
+/// An [`UpperLayer`] whose per-node state space is finite and
+/// enumerable — the layer-side counterpart of [`Enumerable`]. When both
+/// layers enumerate, [`Layered`] enumerates the cross product, so the
+/// whole composition becomes exhaustively model-checkable (`sno-check`
+/// explores layered stacks exactly like flat protocols).
+pub trait EnumerableLayer<L: Protocol>: UpperLayer<L> {
+    /// Every state this layer's variables can take at a processor with
+    /// context `ctx`. Must include [`UpperLayer::initial_state`] and
+    /// everything [`UpperLayer::apply_in_place`] can produce.
+    fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<Self::State>;
+}
+
+impl<L, U> Enumerable for Layered<L, U>
+where
+    L: Enumerable,
+    U: EnumerableLayer<L>,
+{
+    fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<Self::State> {
+        let lows = self.lower.enumerate_states(ctx);
+        let ups = self.upper.enumerate_states(ctx);
+        let mut out = Vec::with_capacity(lows.len() * ups.len());
+        for l in &lows {
+            for u in &ups {
+                out.push((l.clone(), u.clone()));
+            }
+        }
+        out
     }
 }
 
@@ -440,6 +470,14 @@ mod tests {
         }
     }
 
+    impl EnumerableLayer<HopDistance> for ParentSelect {
+        fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<Option<Port>> {
+            std::iter::once(None)
+                .chain((0..ctx.degree).map(|l| Some(Port::new(l))))
+                .collect()
+        }
+    }
+
     fn layered_legit(net: &Network, config: &[(u32, Option<Port>)]) -> bool {
         let dists: Vec<u32> = config.iter().map(|s| s.0).collect();
         if !hop_distance_legit(net, &dists) {
@@ -500,5 +538,24 @@ mod tests {
         let proto = Layered::new(HopDistance, ParentSelect);
         let _ = proto.lower();
         let _ = proto.upper();
+    }
+
+    #[test]
+    fn layered_enumeration_is_the_cross_product() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let proto = Layered::new(HopDistance, ParentSelect);
+        for p in net.nodes() {
+            let ctx = net.ctx(p);
+            let states = proto.enumerate_states(ctx);
+            // HopDistance has n_bound + 1 values, ParentSelect degree + 1.
+            assert_eq!(states.len(), (ctx.n_bound + 1) * (ctx.degree + 1));
+            assert!(states.contains(&proto.initial_state(ctx)));
+            // No duplicates: the product of two duplicate-free lists.
+            let mut dedup = states.clone();
+            dedup.sort_by_key(|s| (s.0, s.1.map(|p| p.index())));
+            dedup.dedup();
+            assert_eq!(dedup.len(), states.len());
+        }
     }
 }

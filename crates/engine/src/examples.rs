@@ -182,6 +182,75 @@ impl SpaceMeasured for HopDistance {
     }
 }
 
+/// A deliberately *fairness-sensitive* protocol for exercising
+/// daemon-aware liveness verdicts: the root is an always-enabled spinner
+/// (it flips its bit forever), every other processor is a latch that
+/// sets its bit to `true` once. Legitimacy ignores the spinner:
+/// [`fairness_witness_legit`] asks that every non-root bit be `true`.
+///
+/// * Under an **unfair** central daemon the adversary may schedule the
+///   spinner forever and starve an unlatched processor — an
+///   illegitimate cycle, so convergence fails (with a lasso witness in
+///   a model-checker certificate).
+/// * Under the **weakly fair round-robin** daemon every rotation fires
+///   each latch, so convergence holds.
+/// * Closure holds either way: a latched processor is never enabled
+///   again, and the spinner's bit is outside the legitimacy predicate.
+///
+/// This is the smallest protocol whose verdicts split by daemon
+/// fairness — the distinction the paper's algorithms draw (`DFTNO`
+/// assumes a weakly fair daemon, `STNO` tolerates an unfair one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FairnessWitness;
+
+/// The single action of [`FairnessWitness`] (spin at the root, latch
+/// elsewhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tick;
+
+impl Protocol for FairnessWitness {
+    type State = bool;
+    type Action = Tick;
+
+    fn enabled(&self, view: &impl NodeView<bool>, out: &mut Vec<Tick>) {
+        if view.ctx().is_root || !*view.state() {
+            out.push(Tick);
+        }
+    }
+
+    fn apply_in_place(&self, txn: &mut impl StateTxn<bool>, _action: &Tick) {
+        let v = if txn.ctx().is_root {
+            !*txn.state()
+        } else {
+            true
+        };
+        *txn.state_mut() = v;
+        txn.touch_all_ports();
+        txn.commit();
+    }
+
+    fn initial_state(&self, _ctx: &NodeCtx) -> bool {
+        false
+    }
+
+    fn random_state(&self, _ctx: &NodeCtx, rng: &mut dyn RngCore) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Enumerable for FairnessWitness {
+    fn enumerate_states(&self, _ctx: &NodeCtx) -> Vec<bool> {
+        vec![false, true]
+    }
+}
+
+/// The legitimacy predicate of [`FairnessWitness`]: every non-root
+/// processor has latched.
+pub fn fairness_witness_legit(net: &crate::Network, config: &[bool]) -> bool {
+    let root = net.root().index();
+    config.iter().enumerate().all(|(i, &b)| i == root || b)
+}
+
 /// The legitimacy predicate of [`HopDistance`]: every `v_p` equals the true
 /// hop distance to the root.
 pub fn hop_distance_legit(net: &crate::Network, config: &[u32]) -> bool {
@@ -223,6 +292,26 @@ mod tests {
             assert!(run.converged);
             assert!(hop_distance_legit(&net, sim.config()));
         }
+    }
+
+    #[test]
+    fn fairness_witness_splits_by_daemon() {
+        use crate::daemon::CentralFixedPriority;
+        let g = sno_graph::generators::star(3);
+        let net = Network::new(g, NodeId::new(0));
+        // The weakly fair rotation latches everyone.
+        let mut sim = Simulation::from_initial(&net, FairnessWitness);
+        let run = sim.run_until(&mut CentralRoundRobin::new(), 1_000, |c| {
+            fairness_witness_legit(&net, c)
+        });
+        assert!(run.converged);
+        // A lowest-index-first daemon starves the latches behind the
+        // always-enabled root spinner.
+        let mut sim = Simulation::from_initial(&net, FairnessWitness);
+        let run = sim.run_until(&mut CentralFixedPriority::new(), 1_000, |c| {
+            fairness_witness_legit(&net, c)
+        });
+        assert!(!run.converged);
     }
 
     #[test]

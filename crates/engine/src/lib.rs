@@ -51,6 +51,7 @@ pub mod sim;
 pub mod spec;
 pub mod store;
 
+pub use compose::{EnumerableLayer, Layered, LayeredAction, UpperLayer};
 pub use network::{Network, NodeCtx};
 pub use protocol::{
     apply_via_clone, ApplyProfile, Enumerable, LayerLayout, LayerTxn, NodeView, PortCache,
@@ -70,4 +71,7 @@ pub use store::{ConfigStore, DeltaTxn, ShardTxn};
 /// log-bucketed histograms, exact digests, and Chrome trace-event
 /// export.
 pub use sno_telemetry as telemetry;
-pub use sno_telemetry::{Counter, CounterMeter, ExchangeStats, Meter, Metric, NoopMeter, TraceBuffer};
+pub use sno_telemetry::{
+    Counter, CounterMeter, ExchangeBreakdown, ExchangeStats, ExploreStats, Meter, Metric,
+    NoopMeter, TraceBuffer,
+};

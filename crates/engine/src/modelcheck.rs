@@ -23,6 +23,18 @@
 //!   under the weakly fair round-robin central daemon by walking the
 //!   deterministic schedule from every `(configuration, cursor)` pair (the
 //!   check matching `DFTNO`'s weakly fair daemon assumption).
+//!
+//! # Retired — superseded by `sno-check`
+//!
+//! This serial checker is kept as the **reference semantics** for the
+//! fleet-parallel checker in the `sno-check` crate, which subsumes it:
+//! sharded parallel exploration, budgeted fault classes (corruption,
+//! crashes, topology events), per-daemon liveness verdicts, minimized
+//! counterexample traces, and deterministic JSON certificates. New code
+//! should call `sno_check::check`; this module's job is to pin the
+//! legacy verdicts in lockstep tests (`tests/modelcheck_lockstep.rs`)
+//! and nothing else. It intentionally remains compiled and tested so
+//! the reference never rots, but it gains no new features.
 
 use std::collections::HashMap;
 

@@ -97,7 +97,9 @@ use std::time::Instant;
 use rand::RngCore;
 use sno_fleet::WorkerPool;
 use sno_graph::{GraphError, NodeId, Partition, Port, TopologyEvent, TopologyRepair};
-use sno_telemetry::{Counter, ExchangeStats, Meter, Metric, NoopMeter, TraceBuffer};
+use sno_telemetry::{
+    Counter, ExchangeBreakdown, ExchangeStats, Meter, Metric, NoopMeter, TraceBuffer,
+};
 
 use crate::daemon::{Daemon, EnabledNode};
 use crate::network::Network;
@@ -358,6 +360,9 @@ pub struct Simulation<'a, P: Protocol, M: Meter = NoopMeter> {
     /// pass (diagnostic — partition-dependent, so deliberately *not* a
     /// [`Counter`]: meters stay schedule-independent).
     exchange_stats: ExchangeStats,
+    /// Boundary hand-offs received per destination shard (same
+    /// diagnostic caveat as `exchange_stats`).
+    exchange_per_shard: Vec<u64>,
     // --- Reusable buffers: campaign fleets (sno-lab) run millions of
     // steps per simulation object, so the hot path must not allocate. ---
     scratch_enabled: Vec<EnabledNode>,
@@ -486,6 +491,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
             shard_ports: Vec::new(),
             shard_touched: Vec::new(),
             exchange_stats: ExchangeStats::default(),
+            exchange_per_shard: Vec::new(),
             scratch_enabled: Vec::new(),
             scratch_actions: Vec::new(),
             scratch_node_mask: vec![false; n],
@@ -853,10 +859,8 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
         // sync-sharded steps run the serial port-dirty pass, dense ones
         // its shard-parallel counterpart — either way the o(Δ) port win
         // applies, which is what makes hub-heavy sharded rounds fast.
-        self.port_cache_active = matches!(
-            mode,
-            EngineMode::PortDirty | EngineMode::SyncSharded
-        ) && self.protocol.port_separable();
+        self.port_cache_active = matches!(mode, EngineMode::PortDirty | EngineMode::SyncSharded)
+            && self.protocol.port_separable();
         if self.port_cache_active && self.port_words.len() != self.net.graph().csr_len() {
             // First entry into port mode on this simulation: allocate the
             // cache arrays (off the hot path).
@@ -981,6 +985,17 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
     /// counters must stay byte-identical across shard counts).
     pub fn exchange_stats(&self) -> ExchangeStats {
         self.exchange_stats
+    }
+
+    /// [`Simulation::exchange_stats`] plus the per-destination-shard
+    /// boundary hand-off counts — the full phase-level picture of the
+    /// exchange phase (`sno-lab run --metrics` surfaces it). Same
+    /// diagnostic caveat: partition-dependent, never fed to a meter.
+    pub fn exchange_breakdown(&self) -> ExchangeBreakdown {
+        ExchangeBreakdown {
+            stats: self.exchange_stats,
+            per_shard: self.exchange_per_shard.clone(),
+        }
     }
 
     /// Overrides the writer/dirty-count threshold below which
@@ -1885,22 +1900,20 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                 )
                 .enumerate()
                 .map(
-                    |(s, ((((counts, full), (ports, words)), ks), (out, ends)))| {
-                        PortRefreshShard {
-                            ks,
-                            counts,
-                            full,
-                            chunk: PortChunk {
-                                ports,
-                                words,
-                                lo: bounds[s] as usize,
-                                csr_lo: csr_bounds[s],
-                            },
-                            out,
-                            ends,
-                            whole: 0,
-                            span: None,
-                        }
+                    |(s, ((((counts, full), (ports, words)), ks), (out, ends)))| PortRefreshShard {
+                        ks,
+                        counts,
+                        full,
+                        chunk: PortChunk {
+                            ports,
+                            words,
+                            lo: bounds[s] as usize,
+                            csr_lo: csr_bounds[s],
+                        },
+                        out,
+                        ends,
+                        whole: 0,
+                        span: None,
                     },
                 )
                 .collect();
@@ -1930,8 +1943,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                             let view = ConfigView::new(net, node, config);
                             let mut cache = PortCache::new(
                                 &mut it.chunk.ports[base - c_lo..base - c_lo + deg],
-                                &mut it.chunk.words
-                                    [(i - n_lo) * stride..(i - n_lo + 1) * stride],
+                                &mut it.chunk.words[(i - n_lo) * stride..(i - n_lo + 1) * stride],
                             );
                             it.counts[i - n_lo] = protocol.init_ports(&view, &mut cache);
                             it.full[i - n_lo] = epoch;
@@ -1964,8 +1976,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                     it.span = Some((t0, Instant::now()));
                 }
             });
-            self.meter
-                .add(Counter::SelfRefreshes, pending.len() as u64);
+            self.meter.add(Counter::SelfRefreshes, pending.len() as u64);
             let whole: u64 = items.iter().map(|it| it.whole).sum();
             self.meter.add(Counter::GuardEvals, whole);
             if let Some(tracer) = self.tracer.as_mut() {
@@ -2004,6 +2015,10 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                         local += 1;
                     } else {
                         boundary += 1;
+                        if self.exchange_per_shard.len() <= rs {
+                            self.exchange_per_shard.resize(rs + 1, 0);
+                        }
+                        self.exchange_per_shard[rs] += 1;
                     }
                     self.shard_ports[rs].push(packed);
                 }
@@ -2090,8 +2105,7 @@ impl<'a, P: Protocol, M: Meter> Simulation<'a, P, M> {
                             let view = ConfigView::new(net, node, config);
                             let mut cache = PortCache::new(
                                 &mut it.chunk.ports[base - c_lo..base - c_lo + deg],
-                                &mut it.chunk.words
-                                    [(u - n_lo) * stride..(u - n_lo + 1) * stride],
+                                &mut it.chunk.words[(u - n_lo) * stride..(u - n_lo + 1) * stride],
                             );
                             it.counts[u - n_lo] = protocol.init_ports(&view, &mut cache);
                             it.full[u - n_lo] = epoch;

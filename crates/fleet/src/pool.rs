@@ -103,7 +103,10 @@ impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("threads", &self.threads())
-            .field("spawned", &!self.handles.lock().map(|h| h.is_empty()).unwrap_or(true))
+            .field(
+                "spawned",
+                &!self.handles.lock().map(|h| h.is_empty()).unwrap_or(true),
+            )
             .finish()
     }
 }
@@ -307,7 +310,8 @@ impl Drop for WorkerPool {
             st.shutdown = true;
         }
         self.shared.work.notify_all();
-        let handles = std::mem::take(&mut *self.handles.lock().expect("pool handle store poisoned"));
+        let handles =
+            std::mem::take(&mut *self.handles.lock().expect("pool handle store poisoned"));
         for h in handles {
             let _ = h.join();
         }

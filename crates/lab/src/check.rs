@@ -1,0 +1,592 @@
+//! `sno-lab check`: command-line model checking over the repo's
+//! enumerable protocol stacks.
+//!
+//! The `sno-check` crate is generic in the protocol; this module is the
+//! **registry** that closes the loop for the CLI: each stack name pairs
+//! an [`Enumerable`] protocol constructor with its legitimacy predicate
+//! (the `L` of Definition 2.1.2), so a certificate run is one command:
+//!
+//! ```sh
+//! sno-lab check --stack hop --topology path --size 7 --liveness unfair
+//! sno-lab check --suite --threads 4 --shards 8 --json suite.json
+//! ```
+//!
+//! The **certificate suite** ([`cert_suite`]) is the bounded CI gate:
+//! seven cells covering every property kind the checker knows — closure,
+//! unfair and round-robin convergence, a budgeted corruption envelope,
+//! and a disconnecting [`TopologyEvent`] world chain — each with its
+//! expected verdicts pinned. The suite JSON ([`suite_json`]) is
+//! deterministic, so CI `cmp`s the artifact byte-for-byte across fleet
+//! thread and shard counts. States/second is printed to stdout only;
+//! no wall-clock value ever reaches the JSON.
+
+use std::time::Instant;
+
+use sno_check::{check, Certificate, CheckOptions, CheckSpec, FaultClass, Liveness, Seeds};
+use sno_engine::dijkstra::DijkstraRing;
+use sno_engine::examples::{hop_distance_legit, HopDistance};
+use sno_engine::{Enumerable, Network};
+use sno_fleet::WorkerPool;
+use sno_graph::{GeneratorSpec, NodeId, RootedTree, TopologyEvent};
+
+/// The stack names [`run_cell`] can instantiate.
+pub const STACKS: [&str; 7] = [
+    "hop",
+    "bfs-tree",
+    "cd-token",
+    "fixed-token",
+    "fairness-witness",
+    "dcd",
+    "dijkstra-ring",
+];
+
+/// One protocol × topology × regime cell to check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckCell {
+    /// Stack name (one of [`STACKS`]).
+    pub stack: String,
+    /// Topology family.
+    pub topology: GeneratorSpec,
+    /// Target node count.
+    pub size: usize,
+    /// Topology-instantiation seed.
+    pub graph_seed: u64,
+    /// Where exploration starts.
+    pub seeds: Seeds,
+    /// Which liveness analyses to run.
+    pub liveness: Liveness,
+    /// Fault classes explored as extra transitions.
+    pub faults: Vec<FaultClass>,
+}
+
+impl CheckCell {
+    fn new(stack: &str, topology: GeneratorSpec, size: usize) -> Self {
+        CheckCell {
+            stack: stack.into(),
+            topology,
+            size,
+            graph_seed: 0,
+            seeds: Seeds::AllConfigs,
+            liveness: Liveness::Both,
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// Parses a fault-class name: `corrupt`, `crash`, `link-fail:U-V`,
+/// `link-add:U-V` (node indices against the built topology).
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown classes or bad endpoints.
+pub fn parse_fault(s: &str) -> Result<FaultClass, String> {
+    match s {
+        "corrupt" => return Ok(FaultClass::Corrupt),
+        "crash" => return Ok(FaultClass::Crash),
+        _ => {}
+    }
+    let (kind, rest) = s
+        .split_once(':')
+        .ok_or_else(|| format!("unknown fault class `{s}`"))?;
+    let (u, v) = rest
+        .split_once('-')
+        .ok_or_else(|| format!("bad fault endpoints `{rest}` (want U-V)"))?;
+    let u: usize = u.parse().map_err(|_| format!("bad node index `{u}`"))?;
+    let v: usize = v.parse().map_err(|_| format!("bad node index `{v}`"))?;
+    let (u, v) = (NodeId::new(u), NodeId::new(v));
+    match kind {
+        "link-fail" => Ok(FaultClass::Topology(TopologyEvent::LinkFail { u, v })),
+        "link-add" => Ok(FaultClass::Topology(TopologyEvent::LinkAdd { u, v })),
+        other => Err(format!("unknown fault class `{other}`")),
+    }
+}
+
+/// Parses a seed-regime name (`all`, `legitimate`, `initial`).
+///
+/// # Errors
+///
+/// Returns a message naming the valid regimes otherwise.
+pub fn parse_seeds(s: &str) -> Result<Seeds, String> {
+    match s {
+        "all" => Ok(Seeds::AllConfigs),
+        "legitimate" => Ok(Seeds::Legitimate),
+        "initial" => Ok(Seeds::Initial),
+        other => Err(format!(
+            "unknown start regime `{other}` (expected all, legitimate, or initial)"
+        )),
+    }
+}
+
+/// Parses a liveness selection (`none`, `unfair`, `round-robin`, `both`).
+///
+/// # Errors
+///
+/// Returns a message naming the valid selections otherwise.
+pub fn parse_liveness(s: &str) -> Result<Liveness, String> {
+    match s {
+        "none" => Ok(Liveness::None),
+        "unfair" => Ok(Liveness::Unfair),
+        "round-robin" => Ok(Liveness::RoundRobin),
+        "both" => Ok(Liveness::Both),
+        other => Err(format!(
+            "unknown liveness `{other}` (expected none, unfair, round-robin, or both)"
+        )),
+    }
+}
+
+/// Stable display name of a liveness selection.
+pub fn liveness_name(l: Liveness) -> &'static str {
+    match l {
+        Liveness::None => "none",
+        Liveness::Unfair => "unfair",
+        Liveness::RoundRobin => "round-robin",
+        Liveness::Both => "both",
+    }
+}
+
+fn run_with<P: Enumerable>(
+    net: &Network,
+    protocol: &P,
+    legit: sno_check::PredFn<'_, P>,
+    cell: &CheckCell,
+    options: &CheckOptions,
+    pool: &WorkerPool,
+) -> Result<Certificate, String> {
+    let spec = CheckSpec {
+        protocol: cell.stack.clone(),
+        topology: format!("{}:{}", cell.topology, cell.size),
+        legit,
+        invariants: Vec::new(),
+        closure: true,
+        liveness: cell.liveness,
+        seeds: cell.seeds,
+        faults: cell.faults.clone(),
+    };
+    check(net, protocol, &spec, options, pool).map_err(|e| e.to_string())
+}
+
+/// Instantiates `cell`'s stack and runs the checker.
+///
+/// # Errors
+///
+/// Returns a message on unknown stacks, fault endpoints outside the
+/// topology, stack/topology mismatches (`dijkstra-ring` needs `ring`),
+/// or a state space over `options.limit`.
+pub fn run_cell(
+    cell: &CheckCell,
+    options: &CheckOptions,
+    pool: &WorkerPool,
+) -> Result<Certificate, String> {
+    let g = cell.topology.build(cell.size, cell.graph_seed);
+    let n = g.node_count();
+    for f in &cell.faults {
+        if let FaultClass::Topology(
+            TopologyEvent::LinkFail { u, v } | TopologyEvent::LinkAdd { u, v },
+        ) = f
+        {
+            if u.index() >= n || v.index() >= n {
+                return Err(format!(
+                    "fault `{f}` references a node outside the {n}-node topology"
+                ));
+            }
+        }
+    }
+    let root = NodeId::new(0);
+    match cell.stack.as_str() {
+        "hop" => {
+            let net = Network::new(g, root);
+            run_with(&net, &HopDistance, &hop_distance_legit, cell, options, pool)
+        }
+        "bfs-tree" => {
+            let net = Network::new(g, root);
+            run_with(
+                &net,
+                &sno_tree::BfsSpanningTree,
+                &sno_tree::bfs_legit,
+                cell,
+                options,
+                pool,
+            )
+        }
+        "cd-token" => {
+            let net = Network::new(g, root);
+            run_with(
+                &net,
+                &sno_token::CollinDolev,
+                &sno_token::cd::cd_legit,
+                cell,
+                options,
+                pool,
+            )
+        }
+        "fairness-witness" => {
+            let net = Network::new(g, root);
+            run_with(
+                &net,
+                &sno_engine::examples::FairnessWitness,
+                &sno_engine::examples::fairness_witness_legit,
+                cell,
+                options,
+                pool,
+            )
+        }
+        "fixed-token" => {
+            let dfs = sno_graph::traverse::first_dfs(&g, root);
+            let tree = RootedTree::from_parents(&g, root, &dfs.parent)
+                .map_err(|e| format!("fixed-token needs a spanning tree: {e:?}"))?;
+            let proto = sno_token::FixedTreeToken::from_graph(&g, &tree);
+            let net = Network::new(g, root);
+            let legit = |_: &Network, c: &[sno_token::tok::TokState]| proto.is_legitimate(c);
+            run_with(&net, &proto, &legit, cell, options, pool)
+        }
+        "dcd" => {
+            // No joins in the checked world chain, so the tight bound:
+            // dist saturates at n = "disconnected".
+            let net = Network::with_bound(g, root, n);
+            run_with(
+                &net,
+                &sno_core::dcd::Dcd,
+                &sno_core::dcd::dcd_legit,
+                cell,
+                options,
+                pool,
+            )
+        }
+        "dijkstra-ring" => {
+            if cell.topology != GeneratorSpec::Ring {
+                return Err("the dijkstra-ring stack needs `--topology ring`".into());
+            }
+            let net = Network::new(g, root);
+            let proto = DijkstraRing::on_ring(&net, net.node_count() as u32);
+            let legit = |net: &Network, c: &[u32]| proto.count_privileges(net, c) == 1;
+            run_with(&net, &proto, &legit, cell, options, pool)
+        }
+        other => Err(format!(
+            "unknown stack `{other}` (expected one of {})",
+            STACKS.join(", ")
+        )),
+    }
+}
+
+/// A certificate-suite cell with its expected verdicts, in certificate
+/// property order (closure, then unfair, then round-robin as enabled).
+#[derive(Debug, Clone)]
+pub struct SuiteCell {
+    /// The cell to check.
+    pub cell: CheckCell,
+    /// Expected `holds` per property.
+    pub expect: &'static [bool],
+}
+
+/// The bounded CI certificate suite.
+///
+/// Seven cells, one per property regime the checker supports:
+///
+/// 1. `hop` / `path:4` — the baseline: closure plus both convergences.
+/// 2. `bfs-tree` / `ring:3` — a cyclic topology (E11's triangle).
+/// 3. `cd-token` / `path:3` — the Collin–Dolev DFS words.
+/// 4. `fixed-token` / `star:4` — the never-silent token wave: both
+///    convergences hold on the star (the wave merges tokens under any
+///    central schedule here), certifying more than the legacy checker's
+///    round-robin-only E11 verdict.
+/// 5. `fairness-witness` / `star:3` — the **fairness split**: closure
+///    holds, the unfair daemon starves a latch behind the root spinner
+///    (expected `fail`, with a lasso counterexample in the certificate),
+///    and the weakly fair round-robin daemon converges — exactly the
+///    daemon distinction the paper draws between `DFTNO` and `STNO`.
+/// 6. `dcd` / `path:4` + `link-fail:2-3` — a **disconnecting** topology
+///    world chain; legitimacy is world-aware (severed processors must
+///    saturate at the sentinel).
+/// 7. `hop` / `star:5` + `corrupt` from the legitimate set — the
+///    budgeted fault-reachable envelope.
+pub fn cert_suite() -> Vec<SuiteCell> {
+    let mut dcd = CheckCell::new("dcd", GeneratorSpec::Path, 4);
+    dcd.liveness = Liveness::Unfair;
+    dcd.faults = vec![FaultClass::Topology(TopologyEvent::LinkFail {
+        u: NodeId::new(2),
+        v: NodeId::new(3),
+    })];
+    let mut envelope = CheckCell::new("hop", GeneratorSpec::Star, 5);
+    envelope.seeds = Seeds::Legitimate;
+    envelope.liveness = Liveness::Unfair;
+    envelope.faults = vec![FaultClass::Corrupt];
+    vec![
+        SuiteCell {
+            cell: CheckCell::new("hop", GeneratorSpec::Path, 4),
+            expect: &[true, true, true],
+        },
+        SuiteCell {
+            cell: CheckCell::new("bfs-tree", GeneratorSpec::Ring, 3),
+            expect: &[true, true, true],
+        },
+        SuiteCell {
+            cell: CheckCell::new("cd-token", GeneratorSpec::Path, 3),
+            expect: &[true, true, true],
+        },
+        SuiteCell {
+            cell: CheckCell::new("fixed-token", GeneratorSpec::Star, 4),
+            expect: &[true, true, true],
+        },
+        SuiteCell {
+            cell: CheckCell::new("fairness-witness", GeneratorSpec::Star, 3),
+            expect: &[true, false, true],
+        },
+        SuiteCell {
+            cell: dcd,
+            expect: &[true, true],
+        },
+        SuiteCell {
+            cell: envelope,
+            expect: &[true, true],
+        },
+    ]
+}
+
+/// Renders a deterministic `sno-check-suite/v1` JSON document embedding
+/// each certificate verbatim — the CI `cmp` artifact.
+pub fn suite_json(certs: &[Certificate]) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n\"schema\": \"sno-check-suite/v1\",\n\"certificates\": [\n");
+    for (i, c) in certs.iter().enumerate() {
+        s.push_str(c.to_json().trim_end());
+        if i + 1 < certs.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Parsed arguments of `sno-lab check`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckArgs {
+    /// Run the pinned [`cert_suite`] instead of a single cell.
+    pub suite: bool,
+    /// The single cell (`None` iff `suite`).
+    pub cell: Option<CheckCell>,
+    /// Fleet threads (`None` = available parallelism).
+    pub threads: Option<usize>,
+    /// Checker tuning (`threads` is overwritten at run time).
+    pub options: CheckOptions,
+    /// Write the certificate (or suite document) here.
+    pub json: Option<String>,
+}
+
+fn render_cell_header(cell: &CheckCell, cert: &Certificate, secs: f64) -> String {
+    let faults = if cert.faults.is_empty() {
+        String::new()
+    } else {
+        format!(", faults {}", cert.faults.join("+"))
+    };
+    let rate = if secs > 0.0 {
+        (cert.states as f64 / secs) as u64
+    } else {
+        0
+    };
+    format!(
+        "{} on {} [{}, {}{}]: {} states, {} transitions ({} fault), \
+         {} legitimate, diameter {} — {} states/s",
+        cell.stack,
+        cert.topology,
+        cert.seeds,
+        liveness_name(cell.liveness),
+        faults,
+        cert.states,
+        cert.transitions,
+        cert.fault_transitions,
+        cert.legitimate,
+        cert.diameter,
+        rate
+    )
+}
+
+fn render_properties(cert: &Certificate) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for p in &cert.properties {
+        let _ = writeln!(
+            out,
+            "  {:<24} ({:<11}) {}",
+            p.name,
+            p.daemon,
+            if p.holds { "pass" } else { "FAIL" }
+        );
+    }
+    out
+}
+
+/// Runs a parsed `sno-lab check` invocation, printing per-cell verdict
+/// blocks (and a states/second telemetry figure — stdout only, never
+/// JSON). Returns the process exit code: `0` when every verdict matches
+/// (suite) or every property holds (single cell), `1` otherwise.
+pub fn run_check_command(args: &CheckArgs) -> i32 {
+    let threads = args.threads.unwrap_or_else(crate::fleet::default_threads);
+    let pool = WorkerPool::new(threads);
+    let mut options = args.options;
+    options.threads = threads;
+    println!(
+        "sno-check | threads: {} | shards: {} | budget: {}",
+        threads, options.shards, options.fault_budget
+    );
+    if args.suite {
+        let mut certs = Vec::new();
+        let mut mismatches = Vec::new();
+        for sc in cert_suite() {
+            let started = Instant::now();
+            let cert = match run_cell(&sc.cell, &options, &pool) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", sc.cell.stack);
+                    return 1;
+                }
+            };
+            println!(
+                "{}",
+                render_cell_header(&sc.cell, &cert, started.elapsed().as_secs_f64())
+            );
+            print!("{}", render_properties(&cert));
+            let got: Vec<bool> = cert.properties.iter().map(|p| p.holds).collect();
+            if got != sc.expect {
+                mismatches.push(format!(
+                    "{} on {}: expected verdicts {:?}, got {:?}",
+                    sc.cell.stack, cert.topology, sc.expect, got
+                ));
+            }
+            certs.push(cert);
+        }
+        if let Some(path) = &args.json {
+            if let Err(e) = std::fs::write(path, suite_json(&certs)) {
+                eprintln!("error: cannot write suite JSON to `{path}`: {e}");
+                return 1;
+            }
+            println!("suite certificates written to {path}");
+        }
+        if mismatches.is_empty() {
+            println!("cert-suite: {} cells, all verdicts as pinned", certs.len());
+            0
+        } else {
+            for m in &mismatches {
+                eprintln!("error: verdict drift: {m}");
+            }
+            1
+        }
+    } else {
+        let cell = args
+            .cell
+            .as_ref()
+            .expect("non-suite invocations carry a cell");
+        let started = Instant::now();
+        let cert = match run_cell(cell, &options, &pool) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        println!(
+            "{}",
+            render_cell_header(cell, &cert, started.elapsed().as_secs_f64())
+        );
+        print!("{}", render_properties(&cert));
+        if let Some(path) = &args.json {
+            if let Err(e) = std::fs::write(path, cert.to_json()) {
+                eprintln!("error: cannot write certificate to `{path}`: {e}");
+                return 1;
+            }
+            println!("certificate written to {path}");
+        }
+        i32::from(!cert.all_hold())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(threads: usize, shards: usize) -> CheckOptions {
+        CheckOptions {
+            threads,
+            shards,
+            ..CheckOptions::default()
+        }
+    }
+
+    #[test]
+    fn fault_grammar_round_trips() {
+        assert_eq!(parse_fault("corrupt").unwrap(), FaultClass::Corrupt);
+        assert_eq!(parse_fault("crash").unwrap(), FaultClass::Crash);
+        let f = parse_fault("link-fail:2-3").unwrap();
+        assert_eq!(f.to_string(), "link-fail:2-3");
+        let f = parse_fault("link-add:0-4").unwrap();
+        assert_eq!(f.to_string(), "link-add:0-4");
+        assert!(parse_fault("meteor").is_err());
+        assert!(parse_fault("link-fail:2").is_err());
+        assert!(parse_fault("link-fail:a-b").is_err());
+    }
+
+    #[test]
+    fn cell_errors_are_reported_not_panicked() {
+        let pool = WorkerPool::new(1);
+        let mut cell = CheckCell::new("warp", GeneratorSpec::Path, 3);
+        let e = run_cell(&cell, &opts(1, 1), &pool).unwrap_err();
+        assert!(e.contains("unknown stack"), "{e}");
+        cell.stack = "dijkstra-ring".into();
+        let e = run_cell(&cell, &opts(1, 1), &pool).unwrap_err();
+        assert!(e.contains("ring"), "{e}");
+        cell.stack = "hop".into();
+        cell.faults = vec![parse_fault("link-fail:2-9").unwrap()];
+        let e = run_cell(&cell, &opts(1, 1), &pool).unwrap_err();
+        assert!(e.contains("outside"), "{e}");
+    }
+
+    #[test]
+    fn certificates_are_byte_identical_across_threads_and_shards() {
+        let cell = CheckCell::new("hop", GeneratorSpec::Path, 3);
+        let pool1 = WorkerPool::new(1);
+        let pool4 = WorkerPool::new(4);
+        let base = run_cell(&cell, &opts(1, 1), &pool1).unwrap().to_json();
+        for (pool, shards) in [(&pool1, 5), (&pool4, 1), (&pool4, 8)] {
+            let cert = run_cell(&cell, &opts(4, shards), pool).unwrap();
+            assert_eq!(cert.to_json(), base, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn cert_suite_verdicts_match_their_pins() {
+        let pool = WorkerPool::new(4);
+        let mut certs = Vec::new();
+        for sc in cert_suite() {
+            let cert = run_cell(&sc.cell, &opts(4, 4), &pool)
+                .unwrap_or_else(|e| panic!("{}: {e}", sc.cell.stack));
+            let got: Vec<bool> = cert.properties.iter().map(|p| p.holds).collect();
+            assert_eq!(got, sc.expect, "{} on {}", sc.cell.stack, cert.topology);
+            certs.push(cert);
+        }
+        // The fairness split is present: one liveness property fails
+        // under the unfair daemon while round-robin passes on the same
+        // cell, and the failing one carries a replayable lasso.
+        let split = &certs[4];
+        let unfair = split
+            .properties
+            .iter()
+            .find(|p| p.daemon == "unfair")
+            .unwrap();
+        assert!(!unfair.holds);
+        let cx = unfair.counterexample.as_ref().unwrap();
+        assert!(cx.deadlock || !cx.cycle.is_empty());
+        assert!(split
+            .properties
+            .iter()
+            .any(|p| p.daemon == "round-robin" && p.holds));
+        // The disconnecting world chain is present and explored.
+        assert_eq!(certs[5].worlds.len(), 2);
+        assert!(certs[5].fault_transitions > 0);
+        // The suite document embeds every certificate and is a pure
+        // function of the verdicts.
+        let doc = suite_json(&certs);
+        assert!(doc.starts_with("{\n\"schema\": \"sno-check-suite/v1\""));
+        assert_eq!(doc.matches("\"schema\": \"sno-check/v1\"").count(), 7);
+        assert_eq!(doc, suite_json(&certs));
+    }
+}

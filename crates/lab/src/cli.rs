@@ -19,6 +19,7 @@ use std::str::FromStr;
 
 use sno_graph::GeneratorSpec;
 
+use crate::check::{CheckArgs, CheckCell};
 use crate::matrix::ScenarioMatrix;
 use crate::runner::{
     engine_mode_label, run_campaign_with_options, trace_first_cell, EngineOptions,
@@ -30,6 +31,9 @@ use crate::spec::{DaemonSpec, FaultPlan, ProtocolSpec};
 pub enum Command {
     /// `sno-lab run …`: execute a campaign.
     Run(Box<RunArgs>),
+    /// `sno-lab check …`: run the model checker on one cell or the
+    /// pinned certificate suite.
+    Check(Box<CheckArgs>),
     /// `sno-lab list`: print the known coordinate names.
     List,
     /// `sno-lab help` / `--help`.
@@ -62,6 +66,13 @@ USAGE:
     sno-lab churn [OPTIONS]   execute the churn preset (recovery cost vs. churn
                               rate; hubs + random-tree, stno/bfs-tree, 32 seeds);
                               accepts the run options as overrides
+    sno-lab churn --any       unrestricted churn: failing links may be bridges
+                              (disconnecting), the dcd detector stack rides it,
+                              and the report adds a detection-latency table
+    sno-lab check [OPTIONS]   model-check one enumerable stack exhaustively and
+                              print its certificate verdicts
+    sno-lab check --suite     run the pinned certificate suite (the CI gate);
+                              exit 1 on any verdict drift
     sno-lab list              print every known topology/protocol/daemon name
     sno-lab help              show this text
 
@@ -79,8 +90,10 @@ RUN OPTIONS (comma-separated lists):
                             node-crash@S restart a non-root processor after S steps
                             node-join@S  a fresh processor joins after S steps
                             churn:R:SEED R add+fail windows after convergence
-                          (topology plans require stno/bfs-tree or
-                           stno/cd-dfs-tree)
+                            churn-any:R:SEED like churn, but the failing link
+                                         may be a bridge (requires dcd)
+                          (topology plans require stno/bfs-tree,
+                           stno/cd-dfs-tree, or dcd)
     --seeds START:COUNT   seed range                       [default: 0:8]
     --graph-seed N        topology-instantiation seed
     --max-steps N         per-run step budget
@@ -94,6 +107,26 @@ RUN OPTIONS (comma-separated lists):
     --trace PATH          write a Chrome trace-event JSON (Perfetto-loadable) of the
                           first cell's first seed, re-run under the sharded
                           synchronous executor with one lane per shard
+
+CHECK OPTIONS:
+    --stack NAME          enumerable stack: hop, bfs-tree, cd-token, fixed-token,
+                          fairness-witness, dcd, dijkstra-ring
+                          (required unless --suite)
+    --topology FAMILY     topology family, e.g. path, ring, star (required)
+    --size N              node count (required)
+    --graph-seed N        topology-instantiation seed        [default: 0]
+    --start REGIME        exploration seeds: all|legitimate|initial [default: all]
+    --liveness WHICH      none|unfair|round-robin|both       [default: both]
+    --faults LIST         fault classes explored as transitions:
+                          corrupt, crash, link-fail:U-V, link-add:U-V
+    --budget K            corrupt/crash transitions per execution [default: 1]
+    --limit N             per-world configuration limit      [default: 4194304]
+    --threads N           fleet threads                      [default: all cores]
+    --shards N            seen-set shards                    [default: 1]
+    --json PATH           write the certificate (or suite document) to PATH
+
+Certificates are byte-identical for every --threads/--shards choice; the
+states/second figure is printed to stdout only, never written to JSON.
 
 Reports are byte-identical for every --mode/--shards/--threads choice;
 the flags only change what a step costs. Metrics are deterministic too:
@@ -126,14 +159,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     match sub {
         "help" | "--help" | "-h" => return Ok(Command::Help),
         "list" => return Ok(Command::List),
+        "check" => return parse_check(&args[1..]),
         "run" | "churn" => {}
         other => return Err(format!("unknown subcommand `{other}`")),
     }
 
     // `churn` starts from the preset matrix (so every dimension has a
-    // value) and accepts the same flags as overrides.
+    // value) and accepts the same flags as overrides. `--any` swaps in
+    // the unrestricted-churn preset (bridge links may fail, the `dcd`
+    // detector stack, detection-latency reporting); resolved before the
+    // flag loop so later overrides still apply on top.
     let preset = sub == "churn";
-    let mut matrix = if preset {
+    let any = args.iter().any(|a| a == "--any");
+    if any && !preset {
+        return Err("`--any` is only valid with the `churn` subcommand".into());
+    }
+    let mut matrix = if any {
+        crate::matrix::churn_any_preset()
+    } else if preset {
         crate::matrix::churn_preset()
     } else {
         ScenarioMatrix::new("cli")
@@ -236,6 +279,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 engine.metrics = true;
             }
             "--trace" => trace = Some(value()?),
+            "--any" => {
+                // Already resolved by the pre-scan above.
+                if inline.is_some() {
+                    return Err("`--any` takes no value".into());
+                }
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -267,6 +316,130 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         engine,
         json,
         trace,
+    })))
+}
+
+/// Parses the flags of `sno-lab check` (everything after the
+/// subcommand word).
+fn parse_check(args: &[String]) -> Result<Command, String> {
+    let mut suite = false;
+    let mut stack = None;
+    let mut topology = None;
+    let mut size = None;
+    let mut graph_seed = 0;
+    let mut seeds = sno_check::Seeds::AllConfigs;
+    let mut liveness = sno_check::Liveness::Both;
+    let mut faults = Vec::new();
+    let mut threads = None;
+    let mut options = sno_check::CheckOptions::default();
+    let mut json = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let (flag, inline) = match flag.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (flag.as_str(), None),
+        };
+        let mut value = || -> Result<String, String> {
+            match &inline {
+                Some(v) => Ok(v.clone()),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("`{flag}` needs a value")),
+            }
+        };
+        match flag {
+            "--suite" => {
+                if inline.is_some() {
+                    return Err("`--suite` takes no value".into());
+                }
+                suite = true;
+            }
+            "--stack" => stack = Some(value()?),
+            "--topology" => {
+                let v = value()?;
+                topology = Some(
+                    v.parse::<GeneratorSpec>()
+                        .map_err(|e| format!("bad topology: {e}"))?,
+                );
+            }
+            "--size" => {
+                let v = value()?;
+                size = Some(v.parse::<usize>().map_err(|_| format!("bad size `{v}`"))?);
+            }
+            "--graph-seed" => {
+                let v = value()?;
+                graph_seed = v.parse().map_err(|_| format!("bad graph seed `{v}`"))?;
+            }
+            "--start" => seeds = crate::check::parse_seeds(&value()?)?,
+            "--liveness" => liveness = crate::check::parse_liveness(&value()?)?,
+            "--faults" => {
+                let v = value()?;
+                faults = v
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(crate::check::parse_fault)
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--budget" => {
+                let v = value()?;
+                options.fault_budget = v.parse().map_err(|_| format!("bad fault budget `{v}`"))?;
+            }
+            "--limit" => {
+                let v = value()?;
+                options.limit = v.parse().map_err(|_| format!("bad state limit `{v}`"))?;
+            }
+            "--threads" => {
+                let v = value()?;
+                let t: usize = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                if t == 0 {
+                    return Err("`--threads` must be at least 1".into());
+                }
+                threads = Some(t);
+            }
+            "--shards" => {
+                let v = value()?;
+                let k: usize = v.parse().map_err(|_| format!("bad shard count `{v}`"))?;
+                if k == 0 {
+                    return Err("`--shards` must be at least 1".into());
+                }
+                options.shards = k;
+            }
+            "--json" => json = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let cell = if suite {
+        if stack.is_some() || topology.is_some() || size.is_some() {
+            return Err("`--suite` runs the pinned cells; drop --stack/--topology/--size".into());
+        }
+        None
+    } else {
+        let stack = stack.ok_or("missing required --stack (or use --suite)")?;
+        let topology = topology.ok_or("missing required --topology")?;
+        let size = size.ok_or("missing required --size")?;
+        if !crate::check::STACKS.contains(&stack.as_str()) {
+            return Err(format!(
+                "unknown stack `{stack}` (expected one of {})",
+                crate::check::STACKS.join(", ")
+            ));
+        }
+        Some(CheckCell {
+            stack,
+            topology,
+            size,
+            graph_seed,
+            seeds,
+            liveness,
+            faults,
+        })
+    };
+    Ok(Command::Check(Box::new(CheckArgs {
+        suite,
+        cell,
+        threads,
+        options,
+        json,
     })))
 }
 
@@ -304,6 +477,14 @@ pub fn coordinate_listing() -> String {
     );
     let _ = writeln!(out, "  node-join@S   a fresh processor joins after S steps");
     let _ = writeln!(out, "  churn:R:SEED  R add+fail windows after convergence");
+    let _ = writeln!(
+        out,
+        "  churn-any:R:SEED like churn, but may fail bridges (requires dcd)"
+    );
+    let _ = writeln!(out, "check stacks (enumerable, for `sno-lab check`):");
+    for s in crate::check::STACKS {
+        let _ = writeln!(out, "  {s}");
+    }
     out
 }
 
@@ -326,6 +507,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
             print!("{}", coordinate_listing());
             0
         }
+        Command::Check(check) => crate::check::run_check_command(&check),
         Command::Run(run) => {
             let threads = run.threads.unwrap_or_else(crate::fleet::default_threads);
             // Cross-mode campaign diffs in CI compare these reports; the
@@ -579,6 +761,86 @@ mod tests {
         assert_eq!(run.matrix.sizes, vec![12]);
         assert_eq!(run.threads, Some(3));
         assert_eq!(run.matrix.name, "churn");
+    }
+
+    #[test]
+    fn churn_any_flag_swaps_in_the_disconnecting_preset() {
+        let cmd = parse_args(&args("churn --any")).unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(run.matrix, crate::matrix::churn_any_preset());
+        run.matrix.validate().unwrap();
+        assert!(run
+            .matrix
+            .faults
+            .iter()
+            .all(|f| matches!(f, FaultPlan::ChurnAny { .. })));
+        assert_eq!(run.matrix.protocols, vec![ProtocolSpec::Dcd]);
+
+        // Overrides still apply on top, in either flag order.
+        let cmd = parse_args(&args("churn --seeds 0:2 --any --sizes 12")).unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(run.matrix.name, "churn-any");
+        assert_eq!(run.matrix.seeds_per_cell, 2);
+        assert_eq!(run.matrix.sizes, vec![12]);
+
+        // Outside `churn` the flag is rejected.
+        assert!(parse_args(&args("run --any"))
+            .unwrap_err()
+            .contains("churn"));
+    }
+
+    #[test]
+    fn parses_check_invocations() {
+        let cmd = parse_args(&args(
+            "check --stack dcd --topology path --size 4 --start legitimate \
+             --liveness unfair --faults corrupt,link-fail:2-3 --budget 2 \
+             --limit 100000 --threads 4 --shards 8 --json cert.json",
+        ))
+        .unwrap();
+        let Command::Check(check) = cmd else {
+            panic!("expected check");
+        };
+        assert!(!check.suite);
+        assert_eq!(check.threads, Some(4));
+        assert_eq!(check.options.shards, 8);
+        assert_eq!(check.options.fault_budget, 2);
+        assert_eq!(check.options.limit, 100_000);
+        assert_eq!(check.json.as_deref(), Some("cert.json"));
+        let cell = check.cell.unwrap();
+        assert_eq!(cell.stack, "dcd");
+        assert_eq!(cell.topology, GeneratorSpec::Path);
+        assert_eq!(cell.size, 4);
+        assert_eq!(cell.seeds, sno_check::Seeds::Legitimate);
+        assert_eq!(cell.liveness, sno_check::Liveness::Unfair);
+        assert_eq!(cell.faults.len(), 2);
+
+        let cmd = parse_args(&args("check --suite --threads 2")).unwrap();
+        let Command::Check(check) = cmd else {
+            panic!("expected check");
+        };
+        assert!(check.suite);
+        assert_eq!(check.cell, None);
+
+        let e = parse_args(&args("check --topology ring --size 5")).unwrap_err();
+        assert!(e.contains("--stack"), "{e}");
+        let e = parse_args(&args("check --stack warp --topology ring --size 5")).unwrap_err();
+        assert!(e.contains("warp"), "{e}");
+        let e = parse_args(&args("check --suite --stack hop")).unwrap_err();
+        assert!(e.contains("--suite"), "{e}");
+        let e = parse_args(&args(
+            "check --stack hop --topology ring --size 5 --faults asteroid",
+        ))
+        .unwrap_err();
+        assert!(e.contains("asteroid"), "{e}");
+        let e = parse_args(&args(
+            "check --stack hop --topology ring --size 5 --liveness sometimes",
+        ))
+        .unwrap_err();
+        assert!(e.contains("sometimes"), "{e}");
     }
 
     #[test]

@@ -185,6 +185,9 @@ impl ScenarioMatrix {
                 FaultPlan::Churn { rate: 0, .. } => {
                     return Err("fault plan `churn:0:_` perturbs nothing — use `none`".into());
                 }
+                FaultPlan::ChurnAny { rate: 0, .. } => {
+                    return Err("fault plan `churn-any:0:_` perturbs nothing — use `none`".into());
+                }
                 _ => {}
             }
         }
@@ -197,13 +200,30 @@ impl ScenarioMatrix {
                     p,
                     ProtocolSpec::Stno(crate::spec::TreeSubstrate::Bfs)
                         | ProtocolSpec::Stno(crate::spec::TreeSubstrate::CdDfs)
+                        | ProtocolSpec::Dcd
                 )
             });
             if let Some(p) = stale {
                 return Err(format!(
                     "topology-mutating fault plans require a fully self-stabilizing stack \
-                     (stno/bfs-tree or stno/cd-dfs-tree); `{p}` precomputes structure from \
-                     the initial graph"
+                     (stno/bfs-tree, stno/cd-dfs-tree, or dcd); `{p}` precomputes structure \
+                     from the initial graph"
+                ));
+            }
+        }
+        if self.faults.iter().any(FaultPlan::may_disconnect) {
+            // A disconnecting plan voids the connected-rooted-network
+            // premise of the orientation stacks; only the
+            // disconnection-aware detector has a specification (and a
+            // legitimacy predicate) that covers a severed component.
+            if let Some(p) = self
+                .protocols
+                .iter()
+                .find(|p| !matches!(p, ProtocolSpec::Dcd))
+            {
+                return Err(format!(
+                    "disconnecting fault plans (churn-any) require the disconnection-aware \
+                     `dcd` stack; `{p}`'s specification presumes a connected rooted network"
                 ));
             }
         }
@@ -249,6 +269,45 @@ pub fn churn_preset() -> ScenarioMatrix {
                 seed: 0xC0DE,
             },
             FaultPlan::Churn {
+                rate: 8,
+                seed: 0xC0DE,
+            },
+        ])
+        .seeds(0, 32)
+        .max_steps(2_000_000)
+}
+
+/// The unrestricted-churn preset behind `sno-lab churn --any`: recovery
+/// and **detection latency** under churn that may disconnect.
+///
+/// Like [`churn_preset`], but every window's failing link is drawn from
+/// all links — bridges included — so a perturbation can sever processors
+/// from the root. Only the disconnection-aware `dcd` stack rides it; the
+/// report gains a detection-latency summary (daemon steps until every
+/// severed processor's detector saturates) next to the recovery
+/// statistics. The hub-and-spoke family keeps bridges plentiful, and the
+/// random-tree family makes *every* link a bridge, so the two columns
+/// bracket the mild and the worst case.
+pub fn churn_any_preset() -> ScenarioMatrix {
+    ScenarioMatrix::new("churn-any")
+        .topologies([GeneratorSpec::Hubs { hubs: 3 }, GeneratorSpec::RandomTree])
+        .sizes([16])
+        .protocols([ProtocolSpec::Dcd])
+        .daemons([DaemonSpec::Distributed])
+        .faults([
+            FaultPlan::ChurnAny {
+                rate: 1,
+                seed: 0xC0DE,
+            },
+            FaultPlan::ChurnAny {
+                rate: 2,
+                seed: 0xC0DE,
+            },
+            FaultPlan::ChurnAny {
+                rate: 4,
+                seed: 0xC0DE,
+            },
+            FaultPlan::ChurnAny {
                 rate: 8,
                 seed: 0xC0DE,
             },
@@ -338,6 +397,33 @@ mod tests {
             .faults([FaultPlan::Churn { rate: 0, seed: 1 }])
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn disconnecting_plans_require_the_dcd_stack() {
+        let base = ScenarioMatrix::new("any")
+            .topologies([GeneratorSpec::RandomTree])
+            .sizes([10])
+            .daemons([DaemonSpec::Distributed])
+            .faults([FaultPlan::ChurnAny { rate: 2, seed: 1 }]);
+        // Even the fully self-stabilizing orientation stacks are barred:
+        // their specifications presume a connected rooted network.
+        let e = base
+            .clone()
+            .protocols([ProtocolSpec::Stno(TreeSubstrate::Bfs)])
+            .validate()
+            .unwrap_err();
+        assert!(e.contains("dcd"), "{e}");
+        base.clone()
+            .protocols([ProtocolSpec::Dcd])
+            .validate()
+            .unwrap();
+        assert!(base
+            .protocols([ProtocolSpec::Dcd])
+            .faults([FaultPlan::ChurnAny { rate: 0, seed: 1 }])
+            .validate()
+            .is_err());
+        churn_any_preset().validate().unwrap();
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use sno_telemetry::{Counter, CounterMeter, Histogram, Metric};
+use sno_telemetry::{Counter, CounterMeter, ExchangeBreakdown, Histogram, Metric};
 
 use crate::matrix::ScenarioMatrix;
 use crate::runner::CellOutcome;
@@ -55,6 +55,11 @@ pub struct CellReport {
     pub recovery_steps: Option<Summary>,
     /// Rounds of re-convergence.
     pub recovery_rounds: Option<Summary>,
+    /// Detection latency of disconnecting plans (`churn-any`): daemon
+    /// steps per run (summed over its perturbation windows) until every
+    /// severed processor's detector flagged the cut. `None` for every
+    /// other fault plan, keeping their reports byte-identical.
+    pub detection_steps: Option<Summary>,
     /// Deterministic engine counters and per-step histograms summed over
     /// every run of the cell. `None` unless the campaign ran with
     /// metrics collection ([`EngineOptions::metrics`]); absent metrics
@@ -63,6 +68,13 @@ pub struct CellReport {
     ///
     /// [`EngineOptions::metrics`]: crate::runner::EngineOptions
     pub metrics: Option<CounterMeter>,
+    /// Sharded-executor boundary traffic (ports handed across shard
+    /// boundaries per exchange phase, with per-destination-shard
+    /// counts). Present only for metered campaigns whose cells actually
+    /// ran the sharded executor and crossed a boundary; a
+    /// partition-dependent diagnostic, deterministic for a fixed mode
+    /// and shard count.
+    pub exchange: Option<ExchangeBreakdown>,
 }
 
 impl CellReport {
@@ -84,6 +96,7 @@ impl CellReport {
         let mut rec_moves: Vec<u64> = recoveries.iter().map(|r| r.moves).collect();
         let mut rec_steps: Vec<u64> = recoveries.iter().map(|r| r.steps).collect();
         let mut rec_rounds: Vec<u64> = recoveries.iter().map(|r| r.rounds).collect();
+        let mut detections: Vec<u64> = outcome.runs.iter().filter_map(|r| r.detection).collect();
 
         CellReport {
             topology: outcome.cell.topology.to_string(),
@@ -107,7 +120,9 @@ impl CellReport {
             recovery_moves: Summary::from_samples(&mut rec_moves),
             recovery_steps: Summary::from_samples(&mut rec_steps),
             recovery_rounds: Summary::from_samples(&mut rec_rounds),
+            detection_steps: Summary::from_samples(&mut detections),
             metrics: outcome.metrics.clone(),
+            exchange: outcome.exchange.clone(),
         }
     }
 }
@@ -165,6 +180,23 @@ impl CampaignReport {
         acc
     }
 
+    /// Exact merge of every cell's exchange breakdown, or `None` when no
+    /// cell crossed a shard boundary (unmetered campaigns, serial
+    /// modes). Element-wise `u64` addition, so the total is independent
+    /// of cell order and chunking.
+    pub fn merged_exchange(&self) -> Option<ExchangeBreakdown> {
+        let mut acc: Option<ExchangeBreakdown> = None;
+        for cell in &self.cells {
+            if let Some(b) = &cell.exchange {
+                match acc.as_mut() {
+                    Some(a) => a.merge(b),
+                    None => acc = Some(b.clone()),
+                }
+            }
+        }
+        acc
+    }
+
     /// Renders the `sno-lab/v1` JSON document.
     ///
     /// Campaigns run without metrics collection produce exactly the
@@ -183,6 +215,9 @@ impl CampaignReport {
         w.array_field("cells", self.cells.iter().map(cell_json));
         if let Some(m) = self.merged_metrics() {
             w.raw_field("metrics", &metrics_json(&m));
+        }
+        if let Some(b) = self.merged_exchange() {
+            w.raw_field("exchange", &exchange_json(&b));
         }
         w.close_object();
         w.finish()
@@ -236,6 +271,34 @@ impl CampaignReport {
                 p(&c.rounds, |s| s.p50),
             );
         }
+        // Disconnecting churn gets its own table: the detection-latency
+        // column only exists for `churn-any` cells, and the main
+        // table's shape stays stable.
+        if self.cells.iter().any(|c| c.detection_steps.is_some()) {
+            let _ = writeln!(out, "\n### Detection latency (disconnecting churn)\n");
+            let _ = writeln!(
+                out,
+                "| topology | n | protocol | daemon | fault | detected | steps p50 | steps p95 | steps max |"
+            );
+            let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+            for c in self.cells.iter().filter(|c| c.detection_steps.is_some()) {
+                let d = c.detection_steps.as_ref().expect("filtered to Some");
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {}/{} | {} | {} | {} |",
+                    c.topology,
+                    c.nodes,
+                    c.protocol,
+                    c.daemon,
+                    c.fault,
+                    d.count,
+                    c.runs,
+                    d.p50,
+                    d.p95,
+                    d.max,
+                );
+            }
+        }
         // Metered campaigns get a second table rather than wider rows:
         // the main table's shape is stable whether metrics ran or not.
         if self.cells.iter().any(|c| c.metrics.is_some()) {
@@ -270,6 +333,40 @@ impl CampaignReport {
                     m.get(Counter::StagePrecopies),
                     q(50),
                     q(95),
+                );
+            }
+        }
+        if self.cells.iter().any(|c| c.exchange.is_some()) {
+            let _ = writeln!(out, "\n### Exchange boundary traffic (sharded executor)\n");
+            let _ = writeln!(
+                out,
+                "| topology | n | protocol | daemon | exchanges | local ports | boundary ports | \
+                 ports/exchange | per-shard |"
+            );
+            let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+            for c in self.cells.iter().filter(|c| c.exchange.is_some()) {
+                let b = c.exchange.as_ref().expect("filtered to Some");
+                let per_exchange = if b.stats.exchanges == 0 {
+                    "—".to_string()
+                } else {
+                    format!(
+                        "{:.1}",
+                        b.stats.boundary_ports as f64 / b.stats.exchanges as f64
+                    )
+                };
+                let shards: Vec<String> = b.per_shard.iter().map(|v| v.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                    c.topology,
+                    c.nodes,
+                    c.protocol,
+                    c.daemon,
+                    b.stats.exchanges,
+                    b.stats.local_ports,
+                    b.stats.boundary_ports,
+                    per_exchange,
+                    shards.join(" "),
                 );
             }
         }
@@ -343,9 +440,30 @@ fn cell_json(c: &CellReport) -> String {
     w.raw_field("recovery_moves", &summary_json(&c.recovery_moves));
     w.raw_field("recovery_steps", &summary_json(&c.recovery_steps));
     w.raw_field("recovery_rounds", &summary_json(&c.recovery_rounds));
+    // Present only for disconnecting plans, so every pre-existing
+    // campaign document stays byte-identical.
+    if c.detection_steps.is_some() {
+        w.raw_field("detection_steps", &summary_json(&c.detection_steps));
+    }
     if let Some(m) = &c.metrics {
         w.raw_field("metrics", &metrics_json(m));
     }
+    if let Some(b) = &c.exchange {
+        w.raw_field("exchange", &exchange_json(b));
+    }
+    w.close_object();
+    w.finish()
+}
+
+/// Renders an [`ExchangeBreakdown`]: aggregate local/boundary/phase
+/// totals plus the per-destination-shard boundary counts.
+fn exchange_json(b: &ExchangeBreakdown) -> String {
+    let mut w = JsonWriter::new();
+    w.open_object();
+    w.int_field("local_ports", b.stats.local_ports);
+    w.int_field("boundary_ports", b.stats.boundary_ports);
+    w.int_field("exchanges", b.stats.exchanges);
+    w.array_field("per_shard", b.per_shard.iter().map(|v| v.to_string()));
     w.close_object();
     w.finish()
 }
@@ -521,6 +639,7 @@ mod tests {
                         steps: 4,
                         rounds: 1,
                     }),
+                    detection: None,
                 },
                 RunRecord {
                     seed: 1,
@@ -534,6 +653,7 @@ mod tests {
                         steps: 99,
                         rounds: 9,
                     }),
+                    detection: None,
                 },
                 RunRecord {
                     seed: 2,
@@ -542,9 +662,11 @@ mod tests {
                     steps: 1000,
                     rounds: 100,
                     recovery: None,
+                    detection: None,
                 },
             ],
             metrics: None,
+            exchange: None,
         }
     }
 

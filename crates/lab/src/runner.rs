@@ -9,7 +9,8 @@ use sno_core::stno::{stno_oriented, Stno};
 use sno_engine::daemon::Daemon;
 use sno_engine::faults::corrupt_random;
 use sno_engine::{
-    CounterMeter, Meter, Network, NoopMeter, Protocol, Simulation, TopologyEvent, TraceBuffer,
+    CounterMeter, ExchangeBreakdown, Meter, Network, NoopMeter, Protocol, Simulation,
+    TopologyEvent, TraceBuffer,
 };
 use sno_fleet::WorkerPool;
 use sno_graph::{traverse, Graph, NodeId, Port, RootedTree};
@@ -46,6 +47,11 @@ pub struct RunRecord {
     /// The re-convergence phase after an injected fault, when the cell's
     /// fault plan calls for one and the first phase converged.
     pub recovery: Option<Recovery>,
+    /// Detection latency of a disconnecting plan (`churn-any`): daemon
+    /// steps, summed over the run's perturbation windows, until every
+    /// severed processor's detector flagged the disconnection. `None`
+    /// for every other plan (and when no window ran).
+    pub detection: Option<u64>,
 }
 
 /// Counters of a post-fault re-convergence phase.
@@ -79,6 +85,13 @@ pub struct CellOutcome {
     /// campaign path is monomorphized over the no-op meter and collects
     /// nothing.
     pub metrics: Option<CounterMeter>,
+    /// Boundary-traffic breakdown of the sharded synchronous executor:
+    /// cross-shard port hand-offs per exchange phase plus per-destination
+    /// shard counts. Populated only for metered campaigns that actually
+    /// ran the sharded executor and crossed a boundary — partition
+    /// diagnostics, deliberately kept out of [`CounterMeter`] so the
+    /// counter totals stay partition-independent.
+    pub exchange: Option<ExchangeBreakdown>,
 }
 
 /// How a protocol stack's convergence is detected.
@@ -289,6 +302,14 @@ pub fn run_campaign_with_options(
                 if let (Some(acc), Some(m)) = (prev.metrics.as_mut(), partial.metrics.as_ref()) {
                     acc.merge(m);
                 }
+                // Exchange breakdowns merge the same way (exact u64
+                // sums, shard vectors zip-added), so chunking cannot
+                // leak here either.
+                match (prev.exchange.as_mut(), partial.exchange) {
+                    (Some(acc), Some(b)) => acc.merge(&b),
+                    (None, Some(b)) => prev.exchange = Some(b),
+                    _ => {}
+                }
             }
             _ => outcomes.push(partial),
         }
@@ -368,12 +389,27 @@ trait StackVisitor {
     /// Called with exactly one concrete `(protocol, detection mode,
     /// legitimacy predicate)` triple. The `Clone` bound lets
     /// topology-mutating fault plans build a fresh simulation per seed
-    /// (every protocol value here is a small copyable struct).
-    fn visit<P, L>(self, net: &Network, protocol: P, mode: Mode, legit: L) -> Self::Out
+    /// (every protocol value here is a small copyable struct). `detect`
+    /// is the stack's disconnection-detection probe — `Some` only for
+    /// stacks that can ride a disconnecting fault plan (`dcd`), where it
+    /// holds once every severed processor has flagged the cut.
+    fn visit<P, L>(
+        self,
+        net: &Network,
+        protocol: P,
+        mode: Mode,
+        legit: L,
+        detect: Option<Probe<'_, P>>,
+    ) -> Self::Out
     where
         P: Protocol + Clone,
         L: Fn(&Network, &[P::State]) -> bool;
 }
+
+/// A borrowed state-typed predicate over `(current network, config)` —
+/// the shape of both detection probes and legitimacy checks when they
+/// have to cross the type-erased [`StackVisitor`] boundary.
+type Probe<'a, P> = &'a dyn Fn(&Network, &[<P as Protocol>::State]) -> bool;
 
 fn dispatch_stack<V: StackVisitor>(cell: &CellSpec, matrix: &ScenarioMatrix, v: V) -> V::Out {
     let g = cell.topology.build(cell.n, matrix.graph_seed);
@@ -387,16 +423,19 @@ fn dispatch_stack<V: StackVisitor>(cell: &CellSpec, matrix: &ScenarioMatrix, v: 
             // check allocation-free.
             let golden = golden_dfs_orientation(&net);
             match substrate {
-                TokenSubstrate::Oracle => {
-                    v.visit(&net, Dftno::new(oracle_walker), Mode::Goal, |net, c| {
-                        dftno_matches(&golden, net, c)
-                    })
-                }
+                TokenSubstrate::Oracle => v.visit(
+                    &net,
+                    Dftno::new(oracle_walker),
+                    Mode::Goal,
+                    |net, c| dftno_matches(&golden, net, c),
+                    None,
+                ),
                 TokenSubstrate::Dftc => v.visit(
                     &net,
                     Dftno::new(DfsTokenCirculation),
                     Mode::Goal,
                     |net, c| dftno_matches(&golden, net, c),
+                    None,
                 ),
             }
         }
@@ -411,22 +450,50 @@ fn dispatch_stack<V: StackVisitor>(cell: &CellSpec, matrix: &ScenarioMatrix, v: 
             let bound = g.node_count() + cell.fault.join_headroom();
             let net = Network::with_bound(g, root, bound);
             match substrate {
-                TreeSubstrate::Oracle => {
-                    v.visit(&net, Stno::new(oracle_tree), Mode::Silence, stno_oriented)
-                }
+                TreeSubstrate::Oracle => v.visit(
+                    &net,
+                    Stno::new(oracle_tree),
+                    Mode::Silence,
+                    stno_oriented,
+                    None,
+                ),
                 TreeSubstrate::Bfs => v.visit(
                     &net,
                     Stno::new(BfsSpanningTree),
                     Mode::Silence,
                     stno_oriented,
+                    None,
                 ),
                 TreeSubstrate::CdDfs => v.visit(
                     &net,
                     Stno::new(CdSpanningTree),
                     Mode::Silence,
                     stno_oriented,
+                    None,
                 ),
             }
+        }
+        ProtocolSpec::Dcd => {
+            let bound = g.node_count() + cell.fault.join_headroom();
+            let net = Network::with_bound(g, root, bound);
+            // The detector's detection probe: every processor the
+            // *current* topology actually severs from the root holds a
+            // saturated distance. Holds vacuously while the network is
+            // whole, so a non-disconnecting window costs zero detection
+            // steps.
+            let probe = |net: &Network, c: &[sno_core::dcd::DcdState]| {
+                let nb = net.n_bound();
+                sno_core::dcd::severed_nodes(net)
+                    .iter()
+                    .all(|p| c[p.index()].is_disconnected(nb))
+            };
+            v.visit(
+                &net,
+                sno_core::dcd::Dcd,
+                Mode::Silence,
+                sno_core::dcd::dcd_legit,
+                Some(&probe),
+            )
         }
     }
 }
@@ -446,7 +513,14 @@ struct DriveVisitor<'a, M> {
 impl<M: Meter + Default> StackVisitor for DriveVisitor<'_, M> {
     type Out = CellOutcome;
 
-    fn visit<P, L>(self, net: &Network, protocol: P, mode: Mode, legit: L) -> CellOutcome
+    fn visit<P, L>(
+        self,
+        net: &Network,
+        protocol: P,
+        mode: Mode,
+        legit: L,
+        detect: Option<Probe<'_, P>>,
+    ) -> CellOutcome
     where
         P: Protocol + Clone,
         L: Fn(&Network, &[P::State]) -> bool,
@@ -456,6 +530,7 @@ impl<M: Meter + Default> StackVisitor for DriveVisitor<'_, M> {
             protocol,
             mode,
             legit,
+            detect,
             self.cell,
             self.matrix,
             self.seed_lo,
@@ -486,6 +561,7 @@ fn drive<P, L, M>(
     protocol: P,
     mode: Mode,
     legit: L,
+    detect: Option<Probe<'_, P>>,
     cell: &CellSpec,
     matrix: &ScenarioMatrix,
     seed_lo: u64,
@@ -503,7 +579,7 @@ where
         // reusing one simulation across seeds would leak one seed's
         // mutations into the next, so these plans build fresh per seed.
         return drive_topology::<P, L, M>(
-            net, protocol, mode, legit, cell, matrix, seed_lo, seed_hi, options, pool,
+            net, protocol, mode, legit, detect, cell, matrix, seed_lo, seed_hi, options, pool,
         );
     }
     // Built from the campaign-wide seed (not the chunk's), so a chunked
@@ -562,6 +638,7 @@ where
                         steps: rs,
                         rounds: rr,
                     }),
+                    detection: None,
                 };
             }
             let (converged, moves, steps, rounds) =
@@ -593,6 +670,7 @@ where
                 steps,
                 rounds,
                 recovery,
+                detection: None,
             }
         };
         let record = if M::ENABLED {
@@ -623,13 +701,30 @@ where
         runs.push(record);
     }
     let metrics = sim.meter().counters().cloned();
+    let exchange = exchange_of(&sim, metrics.is_some());
     CellOutcome {
         cell: *cell,
         nodes: net.node_count(),
         edges: net.graph().edge_count(),
         runs,
         metrics,
+        exchange,
     }
+}
+
+/// Extracts the sharded executor's boundary-traffic breakdown from a
+/// finished simulation — `None` for unmetered campaigns (keeps the
+/// default report byte-identical) and when the executor never crossed a
+/// shard boundary (serial modes, single-shard runs).
+fn exchange_of<P: Protocol, M: Meter>(
+    sim: &Simulation<'_, P, M>,
+    metered: bool,
+) -> Option<ExchangeBreakdown> {
+    if !metered {
+        return None;
+    }
+    let b = sim.exchange_breakdown();
+    (!b.is_empty()).then_some(b)
 }
 
 /// The `[last topology event: …]` fragment of a metered panic message —
@@ -648,6 +743,7 @@ fn drive_topology<P, L, M>(
     protocol: P,
     mode: Mode,
     legit: L,
+    detect: Option<Probe<'_, P>>,
     cell: &CellSpec,
     matrix: &ScenarioMatrix,
     seed_lo: u64,
@@ -663,6 +759,7 @@ where
     let mut daemon = cell.daemon.build(net, matrix.seed_start ^ DAEMON_SALT);
     let mut runs = Vec::with_capacity((seed_hi - seed_lo) as usize);
     let mut metrics: Option<CounterMeter> = None;
+    let mut exchange: Option<ExchangeBreakdown> = None;
     for seed in seed_lo..seed_hi {
         let mut sim = Simulation::from_initial_with_meter(net, protocol.clone(), M::default());
         configure_engine(&mut sim, options, pool);
@@ -715,6 +812,78 @@ where
                         steps,
                         rounds,
                         recovery,
+                        detection: None,
+                    }
+                }
+                FaultPlan::ChurnAny { rate, seed: salt } => {
+                    let (converged, moves, steps, rounds) =
+                        run_phase(&mut sim, &mut daemon, &mode, &legit, net, matrix.max_steps);
+                    let mut recovery = None;
+                    let mut detection = None;
+                    if converged {
+                        let mut churn_rng = StdRng::seed_from_u64(seed ^ salt ^ TOPO_SALT);
+                        let (mut all_ok, mut tm, mut ts, mut tr) = (true, 0, 0, 0);
+                        let mut detect_steps = 0u64;
+                        for _ in 0..rate {
+                            apply_any_churn_window(&mut sim, &mut churn_rng);
+                            sim.reset_counters();
+                            // Phase 1 — detection: drive until every
+                            // severed processor flags the cut (zero steps
+                            // when the window did not disconnect anything
+                            // or the verdicts already agree). Counted into
+                            // the window's recovery totals: detection is
+                            // the first half of recovering.
+                            let (mut dm, mut ds, mut dr) = (0, 0, 0);
+                            let mut detected = true;
+                            if let Some(probe) = detect {
+                                // Snapshot the post-window topology: the
+                                // ground truth is fixed for the phase, and
+                                // `run_until`'s predicate cannot borrow the
+                                // simulation it is driving.
+                                let cur = sim.network().clone();
+                                let r = sim
+                                    .run_until(&mut daemon, matrix.max_steps, |c| probe(&cur, c));
+                                detect_steps += r.steps;
+                                (dm, ds, dr) = (r.moves, r.steps, r.rounds);
+                                detected = r.converged;
+                            }
+                            // Phase 2 — full re-stabilization on top.
+                            let (rc, rm, rs, rr) = if detected {
+                                run_phase(
+                                    &mut sim,
+                                    &mut daemon,
+                                    &mode,
+                                    &legit,
+                                    net,
+                                    matrix.max_steps,
+                                )
+                            } else {
+                                (false, 0, 0, 0)
+                            };
+                            all_ok &= rc;
+                            tm += dm + rm;
+                            ts += ds + rs;
+                            tr += dr + rr;
+                            if !rc {
+                                break;
+                            }
+                        }
+                        recovery = Some(Recovery {
+                            converged: all_ok,
+                            moves: tm,
+                            steps: ts,
+                            rounds: tr,
+                        });
+                        detection = detect.is_some().then_some(detect_steps);
+                    }
+                    RunRecord {
+                        seed,
+                        converged,
+                        moves,
+                        steps,
+                        rounds,
+                        recovery,
+                        detection,
                     }
                 }
                 FaultPlan::LinkFail { step }
@@ -747,6 +916,7 @@ where
                             steps: rs,
                             rounds: rr,
                         }),
+                        detection: None,
                     }
                 }
                 _ => unreachable!("drive_topology only receives topology-mutating plans"),
@@ -777,6 +947,14 @@ where
                 None => metrics = Some(c.clone()),
             }
         }
+        // Fresh sim per seed, so the breakdown is per-seed here and has
+        // to be accumulated across the chunk.
+        if let Some(b) = exchange_of(&sim, metrics.is_some()) {
+            match exchange.as_mut() {
+                Some(acc) => acc.merge(&b),
+                None => exchange = Some(b),
+            }
+        }
     }
     CellOutcome {
         cell: *cell,
@@ -784,6 +962,7 @@ where
         edges: net.graph().edge_count(),
         runs,
         metrics,
+        exchange,
     }
 }
 
@@ -870,6 +1049,25 @@ fn apply_churn_window<P: Protocol, M: Meter>(
     }
 }
 
+/// One *unrestricted* churn perturbation (`churn-any`): a new link
+/// appears between two non-adjacent processors and then any link —
+/// bridges included — fails, so the window may disconnect processors
+/// from the root. Only disconnection-aware stacks ride this
+/// ([`ScenarioMatrix::validate`] enforces it).
+fn apply_any_churn_window<P: Protocol, M: Meter>(
+    sim: &mut Simulation<'_, P, M>,
+    rng: &mut dyn RngCore,
+) {
+    if let Some((u, v)) = pick_absent_link(sim.network().graph(), rng) {
+        sim.apply_topology_event(&TopologyEvent::LinkAdd { u, v }, None)
+            .expect("derived link addition is valid");
+    }
+    if let Some((u, v)) = pick_any_link(sim.network().graph(), rng) {
+        sim.apply_topology_event(&TopologyEvent::LinkFail { u, v }, None)
+            .expect("derived link failure is valid");
+    }
+}
+
 /// A uniformly-ish sampled absent link (bounded rejection sampling —
 /// `None` on tiny or near-complete graphs).
 fn pick_absent_link(g: &Graph, rng: &mut dyn RngCore) -> Option<(NodeId, NodeId)> {
@@ -889,6 +1087,24 @@ fn pick_absent_link(g: &Graph, rng: &mut dyn RngCore) -> Option<(NodeId, NodeId)
         }
     }
     None
+}
+
+/// A uniformly chosen link, bridge or not — `None` only on an edgeless
+/// graph. The `churn-any` counterpart of [`pick_removable_link`].
+fn pick_any_link(g: &Graph, rng: &mut dyn RngCore) -> Option<(NodeId, NodeId)> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(g.edge_count());
+    for u in g.nodes() {
+        for l in 0..g.degree(u) {
+            let v = g.neighbor(u, Port::new(l));
+            if u.index() < v.index() {
+                edges.push((u, v));
+            }
+        }
+    }
+    if edges.is_empty() {
+        return None;
+    }
+    Some(edges[(rng.next_u64() as usize) % edges.len()])
 }
 
 /// A randomly chosen link whose failure keeps the network connected —
@@ -954,7 +1170,14 @@ struct TraceVisitor<'a> {
 impl StackVisitor for TraceVisitor<'_> {
     type Out = String;
 
-    fn visit<P, L>(self, net: &Network, protocol: P, mode: Mode, legit: L) -> String
+    fn visit<P, L>(
+        self,
+        net: &Network,
+        protocol: P,
+        mode: Mode,
+        legit: L,
+        _detect: Option<Probe<'_, P>>,
+    ) -> String
     where
         P: Protocol + Clone,
         L: Fn(&Network, &[P::State]) -> bool,
@@ -1210,14 +1433,58 @@ mod tests {
         // same (metrics-free) sections — the meter only ever adds.
         let plain = run_campaign_with_threads(&m, 2);
         assert!(plain.cells.iter().all(|c| c.metrics.is_none()));
+        assert!(plain.cells.iter().all(|c| c.exchange.is_none()));
         assert!(!plain.to_json().contains("\"metrics\""));
+        assert!(!plain.to_json().contains("\"exchange\""));
         assert!(!plain.to_markdown().contains("### Metrics"));
+        assert!(!plain.to_markdown().contains("### Exchange"));
         for (metered_cell, plain_cell) in a.cells.iter().zip(&plain.cells) {
             assert_eq!(metered_cell.moves, plain_cell.moves);
             assert_eq!(metered_cell.steps, plain_cell.steps);
             assert_eq!(metered_cell.rounds, plain_cell.rounds);
             assert_eq!(metered_cell.converged, plain_cell.converged);
         }
+    }
+
+    #[test]
+    fn metered_sharded_campaign_reports_exchange_breakdown() {
+        // Large enough that the synchronous enabled set clears the
+        // sharded executor's dense-step threshold — smaller instances
+        // fall back to the serial step and record no exchanges.
+        let m = ScenarioMatrix::new("exchange")
+            .topologies([GeneratorSpec::Hubs { hubs: 3 }])
+            .sizes([256])
+            .protocols([ProtocolSpec::Stno(TreeSubstrate::Oracle)])
+            .daemons([DaemonSpec::Synchronous])
+            .seeds(0, 2)
+            .max_steps(100_000);
+        let options = EngineOptions {
+            mode: Some(sno_engine::EngineMode::SyncSharded),
+            shards: Some(4),
+            metrics: true,
+        };
+        let a = run_campaign_with_options(&m, 1, &options);
+        let b = run_campaign_with_options(&m, 4, &options);
+        // For a fixed mode and shard count the breakdown is
+        // deterministic: fleet threads and seed chunkings cannot leak.
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        let ex = a.cells[0]
+            .exchange
+            .as_ref()
+            .expect("sharded hub run crosses boundaries");
+        assert!(ex.stats.exchanges > 0, "exchange phases ran");
+        assert!(
+            ex.stats.boundary_ports > 0,
+            "hub topology hands ports across shards"
+        );
+        assert_eq!(
+            ex.per_shard.iter().sum::<u64>(),
+            ex.stats.boundary_ports,
+            "per-shard counts partition the boundary total"
+        );
+        assert!(a.to_json().contains("\"exchange\":{\"local_ports\":"));
+        assert!(a.to_markdown().contains("### Exchange boundary traffic"));
     }
 
     #[test]
@@ -1371,6 +1638,52 @@ mod tests {
             let c = run_campaign_with_options(&m, 2, &options);
             assert_eq!(a.to_json(), c.to_json(), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn churn_any_campaign_measures_detection_latency_deterministically() {
+        // On a random tree every link is a bridge, so unrestricted churn
+        // windows genuinely sever processors and the detector has real
+        // work to do.
+        let m = ScenarioMatrix::new("churn-any-test")
+            .topologies([GeneratorSpec::RandomTree])
+            .sizes([10])
+            .protocols([ProtocolSpec::Dcd])
+            .daemons([DaemonSpec::Distributed])
+            .faults([FaultPlan::ChurnAny { rate: 2, seed: 3 }])
+            .seeds(0, 4)
+            .max_steps(2_000_000);
+        let a = run_campaign_with_threads(&m, 1);
+        let b = run_campaign_with_threads(&m, 4);
+        assert_eq!(a, b, "detection latency is seed-derived, thread-free");
+        let cell = &a.cells[0];
+        assert_eq!(cell.convergence_rate, 1.0, "dcd rides out every window");
+        assert_eq!(cell.recovered, 4, "every run's windows re-converged");
+        let d = cell
+            .detection_steps
+            .as_ref()
+            .expect("churn-any reports detection latency");
+        assert_eq!(d.count, 4, "one detection total per converged run");
+        assert!(
+            d.max > 0,
+            "at least one window severed processors and made the detector count"
+        );
+        assert!(a.to_json().contains("\"detection_steps\""));
+        assert!(a.to_markdown().contains("### Detection latency"));
+        // Restricted churn cells don't grow the new column.
+        assert!(!run_campaign_with_threads(
+            &ScenarioMatrix::new("plain-churn")
+                .topologies([GeneratorSpec::RandomTree])
+                .sizes([10])
+                .protocols([ProtocolSpec::Stno(TreeSubstrate::Bfs)])
+                .daemons([DaemonSpec::Distributed])
+                .faults([FaultPlan::Churn { rate: 1, seed: 3 }])
+                .seeds(0, 2)
+                .max_steps(2_000_000),
+            1,
+        )
+        .to_json()
+        .contains("detection_steps"));
     }
 
     #[test]

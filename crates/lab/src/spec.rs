@@ -38,23 +38,30 @@ pub enum TreeSubstrate {
     CdDfs,
 }
 
-/// One of the paper's two orientation protocols plus its substrate.
+/// One of the paper's two orientation protocols plus its substrate, or
+/// the disconnection-aware robustness layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolSpec {
     /// `DFTNO` (Algorithm 3.1.1) over the given token substrate.
     Dftno(TokenSubstrate),
     /// `STNO` (Algorithm 4.1.2) over the given tree substrate.
     Stno(TreeSubstrate),
+    /// The disconnection-aware root-path detector
+    /// ([`sno_core::dcd::Dcd`]) — the only stack whose specification
+    /// survives a *disconnecting* topology fault, and therefore the only
+    /// one [`FaultPlan::ChurnAny`] is allowed to ride.
+    Dcd,
 }
 
 impl ProtocolSpec {
     /// Every protocol × substrate combination.
-    pub const ALL: [ProtocolSpec; 5] = [
+    pub const ALL: [ProtocolSpec; 6] = [
         ProtocolSpec::Dftno(TokenSubstrate::Oracle),
         ProtocolSpec::Dftno(TokenSubstrate::Dftc),
         ProtocolSpec::Stno(TreeSubstrate::Oracle),
         ProtocolSpec::Stno(TreeSubstrate::Bfs),
         ProtocolSpec::Stno(TreeSubstrate::CdDfs),
+        ProtocolSpec::Dcd,
     ];
 
     /// The two oracle-substrate stacks the paper's step bounds refer to.
@@ -72,6 +79,7 @@ impl fmt::Display for ProtocolSpec {
             ProtocolSpec::Stno(TreeSubstrate::Oracle) => "stno/oracle-tree",
             ProtocolSpec::Stno(TreeSubstrate::Bfs) => "stno/bfs-tree",
             ProtocolSpec::Stno(TreeSubstrate::CdDfs) => "stno/cd-dfs-tree",
+            ProtocolSpec::Dcd => "dcd",
         };
         f.write_str(s)
     }
@@ -223,6 +231,20 @@ pub enum FaultPlan {
         /// Extra salt decorrelating the churn stream from the run seed.
         seed: u64,
     },
+    /// Unrestricted churn: like [`FaultPlan::Churn`], but the failing
+    /// link is drawn from **all** links — bridges included — so a window
+    /// may disconnect processors from the root. Restricted to the
+    /// disconnection-aware [`ProtocolSpec::Dcd`] stack (every other
+    /// stack's specification presumes a connected rooted network);
+    /// each window additionally measures the *detection latency* — the
+    /// daemon steps until every severed processor's detector flags the
+    /// disconnection.
+    ChurnAny {
+        /// Number of perturbation windows per run.
+        rate: u8,
+        /// Extra salt decorrelating the churn stream from the run seed.
+        seed: u64,
+    },
 }
 
 impl FaultPlan {
@@ -237,7 +259,15 @@ impl FaultPlan {
                 | FaultPlan::NodeCrash { .. }
                 | FaultPlan::NodeJoin { .. }
                 | FaultPlan::Churn { .. }
+                | FaultPlan::ChurnAny { .. }
         )
+    }
+
+    /// Whether this plan may *disconnect* processors from the root
+    /// (only [`FaultPlan::ChurnAny`] — every other plan preserves
+    /// reachability by construction).
+    pub fn may_disconnect(&self) -> bool {
+        matches!(self, FaultPlan::ChurnAny { .. })
     }
 
     /// How many processors beyond the instantiated topology the network
@@ -261,6 +291,7 @@ impl fmt::Display for FaultPlan {
             FaultPlan::NodeCrash { step } => write!(f, "node-crash@{step}"),
             FaultPlan::NodeJoin { step } => write!(f, "node-join@{step}"),
             FaultPlan::Churn { rate, seed } => write!(f, "churn:{rate}:{seed}"),
+            FaultPlan::ChurnAny { rate, seed } => write!(f, "churn-any:{rate}:{seed}"),
         }
     }
 }
@@ -298,6 +329,13 @@ impl FromStr for FaultPlan {
             if let Some((rate, seed)) = rest.split_once(':') {
                 if let (Ok(rate), Ok(seed)) = (rate.parse(), seed.parse()) {
                     return Ok(FaultPlan::Churn { rate, seed });
+                }
+            }
+        }
+        if let Some(rest) = s.strip_prefix("churn-any:") {
+            if let Some((rate, seed)) = rest.split_once(':') {
+                if let (Ok(rate), Ok(seed)) = (rate.parse(), seed.parse()) {
+                    return Ok(FaultPlan::ChurnAny { rate, seed });
                 }
             }
         }
@@ -360,10 +398,18 @@ mod tests {
             FaultPlan::NodeCrash { step: 17 },
             FaultPlan::NodeJoin { step: 9 },
             FaultPlan::Churn { rate: 4, seed: 11 },
+            FaultPlan::ChurnAny { rate: 2, seed: 7 },
         ] {
             assert_eq!(f.to_string().parse::<FaultPlan>().unwrap(), f);
         }
-        for bad in ["hit:", "hit:2@", "link-fail", "churn:4", "churn::3"] {
+        for bad in [
+            "hit:",
+            "hit:2@",
+            "link-fail",
+            "churn:4",
+            "churn::3",
+            "churn-any:4",
+        ] {
             assert!(bad.parse::<FaultPlan>().is_err(), "{bad}");
         }
     }
@@ -374,6 +420,9 @@ mod tests {
         assert!(!FaultPlan::AtStep { step: 5, hits: 1 }.mutates_topology());
         assert!(FaultPlan::LinkFail { step: 5 }.mutates_topology());
         assert!(FaultPlan::Churn { rate: 2, seed: 0 }.mutates_topology());
+        assert!(FaultPlan::ChurnAny { rate: 2, seed: 0 }.mutates_topology());
+        assert!(FaultPlan::ChurnAny { rate: 2, seed: 0 }.may_disconnect());
+        assert!(!FaultPlan::Churn { rate: 2, seed: 0 }.may_disconnect());
         assert_eq!(FaultPlan::NodeJoin { step: 5 }.join_headroom(), 1);
         assert_eq!(FaultPlan::Churn { rate: 2, seed: 0 }.join_headroom(), 0);
     }

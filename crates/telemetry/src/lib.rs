@@ -531,6 +531,77 @@ impl ExchangeStats {
     }
 }
 
+/// [`ExchangeStats`] broken down per destination shard: the boundary
+/// dirty-port hand-offs each shard *received* from the serial exchange
+/// phase, plus the aggregate totals.
+///
+/// Like [`ExchangeStats`], this is a partition-dependent diagnostic —
+/// the same execution under a different shard count yields different
+/// numbers — so it rides outside the deterministic [`Counter`] set. For
+/// a *fixed* mode and shard count it is still fully deterministic
+/// (byte-identical across thread counts and seed chunkings), which is
+/// what lets metered campaign reports include it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExchangeBreakdown {
+    /// The aggregate local/boundary/phase totals.
+    pub stats: ExchangeStats,
+    /// Boundary hand-offs received per destination shard
+    /// (`per_shard[s]` = candidates whose reader lives in shard `s`).
+    pub per_shard: Vec<u64>,
+}
+
+impl ExchangeBreakdown {
+    /// `true` iff no exchange phase ever ran.
+    pub fn is_empty(&self) -> bool {
+        self.stats.exchanges == 0
+    }
+
+    /// Merges another breakdown (exact element-wise addition; the
+    /// per-shard vectors are aligned by padding the shorter one).
+    pub fn merge(&mut self, other: &ExchangeBreakdown) {
+        self.stats.merge(&other.stats);
+        if self.per_shard.len() < other.per_shard.len() {
+            self.per_shard.resize(other.per_shard.len(), 0);
+        }
+        for (a, b) in self.per_shard.iter_mut().zip(&other.per_shard) {
+            *a += b;
+        }
+    }
+}
+
+/// Deterministic statistics of one explicit-state exploration
+/// (`sno-check`'s sharded breadth-first search).
+///
+/// Every field counts *logical work* — states discovered, transitions
+/// generated, duplicate hits on the sharded seen-set — never wall-clock
+/// time, so for a fixed model the totals are byte-identical across
+/// fleet thread counts **and** shard counts (the checker's certificate
+/// gates in CI `cmp` exactly that). Throughput (states/sec) is derived
+/// by the CLI from a wall clock at print time and never stored here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct states discovered (inserted into a seen-set shard).
+    pub states: u64,
+    /// Protocol transitions generated (central-daemon single moves).
+    pub transitions: u64,
+    /// Fault transitions generated (corruption, crash, topology).
+    pub fault_transitions: u64,
+    /// Generated transitions whose target was already known — the
+    /// dedup hit rate of the sharded seen-set.
+    pub dedup_hits: u64,
+}
+
+impl ExploreStats {
+    /// Merges another instance (exact addition — shard-count and
+    /// thread-count independent).
+    pub fn merge(&mut self, other: &ExploreStats) {
+        self.states += other.states;
+        self.transitions += other.transitions;
+        self.fault_transitions += other.fault_transitions;
+        self.dedup_hits += other.dedup_hits;
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Trace export
 // ---------------------------------------------------------------------------
@@ -665,7 +736,10 @@ impl Default for TraceBuffer {
     }
 }
 
-fn escape_json(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters). Shared by every hand-rolled JSON
+/// writer in the workspace so their escaping never drifts apart.
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -773,6 +847,55 @@ mod tests {
         }
         assert_eq!(c.quantile(50), Some(42));
         assert_eq!(c.quantile(95), Some(42));
+    }
+
+    #[test]
+    fn exchange_breakdown_and_explore_stats_merge_exactly() {
+        let mut a = ExchangeBreakdown {
+            stats: ExchangeStats {
+                local_ports: 3,
+                boundary_ports: 5,
+                exchanges: 2,
+            },
+            per_shard: vec![1, 4],
+        };
+        assert!(!a.is_empty());
+        let b = ExchangeBreakdown {
+            stats: ExchangeStats {
+                local_ports: 7,
+                boundary_ports: 1,
+                exchanges: 1,
+            },
+            per_shard: vec![0, 1, 9],
+        };
+        a.merge(&b);
+        assert_eq!(a.stats.local_ports, 10);
+        assert_eq!(a.stats.boundary_ports, 6);
+        assert_eq!(a.stats.exchanges, 3);
+        assert_eq!(a.per_shard, vec![1, 5, 9]);
+        assert!(ExchangeBreakdown::default().is_empty());
+
+        let mut s = ExploreStats {
+            states: 10,
+            transitions: 40,
+            fault_transitions: 3,
+            dedup_hits: 25,
+        };
+        s.merge(&ExploreStats {
+            states: 5,
+            transitions: 10,
+            fault_transitions: 1,
+            dedup_hits: 2,
+        });
+        assert_eq!(
+            s,
+            ExploreStats {
+                states: 15,
+                transitions: 50,
+                fault_transitions: 4,
+                dedup_hits: 27,
+            }
+        );
     }
 
     #[test]

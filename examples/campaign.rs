@@ -1,5 +1,5 @@
-//! The standard scenario-fleet campaign: 480 simulations across three
-//! topology families, two sizes, all five protocol stacks, two daemons,
+//! The standard scenario-fleet campaign: 576 simulations across three
+//! topology families, two sizes, all six protocol stacks, two daemons,
 //! and two fault plans — executed in parallel, aggregated into per-cell
 //! moves/steps/rounds percentiles and convergence rates, and written to
 //! `BENCH_campaign.json` (the `sno-lab/v1` interchange format).

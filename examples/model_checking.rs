@@ -1,7 +1,8 @@
 //! Exhaustive verification of Definition 2.1.2 on small instances.
 //!
-//! Enumerates *every* configuration of each substrate on a small network
-//! and checks the two halves of self-stabilization:
+//! Runs the fleet-parallel `sno-check` model checker over every
+//! configuration of each substrate on a small network and checks the
+//! two halves of self-stabilization:
 //!
 //! * **closure** — no transition leaves the legitimate set;
 //! * **convergence** — no execution can avoid the legitimate set forever
@@ -9,44 +10,82 @@
 //!   weakly fair round-robin schedule for the token wave, which never
 //!   terminates).
 //!
+//! Certificates are deterministic JSON at any thread/shard count; the
+//! retired serial `ModelChecker` in `sno::engine::modelcheck` remains
+//! the reference semantics, pinned against this checker by
+//! `crates/check/tests/modelcheck_lockstep.rs`.
+//!
 //! ```sh
 //! cargo run --release --example model_checking
 //! ```
 
-use sno::engine::modelcheck::ModelChecker;
+use sno::check::{check, CheckOptions, CheckSpec, Liveness, Seeds, WorkerPool};
 use sno::engine::Network;
 use sno::graph::{generators, traverse, NodeId, RootedTree};
-use sno::token::{CollinDolev, FixedTreeToken};
-use sno::tree::BfsSpanningTree;
+use sno::token::FixedTreeToken;
+
+fn spec<'a, P: sno::engine::Enumerable>(
+    name: &str,
+    topology: &str,
+    legit: sno::check::PredFn<'a, P>,
+    liveness: Liveness,
+) -> CheckSpec<'a, P> {
+    CheckSpec {
+        protocol: name.into(),
+        topology: topology.into(),
+        legit,
+        invariants: Vec::new(),
+        closure: true,
+        liveness,
+        seeds: Seeds::AllConfigs,
+        faults: Vec::new(),
+    }
+}
 
 fn main() {
     println!("Exhaustive model checking (Definition 2.1.2)\n");
+    let pool = WorkerPool::new(4);
+    let options = CheckOptions {
+        threads: 4,
+        shards: 4,
+        ..CheckOptions::default()
+    };
 
     // --- BFS spanning tree: silent, any-schedule convergence.
-    let g = generators::ring(3);
-    let net = Network::new(g, NodeId::new(0));
-    let mc = ModelChecker::new(&net, &BfsSpanningTree, 10_000_000).unwrap();
-    let legit = |c: &[sno::tree::BfsState]| sno::tree::bfs_legit(&net, c);
-    let closure = mc.check_closure(legit).expect("closure holds");
-    let conv = mc
-        .check_convergence_any_schedule(legit)
-        .expect("convergence holds");
+    let net = Network::new(generators::ring(3), NodeId::new(0));
+    let cert = check(
+        &net,
+        &sno::tree::BfsSpanningTree,
+        &spec("bfs-tree", "ring:3", &sno::tree::bfs_legit, Liveness::Both),
+        &options,
+        &pool,
+    )
+    .unwrap();
+    assert!(cert.all_hold(), "closure + convergence hold");
     println!(
-        "BFS tree on a triangle: {} configurations, {} legitimate, {} transitions — closure + any-schedule convergence verified",
-        closure.configs, closure.legitimate, conv.transitions
+        "BFS tree on a triangle: {} states, {} legitimate, {} transitions — closure + any-schedule convergence verified",
+        cert.states, cert.legitimate, cert.transitions
     );
 
     // --- Collin–Dolev DFS words.
-    let g = generators::path(3);
-    let net = Network::new(g, NodeId::new(0));
-    let mc = ModelChecker::new(&net, &CollinDolev, 10_000_000).unwrap();
-    let legit = |c: &[sno::token::DfsPath]| sno::token::cd::cd_legit(&net, c);
-    let closure = mc.check_closure(legit).expect("closure holds");
-    mc.check_convergence_any_schedule(legit)
-        .expect("convergence holds");
+    let net = Network::new(generators::path(3), NodeId::new(0));
+    let cert = check(
+        &net,
+        &sno::token::CollinDolev,
+        &spec(
+            "cd-token",
+            "path:3",
+            &sno::token::cd::cd_legit,
+            Liveness::Both,
+        ),
+        &options,
+        &pool,
+    )
+    .unwrap();
+    assert!(cert.all_hold(), "closure + convergence hold");
     println!(
-        "Collin–Dolev on a 3-path: {} configurations, {} legitimate — closure + any-schedule convergence verified",
-        closure.configs, closure.legitimate
+        "Collin–Dolev on a 3-path: {} states, {} legitimate — closure + any-schedule convergence verified",
+        cert.states, cert.legitimate
     );
 
     // --- The token wave on a frozen tree (never terminates: weakly fair
@@ -56,24 +95,46 @@ fn main() {
     let tree = RootedTree::from_parents(&g, NodeId::new(0), &dfs.parent).unwrap();
     let proto = FixedTreeToken::from_graph(&g, &tree);
     let net = Network::new(g, NodeId::new(0));
-    let mc = ModelChecker::new(&net, &proto, 10_000_000).unwrap();
-    let legit = |c: &[sno::token::tok::TokState]| proto.is_legitimate(c);
-    let closure = mc.check_closure(legit).expect("closure holds");
-    let conv = mc
-        .check_convergence_round_robin(legit)
-        .expect("convergence holds");
+    let legit = |_: &Network, c: &[sno::token::tok::TokState]| proto.is_legitimate(c);
+    let cert = check(
+        &net,
+        &proto,
+        &spec("fixed-token", "star:4", &legit, Liveness::RoundRobin),
+        &options,
+        &pool,
+    )
+    .unwrap();
+    assert!(cert.all_hold(), "closure + round-robin convergence hold");
     println!(
-        "token wave on a 4-star: {} configurations, {} legitimate, {} schedule transitions — closure + weakly-fair convergence verified",
-        closure.configs, closure.legitimate, conv.transitions
+        "token wave on a 4-star: {} states, {} legitimate, {} transitions — closure + weakly-fair convergence verified",
+        cert.states, cert.legitimate, cert.transitions
     );
 
-    // --- And a negative control: a bogus legitimacy predicate is caught.
-    let g = generators::path(2);
-    let net = Network::new(g, NodeId::new(0));
-    let mc = ModelChecker::new(&net, &sno::engine::examples::HopDistance, 10_000_000).unwrap();
-    let bogus = |c: &[u32]| c[1] == 2; // "node 1 holds 2" is not closed
-    match mc.check_closure(bogus) {
-        Err(v) => println!("\nnegative control: bogus predicate rejected ({v:?})"),
-        Ok(_) => unreachable!("the checker must catch the violation"),
+    // --- And a negative control: a bogus legitimacy predicate is caught,
+    //     with a minimized, replayable counterexample in the certificate.
+    let net = Network::new(generators::path(2), NodeId::new(0));
+    let bogus = |_: &Network, c: &[u32]| c[1] == 2; // "node 1 holds 2" is not closed
+    let cert = check(
+        &net,
+        &sno::engine::examples::HopDistance,
+        &spec("hop", "path:2", &bogus, Liveness::Unfair),
+        &options,
+        &pool,
+    )
+    .unwrap();
+    match cert.properties.iter().find(|p| p.name == "closure") {
+        Some(p) if !p.holds => {
+            let cx = p
+                .counterexample
+                .as_ref()
+                .expect("refutations carry a witness");
+            println!(
+                "\nnegative control: bogus predicate rejected (closure breaks in {} moves: {} → {})",
+                cx.stem.len() - 1,
+                cx.stem[cx.stem.len() - 2].config,
+                cx.stem.last().unwrap().config
+            );
+        }
+        _ => unreachable!("the checker must catch the violation"),
     }
 }

@@ -64,13 +64,15 @@
 //! std::fs::write("/tmp/quickstart.json", report.to_json()).unwrap();
 //! ```
 //!
-//! `examples/campaign.rs` scales this to the standard 480-run fleet and
+//! `examples/campaign.rs` scales this to the standard 576-run fleet and
 //! writes the `BENCH_campaign.json` artifact; the `sno-bench` report
 //! binary (`--json`) does the same for the E15 experiment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The fleet-parallel explicit-state model checker (`sno-check`).
+pub use sno_check as check;
 /// The paper's protocols and the orientation specification (`sno-core`).
 pub use sno_core as core;
 /// The execution model (`sno-engine`).
