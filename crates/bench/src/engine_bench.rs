@@ -794,6 +794,23 @@ pub fn scaling_violations(
     out
 }
 
+/// Names every multi-core gate that is **dormant** (skipped, not
+/// passed) at the given hardware parallelism, so the binary can print
+/// an explicit `dormant (N hardware threads)` marker per gate instead
+/// of silently folding "skipped" into "no violation". Empty on machines
+/// where every gate is live.
+pub fn dormant_gates(parallelism: usize) -> Vec<String> {
+    if parallelism >= 8 {
+        return Vec::new();
+    }
+    vec![
+        format!("sync-round absolute speedup gate ({SYNC_SPEEDUP_GATE}x torus, pooled 8-shard)"),
+        format!("sync-round absolute speedup gate ({HUBS_SYNC_GATE}x hubs:3, pooled 8-shard)"),
+        "scaling-curve monotonicity gate (serial -> 2 -> 4 -> 8 shards)".to_string(),
+        "scaling-curve committed-baseline regression gate (15% band)".to_string(),
+    ]
+}
+
 /// Renders the `sno-scaling-curve/v1` artifact the `scaling-curve` CI
 /// job uploads: one record per sync-round row, with the node-serial
 /// relative speedup and the timed-window thread-spawn count.
@@ -1215,6 +1232,18 @@ pub fn check_counter_baseline(rows: &[EngineBenchRow], baseline_json: &str) -> B
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dormant_gates_name_every_skipped_multi_core_gate() {
+        let dormant = dormant_gates(4);
+        assert_eq!(dormant.len(), 4);
+        assert!(dormant.iter().any(|g| g.contains("torus")));
+        assert!(dormant.iter().any(|g| g.contains("hubs:3")));
+        assert!(dormant.iter().any(|g| g.contains("monotonicity")));
+        assert!(dormant.iter().any(|g| g.contains("baseline")));
+        assert!(dormant_gates(8).is_empty());
+        assert!(dormant_gates(64).is_empty());
+    }
 
     #[test]
     fn bench_cells_are_trace_identical_and_render() {

@@ -356,6 +356,7 @@ mod tests {
             closure: true,
             liveness: Liveness::Both,
             seeds: Seeds::AllConfigs,
+            seed_list: None,
             faults: Vec::new(),
         };
         let pool = WorkerPool::new(1);
@@ -380,6 +381,7 @@ mod tests {
             closure: false,
             liveness: Liveness::Both,
             seeds: Seeds::AllConfigs,
+            seed_list: None,
             faults: Vec::new(),
         };
         let pool = WorkerPool::new(1);

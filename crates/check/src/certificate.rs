@@ -13,13 +13,27 @@
 //! shortcut-minimized over program edges) and, for liveness violations,
 //! the repeating **cycle**. Every step names the moving processor and
 //! action index, so a trace replays against the engine move by move.
+//!
+//! With symmetry reduction on, BFS parents connect **orbit
+//! representatives**: the stored edge from `C` to `C'` means some raw
+//! successor `s` of `C` satisfies `canon(s) = C'`, so consecutive
+//! representatives are generally *not* connected by the named move.
+//! [`realized_steps`] repairs this by accumulating the canonicalization
+//! witnesses along the stem and mapping every configuration, processor,
+//! and digit back through the group — the emitted trace replays
+//! move-for-move on a live simulation, and its endpoint is pinned to
+//! the exact witness configuration (identity anchor for safety, the
+//! lasso's raw start for liveness).
 
 use sno_engine::Enumerable;
 use sno_telemetry::escape_json;
 
 use crate::analysis::Lasso;
-use crate::explore::{kind_name, ExploreResult, KIND_PROGRAM, KIND_SEED};
+use crate::explore::{
+    kind_name, ExploreResult, KIND_CORRUPT, KIND_CRASH, KIND_PROGRAM, KIND_SEED,
+};
 use crate::model::Model;
+use crate::symmetry::{SymElem, SymmetryTable};
 
 /// One state of a trace, annotated with the edge that produced it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +89,12 @@ pub struct WorldInfo {
     pub edges: usize,
     /// Enumerated configuration count.
     pub configs: u64,
+    /// Distinct reachable raw configurations (orbit-expanded when
+    /// symmetry is on, so it never depends on the symmetry setting).
+    pub reachable: u64,
+    /// Distinct reachable orbits (equals `reachable` for the trivial
+    /// group).
+    pub quotient: u64,
 }
 
 /// The complete, deterministic record of one check run.
@@ -108,6 +128,16 @@ pub struct Certificate {
     pub diameter: u32,
     /// States newly discovered per BFS depth.
     pub frontier: Vec<u64>,
+    /// Total seen-set entries across shards at termination (the sets
+    /// never evict, so this is their peak; a cross-check for `states`).
+    pub seen_entries: u64,
+    /// Whether symmetry reduction was requested for this run.
+    pub symmetry_enabled: bool,
+    /// Per-world admitted automorphism-group order (1 = trivial).
+    pub group_orders: Vec<u64>,
+    /// Orbit-expanded state count — what an unquotiented run stores.
+    /// Equals `states` when every group is trivial.
+    pub raw_states: u64,
     /// Verdicts, in check order.
     pub properties: Vec<PropertyReport>,
 }
@@ -147,8 +177,8 @@ impl Certificate {
                 s.push_str(", ");
             }
             s.push_str(&format!(
-                "{{\"nodes\": {}, \"edges\": {}, \"configs\": {}}}",
-                w.nodes, w.edges, w.configs
+                "{{\"nodes\": {}, \"edges\": {}, \"configs\": {}, \"reachable\": {}, \"quotient\": {}}}",
+                w.nodes, w.edges, w.configs, w.reachable, w.quotient
             ));
         }
         s.push_str("],\n");
@@ -173,6 +203,21 @@ impl Certificate {
             s.push_str(&f.to_string());
         }
         s.push_str("],\n");
+        s.push_str(&format!("  \"seen_entries\": {},\n", self.seen_entries));
+        s.push_str(&format!(
+            "  \"symmetry\": {{\"enabled\": {}, \"group\": [",
+            self.symmetry_enabled
+        ));
+        for (i, g) in self.group_orders.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&g.to_string());
+        }
+        s.push_str(&format!(
+            "], \"raw_states\": {}, \"quotient_states\": {}}},\n",
+            self.raw_states, self.states
+        ));
         s.push_str("  \"properties\": [\n");
         for (i, p) in self.properties.iter().enumerate() {
             s.push_str("    {");
@@ -278,6 +323,7 @@ fn raw_stem<P: Enumerable>(
 /// `(world, budget)` layer, so fault edges are preserved exactly — the
 /// minimized stem spends the same budget as the original.
 fn minimize_stem<P: Enumerable>(model: &Model<'_, P>, stem: &mut Vec<StemStep>) {
+    let mut digits = Vec::new();
     let mut changed = true;
     while changed {
         changed = false;
@@ -298,7 +344,8 @@ fn minimize_stem<P: Enumerable>(model: &Model<'_, P>, stem: &mut Vec<StemStep>) 
             );
             let mut best: Option<(usize, u32, u32)> = None;
             for s in &succs {
-                let skey = model.key(world, budget_left, s.next);
+                // Stem keys are canonical; compare like with like.
+                let skey = model.canon_key(world, budget_left, s.next, &mut digits);
                 // The longest forward jump wins; scan back to front.
                 for j in (i + 2..stem.len()).rev() {
                     if stem[j].key == skey {
@@ -342,6 +389,127 @@ fn stem_to_steps<P: Enumerable>(model: &Model<'_, P>, stem: &[StemStep]) -> Vec<
         .collect()
 }
 
+/// The canonicalization witness of the edge `prev → cur`: the group
+/// element `w` with `w(s) = cur`, where `s` is the raw successor of
+/// `prev` under `cur`'s incoming edge.
+fn witness_for<P: Enumerable>(
+    model: &Model<'_, P>,
+    table: &SymmetryTable,
+    prev: &StemStep,
+    cur: &StemStep,
+    digits: &mut Vec<u64>,
+) -> SymElem {
+    let (world, _, pidx) = model.split(prev.key);
+    let w = &model.worlds[world as usize];
+    let s = match cur.kind {
+        KIND_PROGRAM => w
+            .space
+            .apply_move(&w.net, model.protocol, pidx, cur.node, cur.action)
+            .expect("stored program edges replay on their raw predecessor"),
+        KIND_CORRUPT | KIND_CRASH => {
+            w.space
+                .with_digit(pidx, cur.node as usize, u64::from(cur.action))
+        }
+        other => unreachable!("symmetric stems have no {} edges", kind_name(other)),
+    };
+    let (canon, wi) = table.canon_witness(s, digits);
+    let (_, _, cur_cidx) = model.split(cur.key);
+    debug_assert_eq!(canon, cur_cidx, "the stored edge target is canonical");
+    table.elems()[wi].clone()
+}
+
+/// The enabled-action index at `node` taking `from` to `to` in world 0.
+fn matching_action<P: Enumerable>(model: &Model<'_, P>, from: u64, node: u32, to: u64) -> u32 {
+    let w = &model.worlds[0];
+    for a in 0.. {
+        match w.space.apply_move(&w.net, model.protocol, from, node, a) {
+            Some(next) if next == to => return a,
+            Some(_) => {}
+            None => break,
+        }
+    }
+    panic!("transported program moves stay enabled (bisimulation contract)")
+}
+
+/// Renders a canonical stem as a **realized** trace: every
+/// configuration, processor, and digit is mapped through an accumulated
+/// group element `h_i` so consecutive rendered configurations are
+/// genuine protocol/fault successors, and the final one equals
+/// `target(C_end)` exactly. The accumulation rule is
+/// `h_i = h_{i-1} ∘ w_i⁻¹` (with `w_i` the canonicalization witness of
+/// step `i`), and `h_0` is solved backwards so the final element lands
+/// on `target`. For models with only trivial groups this degrades to
+/// plain rendering.
+fn realized_steps<P: Enumerable>(
+    model: &Model<'_, P>,
+    stem: &[StemStep],
+    target: &SymElem,
+) -> Vec<TraceStep> {
+    if !model.symmetric() {
+        return stem_to_steps(model, stem);
+    }
+    // Non-trivial groups exist only for single-world models, so every
+    // step lives in world 0 and one table serves the whole stem.
+    let table = &model.sym[0];
+    let mut digits = Vec::new();
+
+    // Pass 1: collect the per-step witnesses and their accumulated
+    // product `f` (the total drift of a forward pass started at the
+    // identity).
+    let mut witnesses: Vec<Option<SymElem>> = vec![None];
+    let mut f = table.elems()[table.identity_index()].clone();
+    for i in 1..stem.len() {
+        let w = witness_for(model, table, &stem[i - 1], &stem[i], &mut digits);
+        f = SymElem::after(&f, &w.inverse());
+        witnesses.push(Some(w));
+    }
+
+    // Pass 2: anchor `h_0 = target ∘ f⁻¹` so `h_end = target`, then
+    // render.
+    let mut h = SymElem::after(target, &f.inverse());
+    let space = &model.worlds[0].space;
+    let mut steps = Vec::with_capacity(stem.len());
+    let mut prev_realized: Option<u64> = None;
+    for (i, s) in stem.iter().enumerate() {
+        let (world, _, cidx) = model.split(s.key);
+        debug_assert_eq!(world, 0, "symmetric models are single-world");
+        if let Some(w) = &witnesses[i] {
+            h = SymElem::after(&h, &w.inverse());
+        }
+        let realized = table.apply(&h, cidx, &mut digits);
+        let (kind, node, action) = match s.kind {
+            KIND_SEED => (KIND_SEED, u32::MAX, 0),
+            KIND_PROGRAM => {
+                let rv = h.sigma[s.node as usize];
+                let prev = prev_realized.expect("program steps have a predecessor");
+                (KIND_PROGRAM, rv, matching_action(model, prev, rv, realized))
+            }
+            KIND_CORRUPT | KIND_CRASH => {
+                let rv = h.sigma[s.node as usize];
+                let rd = h.digit_map[s.node as usize][s.action as usize];
+                if let Some(prev) = prev_realized {
+                    debug_assert_eq!(
+                        space.with_digit(prev, rv as usize, u64::from(rd)),
+                        realized,
+                        "realized fault edges chain"
+                    );
+                }
+                (s.kind, rv, rd)
+            }
+            other => unreachable!("symmetric stems have no {} edges", kind_name(other)),
+        };
+        prev_realized = Some(realized);
+        steps.push(TraceStep {
+            world,
+            kind: kind_name(kind),
+            node: (node != u32::MAX).then_some(node),
+            action,
+            config: format!("{:?}", space.decode(realized)),
+        });
+    }
+    steps
+}
+
 /// Builds a safety counterexample: a minimized stem ending at `key`.
 pub fn counterexample_to_state<P: Enumerable>(
     model: &Model<'_, P>,
@@ -351,8 +519,13 @@ pub fn counterexample_to_state<P: Enumerable>(
     let mut stem = raw_stem(model, result, key);
     let full = stem.len();
     minimize_stem(model, &mut stem);
+    // Identity anchor: the realized trace ends at exactly the stored
+    // witness configuration (where the predicate was evaluated).
+    let (world, _, _) = model.split(key);
+    let table = &model.sym[world as usize];
+    let id = table.elems()[table.identity_index()].clone();
     Counterexample {
-        stem: stem_to_steps(model, &stem),
+        stem: realized_steps(model, &stem, &id),
         cycle: Vec::new(),
         deadlock: false,
         stem_full_len: full,
@@ -382,11 +555,15 @@ pub fn counterexample_for_closure<P: Enumerable>(
         &mut actions,
         &mut succs,
     );
+    let mut digits = Vec::new();
     let edge = succs
         .iter()
-        .find(|s| model.key(world, budget_left, s.next) == succ)
+        .find(|s| model.canon_key(world, budget_left, s.next, &mut digits) == succ)
         .expect("closure violations are witnessed by a program edge");
-    let (world, config) = render_key(model, succ);
+    // Render the *raw* successor — the one the shard evaluated the
+    // legitimacy predicate on — so the appended move replays on the
+    // realized stem's final configuration.
+    let (world, config) = render_key(model, model.key(world, budget_left, edge.next));
     cx.stem.push(TraceStep {
         world,
         kind: kind_name(KIND_PROGRAM),
@@ -412,7 +589,22 @@ pub fn counterexample_from_lasso<P: Enumerable>(
     let mut stem = raw_stem(model, result, start_key);
     let full = stem.len();
     minimize_stem(model, &mut stem);
-    let mut stem_steps = stem_to_steps(model, &stem);
+    // Anchor the realized stem so its final configuration is the
+    // lasso's *raw* start: if `w(start) = canon(start)`, the target is
+    // `w⁻¹`. The cycle below then replays verbatim on raw configs.
+    let table = &model.sym[lasso.world as usize];
+    let mut digits = Vec::new();
+    let (_, wi) = table.canon_witness(lasso.start, &mut digits);
+    let target = table.elems()[wi].inverse();
+    let mut stem_steps = realized_steps(model, &stem, &target);
+    debug_assert_eq!(
+        stem_steps.last().map(|s| s.config.clone()),
+        Some(format!(
+            "{:?}",
+            model.worlds[lasso.world as usize].space.decode(lasso.start)
+        )),
+        "the realized stem ends at the lasso's raw start"
+    );
 
     // Replay the walk: prefix extends the stem, suffix is the cycle.
     let w = &model.worlds[lasso.world as usize];
@@ -476,6 +668,7 @@ mod tests {
             closure: true,
             liveness: Liveness::None,
             seeds: Seeds::Legitimate,
+            seed_list: None,
             faults: vec![FaultClass::Corrupt],
         };
         let pool = WorkerPool::new(2);
@@ -509,6 +702,8 @@ mod tests {
                 nodes: 2,
                 edges: 1,
                 configs: 9,
+                reachable: 9,
+                quotient: 9,
             }],
             states: 9,
             transitions: 12,
@@ -518,6 +713,10 @@ mod tests {
             legitimate: 1,
             diameter: 2,
             frontier: vec![9],
+            seen_entries: 9,
+            symmetry_enabled: false,
+            group_orders: vec![1],
+            raw_states: 9,
             properties: vec![PropertyReport {
                 name: "closure".into(),
                 kind: "safety",
@@ -529,6 +728,10 @@ mod tests {
         let json = cert.to_json();
         assert!(json.starts_with("{\n  \"schema\": \"sno-check/v1\""));
         assert!(json.contains("\"verdict\": \"pass\""));
+        assert!(json.contains(
+            "\"symmetry\": {\"enabled\": false, \"group\": [1], \
+             \"raw_states\": 9, \"quotient_states\": 9}"
+        ));
         assert!(json.ends_with("}\n"));
         assert_eq!(json, cert.to_json(), "rendering is a pure function");
     }

@@ -17,6 +17,15 @@
 //! (state/transition/dedup counters, frontier sizes) or a **min-combine**
 //! (canonical parent edges, first-violation witnesses), so the value is
 //! the same no matter which order the inbox happens to arrive in.
+//!
+//! With symmetry reduction on ([`CheckOptions::symmetry`]), every edge
+//! target is mapped to the canonical representative of its orbit
+//! *before* the key is packed — the seen-sets, the frontier, and the
+//! shard-owner function only ever observe canonical keys, so the
+//! quotiented search is exactly the plain search over a smaller graph
+//! and inherits its byte-for-byte shard/thread invariance.
+//!
+//! [`CheckOptions::symmetry`]: crate::model::CheckOptions
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -26,6 +35,7 @@ use sno_engine::Enumerable;
 use sno_fleet::WorkerPool;
 use sno_telemetry::ExploreStats;
 
+use crate::hash::FxBuildHasher;
 use crate::model::{CheckSpec, Model, Seeds};
 use crate::space::Succ;
 
@@ -87,7 +97,7 @@ impl Edge {
 
 struct Shard<P: Enumerable> {
     id: usize,
-    seen: HashMap<u64, Meta>,
+    seen: HashMap<u64, Meta, FxBuildHasher>,
     frontier: Vec<u64>,
     next: Vec<u64>,
     outbox: Vec<Vec<Edge>>,
@@ -101,15 +111,18 @@ struct Shard<P: Enumerable> {
     mapped: Vec<P::State>,
     actions: Vec<P::Action>,
     succs: Vec<Succ>,
+    digits: Vec<u64>,
 }
 
 /// Everything one exploration produced, sufficient for liveness
 /// analysis and counterexample extraction.
 #[derive(Debug)]
 pub struct ExploreResult {
-    /// Per-shard seen maps (key → discovery record).
-    pub seen: Vec<HashMap<u64, Meta>>,
-    /// Order-independent exploration counters.
+    /// Per-shard seen maps (key → discovery record). With symmetry on,
+    /// keys are orbit representatives.
+    pub seen: Vec<HashMap<u64, Meta, FxBuildHasher>>,
+    /// Order-independent exploration counters. With symmetry on,
+    /// `stats.states` counts **orbits**, not raw configurations.
     pub stats: ExploreStats,
     /// States newly discovered per BFS depth (`frontier[0]` = seeds).
     pub frontier: Vec<u64>,
@@ -122,7 +135,25 @@ pub struct ExploreResult {
     pub skipped_mappings: u64,
     /// Per-world sorted, deduplicated reachable configuration indices
     /// (collapsed over budget layers — closed under program moves).
+    /// Always the **raw** reachable set: with symmetry on, each stored
+    /// orbit is expanded back through the group, so the liveness
+    /// analyses see exactly what an unquotiented run would.
     pub reachable: Vec<Vec<u64>>,
+    /// Total seen-set entries across shards at termination (the
+    /// seen-sets never evict, so this is also their peak; equals
+    /// `stats.states` by construction and serves as a cross-check).
+    pub seen_entries: u64,
+    /// Orbit-expanded state count: the number of `(layer, config)`
+    /// states an unquotiented run would have stored. Equals
+    /// `stats.states` when every world's group is trivial.
+    pub raw_states: u64,
+    /// Per-world count of distinct reachable **canonical**
+    /// configurations (the quotient; equals `raw_configs` for trivial
+    /// groups).
+    pub quotient_configs: Vec<u64>,
+    /// Per-world count of distinct reachable raw configurations
+    /// (`reachable[w].len()`).
+    pub raw_configs: Vec<u64>,
     /// Minimal closure violation `(legitimate source key, illegitimate
     /// program-successor key)`, if any.
     pub closure_violation: Option<(u64, u64)>,
@@ -140,10 +171,14 @@ impl ExploreResult {
     }
 
     /// The minimal reachable key carrying `(world, config)` at any
-    /// budget layer, if that configuration was reached.
+    /// budget layer, if that configuration was reached. `config` is a
+    /// **raw** index; it is canonicalized before the probe, so the
+    /// result is the stored orbit representative's key.
     pub fn min_key<P: Enumerable>(&self, model: &Model<P>, world: u32, config: u64) -> Option<u64> {
+        let mut digits = Vec::new();
+        let c = model.sym[world as usize].canon(config, &mut digits);
         (0..=model.budget)
-            .map(|b| model.key(world, b, config))
+            .map(|b| model.key(world, b, c))
             .find(|&k| self.meta(model, k).is_some())
     }
 }
@@ -177,7 +212,7 @@ pub fn explore<P: Enumerable>(
     let mut fleet: Vec<Shard<P>> = (0..shards)
         .map(|id| Shard {
             id,
-            seen: HashMap::new(),
+            seen: HashMap::default(),
             frontier: Vec::new(),
             next: Vec::new(),
             outbox: (0..shards).map(|_| Vec::new()).collect(),
@@ -191,6 +226,7 @@ pub fn explore<P: Enumerable>(
             mapped: Vec::new(),
             actions: Vec::new(),
             succs: Vec::new(),
+            digits: Vec::new(),
         })
         .collect();
 
@@ -212,12 +248,35 @@ pub fn explore<P: Enumerable>(
         })
         .collect();
 
-    // Phase 0: seed. Each shard scans its stripe of world 0 and routes
-    // the kept keys to their owners.
+    // Phase 0: seed. Each shard scans its stripe of world 0 (or of the
+    // explicit seed list) and routes the kept keys — canonicalized, so
+    // symmetric seeds collapse before the first epoch — to their owners.
     let base = &model.worlds[0];
     let total = base.space.config_count();
     let initial_key = initial_digits_key(&initial_digits[0], base);
     pool.run_mut(&mut fleet, |_, shard: &mut Shard<P>| {
+        let push_seed = |shard: &mut Shard<P>, config: u64| {
+            let key = model.canon_key(0, model.budget, config, &mut shard.digits);
+            shard.outbox[model.owner(key, shards)].push(Edge {
+                key,
+                pred: key,
+                node: u32::MAX,
+                action: 0,
+                kind: KIND_SEED,
+            });
+        };
+        if let Some(list) = &spec.seed_list {
+            // Explicit seeds are striped by list position, not by value:
+            // the list may be tiny relative to the space, and position
+            // striping keeps every shard busy.
+            for (i, &config) in list.iter().enumerate() {
+                if i % shards == shard.id {
+                    debug_assert!(config < total, "seed-list index out of world 0");
+                    push_seed(shard, config);
+                }
+            }
+            return;
+        }
         let lo = total * shard.id as u64 / shards as u64;
         let hi = total * (shard.id as u64 + 1) / shards as u64;
         for config in lo..hi {
@@ -230,14 +289,7 @@ pub fn explore<P: Enumerable>(
                 Seeds::Initial => config == initial_key,
             };
             if keep {
-                let key = model.key(0, model.budget, config);
-                shard.outbox[model.owner(key, shards)].push(Edge {
-                    key,
-                    pred: key,
-                    node: u32::MAX,
-                    action: 0,
-                    kind: KIND_SEED,
-                });
+                push_seed(shard, config);
             }
         }
     });
@@ -324,6 +376,7 @@ pub fn explore<P: Enumerable>(
     let mut stats = ExploreStats::default();
     let mut legitimate = 0u64;
     let mut skipped = 0u64;
+    let mut seen_entries = 0u64;
     let mut closure_violation = None;
     let mut invariant_violations: Vec<Option<u64>> = vec![None; n_inv];
     let mut reachable: Vec<Vec<u64>> = model.worlds.iter().map(|_| Vec::new()).collect();
@@ -331,6 +384,7 @@ pub fn explore<P: Enumerable>(
         stats.merge(&shard.stats);
         legitimate += shard.legitimate;
         skipped += shard.skipped;
+        seen_entries += shard.seen.len() as u64;
         closure_violation = min_pair(closure_violation, shard.closure);
         for (ii, v) in shard.invariants.iter().enumerate() {
             invariant_violations[ii] = min_opt(invariant_violations[ii], *v);
@@ -340,9 +394,47 @@ pub fn explore<P: Enumerable>(
             reachable[world as usize].push(cidx);
         }
     }
-    for r in &mut reachable {
+    // `reachable` now holds orbit representatives. Record the quotient,
+    // then expand each orbit back through the group so the liveness
+    // analyses (and `raw_configs`) see the exact unquotiented set.
+    let mut quotient_configs = Vec::with_capacity(model.worlds.len());
+    let mut orbit_sizes: Vec<HashMap<u64, u64, FxBuildHasher>> = Vec::new();
+    let mut digits = Vec::new();
+    let mut images = Vec::new();
+    for (wi, r) in reachable.iter_mut().enumerate() {
         r.sort_unstable();
         r.dedup();
+        quotient_configs.push(r.len() as u64);
+        let table = &model.sym[wi];
+        if table.is_trivial() {
+            orbit_sizes.push(HashMap::default());
+            continue;
+        }
+        let mut sizes: HashMap<u64, u64, FxBuildHasher> = HashMap::default();
+        let mut expanded = Vec::new();
+        for &c in r.iter() {
+            table.orbit_into(c, &mut digits, &mut images);
+            sizes.insert(c, images.len() as u64);
+            expanded.extend_from_slice(&images);
+        }
+        // Distinct representatives have disjoint orbits; sorting alone
+        // restores the canonical order.
+        expanded.sort_unstable();
+        orbit_sizes.push(sizes);
+        *r = expanded;
+    }
+    let raw_configs: Vec<u64> = reachable.iter().map(|r| r.len() as u64).collect();
+    let mut raw_states = 0u64;
+    for shard in &fleet {
+        for &key in shard.seen.keys() {
+            let (world, _, cidx) = model.split(key);
+            let sizes = &orbit_sizes[world as usize];
+            raw_states += if model.sym[world as usize].is_trivial() {
+                1
+            } else {
+                sizes[&cidx]
+            };
+        }
     }
 
     ExploreResult {
@@ -353,6 +445,10 @@ pub fn explore<P: Enumerable>(
         legitimate,
         skipped_mappings: skipped,
         reachable,
+        seen_entries,
+        raw_states,
+        quotient_configs,
+        raw_configs,
         closure_violation,
         invariant_violations,
     }
@@ -384,7 +480,7 @@ fn expand_one<P: Enumerable>(
     let src_legit = spec.closure && (spec.legit)(&w.net, &shard.config);
     let succs = mem::take(&mut shard.succs);
     for s in &succs {
-        let next_key = model.key(world, budget_left, s.next);
+        let next_key = model.canon_key(world, budget_left, s.next, &mut shard.digits);
         shard.stats.transitions += 1;
         if src_legit {
             // Evaluate the successor's legitimacy by swapping the one
@@ -416,7 +512,12 @@ fn expand_one<P: Enumerable>(
                 if d == cur {
                     continue;
                 }
-                let next_key = model.key(world, budget_left - 1, w.space.with_digit(cidx, i, d));
+                let next_key = model.canon_key(
+                    world,
+                    budget_left - 1,
+                    w.space.with_digit(cidx, i, d),
+                    &mut shard.digits,
+                );
                 shard.stats.fault_transitions += 1;
                 shard.outbox[model.owner(next_key, shards)].push(Edge {
                     key: next_key,
@@ -435,7 +536,12 @@ fn expand_one<P: Enumerable>(
             if w.space.digit(cidx, i) == init {
                 continue;
             }
-            let next_key = model.key(world, budget_left - 1, w.space.with_digit(cidx, i, init));
+            let next_key = model.canon_key(
+                world,
+                budget_left - 1,
+                w.space.with_digit(cidx, i, init),
+                &mut shard.digits,
+            );
             shard.stats.fault_transitions += 1;
             shard.outbox[model.owner(next_key, shards)].push(Edge {
                 key: next_key,
@@ -461,7 +567,9 @@ fn expand_one<P: Enumerable>(
         shard.stats.fault_transitions += 1;
         match nw.space.encode(&shard.mapped) {
             Some(c2) => {
-                let next_key = model.key(world + 1, budget_left, c2);
+                // Multi-world models carry trivial tables, so this is
+                // the identity; kept uniform for when that changes.
+                let next_key = model.canon_key(world + 1, budget_left, c2, &mut shard.digits);
                 shard.outbox[model.owner(next_key, shards)].push(Edge {
                     key: next_key,
                     pred: key,
@@ -523,8 +631,65 @@ mod tests {
             closure: true,
             liveness: Liveness::None,
             seeds,
+            seed_list: None,
             faults,
         }
+    }
+
+    #[test]
+    fn symmetry_quotient_agrees_with_raw_run() {
+        // hop on star:4 has |G| = 6 (S_3 on the leaves); the quotiented
+        // run must reproduce the raw reachable set and counters exactly.
+        let g = sno_graph::generators::star(4);
+        let net = Network::new(g, NodeId::new(0));
+        let s = spec(&hop_legit, Seeds::AllConfigs, Vec::new());
+        let pool = WorkerPool::new(2);
+        let raw_model = Model::new(&net, &HopDistance, &[], &CheckOptions::default()).unwrap();
+        let raw = explore(&raw_model, &s, &pool, 2);
+        let opts = CheckOptions {
+            symmetry: true,
+            ..CheckOptions::default()
+        };
+        let sym_model = Model::new(&net, &HopDistance, &[], &opts).unwrap();
+        assert!(sym_model.symmetric());
+        let sym = explore(&sym_model, &s, &pool, 2);
+        assert!(sym.stats.states < raw.stats.states, "the quotient shrinks");
+        assert_eq!(sym.raw_states, raw.stats.states, "orbits expand back");
+        assert_eq!(sym.reachable, raw.reachable, "raw reachable is exact");
+        assert_eq!(sym.raw_configs, raw.raw_configs);
+        assert!(sym.quotient_configs[0] < raw.quotient_configs[0]);
+        assert_eq!(sym.seen_entries, sym.stats.states);
+        assert!(sym.closure_violation.is_none());
+        // Byte-identical across shardings, same as the raw search.
+        let one = explore(&sym_model, &s, &WorkerPool::new(1), 1);
+        assert_eq!(one.stats, sym.stats);
+        assert_eq!(one.frontier, sym.frontier);
+        for (key, meta) in one.seen[0].iter() {
+            assert_eq!(sym.meta(&sym_model, *key), Some(*meta));
+        }
+    }
+
+    #[test]
+    fn seed_list_overrides_the_scan() {
+        let g = sno_graph::generators::path(3);
+        let net = Network::new(g, NodeId::new(0));
+        let model = Model::new(&net, &HopDistance, &[], &CheckOptions::default()).unwrap();
+        // Seeding only the worst configuration reaches exactly the
+        // states on its convergence cone, not all 64.
+        let worst = model.worlds[0].space.encode(&[3, 3, 3]).unwrap();
+        let mut s = spec(&hop_legit, Seeds::AllConfigs, Vec::new());
+        s.seed_list = Some(vec![worst]);
+        let pool = WorkerPool::new(2);
+        let r = explore(&model, &s, &pool, 2);
+        assert!(r.stats.states < 64, "got {}", r.stats.states);
+        assert_eq!(r.frontier[0], 1, "one seed");
+        let full = explore(
+            &model,
+            &spec(&hop_legit, Seeds::AllConfigs, Vec::new()),
+            &pool,
+            2,
+        );
+        assert_eq!(full.stats.states, 64);
     }
 
     #[test]

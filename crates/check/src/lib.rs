@@ -43,6 +43,7 @@
 //!     closure: true,
 //!     liveness: Liveness::Both,
 //!     seeds: Seeds::AllConfigs,
+//!     seed_list: None,
 //!     faults: Vec::new(),
 //! };
 //! let pool = WorkerPool::new(2);
@@ -54,10 +55,13 @@
 pub mod analysis;
 pub mod certificate;
 pub mod explore;
+pub mod hash;
 pub mod model;
 pub mod space;
+pub mod symmetry;
 
 pub use analysis::{check_round_robin, check_unfair, Lasso, MoveStep, Verdict};
+pub use hash::{FxBuildHasher, FxHasher};
 pub use certificate::{
     counterexample_for_closure, counterexample_from_lasso, counterexample_to_state, Certificate,
     Counterexample, PropertyReport, TraceStep, WorldInfo,
@@ -67,6 +71,7 @@ pub use model::{
     CheckOptions, CheckSpec, FaultClass, Invariant, Liveness, Model, PredFn, Seeds, World,
 };
 pub use space::{StateSpace, Succ, TooLarge};
+pub use symmetry::{SymElem, SymmetryTable};
 
 use sno_engine::{Enumerable, Network};
 // Re-exported so downstream callers (the facade crate's examples, the
@@ -133,10 +138,13 @@ pub fn check<P: Enumerable>(
         worlds: model
             .worlds
             .iter()
-            .map(|w| WorldInfo {
+            .enumerate()
+            .map(|(wi, w)| WorldInfo {
                 nodes: w.net.node_count(),
                 edges: w.net.graph().edge_count(),
                 configs: w.space.config_count(),
+                reachable: result.raw_configs[wi],
+                quotient: result.quotient_configs[wi],
             })
             .collect(),
         states: result.stats.states,
@@ -147,6 +155,10 @@ pub fn check<P: Enumerable>(
         legitimate: result.legitimate,
         diameter: result.diameter,
         frontier: result.frontier.clone(),
+        seen_entries: result.seen_entries,
+        symmetry_enabled: options.symmetry,
+        group_orders: model.sym.iter().map(|t| t.group_order()).collect(),
+        raw_states: result.raw_states,
         properties,
     })
 }

@@ -26,6 +26,7 @@ use sno_engine::{Enumerable, Network, Protocol};
 use sno_graph::{NodeId, TopologyEvent};
 
 use crate::space::{StateSpace, TooLarge};
+use crate::symmetry::SymmetryTable;
 
 /// One class of injected faults, modeled as extra transitions.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +152,13 @@ pub struct CheckSpec<'a, P: Protocol> {
     pub liveness: Liveness,
     /// Where exploration starts.
     pub seeds: Seeds,
+    /// An explicit list of world-0 configuration indices to seed from,
+    /// overriding the [`Seeds`] regime's scan. Lets a caller check a
+    /// model whose configuration space is astronomically larger than
+    /// the reachable region (the composed `DFTNO` stack) by seeding
+    /// exactly the envelope of interest — e.g. the legitimate set plus
+    /// its fault perturbations, computed outside the checker.
+    pub seed_list: Option<Vec<u64>>,
     /// The fault vocabulary (extra transitions).
     pub faults: Vec<FaultClass>,
 }
@@ -166,6 +174,10 @@ pub struct CheckOptions {
     pub limit: u64,
     /// Budget of corrupt/crash fault transitions per execution.
     pub fault_budget: u32,
+    /// Quotient the search by the protocol-admitted automorphism group
+    /// (single-world models only; multi-world chains fall back to the
+    /// trivial group because a topology event breaks the symmetry).
+    pub symmetry: bool,
 }
 
 impl Default for CheckOptions {
@@ -175,6 +187,7 @@ impl Default for CheckOptions {
             shards: 1,
             limit: 1 << 22,
             fault_budget: 1,
+            symmetry: false,
         }
     }
 }
@@ -204,6 +217,9 @@ pub struct Model<'a, P: Enumerable> {
     pub crash: bool,
     /// Corrupt/crash transitions allowed per execution.
     pub budget: u32,
+    /// Per-world admitted symmetry groups (trivial when symmetry is off
+    /// or the model has several worlds).
+    pub sym: Vec<SymmetryTable>,
     stride: u64,
 }
 
@@ -282,14 +298,42 @@ impl<'a, P: Enumerable> Model<'a, P> {
                 limit: options.limit,
             });
         }
+        // A topology event moves states between worlds whose groups need
+        // not agree, so symmetry reduction is restricted to single-world
+        // models; everything else quotients by the trivial group.
+        let sym = worlds
+            .iter()
+            .map(|w| {
+                if options.symmetry && worlds.len() == 1 {
+                    SymmetryTable::build(&w.net, protocol, &w.space)
+                } else {
+                    SymmetryTable::trivial(&w.space)
+                }
+            })
+            .collect();
         Ok(Model {
             protocol,
             worlds,
             corrupt,
             crash,
             budget,
+            sym,
             stride,
         })
+    }
+
+    /// `true` iff some world's admitted group is non-trivial (the search
+    /// is actually quotiented).
+    pub fn symmetric(&self) -> bool {
+        self.sym.iter().any(|t| !t.is_trivial())
+    }
+
+    /// Packs the key of the **canonical representative** of
+    /// `(world, budget_left, config)`'s orbit. `digits` is reusable
+    /// scratch. This is the key the explorer stores and shards by.
+    pub fn canon_key(&self, world: u32, budget_left: u32, config: u64, digits: &mut Vec<u64>) -> u64 {
+        let c = self.sym[world as usize].canon(config, digits);
+        self.key(world, budget_left, c)
     }
 
     /// Number of `(world, budget-left)` layers.

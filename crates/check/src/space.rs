@@ -15,6 +15,8 @@ use sno_engine::protocol::ConfigView;
 use sno_engine::{apply_via_clone, Enumerable, Network};
 use sno_graph::NodeId;
 
+use crate::hash::FxBuildHasher;
+
 /// The model was too large to enumerate within the configured limit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TooLarge {
@@ -57,7 +59,7 @@ pub struct Succ {
 #[derive(Debug, Clone)]
 pub struct StateSpace<S> {
     spaces: Vec<Vec<S>>,
-    index_of: Vec<HashMap<S, usize>>,
+    index_of: Vec<HashMap<S, usize, FxBuildHasher>>,
     weights: Vec<u64>,
     total: u64,
 }
@@ -115,9 +117,25 @@ impl<S: Clone + Eq + std::hash::Hash> StateSpace<S> {
         self.total
     }
 
+    /// Number of processors (digits) in the encoding.
+    pub fn node_count(&self) -> usize {
+        self.spaces.len()
+    }
+
     /// The enumerated states of processor `i`.
     pub fn node_space(&self, i: usize) -> &[S] {
         &self.spaces[i]
+    }
+
+    /// The mixed-radix weight of processor `i`'s digit.
+    pub fn weight(&self, i: usize) -> u64 {
+        self.weights[i]
+    }
+
+    /// The index of state `s` in processor `i`'s enumeration, if
+    /// enumerated.
+    pub fn state_index(&self, i: usize, s: &S) -> Option<usize> {
+        self.index_of[i].get(s).copied()
     }
 
     /// Decodes `idx` into `out` (cleared first).

@@ -1,0 +1,411 @@
+//! Symmetry reduction: quotienting one world's configuration space by
+//! its admitted root-fixing automorphism group.
+//!
+//! [`SymmetryTable`] turns the graph-level group
+//! ([`sno_graph::automorphism`]) into an action on **configuration
+//! indices**: an automorphism `σ` moves processor `u`'s state to
+//! processor `σ(u)`, transported through
+//! [`Enumerable::permute_state`] (which may *veto* the element — the
+//! protocol-level soundness gate). The canonical representative of a
+//! configuration is the **minimum index** over its orbit; the explorer
+//! inserts only canonical keys into the seen-sets, so the BFS explores
+//! one state per orbit and stays byte-identical at any thread/shard
+//! count (the canonical key also decides the owner shard).
+//!
+//! Soundness does not depend on the admitted set being the *full*
+//! group — any subgroup quotients correctly — but it must be a group:
+//! after the per-element veto filter the table verifies closure under
+//! composition and inverse, and degrades to the trivial group if the
+//! protocol's vetoes broke it (it cannot, for the all-or-identity
+//! protocols in tree, but the check is what makes the claim local).
+
+use sno_engine::{Enumerable, Network};
+use sno_graph::automorphism::automorphism_group;
+use sno_graph::NodeId;
+
+use crate::space::StateSpace;
+
+/// Group-order cap: canonicalization costs `O(|G| · n)` per discovered
+/// state, so past a few hundred elements the quotient stops paying for
+/// itself; larger groups degrade to the trivial one.
+pub const GROUP_CAP: usize = 720;
+
+/// One admitted group element, as an action on configuration digits:
+/// processor `u`'s digit `d` becomes digit `digit_map[u][d]` **at
+/// processor `sigma[u]`**.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SymElem {
+    /// The node permutation `σ`.
+    pub sigma: Vec<u32>,
+    /// Per-node digit transport (a bijection onto `σ(u)`'s digits).
+    pub digit_map: Vec<Vec<u32>>,
+}
+
+impl SymElem {
+    /// The identity element for the given per-node radixes.
+    pub fn identity(radix: &[u64]) -> SymElem {
+        SymElem {
+            sigma: (0..radix.len() as u32).collect(),
+            digit_map: radix.iter().map(|&r| (0..r as u32).collect()).collect(),
+        }
+    }
+
+    /// `true` iff this element fixes every configuration.
+    pub fn is_identity(&self) -> bool {
+        self.sigma.iter().enumerate().all(|(u, &v)| u as u32 == v)
+            && self
+                .digit_map
+                .iter()
+                .all(|dm| dm.iter().enumerate().all(|(d, &e)| d as u32 == e))
+    }
+
+    /// The composition "`a` after `b`" (apply `b` first):
+    /// `(a∘b)(c) = a(b(c))`.
+    pub fn after(a: &SymElem, b: &SymElem) -> SymElem {
+        let sigma = b.sigma.iter().map(|&v| a.sigma[v as usize]).collect();
+        let digit_map = b
+            .digit_map
+            .iter()
+            .enumerate()
+            .map(|(u, dm)| {
+                let mid = b.sigma[u] as usize;
+                dm.iter().map(|&d| a.digit_map[mid][d as usize]).collect()
+            })
+            .collect();
+        SymElem { sigma, digit_map }
+    }
+
+    /// The inverse element.
+    pub fn inverse(&self) -> SymElem {
+        let n = self.sigma.len();
+        let mut sigma = vec![0u32; n];
+        let mut digit_map: Vec<Vec<u32>> = self
+            .digit_map
+            .iter()
+            .map(|dm| vec![0u32; dm.len()])
+            .collect();
+        for (u, &v) in self.sigma.iter().enumerate() {
+            sigma[v as usize] = u as u32;
+            for (d, &e) in self.digit_map[u].iter().enumerate() {
+                digit_map[v as usize][e as usize] = d as u32;
+            }
+        }
+        SymElem { sigma, digit_map }
+    }
+}
+
+/// One world's admitted symmetry group, with precomputed mixed-radix
+/// weights for the canonicalization hot path.
+#[derive(Debug, Clone)]
+pub struct SymmetryTable {
+    elems: Vec<SymElem>,
+    /// `target_weight[e][u]` = the mixed-radix weight of processor
+    /// `σ_e(u)` — the factor `digit_map[u][d]` is multiplied by.
+    target_weight: Vec<Vec<u64>>,
+    radix: Vec<u64>,
+    weights: Vec<u64>,
+    identity: usize,
+}
+
+impl SymmetryTable {
+    /// The trivial (identity-only) table for `space` — what symmetry-off
+    /// runs and vetoed groups use; `canon` is the identity on keys.
+    pub fn trivial<S: Clone + Eq + std::hash::Hash>(space: &StateSpace<S>) -> SymmetryTable {
+        let n = space.node_count();
+        let radix: Vec<u64> = (0..n).map(|i| space.node_space(i).len() as u64).collect();
+        let weights: Vec<u64> = (0..n).map(|i| space.weight(i)).collect();
+        SymmetryTable::from_elems(vec![SymElem::identity(&radix)], radix, weights)
+    }
+
+    /// Builds the admitted group of `net`'s root-fixing automorphisms
+    /// under `protocol`'s [`Enumerable::permute_state`] vetoes.
+    pub fn build<P: Enumerable>(
+        net: &Network,
+        protocol: &P,
+        space: &StateSpace<P::State>,
+    ) -> SymmetryTable {
+        let n = net.node_count();
+        let radix: Vec<u64> = (0..n).map(|i| space.node_space(i).len() as u64).collect();
+        let weights: Vec<u64> = (0..n).map(|i| space.weight(i)).collect();
+        let group = automorphism_group(net.graph(), net.root(), GROUP_CAP);
+        let mut admitted: Vec<SymElem> = Vec::with_capacity(group.len());
+        'elems: for a in &group {
+            let mut digit_map: Vec<Vec<u32>> = Vec::with_capacity(n);
+            for u in 0..n {
+                let su = a.node(u) as usize;
+                let src_space = space.node_space(u);
+                let dst_len = space.node_space(su).len();
+                if src_space.len() != dst_len {
+                    continue 'elems;
+                }
+                let mut dm = Vec::with_capacity(src_space.len());
+                let mut hit = vec![false; dst_len];
+                for s in src_space {
+                    let Some(mapped) = protocol.permute_state(
+                        net.ctx(NodeId::new(u)),
+                        net.ctx(NodeId::new(su)),
+                        a.port_map(u),
+                        s,
+                    ) else {
+                        continue 'elems;
+                    };
+                    let Some(d) = space.state_index(su, &mapped) else {
+                        continue 'elems;
+                    };
+                    if std::mem::replace(&mut hit[d], true) {
+                        continue 'elems; // transport must be injective
+                    }
+                    dm.push(d as u32);
+                }
+                digit_map.push(dm);
+            }
+            admitted.push(SymElem {
+                sigma: a.node_map().to_vec(),
+                digit_map,
+            });
+        }
+        admitted.sort();
+        admitted.dedup();
+        if !is_group(&admitted) {
+            // The vetoes broke the group structure; quotienting by a
+            // non-group would be unsound, so fall back to the identity.
+            admitted = vec![SymElem::identity(&radix)];
+        }
+        SymmetryTable::from_elems(admitted, radix, weights)
+    }
+
+    fn from_elems(mut elems: Vec<SymElem>, radix: Vec<u64>, weights: Vec<u64>) -> SymmetryTable {
+        elems.sort();
+        let target_weight = elems
+            .iter()
+            .map(|e| e.sigma.iter().map(|&v| weights[v as usize]).collect())
+            .collect();
+        let identity = elems
+            .iter()
+            .position(|e| e.is_identity())
+            .expect("every admitted group contains the identity");
+        SymmetryTable {
+            elems,
+            target_weight,
+            radix,
+            weights,
+            identity,
+        }
+    }
+
+    /// `true` iff the admitted group is `{identity}` (canonicalization
+    /// is the identity and every orbit is a singleton).
+    pub fn is_trivial(&self) -> bool {
+        self.elems.len() == 1
+    }
+
+    /// The admitted group order.
+    pub fn group_order(&self) -> u64 {
+        self.elems.len() as u64
+    }
+
+    /// The admitted elements, in canonical (sorted) order.
+    pub fn elems(&self) -> &[SymElem] {
+        &self.elems
+    }
+
+    /// The index of the identity element in [`SymmetryTable::elems`].
+    pub fn identity_index(&self) -> usize {
+        self.identity
+    }
+
+    /// Decodes `idx` into per-node digits (cleared first).
+    pub fn decode_digits(&self, idx: u64, out: &mut Vec<u64>) {
+        out.clear();
+        let mut rest = idx;
+        for &r in &self.radix {
+            out.push(rest % r);
+            rest /= r;
+        }
+    }
+
+    #[inline]
+    fn image(&self, e: usize, digits: &[u64]) -> u64 {
+        let elem = &self.elems[e];
+        let wt = &self.target_weight[e];
+        let mut img = 0u64;
+        for (u, &d) in digits.iter().enumerate() {
+            img += u64::from(elem.digit_map[u][d as usize]) * wt[u];
+        }
+        img
+    }
+
+    /// The canonical representative of `idx`'s orbit (minimum image).
+    /// `digits` is reusable scratch.
+    pub fn canon(&self, idx: u64, digits: &mut Vec<u64>) -> u64 {
+        if self.is_trivial() {
+            return idx;
+        }
+        self.decode_digits(idx, digits);
+        (0..self.elems.len())
+            .map(|e| self.image(e, digits))
+            .min()
+            .expect("group is non-empty")
+    }
+
+    /// The canonical representative plus the **first** element index
+    /// attaining it (deterministic witness: `apply(elems[w], idx)` =
+    /// the returned representative).
+    pub fn canon_witness(&self, idx: u64, digits: &mut Vec<u64>) -> (u64, usize) {
+        self.decode_digits(idx, digits);
+        let mut best = (self.image(0, digits), 0);
+        for e in 1..self.elems.len() {
+            let img = self.image(e, digits);
+            if img < best.0 {
+                best = (img, e);
+            }
+        }
+        best
+    }
+
+    /// Applies one element to a configuration index.
+    pub fn apply(&self, e: &SymElem, idx: u64, digits: &mut Vec<u64>) -> u64 {
+        self.decode_digits(idx, digits);
+        let mut img = 0u64;
+        for (u, &d) in digits.iter().enumerate() {
+            img += u64::from(e.digit_map[u][d as usize]) * self.weights[e.sigma[u] as usize];
+        }
+        img
+    }
+
+    /// The number of distinct configurations in `idx`'s orbit.
+    pub fn orbit_size(&self, idx: u64, digits: &mut Vec<u64>, images: &mut Vec<u64>) -> u64 {
+        if self.is_trivial() {
+            return 1;
+        }
+        self.orbit_into(idx, digits, images);
+        images.len() as u64
+    }
+
+    /// Fills `images` (cleared first) with the sorted, deduplicated
+    /// orbit of `idx`.
+    pub fn orbit_into(&self, idx: u64, digits: &mut Vec<u64>, images: &mut Vec<u64>) {
+        images.clear();
+        self.decode_digits(idx, digits);
+        for e in 0..self.elems.len() {
+            images.push(self.image(e, digits));
+        }
+        images.sort_unstable();
+        images.dedup();
+    }
+}
+
+/// Verifies that `elems` (sorted, deduplicated) is a group: non-empty,
+/// identity present, closed under composition and inverse.
+fn is_group(elems: &[SymElem]) -> bool {
+    if !elems.iter().any(|e| e.is_identity()) {
+        return false;
+    }
+    for a in elems {
+        if elems.binary_search(&a.inverse()).is_err() {
+            return false;
+        }
+        for b in elems {
+            if elems.binary_search(&SymElem::after(a, b)).is_err() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sno_engine::examples::{FairnessWitness, HopDistance};
+    use sno_engine::Network;
+
+    fn star_table(n: usize) -> (Network, StateSpace<u32>, SymmetryTable) {
+        let net = Network::new(sno_graph::generators::star(n), NodeId::new(0));
+        let space = StateSpace::new(&net, &HopDistance, 1 << 30).unwrap();
+        let table = SymmetryTable::build(&net, &HopDistance, &space);
+        (net, space, table)
+    }
+
+    #[test]
+    fn hop_on_star_admits_the_full_leaf_group() {
+        let (_, _, table) = star_table(5);
+        assert_eq!(table.group_order(), 24, "S_4 on the leaves");
+        assert!(!table.is_trivial());
+    }
+
+    #[test]
+    fn canon_is_idempotent_and_orbit_minimal() {
+        let (_, space, table) = star_table(4);
+        let mut digits = Vec::new();
+        let mut images = Vec::new();
+        for idx in 0..space.config_count() {
+            let c = table.canon(idx, &mut digits);
+            assert_eq!(table.canon(c, &mut digits), c, "idempotent");
+            table.orbit_into(idx, &mut digits, &mut images);
+            assert_eq!(c, images[0], "canonical = orbit minimum");
+            assert!(images.contains(&idx), "orbit contains the original");
+        }
+    }
+
+    #[test]
+    fn orbits_partition_the_space() {
+        let (_, space, table) = star_table(4);
+        let mut digits = Vec::new();
+        let mut images = Vec::new();
+        let mut total = 0u64;
+        for idx in 0..space.config_count() {
+            if table.canon(idx, &mut digits) == idx {
+                total += table.orbit_size(idx, &mut digits, &mut images);
+            }
+        }
+        assert_eq!(total, space.config_count());
+    }
+
+    #[test]
+    fn witness_element_maps_to_the_canonical_rep() {
+        let (_, space, table) = star_table(4);
+        let mut digits = Vec::new();
+        for idx in (0..space.config_count()).step_by(7) {
+            let (c, w) = table.canon_witness(idx, &mut digits);
+            let elem = table.elems()[w].clone();
+            assert_eq!(table.apply(&elem, idx, &mut digits), c);
+            let inv = elem.inverse();
+            assert_eq!(table.apply(&inv, c, &mut digits), idx);
+        }
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let (_, space, table) = star_table(4);
+        let mut digits = Vec::new();
+        let elems = table.elems();
+        let a = &elems[elems.len() - 1];
+        let b = &elems[1];
+        let ab = SymElem::after(a, b);
+        for idx in (0..space.config_count()).step_by(11) {
+            let seq = table.apply(a, table.apply(b, idx, &mut digits), &mut digits);
+            assert_eq!(table.apply(&ab, idx, &mut digits), seq);
+        }
+    }
+
+    #[test]
+    fn fairness_witness_on_ring_admits_the_reflection() {
+        let net = Network::new(sno_graph::generators::ring(5), NodeId::new(0));
+        let space = StateSpace::new(&net, &FairnessWitness, 1 << 20).unwrap();
+        let table = SymmetryTable::build(&net, &FairnessWitness, &space);
+        assert_eq!(table.group_order(), 2, "identity + root reflection");
+    }
+
+    #[test]
+    fn trivial_table_is_the_identity_on_keys() {
+        let net = Network::new(sno_graph::generators::star(4), NodeId::new(0));
+        let space = StateSpace::new(&net, &HopDistance, 1 << 20).unwrap();
+        let table = SymmetryTable::trivial(&space);
+        assert!(table.is_trivial());
+        let mut digits = Vec::new();
+        for idx in (0..space.config_count()).step_by(5) {
+            assert_eq!(table.canon(idx, &mut digits), idx);
+        }
+    }
+}

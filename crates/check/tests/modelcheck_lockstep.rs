@@ -38,6 +38,7 @@ fn spec<'a, P: Enumerable>(
         closure: true,
         liveness,
         seeds: Seeds::AllConfigs,
+        seed_list: None,
         faults: Vec::new(),
     }
 }
@@ -238,6 +239,63 @@ fn replay_lasso(net: &Network, cx: &Counterexample) {
         cycle_entry,
         "the cycle closes on itself"
     );
+}
+
+/// The hardest symmetry path end-to-end: with reduction on, lasso stems
+/// connect orbit *representatives*, and the certificate layer must
+/// permute every configuration, processor, and digit back through the
+/// accumulated witnesses before emitting the trace. If that realization
+/// is wrong anywhere, the trace will not replay on a live simulation.
+#[test]
+fn symmetric_lassos_replay_after_witness_realization() {
+    for topo in [generators::star(5), generators::ring(5)] {
+        let net = Network::new(topo, NodeId::new(0));
+        let pool = WorkerPool::new(2);
+        let opts = CheckOptions {
+            symmetry: true,
+            ..options()
+        };
+        let cert = check(
+            &net,
+            &FairnessWitness,
+            &spec(
+                "fairness-witness",
+                "sym",
+                &fairness_witness_legit,
+                Liveness::Both,
+            ),
+            &opts,
+            &pool,
+        )
+        .unwrap();
+        assert!(cert.raw_states > cert.states, "the group is non-trivial");
+        let unfair = cert
+            .properties
+            .iter()
+            .find(|p| p.daemon == "unfair")
+            .unwrap();
+        assert!(!unfair.holds, "the spinner starves a latch");
+        replay_lasso(&net, unfair.counterexample.as_ref().unwrap());
+
+        // Verdict equality with the unquotiented run, cell for cell.
+        let raw = check(
+            &net,
+            &FairnessWitness,
+            &spec(
+                "fairness-witness",
+                "sym",
+                &fairness_witness_legit,
+                Liveness::Both,
+            ),
+            &options(),
+            &pool,
+        )
+        .unwrap();
+        assert_eq!(cert.raw_states, raw.states);
+        for (a, b) in cert.properties.iter().zip(raw.properties.iter()) {
+            assert_eq!((a.holds, &a.name, a.daemon), (b.holds, &b.name, b.daemon));
+        }
+    }
 }
 
 proptest! {

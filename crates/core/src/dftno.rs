@@ -26,8 +26,8 @@ use rand::Rng as _;
 use rand::RngCore;
 use sno_engine::protocol::ProjectedView;
 use sno_engine::{
-    ApplyProfile, LayerLayout, LayerTxn, Network, NodeCtx, NodeView, PortCache, PortVerdict,
-    Protocol, ReadScope, Scratch, SpaceMeasured, StateTxn,
+    ApplyProfile, Enumerable, LayerLayout, LayerTxn, Network, NodeCtx, NodeView, PortCache,
+    PortVerdict, Protocol, ReadScope, Scratch, SpaceMeasured, StateTxn,
 };
 use sno_graph::Port;
 use sno_token::{TokenCirculation, TokenKind};
@@ -449,6 +449,47 @@ impl<T: TokenCirculation> Protocol for Dftno<T> {
             max: rng.random_range(0..n),
             pi: (0..ctx.degree).map(|_| rng.random_range(0..n)).collect(),
         }
+    }
+}
+
+impl<T> Enumerable for Dftno<T>
+where
+    T: TokenCirculation + Enumerable,
+{
+    fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<Self::State> {
+        // The substrate's space times the orientation variables. Every
+        // value the protocol ever writes stays inside it: `Nodelabel`
+        // and `UpdateMax` reduce mod N, `Edgelabel` writes chordal
+        // labels (already mod N) — so the exhaustive checker's successor
+        // closure holds. Substrate-major order keeps the token layer in
+        // the low digits.
+        let toks = self.token.enumerate_states(ctx);
+        let n = ctx.n_bound as u64;
+        let deg = ctx.degree;
+        let labelings = n.pow(deg as u32);
+        let mut out =
+            Vec::with_capacity(toks.len() * (n * n * labelings) as usize);
+        for token in &toks {
+            for eta in 0..n as u32 {
+                for max in 0..n as u32 {
+                    for labeling in 0..labelings {
+                        let mut code = labeling;
+                        let mut pi = Vec::with_capacity(deg);
+                        for _ in 0..deg {
+                            pi.push((code % n) as u32);
+                            code /= n;
+                        }
+                        out.push(DftnoState {
+                            token: token.clone(),
+                            eta,
+                            max,
+                            pi,
+                        });
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

@@ -174,6 +174,20 @@ impl Enumerable for HopDistance {
     fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<u32> {
         (0..=ctx.n_bound as u32).collect()
     }
+
+    fn permute_state(
+        &self,
+        _src: &NodeCtx,
+        _dst: &NodeCtx,
+        _port_map: &[Port],
+        state: &u32,
+    ) -> Option<u32> {
+        // A distance value carries no port structure, the guard compares
+        // against an unordered neighbor minimum, and the all-`N` initial
+        // configuration is constant — every root-fixing automorphism is
+        // a bisimulation, so transport is the identity on the value.
+        Some(*state)
+    }
 }
 
 impl SpaceMeasured for HopDistance {
@@ -241,6 +255,20 @@ impl Protocol for FairnessWitness {
 impl Enumerable for FairnessWitness {
     fn enumerate_states(&self, _ctx: &NodeCtx) -> Vec<bool> {
         vec![false, true]
+    }
+
+    fn permute_state(
+        &self,
+        _src: &NodeCtx,
+        _dst: &NodeCtx,
+        _port_map: &[Port],
+        state: &bool,
+    ) -> Option<bool> {
+        // The guard reads only `is_root` and the latch bit; admitted
+        // automorphisms fix the root, the all-`false` initial
+        // configuration is constant, and legitimacy ("every non-root
+        // latched") is permutation-invariant.
+        Some(*state)
     }
 }
 

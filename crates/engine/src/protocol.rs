@@ -1140,6 +1140,37 @@ pub trait Enumerable: Protocol {
     /// Every value the processor's variables can take, for exhaustive
     /// verification of closure and convergence on small networks.
     fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<Self::State>;
+
+    /// Transports a state from the processor at `src` to the processor
+    /// at `dst` along one leg of a root-fixing graph automorphism `σ`
+    /// (`dst = σ(src)`); `port_map[l]` is the port of `dst` that `σ`
+    /// sends `src`'s port `l` to. Returning `None` **vetoes** the
+    /// automorphism for symmetry reduction — the checker only quotients
+    /// by automorphisms every leg of which maps.
+    ///
+    /// Contract for a protocol that admits non-identity legs: `σ` must
+    /// be a *bisimulation* of the checked model — enabled actions,
+    /// their effects, legitimacy, and every checked invariant must
+    /// commute with the transport (and the `Initial` seed configuration
+    /// must be a fixed point of the admitted group). Protocols whose
+    /// state stores port numbers, or whose guards break ties by port
+    /// order, generally cannot admit non-monotone port maps.
+    ///
+    /// The default admits only **identity legs** (`src == dst` with the
+    /// identity port map). On a connected rooted graph the only
+    /// automorphism all of whose legs are identities is the identity
+    /// itself, so the default is sound for *every* protocol with no
+    /// per-protocol analysis — it simply opts out of the reduction.
+    fn permute_state(
+        &self,
+        src: &NodeCtx,
+        dst: &NodeCtx,
+        port_map: &[Port],
+        state: &Self::State,
+    ) -> Option<Self::State> {
+        let identity = src.id == dst.id && port_map.iter().enumerate().all(|(l, p)| p.index() == l);
+        identity.then(|| state.clone())
+    }
 }
 
 /// Protocols that can account for their space usage, reproducing the

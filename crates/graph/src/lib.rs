@@ -32,6 +32,7 @@
 mod graph;
 mod id;
 
+pub mod automorphism;
 pub mod dot;
 pub mod generators;
 pub mod mutate;

@@ -12,10 +12,10 @@
 //! ```
 //!
 //! The **certificate suite** ([`cert_suite`]) is the bounded CI gate:
-//! seven cells covering every property kind the checker knows — closure,
+//! cells covering every property kind the checker knows — closure,
 //! unfair and round-robin convergence, a budgeted corruption envelope,
-//! and a disconnecting [`TopologyEvent`] world chain — each with its
-//! expected verdicts pinned. The suite JSON ([`suite_json`]) is
+//! a disconnecting [`TopologyEvent`] world chain, and symmetry-reduced
+//! regimes — each with its expected verdicts pinned. The suite JSON ([`suite_json`]) is
 //! deterministic, so CI `cmp`s the artifact byte-for-byte across fleet
 //! thread and shard counts. States/second is printed to stdout only;
 //! no wall-clock value ever reaches the JSON.
@@ -30,7 +30,7 @@ use sno_fleet::WorkerPool;
 use sno_graph::{GeneratorSpec, NodeId, RootedTree, TopologyEvent};
 
 /// The stack names [`run_cell`] can instantiate.
-pub const STACKS: [&str; 7] = [
+pub const STACKS: [&str; 8] = [
     "hop",
     "bfs-tree",
     "cd-token",
@@ -38,6 +38,7 @@ pub const STACKS: [&str; 7] = [
     "fairness-witness",
     "dcd",
     "dijkstra-ring",
+    "dftno",
 ];
 
 /// One protocol × topology × regime cell to check.
@@ -57,6 +58,12 @@ pub struct CheckCell {
     pub liveness: Liveness,
     /// Fault classes explored as extra transitions.
     pub faults: Vec<FaultClass>,
+    /// Quotient the search by the protocol-admitted automorphism group.
+    pub symmetry: bool,
+    /// Per-cell override of the configuration-count limit (the composed
+    /// `dftno` space dwarfs the default; its seed list keeps the
+    /// *reachable* set bounded).
+    pub limit: Option<u64>,
 }
 
 impl CheckCell {
@@ -69,6 +76,8 @@ impl CheckCell {
             seeds: Seeds::AllConfigs,
             liveness: Liveness::Both,
             faults: Vec::new(),
+            symmetry: false,
+            limit: None,
         }
     }
 }
@@ -151,6 +160,7 @@ fn run_with<P: Enumerable>(
     cell: &CheckCell,
     options: &CheckOptions,
     pool: &WorkerPool,
+    seed_list: Option<Vec<u64>>,
 ) -> Result<Certificate, String> {
     let spec = CheckSpec {
         protocol: cell.stack.clone(),
@@ -160,9 +170,90 @@ fn run_with<P: Enumerable>(
         closure: true,
         liveness: cell.liveness,
         seeds: cell.seeds,
+        seed_list,
         faults: cell.faults.clone(),
     };
     check(net, protocol, &spec, options, pool).map_err(|e| e.to_string())
+}
+
+/// Computes the forward-closed legitimate cycle of the composed `DFTNO`
+/// stack: converge from the protocol's initial configuration under a
+/// round-robin schedule, then close the converged configuration under
+/// program moves (legitimate configurations are sequential, so this is
+/// the entire circulation cycle). The sorted indices both seed the
+/// checker's corruption-from-`L` envelope (no scan of the
+/// astronomically large product space) and *define* `L` extensionally:
+/// the golden-orientation predicate alone is **not** closed, because a
+/// corrupted `Max` still satisfies it yet mislabels `η` on the next
+/// `Forward` — the cycle set is the largest invariant inside it.
+fn dftno_legit_cycle(
+    net: &Network,
+    proto: &sno_core::Dftno<sno_token::DfsTokenCirculation>,
+    limit: u64,
+) -> Result<(sno_check::StateSpace<sno_core::dftno::DftnoState<sno_token::dftc::DftcState>>, Vec<u64>), String> {
+    use sno_engine::Protocol as _;
+    type S = sno_core::dftno::DftnoState<sno_token::dftc::DftcState>;
+    let space: sno_check::StateSpace<S> =
+        sno_check::StateSpace::new(net, proto, limit).map_err(|e| e.to_string())?;
+    let legit = |c: &[S]| {
+        if !sno_core::dftno::dftno_golden(net, c) {
+            return false;
+        }
+        let toks: Vec<sno_token::dftc::DftcState> =
+            c.iter().map(|s| s.token.clone()).collect();
+        sno_token::dftc::dftc_legit(net, &toks)
+    };
+    let init: Vec<S> = net
+        .nodes()
+        .map(|p| proto.initial_state(net.ctx(p)))
+        .collect();
+    let mut idx = space
+        .encode(&init)
+        .ok_or("initial configuration is not enumerated")?;
+    let n = net.node_count();
+    let mut rr = 0usize;
+    let mut steps = 0u32;
+    while !legit(&space.decode(idx)) {
+        steps += 1;
+        if steps > 200_000 {
+            return Err("DFTNO did not converge within the step cap".into());
+        }
+        let moved = (0..n).find_map(|off| {
+            let node = ((rr + off) % n) as u32;
+            space
+                .apply_move(net, proto, idx, node, 0)
+                .map(|next| (node, next))
+        });
+        let Some((node, next)) = moved else {
+            return Err("DFTNO deadlocked before reaching L".into());
+        };
+        idx = next;
+        rr = (node as usize + 1) % n;
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    seen.insert(idx);
+    let mut stack = vec![idx];
+    let mut actions = Vec::new();
+    let mut succs = Vec::new();
+    while let Some(cur) = stack.pop() {
+        let cfg = space.decode(cur);
+        succs.clear();
+        space.successors_into(net, proto, cur, &cfg, &mut actions, &mut succs);
+        for s in &succs {
+            if seen.contains(&s.next) {
+                continue;
+            }
+            if !legit(&space.decode(s.next)) {
+                return Err("legitimate set is not closed under program moves".into());
+            }
+            seen.insert(s.next);
+            stack.push(s.next);
+        }
+        if seen.len() > 100_000 {
+            return Err("legitimate cycle exceeds the seed cap".into());
+        }
+    }
+    Ok((space, seen.into_iter().collect()))
 }
 
 /// Instantiates `cell`'s stack and runs the checker.
@@ -177,6 +268,12 @@ pub fn run_cell(
     options: &CheckOptions,
     pool: &WorkerPool,
 ) -> Result<Certificate, String> {
+    let mut options = *options;
+    options.symmetry = options.symmetry || cell.symmetry;
+    if let Some(l) = cell.limit {
+        options.limit = l;
+    }
+    let options = &options;
     let g = cell.topology.build(cell.size, cell.graph_seed);
     let n = g.node_count();
     for f in &cell.faults {
@@ -195,7 +292,7 @@ pub fn run_cell(
     match cell.stack.as_str() {
         "hop" => {
             let net = Network::new(g, root);
-            run_with(&net, &HopDistance, &hop_distance_legit, cell, options, pool)
+            run_with(&net, &HopDistance, &hop_distance_legit, cell, options, pool, None)
         }
         "bfs-tree" => {
             let net = Network::new(g, root);
@@ -206,6 +303,7 @@ pub fn run_cell(
                 cell,
                 options,
                 pool,
+                None,
             )
         }
         "cd-token" => {
@@ -217,6 +315,7 @@ pub fn run_cell(
                 cell,
                 options,
                 pool,
+                None,
             )
         }
         "fairness-witness" => {
@@ -228,6 +327,7 @@ pub fn run_cell(
                 cell,
                 options,
                 pool,
+                None,
             )
         }
         "fixed-token" => {
@@ -237,7 +337,7 @@ pub fn run_cell(
             let proto = sno_token::FixedTreeToken::from_graph(&g, &tree);
             let net = Network::new(g, root);
             let legit = |_: &Network, c: &[sno_token::tok::TokState]| proto.is_legitimate(c);
-            run_with(&net, &proto, &legit, cell, options, pool)
+            run_with(&net, &proto, &legit, cell, options, pool, None)
         }
         "dcd" => {
             // No joins in the checked world chain, so the tight bound:
@@ -250,6 +350,7 @@ pub fn run_cell(
                 cell,
                 options,
                 pool,
+                None,
             )
         }
         "dijkstra-ring" => {
@@ -259,7 +360,26 @@ pub fn run_cell(
             let net = Network::new(g, root);
             let proto = DijkstraRing::on_ring(&net, net.node_count() as u32);
             let legit = |net: &Network, c: &[u32]| proto.count_privileges(net, c) == 1;
-            run_with(&net, &proto, &legit, cell, options, pool)
+            run_with(&net, &proto, &legit, cell, options, pool, None)
+        }
+        "dftno" => {
+            // The full composed stack: orientation over the
+            // self-stabilizing DFS token circulation. Its product space
+            // is far beyond exhaustive seeding, so the cell seeds from
+            // the explicit legitimate cycle (corruption-from-`L`), and
+            // `L` is that cycle — see `dftno_legit_cycle` for why the
+            // intensional golden predicate is not closed.
+            let net = Network::new(g, root);
+            let proto = sno_core::Dftno::new(sno_token::DfsTokenCirculation);
+            let (space, seeds) = dftno_legit_cycle(&net, &proto, options.limit)?;
+            let seed_list = seeds.clone();
+            let legit = move |_: &Network,
+                              c: &[sno_core::dftno::DftnoState<sno_token::dftc::DftcState>]| {
+                space
+                    .encode(c)
+                    .is_some_and(|i| seeds.binary_search(&i).is_ok())
+            };
+            run_with(&net, &proto, &legit, cell, options, pool, Some(seed_list))
         }
         other => Err(format!(
             "unknown stack `{other}` (expected one of {})",
@@ -280,7 +400,7 @@ pub struct SuiteCell {
 
 /// The bounded CI certificate suite.
 ///
-/// Seven cells, one per property regime the checker supports:
+/// One cell per property regime the checker supports:
 ///
 /// 1. `hop` / `path:4` — the baseline: closure plus both convergences.
 /// 2. `bfs-tree` / `ring:3` — a cyclic topology (E11's triangle).
@@ -299,6 +419,20 @@ pub struct SuiteCell {
 ///    saturate at the sentinel).
 /// 7. `hop` / `star:5` + `corrupt` from the legitimate set — the
 ///    budgeted fault-reachable envelope.
+/// 8. `hop` / `star:6` with **symmetry reduction** — the leaf group
+///    `S_5` (order 120) quotients the breadth-first search; verdicts
+///    must match the unquotiented regime cell for cell.
+/// 9. `hop` / `ring:5` with symmetry reduction — the root-fixing ring
+///    group is just the reflection (order 2), the information-theoretic
+///    ceiling on a ring; kept as the honest small-group cell.
+/// 10. `dftno` / `path:3` + `corrupt` from the legitimate cycle
+///     (release builds only) — the full composed stack of Algorithm
+///     3.1.1 over the self-stabilizing token circulation, seeded by the
+///     explicit legitimate cycle because its product space (~10^11
+///     configurations) cannot be scanned; `L` is that cycle
+///     (extensionally — see [`dftno_legit_cycle`]'s closure caveat) and
+///     the pinned verdict is its closure/containment under the
+///     corruption envelope.
 pub fn cert_suite() -> Vec<SuiteCell> {
     let mut dcd = CheckCell::new("dcd", GeneratorSpec::Path, 4);
     dcd.liveness = Liveness::Unfair;
@@ -310,7 +444,7 @@ pub fn cert_suite() -> Vec<SuiteCell> {
     envelope.seeds = Seeds::Legitimate;
     envelope.liveness = Liveness::Unfair;
     envelope.faults = vec![FaultClass::Corrupt];
-    vec![
+    let mut cells = vec![
         SuiteCell {
             cell: CheckCell::new("hop", GeneratorSpec::Path, 4),
             expect: &[true, true, true],
@@ -339,7 +473,34 @@ pub fn cert_suite() -> Vec<SuiteCell> {
             cell: envelope,
             expect: &[true, true],
         },
-    ]
+    ];
+    let mut sym_star = CheckCell::new("hop", GeneratorSpec::Star, 6);
+    sym_star.symmetry = true;
+    cells.push(SuiteCell {
+        cell: sym_star,
+        expect: &[true, true, true],
+    });
+    let mut sym_ring = CheckCell::new("hop", GeneratorSpec::Ring, 5);
+    sym_ring.symmetry = true;
+    cells.push(SuiteCell {
+        cell: sym_ring,
+        expect: &[true, true, true],
+    });
+    if !cfg!(debug_assertions) {
+        // The composed-stack envelope explores millions of states; only
+        // release builds (the CI modelcheck job, `--suite` runs of the
+        // installed binary) carry it.
+        let mut dftno = CheckCell::new("dftno", GeneratorSpec::Path, 3);
+        dftno.seeds = Seeds::Legitimate;
+        dftno.liveness = Liveness::None;
+        dftno.faults = vec![FaultClass::Corrupt];
+        dftno.limit = Some(1 << 39);
+        cells.push(SuiteCell {
+            cell: dftno,
+            expect: &[true],
+        });
+    }
+    cells
 }
 
 /// Renders a deterministic `sno-check-suite/v1` JSON document embedding
@@ -369,6 +530,9 @@ pub struct CheckArgs {
     pub threads: Option<usize>,
     /// Checker tuning (`threads` is overwritten at run time).
     pub options: CheckOptions,
+    /// `--symmetry on|off`: force symmetry reduction on or off for every
+    /// cell (overriding the per-cell suite defaults); `None` keeps them.
+    pub symmetry: Option<bool>,
     /// Write the certificate (or suite document) here.
     pub json: Option<String>,
 }
@@ -384,9 +548,23 @@ fn render_cell_header(cell: &CheckCell, cert: &Certificate, secs: f64) -> String
     } else {
         0
     };
+    let sym = if cert.symmetry_enabled {
+        format!(
+            ", symmetry |G|={} ({} raw -> {} orbits)",
+            cert.group_orders
+                .iter()
+                .map(|g| g.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+            cert.raw_states,
+            cert.states
+        )
+    } else {
+        String::new()
+    };
     format!(
         "{} on {} [{}, {}{}]: {} states, {} transitions ({} fault), \
-         {} legitimate, diameter {} — {} states/s",
+         {} legitimate, diameter {}{} — {} states/s",
         cell.stack,
         cert.topology,
         cert.seeds,
@@ -397,6 +575,7 @@ fn render_cell_header(cell: &CheckCell, cert: &Certificate, secs: f64) -> String
         cert.fault_transitions,
         cert.legitimate,
         cert.diameter,
+        sym,
         rate
     )
 }
@@ -433,24 +612,28 @@ pub fn run_check_command(args: &CheckArgs) -> i32 {
         let mut certs = Vec::new();
         let mut mismatches = Vec::new();
         for sc in cert_suite() {
+            let mut cell = sc.cell.clone();
+            if let Some(sym) = args.symmetry {
+                cell.symmetry = sym;
+            }
             let started = Instant::now();
-            let cert = match run_cell(&sc.cell, &options, &pool) {
+            let cert = match run_cell(&cell, &options, &pool) {
                 Ok(c) => c,
                 Err(e) => {
-                    eprintln!("error: {}: {e}", sc.cell.stack);
+                    eprintln!("error: {}: {e}", cell.stack);
                     return 1;
                 }
             };
             println!(
                 "{}",
-                render_cell_header(&sc.cell, &cert, started.elapsed().as_secs_f64())
+                render_cell_header(&cell, &cert, started.elapsed().as_secs_f64())
             );
             print!("{}", render_properties(&cert));
             let got: Vec<bool> = cert.properties.iter().map(|p| p.holds).collect();
             if got != sc.expect {
                 mismatches.push(format!(
                     "{} on {}: expected verdicts {:?}, got {:?}",
-                    sc.cell.stack, cert.topology, sc.expect, got
+                    cell.stack, cert.topology, sc.expect, got
                 ));
             }
             certs.push(cert);
@@ -472,10 +655,14 @@ pub fn run_check_command(args: &CheckArgs) -> i32 {
             1
         }
     } else {
-        let cell = args
+        let mut cell = args
             .cell
-            .as_ref()
+            .clone()
             .expect("non-suite invocations carry a cell");
+        if let Some(sym) = args.symmetry {
+            cell.symmetry = sym;
+        }
+        let cell = &cell;
         let started = Instant::now();
         let cert = match run_cell(cell, &options, &pool) {
             Ok(c) => c,
@@ -582,11 +769,94 @@ mod tests {
         // The disconnecting world chain is present and explored.
         assert_eq!(certs[5].worlds.len(), 2);
         assert!(certs[5].fault_transitions > 0);
+        // The symmetry-reduced cells really quotient: the star's leaf
+        // group has order 120, the ring's reflection group order 2, and
+        // the orbit-expanded raw count matches the unquotiented space.
+        let star = &certs[7];
+        assert!(star.symmetry_enabled);
+        assert_eq!(star.group_orders, vec![120]);
+        assert_eq!(star.raw_states, 117_649);
+        assert!(star.raw_states >= 5 * star.states, "≥5x reduction on star");
+        let ring = &certs[8];
+        assert_eq!(ring.group_orders, vec![2]);
+        assert_eq!(ring.raw_states, 7_776);
         // The suite document embeds every certificate and is a pure
         // function of the verdicts.
         let doc = suite_json(&certs);
         assert!(doc.starts_with("{\n\"schema\": \"sno-check-suite/v1\""));
-        assert_eq!(doc.matches("\"schema\": \"sno-check/v1\"").count(), 7);
+        assert_eq!(
+            doc.matches("\"schema\": \"sno-check/v1\"").count(),
+            cert_suite().len()
+        );
         assert_eq!(doc, suite_json(&certs));
+    }
+
+    #[test]
+    fn dftno_seed_cycle_is_legitimate_and_closed() {
+        use sno_engine::Protocol as _;
+        let g = GeneratorSpec::Path.build(3, 0);
+        let net = Network::new(g, NodeId::new(0));
+        let proto = sno_core::Dftno::new(sno_token::DfsTokenCirculation);
+        let (space, seeds) = dftno_legit_cycle(&net, &proto, 1 << 39).unwrap();
+        assert!(!seeds.is_empty());
+        assert!(seeds.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+        // Every seed is a golden-oriented legitimate configuration, and
+        // the protocol's initial configuration is NOT one of them (the
+        // cycle is reached, not assumed).
+        for &s in &seeds {
+            let cfg = space.decode(s);
+            assert!(sno_core::dftno::dftno_golden(&net, &cfg));
+        }
+        let init: Vec<_> = net
+            .nodes()
+            .map(|p| proto.initial_state(net.ctx(p)))
+            .collect();
+        let init = space.encode(&init).unwrap();
+        assert!(seeds.binary_search(&init).is_err());
+    }
+
+    /// Satellite property: on random small instances of every CLI stack
+    /// and topology, the quotiented run returns the same verdicts as the
+    /// unquotiented one, explores no more states, and its orbit-expanded
+    /// raw count equals the raw run's state count exactly.
+    fn sym_cell(stack: &str, pick: usize) -> CheckCell {
+        use GeneratorSpec::{Path, Ring, Star};
+        let (topo, size) = match stack {
+            "hop" => [(Path, 4), (Ring, 4), (Star, 5)][pick % 3],
+            "bfs-tree" => [(Ring, 3), (Path, 3), (Star, 4)][pick % 3],
+            "cd-token" => [(Path, 3), (Ring, 3), (Star, 3)][pick % 3],
+            "fixed-token" => [(Path, 3), (Star, 3), (Ring, 3)][pick % 3],
+            "fairness-witness" => [(Star, 4), (Ring, 5), (Path, 4)][pick % 3],
+            "dcd" => [(Path, 3), (Ring, 4), (Star, 4)][pick % 3],
+            "dijkstra-ring" => [(Ring, 3), (Ring, 4), (Ring, 5)][pick % 3],
+            other => panic!("no symmetry case for {other}"),
+        };
+        CheckCell::new(stack, topo, size)
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn quotiented_runs_agree_with_raw_runs(stack_i in 0usize..7, pick in 0usize..3) {
+            use proptest::prelude::prop_assert_eq;
+            let pool = WorkerPool::new(2);
+            let mut cell = sym_cell(STACKS[stack_i], pick);
+            let raw = run_cell(&cell, &opts(2, 3), &pool).unwrap();
+            cell.symmetry = true;
+            let sym = run_cell(&cell, &opts(2, 3), &pool).unwrap();
+            prop_assert_eq!(sym.raw_states, raw.states);
+            assert!(sym.states <= raw.states, "quotient never exceeds raw");
+            prop_assert_eq!(sym.properties.len(), raw.properties.len());
+            for (a, b) in sym.properties.iter().zip(raw.properties.iter()) {
+                prop_assert_eq!(
+                    (a.holds, &a.name, a.daemon),
+                    (b.holds, &b.name, b.daemon)
+                );
+            }
+            for (ws, wr) in sym.worlds.iter().zip(raw.worlds.iter()) {
+                prop_assert_eq!(ws.reachable, wr.reachable);
+            }
+        }
     }
 }

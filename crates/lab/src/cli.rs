@@ -110,7 +110,7 @@ RUN OPTIONS (comma-separated lists):
 
 CHECK OPTIONS:
     --stack NAME          enumerable stack: hop, bfs-tree, cd-token, fixed-token,
-                          fairness-witness, dcd, dijkstra-ring
+                          fairness-witness, dcd, dijkstra-ring, dftno
                           (required unless --suite)
     --topology FAMILY     topology family, e.g. path, ring, star (required)
     --size N              node count (required)
@@ -121,6 +121,8 @@ CHECK OPTIONS:
                           corrupt, crash, link-fail:U-V, link-add:U-V
     --budget K            corrupt/crash transitions per execution [default: 1]
     --limit N             per-world configuration limit      [default: 4194304]
+    --symmetry on|off     force automorphism-group symmetry reduction on or off
+                          for every cell (default: per-cell suite settings)
     --threads N           fleet threads                      [default: all cores]
     --shards N            seen-set shards                    [default: 1]
     --json PATH           write the certificate (or suite document) to PATH
@@ -332,6 +334,7 @@ fn parse_check(args: &[String]) -> Result<Command, String> {
     let mut faults = Vec::new();
     let mut threads = None;
     let mut options = sno_check::CheckOptions::default();
+    let mut symmetry = None;
     let mut json = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -405,6 +408,14 @@ fn parse_check(args: &[String]) -> Result<Command, String> {
                 }
                 options.shards = k;
             }
+            "--symmetry" => {
+                let v = value()?;
+                symmetry = Some(match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("bad `--symmetry` value `{other}` (want on|off)")),
+                });
+            }
             "--json" => json = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -432,6 +443,8 @@ fn parse_check(args: &[String]) -> Result<Command, String> {
             seeds,
             liveness,
             faults,
+            symmetry: false,
+            limit: None,
         })
     };
     Ok(Command::Check(Box::new(CheckArgs {
@@ -439,6 +452,7 @@ fn parse_check(args: &[String]) -> Result<Command, String> {
         cell,
         threads,
         options,
+        symmetry,
         json,
     })))
 }
@@ -818,12 +832,31 @@ mod tests {
         assert_eq!(cell.liveness, sno_check::Liveness::Unfair);
         assert_eq!(cell.faults.len(), 2);
 
+        assert_eq!(check.symmetry, None);
+
         let cmd = parse_args(&args("check --suite --threads 2")).unwrap();
         let Command::Check(check) = cmd else {
             panic!("expected check");
         };
         assert!(check.suite);
         assert_eq!(check.cell, None);
+        assert_eq!(check.symmetry, None);
+
+        let cmd = parse_args(&args("check --suite --symmetry on")).unwrap();
+        let Command::Check(check) = cmd else {
+            panic!("expected check");
+        };
+        assert_eq!(check.symmetry, Some(true));
+        let cmd = parse_args(&args(
+            "check --stack hop --topology star --size 6 --symmetry off",
+        ))
+        .unwrap();
+        let Command::Check(check) = cmd else {
+            panic!("expected check");
+        };
+        assert_eq!(check.symmetry, Some(false));
+        let e = parse_args(&args("check --suite --symmetry maybe")).unwrap_err();
+        assert!(e.contains("maybe"), "{e}");
 
         let e = parse_args(&args("check --topology ring --size 5")).unwrap_err();
         assert!(e.contains("--stack"), "{e}");

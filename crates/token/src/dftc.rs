@@ -11,7 +11,7 @@
 //! guarantees of the protocol of \[10\] that the paper's `DFTNO` assumes.
 
 use rand::RngCore;
-use sno_engine::{NodeCtx, NodeView, Protocol, SpaceMeasured, StateTxn};
+use sno_engine::{Enumerable, NodeCtx, NodeView, Protocol, SpaceMeasured, StateTxn};
 use sno_graph::Port;
 
 use crate::api::{TokenCirculation, TokenKind};
@@ -151,6 +151,28 @@ impl Protocol for DfsTokenCirculation {
             path: random_path(ctx, rng),
             tok: TokState::random(ctx, rng),
         }
+    }
+}
+
+impl Enumerable for DfsTokenCirculation {
+    fn enumerate_states(&self, ctx: &NodeCtx) -> Vec<DftcState> {
+        // The product of the two layers' spaces: every Collin–Dolev word
+        // up to the protocol cap times every token-wave variable
+        // assignment. Word order is `enumerate_paths`'s, tok order is
+        // `TokState::enumerate`'s, so the mixed-radix digit layout is
+        // stable across runs.
+        let paths = CollinDolev.enumerate_states(ctx);
+        let toks = TokState::enumerate(ctx.degree);
+        let mut out = Vec::with_capacity(paths.len() * toks.len());
+        for path in &paths {
+            for tok in &toks {
+                out.push(DftcState {
+                    path: path.clone(),
+                    tok: tok.clone(),
+                });
+            }
+        }
+        out
     }
 }
 

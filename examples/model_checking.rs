@@ -38,6 +38,7 @@ fn spec<'a, P: sno::engine::Enumerable>(
         closure: true,
         liveness,
         seeds: Seeds::AllConfigs,
+        seed_list: None,
         faults: Vec::new(),
     }
 }
